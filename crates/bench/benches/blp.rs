@@ -1,0 +1,64 @@
+//! Solver benchmarks: the from-scratch branch & bound (the paper's
+//! PuLP/CBC substitute) against Balas implicit enumeration on
+//! covering-style instances shaped like Korch's orchestration BLPs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use korch_blp::{BalasSolver, BlpProblem, BranchAndBound, Constraint, Solver};
+use std::hint::black_box;
+
+/// Deterministic pseudo-random covering instance with dependency rows.
+fn instance(n_vars: usize, n_cover: usize, seed: u64) -> BlpProblem {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let costs: Vec<f64> = (0..n_vars).map(|_| 1.0 + (next() % 64) as f64).collect();
+    let mut p = BlpProblem::minimize(costs);
+    for _ in 0..n_cover {
+        let mut coeffs = Vec::new();
+        for j in 0..n_vars {
+            if next() % 4 == 0 {
+                coeffs.push((j, 1.0));
+            }
+        }
+        if coeffs.is_empty() {
+            coeffs.push(((next() % n_vars as u64) as usize, 1.0));
+        }
+        p.add(Constraint::ge(coeffs, 1.0));
+    }
+    // dependency-shaped rows: u_a covers what u_b needs
+    for _ in 0..n_cover / 2 {
+        let a = (next() % n_vars as u64) as usize;
+        let b = (next() % n_vars as u64) as usize;
+        if a != b {
+            p.add(Constraint::ge(vec![(a, 1.0), (b, -1.0)], 0.0));
+        }
+    }
+    p
+}
+
+fn bench_solvers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blp_solvers");
+    for &(n, rows) in &[(12usize, 8usize), (24, 14), (48, 24)] {
+        let p = instance(n, rows, 7);
+        group.bench_with_input(BenchmarkId::new("branch_and_bound", n), &p, |b, p| {
+            b.iter(|| BranchAndBound::default().solve(black_box(p)).unwrap())
+        });
+        if n <= 24 {
+            group.bench_with_input(BenchmarkId::new("balas", n), &p, |b, p| {
+                b.iter(|| BalasSolver::default().solve(black_box(p)).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_solvers
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! End-to-end optimizer benchmarks: the wall-clock cost of running the
+//! whole Korch pipeline (fission → transforms → DFS → BLP) on case-study
+//! subgraphs and a reduced CNN. Prints the Fig. 6-style quality comparison
+//! once before measuring.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use korch_baselines::{orchestrate_baseline, Baseline};
+use korch_core::{Korch, KorchConfig};
+use korch_cost::Device;
+use korch_models::{candy, subgraphs, CandyConfig};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let small_candy = candy(CandyConfig { resolution: 64, width: 8, residual_blocks: 2 });
+    let graphs = [
+        ("instance_norm_block", subgraphs::instance_norm_block(32, 224)),
+        ("softmax_attention", subgraphs::softmax_attention(256, 64)),
+        ("candy_small", small_candy),
+    ];
+    println!("\nPlan quality vs baselines (simulated latency, V100):");
+    for (name, g) in &graphs {
+        let korch = Korch::new(Device::v100(), KorchConfig::default())
+            .optimize(g)
+            .unwrap();
+        let trt = orchestrate_baseline(Baseline::TensorRt, g, &Device::v100()).unwrap();
+        println!(
+            "  {name}: Korch {:.4} ms ({} kernels) vs TensorRT {:.4} ms ({} kernels) -> {:.2}x",
+            korch.latency_ms(),
+            korch.kernel_count(),
+            trt.total_latency.as_millis(),
+            trt.kernel_count(),
+            trt.total_latency.as_millis() / korch.latency_ms(),
+        );
+    }
+    for (name, g) in &graphs {
+        c.bench_function(&format!("pipeline/{name}"), |b| {
+            let korch = Korch::new(Device::v100(), KorchConfig::default());
+            b.iter(|| korch.optimize(black_box(g)).unwrap())
+        });
+        c.bench_function(&format!("baseline_trt/{name}"), |b| {
+            b.iter(|| orchestrate_baseline(Baseline::TensorRt, black_box(g), &Device::v100()).unwrap())
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 5: memory bandwidth vs floating-point throughput across GPU
+//! generations, normalized to the P100.
+//!
+//! Paper's point: FLOPs scale faster than bandwidth, which is what makes
+//! Korch's redundant computation profitable.
+
+use korch_bench::report;
+use korch_cost::Device;
+
+fn main() {
+    println!("Figure 5: relative performance vs P100 (higher is better)\n");
+    let widths = [8, 10, 16, 20];
+    report::header(&["GPU", "mem BW", "FP32 FLOPS", "half/tensor FLOPS"], &widths);
+    for d in Device::generations() {
+        let (bw, fp32, half) = d.fig5_row();
+        report::row(
+            &[
+                d.name.to_string(),
+                format!("{bw:.2}x"),
+                format!("{fp32:.2}x"),
+                format!("{half:.2}x"),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nObservation (paper §4.2): compute throughput grows faster than memory\n\
+         bandwidth across generations, so re-executing cheap primitives to avoid\n\
+         materializing intermediates is increasingly worthwhile."
+    );
+}

@@ -1,0 +1,112 @@
+//! Layout-aware BLP study (beyond-paper extension, §8 future work): runs
+//! the standard orchestrator and the layout-aware orchestrator on
+//! transpose-heavy subgraphs under two codegen regimes:
+//!
+//! - **strong codegen** (MetaSchedule-quality: a single access-pattern
+//!   class fuses for free) — the regime of the main evaluation. Finding:
+//!   fission + BLP fusion with redundancy already subsumes layout search;
+//!   the layout plan exactly matches the standard optimum.
+//! - **reformat-kernel regime** (TensorRT-style: a transpose runs as a
+//!   dedicated reformat kernel, as in the paper's Figs. 8a/12a) — here the
+//!   layout BLP relabels transposes at launch cost instead of paying a
+//!   full strided copy, and wins by large factors on big tensors.
+
+use korch_bench::report;
+use korch_cost::{Backend, Device, Profiler};
+use korch_ir::{EwFn, LayoutFn, NodeId, PrimGraph, PrimKind};
+use korch_orch::{
+    enumerate_states, identify_kernels, optimize, optimize_with_layouts, Candidates,
+    IdentifyConfig, LayoutConfig, OptimizeConfig,
+};
+use korch_tensor::UnaryOp;
+
+/// tanh -> transpose -> transpose -> sigmoid over an `n×n` tensor.
+fn transpose_sandwich(n: usize) -> PrimGraph {
+    let mut g = PrimGraph::new();
+    let x = g.add(PrimKind::Input { shape: vec![n, n] }, vec![]).unwrap();
+    let e1 = g
+        .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+        .unwrap();
+    let t = g
+        .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![e1.into()])
+        .unwrap();
+    let t2 = g
+        .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![t.into()])
+        .unwrap();
+    let e2 = g
+        .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)), vec![t2.into()])
+        .unwrap();
+    g.mark_output(e2).unwrap();
+    g
+}
+
+fn candidates(g: &PrimGraph, profiler: &Profiler) -> Candidates {
+    let space = enumerate_states(g, 10_000);
+    identify_kernels(
+        g,
+        &space,
+        profiler,
+        &IdentifyConfig::default(),
+        &[Backend::Generated, Backend::Vendor],
+    )
+}
+
+/// Drop multi-primitive candidates containing a transpose: every transpose
+/// becomes a dedicated reformat kernel (the Fig. 8a regime).
+fn reformat_regime(g: &PrimGraph, mut cands: Candidates) -> Candidates {
+    let is_t = |m: NodeId| {
+        matches!(&g.node(m).kind, PrimKind::Layout(LayoutFn::Transpose { .. }))
+    };
+    cands
+        .kernels
+        .retain(|k| k.members.len() == 1 || !k.members.iter().any(|&m| is_t(m)));
+    cands.seed_selections.clear();
+    cands
+}
+
+fn main() {
+    println!("Layout-aware BLP study (paper §8 future work; V100 cost model)\n");
+    let widths = [8, 12, 12, 12, 10, 10];
+    report::header(
+        &["size", "regime", "std (µs)", "layout (µs)", "win", "swapped"],
+        &widths,
+    );
+    let profiler = Profiler::new(Device::v100());
+    for n in [512usize, 2048, 4096] {
+        let g = transpose_sandwich(n);
+        let full = candidates(&g, &profiler);
+        for (regime, cands) in [
+            ("strong", full.clone()),
+            ("reformat", reformat_regime(&g, full.clone())),
+        ] {
+            let (std_plan, _) = optimize(&g, &cands, None, &OptimizeConfig::default())
+                .expect("standard BLP");
+            let outcome =
+                optimize_with_layouts(&g, &cands, &profiler, &LayoutConfig::default())
+                    .expect("layout BLP");
+            let win = std_plan.total_latency.0 / outcome.plan.total_latency.0;
+            report::row(
+                &[
+                    format!("{n}"),
+                    regime.to_string(),
+                    format!("{:.2}", std_plan.total_latency.0),
+                    format!("{:.2}", outcome.plan.total_latency.0),
+                    format!("{win:.2}x"),
+                    outcome.swapped_kernels.to_string(),
+                ],
+                &widths,
+            );
+            assert!(
+                outcome.plan.total_latency.0 <= std_plan.total_latency.0 * 1.02 + 1e-9,
+                "layout-aware BLP must never lose"
+            );
+        }
+    }
+    println!(
+        "\nStrong codegen: parity — fusion with redundancy already realizes every\n\
+         layout win the §8 extension can express (single-class strided fusion is\n\
+         free in the MetaSchedule-calibrated cost model). Reformat regime: the\n\
+         layout BLP replaces full strided copies with metadata relabels and the\n\
+         win grows with tensor size."
+    );
+}

@@ -1,0 +1,28 @@
+//! Internal timing probe: how long does the full pipeline take per model?
+use korch_core::{Korch, KorchConfig};
+use korch_cost::Device;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("candy");
+    let g = match which {
+        "candy" => korch_models::candy(korch_models::CandyConfig::default()),
+        "segformer" => korch_models::segformer(korch_models::SegformerConfig::default()),
+        "yolov4" => korch_models::yolov4(korch_models::YoloConfig::v4()),
+        "yolox" => korch_models::yolox_nano(korch_models::YoloConfig::x_nano()),
+        "evit" => korch_models::efficientvit(korch_models::EfficientVitConfig::default()),
+        _ => panic!("unknown model"),
+    };
+    println!("{which}: {} ops", g.len());
+    let t0 = Instant::now();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let opt = korch.optimize(&g).expect("optimize");
+    println!(
+        "optimized in {:.1}s: {:.3} ms, {} kernels, stats {:?}",
+        t0.elapsed().as_secs_f64(),
+        opt.latency_ms(),
+        opt.kernel_count(),
+        opt.stats()
+    );
+}

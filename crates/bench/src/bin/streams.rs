@@ -1,0 +1,60 @@
+//! Multi-stream study (beyond-paper extension, §5.3 future work): the paper
+//! executes orchestrated kernels sequentially and explicitly leaves CUDA
+//! multi-streaming open. This harness schedules every evaluation model's
+//! optimized plan onto 1/2/4/8 stream lanes with `schedule_streams` and
+//! reports the simulated makespan per partition, summed.
+//!
+//! Expected shape: modest wins (launch pipelining + occasional
+//! compute/memory overlap) — DNN inference plans are mostly chains, which
+//! is exactly why the paper ranked multi-streaming below fission + BLP.
+
+use korch_bench::report;
+use korch_core::{Korch, KorchConfig};
+use korch_cost::Device;
+use korch_models::evaluation_suite;
+use korch_orch::schedule_streams;
+
+const LANES: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    println!("Multi-stream scheduling study (V100 pipeline, simulated makespan)\n");
+    let widths = [14, 12, 12, 12, 12, 10];
+    report::header(
+        &["Model", "seq (ms)", "S=2 (ms)", "S=4 (ms)", "S=8 (ms)", "best win"],
+        &widths,
+    );
+    for (name, graph) in evaluation_suite() {
+        let korch = Korch::new(Device::v100(), KorchConfig::default());
+        let optimized = korch.optimize(&graph).expect("pipeline");
+        let mut makespan_ms = [0.0f64; LANES.len()];
+        for part in optimized.partitions() {
+            for (i, &s) in LANES.iter().enumerate() {
+                let sched = schedule_streams(&part.part.graph, &part.plan, s, &Device::v100());
+                makespan_ms[i] += sched.makespan_ms();
+            }
+        }
+        let seq = makespan_ms[0];
+        assert!(
+            (seq - optimized.latency_ms()).abs() / seq < 1e-6,
+            "{name}: S=1 must equal the sequential Eq. 2 latency"
+        );
+        let best = makespan_ms[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+        report::row(
+            &[
+                name.to_string(),
+                format!("{seq:.3}"),
+                format!("{:.3}", makespan_ms[1]),
+                format!("{:.3}", makespan_ms[2]),
+                format!("{:.3}", makespan_ms[3]),
+                format!("{:.2}x", seq / best),
+            ],
+            &widths,
+        );
+    }
+    println!(
+        "\nStreams never hurt (list scheduler falls back to sequential order) and\n\
+         help most where independent branches mix compute- and memory-bound\n\
+         kernels; bandwidth-bound branches only save launch overhead, matching\n\
+         the paper's decision to leave multi-streaming as future work."
+    );
+}

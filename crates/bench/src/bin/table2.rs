@@ -1,0 +1,58 @@
+//! Table 2: primitive-graph node counts, candidate kernel counts and
+//! end-to-end (simulated) tuning time for the five evaluation models.
+
+use korch_bench::report;
+use korch_core::{Korch, KorchConfig};
+use korch_cost::Device;
+use korch_models::evaluation_suite;
+
+fn main() {
+    println!("Table 2: tuning statistics (A100 pipeline, simulated tuning clock)\n");
+    let widths = [14, 10, 14, 14, 12, 12];
+    report::header(
+        &["Model", "# Nodes", "# Cand. K.", "Tuning (h)", "partitions", "cache hits"],
+        &widths,
+    );
+    let paper: &[(&str, usize, usize, f64)] = &[
+        ("Candy", 184, 1031, 5.5),
+        ("EfficientViT", 380, 2174, 11.5),
+        ("YOLOX", 367, 3361, 2.8),
+        ("YOLOv4", 569, 4644, 12.2),
+        ("Segformer", 672, 11400, 9.2),
+    ];
+    for (name, graph) in evaluation_suite() {
+        let korch = Korch::new(Device::a100(), KorchConfig::default());
+        let optimized = korch.optimize(&graph).expect("pipeline");
+        let s = optimized.stats();
+        report::row(
+            &[
+                name.to_string(),
+                s.prim_nodes.to_string(),
+                s.candidate_kernels.to_string(),
+                format!("{:.1}", s.tuning_time_s / 3600.0),
+                s.partitions.to_string(),
+                s.cache_hits.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\nPaper's Table 2 for comparison:");
+    report::header(&["Model", "# Nodes", "# Cand. K.", "Tuning (h)"], &widths[..4]);
+    for &(name, nodes, cands, hours) in paper {
+        report::row(
+            &[
+                name.to_string(),
+                nodes.to_string(),
+                cands.to_string(),
+                format!("{hours:.1}"),
+            ],
+            &widths[..4],
+        );
+    }
+    println!(
+        "\nNotes: our fission rules are finer-grained than the paper's (norms\n\
+         decompose into ~12 primitives), so node and candidate counts run higher;\n\
+         tuning time is simulated MetaSchedule accounting (§5.2: most memory\n\
+         kernels tune within 2 minutes, vendor kernels are lookups)."
+    );
+}

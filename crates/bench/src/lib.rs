@@ -1,0 +1,7 @@
+//! Benchmark harnesses regenerating every table and figure of the paper's
+//! evaluation (see `DESIGN.md` for the experiment index). Shared reporting
+//! helpers live here; each figure has a binary under `src/bin/`.
+
+#![forbid(unsafe_code)]
+
+pub mod report;

@@ -1,0 +1,20 @@
+//! Small fixed-width table printer for the figure harnesses.
+
+/// Prints a header row followed by a separator.
+pub fn header(cols: &[&str], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cols.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+    println!("{}", "-".repeat(line.len()));
+}
+
+/// Prints one row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (c, w) in cells.iter().zip(widths) {
+        line.push_str(&format!("{c:>w$}  ", w = w));
+    }
+    println!("{line}");
+}

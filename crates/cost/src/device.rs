@@ -1,0 +1,149 @@
+//! GPU device presets (paper Fig. 5): memory bandwidth and floating-point
+//! throughput across the P100 → H100 generations, plus kernel-launch
+//! overhead and cache sizes used by the latency model.
+
+/// Specification of a GPU used by the analytical cost model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Device {
+    /// Marketing name (e.g. "V100").
+    pub name: &'static str,
+    /// HBM bandwidth in GB/s.
+    pub mem_bw_gbps: f64,
+    /// FP32 (CUDA-core) peak throughput in TFLOP/s.
+    pub fp32_tflops: f64,
+    /// Tensor-core peak throughput in TFLOP/s (FP16 on V100, TF32 on A100).
+    pub tensor_tflops: f64,
+    /// Per-kernel launch + driver overhead in microseconds.
+    pub launch_overhead_us: f64,
+    /// L2 cache size in MiB (footprint derating threshold).
+    pub l2_cache_mib: f64,
+    /// Whether matmul/conv run on tensor cores (paper: TF32 on A100,
+    /// plain FP32 on V100).
+    pub tensor_cores_enabled: bool,
+}
+
+impl Device {
+    /// NVIDIA P100 (SXM2, 16 GB) — the Fig. 5 baseline.
+    pub fn p100() -> Self {
+        Self {
+            name: "P100",
+            mem_bw_gbps: 732.0,
+            fp32_tflops: 9.3,
+            tensor_tflops: 18.7, // FP16 (no tensor cores)
+            launch_overhead_us: 6.0,
+            l2_cache_mib: 4.0,
+            tensor_cores_enabled: false,
+        }
+    }
+
+    /// NVIDIA V100 (SXM2, 16 GB) — evaluation device 1 (FP32).
+    pub fn v100() -> Self {
+        Self {
+            name: "V100",
+            mem_bw_gbps: 900.0,
+            fp32_tflops: 15.7,
+            tensor_tflops: 125.0, // FP16 tensor cores (unused: paper runs FP32)
+            launch_overhead_us: 5.0,
+            l2_cache_mib: 6.0,
+            tensor_cores_enabled: false,
+        }
+    }
+
+    /// NVIDIA A100 (SXM4, 80 GB) — evaluation device 2 (TF32).
+    pub fn a100() -> Self {
+        Self {
+            name: "A100",
+            mem_bw_gbps: 2039.0,
+            fp32_tflops: 19.5,
+            tensor_tflops: 156.0, // TF32 tensor cores
+            launch_overhead_us: 4.0,
+            l2_cache_mib: 40.0,
+            tensor_cores_enabled: true,
+        }
+    }
+
+    /// NVIDIA H100 (SXM5, 80 GB) — appears in Fig. 5 only.
+    pub fn h100() -> Self {
+        Self {
+            name: "H100",
+            mem_bw_gbps: 3350.0,
+            fp32_tflops: 67.0,
+            tensor_tflops: 989.0, // FP16 tensor cores
+            launch_overhead_us: 3.5,
+            l2_cache_mib: 50.0,
+            tensor_cores_enabled: true,
+        }
+    }
+
+    /// Effective peak for linear-transformation primitives, honoring the
+    /// paper's precision choices (TF32 tensor cores on A100, FP32 CUDA
+    /// cores on V100).
+    pub fn linear_peak_tflops(&self) -> f64 {
+        if self.tensor_cores_enabled {
+            self.tensor_tflops
+        } else {
+            self.fp32_tflops
+        }
+    }
+
+    /// The four Fig. 5 generations in order.
+    pub fn generations() -> Vec<Device> {
+        vec![Self::p100(), Self::v100(), Self::a100(), Self::h100()]
+    }
+
+    /// One Fig. 5 row: `(mem BW, FP32, half/tensor)` normalized to P100.
+    pub fn fig5_row(&self) -> (f64, f64, f64) {
+        let base = Self::p100();
+        (
+            self.mem_bw_gbps / base.mem_bw_gbps,
+            self.fp32_tflops / base.fp32_tflops,
+            self.tensor_tflops / base.tensor_tflops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig5_flops_grow_faster_than_bandwidth() {
+        // The paper's observation motivating redundant computation: compute
+        // throughput scales faster than memory bandwidth across generations.
+        for d in [Device::v100(), Device::a100(), Device::h100()] {
+            let (bw, _fp32, half) = d.fig5_row();
+            assert!(
+                half > bw,
+                "{}: half-precision ratio {half} should exceed bandwidth ratio {bw}",
+                d.name
+            );
+        }
+    }
+
+    #[test]
+    fn fig5_monotone_across_generations() {
+        let gens = Device::generations();
+        for w in gens.windows(2) {
+            assert!(w[1].mem_bw_gbps > w[0].mem_bw_gbps);
+            assert!(w[1].fp32_tflops > w[0].fp32_tflops);
+            assert!(w[1].tensor_tflops > w[0].tensor_tflops);
+        }
+    }
+
+    #[test]
+    fn precision_selection_matches_paper() {
+        // V100 runs FP32; A100 runs TF32 tensor cores.
+        assert_eq!(Device::v100().linear_peak_tflops(), 15.7);
+        assert_eq!(Device::a100().linear_peak_tflops(), 156.0);
+    }
+
+    #[test]
+    fn a100_has_higher_compute_to_bandwidth_ratio() {
+        // §6.2: A100 offers a higher compute/bandwidth ratio than V100.
+        let v = Device::v100();
+        let a = Device::a100();
+        assert!(
+            a.linear_peak_tflops() / a.mem_bw_gbps > v.linear_peak_tflops() / v.mem_bw_gbps
+        );
+    }
+}

@@ -1,0 +1,378 @@
+//! Direct interpreter for *operator* graphs — the reference semantics
+//! against which fission, transformation and orchestration are verified.
+//! Each operator is evaluated from its mathematical definition, independent
+//! of the fission rules, so agreement between the two interpreters is
+//! meaningful evidence of correctness.
+
+use crate::error::ExecError;
+use crate::prims::materialize_const;
+use korch_ir::{OpGraph, OpKind, PortRef};
+use korch_tensor::{BinaryOp, MatMulSpec, ReduceKind, Tensor, UnaryOp};
+use std::collections::HashMap;
+
+/// Evaluates one operator on already-computed inputs.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on tensor failures or opaque custom operators.
+pub fn eval_op(kind: &OpKind, inputs: &[&Tensor], node: usize) -> Result<Vec<Tensor>, ExecError> {
+    let wrap = |source| ExecError::Tensor { node, source };
+    let bbin = |a: &Tensor, b: &Tensor, op: BinaryOp| -> Result<Tensor, ExecError> {
+        let target = korch_ir::broadcast_shapes(a.shape(), b.shape()).ok_or_else(|| {
+            ExecError::Input(format!("cannot broadcast {:?} with {:?}", a.shape(), b.shape()))
+        })?;
+        let ba = a.broadcast_to(&target).map_err(wrap)?;
+        let bb = b.broadcast_to(&target).map_err(wrap)?;
+        ba.binary(&bb, op).map_err(wrap)
+    };
+    match kind {
+        OpKind::Input { .. } => Err(ExecError::Input(format!(
+            "input node {node} must be fed, not evaluated"
+        ))),
+        OpKind::Constant { shape, init } => Ok(vec![materialize_const(shape, init)]),
+        OpKind::Unary(u) => Ok(vec![inputs[0].unary(*u)]),
+        OpKind::Silu => {
+            let s = inputs[0].unary(UnaryOp::Sigmoid);
+            Ok(vec![inputs[0].binary(&s, BinaryOp::Mul).map_err(wrap)?])
+        }
+        OpKind::Mish => {
+            let sp = inputs[0].map(|v| (1.0 + v.exp()).ln());
+            let t = sp.unary(UnaryOp::Tanh);
+            Ok(vec![inputs[0].binary(&t, BinaryOp::Mul).map_err(wrap)?])
+        }
+        OpKind::Gelu => Ok(vec![inputs[0].map(|v| {
+            0.5 * v * (1.0 + UnaryOp::Erf.apply(v * std::f32::consts::FRAC_1_SQRT_2))
+        })]),
+        OpKind::GeluTanh => Ok(vec![inputs[0].map(|v| {
+            let inner = (2.0 / std::f32::consts::PI).sqrt() * (v + 0.044715 * v * v * v);
+            0.5 * v * (1.0 + inner.tanh())
+        })]),
+        OpKind::Elu { alpha } => Ok(vec![inputs[0].map(|v| {
+            if v > 0.0 {
+                v
+            } else {
+                alpha * (v.exp() - 1.0)
+            }
+        })]),
+        OpKind::PRelu => {
+            let pos = inputs[0].unary(UnaryOp::Relu);
+            let neg = inputs[0].map(|v| v.min(0.0));
+            let scaled = bbin(&neg, inputs[1], BinaryOp::Mul)?;
+            Ok(vec![pos.binary(&scaled, BinaryOp::Add).map_err(wrap)?])
+        }
+        OpKind::Softplus => Ok(vec![inputs[0].map(|v| (1.0 + v.exp()).ln())]),
+        OpKind::Clip { min, max } => Ok(vec![inputs[0].map(|v| v.clamp(*min, *max))]),
+        OpKind::HardSigmoid => Ok(vec![inputs[0].map(|v| (v / 6.0 + 0.5).clamp(0.0, 1.0))]),
+        OpKind::HardSwish => Ok(vec![inputs[0].map(|v| v * (v / 6.0 + 0.5).clamp(0.0, 1.0))]),
+        OpKind::GlobalAvgPool => {
+            let x = inputs[0];
+            let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+            let flat = x.reshape(vec![n, c, h * w]).map_err(wrap)?;
+            let mean = flat.reduce(2, ReduceKind::Mean).map_err(wrap)?;
+            Ok(vec![mean.reshape(vec![n, c, 1, 1]).map_err(wrap)?])
+        }
+        OpKind::Squeeze { axis } => {
+            let mut shape = inputs[0].shape().to_vec();
+            shape.remove(*axis);
+            Ok(vec![inputs[0].reshape(shape).map_err(wrap)?])
+        }
+        OpKind::Unsqueeze { axis } => {
+            let mut shape = inputs[0].shape().to_vec();
+            shape.insert(*axis, 1);
+            Ok(vec![inputs[0].reshape(shape).map_err(wrap)?])
+        }
+        OpKind::Add => Ok(vec![bbin(inputs[0], inputs[1], BinaryOp::Add)?]),
+        OpKind::Sub => Ok(vec![bbin(inputs[0], inputs[1], BinaryOp::Sub)?]),
+        OpKind::Mul => Ok(vec![bbin(inputs[0], inputs[1], BinaryOp::Mul)?]),
+        OpKind::Div => Ok(vec![bbin(inputs[0], inputs[1], BinaryOp::Div)?]),
+        OpKind::AddScalar(c) => Ok(vec![inputs[0].binary_scalar(*c, BinaryOp::Add)]),
+        OpKind::MulScalar(c) => Ok(vec![inputs[0].binary_scalar(*c, BinaryOp::Mul)]),
+        OpKind::Softmax { axis } => {
+            let e = inputs[0].unary(UnaryOp::Exp);
+            let s = e.reduce(*axis, ReduceKind::Sum).map_err(wrap)?;
+            let b = s.broadcast(*axis, inputs[0].shape()[*axis]).map_err(wrap)?;
+            Ok(vec![e.binary(&b, BinaryOp::Div).map_err(wrap)?])
+        }
+        OpKind::LogSoftmax { axis } => {
+            let e = inputs[0].unary(UnaryOp::Exp);
+            let s = e.reduce(*axis, ReduceKind::Sum).map_err(wrap)?;
+            let l = s.unary(UnaryOp::Ln);
+            let b = l.broadcast(*axis, inputs[0].shape()[*axis]).map_err(wrap)?;
+            Ok(vec![inputs[0].binary(&b, BinaryOp::Sub).map_err(wrap)?])
+        }
+        OpKind::InstanceNorm { eps } => {
+            let x = inputs[0];
+            let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+            let flat = x.reshape(vec![n, c, h * w]).map_err(wrap)?;
+            let normed = normalize_last(&flat, *eps, node)?;
+            let scale = inputs[1].reshape(vec![1, c, 1]).map_err(wrap)?;
+            let bias = inputs[2].reshape(vec![1, c, 1]).map_err(wrap)?;
+            let scaled = bbin(&normed, &scale, BinaryOp::Mul)?;
+            let shifted = bbin(&scaled, &bias, BinaryOp::Add)?;
+            Ok(vec![shifted.reshape(vec![n, c, h, w]).map_err(wrap)?])
+        }
+        OpKind::LayerNorm { eps } => {
+            let normed = normalize_last(inputs[0], *eps, node)?;
+            let scaled = bbin(&normed, inputs[1], BinaryOp::Mul)?;
+            Ok(vec![bbin(&scaled, inputs[2], BinaryOp::Add)?])
+        }
+        OpKind::BatchNorm { eps } => {
+            let x = inputs[0];
+            let c = x.shape()[1];
+            let reshape_c =
+                |t: &Tensor| t.reshape(vec![1, c, 1, 1]).map_err(wrap);
+            let gamma = reshape_c(inputs[1])?;
+            let beta = reshape_c(inputs[2])?;
+            let mean = reshape_c(inputs[3])?;
+            let var = reshape_c(inputs[4])?;
+            let denom = var.binary_scalar(*eps, BinaryOp::Add).unary(UnaryOp::Sqrt);
+            let centered = bbin(x, &mean, BinaryOp::Sub)?;
+            let normed = bbin(&centered, &denom, BinaryOp::Div)?;
+            let scaled = bbin(&normed, &gamma, BinaryOp::Mul)?;
+            Ok(vec![bbin(&scaled, &beta, BinaryOp::Add)?])
+        }
+        OpKind::GroupNorm { groups, eps } => {
+            let x = inputs[0];
+            let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+            let per = c / groups * h * w;
+            let grouped = x.reshape(vec![n, *groups, per]).map_err(wrap)?;
+            let normed = normalize_last(&grouped, *eps, node)?;
+            let flat = normed.reshape(vec![n, c, h * w]).map_err(wrap)?;
+            let scale = inputs[1].reshape(vec![1, c, 1]).map_err(wrap)?;
+            let bias = inputs[2].reshape(vec![1, c, 1]).map_err(wrap)?;
+            let scaled = bbin(&flat, &scale, BinaryOp::Mul)?;
+            let shifted = bbin(&scaled, &bias, BinaryOp::Add)?;
+            Ok(vec![shifted.reshape(vec![n, c, h, w]).map_err(wrap)?])
+        }
+        OpKind::RmsNorm { eps } => {
+            let x = inputs[0];
+            let axis = x.shape().len() - 1;
+            let d = x.shape()[axis];
+            let ms = x.unary(UnaryOp::Square).reduce(axis, ReduceKind::Mean).map_err(wrap)?;
+            let denom = ms.binary_scalar(*eps, BinaryOp::Add).unary(UnaryOp::Sqrt);
+            let b = denom.broadcast(axis, d).map_err(wrap)?;
+            let normed = x.binary(&b, BinaryOp::Div).map_err(wrap)?;
+            Ok(vec![bbin(&normed, inputs[1], BinaryOp::Mul)?])
+        }
+        OpKind::Reduce { kind, axis, keep_dim } => {
+            let r = inputs[0].reduce(*axis, *kind).map_err(wrap)?;
+            if *keep_dim {
+                let mut shape = r.shape().to_vec();
+                shape.insert(*axis, 1);
+                Ok(vec![r.reshape(shape).map_err(wrap)?])
+            } else {
+                Ok(vec![r])
+            }
+        }
+        OpKind::MatMul => Ok(vec![inputs[0].matmul(inputs[1], MatMulSpec::new()).map_err(wrap)?]),
+        OpKind::Gemm { alpha, beta, trans_a, trans_b } => {
+            let spec = MatMulSpec { trans_a: *trans_a, trans_b: *trans_b };
+            let ab = inputs[0].matmul(inputs[1], spec).map_err(wrap)?;
+            let scaled = ab.binary_scalar(*alpha, BinaryOp::Mul);
+            let c = inputs[2].binary_scalar(*beta, BinaryOp::Mul);
+            Ok(vec![bbin(&scaled, &c, BinaryOp::Add)?])
+        }
+        OpKind::Conv2d { stride, padding, groups, bias } => {
+            let y = inputs[0].conv2d(inputs[1], *stride, *padding, *groups).map_err(wrap)?;
+            if *bias {
+                let o = y.shape()[1];
+                let b = inputs[2].reshape(vec![1, o, 1, 1]).map_err(wrap)?;
+                Ok(vec![bbin(&y, &b, BinaryOp::Add)?])
+            } else {
+                Ok(vec![y])
+            }
+        }
+        OpKind::MaxPool(spec) => Ok(vec![inputs[0].pool2d(*spec, ReduceKind::Max).map_err(wrap)?]),
+        OpKind::AvgPool(spec) => {
+            Ok(vec![inputs[0].pool2d(*spec, ReduceKind::Mean).map_err(wrap)?])
+        }
+        OpKind::Resize { out_h, out_w, mode } => {
+            Ok(vec![inputs[0].resize2d(*out_h, *out_w, *mode).map_err(wrap)?])
+        }
+        OpKind::Transpose { perm } => Ok(vec![inputs[0].transpose(perm).map_err(wrap)?]),
+        OpKind::Reshape { shape } => Ok(vec![inputs[0].reshape(shape.clone()).map_err(wrap)?]),
+        OpKind::Slice { starts, ends } => Ok(vec![inputs[0].slice(starts, ends).map_err(wrap)?]),
+        OpKind::Concat { axis } => Ok(vec![Tensor::concat(inputs, *axis).map_err(wrap)?]),
+        OpKind::Split { axis, sizes } => inputs[0]
+            .split(*axis, sizes)
+            .map_err(wrap),
+        OpKind::Pad { before, after, value } => {
+            Ok(vec![inputs[0].pad(before, after, *value).map_err(wrap)?])
+        }
+        OpKind::Identity => Ok(vec![inputs[0].clone()]),
+        OpKind::Custom { name, .. } => Err(ExecError::Input(format!(
+            "custom operator '{name}' has no reference interpreter"
+        ))),
+    }
+}
+
+/// `(x - mean) / sqrt(var + eps)` along the last axis.
+fn normalize_last(x: &Tensor, eps: f32, node: usize) -> Result<Tensor, ExecError> {
+    let wrap = |source| ExecError::Tensor { node, source };
+    let axis = x.rank() - 1;
+    let size = x.shape()[axis];
+    let mean = x.reduce(axis, ReduceKind::Mean).map_err(wrap)?;
+    let mean_b = mean.broadcast(axis, size).map_err(wrap)?;
+    let centered = x.binary(&mean_b, BinaryOp::Sub).map_err(wrap)?;
+    let var = centered
+        .unary(UnaryOp::Square)
+        .reduce(axis, ReduceKind::Mean)
+        .map_err(wrap)?;
+    let denom = var.binary_scalar(eps, BinaryOp::Add).unary(UnaryOp::Sqrt);
+    let denom_b = denom.broadcast(axis, size).map_err(wrap)?;
+    centered.binary(&denom_b, BinaryOp::Div).map_err(wrap)
+}
+
+/// Executes an operator graph with reference semantics.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on input mismatches or custom operators without an
+/// interpreter.
+pub fn execute_ops(g: &OpGraph, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+    let mut values: HashMap<PortRef, Tensor> = HashMap::new();
+    let mut fed = 0usize;
+    for (id, node) in g.iter() {
+        match &node.kind {
+            OpKind::Input { shape } => {
+                let t = inputs.get(fed).ok_or_else(|| {
+                    ExecError::Input(format!("expected more than {fed} input tensors"))
+                })?;
+                if t.shape() != shape.as_slice() {
+                    return Err(ExecError::Input(format!(
+                        "input {fed} has shape {:?}, expected {shape:?}",
+                        t.shape()
+                    )));
+                }
+                values.insert(id.into(), t.clone());
+                fed += 1;
+            }
+            kind => {
+                let ins: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|r| {
+                        values
+                            .get(r)
+                            .ok_or(ExecError::NotMaterialized { node: r.node.0, port: r.port })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let outs = eval_op(kind, &ins, id.0)?;
+                for (port, t) in outs.into_iter().enumerate() {
+                    values.insert(PortRef { node: id, port }, t);
+                }
+            }
+        }
+    }
+    if fed != inputs.len() {
+        return Err(ExecError::Input(format!(
+            "graph has {fed} inputs but {} tensors were fed",
+            inputs.len()
+        )));
+    }
+    g.outputs()
+        .iter()
+        .map(|r| {
+            values
+                .get(r)
+                .cloned()
+                .ok_or(ExecError::NotMaterialized { node: r.node.0, port: r.port })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use korch_ir::ConstInit;
+
+    #[test]
+    fn softmax_reference() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![2, 4] }, vec![]).unwrap();
+        let sm = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()]).unwrap();
+        g.mark_output(sm).unwrap();
+        let x = Tensor::from_vec(vec![2, 4], vec![0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = execute_ops(&g, &[x]).unwrap();
+        // uniform row
+        for v in &out[0].as_slice()[..4] {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+        // monotone row summing to 1
+        let row2 = &out[0].as_slice()[4..];
+        assert!(row2.windows(2).all(|w| w[0] < w[1]));
+        assert!((row2.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn instance_norm_reference_statistics() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![1, 2, 4, 4] }, vec![]).unwrap();
+        let s = g
+            .add(OpKind::Constant { shape: vec![2], init: ConstInit::Ones }, vec![])
+            .unwrap();
+        let b = g
+            .add(OpKind::Constant { shape: vec![2], init: ConstInit::Zeros }, vec![])
+            .unwrap();
+        let inorm = g
+            .add(OpKind::InstanceNorm { eps: 1e-6 }, vec![x.into(), s.into(), b.into()])
+            .unwrap();
+        g.mark_output(inorm).unwrap();
+        let x = Tensor::random(vec![1, 2, 4, 4], 11);
+        let out = execute_ops(&g, &[x]).unwrap();
+        // per-channel mean ≈ 0, var ≈ 1
+        for c in 0..2 {
+            let ch = out[0].slice(&[0, c, 0, 0], &[1, c + 1, 4, 4]).unwrap();
+            let mean: f32 = ch.as_slice().iter().sum::<f32>() / 16.0;
+            let var: f32 = ch.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            assert!(mean.abs() < 1e-5, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-3, "var {var}");
+        }
+    }
+
+    #[test]
+    fn broadcasting_binary_ops() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![2, 3] }, vec![]).unwrap();
+        let y = g.add(OpKind::Input { shape: vec![3] }, vec![]).unwrap();
+        let add = g.add(OpKind::Add, vec![x.into(), y.into()]).unwrap();
+        g.mark_output(add).unwrap();
+        let xt = Tensor::zeros(vec![2, 3]);
+        let yt = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+        let out = execute_ops(&g, &[xt, yt]).unwrap();
+        assert_eq!(out[0].as_slice(), &[1.0, 2.0, 3.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn activations_match_closed_forms() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![3] }, vec![]).unwrap();
+        let silu = g.add(OpKind::Silu, vec![x.into()]).unwrap();
+        let mish = g.add(OpKind::Mish, vec![x.into()]).unwrap();
+        let gelu = g.add(OpKind::Gelu, vec![x.into()]).unwrap();
+        g.mark_output(silu).unwrap();
+        g.mark_output(mish).unwrap();
+        g.mark_output(gelu).unwrap();
+        let x = Tensor::from_vec(vec![3], vec![-1.0, 0.0, 2.0]).unwrap();
+        let out = execute_ops(&g, &[x]).unwrap();
+        // silu(0)=0, gelu(0)=0, mish(0)=0
+        assert!(out.iter().all(|t| t.as_slice()[1].abs() < 1e-6));
+        // silu(2) = 2*sigmoid(2) ≈ 1.7616
+        assert!((out[0].as_slice()[2] - 1.7616).abs() < 1e-3);
+        // mish(2) ≈ 1.9440
+        assert!((out[1].as_slice()[2] - 1.9440).abs() < 1e-3);
+        // gelu(2) ≈ 1.9545
+        assert!((out[2].as_slice()[2] - 1.9545).abs() < 1e-3);
+    }
+
+    #[test]
+    fn multi_output_split_op() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![4] }, vec![]).unwrap();
+        let sp = g.add(OpKind::Split { axis: 0, sizes: vec![1, 3] }, vec![x.into()]).unwrap();
+        g.mark_output(PortRef { node: sp, port: 1 }).unwrap();
+        let x = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let out = execute_ops(&g, &[x]).unwrap();
+        assert_eq!(out[0].as_slice(), &[2.0, 3.0, 4.0]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Broadcast-chain construction.
+//!
+//! The primitive IR's `Broadcast` inserts exactly one axis (paper §3);
+//! operator-level broadcasting (NumPy-style trailing alignment, or the
+//! channel-axis alignment of conv biases and normalization parameters) is
+//! lowered to a chain of `Reshape` + `Broadcast` primitives.
+
+use korch_ir::{IrError, LayoutFn, PortRef, PrimGraph, PrimKind};
+
+/// Extends `src` (of shape `from`) to shape `to` using NumPy trailing-dim
+/// alignment, appending the needed `Reshape`/`Broadcast` primitives to `pg`.
+/// Returns the port carrying the broadcast tensor (`src` itself when
+/// `from == to`).
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] if `from` cannot broadcast to `to`.
+pub fn broadcast_chain(
+    pg: &mut PrimGraph,
+    src: PortRef,
+    from: &[usize],
+    to: &[usize],
+) -> Result<PortRef, IrError> {
+    if from == to {
+        return Ok(src);
+    }
+    if from.len() > to.len() {
+        return Err(IrError::Invalid(format!("cannot broadcast {from:?} to {to:?}")));
+    }
+    let pad = to.len() - from.len();
+    let mut aligned = vec![1usize; pad];
+    aligned.extend_from_slice(from);
+    broadcast_aligned(pg, src, &aligned, to)
+}
+
+/// Extends a vector `src` of shape `[k]` to `to` by placing it at dimension
+/// `axis` (`to[axis]` must equal `k`) and replicating along every other
+/// dimension — the conv-bias / normalization-parameter pattern.
+///
+/// # Errors
+///
+/// Returns [`IrError::Invalid`] if `to[axis]` does not match the vector
+/// length or `axis` is out of range.
+pub fn broadcast_at_axis(
+    pg: &mut PrimGraph,
+    src: PortRef,
+    len: usize,
+    to: &[usize],
+    axis: usize,
+) -> Result<PortRef, IrError> {
+    if axis >= to.len() || to[axis] != len {
+        return Err(IrError::Invalid(format!(
+            "cannot place vector of length {len} at axis {axis} of {to:?}"
+        )));
+    }
+    let mut aligned = vec![1usize; to.len()];
+    aligned[axis] = len;
+    broadcast_aligned(pg, src, &aligned, to)
+}
+
+/// Core expansion: `aligned` has the same rank as `to` and every dim is
+/// either equal to `to`'s or 1. `src`'s element count must equal the
+/// product of `aligned`.
+fn broadcast_aligned(
+    pg: &mut PrimGraph,
+    src: PortRef,
+    aligned: &[usize],
+    to: &[usize],
+) -> Result<PortRef, IrError> {
+    let mut kept_shape = Vec::new();
+    let mut expand = Vec::new(); // (target position, size)
+    for d in 0..to.len() {
+        if aligned[d] == to[d] {
+            kept_shape.push(aligned[d]);
+        } else if aligned[d] == 1 {
+            expand.push((d, to[d]));
+        } else {
+            return Err(IrError::Invalid(format!("cannot broadcast {aligned:?} to {to:?}")));
+        }
+    }
+    // Squeeze away the to-be-expanded size-1 dims with a single reshape.
+    let mut cur = src;
+    if pg.meta(cur).shape() != kept_shape.as_slice() {
+        let reshape = pg.add(
+            PrimKind::Layout(LayoutFn::Reshape { shape: kept_shape.clone() }),
+            vec![cur],
+        )?;
+        cur = reshape.into();
+    }
+    // Re-insert each expanded dim at its target position, in increasing
+    // order: earlier insertions restore earlier axes so positions stay valid.
+    for (d, size) in expand {
+        let b = pg.add(PrimKind::Broadcast { axis: d, size }, vec![cur])?;
+        cur = b.into();
+    }
+    debug_assert_eq!(pg.meta(cur).shape(), to);
+    Ok(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph_with_input(shape: &[usize]) -> (PrimGraph, PortRef) {
+        let mut pg = PrimGraph::new();
+        let x = pg.add(PrimKind::Input { shape: shape.to_vec() }, vec![]).unwrap();
+        (pg, x.into())
+    }
+
+    #[test]
+    fn noop_when_shapes_match() {
+        let (mut pg, x) = graph_with_input(&[2, 3]);
+        let out = broadcast_chain(&mut pg, x, &[2, 3], &[2, 3]).unwrap();
+        assert_eq!(out, x);
+        assert_eq!(pg.len(), 1);
+    }
+
+    #[test]
+    fn vector_to_nchw_at_channel_axis() {
+        // [C] -> [N, C, H, W]: the conv-bias pattern (not NumPy-alignable).
+        let (mut pg, x) = graph_with_input(&[16]);
+        let out = broadcast_at_axis(&mut pg, x, 16, &[2, 16, 8, 8], 1).unwrap();
+        assert_eq!(pg.meta(out).shape(), &[2, 16, 8, 8]);
+    }
+
+    #[test]
+    fn numpy_trailing_alignment() {
+        // [W] -> [N, C, H, W] trailing alignment works with plain chain.
+        let (mut pg, x) = graph_with_input(&[8]);
+        let out = broadcast_chain(&mut pg, x, &[8], &[2, 16, 4, 8]).unwrap();
+        assert_eq!(pg.meta(out).shape(), &[2, 16, 4, 8]);
+    }
+
+    #[test]
+    fn squeezes_inner_ones() {
+        // [C,1,1] -> [N,C,H,W] needs a reshape first.
+        let (mut pg, x) = graph_with_input(&[16, 1, 1]);
+        let out = broadcast_chain(&mut pg, x, &[16, 1, 1], &[2, 16, 8, 8]).unwrap();
+        assert_eq!(pg.meta(out).shape(), &[2, 16, 8, 8]);
+    }
+
+    #[test]
+    fn middle_dim_expansion() {
+        let (mut pg, x) = graph_with_input(&[2, 1, 3]);
+        let out = broadcast_chain(&mut pg, x, &[2, 1, 3], &[2, 7, 3]).unwrap();
+        assert_eq!(pg.meta(out).shape(), &[2, 7, 3]);
+    }
+
+    #[test]
+    fn scalar_to_matrix() {
+        let (mut pg, x) = graph_with_input(&[]);
+        let out = broadcast_chain(&mut pg, x, &[], &[3, 4]).unwrap();
+        assert_eq!(pg.meta(out).shape(), &[3, 4]);
+    }
+
+    #[test]
+    fn incompatible_is_error() {
+        let (mut pg, x) = graph_with_input(&[3]);
+        assert!(broadcast_chain(&mut pg, x, &[3], &[4]).is_err());
+        assert!(broadcast_chain(&mut pg, x, &[3], &[]).is_err());
+        assert!(broadcast_at_axis(&mut pg, x, 3, &[2, 4], 1).is_err());
+        assert!(broadcast_at_axis(&mut pg, x, 3, &[2, 3], 5).is_err());
+    }
+}

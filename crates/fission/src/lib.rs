@@ -1,0 +1,433 @@
+//! Operator fission (paper §3): decomposes each tensor operator of an
+//! [`OpGraph`] into basic tensor-algebra primitives, producing a
+//! functionally equivalent [`PrimGraph`].
+//!
+//! Each operator has a built-in *fission rule* (e.g. Fig. 3 of the paper:
+//! Softmax → Exp → ReduceSum → Broadcast → Div); operators outside the
+//! primitive algebra become [`korch_ir::PrimKind::Opaque`] nodes. Custom
+//! rules can be registered per custom-operator name, mirroring the paper's
+//! "Korch requires developers to specify an operator fission rule".
+//!
+//! ```
+//! use korch_fission::FissionEngine;
+//! use korch_ir::{OpGraph, OpKind};
+//!
+//! # fn main() -> Result<(), korch_ir::IrError> {
+//! let mut g = OpGraph::new();
+//! let x = g.add(OpKind::Input { shape: vec![4, 16] }, vec![])?;
+//! let sm = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()])?;
+//! g.mark_output(sm)?;
+//! let result = FissionEngine::new().fission(&g)?;
+//! // Softmax decomposes into exp, reduce, broadcast, div (+ the input).
+//! assert_eq!(result.prim_graph.len(), 5);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod broadcast;
+mod rules;
+
+pub use broadcast::broadcast_chain;
+
+use korch_ir::{IrError, OpGraph, OpKind, PortRef, PrimGraph};
+use std::collections::HashMap;
+
+/// Signature of a custom fission rule: given the primitive graph under
+/// construction and the (already lowered) input ports, append primitives and
+/// return the output ports of the lowered operator.
+pub type CustomRule =
+    Box<dyn Fn(&mut PrimGraph, &[PortRef]) -> Result<Vec<PortRef>, IrError> + Send + Sync>;
+
+/// The operator fission engine.
+///
+/// Holds the registry of custom rules; stateless otherwise. See the crate
+/// docs for an example.
+#[derive(Default)]
+pub struct FissionEngine {
+    custom: HashMap<String, CustomRule>,
+}
+
+impl std::fmt::Debug for FissionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FissionEngine")
+            .field("custom_rules", &self.custom.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+/// Result of fissioning an operator graph.
+#[derive(Debug, Clone)]
+pub struct FissionResult {
+    /// The functionally equivalent primitive graph.
+    pub prim_graph: PrimGraph,
+    /// Maps every operator-graph output port to the primitive-graph port
+    /// that now carries the same tensor.
+    pub port_map: HashMap<PortRef, PortRef>,
+    /// For every primitive node, the operator node it was lowered from
+    /// (used by the rule-based baselines to group primitives per operator).
+    pub origins: Vec<korch_ir::NodeId>,
+}
+
+impl FissionEngine {
+    /// Creates an engine with the built-in rules for every [`OpKind`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a fission rule for [`OpKind::Custom`] operators named
+    /// `name`. Unregistered custom operators lower to opaque primitives.
+    pub fn register_custom(&mut self, name: impl Into<String>, rule: CustomRule) -> &mut Self {
+        self.custom.insert(name.into(), rule);
+        self
+    }
+
+    /// Decomposes an operator graph into a primitive graph (paper §3).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IrError`] from primitive construction; a rule that
+    /// produces shape-inconsistent primitives is a bug surfaced here.
+    pub fn fission(&self, g: &OpGraph) -> Result<FissionResult, IrError> {
+        let mut pg = PrimGraph::new();
+        let mut port_map: HashMap<PortRef, PortRef> = HashMap::new();
+        let mut origins: Vec<korch_ir::NodeId> = Vec::new();
+        for (op_id, node) in g.iter() {
+            let inputs: Vec<PortRef> = node
+                .inputs
+                .iter()
+                .map(|r| {
+                    port_map.get(r).copied().ok_or(IrError::DanglingRef {
+                        node: r.node.0,
+                        port: r.port,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let before = pg.len();
+            let outs = self.lower_op(&mut pg, &node.kind, &inputs)?;
+            origins.resize(pg.len().max(before), op_id);
+            if outs.len() != node.out_metas.len() {
+                return Err(IrError::Invalid(format!(
+                    "fission rule for {:?} produced {} outputs, operator has {}",
+                    node.kind,
+                    outs.len(),
+                    node.out_metas.len()
+                )));
+            }
+            for (port, (out, meta)) in outs.iter().zip(&node.out_metas).enumerate() {
+                let got = pg.meta(*out);
+                if got != meta {
+                    return Err(IrError::Invalid(format!(
+                        "fission rule for {:?} produced shape {:?}, expected {:?}",
+                        node.kind,
+                        got.shape(),
+                        meta.shape()
+                    )));
+                }
+                port_map.insert(PortRef { node: op_id, port }, *out);
+            }
+        }
+        for out in g.outputs() {
+            pg.mark_output(port_map[out])?;
+        }
+        // Fission can introduce helper nodes that end up unused; prune them
+        // and fix up the port map and origins accordingly. Input primitives
+        // are kept even when orphaned (e.g. a Gemm with beta = 0 never reads
+        // C): the number and order of graph inputs is a caller contract.
+        let (pruned, remap) =
+            pg.eliminate_dead_keeping(|k| matches!(k, korch_ir::PrimKind::Input { .. }))?;
+        let mut new_origins = vec![korch_ir::NodeId(0); pruned.len()];
+        for (old, new) in &remap {
+            new_origins[new.0] = origins[old.0];
+        }
+        let port_map = port_map
+            .into_iter()
+            .filter_map(|(k, v)| {
+                remap
+                    .get(&v.node)
+                    .map(|&n| (k, PortRef { node: n, port: v.port }))
+            })
+            .collect();
+        Ok(FissionResult { prim_graph: pruned, port_map, origins: new_origins })
+    }
+
+    fn lower_op(
+        &self,
+        pg: &mut PrimGraph,
+        kind: &OpKind,
+        inputs: &[PortRef],
+    ) -> Result<Vec<PortRef>, IrError> {
+        if let OpKind::Custom { name, out_shapes } = kind {
+            if let Some(rule) = self.custom.get(name) {
+                return rule(pg, inputs);
+            }
+            let id = pg.add(
+                korch_ir::PrimKind::Opaque { name: name.clone(), out_shapes: out_shapes.clone() },
+                inputs.to_vec(),
+            )?;
+            return Ok((0..out_shapes.len()).map(|port| PortRef { node: id, port }).collect());
+        }
+        rules::builtin(pg, kind, inputs)
+    }
+}
+
+/// Convenience: fission with the default engine.
+///
+/// # Errors
+///
+/// See [`FissionEngine::fission`].
+pub fn fission(g: &OpGraph) -> Result<FissionResult, IrError> {
+    FissionEngine::new().fission(g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use korch_ir::{ConstInit, NodeId, PrimCategory, PrimKind, PrimStats};
+    use korch_tensor::{PoolSpec, ReduceKind, UnaryOp};
+
+    fn input(g: &mut OpGraph, shape: &[usize]) -> NodeId {
+        g.add(OpKind::Input { shape: shape.to_vec() }, vec![]).unwrap()
+    }
+
+    #[test]
+    fn softmax_rule_matches_fig3() {
+        // Fig 3: Softmax -> Exp -> Reduce(Sum) -> Broadcast -> Div
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[4, 16]);
+        let sm = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()]).unwrap();
+        g.mark_output(sm).unwrap();
+        let r = fission(&g).unwrap();
+        let s = PrimStats::of(&r.prim_graph);
+        assert_eq!(s.elementwise, 2); // exp + div
+        assert_eq!(s.reduce_broadcast, 2); // reduce + broadcast
+        assert_eq!(s.linear, 0);
+        assert_eq!(r.prim_graph.meta(r.port_map[&PortRef::from(sm)]).shape(), &[4, 16]);
+    }
+
+    #[test]
+    fn instance_norm_decomposes_like_fig12() {
+        // Fig 12b red frame: Sub, ReduceMean, Mul, ReduceMean, Add, Sqrt,
+        // Div, Mul, Add — i.e. several elementwise + two reductions.
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[1, 8, 6, 6]);
+        let scale = g
+            .add(OpKind::Constant { shape: vec![8], init: ConstInit::Ones }, vec![])
+            .unwrap();
+        let bias = g
+            .add(OpKind::Constant { shape: vec![8], init: ConstInit::Zeros }, vec![])
+            .unwrap();
+        let inorm = g
+            .add(OpKind::InstanceNorm { eps: 1e-5 }, vec![x.into(), scale.into(), bias.into()])
+            .unwrap();
+        g.mark_output(inorm).unwrap();
+        let r = fission(&g).unwrap();
+        let s = PrimStats::of(&r.prim_graph);
+        assert!(s.elementwise >= 5, "expected rich elementwise decomposition, got {s:?}");
+        assert!(s.reduce_broadcast >= 4, "2 reduces + broadcasts expected, got {s:?}");
+        assert_eq!(r.prim_graph.meta(r.port_map[&PortRef::from(inorm)]).shape(), &[1, 8, 6, 6]);
+    }
+
+    #[test]
+    fn add_with_broadcasting_inserts_broadcasts() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[2, 3, 4]);
+        let b = input(&mut g, &[4]);
+        let add = g.add(OpKind::Add, vec![x.into(), b.into()]).unwrap();
+        g.mark_output(add).unwrap();
+        let r = fission(&g).unwrap();
+        let s = PrimStats::of(&r.prim_graph);
+        assert_eq!(s.elementwise, 1);
+        assert_eq!(s.reduce_broadcast, 2); // [4] -> [3,4] -> [2,3,4]
+    }
+
+    #[test]
+    fn layout_ops_lower_to_layout_prims() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[2, 6]);
+        let t = g.add(OpKind::Transpose { perm: vec![1, 0] }, vec![x.into()]).unwrap();
+        let sp = g
+            .add(OpKind::Split { axis: 0, sizes: vec![2, 4] }, vec![t.into()])
+            .unwrap();
+        g.mark_output(PortRef { node: sp, port: 0 }).unwrap();
+        g.mark_output(PortRef { node: sp, port: 1 }).unwrap();
+        let r = fission(&g).unwrap();
+        let s = PrimStats::of(&r.prim_graph);
+        assert_eq!(s.layout, 2);
+        assert_eq!(
+            r.prim_graph.meta(r.port_map[&PortRef { node: sp, port: 1 }]).shape(),
+            &[4, 2]
+        );
+    }
+
+    #[test]
+    fn conv_with_bias_adds_broadcast_chain() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[1, 3, 8, 8]);
+        let w = g
+            .add(OpKind::Constant { shape: vec![16, 3, 3, 3], init: ConstInit::Random(1) }, vec![])
+            .unwrap();
+        let b = g
+            .add(OpKind::Constant { shape: vec![16], init: ConstInit::Random(2) }, vec![])
+            .unwrap();
+        let c = g
+            .add(
+                OpKind::Conv2d { stride: 1, padding: 1, groups: 1, bias: true },
+                vec![x.into(), w.into(), b.into()],
+            )
+            .unwrap();
+        g.mark_output(c).unwrap();
+        let r = fission(&g).unwrap();
+        let s = PrimStats::of(&r.prim_graph);
+        assert_eq!(s.linear, 1);
+        assert_eq!(s.elementwise, 1); // the bias add
+        assert!(s.reduce_broadcast >= 2, "bias broadcast chain expected: {s:?}");
+    }
+
+    #[test]
+    fn silu_mish_gelu_decompose() {
+        for (op, min_ew) in [(OpKind::Silu, 2), (OpKind::Mish, 4), (OpKind::Gelu, 5)] {
+            let mut g = OpGraph::new();
+            let x = input(&mut g, &[2, 8]);
+            let y = g.add(op.clone(), vec![x.into()]).unwrap();
+            g.mark_output(y).unwrap();
+            let r = fission(&g).unwrap();
+            let s = PrimStats::of(&r.prim_graph);
+            assert!(
+                s.elementwise >= min_ew,
+                "{op:?}: expected at least {min_ew} elementwise prims, got {s:?}"
+            );
+            assert_eq!(s.computational(), s.elementwise); // purely elementwise
+        }
+    }
+
+    #[test]
+    fn pooling_becomes_window_reduce() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[1, 4, 8, 8]);
+        let p = g.add(OpKind::MaxPool(PoolSpec::new(2, 2)), vec![x.into()]).unwrap();
+        g.mark_output(p).unwrap();
+        let r = fission(&g).unwrap();
+        let kinds: Vec<_> = r
+            .prim_graph
+            .nodes()
+            .iter()
+            .map(|n| n.kind.category())
+            .collect();
+        assert!(kinds.contains(&PrimCategory::ReduceBroadcast));
+    }
+
+    #[test]
+    fn identity_is_transparent() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[4]);
+        let id = g.add(OpKind::Identity, vec![x.into()]).unwrap();
+        let rl = g.add(OpKind::Unary(UnaryOp::Relu), vec![id.into()]).unwrap();
+        g.mark_output(rl).unwrap();
+        let r = fission(&g).unwrap();
+        assert_eq!(r.prim_graph.len(), 2); // input + relu only
+    }
+
+    #[test]
+    fn custom_without_rule_is_opaque() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[10]);
+        let c = g
+            .add(
+                OpKind::Custom { name: "topk".into(), out_shapes: vec![vec![3]] },
+                vec![x.into()],
+            )
+            .unwrap();
+        g.mark_output(c).unwrap();
+        let r = fission(&g).unwrap();
+        let s = PrimStats::of(&r.prim_graph);
+        assert_eq!(s.opaque, 1);
+    }
+
+    #[test]
+    fn custom_with_registered_rule() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[10]);
+        let c = g
+            .add(
+                OpKind::Custom { name: "double".into(), out_shapes: vec![vec![10]] },
+                vec![x.into()],
+            )
+            .unwrap();
+        g.mark_output(c).unwrap();
+        let mut engine = FissionEngine::new();
+        engine.register_custom(
+            "double",
+            Box::new(|pg, inputs| {
+                let id = pg.add(
+                    PrimKind::Elementwise(korch_ir::EwFn::BinaryScalar(
+                        korch_tensor::BinaryOp::Mul,
+                        2.0,
+                    )),
+                    inputs.to_vec(),
+                )?;
+                Ok(vec![id.into()])
+            }),
+        );
+        let r = engine.fission(&g).unwrap();
+        let s = PrimStats::of(&r.prim_graph);
+        assert_eq!(s.opaque, 0);
+        assert_eq!(s.elementwise, 1);
+    }
+
+    #[test]
+    fn reduce_keep_dim_adds_reshape() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[2, 5, 3]);
+        let rkd = g
+            .add(OpKind::Reduce { kind: ReduceKind::Mean, axis: 1, keep_dim: true }, vec![x.into()])
+            .unwrap();
+        g.mark_output(rkd).unwrap();
+        let r = fission(&g).unwrap();
+        assert_eq!(r.prim_graph.meta(r.port_map[&PortRef::from(rkd)]).shape(), &[2, 1, 3]);
+        let s = PrimStats::of(&r.prim_graph);
+        assert_eq!(s.layout, 1); // the keep-dim reshape
+    }
+
+    #[test]
+    fn origins_group_prims_by_operator() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[4, 16]);
+        let sm = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()]).unwrap();
+        let rl = g.add(OpKind::Unary(UnaryOp::Relu), vec![sm.into()]).unwrap();
+        g.mark_output(rl).unwrap();
+        let r = fission(&g).unwrap();
+        assert_eq!(r.origins.len(), r.prim_graph.len());
+        // 1 input prim from op 0, 4 softmax prims from op 1, 1 relu from op 2
+        let count = |op: usize| r.origins.iter().filter(|o| o.0 == op).count();
+        assert_eq!(count(0), 1);
+        assert_eq!(count(1), 4);
+        assert_eq!(count(2), 1);
+    }
+
+    #[test]
+    fn batch_norm_is_scale_shift_chain() {
+        let mut g = OpGraph::new();
+        let x = input(&mut g, &[2, 4, 3, 3]);
+        let mk = |g: &mut OpGraph, init| {
+            g.add(OpKind::Constant { shape: vec![4], init }, vec![]).unwrap()
+        };
+        let gamma = mk(&mut g, ConstInit::Ones);
+        let beta = mk(&mut g, ConstInit::Zeros);
+        let mean = mk(&mut g, ConstInit::Fill(0.5));
+        let var = mk(&mut g, ConstInit::Ones);
+        let bn = g
+            .add(
+                OpKind::BatchNorm { eps: 1e-5 },
+                vec![x.into(), gamma.into(), beta.into(), mean.into(), var.into()],
+            )
+            .unwrap();
+        g.mark_output(bn).unwrap();
+        let r = fission(&g).unwrap();
+        let s = PrimStats::of(&r.prim_graph);
+        assert!(s.elementwise >= 4, "sub/div/mul/add expected, got {s:?}");
+        assert_eq!(s.linear, 0);
+    }
+}

@@ -1,0 +1,409 @@
+//! Built-in fission rules: one per [`OpKind`] (paper §3, Table 1, Fig. 3).
+
+use crate::broadcast::{broadcast_at_axis, broadcast_chain};
+use korch_ir::{EwFn, IrError, LayoutFn, LinearFn, OpKind, PortRef, PrimGraph, PrimKind};
+use korch_tensor::{BinaryOp, MatMulSpec, ReduceKind, UnaryOp};
+
+/// Appends an elementwise primitive.
+fn ew(pg: &mut PrimGraph, f: EwFn, inputs: Vec<PortRef>) -> Result<PortRef, IrError> {
+    Ok(pg.add(PrimKind::Elementwise(f), inputs)?.into())
+}
+
+fn unary(pg: &mut PrimGraph, op: UnaryOp, x: PortRef) -> Result<PortRef, IrError> {
+    ew(pg, EwFn::Unary(op), vec![x])
+}
+
+fn bin(pg: &mut PrimGraph, op: BinaryOp, a: PortRef, b: PortRef) -> Result<PortRef, IrError> {
+    ew(pg, EwFn::Binary(op), vec![a, b])
+}
+
+fn bin_scalar(pg: &mut PrimGraph, op: BinaryOp, x: PortRef, c: f32) -> Result<PortRef, IrError> {
+    ew(pg, EwFn::BinaryScalar(op, c), vec![x])
+}
+
+/// Lowers a binary op with NumPy broadcasting into broadcast chains plus one
+/// same-shape elementwise primitive.
+fn broadcasting_binary(
+    pg: &mut PrimGraph,
+    op: BinaryOp,
+    a: PortRef,
+    b: PortRef,
+) -> Result<PortRef, IrError> {
+    let sa = pg.meta(a).shape().to_vec();
+    let sb = pg.meta(b).shape().to_vec();
+    let target = korch_ir::broadcast_shapes(&sa, &sb)
+        .ok_or_else(|| IrError::Invalid(format!("cannot broadcast {sa:?} with {sb:?}")))?;
+    let ba = broadcast_chain(pg, a, &sa, &target)?;
+    let bb = broadcast_chain(pg, b, &sb, &target)?;
+    bin(pg, op, ba, bb)
+}
+
+/// Normalizes `x` (already reshaped so the statistics axis is last) and
+/// returns the normalized tensor: `(x - mean) / sqrt(var + eps)`.
+/// Statistics are computed along `axis`.
+fn normalize_along(
+    pg: &mut PrimGraph,
+    x: PortRef,
+    axis: usize,
+    eps: f32,
+) -> Result<PortRef, IrError> {
+    let size = pg.meta(x).shape()[axis];
+    let mean = pg.add(PrimKind::Reduce { kind: ReduceKind::Mean, axis }, vec![x])?;
+    let mean_b = pg.add(PrimKind::Broadcast { axis, size }, vec![mean.into()])?;
+    let centered = bin(pg, BinaryOp::Sub, x, mean_b.into())?;
+    let sq = unary(pg, UnaryOp::Square, centered)?;
+    let var = pg.add(PrimKind::Reduce { kind: ReduceKind::Mean, axis }, vec![sq])?;
+    let var_eps = bin_scalar(pg, BinaryOp::Add, var.into(), eps)?;
+    let std = unary(pg, UnaryOp::Sqrt, var_eps)?;
+    let std_b = pg.add(PrimKind::Broadcast { axis, size }, vec![std])?;
+    bin(pg, BinaryOp::Div, centered, std_b.into())
+}
+
+/// Built-in lowering of one operator. `inputs` are ports in the primitive
+/// graph; shapes are read back from `pg`.
+pub(crate) fn builtin(
+    pg: &mut PrimGraph,
+    kind: &OpKind,
+    inputs: &[PortRef],
+) -> Result<Vec<PortRef>, IrError> {
+    let one = |p: PortRef| Ok(vec![p]);
+    match kind {
+        OpKind::Input { shape } => {
+            one(pg.add(PrimKind::Input { shape: shape.clone() }, vec![])?.into())
+        }
+        OpKind::Constant { shape, init } => one(
+            pg.add(PrimKind::Constant { shape: shape.clone(), init: init.clone() }, vec![])?
+                .into(),
+        ),
+        OpKind::Unary(u) => one(unary(pg, *u, inputs[0])?),
+        OpKind::AddScalar(c) => one(bin_scalar(pg, BinaryOp::Add, inputs[0], *c)?),
+        OpKind::MulScalar(c) => one(bin_scalar(pg, BinaryOp::Mul, inputs[0], *c)?),
+        OpKind::Silu => {
+            // x * sigmoid(x)
+            let s = unary(pg, UnaryOp::Sigmoid, inputs[0])?;
+            one(bin(pg, BinaryOp::Mul, inputs[0], s)?)
+        }
+        OpKind::Softplus => {
+            // ln(1 + e^x)
+            let e = unary(pg, UnaryOp::Exp, inputs[0])?;
+            let p1 = bin_scalar(pg, BinaryOp::Add, e, 1.0)?;
+            one(unary(pg, UnaryOp::Ln, p1)?)
+        }
+        OpKind::Mish => {
+            // x * tanh(softplus(x))
+            let e = unary(pg, UnaryOp::Exp, inputs[0])?;
+            let p1 = bin_scalar(pg, BinaryOp::Add, e, 1.0)?;
+            let sp = unary(pg, UnaryOp::Ln, p1)?;
+            let t = unary(pg, UnaryOp::Tanh, sp)?;
+            one(bin(pg, BinaryOp::Mul, inputs[0], t)?)
+        }
+        OpKind::Gelu => {
+            // 0.5 * x * (1 + erf(x / sqrt(2)))
+            let scaled = bin_scalar(pg, BinaryOp::Mul, inputs[0], std::f32::consts::FRAC_1_SQRT_2)?;
+            let e = unary(pg, UnaryOp::Erf, scaled)?;
+            let p1 = bin_scalar(pg, BinaryOp::Add, e, 1.0)?;
+            let xe = bin(pg, BinaryOp::Mul, inputs[0], p1)?;
+            one(bin_scalar(pg, BinaryOp::Mul, xe, 0.5)?)
+        }
+        OpKind::GeluTanh => {
+            // 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3)))
+            let sq = unary(pg, UnaryOp::Square, inputs[0])?;
+            let cube = bin(pg, BinaryOp::Mul, sq, inputs[0])?;
+            let c = bin_scalar(pg, BinaryOp::Mul, cube, 0.044715)?;
+            let inner = bin(pg, BinaryOp::Add, inputs[0], c)?;
+            let scaled =
+                bin_scalar(pg, BinaryOp::Mul, inner, (2.0 / std::f32::consts::PI).sqrt())?;
+            let t = unary(pg, UnaryOp::Tanh, scaled)?;
+            let p1 = bin_scalar(pg, BinaryOp::Add, t, 1.0)?;
+            let xp = bin(pg, BinaryOp::Mul, inputs[0], p1)?;
+            one(bin_scalar(pg, BinaryOp::Mul, xp, 0.5)?)
+        }
+        OpKind::Elu { alpha } => {
+            // relu(x) + alpha (e^{min(x,0)} - 1): the exponential term is 0
+            // exactly where relu(x) is active.
+            let pos = unary(pg, UnaryOp::Relu, inputs[0])?;
+            let neg = bin_scalar(pg, BinaryOp::Min, inputs[0], 0.0)?;
+            let e = unary(pg, UnaryOp::Exp, neg)?;
+            let em1 = bin_scalar(pg, BinaryOp::Add, e, -1.0)?;
+            let scaled = bin_scalar(pg, BinaryOp::Mul, em1, *alpha)?;
+            one(bin(pg, BinaryOp::Add, pos, scaled)?)
+        }
+        OpKind::PRelu => {
+            // relu(x) + slope * min(x, 0), slope broadcast to x's shape.
+            let pos = unary(pg, UnaryOp::Relu, inputs[0])?;
+            let neg = bin_scalar(pg, BinaryOp::Min, inputs[0], 0.0)?;
+            let scaled = broadcasting_binary(pg, BinaryOp::Mul, inputs[1], neg)?;
+            one(bin(pg, BinaryOp::Add, pos, scaled)?)
+        }
+        OpKind::Clip { min, max } => {
+            let lo = bin_scalar(pg, BinaryOp::Max, inputs[0], *min)?;
+            one(bin_scalar(pg, BinaryOp::Min, lo, *max)?)
+        }
+        OpKind::HardSigmoid => {
+            // clamp(x/6 + 1/2, 0, 1)
+            let scaled = bin_scalar(pg, BinaryOp::Mul, inputs[0], 1.0 / 6.0)?;
+            let shifted = bin_scalar(pg, BinaryOp::Add, scaled, 0.5)?;
+            let lo = bin_scalar(pg, BinaryOp::Max, shifted, 0.0)?;
+            one(bin_scalar(pg, BinaryOp::Min, lo, 1.0)?)
+        }
+        OpKind::HardSwish => {
+            let scaled = bin_scalar(pg, BinaryOp::Mul, inputs[0], 1.0 / 6.0)?;
+            let shifted = bin_scalar(pg, BinaryOp::Add, scaled, 0.5)?;
+            let lo = bin_scalar(pg, BinaryOp::Max, shifted, 0.0)?;
+            let hs = bin_scalar(pg, BinaryOp::Min, lo, 1.0)?;
+            one(bin(pg, BinaryOp::Mul, inputs[0], hs)?)
+        }
+        OpKind::GlobalAvgPool => {
+            let shape = pg.meta(inputs[0]).shape().to_vec();
+            let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+            let flat = pg.add(
+                PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, c, h * w] }),
+                vec![inputs[0]],
+            )?;
+            let mean = pg.add(
+                PrimKind::Reduce { kind: ReduceKind::Mean, axis: 2 },
+                vec![flat.into()],
+            )?;
+            one(pg
+                .add(
+                    PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, c, 1, 1] }),
+                    vec![mean.into()],
+                )?
+                .into())
+        }
+        OpKind::Squeeze { axis } => {
+            let mut shape = pg.meta(inputs[0]).shape().to_vec();
+            shape.remove(*axis);
+            one(pg
+                .add(PrimKind::Layout(LayoutFn::Reshape { shape }), vec![inputs[0]])?
+                .into())
+        }
+        OpKind::Unsqueeze { axis } => {
+            let mut shape = pg.meta(inputs[0]).shape().to_vec();
+            shape.insert(*axis, 1);
+            one(pg
+                .add(PrimKind::Layout(LayoutFn::Reshape { shape }), vec![inputs[0]])?
+                .into())
+        }
+        OpKind::Add => one(broadcasting_binary(pg, BinaryOp::Add, inputs[0], inputs[1])?),
+        OpKind::Sub => one(broadcasting_binary(pg, BinaryOp::Sub, inputs[0], inputs[1])?),
+        OpKind::Mul => one(broadcasting_binary(pg, BinaryOp::Mul, inputs[0], inputs[1])?),
+        OpKind::Div => one(broadcasting_binary(pg, BinaryOp::Div, inputs[0], inputs[1])?),
+        OpKind::Softmax { axis } => {
+            // Fig 3: Exp -> Reduce(Sum) -> Broadcast -> Div
+            let size = pg.meta(inputs[0]).shape()[*axis];
+            let e = unary(pg, UnaryOp::Exp, inputs[0])?;
+            let s = pg.add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: *axis }, vec![e])?;
+            let b = pg.add(PrimKind::Broadcast { axis: *axis, size }, vec![s.into()])?;
+            one(bin(pg, BinaryOp::Div, e, b.into())?)
+        }
+        OpKind::LogSoftmax { axis } => {
+            // x - broadcast(ln(sum(e^x))): same skeleton as Fig 3 with the
+            // division replaced by a log-domain subtraction.
+            let size = pg.meta(inputs[0]).shape()[*axis];
+            let e = unary(pg, UnaryOp::Exp, inputs[0])?;
+            let s = pg.add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: *axis }, vec![e])?;
+            let l = unary(pg, UnaryOp::Ln, s.into())?;
+            let b = pg.add(PrimKind::Broadcast { axis: *axis, size }, vec![l])?;
+            one(bin(pg, BinaryOp::Sub, inputs[0], b.into())?)
+        }
+        OpKind::InstanceNorm { eps } => {
+            // Fig 12b: statistics over the flattened spatial dims, then
+            // per-channel affine. x:[N,C,H,W], scale/bias:[C].
+            let shape = pg.meta(inputs[0]).shape().to_vec();
+            let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+            let flat = pg.add(
+                PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, c, h * w] }),
+                vec![inputs[0]],
+            )?;
+            let normed = normalize_along(pg, flat.into(), 2, *eps)?;
+            let scale_b = broadcast_at_axis(pg, inputs[1], c, &[n, c, h * w], 1)?;
+            let scaled = bin(pg, BinaryOp::Mul, normed, scale_b)?;
+            let bias_b = broadcast_at_axis(pg, inputs[2], c, &[n, c, h * w], 1)?;
+            let shifted = bin(pg, BinaryOp::Add, scaled, bias_b)?;
+            one(pg
+                .add(PrimKind::Layout(LayoutFn::Reshape { shape }), vec![shifted])?
+                .into())
+        }
+        OpKind::LayerNorm { eps } => {
+            let shape = pg.meta(inputs[0]).shape().to_vec();
+            let axis = shape.len() - 1;
+            let d = shape[axis];
+            let normed = normalize_along(pg, inputs[0], axis, *eps)?;
+            let scale_b = broadcast_chain(pg, inputs[1], &[d], &shape)?;
+            let scaled = bin(pg, BinaryOp::Mul, normed, scale_b)?;
+            let bias_b = broadcast_chain(pg, inputs[2], &[d], &shape)?;
+            one(bin(pg, BinaryOp::Add, scaled, bias_b)?)
+        }
+        OpKind::BatchNorm { eps } => {
+            // Inference-mode: (x - mean) / sqrt(var + eps) * gamma + beta,
+            // all statistics are [C] constants broadcast over NCHW.
+            let shape = pg.meta(inputs[0]).shape().to_vec();
+            let c = shape[1];
+            let (gamma, beta, mean, var) = (inputs[1], inputs[2], inputs[3], inputs[4]);
+            let var_eps = bin_scalar(pg, BinaryOp::Add, var, *eps)?;
+            let std = unary(pg, UnaryOp::Sqrt, var_eps)?;
+            let mean_b = broadcast_at_axis(pg, mean, c, &shape, 1)?;
+            let centered = bin(pg, BinaryOp::Sub, inputs[0], mean_b)?;
+            let std_b = broadcast_at_axis(pg, std, c, &shape, 1)?;
+            let normed = bin(pg, BinaryOp::Div, centered, std_b)?;
+            let gamma_b = broadcast_at_axis(pg, gamma, c, &shape, 1)?;
+            let scaled = bin(pg, BinaryOp::Mul, normed, gamma_b)?;
+            let beta_b = broadcast_at_axis(pg, beta, c, &shape, 1)?;
+            one(bin(pg, BinaryOp::Add, scaled, beta_b)?)
+        }
+        OpKind::GroupNorm { groups, eps } => {
+            // Statistics per (sample, group) over the flattened group
+            // extent, then the per-channel affine of InstanceNorm.
+            let shape = pg.meta(inputs[0]).shape().to_vec();
+            let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+            let per = c / groups * h * w;
+            let grouped = pg.add(
+                PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, *groups, per] }),
+                vec![inputs[0]],
+            )?;
+            let normed = normalize_along(pg, grouped.into(), 2, *eps)?;
+            let flat = pg.add(
+                PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, c, h * w] }),
+                vec![normed],
+            )?;
+            let scale_b = broadcast_at_axis(pg, inputs[1], c, &[n, c, h * w], 1)?;
+            let scaled = bin(pg, BinaryOp::Mul, flat.into(), scale_b)?;
+            let bias_b = broadcast_at_axis(pg, inputs[2], c, &[n, c, h * w], 1)?;
+            let shifted = bin(pg, BinaryOp::Add, scaled, bias_b)?;
+            one(pg
+                .add(PrimKind::Layout(LayoutFn::Reshape { shape }), vec![shifted])?
+                .into())
+        }
+        OpKind::RmsNorm { eps } => {
+            // x / sqrt(mean(x^2) + eps) * scale — one reduce, no centering.
+            let shape = pg.meta(inputs[0]).shape().to_vec();
+            let axis = shape.len() - 1;
+            let d = shape[axis];
+            let sq = unary(pg, UnaryOp::Square, inputs[0])?;
+            let ms = pg.add(PrimKind::Reduce { kind: ReduceKind::Mean, axis }, vec![sq])?;
+            let ms_eps = bin_scalar(pg, BinaryOp::Add, ms.into(), *eps)?;
+            let rms = unary(pg, UnaryOp::Sqrt, ms_eps)?;
+            let rms_b = pg.add(PrimKind::Broadcast { axis, size: d }, vec![rms])?;
+            let normed = bin(pg, BinaryOp::Div, inputs[0], rms_b.into())?;
+            let scale_b = broadcast_chain(pg, inputs[1], &[d], &shape)?;
+            one(bin(pg, BinaryOp::Mul, normed, scale_b)?)
+        }
+        OpKind::Reduce { kind, axis, keep_dim } => {
+            let r = pg.add(PrimKind::Reduce { kind: *kind, axis: *axis }, vec![inputs[0]])?;
+            if *keep_dim {
+                let mut shape = pg.meta(PortRef::from(r)).shape().to_vec();
+                shape.insert(*axis, 1);
+                one(pg
+                    .add(PrimKind::Layout(LayoutFn::Reshape { shape }), vec![r.into()])?
+                    .into())
+            } else {
+                one(r.into())
+            }
+        }
+        OpKind::MatMul => one(
+            pg.add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![inputs[0], inputs[1]],
+            )?
+            .into(),
+        ),
+        OpKind::Gemm { alpha, beta, trans_a, trans_b } => {
+            // alpha op(A) op(B) + beta C: the matmul keeps its transpose
+            // flags (so the cost model can price layouts), scaling folds
+            // into scalar elementwise primitives.
+            let mm = pg.add(
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec { trans_a: *trans_a, trans_b: *trans_b },
+                }),
+                vec![inputs[0], inputs[1]],
+            )?;
+            let mut acc = PortRef::from(mm);
+            if *alpha != 1.0 {
+                acc = bin_scalar(pg, BinaryOp::Mul, acc, *alpha)?;
+            }
+            if *beta != 0.0 {
+                let mut c = inputs[2];
+                if *beta != 1.0 {
+                    c = bin_scalar(pg, BinaryOp::Mul, c, *beta)?;
+                }
+                acc = broadcasting_binary(pg, BinaryOp::Add, acc, c)?;
+            }
+            one(acc)
+        }
+        OpKind::Conv2d { stride, padding, groups, bias } => {
+            let conv = pg.add(
+                PrimKind::Linear(LinearFn::Conv2d {
+                    stride: *stride,
+                    padding: *padding,
+                    groups: *groups,
+                }),
+                vec![inputs[0], inputs[1]],
+            )?;
+            if *bias {
+                let out_shape = pg.meta(PortRef::from(conv)).shape().to_vec();
+                let o = out_shape[1];
+                let bias_b = broadcast_at_axis(pg, inputs[2], o, &out_shape, 1)?;
+                one(bin(pg, BinaryOp::Add, conv.into(), bias_b)?)
+            } else {
+                one(conv.into())
+            }
+        }
+        OpKind::MaxPool(spec) => one(
+            pg.add(PrimKind::WindowReduce { spec: *spec, kind: ReduceKind::Max }, vec![inputs[0]])?
+                .into(),
+        ),
+        OpKind::AvgPool(spec) => one(
+            pg.add(
+                PrimKind::WindowReduce { spec: *spec, kind: ReduceKind::Mean },
+                vec![inputs[0]],
+            )?
+            .into(),
+        ),
+        OpKind::Resize { out_h, out_w, mode } => one(
+            pg.add(
+                PrimKind::Layout(LayoutFn::Resize { out_h: *out_h, out_w: *out_w, mode: *mode }),
+                vec![inputs[0]],
+            )?
+            .into(),
+        ),
+        OpKind::Transpose { perm } => one(
+            pg.add(PrimKind::Layout(LayoutFn::Transpose { perm: perm.clone() }), vec![inputs[0]])?
+                .into(),
+        ),
+        OpKind::Reshape { shape } => one(
+            pg.add(PrimKind::Layout(LayoutFn::Reshape { shape: shape.clone() }), vec![inputs[0]])?
+                .into(),
+        ),
+        OpKind::Slice { starts, ends } => one(
+            pg.add(
+                PrimKind::Layout(LayoutFn::Slice { starts: starts.clone(), ends: ends.clone() }),
+                vec![inputs[0]],
+            )?
+            .into(),
+        ),
+        OpKind::Concat { axis } => one(
+            pg.add(PrimKind::Layout(LayoutFn::Concat { axis: *axis }), inputs.to_vec())?.into(),
+        ),
+        OpKind::Split { axis, sizes } => {
+            let id = pg.add(
+                PrimKind::Layout(LayoutFn::Split { axis: *axis, sizes: sizes.clone() }),
+                vec![inputs[0]],
+            )?;
+            Ok((0..sizes.len()).map(|port| PortRef { node: id, port }).collect())
+        }
+        OpKind::Pad { before, after, value } => one(
+            pg.add(
+                PrimKind::Layout(LayoutFn::Pad {
+                    before: before.clone(),
+                    after: after.clone(),
+                    value: *value,
+                }),
+                vec![inputs[0]],
+            )?
+            .into(),
+        ),
+        OpKind::Identity => one(inputs[0]),
+        OpKind::Custom { .. } => unreachable!("custom ops handled by the engine"),
+    }
+}

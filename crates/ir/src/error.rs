@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while constructing or validating graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A node received the wrong number of inputs.
+    Arity {
+        /// Human-readable node kind.
+        kind: String,
+        /// Expected input count (as a description, e.g. "2" or "at least 1").
+        expected: String,
+        /// Actual input count.
+        actual: usize,
+    },
+    /// Shape inference failed for a node.
+    Shape {
+        /// Human-readable node kind.
+        kind: String,
+        /// Detail message.
+        detail: String,
+    },
+    /// A referenced node or port does not exist.
+    DanglingRef {
+        /// The offending node index.
+        node: usize,
+        /// The offending output port.
+        port: usize,
+    },
+    /// The graph violates a structural invariant (free-form detail).
+    Invalid(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::Arity { kind, expected, actual } => {
+                write!(f, "{kind} expects {expected} inputs but received {actual}")
+            }
+            IrError::Shape { kind, detail } => write!(f, "shape inference for {kind} failed: {detail}"),
+            IrError::DanglingRef { node, port } => {
+                write!(f, "reference to nonexistent node {node} port {port}")
+            }
+            IrError::Invalid(msg) => write!(f, "invalid graph: {msg}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+impl From<korch_tensor::TensorError> for IrError {
+    fn from(err: korch_tensor::TensorError) -> Self {
+        IrError::Invalid(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = IrError::Arity { kind: "MatMul".into(), expected: "2".into(), actual: 1 };
+        assert_eq!(e.to_string(), "MatMul expects 2 inputs but received 1");
+        let e = IrError::DanglingRef { node: 3, port: 1 };
+        assert!(e.to_string().contains("node 3"));
+    }
+}

@@ -1,0 +1,90 @@
+//! Tensor metadata flowing along graph edges.
+
+/// Shape (and implicitly `f32` dtype) of a tensor on a graph edge.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TensorMeta {
+    shape: Vec<usize>,
+}
+
+impl TensorMeta {
+    /// Metadata for a tensor of the given shape.
+    pub fn new(shape: Vec<usize>) -> Self {
+        Self { shape }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total element count.
+    pub fn numel(&self) -> usize {
+        self.shape.iter().product()
+    }
+
+    /// Size in bytes when materialized as `f32` in device memory.
+    pub fn byte_size(&self) -> usize {
+        self.numel() * 4
+    }
+}
+
+impl From<Vec<usize>> for TensorMeta {
+    fn from(shape: Vec<usize>) -> Self {
+        Self::new(shape)
+    }
+}
+
+/// NumPy-style broadcast of two shapes (align trailing dims; 1 stretches).
+/// Returns `None` if incompatible.
+pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
+    let rank = a.len().max(b.len());
+    let mut out = vec![0usize; rank];
+    for d in 0..rank {
+        let av = if d < rank - a.len() { 1 } else { a[d - (rank - a.len())] };
+        let bv = if d < rank - b.len() { 1 } else { b[d - (rank - b.len())] };
+        out[d] = if av == bv {
+            av
+        } else if av == 1 {
+            bv
+        } else if bv == 1 {
+            av
+        } else {
+            return None;
+        };
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meta_accessors() {
+        let m = TensorMeta::new(vec![2, 3, 4]);
+        assert_eq!(m.rank(), 3);
+        assert_eq!(m.numel(), 24);
+        assert_eq!(m.byte_size(), 96);
+    }
+
+    #[test]
+    fn scalar_meta() {
+        let m = TensorMeta::new(vec![]);
+        assert_eq!(m.numel(), 1);
+        assert_eq!(m.rank(), 0);
+    }
+
+    #[test]
+    fn broadcast_rules() {
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[2, 1], &[2, 5]), Some(vec![2, 5]));
+        assert_eq!(broadcast_shapes(&[3], &[2, 3]), Some(vec![2, 3]));
+        assert_eq!(broadcast_shapes(&[], &[4]), Some(vec![4]));
+        assert_eq!(broadcast_shapes(&[2, 3], &[2, 4]), None);
+    }
+}

@@ -1,0 +1,1333 @@
+//! Plain-text graph interchange: the reproduction's substitute for the
+//! paper's ONNX import/export (§5.1 represents every graph in the ONNX
+//! format; this module provides an equivalent round-trippable encoding so
+//! graphs can be saved, diffed and fed between pipeline stages as files).
+//!
+//! The format is line-oriented:
+//!
+//! ```text
+//! korch ops v1
+//! %0 = Input shape=[4,16]
+//! %1 = Softmax axis=1 (%0)
+//! output %1
+//! ```
+//!
+//! Each node line is `%id = Kind attr=value ... (%in, %in:port, ...)`;
+//! `output` lines list the graph outputs in order. Node ids must be the
+//! line's position (graphs are append-only, so ids are dense and
+//! topologically ordered). Comments start with `#`.
+//!
+//! ```
+//! use korch_ir::{OpGraph, OpKind};
+//! use korch_ir::text::{op_to_text, op_from_text};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = OpGraph::new();
+//! let x = g.add(OpKind::Input { shape: vec![4, 16] }, vec![])?;
+//! let s = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()])?;
+//! g.mark_output(s)?;
+//! let text = op_to_text(&g);
+//! let back = op_from_text(&text)?;
+//! assert_eq!(back.fingerprint(), g.fingerprint());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::IrError;
+use crate::graph::{Graph, NodeKind, PortRef};
+use crate::op::{OpGraph, OpKind};
+use crate::prim::{ConstInit, EwFn, LayoutFn, LinearFn, PrimGraph, PrimKind};
+use korch_tensor::{BinaryOp, MatMulSpec, PoolSpec, ReduceKind, ResizeMode, UnaryOp};
+use std::error::Error;
+use std::fmt::{self, Write as _};
+
+/// Error produced while parsing a textual graph.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextError {
+    /// A line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        msg: String,
+    },
+    /// The parsed structure violates graph invariants (bad shapes, dangling
+    /// references).
+    Graph(String),
+}
+
+impl fmt::Display for TextError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TextError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+            TextError::Graph(msg) => write!(f, "invalid graph: {msg}"),
+        }
+    }
+}
+
+impl Error for TextError {}
+
+impl From<IrError> for TextError {
+    fn from(e: IrError) -> Self {
+        TextError::Graph(e.to_string())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Values: the attribute grammar shared by both IRs.
+// ---------------------------------------------------------------------------
+
+/// A parsed attribute value.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    /// Bare identifier (`sum`, `true`, `nearest`).
+    Ident(String),
+    /// Quoted string (`"topk"`).
+    Str(String),
+    /// Numeric literal, kept as text for exact f32 round-trips.
+    Num(String),
+    /// Bracketed list (`[1,2,3]`, `[[1],[2]]`).
+    List(Vec<Value>),
+    /// Call-shaped value (`random(7)`, `binary_scalar(add,0.5)`).
+    Call(String, Vec<Value>),
+}
+
+impl Value {
+    fn as_usize(&self) -> Option<usize> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_f32(&self) -> Option<f32> {
+        match self {
+            Value::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Ident(s) if s == "true" => Some(true),
+            Value::Ident(s) if s == "false" => Some(false),
+            _ => None,
+        }
+    }
+
+    fn as_ident(&self) -> Option<&str> {
+        match self {
+            Value::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_usize_list(&self) -> Option<Vec<usize>> {
+        match self {
+            Value::List(items) => items.iter().map(Value::as_usize).collect(),
+            _ => None,
+        }
+    }
+
+    fn as_shape_list(&self) -> Option<Vec<Vec<usize>>> {
+        match self {
+            Value::List(items) => items.iter().map(Value::as_usize_list).collect(),
+            _ => None,
+        }
+    }
+}
+
+fn fmt_usizes(v: &[usize]) -> String {
+    let inner: Vec<String> = v.iter().map(ToString::to_string).collect();
+    format!("[{}]", inner.join(","))
+}
+
+fn fmt_shapes(v: &[Vec<usize>]) -> String {
+    let inner: Vec<String> = v.iter().map(|s| fmt_usizes(s)).collect();
+    format!("[{}]", inner.join(","))
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Ident(String),
+    Num(String),
+    Str(String),
+    Punct(char),
+}
+
+fn tokenize(line: &str, line_no: usize) -> Result<Vec<Token>, TextError> {
+    let err = |msg: String| TextError::Parse { line: line_no, msg };
+    let mut tokens = Vec::new();
+    let mut chars = line.chars().peekable();
+    while let Some(&c) = chars.peek() {
+        match c {
+            '#' => break, // comment
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            '"' => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => break,
+                        Some(ch) => s.push(ch),
+                        None => return Err(err("unterminated string".into())),
+                    }
+                }
+                tokens.push(Token::Str(s));
+            }
+            '%' | '=' | '(' | ')' | '[' | ']' | ',' | ':' => {
+                chars.next();
+                tokens.push(Token::Punct(c));
+            }
+            c if c.is_ascii_digit() || c == '-' || c == '+' || c == '.' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit()
+                        || d == '.'
+                        || d == '-'
+                        || d == '+'
+                        || d == 'e'
+                        || d == 'E'
+                    {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Num(s));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' {
+                        s.push(d);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token::Ident(s));
+            }
+            other => return Err(err(format!("unexpected character {other:?}"))),
+        }
+    }
+    Ok(tokens)
+}
+
+/// Cursor over a token list.
+struct Cursor<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+    line: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn err(&self, msg: impl Into<String>) -> TextError {
+        TextError::Parse { line: self.line, msg: msg.into() }
+    }
+
+    fn peek(&self) -> Option<&'a Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&'a Token> {
+        let t = self.tokens.get(self.pos);
+        self.pos += 1;
+        t
+    }
+
+    fn expect_punct(&mut self, c: char) -> Result<(), TextError> {
+        match self.next() {
+            Some(Token::Punct(p)) if *p == c => Ok(()),
+            other => Err(self.err(format!("expected {c:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<&'a str, TextError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Parses one attribute value.
+    fn value(&mut self) -> Result<Value, TextError> {
+        match self.next() {
+            Some(Token::Num(s)) => Ok(Value::Num(s.clone())),
+            Some(Token::Str(s)) => Ok(Value::Str(s.clone())),
+            Some(Token::Ident(s)) => {
+                // `ident(` is a call — unless the parenthesis opens the
+                // node's input list, which always starts with `%` (values
+                // never contain port references).
+                let opens_call = matches!(self.peek(), Some(Token::Punct('(')))
+                    && !matches!(self.tokens.get(self.pos + 1), Some(Token::Punct('%')));
+                if opens_call {
+                    self.next();
+                    let mut args = Vec::new();
+                    loop {
+                        if let Some(Token::Punct(')')) = self.peek() {
+                            self.next();
+                            break;
+                        }
+                        args.push(self.value()?);
+                        if let Some(Token::Punct(',')) = self.peek() {
+                            self.next();
+                        }
+                    }
+                    Ok(Value::Call(s.clone(), args))
+                } else {
+                    Ok(Value::Ident(s.clone()))
+                }
+            }
+            Some(Token::Punct('[')) => {
+                let mut items = Vec::new();
+                loop {
+                    if let Some(Token::Punct(']')) = self.peek() {
+                        self.next();
+                        break;
+                    }
+                    items.push(self.value()?);
+                    if let Some(Token::Punct(',')) = self.peek() {
+                        self.next();
+                    }
+                }
+                Ok(Value::List(items))
+            }
+            other => Err(self.err(format!("expected value, found {other:?}"))),
+        }
+    }
+}
+
+/// One parsed node line.
+struct NodeLine {
+    id: usize,
+    kind_name: String,
+    attrs: Vec<(String, Value)>,
+    inputs: Vec<PortRef>,
+}
+
+enum Line {
+    Node(NodeLine),
+    Output(PortRef),
+}
+
+fn parse_port(cur: &mut Cursor<'_>) -> Result<PortRef, TextError> {
+    cur.expect_punct('%')?;
+    let id = match cur.next() {
+        Some(Token::Num(s)) => s
+            .parse::<usize>()
+            .map_err(|_| cur.err(format!("bad node id {s:?}")))?,
+        other => return Err(cur.err(format!("expected node id, found {other:?}"))),
+    };
+    let mut port = 0;
+    if let Some(Token::Punct(':')) = cur.peek() {
+        cur.next();
+        port = match cur.next() {
+            Some(Token::Num(s)) => s
+                .parse::<usize>()
+                .map_err(|_| cur.err(format!("bad port {s:?}")))?,
+            other => return Err(cur.err(format!("expected port, found {other:?}"))),
+        };
+    }
+    Ok(PortRef { node: crate::graph::NodeId(id), port })
+}
+
+fn parse_line(tokens: &[Token], line_no: usize) -> Result<Line, TextError> {
+    let mut cur = Cursor { tokens, pos: 0, line: line_no };
+    if let Some(Token::Ident(s)) = cur.peek() {
+        if s == "output" {
+            cur.next();
+            let port = parse_port(&mut cur)?;
+            if !cur.at_end() {
+                return Err(cur.err("trailing tokens after output"));
+            }
+            return Ok(Line::Output(port));
+        }
+    }
+    let port = parse_port(&mut cur)?;
+    if port.port != 0 {
+        return Err(cur.err("node definitions may not carry a port"));
+    }
+    cur.expect_punct('=')?;
+    let kind_name = cur.expect_ident()?.to_string();
+    let mut attrs = Vec::new();
+    let mut inputs = Vec::new();
+    while !cur.at_end() {
+        match cur.peek() {
+            Some(Token::Punct('(')) => {
+                cur.next();
+                loop {
+                    if let Some(Token::Punct(')')) = cur.peek() {
+                        cur.next();
+                        break;
+                    }
+                    inputs.push(parse_port(&mut cur)?);
+                    if let Some(Token::Punct(',')) = cur.peek() {
+                        cur.next();
+                    }
+                }
+                if !cur.at_end() {
+                    return Err(cur.err("trailing tokens after input list"));
+                }
+            }
+            Some(Token::Ident(_)) => {
+                let key = cur.expect_ident()?.to_string();
+                cur.expect_punct('=')?;
+                let value = cur.value()?;
+                attrs.push((key, value));
+            }
+            other => return Err(cur.err(format!("unexpected token {other:?}"))),
+        }
+    }
+    Ok(Line::Node(NodeLine { id: port.node.0, kind_name, attrs, inputs }))
+}
+
+// ---------------------------------------------------------------------------
+// Shared fragments
+// ---------------------------------------------------------------------------
+
+fn init_to_value(init: &ConstInit) -> String {
+    match init {
+        ConstInit::Zeros => "zeros".into(),
+        ConstInit::Ones => "ones".into(),
+        ConstInit::Fill(v) => format!("fill({v})"),
+        ConstInit::Random(s) => format!("random({s})"),
+    }
+}
+
+fn init_from_value(v: &Value) -> Option<ConstInit> {
+    match v {
+        Value::Ident(s) if s == "zeros" => Some(ConstInit::Zeros),
+        Value::Ident(s) if s == "ones" => Some(ConstInit::Ones),
+        Value::Call(name, args) if name == "fill" && args.len() == 1 => {
+            Some(ConstInit::Fill(args[0].as_f32()?))
+        }
+        Value::Call(name, args) if name == "random" && args.len() == 1 => {
+            Some(ConstInit::Random(args[0].as_usize()? as u64))
+        }
+        _ => None,
+    }
+}
+
+fn unary_from_name(name: &str) -> Option<UnaryOp> {
+    const ALL: [UnaryOp; 12] = [
+        UnaryOp::Exp,
+        UnaryOp::Ln,
+        UnaryOp::Relu,
+        UnaryOp::LeakyRelu,
+        UnaryOp::Sqrt,
+        UnaryOp::Erf,
+        UnaryOp::Neg,
+        UnaryOp::Recip,
+        UnaryOp::Tanh,
+        UnaryOp::Sigmoid,
+        UnaryOp::Abs,
+        UnaryOp::Square,
+    ];
+    ALL.into_iter().find(|u| u.name() == name)
+}
+
+fn binary_from_name(name: &str) -> Option<BinaryOp> {
+    const ALL: [BinaryOp; 7] = [
+        BinaryOp::Add,
+        BinaryOp::Sub,
+        BinaryOp::Mul,
+        BinaryOp::Div,
+        BinaryOp::Max,
+        BinaryOp::Min,
+        BinaryOp::Pow,
+    ];
+    ALL.into_iter().find(|b| b.name() == name)
+}
+
+fn reduce_from_name(name: &str) -> Option<ReduceKind> {
+    const ALL: [ReduceKind; 4] =
+        [ReduceKind::Sum, ReduceKind::Mean, ReduceKind::Max, ReduceKind::Min];
+    ALL.into_iter().find(|r| r.name() == name)
+}
+
+fn resize_from_name(name: &str) -> Option<ResizeMode> {
+    [ResizeMode::Nearest, ResizeMode::Bilinear]
+        .into_iter()
+        .find(|m| m.name() == name)
+}
+
+/// Looks up attributes by key, erroring on unknown or missing keys.
+struct Attrs<'a> {
+    line: usize,
+    kind: &'a str,
+    attrs: &'a [(String, Value)],
+}
+
+impl<'a> Attrs<'a> {
+    fn get(&self, key: &str) -> Result<&'a Value, TextError> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| TextError::Parse {
+                line: self.line,
+                msg: format!("{} is missing attribute {key}", self.kind),
+            })
+    }
+
+    fn bad(&self, key: &str) -> TextError {
+        TextError::Parse {
+            line: self.line,
+            msg: format!("{}: malformed attribute {key}", self.kind),
+        }
+    }
+
+    fn usize(&self, key: &str) -> Result<usize, TextError> {
+        self.get(key)?.as_usize().ok_or_else(|| self.bad(key))
+    }
+
+    fn f32(&self, key: &str) -> Result<f32, TextError> {
+        self.get(key)?.as_f32().ok_or_else(|| self.bad(key))
+    }
+
+    fn bool(&self, key: &str) -> Result<bool, TextError> {
+        self.get(key)?.as_bool().ok_or_else(|| self.bad(key))
+    }
+
+    fn usizes(&self, key: &str) -> Result<Vec<usize>, TextError> {
+        self.get(key)?.as_usize_list().ok_or_else(|| self.bad(key))
+    }
+
+    fn shapes(&self, key: &str) -> Result<Vec<Vec<usize>>, TextError> {
+        self.get(key)?.as_shape_list().ok_or_else(|| self.bad(key))
+    }
+
+    fn ident(&self, key: &str) -> Result<&'a str, TextError> {
+        self.get(key)?.as_ident().ok_or_else(|| self.bad(key))
+    }
+
+    fn string(&self, key: &str) -> Result<String, TextError> {
+        match self.get(key)? {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(self.bad(key)),
+        }
+    }
+
+    fn reduce(&self, key: &str) -> Result<ReduceKind, TextError> {
+        reduce_from_name(self.ident(key)?).ok_or_else(|| self.bad(key))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Operator graphs
+// ---------------------------------------------------------------------------
+
+fn op_kind_attrs(kind: &OpKind) -> (String, String) {
+    match kind {
+        OpKind::Input { shape } => ("Input".into(), format!("shape={}", fmt_usizes(shape))),
+        OpKind::Constant { shape, init } => (
+            "Constant".into(),
+            format!("shape={} init={}", fmt_usizes(shape), init_to_value(init)),
+        ),
+        OpKind::Unary(u) => ("Unary".into(), format!("op={}", u.name())),
+        OpKind::Silu => ("Silu".into(), String::new()),
+        OpKind::Mish => ("Mish".into(), String::new()),
+        OpKind::Gelu => ("Gelu".into(), String::new()),
+        OpKind::GeluTanh => ("GeluTanh".into(), String::new()),
+        OpKind::Elu { alpha } => ("Elu".into(), format!("alpha={alpha}")),
+        OpKind::PRelu => ("PRelu".into(), String::new()),
+        OpKind::Softplus => ("Softplus".into(), String::new()),
+        OpKind::Clip { min, max } => ("Clip".into(), format!("min={min} max={max}")),
+        OpKind::HardSigmoid => ("HardSigmoid".into(), String::new()),
+        OpKind::HardSwish => ("HardSwish".into(), String::new()),
+        OpKind::Add => ("Add".into(), String::new()),
+        OpKind::Sub => ("Sub".into(), String::new()),
+        OpKind::Mul => ("Mul".into(), String::new()),
+        OpKind::Div => ("Div".into(), String::new()),
+        OpKind::AddScalar(c) => ("AddScalar".into(), format!("c={c}")),
+        OpKind::MulScalar(c) => ("MulScalar".into(), format!("c={c}")),
+        OpKind::Softmax { axis } => ("Softmax".into(), format!("axis={axis}")),
+        OpKind::InstanceNorm { eps } => ("InstanceNorm".into(), format!("eps={eps}")),
+        OpKind::LayerNorm { eps } => ("LayerNorm".into(), format!("eps={eps}")),
+        OpKind::BatchNorm { eps } => ("BatchNorm".into(), format!("eps={eps}")),
+        OpKind::GroupNorm { groups, eps } => {
+            ("GroupNorm".into(), format!("groups={groups} eps={eps}"))
+        }
+        OpKind::RmsNorm { eps } => ("RmsNorm".into(), format!("eps={eps}")),
+        OpKind::LogSoftmax { axis } => ("LogSoftmax".into(), format!("axis={axis}")),
+        OpKind::Reduce { kind, axis, keep_dim } => (
+            "Reduce".into(),
+            format!("kind={} axis={axis} keep_dim={keep_dim}", kind.name()),
+        ),
+        OpKind::MatMul => ("MatMul".into(), String::new()),
+        OpKind::Gemm { alpha, beta, trans_a, trans_b } => (
+            "Gemm".into(),
+            format!("alpha={alpha} beta={beta} trans_a={trans_a} trans_b={trans_b}"),
+        ),
+        OpKind::Conv2d { stride, padding, groups, bias } => (
+            "Conv2d".into(),
+            format!("stride={stride} padding={padding} groups={groups} bias={bias}"),
+        ),
+        OpKind::MaxPool(s) => (
+            "MaxPool".into(),
+            format!("kernel={} stride={} padding={}", s.kernel, s.stride, s.padding),
+        ),
+        OpKind::AvgPool(s) => (
+            "AvgPool".into(),
+            format!("kernel={} stride={} padding={}", s.kernel, s.stride, s.padding),
+        ),
+        OpKind::GlobalAvgPool => ("GlobalAvgPool".into(), String::new()),
+        OpKind::Resize { out_h, out_w, mode } => (
+            "Resize".into(),
+            format!("out_h={out_h} out_w={out_w} mode={}", mode.name()),
+        ),
+        OpKind::Transpose { perm } => ("Transpose".into(), format!("perm={}", fmt_usizes(perm))),
+        OpKind::Reshape { shape } => ("Reshape".into(), format!("shape={}", fmt_usizes(shape))),
+        OpKind::Slice { starts, ends } => (
+            "Slice".into(),
+            format!("starts={} ends={}", fmt_usizes(starts), fmt_usizes(ends)),
+        ),
+        OpKind::Concat { axis } => ("Concat".into(), format!("axis={axis}")),
+        OpKind::Split { axis, sizes } => {
+            ("Split".into(), format!("axis={axis} sizes={}", fmt_usizes(sizes)))
+        }
+        OpKind::Pad { before, after, value } => (
+            "Pad".into(),
+            format!(
+                "before={} after={} value={value}",
+                fmt_usizes(before),
+                fmt_usizes(after)
+            ),
+        ),
+        OpKind::Squeeze { axis } => ("Squeeze".into(), format!("axis={axis}")),
+        OpKind::Unsqueeze { axis } => ("Unsqueeze".into(), format!("axis={axis}")),
+        OpKind::Identity => ("Identity".into(), String::new()),
+        OpKind::Custom { name, out_shapes } => (
+            "Custom".into(),
+            format!("name=\"{name}\" out_shapes={}", fmt_shapes(out_shapes)),
+        ),
+    }
+}
+
+fn op_kind_from(line: &NodeLine, line_no: usize) -> Result<OpKind, TextError> {
+    let a = Attrs { line: line_no, kind: &line.kind_name, attrs: &line.attrs };
+    let pool = || -> Result<PoolSpec, TextError> {
+        Ok(PoolSpec {
+            kernel: a.usize("kernel")?,
+            stride: a.usize("stride")?,
+            padding: a.usize("padding")?,
+        })
+    };
+    Ok(match line.kind_name.as_str() {
+        "Input" => OpKind::Input { shape: a.usizes("shape")? },
+        "Constant" => OpKind::Constant {
+            shape: a.usizes("shape")?,
+            init: init_from_value(a.get("init")?).ok_or_else(|| a.bad("init"))?,
+        },
+        "Unary" => OpKind::Unary(
+            unary_from_name(a.ident("op")?).ok_or_else(|| a.bad("op"))?,
+        ),
+        "Silu" => OpKind::Silu,
+        "Mish" => OpKind::Mish,
+        "Gelu" => OpKind::Gelu,
+        "GeluTanh" => OpKind::GeluTanh,
+        "Elu" => OpKind::Elu { alpha: a.f32("alpha")? },
+        "PRelu" => OpKind::PRelu,
+        "Softplus" => OpKind::Softplus,
+        "Clip" => OpKind::Clip { min: a.f32("min")?, max: a.f32("max")? },
+        "HardSigmoid" => OpKind::HardSigmoid,
+        "HardSwish" => OpKind::HardSwish,
+        "Add" => OpKind::Add,
+        "Sub" => OpKind::Sub,
+        "Mul" => OpKind::Mul,
+        "Div" => OpKind::Div,
+        "AddScalar" => OpKind::AddScalar(a.f32("c")?),
+        "MulScalar" => OpKind::MulScalar(a.f32("c")?),
+        "Softmax" => OpKind::Softmax { axis: a.usize("axis")? },
+        "InstanceNorm" => OpKind::InstanceNorm { eps: a.f32("eps")? },
+        "LayerNorm" => OpKind::LayerNorm { eps: a.f32("eps")? },
+        "BatchNorm" => OpKind::BatchNorm { eps: a.f32("eps")? },
+        "GroupNorm" => OpKind::GroupNorm { groups: a.usize("groups")?, eps: a.f32("eps")? },
+        "RmsNorm" => OpKind::RmsNorm { eps: a.f32("eps")? },
+        "LogSoftmax" => OpKind::LogSoftmax { axis: a.usize("axis")? },
+        "Gemm" => OpKind::Gemm {
+            alpha: a.f32("alpha")?,
+            beta: a.f32("beta")?,
+            trans_a: a.bool("trans_a")?,
+            trans_b: a.bool("trans_b")?,
+        },
+        "Reduce" => OpKind::Reduce {
+            kind: a.reduce("kind")?,
+            axis: a.usize("axis")?,
+            keep_dim: a.bool("keep_dim")?,
+        },
+        "MatMul" => OpKind::MatMul,
+        "Conv2d" => OpKind::Conv2d {
+            stride: a.usize("stride")?,
+            padding: a.usize("padding")?,
+            groups: a.usize("groups")?,
+            bias: a.bool("bias")?,
+        },
+        "MaxPool" => OpKind::MaxPool(pool()?),
+        "AvgPool" => OpKind::AvgPool(pool()?),
+        "GlobalAvgPool" => OpKind::GlobalAvgPool,
+        "Resize" => OpKind::Resize {
+            out_h: a.usize("out_h")?,
+            out_w: a.usize("out_w")?,
+            mode: resize_from_name(a.ident("mode")?).ok_or_else(|| a.bad("mode"))?,
+        },
+        "Transpose" => OpKind::Transpose { perm: a.usizes("perm")? },
+        "Reshape" => OpKind::Reshape { shape: a.usizes("shape")? },
+        "Slice" => OpKind::Slice { starts: a.usizes("starts")?, ends: a.usizes("ends")? },
+        "Concat" => OpKind::Concat { axis: a.usize("axis")? },
+        "Split" => OpKind::Split { axis: a.usize("axis")?, sizes: a.usizes("sizes")? },
+        "Pad" => OpKind::Pad {
+            before: a.usizes("before")?,
+            after: a.usizes("after")?,
+            value: a.f32("value")?,
+        },
+        "Squeeze" => OpKind::Squeeze { axis: a.usize("axis")? },
+        "Unsqueeze" => OpKind::Unsqueeze { axis: a.usize("axis")? },
+        "Identity" => OpKind::Identity,
+        "Custom" => OpKind::Custom {
+            name: a.string("name")?,
+            out_shapes: a.shapes("out_shapes")?,
+        },
+        other => {
+            return Err(TextError::Parse {
+                line: line_no,
+                msg: format!("unknown operator kind {other:?}"),
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Primitive graphs
+// ---------------------------------------------------------------------------
+
+fn ew_to_value(f: &EwFn) -> String {
+    match f {
+        EwFn::Unary(u) => format!("unary({})", u.name()),
+        EwFn::Binary(b) => format!("binary({})", b.name()),
+        EwFn::BinaryScalar(b, c) => format!("binary_scalar({},{c})", b.name()),
+        EwFn::BinaryScalarLhs(b, c) => format!("binary_scalar_lhs({},{c})", b.name()),
+    }
+}
+
+fn ew_from_value(v: &Value) -> Option<EwFn> {
+    let Value::Call(name, args) = v else { return None };
+    match (name.as_str(), args.as_slice()) {
+        ("unary", [u]) => Some(EwFn::Unary(unary_from_name(u.as_ident()?)?)),
+        ("binary", [b]) => Some(EwFn::Binary(binary_from_name(b.as_ident()?)?)),
+        ("binary_scalar", [b, c]) => {
+            Some(EwFn::BinaryScalar(binary_from_name(b.as_ident()?)?, c.as_f32()?))
+        }
+        ("binary_scalar_lhs", [b, c]) => {
+            Some(EwFn::BinaryScalarLhs(binary_from_name(b.as_ident()?)?, c.as_f32()?))
+        }
+        _ => None,
+    }
+}
+
+fn prim_kind_attrs(kind: &PrimKind) -> (String, String) {
+    match kind {
+        PrimKind::Input { shape } => ("Input".into(), format!("shape={}", fmt_usizes(shape))),
+        PrimKind::Constant { shape, init } => (
+            "Constant".into(),
+            format!("shape={} init={}", fmt_usizes(shape), init_to_value(init)),
+        ),
+        PrimKind::Elementwise(f) => ("Elementwise".into(), format!("fn={}", ew_to_value(f))),
+        PrimKind::Reduce { kind, axis } => {
+            ("Reduce".into(), format!("kind={} axis={axis}", kind.name()))
+        }
+        PrimKind::Broadcast { axis, size } => {
+            ("Broadcast".into(), format!("axis={axis} size={size}"))
+        }
+        PrimKind::WindowReduce { spec, kind } => (
+            "WindowReduce".into(),
+            format!(
+                "kernel={} stride={} padding={} kind={}",
+                spec.kernel,
+                spec.stride,
+                spec.padding,
+                kind.name()
+            ),
+        ),
+        PrimKind::Layout(l) => match l {
+            LayoutFn::Transpose { perm } => {
+                ("LayoutTranspose".into(), format!("perm={}", fmt_usizes(perm)))
+            }
+            LayoutFn::Reshape { shape } => {
+                ("LayoutReshape".into(), format!("shape={}", fmt_usizes(shape)))
+            }
+            LayoutFn::Slice { starts, ends } => (
+                "LayoutSlice".into(),
+                format!("starts={} ends={}", fmt_usizes(starts), fmt_usizes(ends)),
+            ),
+            LayoutFn::Concat { axis } => ("LayoutConcat".into(), format!("axis={axis}")),
+            LayoutFn::Split { axis, sizes } => (
+                "LayoutSplit".into(),
+                format!("axis={axis} sizes={}", fmt_usizes(sizes)),
+            ),
+            LayoutFn::Pad { before, after, value } => (
+                "LayoutPad".into(),
+                format!(
+                    "before={} after={} value={value}",
+                    fmt_usizes(before),
+                    fmt_usizes(after)
+                ),
+            ),
+            LayoutFn::Resize { out_h, out_w, mode } => (
+                "LayoutResize".into(),
+                format!("out_h={out_h} out_w={out_w} mode={}", mode.name()),
+            ),
+        },
+        PrimKind::Linear(l) => match l {
+            LinearFn::MatMul { spec } => (
+                "MatMul".into(),
+                format!("trans_a={} trans_b={}", spec.trans_a, spec.trans_b),
+            ),
+            LinearFn::Conv2d { stride, padding, groups } => (
+                "Conv2d".into(),
+                format!("stride={stride} padding={padding} groups={groups}"),
+            ),
+        },
+        PrimKind::Opaque { name, out_shapes } => (
+            "Opaque".into(),
+            format!("name=\"{name}\" out_shapes={}", fmt_shapes(out_shapes)),
+        ),
+    }
+}
+
+fn prim_kind_from(line: &NodeLine, line_no: usize) -> Result<PrimKind, TextError> {
+    let a = Attrs { line: line_no, kind: &line.kind_name, attrs: &line.attrs };
+    Ok(match line.kind_name.as_str() {
+        "Input" => PrimKind::Input { shape: a.usizes("shape")? },
+        "Constant" => PrimKind::Constant {
+            shape: a.usizes("shape")?,
+            init: init_from_value(a.get("init")?).ok_or_else(|| a.bad("init"))?,
+        },
+        "Elementwise" => {
+            PrimKind::Elementwise(ew_from_value(a.get("fn")?).ok_or_else(|| a.bad("fn"))?)
+        }
+        "Reduce" => PrimKind::Reduce { kind: a.reduce("kind")?, axis: a.usize("axis")? },
+        "Broadcast" => PrimKind::Broadcast { axis: a.usize("axis")?, size: a.usize("size")? },
+        "WindowReduce" => PrimKind::WindowReduce {
+            spec: PoolSpec {
+                kernel: a.usize("kernel")?,
+                stride: a.usize("stride")?,
+                padding: a.usize("padding")?,
+            },
+            kind: a.reduce("kind")?,
+        },
+        "LayoutTranspose" => PrimKind::Layout(LayoutFn::Transpose { perm: a.usizes("perm")? }),
+        "LayoutReshape" => PrimKind::Layout(LayoutFn::Reshape { shape: a.usizes("shape")? }),
+        "LayoutSlice" => PrimKind::Layout(LayoutFn::Slice {
+            starts: a.usizes("starts")?,
+            ends: a.usizes("ends")?,
+        }),
+        "LayoutConcat" => PrimKind::Layout(LayoutFn::Concat { axis: a.usize("axis")? }),
+        "LayoutSplit" => PrimKind::Layout(LayoutFn::Split {
+            axis: a.usize("axis")?,
+            sizes: a.usizes("sizes")?,
+        }),
+        "LayoutPad" => PrimKind::Layout(LayoutFn::Pad {
+            before: a.usizes("before")?,
+            after: a.usizes("after")?,
+            value: a.f32("value")?,
+        }),
+        "LayoutResize" => PrimKind::Layout(LayoutFn::Resize {
+            out_h: a.usize("out_h")?,
+            out_w: a.usize("out_w")?,
+            mode: resize_from_name(a.ident("mode")?).ok_or_else(|| a.bad("mode"))?,
+        }),
+        "MatMul" => PrimKind::Linear(LinearFn::MatMul {
+            spec: MatMulSpec { trans_a: a.bool("trans_a")?, trans_b: a.bool("trans_b")? },
+        }),
+        "Conv2d" => PrimKind::Linear(LinearFn::Conv2d {
+            stride: a.usize("stride")?,
+            padding: a.usize("padding")?,
+            groups: a.usize("groups")?,
+        }),
+        "Opaque" => PrimKind::Opaque {
+            name: a.string("name")?,
+            out_shapes: a.shapes("out_shapes")?,
+        },
+        other => {
+            return Err(TextError::Parse {
+                line: line_no,
+                msg: format!("unknown primitive kind {other:?}"),
+            })
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Generic writer / reader
+// ---------------------------------------------------------------------------
+
+fn write_graph<K: NodeKind>(
+    g: &Graph<K>,
+    tag: &str,
+    kind_attrs: impl Fn(&K) -> (String, String),
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "korch {tag} v1");
+    for (id, node) in g.iter() {
+        let (name, attrs) = kind_attrs(&node.kind);
+        let _ = write!(out, "%{} = {name}", id.0);
+        if !attrs.is_empty() {
+            let _ = write!(out, " {attrs}");
+        }
+        if !node.inputs.is_empty() {
+            let refs: Vec<String> = node
+                .inputs
+                .iter()
+                .map(|r| {
+                    if r.port == 0 {
+                        format!("%{}", r.node.0)
+                    } else {
+                        format!("%{}:{}", r.node.0, r.port)
+                    }
+                })
+                .collect();
+            let _ = write!(out, " ({})", refs.join(", "));
+        }
+        let _ = writeln!(out);
+    }
+    for o in g.outputs() {
+        if o.port == 0 {
+            let _ = writeln!(out, "output %{}", o.node.0);
+        } else {
+            let _ = writeln!(out, "output %{}:{}", o.node.0, o.port);
+        }
+    }
+    out
+}
+
+fn read_graph<K: NodeKind>(
+    text: &str,
+    tag: &str,
+    kind_from: impl Fn(&NodeLine, usize) -> Result<K, TextError>,
+) -> Result<Graph<K>, TextError> {
+    let mut lines = text.lines().enumerate();
+    // Header.
+    let header = loop {
+        let Some((i, line)) = lines.next() else {
+            return Err(TextError::Parse { line: 1, msg: "empty document".into() });
+        };
+        let trimmed = line.trim();
+        if !trimmed.is_empty() && !trimmed.starts_with('#') {
+            break (i + 1, trimmed);
+        }
+    };
+    let expect = format!("korch {tag} v1");
+    if header.1 != expect {
+        return Err(TextError::Parse {
+            line: header.0,
+            msg: format!("expected header {expect:?}, found {:?}", header.1),
+        });
+    }
+    let mut g = Graph::<K>::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let tokens = tokenize(raw, line_no)?;
+        if tokens.is_empty() {
+            continue;
+        }
+        match parse_line(&tokens, line_no)? {
+            Line::Node(node) => {
+                if node.id != g.len() {
+                    return Err(TextError::Parse {
+                        line: line_no,
+                        msg: format!("expected node id %{}, found %{}", g.len(), node.id),
+                    });
+                }
+                let kind = kind_from(&node, line_no)?;
+                g.add(kind, node.inputs.clone()).map_err(TextError::from)?;
+            }
+            Line::Output(port) => {
+                g.mark_output(port).map_err(TextError::from)?;
+            }
+        }
+    }
+    if g.outputs().is_empty() {
+        return Err(TextError::Graph("graph declares no outputs".into()));
+    }
+    Ok(g)
+}
+
+/// Serializes an operator graph to the textual interchange format.
+pub fn op_to_text(g: &OpGraph) -> String {
+    write_graph(g, "ops", op_kind_attrs)
+}
+
+/// Parses an operator graph from the textual interchange format.
+///
+/// # Errors
+///
+/// Returns [`TextError`] on malformed syntax, unknown kinds or
+/// shape-inconsistent graphs.
+pub fn op_from_text(text: &str) -> Result<OpGraph, TextError> {
+    read_graph(text, "ops", op_kind_from)
+}
+
+/// Serializes a primitive graph to the textual interchange format.
+pub fn prim_to_text(g: &PrimGraph) -> String {
+    write_graph(g, "prims", prim_kind_attrs)
+}
+
+/// Parses a primitive graph from the textual interchange format.
+///
+/// # Errors
+///
+/// Returns [`TextError`] on malformed syntax, unknown kinds or
+/// shape-inconsistent graphs.
+pub fn prim_from_text(text: &str) -> Result<PrimGraph, TextError> {
+    read_graph(text, "prims", prim_kind_from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    fn roundtrip_op(g: &OpGraph) {
+        let text = op_to_text(g);
+        let back = op_from_text(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(back.fingerprint(), g.fingerprint(), "fingerprint drift:\n{text}");
+        assert_eq!(back.outputs(), g.outputs());
+        assert_eq!(op_to_text(&back), text, "second print differs");
+    }
+
+    fn roundtrip_prim(g: &PrimGraph) {
+        let text = prim_to_text(g);
+        let back =
+            prim_from_text(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(back.fingerprint(), g.fingerprint(), "fingerprint drift:\n{text}");
+        assert_eq!(back.outputs(), g.outputs());
+        assert_eq!(prim_to_text(&back), text, "second print differs");
+    }
+
+    #[test]
+    fn every_op_kind_round_trips() {
+        // One graph exercising each attribute-carrying operator.
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![1, 4, 8, 8] }, vec![]).unwrap();
+        let w = g
+            .add(
+                OpKind::Constant { shape: vec![4, 4, 3, 3], init: ConstInit::Random(7) },
+                vec![],
+            )
+            .unwrap();
+        let c = g
+            .add(
+                OpKind::Conv2d { stride: 1, padding: 1, groups: 1, bias: false },
+                vec![x.into(), w.into()],
+            )
+            .unwrap();
+        let r = g.add(OpKind::Unary(UnaryOp::LeakyRelu), vec![c.into()]).unwrap();
+        let cl = g.add(OpKind::Clip { min: -1.5, max: 6.0 }, vec![r.into()]).unwrap();
+        let p = g
+            .add(
+                OpKind::MaxPool(PoolSpec { kernel: 2, stride: 2, padding: 0 }),
+                vec![cl.into()],
+            )
+            .unwrap();
+        let rs = g
+            .add(
+                OpKind::Resize { out_h: 8, out_w: 8, mode: ResizeMode::Bilinear },
+                vec![p.into()],
+            )
+            .unwrap();
+        let pad = g
+            .add(
+                OpKind::Pad {
+                    before: vec![0, 0, 1, 1],
+                    after: vec![0, 0, 1, 1],
+                    value: 0.25,
+                },
+                vec![rs.into()],
+            )
+            .unwrap();
+        let sl = g
+            .add(
+                OpKind::Slice { starts: vec![0, 0, 0, 0], ends: vec![1, 4, 8, 8] },
+                vec![pad.into()],
+            )
+            .unwrap();
+        let t = g
+            .add(OpKind::Transpose { perm: vec![0, 2, 3, 1] }, vec![sl.into()])
+            .unwrap();
+        let re = g
+            .add(OpKind::Reshape { shape: vec![1, 64, 4] }, vec![t.into()])
+            .unwrap();
+        let sm = g.add(OpKind::Softmax { axis: 2 }, vec![re.into()]).unwrap();
+        let red = g
+            .add(
+                OpKind::Reduce { kind: ReduceKind::Mean, axis: 1, keep_dim: true },
+                vec![sm.into()],
+            )
+            .unwrap();
+        g.mark_output(red).unwrap();
+        roundtrip_op(&g);
+    }
+
+    #[test]
+    fn scalar_and_norm_ops_round_trip() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![2, 3, 4, 4] }, vec![]).unwrap();
+        let s = g
+            .add(OpKind::Constant { shape: vec![3], init: ConstInit::Ones }, vec![])
+            .unwrap();
+        let b = g
+            .add(OpKind::Constant { shape: vec![3], init: ConstInit::Fill(0.125) }, vec![])
+            .unwrap();
+        let n = g
+            .add(OpKind::InstanceNorm { eps: 1e-5 }, vec![x.into(), s.into(), b.into()])
+            .unwrap();
+        let a = g.add(OpKind::AddScalar(-0.5), vec![n.into()]).unwrap();
+        let m = g.add(OpKind::MulScalar(3.25), vec![a.into()]).unwrap();
+        let hs = g.add(OpKind::HardSwish, vec![m.into()]).unwrap();
+        g.mark_output(hs).unwrap();
+        roundtrip_op(&g);
+    }
+
+    #[test]
+    fn multi_output_split_round_trips() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![2, 6] }, vec![]).unwrap();
+        let s = g
+            .add(OpKind::Split { axis: 1, sizes: vec![2, 4] }, vec![x.into()])
+            .unwrap();
+        let r0 = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![PortRef { node: s, port: 0 }])
+            .unwrap();
+        g.mark_output(r0).unwrap();
+        g.mark_output(PortRef { node: s, port: 1 }).unwrap();
+        roundtrip_op(&g);
+        let text = op_to_text(&g);
+        assert!(text.contains("%2 = Unary op=relu (%1)"), "{text}");
+        assert!(text.contains("output %1:1"), "{text}");
+    }
+
+    #[test]
+    fn custom_op_round_trips() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![100] }, vec![]).unwrap();
+        let c = g
+            .add(
+                OpKind::Custom { name: "topk".into(), out_shapes: vec![vec![10], vec![10]] },
+                vec![x.into()],
+            )
+            .unwrap();
+        g.mark_output(PortRef { node: c, port: 0 }).unwrap();
+        g.mark_output(PortRef { node: c, port: 1 }).unwrap();
+        roundtrip_op(&g);
+    }
+
+    #[test]
+    fn every_prim_kind_round_trips() {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![4, 16] }, vec![]).unwrap();
+        let e = g
+            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .unwrap();
+        let sc = g
+            .add(
+                PrimKind::Elementwise(EwFn::BinaryScalar(BinaryOp::Mul, 0.5)),
+                vec![e.into()],
+            )
+            .unwrap();
+        let lhs = g
+            .add(
+                PrimKind::Elementwise(EwFn::BinaryScalarLhs(BinaryOp::Sub, 1.0)),
+                vec![sc.into()],
+            )
+            .unwrap();
+        let r = g
+            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![lhs.into()])
+            .unwrap();
+        let b = g
+            .add(PrimKind::Broadcast { axis: 1, size: 16 }, vec![r.into()])
+            .unwrap();
+        let d = g
+            .add(
+                PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
+                vec![lhs.into(), b.into()],
+            )
+            .unwrap();
+        g.mark_output(d).unwrap();
+        roundtrip_prim(&g);
+    }
+
+    #[test]
+    fn prim_layout_and_linear_round_trip() {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![1, 2, 8, 8] }, vec![]).unwrap();
+        let t = g
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: vec![0, 1, 3, 2] }),
+                vec![x.into()],
+            )
+            .unwrap();
+        let p = g
+            .add(
+                PrimKind::Layout(LayoutFn::Pad {
+                    before: vec![0, 0, 1, 1],
+                    after: vec![0, 0, 1, 1],
+                    value: 0.0,
+                }),
+                vec![t.into()],
+            )
+            .unwrap();
+        let rz = g
+            .add(
+                PrimKind::Layout(LayoutFn::Resize {
+                    out_h: 20,
+                    out_w: 20,
+                    mode: ResizeMode::Nearest,
+                }),
+                vec![p.into()],
+            )
+            .unwrap();
+        let w = g
+            .add(
+                PrimKind::Constant { shape: vec![4, 2, 3, 3], init: ConstInit::Random(3) },
+                vec![],
+            )
+            .unwrap();
+        let c = g
+            .add(
+                PrimKind::Linear(LinearFn::Conv2d { stride: 1, padding: 1, groups: 1 }),
+                vec![rz.into(), w.into()],
+            )
+            .unwrap();
+        let wr = g
+            .add(
+                PrimKind::WindowReduce {
+                    spec: PoolSpec { kernel: 2, stride: 2, padding: 0 },
+                    kind: ReduceKind::Max,
+                },
+                vec![c.into()],
+            )
+            .unwrap();
+        let flat = g
+            .add(PrimKind::Layout(LayoutFn::Reshape { shape: vec![4, 100] }), vec![wr.into()])
+            .unwrap();
+        let wm = g
+            .add(
+                PrimKind::Constant { shape: vec![4, 100], init: ConstInit::Random(4) },
+                vec![],
+            )
+            .unwrap();
+        let mm = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec { trans_a: false, trans_b: true },
+                }),
+                vec![flat.into(), wm.into()],
+            )
+            .unwrap();
+        g.mark_output(mm).unwrap();
+        roundtrip_prim(&g);
+    }
+
+    #[test]
+    fn prim_split_concat_slice_opaque_round_trip() {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![2, 6] }, vec![]).unwrap();
+        let s = g
+            .add(PrimKind::Layout(LayoutFn::Split { axis: 1, sizes: vec![2, 4] }), vec![x.into()])
+            .unwrap();
+        let sl = g
+            .add(
+                PrimKind::Layout(LayoutFn::Slice { starts: vec![0, 0], ends: vec![2, 2] }),
+                vec![PortRef { node: s, port: 1 }],
+            )
+            .unwrap();
+        let cc = g
+            .add(
+                PrimKind::Layout(LayoutFn::Concat { axis: 1 }),
+                vec![PortRef { node: s, port: 0 }, sl.into()],
+            )
+            .unwrap();
+        let o = g
+            .add(
+                PrimKind::Opaque { name: "topk".into(), out_shapes: vec![vec![2, 2]] },
+                vec![cc.into()],
+            )
+            .unwrap();
+        g.mark_output(o).unwrap();
+        roundtrip_prim(&g);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "\n# a comment\nkorch ops v1\n\n%0 = Input shape=[4] # inline\n%1 = Unary op=relu (%0)\noutput %1\n";
+        let g = op_from_text(text).unwrap();
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.outputs(), &[PortRef::from(NodeId(1))]);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let missing_header = "%0 = Input shape=[4]\noutput %0\n";
+        assert!(matches!(
+            op_from_text(missing_header),
+            Err(TextError::Parse { line: 1, .. })
+        ));
+        let bad_kind = "korch ops v1\n%0 = Frobnicate\noutput %0\n";
+        assert!(matches!(op_from_text(bad_kind), Err(TextError::Parse { line: 2, .. })));
+        let bad_id = "korch ops v1\n%5 = Input shape=[4]\noutput %5\n";
+        assert!(matches!(op_from_text(bad_id), Err(TextError::Parse { line: 2, .. })));
+        let missing_attr = "korch ops v1\n%0 = Input\noutput %0\n";
+        assert!(matches!(op_from_text(missing_attr), Err(TextError::Parse { line: 2, .. })));
+        let no_output = "korch ops v1\n%0 = Input shape=[4]\n";
+        assert!(matches!(op_from_text(no_output), Err(TextError::Graph(_))));
+    }
+
+    #[test]
+    fn shape_errors_surface_as_graph_errors() {
+        // Relu with two inputs is an arity violation discovered by shape
+        // inference, not by the parser.
+        let text = "korch ops v1\n%0 = Input shape=[4]\n%1 = Input shape=[4]\n%2 = Unary op=relu (%0, %1)\noutput %2\n";
+        assert!(matches!(op_from_text(text), Err(TextError::Graph(_))));
+    }
+
+    #[test]
+    fn wrong_dialect_rejected() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![4] }, vec![]).unwrap();
+        g.mark_output(x).unwrap();
+        let text = op_to_text(&g);
+        assert!(prim_from_text(&text).is_err());
+    }
+
+    #[test]
+    fn negative_and_exponent_floats_round_trip() {
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: vec![4] }, vec![]).unwrap();
+        let a = g.add(OpKind::AddScalar(-1.5e-7), vec![x.into()]).unwrap();
+        let m = g.add(OpKind::MulScalar(f32::MAX), vec![a.into()]).unwrap();
+        g.mark_output(m).unwrap();
+        let text = op_to_text(&g);
+        let back = op_from_text(&text).unwrap();
+        let (Some(OpKind::AddScalar(c1)), Some(OpKind::MulScalar(c2))) = (
+            back.nodes().get(1).map(|n| n.kind.clone()),
+            back.nodes().get(2).map(|n| n.kind.clone()),
+        ) else {
+            panic!("kinds lost in round trip: {text}");
+        };
+        assert_eq!(c1, -1.5e-7);
+        assert_eq!(c2, f32::MAX);
+    }
+}

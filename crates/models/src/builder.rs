@@ -1,0 +1,260 @@
+//! Ergonomic construction of operator graphs for the model zoo.
+
+use korch_ir::{ConstInit, IrError, NodeId, OpGraph, OpKind, PortRef};
+use korch_tensor::{PoolSpec, ResizeMode, UnaryOp};
+
+/// Thin builder over [`OpGraph`] with deterministic weight seeding.
+#[derive(Debug)]
+pub struct GraphBuilder {
+    g: OpGraph,
+    seed: u64,
+}
+
+impl GraphBuilder {
+    /// Fresh builder; `seed` namespaces all weight constants.
+    pub fn new(seed: u64) -> Self {
+        Self { g: OpGraph::new(), seed }
+    }
+
+    /// Finishes the graph, marking `outputs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an output reference is invalid (builder misuse).
+    pub fn finish(mut self, outputs: &[PortRef]) -> OpGraph {
+        for &o in outputs {
+            self.g.mark_output(o).expect("invalid output port");
+        }
+        self.g
+    }
+
+    /// Access to the underlying graph.
+    pub fn graph(&self) -> &OpGraph {
+        &self.g
+    }
+
+    fn next_seed(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed
+    }
+
+    /// Adds a node, panicking on shape errors (models are static and a
+    /// failure is a bug in the model definition).
+    pub fn add(&mut self, kind: OpKind, inputs: Vec<PortRef>) -> PortRef {
+        self.try_add(kind, inputs).expect("model construction error").into()
+    }
+
+    /// Fallible [`GraphBuilder::add`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape-inference errors.
+    pub fn try_add(&mut self, kind: OpKind, inputs: Vec<PortRef>) -> Result<NodeId, IrError> {
+        self.g.add(kind, inputs)
+    }
+
+    /// Program input.
+    pub fn input(&mut self, shape: Vec<usize>) -> PortRef {
+        self.add(OpKind::Input { shape }, vec![])
+    }
+
+    /// Random-initialized weight constant.
+    pub fn weight(&mut self, shape: Vec<usize>) -> PortRef {
+        let seed = self.next_seed();
+        self.add(OpKind::Constant { shape, init: ConstInit::Random(seed) }, vec![])
+    }
+
+    /// Ones constant.
+    pub fn ones(&mut self, shape: Vec<usize>) -> PortRef {
+        self.add(OpKind::Constant { shape, init: ConstInit::Ones }, vec![])
+    }
+
+    /// Zeros constant.
+    pub fn zeros(&mut self, shape: Vec<usize>) -> PortRef {
+        self.add(OpKind::Constant { shape, init: ConstInit::Zeros }, vec![])
+    }
+
+    /// `Conv2d` with bias.
+    pub fn conv(
+        &mut self,
+        x: PortRef,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> PortRef {
+        self.conv_grouped(x, out_c, kernel, stride, padding, 1)
+    }
+
+    /// Grouped / depthwise `Conv2d` with bias.
+    pub fn conv_grouped(
+        &mut self,
+        x: PortRef,
+        out_c: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> PortRef {
+        let in_c = self.g.meta(x).shape()[1];
+        let w = self.weight(vec![out_c, in_c / groups, kernel, kernel]);
+        let b = self.weight(vec![out_c]);
+        self.add(
+            OpKind::Conv2d { stride, padding, groups, bias: true },
+            vec![x, w, b],
+        )
+    }
+
+    /// `InstanceNorm` with learned scale/shift.
+    pub fn instance_norm(&mut self, x: PortRef) -> PortRef {
+        let c = self.g.meta(x).shape()[1];
+        let s = self.ones(vec![c]);
+        let b = self.zeros(vec![c]);
+        self.add(OpKind::InstanceNorm { eps: 1e-5 }, vec![x, s, b])
+    }
+
+    /// Inference-mode `BatchNorm` with frozen statistics.
+    pub fn batch_norm(&mut self, x: PortRef) -> PortRef {
+        let c = self.g.meta(x).shape()[1];
+        let gamma = self.ones(vec![c]);
+        let beta = self.zeros(vec![c]);
+        let mean = self.zeros(vec![c]);
+        let var = self.ones(vec![c]);
+        self.add(OpKind::BatchNorm { eps: 1e-5 }, vec![x, gamma, beta, mean, var])
+    }
+
+    /// `LayerNorm` along the trailing dimension.
+    pub fn layer_norm(&mut self, x: PortRef) -> PortRef {
+        let d = *self.g.meta(x).shape().last().expect("rank 0");
+        let s = self.ones(vec![d]);
+        let b = self.zeros(vec![d]);
+        self.add(OpKind::LayerNorm { eps: 1e-5 }, vec![x, s, b])
+    }
+
+    /// Dense layer on the trailing dim: `x @ W + b`.
+    pub fn linear(&mut self, x: PortRef, out_d: usize) -> PortRef {
+        let shape = self.g.meta(x).shape().to_vec();
+        let d = *shape.last().expect("rank 0");
+        let rank = shape.len();
+        let mut w_shape = shape.clone();
+        w_shape[rank - 2] = d;
+        w_shape[rank - 1] = out_d;
+        // Weight batch dims must match for the batched matmul; collapse to
+        // a 2-D weight by flattening the batch into the matmul: use a plain
+        // [d, out_d] weight and reshape x to 2-D around the matmul.
+        let flat_rows: usize = shape[..rank - 1].iter().product();
+        let x2 = self.add(OpKind::Reshape { shape: vec![flat_rows, d] }, vec![x]);
+        let w = self.weight(vec![d, out_d]);
+        let mm = self.add(OpKind::MatMul, vec![x2, w]);
+        let b = self.weight(vec![out_d]);
+        let biased = self.add(OpKind::Add, vec![mm, b]);
+        let mut out_shape = shape;
+        out_shape[rank - 1] = out_d;
+        self.add(OpKind::Reshape { shape: out_shape }, vec![biased])
+    }
+
+    /// Unary activation.
+    pub fn unary(&mut self, x: PortRef, op: UnaryOp) -> PortRef {
+        self.add(OpKind::Unary(op), vec![x])
+    }
+
+    /// ReLU.
+    pub fn relu(&mut self, x: PortRef) -> PortRef {
+        self.unary(x, UnaryOp::Relu)
+    }
+
+    /// Mish activation (YOLOv4).
+    pub fn mish(&mut self, x: PortRef) -> PortRef {
+        self.add(OpKind::Mish, vec![x])
+    }
+
+    /// SiLU activation (YOLOX).
+    pub fn silu(&mut self, x: PortRef) -> PortRef {
+        self.add(OpKind::Silu, vec![x])
+    }
+
+    /// GELU activation (transformers).
+    pub fn gelu(&mut self, x: PortRef) -> PortRef {
+        self.add(OpKind::Gelu, vec![x])
+    }
+
+    /// Elementwise add.
+    pub fn add2(&mut self, a: PortRef, b: PortRef) -> PortRef {
+        self.add(OpKind::Add, vec![a, b])
+    }
+
+    /// Concat along axis.
+    pub fn concat(&mut self, parts: Vec<PortRef>, axis: usize) -> PortRef {
+        self.add(OpKind::Concat { axis }, parts)
+    }
+
+    /// Max pooling.
+    pub fn max_pool(&mut self, x: PortRef, kernel: usize, stride: usize, padding: usize) -> PortRef {
+        self.add(OpKind::MaxPool(PoolSpec { kernel, stride, padding }), vec![x])
+    }
+
+    /// Nearest-neighbour upsample by 2.
+    pub fn upsample2x(&mut self, x: PortRef) -> PortRef {
+        let s = self.g.meta(x).shape().to_vec();
+        self.add(
+            OpKind::Resize { out_h: s[2] * 2, out_w: s[3] * 2, mode: ResizeMode::Nearest },
+            vec![x],
+        )
+    }
+
+    /// Current shape of a port.
+    pub fn shape(&self, x: PortRef) -> Vec<usize> {
+        self.g.meta(x).shape().to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_block_shapes() {
+        let mut b = GraphBuilder::new(1);
+        let x = b.input(vec![1, 3, 16, 16]);
+        let c = b.conv(x, 8, 3, 2, 1);
+        assert_eq!(b.shape(c), vec![1, 8, 8, 8]);
+        let n = b.instance_norm(c);
+        let r = b.relu(n);
+        let g = b.finish(&[r]);
+        assert!(g.len() > 5);
+    }
+
+    #[test]
+    fn linear_reshapes_around_matmul() {
+        let mut b = GraphBuilder::new(2);
+        let x = b.input(vec![2, 7, 16]);
+        let y = b.linear(x, 32);
+        assert_eq!(b.shape(y), vec![2, 7, 32]);
+    }
+
+    #[test]
+    fn depthwise_conv() {
+        let mut b = GraphBuilder::new(3);
+        let x = b.input(vec![1, 8, 8, 8]);
+        let d = b.conv_grouped(x, 8, 3, 1, 1, 8);
+        assert_eq!(b.shape(d), vec![1, 8, 8, 8]);
+    }
+
+    #[test]
+    fn weights_are_uniquely_seeded() {
+        let mut b = GraphBuilder::new(4);
+        let w1 = b.weight(vec![4]);
+        let w2 = b.weight(vec![4]);
+        let g = b.finish(&[w1, w2]);
+        let inits: Vec<_> = g
+            .nodes()
+            .iter()
+            .filter_map(|n| match &n.kind {
+                OpKind::Constant { init: ConstInit::Random(s), .. } => Some(*s),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(inits.len(), 2);
+        assert_ne!(inits[0], inits[1]);
+    }
+}

@@ -1,0 +1,152 @@
+//! EfficientViT — lightweight multi-scale ReLU linear-attention backbone
+//! (paper workload 5, 2048×2048 high-resolution input). MBConv stages plus
+//! the ReLU linear-attention blocks of Fig. 8.
+
+use crate::builder::GraphBuilder;
+use korch_ir::{OpGraph, OpKind, PortRef};
+
+/// Configuration of the EfficientViT-style backbone.
+#[derive(Debug, Clone)]
+pub struct EfficientVitConfig {
+    /// Input resolution (paper: 2048).
+    pub resolution: usize,
+    /// Stage channel widths.
+    pub dims: Vec<usize>,
+    /// Attention blocks in the final stages.
+    pub attention_blocks: usize,
+}
+
+impl Default for EfficientVitConfig {
+    fn default() -> Self {
+        Self { resolution: 2048, dims: vec![16, 32, 64, 128], attention_blocks: 2 }
+    }
+}
+
+impl EfficientVitConfig {
+    /// Tiny variant for functional tests.
+    pub fn tiny() -> Self {
+        Self { resolution: 32, dims: vec![4, 8], attention_blocks: 1 }
+    }
+}
+
+/// MBConv: pointwise expand → depthwise 3×3 → SiLU → pointwise project,
+/// with residual.
+fn mbconv(b: &mut GraphBuilder, x: PortRef, c: usize, stride: usize) -> PortRef {
+    let in_c = b.shape(x)[1];
+    let expand = b.conv(x, 4 * in_c, 1, 1, 0);
+    let bn1 = b.batch_norm(expand);
+    let a1 = b.silu(bn1);
+    let dw = b.conv_grouped(a1, 4 * in_c, 3, stride, 1, 4 * in_c);
+    let bn2 = b.batch_norm(dw);
+    let a2 = b.silu(bn2);
+    let proj = b.conv(a2, c, 1, 1, 0);
+    let bn3 = b.batch_norm(proj);
+    if stride == 1 && in_c == c {
+        b.add2(bn3, x)
+    } else {
+        bn3
+    }
+}
+
+/// The Fig. 8 ReLU linear-attention block on an NCHW feature map.
+fn relu_linear_attention(b: &mut GraphBuilder, x: PortRef) -> PortRef {
+    let shape = b.shape(x);
+    let (batch, d, h, w) = (shape[0], shape[1], shape[2], shape[3]);
+    assert_eq!(batch, 1, "attention block is built for batch 1");
+    let n = h * w;
+    let qkv = b.conv(x, 3 * d, 1, 1, 0);
+    let resh = b.add(OpKind::Reshape { shape: vec![3 * d, n] }, vec![qkv]);
+    let t = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![resh]);
+    let q = b.add(OpKind::Slice { starts: vec![0, 0], ends: vec![n, d] }, vec![t]);
+    let k = b.add(OpKind::Slice { starts: vec![0, d], ends: vec![n, 2 * d] }, vec![t]);
+    let v = b.add(OpKind::Slice { starts: vec![0, 2 * d], ends: vec![n, 3 * d] }, vec![t]);
+    let q = b.relu(q);
+    let k = b.relu(k);
+    let kt = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![k]);
+    let kv = b.add(OpKind::MatMul, vec![kt, v]); // [d, d]
+    let ctx = b.add(OpKind::MatMul, vec![q, kv]); // [n, d]
+    let ksum = b.add(
+        OpKind::Reduce { kind: korch_tensor::ReduceKind::Sum, axis: 0, keep_dim: true },
+        vec![k],
+    );
+    let kst = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![ksum]);
+    let z = b.add(OpKind::MatMul, vec![q, kst]); // [n, 1]
+    let z_eps = b.add(OpKind::AddScalar(1e-6), vec![z]);
+    let normed = b.add(OpKind::Div, vec![ctx, z_eps]);
+    // tokens back to the feature map + output projection + residual
+    let back_t = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![normed]);
+    let img = b.add(OpKind::Reshape { shape: vec![1, d, h, w] }, vec![back_t]);
+    let proj = b.conv(img, d, 1, 1, 0);
+    b.add2(proj, x)
+}
+
+/// Builds the EfficientViT-style backbone.
+pub fn efficientvit(config: EfficientVitConfig) -> OpGraph {
+    let mut b = GraphBuilder::new(0xE5);
+    let r = config.resolution;
+    let x = b.input(vec![1, 3, r, r]);
+    // Aggressive stem: three stride-2 convs to tame the 2048² input.
+    let mut y = b.conv(x, config.dims[0], 3, 2, 1);
+    y = b.batch_norm(y);
+    y = b.silu(y);
+    y = mbconv(&mut b, y, config.dims[0], 2);
+    y = mbconv(&mut b, y, config.dims[0], 2);
+    for (i, &dim) in config.dims.iter().enumerate() {
+        let stride = if i == 0 { 1 } else { 2 };
+        y = mbconv(&mut b, y, dim, stride);
+        y = mbconv(&mut b, y, dim, 1);
+        // Attention in the later (low-resolution) stages.
+        if i + 2 >= config.dims.len() {
+            for _ in 0..config.attention_blocks {
+                y = relu_linear_attention(&mut b, y);
+                y = mbconv(&mut b, y, dim, 1);
+            }
+        }
+    }
+    // Global head.
+    let shape = b.shape(y);
+    let flat = b.add(
+        OpKind::Reshape { shape: vec![shape[1], shape[2] * shape[3]] },
+        vec![y],
+    );
+    let pooled = b.add(
+        OpKind::Reduce { kind: korch_tensor::ReduceKind::Mean, axis: 1, keep_dim: false },
+        vec![flat],
+    );
+    let logits = {
+        let row = b.add(OpKind::Reshape { shape: vec![1, shape[1]] }, vec![pooled]);
+        let w = b.weight(vec![shape[1], 1000]);
+        b.add(OpKind::MatMul, vec![row, w])
+    };
+    b.finish(&[logits])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_efficientvit_builds() {
+        let g = efficientvit(EfficientVitConfig::default());
+        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[1, 1000]);
+        assert!(g.len() > 150, "got {} ops", g.len());
+    }
+
+    #[test]
+    fn tiny_efficientvit_builds() {
+        let g = efficientvit(EfficientVitConfig::tiny());
+        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[1, 1000]);
+    }
+
+    #[test]
+    fn attention_blocks_present() {
+        let g = efficientvit(EfficientVitConfig::tiny());
+        let slices = g
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, OpKind::Slice { .. }))
+            .count();
+        assert!(slices >= 3, "QKV slicing missing: {slices}");
+        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::Div)));
+    }
+}

@@ -1,0 +1,64 @@
+//! The Korch evaluation model zoo: structurally faithful Rust constructions
+//! of the paper's five workloads (§6.1) plus the case-study subgraphs of
+//! §6.3–6.4. Exact weights are irrelevant to kernel orchestration; what
+//! matters — and what these models reproduce — is the operator mix:
+//! normalization/activation patterns around compute operators, concat-heavy
+//! necks, attention blocks, resize fan-ins.
+//!
+//! | Model | Paper input | Constructor |
+//! |---|---|---|
+//! | Candy (fast style transfer) | 224² | [`candy`] |
+//! | YOLOv4 | 416² | [`yolov4`] |
+//! | YOLOX-Nano | 416² | [`yolox_nano`] |
+//! | SegFormer | 512² | [`segformer`] |
+//! | EfficientViT | 2048² | [`efficientvit`] |
+//!
+//! Every constructor takes a config with a `tiny()` variant small enough
+//! for CPU functional verification in tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod candy;
+mod efficientvit;
+mod segformer;
+pub mod subgraphs;
+mod transformer;
+mod yolo;
+
+pub use builder::GraphBuilder;
+pub use candy::{candy, CandyConfig};
+pub use efficientvit::{efficientvit, EfficientVitConfig};
+pub use segformer::{segformer, SegformerConfig};
+pub use transformer::{llama_block, transformer_encoder, TransformerConfig};
+pub use yolo::{yolov4, yolox_nano, YoloConfig};
+
+use korch_ir::OpGraph;
+
+/// The five evaluation workloads at paper scale, with their names
+/// (drives Fig. 6 and Table 2 harnesses).
+pub fn evaluation_suite() -> Vec<(&'static str, OpGraph)> {
+    vec![
+        ("Candy", candy(CandyConfig::default())),
+        ("EfficientViT", efficientvit(EfficientVitConfig::default())),
+        ("YOLOX", yolox_nano(YoloConfig::x_nano())),
+        ("YOLOv4", yolov4(YoloConfig::v4())),
+        ("Segformer", segformer(SegformerConfig::default())),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_contains_five_models() {
+        let suite = evaluation_suite();
+        assert_eq!(suite.len(), 5);
+        for (name, g) in &suite {
+            assert!(!g.is_empty(), "{name} is empty");
+            assert!(!g.outputs().is_empty(), "{name} has no outputs");
+        }
+    }
+}

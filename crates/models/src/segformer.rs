@@ -1,0 +1,207 @@
+//! SegFormer — hierarchical vision transformer for semantic segmentation
+//! (paper workload 4, 512×512): overlapped patch embeddings, efficient
+//! self-attention with spatial reduction, Mix-FFN with a depthwise conv,
+//! and the all-MLP decoder head whose `Add→Transpose→Reshape→Resize`
+//! fan-in is the subject of paper Figs. 11/13.
+
+use crate::builder::GraphBuilder;
+use korch_ir::{OpGraph, OpKind, PortRef};
+use korch_tensor::ResizeMode;
+
+/// Configuration of the SegFormer-B0-style model.
+#[derive(Debug, Clone)]
+pub struct SegformerConfig {
+    /// Input resolution (paper: 512).
+    pub resolution: usize,
+    /// Batch size (Fig. 13 sweeps 1 and 16).
+    pub batch: usize,
+    /// Embedding dims per stage (B0: 32, 64, 160, 256).
+    pub dims: Vec<usize>,
+    /// Transformer blocks per stage (B0: 2 each).
+    pub blocks: usize,
+    /// Attention spatial-reduction ratios per stage (B0: 8, 4, 2, 1).
+    pub sr_ratios: Vec<usize>,
+    /// Decoder embedding dim (B0: 256).
+    pub decoder_dim: usize,
+}
+
+impl Default for SegformerConfig {
+    fn default() -> Self {
+        Self {
+            resolution: 512,
+            batch: 1,
+            dims: vec![32, 64, 160, 256],
+            blocks: 2,
+            sr_ratios: vec![8, 4, 2, 1],
+            decoder_dim: 256,
+        }
+    }
+}
+
+impl SegformerConfig {
+    /// Tiny variant for functional tests.
+    pub fn tiny() -> Self {
+        Self {
+            resolution: 32,
+            batch: 1,
+            dims: vec![8, 16],
+            blocks: 1,
+            sr_ratios: vec![2, 1],
+            decoder_dim: 16,
+        }
+    }
+}
+
+/// Efficient self-attention on `[B, N, D]` tokens with spatial reduction
+/// `sr` (keys/values computed on N/sr² tokens via a strided conv).
+fn attention(
+    b: &mut GraphBuilder,
+    x: PortRef,
+    side: usize,
+    dim: usize,
+    sr: usize,
+) -> PortRef {
+    let batch = b.shape(x)[0];
+    let n = side * side;
+    let q = b.linear(x, dim);
+    let kv_tokens = if sr > 1 {
+        // [B,N,D] -> [B,D,H,W] -> strided conv -> [B, N/sr², D]
+        let t = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![x]);
+        let img = b.add(OpKind::Reshape { shape: vec![batch, dim, side, side] }, vec![t]);
+        let red = b.conv(img, dim, sr, sr, 0);
+        let rside = side / sr;
+        let flat = b.add(
+            OpKind::Reshape { shape: vec![batch, dim, rside * rside] },
+            vec![red],
+        );
+        let back = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![flat]);
+        b.layer_norm(back)
+    } else {
+        x
+    };
+    let k = b.linear(kv_tokens, dim);
+    let v = b.linear(kv_tokens, dim);
+    let kt = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![k]);
+    let scores = b.add(OpKind::MatMul, vec![q, kt]);
+    let scaled = b.add(OpKind::MulScalar(1.0 / (dim as f32).sqrt()), vec![scores]);
+    let attn = b.add(OpKind::Softmax { axis: 2 }, vec![scaled]);
+    let ctx = b.add(OpKind::MatMul, vec![attn, v]);
+    let _ = n;
+    b.linear(ctx, dim)
+}
+
+/// Mix-FFN: `Linear → DWConv(3x3) → GELU → Linear` (SegFormer's
+/// position-encoding-free MLP).
+fn mix_ffn(b: &mut GraphBuilder, x: PortRef, side: usize, dim: usize) -> PortRef {
+    let batch = b.shape(x)[0];
+    let hidden = 4 * dim;
+    let h = b.linear(x, hidden);
+    // tokens -> image for the depthwise conv
+    let t = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![h]);
+    let img = b.add(OpKind::Reshape { shape: vec![batch, hidden, side, side] }, vec![t]);
+    let dw = b.conv_grouped(img, hidden, 3, 1, 1, hidden);
+    let flat = b.add(
+        OpKind::Reshape { shape: vec![batch, hidden, side * side] },
+        vec![dw],
+    );
+    let back = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![flat]);
+    let act = b.gelu(back);
+    b.linear(act, dim)
+}
+
+/// Builds the SegFormer model (encoder + Fig. 11 decoder head).
+pub fn segformer(config: SegformerConfig) -> OpGraph {
+    let mut b = GraphBuilder::new(0x5E6);
+    let r = config.resolution;
+    let x = b.input(vec![config.batch, 3, r, r]);
+    let mut stage_outputs: Vec<(PortRef, usize)> = Vec::new();
+    let mut cur = x;
+    let mut side = r;
+    for (i, &dim) in config.dims.iter().enumerate() {
+        // Overlapped patch embedding: stride-4 (first) or stride-2 conv.
+        let (k, s) = if i == 0 { (7, 4) } else { (3, 2) };
+        let emb = b.conv(cur, dim, k, s, k / 2);
+        side /= s;
+        let tokens = side * side;
+        let flat = b.add(
+            OpKind::Reshape { shape: vec![config.batch, dim, tokens] },
+            vec![emb],
+        );
+        let mut t = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![flat]);
+        t = b.layer_norm(t);
+        let sr = config.sr_ratios.get(i).copied().unwrap_or(1);
+        for _ in 0..config.blocks {
+            let skip = t;
+            let normed = b.layer_norm(t);
+            let att = attention(&mut b, normed, side, dim, sr);
+            let res = b.add2(att, skip);
+            let normed2 = b.layer_norm(res);
+            let ffn = mix_ffn(&mut b, normed2, side, dim);
+            t = b.add2(ffn, res);
+        }
+        stage_outputs.push((t, side));
+        // tokens -> image for the next stage's patch embedding
+        let timg = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![t]);
+        cur = b.add(
+            OpKind::Reshape { shape: vec![config.batch, dim, side, side] },
+            vec![timg],
+        );
+    }
+    // Decoder (Fig. 11): per-stage Linear to decoder_dim, then
+    // Add→Transpose→Reshape→Resize to the stage-1 resolution, concat, fuse.
+    let out_side = r / 4;
+    let mut resized = Vec::new();
+    for &(t, s_side) in &stage_outputs {
+        let proj = b.linear(t, config.decoder_dim);
+        let tr = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![proj]);
+        let img = b.add(
+            OpKind::Reshape { shape: vec![config.batch, config.decoder_dim, s_side, s_side] },
+            vec![tr],
+        );
+        let up = b.add(
+            OpKind::Resize { out_h: out_side, out_w: out_side, mode: ResizeMode::Bilinear },
+            vec![img],
+        );
+        resized.push(up);
+    }
+    let cat = b.concat(resized, 1);
+    let fused = b.conv(cat, config.decoder_dim, 1, 1, 0);
+    let bn = b.batch_norm(fused);
+    let act = b.relu(bn);
+    let logits = b.conv(act, 19, 1, 1, 0); // ADE-style class map
+    b.finish(&[logits])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_segformer_builds() {
+        let g = segformer(SegformerConfig::default());
+        let out = g.meta(*g.outputs().first().unwrap());
+        assert_eq!(out.shape(), &[1, 19, 128, 128]);
+        assert!(g.len() > 200, "got {} ops", g.len());
+    }
+
+    #[test]
+    fn tiny_segformer_builds() {
+        let g = segformer(SegformerConfig::tiny());
+        let out = g.meta(*g.outputs().first().unwrap());
+        assert_eq!(out.shape(), &[1, 19, 8, 8]);
+    }
+
+    #[test]
+    fn batch_dimension_propagates() {
+        let g = segformer(SegformerConfig { batch: 2, ..SegformerConfig::tiny() });
+        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape()[0], 2);
+    }
+
+    #[test]
+    fn contains_softmax_and_layernorm() {
+        let g = segformer(SegformerConfig::tiny());
+        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::Softmax { .. })));
+        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::LayerNorm { .. })));
+        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::Resize { .. })));
+    }
+}

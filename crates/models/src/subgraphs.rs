@@ -1,0 +1,193 @@
+//! The exact case-study subgraphs of the paper's evaluation (§6.3–6.4).
+
+use crate::builder::GraphBuilder;
+use korch_ir::{OpGraph, OpKind};
+use korch_tensor::{ResizeMode, UnaryOp};
+
+/// Fig. 2a / Fig. 4a: the scaled-softmax self-attention subgraph
+/// `MatMul → Div → Softmax → MatMul` for `m` queries of dimension `d`.
+pub fn softmax_attention(m: usize, d: usize) -> OpGraph {
+    let mut b = GraphBuilder::new(0xA11E);
+    let x = b.input(vec![m, d]);
+    let wk = b.weight(vec![d, m]); // produces the m×m score matrix
+    let scores = b.add(OpKind::MatMul, vec![x, wk]);
+    let scaled = b.add(OpKind::MulScalar(1.0 / (d as f32).sqrt()), vec![scores]);
+    let attn = b.add(OpKind::Softmax { axis: 1 }, vec![scaled]);
+    let v = b.weight(vec![m, d]);
+    let out = b.add(OpKind::MatMul, vec![attn, v]);
+    b.finish(&[out])
+}
+
+/// §6.4 "Map one operator to different kernels": the Segformer
+/// self-attention block whose Softmax Korch maps across four kernels.
+/// `tokens` × `dim`, with spatial-reduction factor `sr` on keys/values.
+pub fn segformer_attention(tokens: usize, dim: usize, sr: usize) -> OpGraph {
+    let mut b = GraphBuilder::new(0x5E6F);
+    let x = b.input(vec![tokens, dim]);
+    let q = b.linear(x, dim);
+    // Spatial reduction: keys/values on tokens/sr rows.
+    let red = b.add(
+        OpKind::Reshape { shape: vec![tokens / sr, sr * dim] },
+        vec![x],
+    );
+    let kv = b.linear(red, dim);
+    let kt = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![kv]);
+    let scores = b.add(OpKind::MatMul, vec![q, kt]);
+    let scaled = b.add(OpKind::MulScalar(1.0 / (dim as f32).sqrt()), vec![scores]);
+    let attn = b.add(OpKind::Softmax { axis: 1 }, vec![scaled]);
+    let v = b.linear(kv, dim);
+    let out = b.add(OpKind::MatMul, vec![attn, v]);
+    b.finish(&[out])
+}
+
+/// Fig. 8a: the EfficientViT ReLU linear-attention block. `n` tokens of
+/// dimension `d` (3·d channels after the QKV projection); the extreme
+/// `n : d` aspect ratio (1024:1 in the paper) is what Korch's layout
+/// optimization fixes.
+pub fn efficientvit_attention(n: usize, d: usize) -> OpGraph {
+    let side = (n as f64).sqrt() as usize;
+    assert_eq!(side * side, n, "token count must be a square");
+    let mut b = GraphBuilder::new(0xEF1C);
+    // Input feature map [1, d, H, W].
+    let x = b.input(vec![1, d, side, side]);
+    // QKV projection (1x1 conv to 3d channels), then tokens-first layout.
+    let qkv = b.conv(x, 3 * d, 1, 1, 0);
+    let resh = b.add(OpKind::Reshape { shape: vec![3 * d, n] }, vec![qkv]);
+    let t = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![resh]); // [n, 3d]
+    let q = b.add(OpKind::Slice { starts: vec![0, 0], ends: vec![n, d] }, vec![t]);
+    let k = b.add(OpKind::Slice { starts: vec![0, d], ends: vec![n, 2 * d] }, vec![t]);
+    let v = b.add(OpKind::Slice { starts: vec![0, 2 * d], ends: vec![n, 3 * d] }, vec![t]);
+    let q = b.relu(q);
+    let k = b.relu(k);
+    // Linear attention: out = q (kᵀ v) / (q (kᵀ 1))
+    let kt = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![k]); // [d, n]
+    let kv = b.add(OpKind::MatMul, vec![kt, v]); // [d, d]
+    let qkv2 = b.add(OpKind::MatMul, vec![q, kv]); // [n, d]
+    // Normalizer: row sums of k give z = q · (Σ kᵀ); ReduceSum over tokens.
+    let ksum = b.add(
+        OpKind::Reduce { kind: korch_tensor::ReduceKind::Sum, axis: 0, keep_dim: true },
+        vec![k],
+    ); // [1, d]
+    let kst = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![ksum]); // [d, 1]
+    let z = b.add(OpKind::MatMul, vec![q, kst]); // [n, 1]
+    let z_eps = b.add(OpKind::AddScalar(1e-6), vec![z]);
+    let out = b.add(OpKind::Div, vec![qkv2, z_eps]);
+    b.finish(&[out])
+}
+
+/// Fig. 11: the Segformer decoder head. Four stage outputs
+/// `[bs, Hi·Wi, 256]` each go through `Add(bias) → Transpose → Reshape →
+/// Resize(128×128)` and are concatenated along channels.
+pub fn segformer_decoder(batch: usize) -> OpGraph {
+    segformer_decoder_sized(batch, &[128, 64, 32, 16], 256, 128)
+}
+
+/// [`segformer_decoder`] with explicit stage sides, channel count and
+/// target side (for scaled-down functional tests).
+pub fn segformer_decoder_sized(
+    batch: usize,
+    sides: &[usize],
+    channels: usize,
+    out_side: usize,
+) -> OpGraph {
+    let mut b = GraphBuilder::new(0xDEC0);
+    let mut resized = Vec::new();
+    for &side in sides {
+        let tokens = side * side;
+        let x = b.input(vec![batch, tokens, channels]);
+        let bias = b.weight(vec![channels]);
+        let added = b.add(OpKind::Add, vec![x, bias]);
+        let t = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![added]);
+        let r = b.add(
+            OpKind::Reshape { shape: vec![batch, channels, side, side] },
+            vec![t],
+        );
+        let up = b.add(
+            OpKind::Resize { out_h: out_side, out_w: out_side, mode: ResizeMode::Bilinear },
+            vec![r],
+        );
+        resized.push(up);
+    }
+    let cat = b.concat(resized, 1);
+    b.finish(&[cat])
+}
+
+/// Fig. 12: the Candy conv-block pattern `InstanceNorm → ReLU → Pad`
+/// (the pad feeds the next convolution).
+pub fn instance_norm_block(channels: usize, side: usize) -> OpGraph {
+    let mut b = GraphBuilder::new(0x17);
+    let x = b.input(vec![1, channels, side, side]);
+    let n = b.instance_norm(x);
+    let r = b.relu(n);
+    let p = b.add(
+        OpKind::Pad {
+            before: vec![0, 0, 1, 1],
+            after: vec![0, 0, 1, 1],
+            value: 0.0,
+        },
+        vec![r],
+    );
+    b.finish(&[p])
+}
+
+/// A tiny opaque-operator graph (TopK-style) exercising the §3 escape
+/// hatch: everything around the opaque node still optimizes.
+pub fn with_opaque_topk(n: usize, k: usize) -> OpGraph {
+    let mut b = GraphBuilder::new(0x70BB);
+    let x = b.input(vec![n]);
+    let e = b.unary(x, UnaryOp::Exp);
+    let t = b.add(
+        OpKind::Custom { name: "topk".into(), out_shapes: vec![vec![k]] },
+        vec![e],
+    );
+    let r = b.relu(t);
+    b.finish(&[r])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use korch_ir::PrimStats;
+
+    #[test]
+    fn softmax_attention_shapes() {
+        let g = softmax_attention(64, 32);
+        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[64, 32]);
+        assert!(g.len() >= 7, "expected a rich operator graph, got {}", g.len());
+    }
+
+    #[test]
+    fn efficientvit_attention_has_extreme_aspect() {
+        let g = efficientvit_attention(1024, 16);
+        // The q·(kᵀ1) matmul is [1024,16]x[16,1]: 1024:1 output aspect.
+        let out = g.meta(*g.outputs().first().unwrap());
+        assert_eq!(out.shape(), &[1024, 16]);
+    }
+
+    #[test]
+    fn segformer_decoder_matches_fig11_shapes() {
+        let g = segformer_decoder(1);
+        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[1, 4 * 256, 128, 128]);
+        let g16 = segformer_decoder(16);
+        assert_eq!(g16.meta(*g16.outputs().first().unwrap()).shape(), &[16, 1024, 128, 128]);
+    }
+
+    #[test]
+    fn instance_norm_block_shape() {
+        let g = instance_norm_block(32, 224);
+        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[1, 32, 226, 226]);
+    }
+
+    #[test]
+    fn segformer_attention_builds() {
+        let g = segformer_attention(256, 64, 4);
+        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[256, 64]);
+    }
+
+    #[test]
+    fn opaque_graph_builds() {
+        let g = with_opaque_topk(100, 10);
+        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[10]);
+        let _ = PrimStats::default();
+    }
+}

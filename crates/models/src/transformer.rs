@@ -1,0 +1,153 @@
+//! A Transformer encoder model — the workload class the paper's
+//! introduction motivates (Fig. 2 optimizes multi-head attention [34]) and
+//! the natural host for the Softmax fission of Fig. 3.
+//!
+//! Two flavours share the same attention skeleton:
+//!
+//! - [`transformer_encoder`] — BERT-style post-norm blocks:
+//!   `LayerNorm(x + MHA(x))`, `LayerNorm(x + FFN_gelu(x))`;
+//! - [`llama_block`] — pre-norm blocks with the second-wave operators:
+//!   `x + MHA(RmsNorm(x))`, `x + FFN_gelu_tanh(RmsNorm(x))`.
+
+use crate::builder::GraphBuilder;
+use korch_ir::{OpGraph, OpKind, PortRef};
+
+/// Configuration of the Transformer encoder workloads.
+#[derive(Debug, Clone, Copy)]
+pub struct TransformerConfig {
+    /// Sequence length.
+    pub seq: usize,
+    /// Model (embedding) dimension.
+    pub d_model: usize,
+    /// Attention heads (`d_model % heads == 0`).
+    pub heads: usize,
+    /// MLP expansion factor.
+    pub mlp_ratio: usize,
+    /// Number of encoder blocks.
+    pub layers: usize,
+}
+
+impl TransformerConfig {
+    /// BERT-base-like geometry at a single-sequence batch.
+    pub fn base() -> Self {
+        Self { seq: 128, d_model: 768, heads: 12, mlp_ratio: 4, layers: 4 }
+    }
+
+    /// Small enough for CPU functional verification in tests.
+    pub fn tiny() -> Self {
+        Self { seq: 8, d_model: 16, heads: 2, mlp_ratio: 2, layers: 1 }
+    }
+}
+
+/// Multi-head self attention on `x: [seq, d_model]`; returns `[seq, d_model]`.
+fn mha(b: &mut GraphBuilder, x: PortRef, cfg: &TransformerConfig) -> PortRef {
+    let (s, d, h) = (cfg.seq, cfg.d_model, cfg.heads);
+    let dh = d / h;
+    let q = b.linear(x, d);
+    let k = b.linear(x, d);
+    let v = b.linear(x, d);
+    // [seq, d] -> [heads, seq, dh]
+    let to_heads = |b: &mut GraphBuilder, t: PortRef| {
+        let r = b.add(OpKind::Reshape { shape: vec![s, h, dh] }, vec![t]);
+        b.add(OpKind::Transpose { perm: vec![1, 0, 2] }, vec![r])
+    };
+    let qh = to_heads(b, q);
+    let kh = to_heads(b, k);
+    let vh = to_heads(b, v);
+    // scores = q @ k^T / sqrt(dh): [h, s, s]
+    let kt = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![kh]);
+    let qk = b.add(OpKind::MatMul, vec![qh, kt]);
+    let scaled = b.add(OpKind::MulScalar(1.0 / (dh as f32).sqrt()), vec![qk]);
+    let attn = b.add(OpKind::Softmax { axis: 2 }, vec![scaled]);
+    // out = attn @ v: [h, s, dh] -> [s, d]
+    let ctx = b.add(OpKind::MatMul, vec![attn, vh]);
+    let back = b.add(OpKind::Transpose { perm: vec![1, 0, 2] }, vec![ctx]);
+    let merged = b.add(OpKind::Reshape { shape: vec![s, d] }, vec![back]);
+    b.linear(merged, d)
+}
+
+/// BERT-style post-norm encoder: `layers` blocks of MHA + GELU MLP.
+pub fn transformer_encoder(cfg: TransformerConfig) -> OpGraph {
+    assert_eq!(cfg.d_model % cfg.heads, 0, "heads must divide d_model");
+    let mut b = GraphBuilder::new(0xBE27);
+    let mut x = b.input(vec![cfg.seq, cfg.d_model]);
+    for _ in 0..cfg.layers {
+        let a = mha(&mut b, x, &cfg);
+        let res = b.add2(x, a);
+        x = b.layer_norm(res);
+        let up = b.linear(x, cfg.d_model * cfg.mlp_ratio);
+        let act = b.gelu(up);
+        let down = b.linear(act, cfg.d_model);
+        let res2 = b.add2(x, down);
+        x = b.layer_norm(res2);
+    }
+    b.finish(&[x])
+}
+
+/// Llama-style pre-norm block built from the second-wave operators
+/// (RmsNorm, tanh-GELU): `layers` blocks of
+/// `x + MHA(RmsNorm(x))` followed by `x + MLP(RmsNorm(x))`.
+pub fn llama_block(cfg: TransformerConfig) -> OpGraph {
+    assert_eq!(cfg.d_model % cfg.heads, 0, "heads must divide d_model");
+    let mut b = GraphBuilder::new(0x11A3A);
+    let mut x = b.input(vec![cfg.seq, cfg.d_model]);
+    for _ in 0..cfg.layers {
+        let scale = b.ones(vec![cfg.d_model]);
+        let n = b.add(OpKind::RmsNorm { eps: 1e-6 }, vec![x, scale]);
+        let a = mha(&mut b, n, &cfg);
+        x = b.add2(x, a);
+        let scale2 = b.ones(vec![cfg.d_model]);
+        let n2 = b.add(OpKind::RmsNorm { eps: 1e-6 }, vec![x, scale2]);
+        let up = b.linear(n2, cfg.d_model * cfg.mlp_ratio);
+        let act = b.add(OpKind::GeluTanh, vec![up]);
+        let down = b.linear(act, cfg.d_model);
+        x = b.add2(x, down);
+    }
+    b.finish(&[x])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use korch_exec::{execute_ops, execute_prims};
+    use korch_fission::fission;
+    use korch_tensor::Tensor;
+
+    #[test]
+    fn encoder_shapes_are_stable() {
+        let cfg = TransformerConfig::tiny();
+        for g in [transformer_encoder(cfg), llama_block(cfg)] {
+            let out = g.outputs()[0];
+            assert_eq!(g.meta(out).shape(), &[cfg.seq, cfg.d_model]);
+        }
+    }
+
+    #[test]
+    fn encoder_fission_preserves_semantics() {
+        let cfg = TransformerConfig::tiny();
+        for g in [transformer_encoder(cfg), llama_block(cfg)] {
+            let x = Tensor::random(vec![cfg.seq, cfg.d_model], 5);
+            let reference = execute_ops(&g, &[x.clone()]).unwrap();
+            let f = fission(&g).unwrap();
+            let out = execute_prims(&f.prim_graph, &[x]).unwrap();
+            assert!(reference[0].allclose(&out[0], 1e-3), "fission diverged");
+        }
+    }
+
+    #[test]
+    fn attention_rows_are_probability_rows() {
+        // Sanity: softmax rows of the attention block integrate to one —
+        // checked indirectly through a rank-preserving output: values are
+        // finite and bounded after layers of norms.
+        let g = transformer_encoder(TransformerConfig::tiny());
+        let x = Tensor::random(vec![8, 16], 7);
+        let out = execute_ops(&g, &[x]).unwrap();
+        assert!(out[0].as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn base_config_is_paper_scale() {
+        let g = transformer_encoder(TransformerConfig::base());
+        assert!(g.len() > 100, "expected a deep graph, got {}", g.len());
+    }
+}

@@ -1,0 +1,197 @@
+//! YOLO object detectors: a CSPDarknet-style **YOLOv4** (Mish activations,
+//! SPP neck, PANet-style head) and a depthwise-separable **YOLOX-Nano**
+//! (SiLU activations, decoupled head). Structurally faithful to the
+//! concat-heavy, activation-rich operator mixes the paper evaluates at
+//! 416×416.
+
+use crate::builder::GraphBuilder;
+use korch_ir::{OpGraph, PortRef};
+
+/// Configuration shared by the two detectors.
+#[derive(Debug, Clone, Copy)]
+pub struct YoloConfig {
+    /// Input resolution (paper: 416).
+    pub resolution: usize,
+    /// Base channel width (32 for YOLOv4, 16 for YOLOX-Nano).
+    pub width: usize,
+    /// Residual/CSP block repeats per stage.
+    pub depth: usize,
+}
+
+impl YoloConfig {
+    /// Paper-scale YOLOv4.
+    pub fn v4() -> Self {
+        Self { resolution: 416, width: 32, depth: 2 }
+    }
+
+    /// Paper-scale YOLOX-Nano.
+    pub fn x_nano() -> Self {
+        Self { resolution: 416, width: 16, depth: 1 }
+    }
+
+    /// Tiny variant for functional tests.
+    pub fn tiny() -> Self {
+        Self { resolution: 32, width: 4, depth: 1 }
+    }
+}
+
+fn conv_bn_mish(b: &mut GraphBuilder, x: PortRef, c: usize, k: usize, s: usize) -> PortRef {
+    let conv = b.conv(x, c, k, s, k / 2);
+    let bn = b.batch_norm(conv);
+    b.mish(bn)
+}
+
+fn conv_bn_silu(b: &mut GraphBuilder, x: PortRef, c: usize, k: usize, s: usize) -> PortRef {
+    let conv = b.conv(x, c, k, s, k / 2);
+    let bn = b.batch_norm(conv);
+    b.silu(bn)
+}
+
+/// Depthwise-separable conv with SiLU (YOLOX-Nano building block).
+fn dw_conv_silu(b: &mut GraphBuilder, x: PortRef, c: usize, k: usize, s: usize) -> PortRef {
+    let in_c = b.shape(x)[1];
+    let dw = b.conv_grouped(x, in_c, k, s, k / 2, in_c);
+    let bn1 = b.batch_norm(dw);
+    let a1 = b.silu(bn1);
+    let pw = b.conv(a1, c, 1, 1, 0);
+    let bn2 = b.batch_norm(pw);
+    b.silu(bn2)
+}
+
+/// CSP stage: split channels, run residual bottlenecks on one half,
+/// concatenate (the YOLOv4 backbone motif).
+fn csp_stage(b: &mut GraphBuilder, x: PortRef, c: usize, blocks: usize) -> PortRef {
+    let down = conv_bn_mish(b, x, c, 3, 2);
+    let part1 = conv_bn_mish(b, down, c / 2, 1, 1);
+    let mut part2 = conv_bn_mish(b, down, c / 2, 1, 1);
+    for _ in 0..blocks {
+        let skip = part2;
+        let h = conv_bn_mish(b, part2, c / 2, 1, 1);
+        let h = conv_bn_mish(b, h, c / 2, 3, 1);
+        part2 = b.add2(h, skip);
+    }
+    let cat = b.concat(vec![part1, part2], 1);
+    conv_bn_mish(b, cat, c, 1, 1)
+}
+
+/// Spatial pyramid pooling: 5/9/13 max-pools concatenated (YOLOv4 neck).
+fn spp(b: &mut GraphBuilder, x: PortRef) -> PortRef {
+    let c = b.shape(x)[1];
+    let p5 = b.max_pool(x, 5, 1, 2);
+    let p9 = b.max_pool(x, 9, 1, 4);
+    let p13 = b.max_pool(x, 13, 1, 6);
+    let cat = b.concat(vec![x, p5, p9, p13], 1);
+    conv_bn_mish(b, cat, c, 1, 1)
+}
+
+/// Builds the YOLOv4-style detector.
+pub fn yolov4(config: YoloConfig) -> OpGraph {
+    let w = config.width;
+    let mut b = GraphBuilder::new(0x404);
+    let x = b.input(vec![1, 3, config.resolution, config.resolution]);
+    let stem = conv_bn_mish(&mut b, x, w, 3, 1);
+    let s1 = csp_stage(&mut b, stem, 2 * w, config.depth);
+    let s2 = csp_stage(&mut b, s1, 4 * w, config.depth);
+    let s3 = csp_stage(&mut b, s2, 8 * w, config.depth);
+    let neck = spp(&mut b, s3);
+    // PANet-style top-down path: upsample neck, concat with s2 features.
+    let lat = conv_bn_mish(&mut b, neck, 4 * w, 1, 1);
+    let up = b.upsample2x(lat);
+    let s2l = conv_bn_mish(&mut b, s2, 4 * w, 1, 1);
+    let fuse = b.concat(vec![up, s2l], 1);
+    let p_mid = conv_bn_mish(&mut b, fuse, 4 * w, 3, 1);
+    // Bottom-up path back down.
+    let down = conv_bn_mish(&mut b, p_mid, 8 * w, 3, 2);
+    let fuse2 = b.concat(vec![down, neck], 1);
+    let p_low = conv_bn_mish(&mut b, fuse2, 8 * w, 3, 1);
+    // Two detection heads (bbox+cls fused as one conv each).
+    let det_mid = b.conv(p_mid, 3 * 85, 1, 1, 0);
+    let det_low = b.conv(p_low, 3 * 85, 1, 1, 0);
+    b.finish(&[det_mid, det_low])
+}
+
+/// Builds the YOLOX-Nano-style detector (depthwise separable, decoupled
+/// head, SiLU).
+pub fn yolox_nano(config: YoloConfig) -> OpGraph {
+    let w = config.width;
+    let mut b = GraphBuilder::new(0x40B);
+    let x = b.input(vec![1, 3, config.resolution, config.resolution]);
+    // Focus-style stem: space-to-depth via strided slices, then conv.
+    let stem = conv_bn_silu(&mut b, x, w, 3, 2);
+    // Three depthwise-separable CSP-ish stages.
+    let mut feats = Vec::new();
+    let mut y = stem;
+    for (i, mult) in [2usize, 4, 8].into_iter().enumerate() {
+        y = dw_conv_silu(&mut b, y, mult * w, 3, 2);
+        for _ in 0..config.depth {
+            let skip = y;
+            let h = dw_conv_silu(&mut b, y, mult * w, 3, 1);
+            y = b.add2(h, skip);
+        }
+        if i >= 1 {
+            feats.push(y);
+        }
+    }
+    // Decoupled head on the last two feature maps.
+    let mut outs = Vec::new();
+    for f in feats {
+        let stemh = conv_bn_silu(&mut b, f, 2 * w, 1, 1);
+        // classification branch
+        let c1 = dw_conv_silu(&mut b, stemh, 2 * w, 3, 1);
+        let cls = b.conv(c1, 80, 1, 1, 0);
+        // regression branch
+        let r1 = dw_conv_silu(&mut b, stemh, 2 * w, 3, 1);
+        let reg = b.conv(r1, 4, 1, 1, 0);
+        let obj = b.conv(r1, 1, 1, 1, 0);
+        let cat = b.concat(vec![reg, obj, cls], 1);
+        outs.push(cat);
+    }
+    b.finish(&outs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use korch_ir::OpKind;
+
+    #[test]
+    fn yolov4_has_two_heads() {
+        let g = yolov4(YoloConfig::tiny());
+        assert_eq!(g.outputs().len(), 2);
+        let s0 = g.meta(g.outputs()[0]).shape().to_vec();
+        let s1 = g.meta(g.outputs()[1]).shape().to_vec();
+        assert_eq!(s0[1], 255);
+        assert_eq!(s1[1], 255);
+        assert_eq!(s0[2], 2 * s1[2]); // stride-16 vs stride-32 maps
+    }
+
+    #[test]
+    fn yolov4_full_scale_builds() {
+        let g = yolov4(YoloConfig::v4());
+        assert!(g.len() > 150, "got {} ops", g.len());
+        assert_eq!(g.meta(g.outputs()[0]).shape()[2], 104); // mid head at 416/4
+    }
+
+    #[test]
+    fn yolox_outputs_85_channels() {
+        let g = yolox_nano(YoloConfig::tiny());
+        assert_eq!(g.outputs().len(), 2);
+        for &o in g.outputs() {
+            assert_eq!(g.meta(o).shape()[1], 85); // 4 + 1 + 80
+        }
+    }
+
+    #[test]
+    fn yolox_full_scale_builds() {
+        let g = yolox_nano(YoloConfig::x_nano());
+        assert!(g.len() > 100, "got {} ops", g.len());
+    }
+
+    #[test]
+    fn mish_and_silu_present() {
+        let v4 = yolov4(YoloConfig::tiny());
+        assert!(v4.nodes().iter().any(|n| matches!(n.kind, OpKind::Mish)));
+        let x = yolox_nano(YoloConfig::tiny());
+        assert!(x.nodes().iter().any(|n| matches!(n.kind, OpKind::Silu)));
+    }
+}

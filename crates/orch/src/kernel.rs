@@ -1,0 +1,881 @@
+//! Kernel identification (paper §4.1, Algorithm 1 second half): every pair
+//! of execution states `D1 ⊂ D2` yields a convex candidate subgraph
+//! `P′ = D2 \ D1`; each valid possible-output choice of `P′` becomes a
+//! candidate kernel, priced by the profiler on its best backend.
+
+use crate::state::StateSpace;
+use korch_cost::{kernel_spec, Backend, KernelSpec, Micros, Profiler};
+use korch_ir::{NodeId, PortRef, PrimGraph, PrimKind};
+use std::collections::{BTreeSet, HashSet};
+
+/// Limits applied during kernel identification (the paper's §6.5 rejection
+/// heuristics plus safety caps).
+#[derive(Debug, Clone)]
+pub struct IdentifyConfig {
+    /// Maximum primitives per kernel ("too many operators to generate
+    /// within one kernel", §6.5).
+    pub max_kernel_prims: usize,
+    /// Maximum linear-transformation primitives per kernel ("including
+    /// multiple linear transformation primitives" is rejected, §6.5).
+    pub max_linear_per_kernel: usize,
+    /// Hard cap on the number of candidates.
+    pub max_candidates: usize,
+    /// Allow kernels that materialize more than one output primitive
+    /// (paper §5.2 restricts to one; §8 lists multi-output as future work).
+    pub multi_output: bool,
+    /// Skip tuning a candidate when its *optimistic* latency bound
+    /// ([`Profiler::quick_latency`]) already loses to running its members
+    /// as individual kernels — the paper's §8 "lightweight cost model to
+    /// quickly discard inefficient candidates".
+    pub quick_prune: bool,
+    /// Aggressiveness of the quick-prune filter: a candidate is discarded
+    /// when `quick_bound × margin ≥ singleton cover`. At `1.0` the filter
+    /// is *provably sound* (the bound lower-bounds every backend, so the
+    /// exact profiler would reject the candidate too); larger margins trade
+    /// optimality for tuning time — the trade-off the §8 study sweeps.
+    pub quick_prune_margin: f64,
+}
+
+impl Default for IdentifyConfig {
+    fn default() -> Self {
+        Self {
+            max_kernel_prims: 18,
+            max_linear_per_kernel: 1,
+            max_candidates: 50_000,
+            multi_output: false,
+            quick_prune: false,
+            quick_prune_margin: 1.0,
+        }
+    }
+}
+
+/// A candidate kernel: a convex set of primitives, the primitives it
+/// materializes, and its profiled latency.
+#[derive(Debug, Clone)]
+pub struct CandidateKernel {
+    /// Member primitives, ascending id (= topological) order.
+    pub members: Vec<NodeId>,
+    /// This candidate materializes *every* externally visible node of its
+    /// member set (used by the chain-DP incumbent).
+    pub full_output: bool,
+    /// Came from a greedy-fusion seed group (protected from pruning).
+    pub seeded: bool,
+    /// Output *nodes* this kernel materializes.
+    pub output_nodes: Vec<NodeId>,
+    /// Output ports written to device memory (the externally consumed ports
+    /// of `output_nodes`).
+    pub outputs: Vec<PortRef>,
+    /// Extracted cost features.
+    pub spec: KernelSpec,
+    /// The cheapest applicable backend.
+    pub backend: Backend,
+    /// Profiled latency on that backend.
+    pub latency: Micros,
+    /// Simulated tuning time for Table 2 accounting.
+    pub tuning_s: f64,
+}
+
+/// Result of kernel identification.
+#[derive(Debug, Clone)]
+pub struct Candidates {
+    /// All accepted candidate kernels.
+    pub kernels: Vec<CandidateKernel>,
+    /// Number of convex subgraphs considered (before output-set expansion
+    /// and rejection).
+    pub subgraphs_considered: usize,
+    /// Whether the candidate cap was hit.
+    pub truncated: bool,
+    /// Complete greedy-fusion selections (each a disjoint cover of all
+    /// primitives by member sets); used as BLP warm-start incumbents.
+    pub seed_selections: Vec<Vec<Vec<NodeId>>>,
+    /// Total simulated tuning time of every candidate actually profiled
+    /// (Table 2 accounting; quick-pruned candidates cost nothing).
+    pub tuning_time_s: f64,
+    /// Candidates discarded by the quick lower bound without profiling
+    /// (§8 tuning-time acceleration).
+    pub quick_pruned: usize,
+}
+
+/// Identifies candidate kernels from an enumerated state space.
+///
+/// `backends` are tried in order; the cheapest *applicable* one wins:
+/// memory-intensive kernels may not use [`Backend::Vendor`], and vendor
+/// kernels must look like `linear + small epilogue` (paper §5.2 rejects
+/// compute-intensive subgraphs that do not match vendor-library entry
+/// points).
+pub fn identify_kernels(
+    g: &PrimGraph,
+    space: &StateSpace,
+    profiler: &Profiler,
+    config: &IdentifyConfig,
+    backends: &[Backend],
+) -> Candidates {
+    let succ = g.successors();
+    let graph_output_ports: HashSet<PortRef> = g.outputs().iter().copied().collect();
+    let mut seen: HashSet<Vec<NodeId>> = HashSet::new();
+    let mut kernels = Vec::new();
+    let mut truncated = false;
+    let mut subgraphs = 0usize;
+    let mut tuning_time_s = 0.0f64;
+    let mut quick_pruned = 0usize;
+    // The tuning database (paper §6.5): candidates with identical cost
+    // features share one tuned schedule and are charged once.
+    let mut tuned: HashSet<(KernelSpec, Backend)> = HashSet::new();
+    let mut charge = |k: &CandidateKernel, tuning_time_s: &mut f64| {
+        if tuned.insert((k.spec.clone(), k.backend)) {
+            *tuning_time_s += k.tuning_s;
+        }
+    };
+
+    // First pass: singleton kernels. Their latencies also power the "not
+    // beneficial" rejection heuristic below (paper §6.5: "most of the
+    // candidate kernels can be rejected with simple heuristics").
+    let mut singleton_latency: Vec<f64> = vec![f64::INFINITY; g.len()];
+    for (id, node) in g.iter() {
+        if node.kind.is_source() {
+            continue;
+        }
+        let members = vec![id];
+        seen.insert(members.clone());
+        subgraphs += 1;
+        for cand in expand_outputs(g, &members, &succ, &graph_output_ports, config) {
+            if let Some(k) = price_candidate(g, cand, profiler, config, backends) {
+                if k.latency.0 < singleton_latency[id.0] {
+                    singleton_latency[id.0] = k.latency.0;
+                }
+                charge(&k, &mut tuning_time_s);
+                kernels.push(k);
+            }
+        }
+    }
+
+    // Greedy-fusion seed groups: guarantee the candidate set contains the
+    // strategies a rule-based fuser would pick, even when the state DFS is
+    // truncated on wide graphs. These may exceed `max_kernel_prims`.
+    let mut seed_selections: Vec<Vec<Vec<NodeId>>> = Vec::new();
+    for (close_at_reduce, isolate_fan_in, linear_open) in [
+        (false, false, true),
+        (true, false, true),
+        (false, true, true),
+        (false, false, false),
+    ] {
+        let groups = greedy_seed_groups(g, close_at_reduce, isolate_fan_in, linear_open);
+        let mut selection = Vec::new();
+        for members in groups {
+            selection.push(members.clone());
+            if seen.insert(members.clone()) {
+                subgraphs += 1;
+                for cand in expand_outputs(g, &members, &succ, &graph_output_ports, config) {
+                    if let Some(k) =
+                        price_candidate_inner(g, cand, profiler, config, backends, true)
+                    {
+                        charge(&k, &mut tuning_time_s);
+                        kernels.push(k);
+                    }
+                }
+            }
+        }
+        seed_selections.push(selection);
+    }
+    // "Fuse everything" seed (paper Fig. 11a — what TVM picks for a
+    // memory-bound subgraph): valid when at most one linear primitive and
+    // no opaque primitive is present.
+    {
+        let all: Vec<NodeId> = g
+            .iter()
+            .filter(|(_, n)| !n.kind.is_source())
+            .map(|(id, _)| id)
+            .collect();
+        let linear = all.iter().filter(|&&m| g.node(m).kind.is_linear()).count();
+        let opaque = all
+            .iter()
+            .any(|&m| matches!(g.node(m).kind, PrimKind::Opaque { .. }));
+        if all.len() > 1 && linear <= config.max_linear_per_kernel && !opaque {
+            if seen.insert(all.clone()) {
+                subgraphs += 1;
+                for cand in expand_outputs(g, &all, &succ, &graph_output_ports, config) {
+                    if let Some(k) =
+                        price_candidate_inner(g, cand, profiler, config, backends, true)
+                    {
+                        charge(&k, &mut tuning_time_s);
+                        kernels.push(k);
+                    }
+                }
+            }
+            seed_selections.push(vec![all]);
+        }
+    }
+
+    'outer: for d1 in &space.states {
+        for d2 in &space.states {
+            if d1 == d2 || !d1.is_subset(d2) {
+                continue;
+            }
+            let members = d1.diff_from(d2);
+            if members.is_empty() || members.len() > config.max_kernel_prims {
+                continue;
+            }
+            if !seen.insert(members.clone()) {
+                continue;
+            }
+            subgraphs += 1;
+            // Reject fusions that cannot beat running their members as
+            // individual kernels (launch savings are already priced in).
+            let singleton_sum: f64 = members.iter().map(|m| singleton_latency[m.0]).sum();
+            for cand in expand_outputs(g, &members, &succ, &graph_output_ports, config) {
+                // §8 tuning-time acceleration: an optimistic, tuning-free
+                // bound that already loses to the singleton cover proves
+                // the candidate can never be selected — skip profiling it.
+                if config.quick_prune {
+                    let member_set: BTreeSet<NodeId> = cand.members.iter().copied().collect();
+                    let spec = kernel_spec(g, &member_set, &cand.outputs);
+                    let bound = profiler.quick_latency(&spec).0 * config.quick_prune_margin;
+                    if bound >= singleton_sum {
+                        quick_pruned += 1;
+                        continue;
+                    }
+                }
+                if let Some(k) = price_candidate(g, cand, profiler, config, backends) {
+                    charge(&k, &mut tuning_time_s);
+                    if k.latency.0 >= singleton_sum {
+                        continue;
+                    }
+                    kernels.push(k);
+                    if kernels.len() >= config.max_candidates {
+                        truncated = true;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    }
+    Candidates {
+        kernels,
+        subgraphs_considered: subgraphs,
+        truncated,
+        seed_selections,
+        tuning_time_s,
+        quick_pruned,
+    }
+}
+
+/// Greedy rule-based fusion over the primitive graph (the strategy space of
+/// TVM/TensorRT-style fusers): linear primitives anchor fresh groups,
+/// memory-bound primitives join their producer's group when the join stays
+/// convex, weight-broadcast chains are adopted lazily by their consumers.
+/// With `close_at_reduce`, groups stop absorbing after a reduce primitive
+/// (TensorRT-style); without it, reduces fuse through (TVM-style). With
+/// `isolate_fan_in`, primitives joining several data streams (concat,
+/// residual adds) become dedicated kernels — the per-branch strategy B of
+/// paper Fig. 11b. With `linear_open = false`, linear primitives run as
+/// dedicated vendor kernels and the pointwise neighbourhood fuses around
+/// them instead (paper Fig. 2c maps the MatMul alone to kernel 3).
+pub fn greedy_seed_groups(
+    g: &PrimGraph,
+    close_at_reduce: bool,
+    isolate_fan_in: bool,
+    linear_open: bool,
+) -> Vec<Vec<NodeId>> {
+    use std::collections::BTreeSet;
+    let reach = g.reachability();
+    let mut group_of: Vec<Option<usize>> = vec![None; g.len()];
+    let mut members: Vec<BTreeSet<NodeId>> = Vec::new();
+    let mut open: Vec<bool> = Vec::new();
+
+    let convex_join = |members: &BTreeSet<NodeId>, extra: NodeId| {
+        let mut s = members.clone();
+        s.insert(extra);
+        g.is_convex(&s, &reach)
+    };
+
+    enum Class {
+        Source,
+        Linear,
+        Fusable,
+        Reduce,
+        Solo,
+    }
+    let classify = |kind: &PrimKind| match kind.category() {
+        korch_ir::PrimCategory::Source => Class::Source,
+        korch_ir::PrimCategory::Linear => Class::Linear,
+        korch_ir::PrimCategory::Elementwise | korch_ir::PrimCategory::Layout => Class::Fusable,
+        korch_ir::PrimCategory::ReduceBroadcast => match kind {
+            PrimKind::Reduce { .. } => Class::Reduce,
+            PrimKind::WindowReduce { .. } => Class::Solo,
+            _ => Class::Fusable,
+        },
+        korch_ir::PrimCategory::Opaque => Class::Solo,
+    };
+
+    for (id, node) in g.iter() {
+        let class = classify(&node.kind);
+        if matches!(class, Class::Source) {
+            continue;
+        }
+        let distinct_producers = {
+            let mut p: Vec<NodeId> = node
+                .inputs
+                .iter()
+                .map(|r| r.node)
+                .filter(|&p| !g.node(p).kind.is_source())
+                .collect();
+            p.sort_unstable();
+            p.dedup();
+            p.len()
+        };
+        if isolate_fan_in && distinct_producers > 1 {
+            members.push([id].into_iter().collect());
+            open.push(false);
+            group_of[id.0] = Some(members.len() - 1);
+            continue;
+        }
+        let all_producers_pending = node
+            .inputs
+            .iter()
+            .all(|r| g.node(r.node).kind.is_source() || group_of[r.node.0].is_none());
+        if matches!(class, Class::Fusable) && all_producers_pending {
+            continue; // adopted later by a consumer
+        }
+        let mut producer_groups: Vec<usize> =
+            node.inputs.iter().filter_map(|r| group_of[r.node.0]).collect();
+        producer_groups.sort_unstable();
+        producer_groups.dedup();
+        let joinable = producer_groups
+            .iter()
+            .copied()
+            .find(|&gr| open[gr] && convex_join(&members[gr], id));
+        let gid = match (&class, joinable) {
+            (Class::Fusable, Some(gr)) => gr,
+            (Class::Reduce, Some(gr)) => {
+                if close_at_reduce {
+                    open[gr] = false;
+                }
+                gr
+            }
+            (Class::Fusable | Class::Reduce, None) => {
+                members.push(BTreeSet::new());
+                open.push(!(close_at_reduce && matches!(class, Class::Reduce)));
+                members.len() - 1
+            }
+            (Class::Linear, _) => {
+                members.push(BTreeSet::new());
+                open.push(linear_open);
+                members.len() - 1
+            }
+            (Class::Solo | Class::Source, _) => {
+                members.push(BTreeSet::new());
+                open.push(false);
+                members.len() - 1
+            }
+        };
+        group_of[id.0] = Some(gid);
+        members[gid].insert(id);
+        // Adopt pending weight-broadcast chains feeding this node.
+        let mut stack: Vec<NodeId> = node.inputs.iter().map(|r| r.node).collect();
+        while let Some(p) = stack.pop() {
+            if group_of[p.0].is_some() || g.node(p).kind.is_source() {
+                continue;
+            }
+            if !convex_join(&members[gid], p) {
+                continue;
+            }
+            group_of[p.0] = Some(gid);
+            members[gid].insert(p);
+            stack.extend(g.node(p).inputs.iter().map(|r| r.node));
+        }
+    }
+    // Pending leftovers chain among themselves.
+    for (id, node) in g.iter() {
+        if group_of[id.0].is_some() || node.kind.is_source() {
+            continue;
+        }
+        let producer_gid = node
+            .inputs
+            .iter()
+            .filter_map(|r| group_of[r.node.0])
+            .find(|&gr| open[gr] && convex_join(&members[gr], id));
+        let gid = match producer_gid {
+            Some(gr) => gr,
+            None => {
+                members.push(BTreeSet::new());
+                open.push(true);
+                members.len() - 1
+            }
+        };
+        group_of[id.0] = Some(gid);
+        members[gid].insert(id);
+    }
+    members
+        .into_iter()
+        .filter(|m| !m.is_empty())
+        .map(|m| m.into_iter().collect())
+        .collect()
+}
+
+struct RawCandidate {
+    members: Vec<NodeId>,
+    output_nodes: Vec<NodeId>,
+    outputs: Vec<PortRef>,
+    full_output: bool,
+}
+
+/// Enumerates the possible output sets of a convex subgraph (paper Def. 3):
+/// nodes with an edge leaving the subgraph (or a graph-output port). With
+/// `multi_output = false`, one candidate per single output node; otherwise
+/// all non-empty subsets up to size 2 are considered.
+fn expand_outputs(
+    g: &PrimGraph,
+    members: &[NodeId],
+    succ: &[Vec<NodeId>],
+    graph_outputs: &HashSet<PortRef>,
+    config: &IdentifyConfig,
+) -> Vec<RawCandidate> {
+    let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+    // Qualifying nodes and, per node, the ports that are externally visible.
+    let mut qualifying: Vec<(NodeId, Vec<PortRef>)> = Vec::new();
+    for &m in members {
+        let mut ports: BTreeSet<PortRef> = BTreeSet::new();
+        // Ports consumed by nodes outside the subgraph.
+        for &s in &succ[m.0] {
+            if !member_set.contains(&s) {
+                for r in &g.node(s).inputs {
+                    if r.node == m {
+                        ports.insert(*r);
+                    }
+                }
+            }
+        }
+        // Ports that are graph outputs.
+        for port in 0..g.node(m).out_metas.len() {
+            let p = PortRef { node: m, port };
+            if graph_outputs.contains(&p) {
+                ports.insert(p);
+            }
+        }
+        if !ports.is_empty() {
+            qualifying.push((m, ports.into_iter().collect()));
+        }
+    }
+    let mut out = Vec::new();
+    for (i, (n1, p1)) in qualifying.iter().enumerate() {
+        out.push(RawCandidate {
+            members: members.to_vec(),
+            output_nodes: vec![*n1],
+            outputs: p1.clone(),
+            full_output: qualifying.len() == 1,
+        });
+        if config.multi_output {
+            for (n2, p2) in qualifying.iter().skip(i + 1) {
+                let mut ports = p1.clone();
+                ports.extend_from_slice(p2);
+                out.push(RawCandidate {
+                    members: members.to_vec(),
+                    output_nodes: vec![*n1, *n2],
+                    outputs: ports,
+                    full_output: qualifying.len() == 2,
+                });
+            }
+        }
+    }
+    // The "materialize everything visible" candidate: needed by the
+    // chain-DP incumbent (and the §8 multi-output extension).
+    if qualifying.len() > if config.multi_output { 2 } else { 1 } {
+        out.push(RawCandidate {
+            members: members.to_vec(),
+            output_nodes: qualifying.iter().map(|(n, _)| *n).collect(),
+            outputs: qualifying.iter().flat_map(|(_, p)| p.clone()).collect(),
+            full_output: true,
+        });
+    }
+    out
+}
+
+/// Applies the rejection heuristics and prices the candidate on its best
+/// backend. Returns `None` when the candidate is rejected (the profiler
+/// "returns ∞", Algorithm 1 line 19).
+fn price_candidate(
+    g: &PrimGraph,
+    cand: RawCandidate,
+    profiler: &Profiler,
+    config: &IdentifyConfig,
+    backends: &[Backend],
+) -> Option<CandidateKernel> {
+    price_candidate_inner(g, cand, profiler, config, backends, false)
+}
+
+fn price_candidate_inner(
+    g: &PrimGraph,
+    cand: RawCandidate,
+    profiler: &Profiler,
+    config: &IdentifyConfig,
+    backends: &[Backend],
+    seeded: bool,
+) -> Option<CandidateKernel> {
+    let member_set: BTreeSet<NodeId> = cand.members.iter().copied().collect();
+    let mut linear = 0usize;
+    let mut opaque = 0usize;
+    for &m in &cand.members {
+        match g.node(m).kind {
+            PrimKind::Linear(_) => linear += 1,
+            PrimKind::Opaque { .. } => opaque += 1,
+            _ => {}
+        }
+    }
+    if linear > config.max_linear_per_kernel {
+        return None;
+    }
+    if opaque > 0 && cand.members.len() > 1 {
+        return None; // opaque primitives execute alone
+    }
+    let spec = kernel_spec(g, &member_set, &cand.outputs);
+    let mut best: Option<(Backend, Micros)> = None;
+    for &b in backends {
+        if !backend_applicable(g, &cand.members, &spec, b) {
+            continue;
+        }
+        let t = profiler.latency(&spec, b);
+        if best.is_none_or(|(_, bt)| t.0 < bt.0) {
+            best = Some((b, t));
+        }
+    }
+    let (backend, latency) = best?;
+    let tuning_s = profiler.tuning_time_s(&spec, backend);
+    Some(CandidateKernel {
+        members: cand.members,
+        full_output: cand.full_output,
+        seeded,
+        output_nodes: cand.output_nodes,
+        outputs: cand.outputs,
+        spec,
+        backend,
+        latency,
+        tuning_s,
+    })
+}
+
+/// Backend applicability (paper §5.2): vendor libraries serve
+/// compute-intensive kernels shaped like `linear (+ short elementwise /
+/// broadcast epilogue)`; the generated backend serves memory-intensive
+/// kernels; TensorRT runtime kernels follow vendor rules for compute and
+/// also run fused memory kernels.
+pub fn backend_applicable(
+    g: &PrimGraph,
+    members: &[NodeId],
+    spec: &KernelSpec,
+    backend: Backend,
+) -> bool {
+    match backend {
+        Backend::Generated => !spec.is_compute_intensive() || spec.linear.len() <= 1,
+        Backend::Vendor | Backend::TrtRuntime => {
+            if !spec.is_compute_intensive() {
+                return backend == Backend::TrtRuntime;
+            }
+            if spec.linear.len() != 1 {
+                return false;
+            }
+            // Everything except the linear prim must be a fusable epilogue/
+            // prologue: elementwise, broadcast, or free reshape/transpose
+            // (cuDNN/TensorRT fuse conv+BN+activation chains natively, so
+            // the epilogue may be long as long as it stays pointwise).
+            for &m in members {
+                match &g.node(m).kind {
+                    PrimKind::Linear(_)
+                    | PrimKind::Elementwise(_)
+                    | PrimKind::Broadcast { .. }
+                    | PrimKind::Layout(korch_ir::LayoutFn::Reshape { .. })
+                    | PrimKind::Layout(korch_ir::LayoutFn::Transpose { .. }) => {}
+                    _ => return false,
+                }
+            }
+            true
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::enumerate_states;
+    use korch_cost::Device;
+    use korch_ir::{EwFn, LayoutFn, LinearFn};
+    use korch_tensor::{BinaryOp, MatMulSpec, ReduceKind, UnaryOp};
+
+    /// The Fig. 4a-style softmax attention subgraph used across tests.
+    fn softmax_prims() -> PrimGraph {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![16, 64] }, vec![]).unwrap();
+        let e = g
+            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .unwrap();
+        let r = g
+            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+            .unwrap();
+        let b = g.add(PrimKind::Broadcast { axis: 1, size: 64 }, vec![r.into()]).unwrap();
+        let d = g
+            .add(
+                PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
+                vec![e.into(), b.into()],
+            )
+            .unwrap();
+        g.mark_output(d).unwrap();
+        g
+    }
+
+    fn default_candidates(g: &PrimGraph) -> Candidates {
+        let space = enumerate_states(g, 10_000);
+        identify_kernels(
+            g,
+            &space,
+            &Profiler::new(Device::v100()),
+            &IdentifyConfig::default(),
+            &[Backend::Generated, Backend::Vendor],
+        )
+    }
+
+    #[test]
+    fn softmax_candidates_include_full_fusion_and_singletons() {
+        let g = softmax_prims();
+        let c = default_candidates(&g);
+        // Full fusion {exp, reduce, bcast, div} must be a candidate...
+        assert!(c
+            .kernels
+            .iter()
+            .any(|k| k.members.len() == 4 && k.output_nodes == vec![NodeId(4)]));
+        // ...and so must every singleton.
+        for id in 1..=4 {
+            assert!(
+                c.kernels.iter().any(|k| k.members == vec![NodeId(id)]),
+                "missing singleton for node {id}"
+            );
+        }
+        assert!(!c.truncated);
+    }
+
+    #[test]
+    fn output_sets_follow_definition_3() {
+        let g = softmax_prims();
+        let c = default_candidates(&g);
+        // Kernel {exp}: exp's output feeds reduce AND div (both external),
+        // so the single output is exp itself.
+        let k = c.kernels.iter().find(|k| k.members == vec![NodeId(1)]).unwrap();
+        assert_eq!(k.output_nodes, vec![NodeId(1)]);
+        // Kernel {exp, reduce}: both exp (feeds div) and reduce (feeds
+        // bcast) qualify as outputs -> two single-output candidates.
+        let outs: Vec<_> = c
+            .kernels
+            .iter()
+            .filter(|k| k.members == vec![NodeId(1), NodeId(2)])
+            .map(|k| k.output_nodes.clone())
+            .collect();
+        assert!(outs.contains(&vec![NodeId(1)]));
+        assert!(outs.contains(&vec![NodeId(2)]));
+    }
+
+    #[test]
+    fn multi_linear_kernels_rejected() {
+        // Two chained matmuls: no candidate may contain both.
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![8, 8] }, vec![]).unwrap();
+        let w1 = g.add(PrimKind::Input { shape: vec![8, 8] }, vec![]).unwrap();
+        let w2 = g.add(PrimKind::Input { shape: vec![8, 8] }, vec![]).unwrap();
+        let m1 = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![x.into(), w1.into()],
+            )
+            .unwrap();
+        let m2 = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![m1.into(), w2.into()],
+            )
+            .unwrap();
+        g.mark_output(m2).unwrap();
+        let c = default_candidates(&g);
+        assert!(c.kernels.iter().all(|k| k.members.len() == 1));
+    }
+
+    #[test]
+    fn vendor_only_for_linear_epilogue_shapes() {
+        let g = softmax_prims();
+        let space = enumerate_states(&g, 1000);
+        let c = identify_kernels(
+            &g,
+            &space,
+            &Profiler::new(Device::v100()),
+            &IdentifyConfig::default(),
+            &[Backend::Vendor], // vendor cannot serve memory-intensive kernels
+        );
+        assert!(c.kernels.is_empty());
+    }
+
+    #[test]
+    fn kernel_size_cap_respected() {
+        let g = softmax_prims();
+        let space = enumerate_states(&g, 1000);
+        let config = IdentifyConfig { max_kernel_prims: 2, ..Default::default() };
+        let c = identify_kernels(
+            &g,
+            &space,
+            &Profiler::new(Device::v100()),
+            &config,
+            &[Backend::Generated],
+        );
+        // Only greedy-fusion seeds may exceed the cap.
+        assert!(c.kernels.iter().all(|k| k.seeded || k.members.len() <= 2));
+        assert!(c.kernels.iter().any(|k| k.seeded));
+    }
+
+    #[test]
+    fn multi_output_expansion_optional() {
+        let g = softmax_prims();
+        let space = enumerate_states(&g, 1000);
+        let single = identify_kernels(
+            &g,
+            &space,
+            &Profiler::new(Device::v100()),
+            &IdentifyConfig::default(),
+            &[Backend::Generated],
+        );
+        let multi = identify_kernels(
+            &g,
+            &space,
+            &Profiler::new(Device::v100()),
+            &IdentifyConfig { multi_output: true, ..Default::default() },
+            &[Backend::Generated],
+        );
+        // Full-output candidates exist in both modes (the chain-DP needs
+        // them); multi-output mode can only add candidates.
+        assert!(multi.kernels.len() >= single.kernels.len());
+        assert!(single.kernels.iter().any(|k| k.full_output && k.output_nodes.len() == 2));
+    }
+
+    #[test]
+    fn opaque_prims_execute_alone() {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![32] }, vec![]).unwrap();
+        let o = g
+            .add(
+                PrimKind::Opaque { name: "topk".into(), out_shapes: vec![vec![4]] },
+                vec![x.into()],
+            )
+            .unwrap();
+        let rl = g
+            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![o.into()])
+            .unwrap();
+        g.mark_output(rl).unwrap();
+        let c = default_candidates(&g);
+        for k in &c.kernels {
+            if k.members.contains(&o) {
+                assert_eq!(k.members.len(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4_example_kernel_counts() {
+        // Fig 4b identifies 21 kernels (12 singletons + 9 fusions) for the
+        // 12-primitive attention subgraph. Our identifier enumerates at
+        // least the singletons plus several fusions; the exact set depends
+        // on output-choice expansion, so check the lower bound and convexity.
+        let g = softmax_prims();
+        let c = default_candidates(&g);
+        let reach = g.reachability();
+        for k in &c.kernels {
+            let set: BTreeSet<NodeId> = k.members.iter().copied().collect();
+            assert!(g.is_convex(&set, &reach), "non-convex candidate {:?}", k.members);
+        }
+        assert!(c.kernels.len() >= 8);
+        let _ = c.subgraphs_considered;
+    }
+
+    #[test]
+    fn quick_prune_saves_tuning_without_losing_winners() {
+        // §8 tuning-time acceleration: with the quick bound on, fewer
+        // candidates are tuned, but every candidate that could win (beat
+        // its singleton cover) is still present.
+        let g = softmax_prims();
+        let space = enumerate_states(&g, 10_000);
+        let profiler = Profiler::new(Device::v100());
+        let backends = [Backend::Generated, Backend::Vendor];
+        let full = identify_kernels(&g, &space, &profiler, &IdentifyConfig::default(), &backends);
+        let pruned = identify_kernels(
+            &g,
+            &space,
+            &profiler,
+            &IdentifyConfig { quick_prune: true, ..Default::default() },
+            &backends,
+        );
+        assert_eq!(full.quick_pruned, 0);
+        assert!(pruned.tuning_time_s <= full.tuning_time_s);
+        // Soundness: the surviving candidate sets must be identical — the
+        // quick bound only discards candidates the exact pricing would
+        // discard too (bound <= true latency, and the rejection threshold
+        // is the same singleton sum).
+        let key = |k: &CandidateKernel| (k.members.clone(), k.outputs.clone());
+        let full_set: HashSet<_> = full.kernels.iter().map(key).collect();
+        let pruned_set: HashSet<_> = pruned.kernels.iter().map(key).collect();
+        assert_eq!(full_set, pruned_set);
+    }
+
+    #[test]
+    fn quick_prune_discards_untuned_candidates_on_large_graphs() {
+        // A long pointwise chain over a big tensor: most multi-member
+        // windows lose to their singleton covers once passes pile up, so
+        // the quick bound should skip a measurable share of tunings.
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![1024, 1024] }, vec![]).unwrap();
+        let mut cur: PortRef = x.into();
+        for i in 0..8 {
+            // Alternate reduce+broadcast (multi-pass when fused) with
+            // pointwise links.
+            if i % 3 == 2 {
+                let r = g
+                    .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![cur])
+                    .unwrap();
+                let b = g
+                    .add(PrimKind::Broadcast { axis: 1, size: 1024 }, vec![r.into()])
+                    .unwrap();
+                cur = b.into();
+            } else {
+                cur = g
+                    .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![cur])
+                    .unwrap()
+                    .into();
+            }
+        }
+        g.mark_output(cur.node).unwrap();
+        let space = enumerate_states(&g, 10_000);
+        let profiler = Profiler::new(Device::v100());
+        let cfg = IdentifyConfig { quick_prune: true, ..Default::default() };
+        let pruned =
+            identify_kernels(&g, &space, &profiler, &cfg, &[Backend::Generated, Backend::Vendor]);
+        let full = identify_kernels(
+            &g,
+            &space,
+            &profiler,
+            &IdentifyConfig::default(),
+            &[Backend::Generated, Backend::Vendor],
+        );
+        assert!(pruned.quick_pruned > 0, "nothing was quick-pruned");
+        assert!(
+            pruned.tuning_time_s < full.tuning_time_s,
+            "quick pruning saved no tuning time: {} vs {}",
+            pruned.tuning_time_s,
+            full.tuning_time_s
+        );
+    }
+
+    #[test]
+    fn layout_only_kernels_allowed() {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![4, 4] }, vec![]).unwrap();
+        let t = g
+            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![x.into()])
+            .unwrap();
+        g.mark_output(t).unwrap();
+        let c = default_candidates(&g);
+        assert_eq!(c.kernels.len(), 1);
+        assert!(!c.kernels[0].spec.is_compute_intensive());
+    }
+}

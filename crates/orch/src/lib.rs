@@ -1,0 +1,163 @@
+//! Kernel orchestration (paper §4): maps a primitive graph to an optimal
+//! set of GPU kernels.
+//!
+//! The pipeline inside this crate mirrors the paper exactly:
+//!
+//! 1. [`enumerate_states`] — DFS over execution states (Definition 2,
+//!    Algorithm 1);
+//! 2. [`identify_kernels`] — every pair of states yields a convex candidate
+//!    subgraph (Theorem 1); possible-output sets (Definition 3) expand each
+//!    into candidate kernels, priced by the `korch-cost` profiler with the
+//!    §6.5 rejection heuristics;
+//! 3. [`optimize`] — the binary linear program of Eqs. 2–4 (with the
+//!    redundant-computation relaxation) solved by `korch-blp`;
+//! 4. [`Plan`] — the selected kernels scheduled sequentially (§5.3).
+//!
+//! [`Orchestrator`] bundles the four steps:
+//!
+//! ```
+//! use korch_cost::Device;
+//! use korch_ir::{PrimGraph, PrimKind, EwFn};
+//! use korch_orch::Orchestrator;
+//! use korch_tensor::UnaryOp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = PrimGraph::new();
+//! let x = g.add(PrimKind::Input { shape: vec![64, 64] }, vec![])?;
+//! let e = g.add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])?;
+//! let r = g.add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![e.into()])?;
+//! g.mark_output(r)?;
+//! let orch = Orchestrator::new(Device::v100());
+//! let outcome = orch.orchestrate(&g)?;
+//! assert_eq!(outcome.plan.kernel_count(), 1); // exp+relu fuse
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod kernel;
+mod layout;
+mod optimizer;
+mod plan;
+mod state;
+mod stream;
+
+pub use kernel::{backend_applicable, identify_kernels, CandidateKernel, Candidates, IdentifyConfig};
+pub use layout::{
+    layout_variants, optimize_with_layouts, KernelLayout, LayoutConfig, LayoutOutcome,
+    LayoutVariant, TensorLayout,
+};
+pub use optimizer::{optimize, OptimizeConfig, OrchError, SolveReport};
+pub use plan::{Plan, SelectedKernel};
+pub use state::{enumerate_states, BitSet, StateSpace};
+pub use stream::{schedule_streams, StreamAssignment, StreamSchedule};
+
+use korch_cost::{Backend, Device, Micros, Profiler};
+use korch_ir::PrimGraph;
+
+/// Configuration of the whole orchestration stage.
+#[derive(Debug, Clone, Default)]
+pub struct OrchestratorConfig {
+    /// Execution-state enumeration cap.
+    pub max_states: Option<usize>,
+    /// Kernel identification limits.
+    pub identify: IdentifyConfig,
+    /// BLP construction and solver settings.
+    pub optimize: OptimizeConfig,
+}
+
+/// Everything produced by one orchestration run.
+#[derive(Debug, Clone)]
+pub struct Orchestration {
+    /// The executable kernel plan.
+    pub plan: Plan,
+    /// Number of execution states enumerated.
+    pub num_states: usize,
+    /// Number of candidate kernels identified (Table 2 column).
+    pub num_candidates: usize,
+    /// Simulated tuning time over all *unique* candidates, seconds
+    /// (Table 2 column; mirrors the paper's TVM-database caching).
+    pub tuning_time_s: f64,
+    /// Simulated tuning clock of the *identification* stage: every
+    /// database-distinct candidate that was profiled, including ones the
+    /// rejection heuristics later discard (the §8 study's denominator).
+    pub profile_tuning_s: f64,
+    /// Candidates discarded by the quick cost bound without profiling
+    /// (0 unless [`IdentifyConfig::quick_prune`] is enabled).
+    pub quick_pruned: usize,
+    /// Solver statistics.
+    pub report: SolveReport,
+    /// Whether state or candidate enumeration hit a cap.
+    pub truncated: bool,
+}
+
+/// Bundles state enumeration, kernel identification and BLP optimization.
+#[derive(Debug, Clone)]
+pub struct Orchestrator {
+    profiler: Profiler,
+    config: OrchestratorConfig,
+    backends: Vec<Backend>,
+}
+
+impl Orchestrator {
+    /// Orchestrator for a device with default configuration and the
+    /// standard backend pair (generated + vendor).
+    pub fn new(device: Device) -> Self {
+        Self {
+            profiler: Profiler::new(device),
+            config: OrchestratorConfig::default(),
+            backends: vec![Backend::Generated, Backend::Vendor],
+        }
+    }
+
+    /// Replaces the configuration.
+    pub fn with_config(mut self, config: OrchestratorConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the candidate backends.
+    pub fn with_backends(mut self, backends: Vec<Backend>) -> Self {
+        self.backends = backends;
+        self
+    }
+
+    /// The profiler in use.
+    pub fn profiler(&self) -> &Profiler {
+        &self.profiler
+    }
+
+    /// Runs the full §4 pipeline on one primitive graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OrchError`] when no feasible kernel cover exists or the
+    /// solver budget is exhausted without an incumbent.
+    pub fn orchestrate(&self, g: &PrimGraph) -> Result<Orchestration, OrchError> {
+        let max_states = self.config.max_states.unwrap_or(1_500);
+        let space = enumerate_states(g, max_states);
+        let cands =
+            identify_kernels(g, &space, &self.profiler, &self.config.identify, &self.backends);
+        let (plan, report) = optimize(g, &cands, Some(&space), &self.config.optimize)?;
+        let tuning_time_s = report.tuning_time_s;
+        Ok(Orchestration {
+            plan,
+            num_states: space.states.len(),
+            num_candidates: cands.kernels.len(),
+            tuning_time_s,
+            profile_tuning_s: cands.tuning_time_s,
+            quick_pruned: cands.quick_pruned,
+            report,
+            truncated: space.truncated || cands.truncated,
+        })
+    }
+
+    /// Prices an externally supplied plan (used by the baselines, which
+    /// construct their kernels rule-based rather than via BLP).
+    pub fn price_plan(&self, plan: &mut Plan) {
+        let total: Micros = plan.kernels.iter().map(|k| k.latency).sum();
+        plan.total_latency = total;
+    }
+}

@@ -1,0 +1,500 @@
+//! Multi-stream execution of an orchestrated plan — the inter-kernel
+//! optimization the paper leaves as future work (§5.3: "Korch only
+//! considers sequential execution of the orchestrated kernels and does not
+//! consider inter-kernel optimizations such as CUDA multi-streaming").
+//!
+//! [`schedule_streams`] maps a [`Plan`]'s kernels onto `S` CUDA-stream
+//! lanes with a list scheduler and simulates the resulting makespan under a
+//! resource-sharing model:
+//!
+//! - **dependencies** — a kernel starts only after, for each primitive it
+//!   reads from device memory, *some* kernel materializing that primitive
+//!   has finished;
+//! - **launch pipelining** — each kernel's launch overhead is uncontended
+//!   (the driver pipelines launches across streams), so plans made of many
+//!   small kernels gain from multi-streaming even when every kernel is
+//!   bandwidth-bound;
+//! - **class-based contention** — concurrent *memory-intensive* kernel
+//!   bodies share HBM bandwidth (n co-running bodies each progress at rate
+//!   1/n: co-scheduling two bandwidth-saturated kernels saves nothing),
+//!   while *compute-intensive* bodies share the SMs among themselves. A
+//!   memory-bound body overlapping a compute-bound body is the genuinely
+//!   profitable case — that is where multi-streaming wins.
+//!
+//! With one stream the simulation degenerates to the paper's sequential
+//! model: the makespan equals Σ kernel latencies (Eq. 2) exactly.
+
+use crate::plan::Plan;
+use korch_cost::{kernel_spec, Device, Micros};
+use korch_ir::{NodeId, PrimGraph};
+use std::collections::{BTreeSet, HashMap, HashSet};
+
+/// Resource class of a kernel body under concurrent execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ResourceClass {
+    /// Saturates HBM bandwidth (no linear primitive, paper §5.2).
+    Memory,
+    /// Saturates the SMs / tensor cores.
+    Compute,
+}
+
+/// Placement of one plan kernel on a stream, with simulated times in µs.
+#[derive(Debug, Clone)]
+pub struct StreamAssignment {
+    /// Index into `plan.kernels`.
+    pub kernel: usize,
+    /// Stream lane (0-based).
+    pub stream: usize,
+    /// Simulated start time, µs.
+    pub start_us: f64,
+    /// Simulated completion time, µs.
+    pub end_us: f64,
+}
+
+/// A multi-stream schedule of a plan.
+#[derive(Debug, Clone)]
+pub struct StreamSchedule {
+    /// Per-kernel placements, in start-time order.
+    pub assignments: Vec<StreamAssignment>,
+    /// Simulated end-to-end latency.
+    pub makespan: Micros,
+    /// Number of stream lanes used.
+    pub num_streams: usize,
+}
+
+impl StreamSchedule {
+    /// Makespan in milliseconds.
+    pub fn makespan_ms(&self) -> f64 {
+        self.makespan.as_millis()
+    }
+
+    /// Speedup of this schedule over the plan's sequential latency.
+    pub fn speedup_vs(&self, plan: &Plan) -> f64 {
+        plan.total_latency.0 / self.makespan.0.max(1e-12)
+    }
+}
+
+struct Job {
+    deps: Vec<usize>,
+    launch_left: f64,
+    body_left: f64,
+    class: ResourceClass,
+}
+
+/// Schedules `plan` onto `num_streams` lanes and simulates the makespan.
+///
+/// Kernels are started greedily in plan order (the plan order is a valid
+/// topological order of the kernel dependency DAG, so the list scheduler
+/// never deadlocks). The result is deterministic.
+///
+/// # Panics
+///
+/// Panics if `num_streams == 0`.
+pub fn schedule_streams(
+    g: &PrimGraph,
+    plan: &Plan,
+    num_streams: usize,
+    device: &Device,
+) -> StreamSchedule {
+    assert!(num_streams > 0, "need at least one stream");
+    let n = plan.kernels.len();
+
+    // Dependency edges: kernel i waits for the first (in plan order) kernel
+    // that materializes each primitive i reads from device memory.
+    let first_producer: HashMap<NodeId, usize> = {
+        let mut m = HashMap::new();
+        for (i, k) in plan.kernels.iter().enumerate() {
+            for o in &k.outputs {
+                m.entry(o.node).or_insert(i);
+            }
+        }
+        m
+    };
+    let mut jobs: Vec<Job> = Vec::with_capacity(n);
+    for (i, k) in plan.kernels.iter().enumerate() {
+        let member_set: BTreeSet<NodeId> = k.members.iter().copied().collect();
+        let mut deps: HashSet<usize> = HashSet::new();
+        for &m in &k.members {
+            for r in &g.node(m).inputs {
+                if member_set.contains(&r.node) || g.node(r.node).kind.is_source() {
+                    continue;
+                }
+                if let Some(&p) = first_producer.get(&r.node) {
+                    if p != i {
+                        deps.insert(p);
+                    }
+                }
+            }
+        }
+        let spec = kernel_spec(g, &member_set, &k.outputs);
+        let class = if spec.is_compute_intensive() {
+            ResourceClass::Compute
+        } else {
+            ResourceClass::Memory
+        };
+        let launch = device.launch_overhead_us.min(k.latency.0);
+        jobs.push(Job {
+            deps: deps.into_iter().collect(),
+            launch_left: launch,
+            body_left: k.latency.0 - launch,
+            class,
+        });
+    }
+
+    // Event-driven simulation with processor sharing per resource class.
+    let mut finished = vec![false; n];
+    let mut finish_time = vec![0.0f64; n];
+    let mut running: Vec<usize> = Vec::new(); // kernel indices
+    let mut stream_of = vec![usize::MAX; n];
+    let mut start_time = vec![0.0f64; n];
+    let mut free_streams: Vec<usize> = (0..num_streams).rev().collect();
+    let mut next_to_consider = 0usize;
+    let mut started = vec![false; n];
+    let mut t = 0.0f64;
+    let mut n_done = 0usize;
+
+    while n_done < n {
+        // Start every ready kernel, in plan order, while streams are free.
+        // Plan order may be blocked on dependencies while later kernels are
+        // ready; scanning from `next_to_consider` keeps this O(n·S) overall.
+        let mut i = next_to_consider;
+        while i < n && !free_streams.is_empty() {
+            if !started[i] && jobs[i].deps.iter().all(|&d| finished[d]) {
+                let s = free_streams.pop().expect("checked non-empty");
+                stream_of[i] = s;
+                start_time[i] = t;
+                started[i] = true;
+                running.push(i);
+            }
+            if started[i] && i == next_to_consider {
+                next_to_consider += 1;
+            }
+            i += 1;
+        }
+        debug_assert!(!running.is_empty(), "list scheduler stalled");
+
+        // Progress rates at this instant: launches are uncontended; bodies
+        // share their class's resource equally.
+        let bodies_mem = running
+            .iter()
+            .filter(|&&k| jobs[k].launch_left <= 0.0 && jobs[k].class == ResourceClass::Memory)
+            .count()
+            .max(1) as f64;
+        let bodies_cmp = running
+            .iter()
+            .filter(|&&k| jobs[k].launch_left <= 0.0 && jobs[k].class == ResourceClass::Compute)
+            .count()
+            .max(1) as f64;
+        let rate = |k: usize| -> f64 {
+            if jobs[k].launch_left > 0.0 {
+                1.0
+            } else {
+                match jobs[k].class {
+                    ResourceClass::Memory => 1.0 / bodies_mem,
+                    ResourceClass::Compute => 1.0 / bodies_cmp,
+                }
+            }
+        };
+        // Time to the next phase change or completion.
+        let mut dt = f64::INFINITY;
+        for &k in &running {
+            let remaining = if jobs[k].launch_left > 0.0 {
+                jobs[k].launch_left
+            } else {
+                jobs[k].body_left
+            };
+            dt = dt.min(remaining / rate(k));
+        }
+        let dt = dt.max(1e-12);
+        // Advance and retire.
+        let rates: Vec<(usize, f64)> = running.iter().map(|&k| (k, rate(k))).collect();
+        for (k, r) in rates {
+            let progress = r * dt;
+            if jobs[k].launch_left > 0.0 {
+                jobs[k].launch_left -= progress;
+                if jobs[k].launch_left < 1e-12 {
+                    jobs[k].launch_left = 0.0;
+                }
+            } else {
+                jobs[k].body_left -= progress;
+            }
+        }
+        t += dt;
+        running.retain(|&k| {
+            if jobs[k].launch_left <= 0.0 && jobs[k].body_left <= 1e-9 {
+                finished[k] = true;
+                finish_time[k] = t;
+                free_streams.push(stream_of[k]);
+                n_done += 1;
+                false
+            } else {
+                true
+            }
+        });
+        free_streams.sort_unstable_by(|a, b| b.cmp(a));
+    }
+
+    let mut assignments: Vec<StreamAssignment> = (0..n)
+        .map(|i| StreamAssignment {
+            kernel: i,
+            stream: stream_of[i],
+            start_us: start_time[i],
+            end_us: finish_time[i],
+        })
+        .collect();
+    assignments.sort_by(|a, b| {
+        a.start_us
+            .partial_cmp(&b.start_us)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.kernel.cmp(&b.kernel))
+    });
+    StreamSchedule { assignments, makespan: Micros(t), num_streams }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{identify_kernels, IdentifyConfig};
+    use crate::optimizer::{optimize, OptimizeConfig};
+    use crate::state::enumerate_states;
+    use korch_cost::{Backend, Profiler};
+    use korch_ir::{EwFn, LinearFn, PortRef, PrimKind};
+    use korch_tensor::{BinaryOp, MatMulSpec, ReduceKind, UnaryOp};
+
+    fn orchestrate(g: &PrimGraph) -> Plan {
+        let space = enumerate_states(g, 10_000);
+        let cands = identify_kernels(
+            g,
+            &space,
+            &Profiler::new(Device::v100()),
+            &IdentifyConfig::default(),
+            &[Backend::Generated, Backend::Vendor],
+        );
+        optimize(g, &cands, Some(&space), &OptimizeConfig::default()).unwrap().0
+    }
+
+    /// Two independent branches: a big matmul and a long pointwise chain.
+    fn heterogeneous_branches() -> PrimGraph {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![512, 512] }, vec![]).unwrap();
+        let w = g
+            .add(
+                PrimKind::Constant {
+                    shape: vec![512, 512],
+                    init: korch_ir::ConstInit::Random(1),
+                },
+                vec![],
+            )
+            .unwrap();
+        let mm = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![x.into(), w.into()],
+            )
+            .unwrap();
+        g.mark_output(mm).unwrap();
+        // Independent memory-bound branch on a second input.
+        let y = g.add(PrimKind::Input { shape: vec![2048, 2048] }, vec![]).unwrap();
+        let mut cur: PortRef = y.into();
+        for _ in 0..3 {
+            let e = g
+                .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![cur])
+                .unwrap();
+            let r = g
+                .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+                .unwrap();
+            let b = g
+                .add(PrimKind::Broadcast { axis: 1, size: 2048 }, vec![r.into()])
+                .unwrap();
+            cur = g
+                .add(
+                    PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
+                    vec![e.into(), b.into()],
+                )
+                .unwrap()
+                .into();
+        }
+        g.mark_output(cur.node).unwrap();
+        g
+    }
+
+    #[test]
+    fn one_stream_equals_sequential_latency() {
+        let g = heterogeneous_branches();
+        let plan = orchestrate(&g);
+        let s = schedule_streams(&g, &plan, 1, &Device::v100());
+        assert!(
+            (s.makespan.0 - plan.total_latency.0).abs() < 1e-6,
+            "S=1 must reproduce Eq. 2: {} vs {}",
+            s.makespan.0,
+            plan.total_latency.0
+        );
+        // All kernels on stream 0, back to back.
+        assert!(s.assignments.iter().all(|a| a.stream == 0));
+    }
+
+    #[test]
+    fn streams_overlap_compute_with_memory() {
+        // Hand-built two-kernel plan: a compute-bound GEMM and an
+        // independent bandwidth-bound elementwise kernel. With two streams
+        // their bodies overlap fully (different resource classes).
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![1024, 1024] }, vec![]).unwrap();
+        let w = g
+            .add(
+                PrimKind::Constant {
+                    shape: vec![1024, 1024],
+                    init: korch_ir::ConstInit::Random(1),
+                },
+                vec![],
+            )
+            .unwrap();
+        let mm = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![x.into(), w.into()],
+            )
+            .unwrap();
+        let y = g.add(PrimKind::Input { shape: vec![4096, 4096] }, vec![]).unwrap();
+        let e = g
+            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![y.into()])
+            .unwrap();
+        g.mark_output(mm).unwrap();
+        g.mark_output(e).unwrap();
+        let device = Device::v100();
+        let profiler = Profiler::new(device.clone());
+        let mk = |members: Vec<korch_ir::NodeId>, out: korch_ir::NodeId, backend| {
+            let set: std::collections::BTreeSet<_> = members.iter().copied().collect();
+            let spec = korch_cost::kernel_spec(&g, &set, &[out.into()]);
+            crate::plan::SelectedKernel {
+                members,
+                outputs: vec![out.into()],
+                latency: profiler.latency(&spec, backend),
+                backend,
+            }
+        };
+        let kernels = vec![mk(vec![mm], mm, Backend::Vendor), mk(vec![e], e, Backend::Generated)];
+        let total = kernels.iter().map(|k| k.latency).sum();
+        let plan = Plan { kernels, total_latency: total };
+
+        let seq = schedule_streams(&g, &plan, 1, &device);
+        let par = schedule_streams(&g, &plan, 2, &device);
+        assert!(
+            (seq.makespan.0 - plan.total_latency.0).abs() < 1e-9,
+            "S=1 is sequential"
+        );
+        assert!(
+            par.makespan.0 < seq.makespan.0 * 0.9,
+            "compute/memory overlap should win: {} vs {}",
+            par.makespan.0,
+            seq.makespan.0
+        );
+        assert!(par.speedup_vs(&plan) > 1.1);
+        // Different streams, overlapping spans.
+        let a = &par.assignments[0];
+        let b = &par.assignments[1];
+        assert_ne!(a.stream, b.stream);
+        assert!(a.start_us < b.end_us && b.start_us < a.end_us, "no overlap: {a:?} {b:?}");
+    }
+
+    #[test]
+    fn identical_memory_branches_gain_little_body_time() {
+        // Four equal bandwidth-bound branches: bodies share HBM, so the
+        // only saving is launch pipelining.
+        let mut g = PrimGraph::new();
+        let mut outs = Vec::new();
+        for _ in 0..4 {
+            let x = g.add(PrimKind::Input { shape: vec![1024, 1024] }, vec![]).unwrap();
+            let e = g
+                .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+                .unwrap();
+            outs.push(e);
+        }
+        for o in outs {
+            g.mark_output(o).unwrap();
+        }
+        let plan = orchestrate(&g);
+        let device = Device::v100();
+        let seq = schedule_streams(&g, &plan, 1, &device);
+        let par = schedule_streams(&g, &plan, 4, &device);
+        let launch_budget = device.launch_overhead_us * plan.kernel_count() as f64;
+        let saved = seq.makespan.0 - par.makespan.0;
+        assert!(saved >= -1e-9, "streams must not hurt here: saved {saved}");
+        assert!(
+            saved <= launch_budget + 1e-6,
+            "bandwidth-bound branches cannot save more than launch overlap: \
+             saved {saved} vs launch budget {launch_budget}"
+        );
+    }
+
+    #[test]
+    fn dependencies_are_respected() {
+        let g = heterogeneous_branches();
+        let plan = orchestrate(&g);
+        for streams in [1, 2, 4, 8] {
+            let s = schedule_streams(&g, &plan, streams, &Device::v100());
+            let end: HashMap<usize, f64> =
+                s.assignments.iter().map(|a| (a.kernel, a.end_us)).collect();
+            let start: HashMap<usize, f64> =
+                s.assignments.iter().map(|a| (a.kernel, a.start_us)).collect();
+            // Recompute the dependency relation and check start >= dep end.
+            let mut first_producer: HashMap<NodeId, usize> = HashMap::new();
+            for (i, k) in plan.kernels.iter().enumerate() {
+                for o in &k.outputs {
+                    first_producer.entry(o.node).or_insert(i);
+                }
+            }
+            for (i, k) in plan.kernels.iter().enumerate() {
+                let members: HashSet<NodeId> = k.members.iter().copied().collect();
+                for &m in &k.members {
+                    for r in &g.node(m).inputs {
+                        if members.contains(&r.node) || g.node(r.node).kind.is_source() {
+                            continue;
+                        }
+                        if let Some(&p) = first_producer.get(&r.node) {
+                            if p != i {
+                                assert!(
+                                    start[&i] >= end[&p] - 1e-9,
+                                    "kernel {i} started before its producer {p} finished"
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn makespan_never_exceeds_sequential() {
+        let g = heterogeneous_branches();
+        let plan = orchestrate(&g);
+        for streams in [2, 3, 4, 16] {
+            let s = schedule_streams(&g, &plan, streams, &Device::v100());
+            assert!(
+                s.makespan.0 <= plan.total_latency.0 + 1e-6,
+                "S={streams} made things worse"
+            );
+        }
+    }
+
+    #[test]
+    fn stream_lanes_never_overlap_in_time() {
+        let g = heterogeneous_branches();
+        let plan = orchestrate(&g);
+        let s = schedule_streams(&g, &plan, 3, &Device::v100());
+        let mut by_stream: HashMap<usize, Vec<(f64, f64)>> = HashMap::new();
+        for a in &s.assignments {
+            by_stream.entry(a.stream).or_default().push((a.start_us, a.end_us));
+        }
+        for (stream, mut spans) in by_stream {
+            spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+            for w in spans.windows(2) {
+                assert!(
+                    w[1].0 >= w[0].1 - 1e-9,
+                    "stream {stream} runs two kernels at once: {w:?}"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Elementwise unary and binary reference kernels.
+//!
+//! Elementwise primitives (paper §3) map each output element from the input
+//! elements at the same position. Broadcasting is *not* implicit here — the
+//! IR inserts explicit `Broadcast` primitives — so binary ops require equal
+//! shapes.
+
+use crate::{Tensor, TensorError};
+
+/// Unary elementwise operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum UnaryOp {
+    /// `e^x`
+    Exp,
+    /// Natural logarithm.
+    Ln,
+    /// `max(x, 0)`
+    Relu,
+    /// Leaky ReLU with slope 0.1 on the negative side.
+    LeakyRelu,
+    /// `sqrt(x)`
+    Sqrt,
+    /// Gauss error function (Abramowitz–Stegun approximation).
+    Erf,
+    /// `-x`
+    Neg,
+    /// `1 / x`
+    Recip,
+    /// `tanh(x)`
+    Tanh,
+    /// Logistic sigmoid `1 / (1 + e^-x)`.
+    Sigmoid,
+    /// `|x|`
+    Abs,
+    /// `x^2`
+    Square,
+}
+
+impl UnaryOp {
+    /// Applies the operation to a single value.
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            UnaryOp::Exp => x.exp(),
+            UnaryOp::Ln => x.ln(),
+            UnaryOp::Relu => x.max(0.0),
+            UnaryOp::LeakyRelu => {
+                if x >= 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+            UnaryOp::Sqrt => x.sqrt(),
+            UnaryOp::Erf => erf(x),
+            UnaryOp::Neg => -x,
+            UnaryOp::Recip => 1.0 / x,
+            UnaryOp::Tanh => x.tanh(),
+            UnaryOp::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            UnaryOp::Abs => x.abs(),
+            UnaryOp::Square => x * x,
+        }
+    }
+
+    /// Short lowercase name, used in kernel labels and Graphviz dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            UnaryOp::Exp => "exp",
+            UnaryOp::Ln => "ln",
+            UnaryOp::Relu => "relu",
+            UnaryOp::LeakyRelu => "leaky_relu",
+            UnaryOp::Sqrt => "sqrt",
+            UnaryOp::Erf => "erf",
+            UnaryOp::Neg => "neg",
+            UnaryOp::Recip => "recip",
+            UnaryOp::Tanh => "tanh",
+            UnaryOp::Sigmoid => "sigmoid",
+            UnaryOp::Abs => "abs",
+            UnaryOp::Square => "square",
+        }
+    }
+}
+
+/// Binary elementwise operation (equal shapes; broadcasting is explicit in
+/// the IR via `Broadcast` primitives).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BinaryOp {
+    /// `a + b`
+    Add,
+    /// `a - b`
+    Sub,
+    /// `a * b`
+    Mul,
+    /// `a / b`
+    Div,
+    /// `max(a, b)`
+    Max,
+    /// `min(a, b)`
+    Min,
+    /// `a^b`
+    Pow,
+}
+
+impl BinaryOp {
+    /// Applies the operation to a pair of values.
+    pub fn apply(self, a: f32, b: f32) -> f32 {
+        match self {
+            BinaryOp::Add => a + b,
+            BinaryOp::Sub => a - b,
+            BinaryOp::Mul => a * b,
+            BinaryOp::Div => a / b,
+            BinaryOp::Max => a.max(b),
+            BinaryOp::Min => a.min(b),
+            BinaryOp::Pow => a.powf(b),
+        }
+    }
+
+    /// Short lowercase name, used in kernel labels and Graphviz dumps.
+    pub fn name(self) -> &'static str {
+        match self {
+            BinaryOp::Add => "add",
+            BinaryOp::Sub => "sub",
+            BinaryOp::Mul => "mul",
+            BinaryOp::Div => "div",
+            BinaryOp::Max => "max",
+            BinaryOp::Min => "min",
+            BinaryOp::Pow => "pow",
+        }
+    }
+}
+
+/// Abramowitz–Stegun rational approximation of the error function
+/// (maximum absolute error ≈ 1.5e-7, plenty for f32 verification).
+fn erf(x: f32) -> f32 {
+    let sign = if x < 0.0 { -1.0 } else { 1.0 };
+    let x = x.abs();
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    sign * (1.0 - poly * (-x * x).exp())
+}
+
+impl Tensor {
+    /// Applies a unary elementwise operation.
+    pub fn unary(&self, op: UnaryOp) -> Tensor {
+        self.map(|v| op.apply(v))
+    }
+
+    /// Applies a binary elementwise operation against a same-shaped tensor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if shapes differ.
+    pub fn binary(&self, other: &Tensor, op: BinaryOp) -> Result<Tensor, TensorError> {
+        self.zip_map(other, |a, b| op.apply(a, b))
+    }
+
+    /// Applies a binary elementwise operation against a scalar constant.
+    pub fn binary_scalar(&self, scalar: f32, op: BinaryOp) -> Tensor {
+        self.map(|v| op.apply(v, scalar))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps_negatives() {
+        let t = Tensor::from_vec(vec![4], vec![-2.0, -0.5, 0.0, 3.0]).unwrap();
+        assert_eq!(t.unary(UnaryOp::Relu).as_slice(), &[0.0, 0.0, 0.0, 3.0]);
+    }
+
+    #[test]
+    fn leaky_relu_scales_negatives() {
+        let t = Tensor::from_vec(vec![2], vec![-10.0, 10.0]).unwrap();
+        let r = t.unary(UnaryOp::LeakyRelu);
+        assert!((r.as_slice()[0] + 1.0).abs() < 1e-6);
+        assert_eq!(r.as_slice()[1], 10.0);
+    }
+
+    #[test]
+    fn erf_matches_known_values() {
+        // erf(0)=0, erf(1)≈0.8427, erf(-1)≈-0.8427, erf(∞)→1
+        assert!((erf(0.0)).abs() < 1e-6);
+        assert!((erf(1.0) - 0.8427008).abs() < 1e-5);
+        assert!((erf(-1.0) + 0.8427008).abs() < 1e-5);
+        assert!((erf(4.0) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn sigmoid_is_symmetric_around_half() {
+        let s = UnaryOp::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!((s.apply(2.0) + s.apply(-2.0) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn binary_ops_apply_pointwise() {
+        let a = Tensor::from_vec(vec![3], vec![1.0, 4.0, 9.0]).unwrap();
+        let b = Tensor::from_vec(vec![3], vec![2.0, 2.0, 3.0]).unwrap();
+        assert_eq!(a.binary(&b, BinaryOp::Add).unwrap().as_slice(), &[3.0, 6.0, 12.0]);
+        assert_eq!(a.binary(&b, BinaryOp::Div).unwrap().as_slice(), &[0.5, 2.0, 3.0]);
+        assert_eq!(a.binary(&b, BinaryOp::Max).unwrap().as_slice(), &[2.0, 4.0, 9.0]);
+        assert_eq!(a.binary(&b, BinaryOp::Min).unwrap().as_slice(), &[1.0, 2.0, 3.0]);
+        assert_eq!(a.binary(&b, BinaryOp::Pow).unwrap().as_slice(), &[1.0, 16.0, 729.0]);
+    }
+
+    #[test]
+    fn binary_scalar_broadcasts_constant() {
+        let a = Tensor::from_vec(vec![2], vec![3.0, 5.0]).unwrap();
+        assert_eq!(a.binary_scalar(2.0, BinaryOp::Mul).as_slice(), &[6.0, 10.0]);
+        assert_eq!(a.binary_scalar(1.0, BinaryOp::Sub).as_slice(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn square_and_abs() {
+        let a = Tensor::from_vec(vec![2], vec![-3.0, 2.0]).unwrap();
+        assert_eq!(a.unary(UnaryOp::Square).as_slice(), &[9.0, 4.0]);
+        assert_eq!(a.unary(UnaryOp::Abs).as_slice(), &[3.0, 2.0]);
+    }
+}

@@ -1,0 +1,68 @@
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by tensor operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Data length does not match the product of the shape.
+    ElementCount {
+        /// Product of the requested shape.
+        expected: usize,
+        /// Length of the provided buffer.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Left-hand operand shape.
+        lhs: Vec<usize>,
+        /// Right-hand operand shape.
+        rhs: Vec<usize>,
+    },
+    /// An axis argument is out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor rank.
+        rank: usize,
+    },
+    /// A shape-specific invariant was violated (free-form detail).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ElementCount { expected, actual } => {
+                write!(f, "shape requires {expected} elements but buffer has {actual}")
+            }
+            TensorError::ShapeMismatch { lhs, rhs } => {
+                write!(f, "incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
+        assert_eq!(e.to_string(), "axis 5 out of range for rank 2");
+        let e = TensorError::InvalidArgument("bad pad".into());
+        assert!(e.to_string().contains("bad pad"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Send + Sync + Error>() {}
+        assert_bounds::<TensorError>();
+    }
+}

@@ -1,0 +1,333 @@
+//! Layout transformation reference kernels (paper §3): transpose, reshape,
+//! slice, concat, split, pad. These move data without arithmetic.
+
+use crate::{strides_of, unravel, Tensor, TensorError};
+
+impl Tensor {
+    /// Permutes dimensions: output dim `d` is input dim `perm[d]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if `perm` is not a
+    /// permutation of `0..rank`.
+    pub fn transpose(&self, perm: &[usize]) -> Result<Tensor, TensorError> {
+        let rank = self.rank();
+        if perm.len() != rank {
+            return Err(TensorError::InvalidArgument(format!(
+                "permutation {perm:?} has wrong length for rank {rank}"
+            )));
+        }
+        let mut seen = vec![false; rank];
+        for &p in perm {
+            if p >= rank || seen[p] {
+                return Err(TensorError::InvalidArgument(format!(
+                    "{perm:?} is not a permutation of 0..{rank}"
+                )));
+            }
+            seen[p] = true;
+        }
+        let in_shape = self.shape();
+        let out_shape: Vec<usize> = perm.iter().map(|&p| in_shape[p]).collect();
+        let in_strides = strides_of(in_shape);
+        let mut out = Vec::with_capacity(self.numel());
+        let data = self.as_slice();
+        let mut idx = vec![0usize; rank];
+        if rank == 0 {
+            return Ok(self.clone());
+        }
+        for _ in 0..self.numel() {
+            let mut off = 0usize;
+            for d in 0..rank {
+                off += idx[d] * in_strides[perm[d]];
+            }
+            out.push(data[off]);
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Reinterprets the data with a new shape of equal element count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCount`] if element counts differ.
+    pub fn reshape(&self, shape: Vec<usize>) -> Result<Tensor, TensorError> {
+        Tensor::from_vec(shape, self.as_slice().to_vec())
+    }
+
+    /// Extracts `[start, end)` ranges per dimension.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if the ranges have the wrong
+    /// rank or exceed bounds.
+    pub fn slice(&self, starts: &[usize], ends: &[usize]) -> Result<Tensor, TensorError> {
+        let rank = self.rank();
+        if starts.len() != rank || ends.len() != rank {
+            return Err(TensorError::InvalidArgument(format!(
+                "slice bounds rank {}/{} does not match tensor rank {rank}",
+                starts.len(),
+                ends.len()
+            )));
+        }
+        for d in 0..rank {
+            if starts[d] > ends[d] || ends[d] > self.shape()[d] {
+                return Err(TensorError::InvalidArgument(format!(
+                    "slice [{}, {}) out of bounds for dim {d} of size {}",
+                    starts[d],
+                    ends[d],
+                    self.shape()[d]
+                )));
+            }
+        }
+        let out_shape: Vec<usize> = (0..rank).map(|d| ends[d] - starts[d]).collect();
+        let numel: usize = out_shape.iter().product();
+        let in_strides = strides_of(self.shape());
+        let data = self.as_slice();
+        let mut out = Vec::with_capacity(numel);
+        let mut idx = vec![0usize; rank];
+        for _ in 0..numel {
+            let mut off = 0usize;
+            for d in 0..rank {
+                off += (idx[d] + starts[d]) * in_strides[d];
+            }
+            out.push(data[off]);
+            for d in (0..rank).rev() {
+                idx[d] += 1;
+                if idx[d] < out_shape[d] {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Concatenates tensors along `axis`. All other dimensions must match.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `parts` is empty, `axis` is out of range, or the
+    /// non-`axis` dimensions disagree.
+    pub fn concat(parts: &[&Tensor], axis: usize) -> Result<Tensor, TensorError> {
+        let first = parts
+            .first()
+            .ok_or_else(|| TensorError::InvalidArgument("concat of zero tensors".into()))?;
+        let rank = first.rank();
+        if axis >= rank {
+            return Err(TensorError::AxisOutOfRange { axis, rank });
+        }
+        let mut axis_total = 0usize;
+        for p in parts {
+            if p.rank() != rank {
+                return Err(TensorError::ShapeMismatch {
+                    lhs: first.shape().to_vec(),
+                    rhs: p.shape().to_vec(),
+                });
+            }
+            for d in 0..rank {
+                if d != axis && p.shape()[d] != first.shape()[d] {
+                    return Err(TensorError::ShapeMismatch {
+                        lhs: first.shape().to_vec(),
+                        rhs: p.shape().to_vec(),
+                    });
+                }
+            }
+            axis_total += p.shape()[axis];
+        }
+        let mut out_shape = first.shape().to_vec();
+        out_shape[axis] = axis_total;
+        let outer: usize = first.shape()[..axis].iter().product();
+        let inner: usize = first.shape()[axis + 1..].iter().product();
+        let mut out = Vec::with_capacity(out_shape.iter().product());
+        for o in 0..outer {
+            for p in parts {
+                let rows = p.shape()[axis];
+                let chunk = rows * inner;
+                out.extend_from_slice(&p.as_slice()[o * chunk..(o + 1) * chunk]);
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// Splits along `axis` into chunks of the given sizes.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `axis` is out of range or sizes do not sum to the
+    /// axis length.
+    pub fn split(&self, axis: usize, sizes: &[usize]) -> Result<Vec<Tensor>, TensorError> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+        }
+        let total: usize = sizes.iter().sum();
+        if total != self.shape()[axis] {
+            return Err(TensorError::InvalidArgument(format!(
+                "split sizes {sizes:?} do not sum to axis length {}",
+                self.shape()[axis]
+            )));
+        }
+        let mut result = Vec::with_capacity(sizes.len());
+        let mut start = 0usize;
+        for &s in sizes {
+            let mut starts = vec![0usize; self.rank()];
+            let mut ends = self.shape().to_vec();
+            starts[axis] = start;
+            ends[axis] = start + s;
+            result.push(self.slice(&starts, &ends)?);
+            start += s;
+        }
+        Ok(result)
+    }
+
+    /// Pads each dimension with `value`: `before[d]` elements in front and
+    /// `after[d]` behind.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::InvalidArgument`] if pad specs have the wrong
+    /// rank.
+    pub fn pad(&self, before: &[usize], after: &[usize], value: f32) -> Result<Tensor, TensorError> {
+        let rank = self.rank();
+        if before.len() != rank || after.len() != rank {
+            return Err(TensorError::InvalidArgument(
+                "pad spec rank does not match tensor rank".into(),
+            ));
+        }
+        let out_shape: Vec<usize> = (0..rank)
+            .map(|d| before[d] + self.shape()[d] + after[d])
+            .collect();
+        let numel: usize = out_shape.iter().product();
+        let in_strides = strides_of(self.shape());
+        let data = self.as_slice();
+        let mut out = Vec::with_capacity(numel);
+        for flat in 0..numel {
+            let idx = unravel(flat, &out_shape);
+            let mut off = 0usize;
+            let mut inside = true;
+            for d in 0..rank {
+                if idx[d] < before[d] || idx[d] >= before[d] + self.shape()[d] {
+                    inside = false;
+                    break;
+                }
+                off += (idx[d] - before[d]) * in_strides[d];
+            }
+            out.push(if inside { data[off] } else { value });
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transpose_2d() {
+        let t = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let tt = t.transpose(&[1, 0]).unwrap();
+        assert_eq!(tt.shape(), &[3, 2]);
+        assert_eq!(tt.as_slice(), &[1., 4., 2., 5., 3., 6.]);
+    }
+
+    #[test]
+    fn transpose_roundtrip_4d() {
+        let t = Tensor::random(vec![2, 3, 4, 5], 3);
+        let p = t.transpose(&[0, 2, 3, 1]).unwrap();
+        assert_eq!(p.shape(), &[2, 4, 5, 3]);
+        // inverse permutation of [0,2,3,1] is [0,3,1,2]
+        let back = p.transpose(&[0, 3, 1, 2]).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn transpose_rejects_bad_perm() {
+        let t = Tensor::zeros(vec![2, 2]);
+        assert!(t.transpose(&[0, 0]).is_err());
+        assert!(t.transpose(&[0]).is_err());
+        assert!(t.transpose(&[0, 2]).is_err());
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_fn(vec![2, 6], |i| i as f32);
+        let r = t.reshape(vec![3, 4]).unwrap();
+        assert_eq!(r.shape(), &[3, 4]);
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape(vec![5]).is_err());
+    }
+
+    #[test]
+    fn slice_extracts_ranges() {
+        let t = Tensor::from_fn(vec![3, 4], |i| i as f32);
+        let s = t.slice(&[1, 1], &[3, 3]).unwrap();
+        assert_eq!(s.shape(), &[2, 2]);
+        assert_eq!(s.as_slice(), &[5.0, 6.0, 9.0, 10.0]);
+    }
+
+    #[test]
+    fn slice_bounds_checked() {
+        let t = Tensor::zeros(vec![2, 2]);
+        assert!(t.slice(&[0, 0], &[3, 2]).is_err());
+        assert!(t.slice(&[1], &[2]).is_err());
+    }
+
+    #[test]
+    fn concat_then_split_roundtrip() {
+        let a = Tensor::from_fn(vec![2, 2], |i| i as f32);
+        let b = Tensor::from_fn(vec![2, 3], |i| 100.0 + i as f32);
+        let c = Tensor::concat(&[&a, &b], 1).unwrap();
+        assert_eq!(c.shape(), &[2, 5]);
+        let parts = c.split(1, &[2, 3]).unwrap();
+        assert_eq!(parts[0], a);
+        assert_eq!(parts[1], b);
+    }
+
+    #[test]
+    fn concat_axis0() {
+        let a = Tensor::from_vec(vec![1, 2], vec![1., 2.]).unwrap();
+        let b = Tensor::from_vec(vec![2, 2], vec![3., 4., 5., 6.]).unwrap();
+        let c = Tensor::concat(&[&a, &b], 0).unwrap();
+        assert_eq!(c.shape(), &[3, 2]);
+        assert_eq!(c.as_slice(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn concat_rejects_mismatched_dims() {
+        let a = Tensor::zeros(vec![2, 2]);
+        let b = Tensor::zeros(vec![3, 3]);
+        assert!(Tensor::concat(&[&a, &b], 0).is_err());
+        assert!(Tensor::concat(&[], 0).is_err());
+    }
+
+    #[test]
+    fn split_validates_sizes() {
+        let t = Tensor::zeros(vec![4, 2]);
+        assert!(t.split(0, &[1, 2]).is_err());
+        assert!(t.split(2, &[4]).is_err());
+    }
+
+    #[test]
+    fn pad_with_value() {
+        let t = Tensor::from_vec(vec![1, 2], vec![1.0, 2.0]).unwrap();
+        let p = t.pad(&[0, 1], &[0, 1], 9.0).unwrap();
+        assert_eq!(p.shape(), &[1, 4]);
+        assert_eq!(p.as_slice(), &[9.0, 1.0, 2.0, 9.0]);
+    }
+
+    #[test]
+    fn pad_2d_zero_border() {
+        let t = Tensor::ones(vec![2, 2]);
+        let p = t.pad(&[1, 1], &[1, 1], 0.0).unwrap();
+        assert_eq!(p.shape(), &[4, 4]);
+        assert_eq!(p.reduce_sum(0).unwrap().reduce_sum(0).unwrap().as_slice(), &[4.0]);
+        assert_eq!(p.at(&[0, 0]), 0.0);
+        assert_eq!(p.at(&[1, 1]), 1.0);
+    }
+}

@@ -1,0 +1,357 @@
+//! Dense CPU tensor substrate for the Korch reproduction.
+//!
+//! The paper executes candidate kernels on real GPUs; this crate provides the
+//! functional half of that substitution: a row-major dense `f32` [`Tensor`]
+//! with reference implementations of every tensor-algebra primitive Korch's
+//! IR can express (elementwise, reduce, broadcast, layout transformation,
+//! linear transformation, pooling, resize). The interpreter in `korch-exec`
+//! uses these kernels to verify that operator fission, primitive-graph
+//! transformations and kernel orchestration are all functionally equivalent
+//! to the unoptimized program.
+//!
+//! # Example
+//!
+//! ```
+//! use korch_tensor::Tensor;
+//!
+//! # fn main() -> Result<(), korch_tensor::TensorError> {
+//! let x = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.])?;
+//! let y = x.map(|v| v * 2.0);
+//! let s = y.reduce_sum(1)?; // shape [2]
+//! assert_eq!(s.as_slice(), &[12.0, 30.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod elementwise;
+mod error;
+mod layout;
+mod linear;
+mod pool;
+mod reduce;
+mod resize;
+
+pub use elementwise::{BinaryOp, UnaryOp};
+pub use error::TensorError;
+pub use linear::{conv2d_flops, matmul_flops, MatMulSpec};
+pub use pool::PoolSpec;
+pub use reduce::ReduceKind;
+pub use resize::ResizeMode;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+
+/// Row-major dense `f32` tensor.
+///
+/// Shapes are `Vec<usize>`; a scalar is represented by an empty shape and a
+/// single element. All operations allocate fresh output tensors — callers in
+/// this project are interpreters and tests where clarity beats zero-copy.
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and row-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ElementCount`] if `data.len()` does not equal
+    /// the product of `shape`.
+    pub fn from_vec(shape: Vec<usize>, data: Vec<f32>) -> Result<Self, TensorError> {
+        let numel: usize = shape.iter().product();
+        if numel != data.len() {
+            return Err(TensorError::ElementCount {
+                expected: numel,
+                actual: data.len(),
+            });
+        }
+        Ok(Self { shape, data })
+    }
+
+    /// Creates a scalar (rank-0) tensor.
+    pub fn scalar(value: f32) -> Self {
+        Self { shape: vec![], data: vec![value] }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: Vec<usize>, value: f32) -> Self {
+        let numel = shape.iter().product();
+        Self { shape, data: vec![value; numel] }
+    }
+
+    /// Creates a tensor of zeros.
+    pub fn zeros(shape: Vec<usize>) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// Creates a tensor of ones.
+    pub fn ones(shape: Vec<usize>) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// Creates a tensor with deterministic pseudo-random values in
+    /// `[-1, 1)`, seeded by `seed` (reproducible across runs).
+    pub fn random(shape: Vec<usize>, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let numel = shape.iter().product();
+        let data = (0..numel).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        Self { shape, data }
+    }
+
+    /// Creates a tensor whose flattened element `i` is `f(i)`.
+    pub fn from_fn(shape: Vec<usize>, f: impl Fn(usize) -> f32) -> Self {
+        let numel = shape.iter().product();
+        let data = (0..numel).map(f).collect();
+        Self { shape, data }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.len()
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Size in bytes when materialized as `f32` in device memory.
+    pub fn byte_size(&self) -> usize {
+        self.data.len() * 4
+    }
+
+    /// Borrow the row-major data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutably borrow the row-major data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning its row-major data.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row-major strides for this tensor's shape.
+    pub fn strides(&self) -> Vec<usize> {
+        strides_of(&self.shape)
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn at(&self, idx: &[usize]) -> f32 {
+        self.data[ravel(idx, &self.shape)]
+    }
+
+    /// Sets the element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` has the wrong rank or is out of bounds.
+    pub fn set(&mut self, idx: &[usize], value: f32) {
+        let flat = ravel(idx, &self.shape);
+        self.data[flat] = value;
+    }
+
+    /// Applies `f` to every element, producing a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&v| f(v)).collect(),
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn zip_map(&self, other: &Self, f: impl Fn(f32, f32) -> f32) -> Result<Self, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        })
+    }
+
+    /// Maximum absolute difference against `other`, for tolerance checks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the shapes differ.
+    pub fn max_abs_diff(&self, other: &Self) -> Result<f32, TensorError> {
+        if self.shape != other.shape {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape.clone(),
+                rhs: other.shape.clone(),
+            });
+        }
+        Ok(self
+            .data
+            .iter()
+            .zip(&other.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max))
+    }
+
+    /// `true` when every element is within `tol` of `other`'s, relative to
+    /// the magnitude of the larger operand (mixed absolute/relative check).
+    pub fn allclose(&self, other: &Self, tol: f32) -> bool {
+        self.shape == other.shape
+            && self.data.iter().zip(&other.data).all(|(&a, &b)| {
+                let scale = 1.0f32.max(a.abs()).max(b.abs());
+                (a - b).abs() <= tol * scale
+            })
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape)?;
+        if self.numel() <= 16 {
+            write!(f, " {:?}", self.data)
+        } else {
+            write!(f, " [{} elements]", self.numel())
+        }
+    }
+}
+
+impl Default for Tensor {
+    fn default() -> Self {
+        Self::scalar(0.0)
+    }
+}
+
+/// Row-major strides for a shape.
+pub fn strides_of(shape: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; shape.len()];
+    for i in (0..shape.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * shape[i + 1];
+    }
+    strides
+}
+
+/// Flattens a multi-dimensional index into a row-major offset.
+///
+/// # Panics
+///
+/// Panics if `idx` has the wrong rank or any coordinate is out of bounds.
+pub fn ravel(idx: &[usize], shape: &[usize]) -> usize {
+    assert_eq!(idx.len(), shape.len(), "index rank mismatch");
+    let mut flat = 0usize;
+    for (d, (&i, &s)) in idx.iter().zip(shape).enumerate() {
+        assert!(i < s, "index {i} out of bounds for dim {d} of size {s}");
+        flat = flat * s + i;
+    }
+    flat
+}
+
+/// Expands a flat row-major offset into a multi-dimensional index.
+pub fn unravel(mut flat: usize, shape: &[usize]) -> Vec<usize> {
+    let mut idx = vec![0usize; shape.len()];
+    for d in (0..shape.len()).rev() {
+        idx[d] = flat % shape[d];
+        flat /= shape[d];
+    }
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_element_count() {
+        let err = Tensor::from_vec(vec![2, 2], vec![1.0]).unwrap_err();
+        assert!(matches!(err, TensorError::ElementCount { expected: 4, actual: 1 }));
+    }
+
+    #[test]
+    fn scalar_has_empty_shape() {
+        let t = Tensor::scalar(3.5);
+        assert!(t.shape().is_empty());
+        assert_eq!(t.numel(), 1);
+        assert_eq!(t.as_slice(), &[3.5]);
+    }
+
+    #[test]
+    fn strides_are_row_major() {
+        assert_eq!(strides_of(&[2, 3, 4]), vec![12, 4, 1]);
+        assert_eq!(strides_of(&[]), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn ravel_unravel_roundtrip() {
+        let shape = [3, 4, 5];
+        for flat in 0..60 {
+            let idx = unravel(flat, &shape);
+            assert_eq!(ravel(&idx, &shape), flat);
+        }
+    }
+
+    #[test]
+    fn at_and_set() {
+        let mut t = Tensor::zeros(vec![2, 3]);
+        t.set(&[1, 2], 7.0);
+        assert_eq!(t.at(&[1, 2]), 7.0);
+        assert_eq!(t.at(&[0, 0]), 0.0);
+    }
+
+    #[test]
+    fn zip_map_rejects_mismatch() {
+        let a = Tensor::zeros(vec![2]);
+        let b = Tensor::zeros(vec![3]);
+        assert!(a.zip_map(&b, |x, y| x + y).is_err());
+    }
+
+    #[test]
+    fn random_is_deterministic() {
+        let a = Tensor::random(vec![8], 42);
+        let b = Tensor::random(vec![8], 42);
+        assert_eq!(a, b);
+        let c = Tensor::random(vec![8], 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn allclose_tolerates_small_error() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 100.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![1.0 + 1e-6, 100.0 + 1e-4]).unwrap();
+        assert!(a.allclose(&b, 1e-5));
+        assert!(!a.allclose(&b, 1e-9));
+    }
+
+    #[test]
+    fn debug_prints_shape() {
+        let t = Tensor::zeros(vec![100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("[100]"));
+    }
+}

@@ -1,0 +1,324 @@
+//! Linear transformation reference kernels (paper §3): matrix
+//! multiplication (optionally batched, with transpose flags) and 2-D
+//! convolution (NCHW / OIHW, strides, symmetric padding, groups).
+
+use crate::{Tensor, TensorError};
+
+/// Transpose flags for a (batched) matrix multiplication, mirroring BLAS
+/// `transa`/`transb`. Korch folds `Transpose` primitives into these flags
+/// during primitive-graph optimization (paper §6.4, Fig. 8) so the cost
+/// model can price data layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MatMulSpec {
+    /// Treat the last two dims of the left operand as transposed.
+    pub trans_a: bool,
+    /// Treat the last two dims of the right operand as transposed.
+    pub trans_b: bool,
+}
+
+impl MatMulSpec {
+    /// Spec with both operands in row-major orientation.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tensor {
+    /// Matrix multiplication with optional batching and transpose flags.
+    ///
+    /// Operands must have equal rank ≥ 2; leading (batch) dimensions must
+    /// match elementwise. The contraction dimensions follow `spec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if ranks differ, rank < 2,
+    /// batch dims differ, or inner dimensions disagree.
+    pub fn matmul(&self, rhs: &Tensor, spec: MatMulSpec) -> Result<Tensor, TensorError> {
+        let ra = self.rank();
+        let rb = rhs.rank();
+        if ra != rb || ra < 2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let batch_dims = &self.shape()[..ra - 2];
+        if batch_dims != &rhs.shape()[..rb - 2] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let (am, ak) = (self.shape()[ra - 2], self.shape()[ra - 1]);
+        let (bk, bn) = (rhs.shape()[rb - 2], rhs.shape()[rb - 1]);
+        let (m, k1) = if spec.trans_a { (ak, am) } else { (am, ak) };
+        let (k2, n) = if spec.trans_b { (bn, bk) } else { (bk, bn) };
+        if k1 != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let k = k1;
+        let batch: usize = batch_dims.iter().product();
+        let mut out_shape = batch_dims.to_vec();
+        out_shape.push(m);
+        out_shape.push(n);
+        let mut out = vec![0f32; batch * m * n];
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let a_stride = am * ak;
+        let b_stride = bk * bn;
+        for bi in 0..batch {
+            let ab = &a[bi * a_stride..(bi + 1) * a_stride];
+            let bb = &b[bi * b_stride..(bi + 1) * b_stride];
+            let ob = &mut out[bi * m * n..(bi + 1) * m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    let av = if spec.trans_a { ab[p * ak + i] } else { ab[i * ak + p] };
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        let bv = if spec.trans_b { bb[j * bn + p] } else { bb[p * bn + j] };
+                        ob[i * n + j] += av * bv;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(out_shape, out)
+    }
+
+    /// 2-D convolution: input `[N, C, H, W]`, weight `[O, C/groups, KH, KW]`,
+    /// symmetric zero padding, square stride.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for rank/channel/group mismatches.
+    pub fn conv2d(
+        &self,
+        weight: &Tensor,
+        stride: usize,
+        padding: usize,
+        groups: usize,
+    ) -> Result<Tensor, TensorError> {
+        if self.rank() != 4 || weight.rank() != 4 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: weight.shape().to_vec(),
+            });
+        }
+        if stride == 0 || groups == 0 {
+            return Err(TensorError::InvalidArgument(
+                "stride and groups must be positive".into(),
+            ));
+        }
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (o, cg, kh, kw) = (
+            weight.shape()[0],
+            weight.shape()[1],
+            weight.shape()[2],
+            weight.shape()[3],
+        );
+        if c % groups != 0 || o % groups != 0 || cg != c / groups {
+            return Err(TensorError::InvalidArgument(format!(
+                "conv2d group mismatch: input channels {c}, weight {o}x{cg}, groups {groups}"
+            )));
+        }
+        if h + 2 * padding < kh || w + 2 * padding < kw {
+            return Err(TensorError::InvalidArgument(
+                "kernel larger than padded input".into(),
+            ));
+        }
+        let oh = (h + 2 * padding - kh) / stride + 1;
+        let ow = (w + 2 * padding - kw) / stride + 1;
+        let mut out = vec![0f32; n * o * oh * ow];
+        let x = self.as_slice();
+        let wt = weight.as_slice();
+        let oc_per_g = o / groups;
+        for ni in 0..n {
+            for oc in 0..o {
+                let g = oc / oc_per_g;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut acc = 0f32;
+                        for ci in 0..cg {
+                            let ic = g * cg + ci;
+                            for ky in 0..kh {
+                                let iy = oy * stride + ky;
+                                if iy < padding || iy - padding >= h {
+                                    continue;
+                                }
+                                let iy = iy - padding;
+                                for kx in 0..kw {
+                                    let ix = ox * stride + kx;
+                                    if ix < padding || ix - padding >= w {
+                                        continue;
+                                    }
+                                    let ix = ix - padding;
+                                    acc += x[((ni * c + ic) * h + iy) * w + ix]
+                                        * wt[((oc * cg + ci) * kh + ky) * kw + kx];
+                                }
+                            }
+                        }
+                        out[((ni * o + oc) * oh + oy) * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![n, o, oh, ow], out)
+    }
+}
+
+/// FLOP count for a matmul of the given logical dimensions (2 flops per MAC).
+pub fn matmul_flops(batch: usize, m: usize, n: usize, k: usize) -> u64 {
+    2 * batch as u64 * m as u64 * n as u64 * k as u64
+}
+
+/// FLOP count for a conv2d with the given parameters.
+pub fn conv2d_flops(
+    n: usize,
+    out_c: usize,
+    out_h: usize,
+    out_w: usize,
+    in_c_per_group: usize,
+    kh: usize,
+    kw: usize,
+) -> u64 {
+    2 * n as u64
+        * out_c as u64
+        * out_h as u64
+        * out_w as u64
+        * in_c_per_group as u64
+        * kh as u64
+        * kw as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_2x3_3x2() {
+        let a = Tensor::from_vec(vec![2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap();
+        let b = Tensor::from_vec(vec![3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap();
+        let c = a.matmul(&b, MatMulSpec::new()).unwrap();
+        assert_eq!(c.shape(), &[2, 2]);
+        assert_eq!(c.as_slice(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_transpose_flags_match_explicit_transpose() {
+        let a = Tensor::random(vec![4, 3], 1);
+        let b = Tensor::random(vec![4, 5], 2);
+        // aᵀ·b via flag vs via explicit transpose
+        let via_flag = a.matmul(&b, MatMulSpec { trans_a: true, trans_b: false }).unwrap();
+        let via_t = a.transpose(&[1, 0]).unwrap().matmul(&b, MatMulSpec::new()).unwrap();
+        assert!(via_flag.allclose(&via_t, 1e-5));
+
+        let c = Tensor::random(vec![5, 4], 3);
+        let via_flag = a.matmul(&c, MatMulSpec { trans_a: true, trans_b: true }).unwrap();
+        let via_t = a
+            .transpose(&[1, 0])
+            .unwrap()
+            .matmul(&c.transpose(&[1, 0]).unwrap(), MatMulSpec::new())
+            .unwrap();
+        assert!(via_flag.allclose(&via_t, 1e-5));
+    }
+
+    #[test]
+    fn batched_matmul() {
+        let a = Tensor::random(vec![2, 3, 4], 4);
+        let b = Tensor::random(vec![2, 4, 5], 5);
+        let c = a.matmul(&b, MatMulSpec::new()).unwrap();
+        assert_eq!(c.shape(), &[2, 3, 5]);
+        // check one element by hand
+        let mut acc = 0f32;
+        for k in 0..4 {
+            acc += a.at(&[1, 2, k]) * b.at(&[1, k, 3]);
+        }
+        assert!((c.at(&[1, 2, 3]) - acc).abs() < 1e-5);
+    }
+
+    #[test]
+    fn matmul_rejects_bad_shapes() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![4, 2]);
+        assert!(a.matmul(&b, MatMulSpec::new()).is_err());
+        let c = Tensor::zeros(vec![3]);
+        assert!(a.matmul(&c, MatMulSpec::new()).is_err());
+        let d = Tensor::zeros(vec![2, 3, 2]);
+        assert!(a.matmul(&d, MatMulSpec::new()).is_err());
+    }
+
+    #[test]
+    fn matmul_with_ones_vector_is_reduce_sum() {
+        // The core TASO-style transform: ReduceSum over the last axis equals
+        // matmul with a ones column vector.
+        let x = Tensor::random(vec![5, 7], 6);
+        let ones = Tensor::ones(vec![7, 1]);
+        let via_mm = x.matmul(&ones, MatMulSpec::new()).unwrap().reshape(vec![5]).unwrap();
+        let via_rs = x.reduce_sum(1).unwrap();
+        assert!(via_mm.allclose(&via_rs, 1e-5));
+    }
+
+    #[test]
+    fn conv2d_identity_kernel() {
+        let x = Tensor::random(vec![1, 2, 4, 4], 8);
+        // 1x1 kernel selecting channel sums
+        let w = Tensor::ones(vec![1, 2, 1, 1]);
+        let y = x.conv2d(&w, 1, 0, 1).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        let expected = x.reduce_sum(1).unwrap();
+        assert!(y.reshape(vec![1, 4, 4]).unwrap().allclose(&expected, 1e-5));
+    }
+
+    #[test]
+    fn conv2d_known_values() {
+        // 3x3 input, 2x2 kernel of ones => sliding window sums
+        let x = Tensor::from_fn(vec![1, 1, 3, 3], |i| i as f32);
+        let w = Tensor::ones(vec![1, 1, 2, 2]);
+        let y = x.conv2d(&w, 1, 0, 1).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[8.0, 12.0, 20.0, 24.0]);
+    }
+
+    #[test]
+    fn conv2d_stride_and_padding() {
+        let x = Tensor::ones(vec![1, 1, 4, 4]);
+        let w = Tensor::ones(vec![1, 1, 3, 3]);
+        let y = x.conv2d(&w, 2, 1, 1).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 2, 2]);
+        // corners see a 2x2 window of ones with pad=1,stride=2
+        assert_eq!(y.as_slice(), &[4.0, 6.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn depthwise_conv_groups() {
+        let x = Tensor::random(vec![1, 3, 5, 5], 9);
+        let w = Tensor::random(vec![3, 1, 3, 3], 10);
+        let y = x.conv2d(&w, 1, 1, 3).unwrap();
+        assert_eq!(y.shape(), &[1, 3, 5, 5]);
+        // channel 1 output equals single-channel conv of channel 1
+        let x1 = x.slice(&[0, 1, 0, 0], &[1, 2, 5, 5]).unwrap();
+        let w1 = w.slice(&[1, 0, 0, 0], &[2, 1, 3, 3]).unwrap();
+        let y1 = x1.conv2d(&w1, 1, 1, 1).unwrap();
+        let got = y.slice(&[0, 1, 0, 0], &[1, 2, 5, 5]).unwrap();
+        assert!(got.allclose(&y1, 1e-5));
+    }
+
+    #[test]
+    fn conv2d_validates_arguments() {
+        let x = Tensor::zeros(vec![1, 4, 4, 4]);
+        let w = Tensor::zeros(vec![2, 3, 3, 3]); // wrong channels for groups=1
+        assert!(x.conv2d(&w, 1, 1, 1).is_err());
+        let w = Tensor::zeros(vec![2, 4, 3, 3]);
+        assert!(x.conv2d(&w, 0, 1, 1).is_err());
+    }
+
+    #[test]
+    fn flop_counters() {
+        assert_eq!(matmul_flops(1, 2, 3, 4), 48);
+        assert_eq!(conv2d_flops(1, 8, 4, 4, 3, 3, 3), 2 * 8 * 16 * 27);
+    }
+}

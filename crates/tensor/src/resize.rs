@@ -1,0 +1,137 @@
+//! Spatial resize reference kernels (nearest-neighbour and bilinear),
+//! used by the Segformer decoder-head subgraph (paper Fig. 11) and
+//! upsampling stages in the CNN workloads.
+
+use crate::{Tensor, TensorError};
+
+/// Interpolation mode for [`Tensor::resize2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResizeMode {
+    /// Nearest-neighbour (floor) sampling.
+    Nearest,
+    /// Bilinear interpolation with half-pixel centres.
+    Bilinear,
+}
+
+impl ResizeMode {
+    /// Short lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ResizeMode::Nearest => "nearest",
+            ResizeMode::Bilinear => "bilinear",
+        }
+    }
+}
+
+impl Tensor {
+    /// Resizes the spatial dimensions of an NCHW tensor to `(out_h, out_w)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for non-rank-4 inputs or zero output sizes.
+    pub fn resize2d(
+        &self,
+        out_h: usize,
+        out_w: usize,
+        mode: ResizeMode,
+    ) -> Result<Tensor, TensorError> {
+        if self.rank() != 4 {
+            return Err(TensorError::InvalidArgument(format!(
+                "resize2d expects NCHW rank-4 input, got rank {}",
+                self.rank()
+            )));
+        }
+        if out_h == 0 || out_w == 0 {
+            return Err(TensorError::InvalidArgument("resize target must be positive".into()));
+        }
+        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let mut out = vec![0f32; n * c * out_h * out_w];
+        let x = self.as_slice();
+        let sy = h as f32 / out_h as f32;
+        let sx = w as f32 / out_w as f32;
+        for ni in 0..n {
+            for ci in 0..c {
+                let plane = &x[(ni * c + ci) * h * w..(ni * c + ci + 1) * h * w];
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let v = match mode {
+                            ResizeMode::Nearest => {
+                                let iy = ((oy as f32 * sy) as usize).min(h - 1);
+                                let ix = ((ox as f32 * sx) as usize).min(w - 1);
+                                plane[iy * w + ix]
+                            }
+                            ResizeMode::Bilinear => {
+                                let fy = ((oy as f32 + 0.5) * sy - 0.5).clamp(0.0, (h - 1) as f32);
+                                let fx = ((ox as f32 + 0.5) * sx - 0.5).clamp(0.0, (w - 1) as f32);
+                                let y0 = fy.floor() as usize;
+                                let x0 = fx.floor() as usize;
+                                let y1 = (y0 + 1).min(h - 1);
+                                let x1 = (x0 + 1).min(w - 1);
+                                let dy = fy - y0 as f32;
+                                let dx = fx - x0 as f32;
+                                let v00 = plane[y0 * w + x0];
+                                let v01 = plane[y0 * w + x1];
+                                let v10 = plane[y1 * w + x0];
+                                let v11 = plane[y1 * w + x1];
+                                v00 * (1.0 - dy) * (1.0 - dx)
+                                    + v01 * (1.0 - dy) * dx
+                                    + v10 * dy * (1.0 - dx)
+                                    + v11 * dy * dx
+                            }
+                        };
+                        out[((ni * c + ci) * out_h + oy) * out_w + ox] = v;
+                    }
+                }
+            }
+        }
+        Tensor::from_vec(vec![n, c, out_h, out_w], out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_doubles_each_pixel() {
+        let x = Tensor::from_vec(vec![1, 1, 2, 2], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let y = x.resize2d(4, 4, ResizeMode::Nearest).unwrap();
+        assert_eq!(y.shape(), &[1, 1, 4, 4]);
+        assert_eq!(y.at(&[0, 0, 0, 0]), 1.0);
+        assert_eq!(y.at(&[0, 0, 0, 3]), 2.0);
+        assert_eq!(y.at(&[0, 0, 3, 0]), 3.0);
+        assert_eq!(y.at(&[0, 0, 3, 3]), 4.0);
+    }
+
+    #[test]
+    fn bilinear_preserves_constant_field() {
+        let x = Tensor::full(vec![1, 2, 3, 3], 5.0);
+        let y = x.resize2d(7, 5, ResizeMode::Bilinear).unwrap();
+        assert!(y.as_slice().iter().all(|&v| (v - 5.0).abs() < 1e-6));
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoint() {
+        let x = Tensor::from_vec(vec![1, 1, 1, 2], vec![0.0, 1.0]).unwrap();
+        let y = x.resize2d(1, 4, ResizeMode::Bilinear).unwrap();
+        // values should be monotonically increasing from 0 to 1
+        let s = y.as_slice();
+        assert!(s.windows(2).all(|p| p[0] <= p[1]));
+        assert!(s[0] < 0.3 && s[3] > 0.7);
+    }
+
+    #[test]
+    fn identity_resize_is_noop() {
+        let x = Tensor::random(vec![1, 3, 5, 5], 12);
+        let y = x.resize2d(5, 5, ResizeMode::Nearest).unwrap();
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn resize_validates_input() {
+        let x = Tensor::zeros(vec![2, 2]);
+        assert!(x.resize2d(4, 4, ResizeMode::Nearest).is_err());
+        let x = Tensor::zeros(vec![1, 1, 2, 2]);
+        assert!(x.resize2d(0, 4, ResizeMode::Nearest).is_err());
+    }
+}

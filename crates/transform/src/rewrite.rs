@@ -1,0 +1,180 @@
+//! Graph-surgery utilities for rewrite rules: append replacement nodes to a
+//! copy of the graph, redirect consumers of the replaced ports, re-toposort
+//! and prune dead nodes.
+
+use korch_ir::{IrError, NodeId, PortRef, PrimGraph, PrimKind};
+use std::collections::HashMap;
+
+/// A staged rewrite: new nodes appended after the original graph plus a
+/// port-substitution map applied to every consumer (and the graph outputs).
+#[derive(Debug, Clone, Default)]
+pub struct Rewrite {
+    appended: Vec<(PrimKind, Vec<PortRef>)>,
+    substitutions: HashMap<PortRef, PortRef>,
+}
+
+impl Rewrite {
+    /// Starts an empty rewrite.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a new node; its inputs may reference original nodes or
+    /// previously appended nodes (via the ids returned by this method,
+    /// which start at `g.len()`).
+    pub fn add_node(&mut self, base_len: usize, kind: PrimKind, inputs: Vec<PortRef>) -> NodeId {
+        let id = NodeId(base_len + self.appended.len());
+        self.appended.push((kind, inputs));
+        id
+    }
+
+    /// Redirects every use of `from` (an original port) to `to`.
+    pub fn substitute(&mut self, from: PortRef, to: PortRef) {
+        self.substitutions.insert(from, to);
+    }
+
+    /// Applies the rewrite to `g`: materializes appended nodes, substitutes
+    /// ports, re-toposorts and eliminates dead nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::Invalid`] if the substitution introduces a cycle
+    /// (rule preconditions should prevent this), or any shape error from
+    /// rebuilding.
+    pub fn apply(self, g: &PrimGraph) -> Result<PrimGraph, IrError> {
+        let base_len = g.len();
+        let total = base_len + self.appended.len();
+        // Effective inputs per node, after substitution. Appended nodes are
+        // the rewrite's own constructions and are not substituted.
+        let subst = |r: PortRef| self.substitutions.get(&r).copied().unwrap_or(r);
+        let mut inputs: Vec<Vec<PortRef>> = Vec::with_capacity(total);
+        let mut kinds: Vec<PrimKind> = Vec::with_capacity(total);
+        for node in g.nodes() {
+            inputs.push(node.inputs.iter().map(|r| subst(*r)).collect());
+            kinds.push(node.kind.clone());
+        }
+        for (kind, ins) in self.appended {
+            inputs.push(ins);
+            kinds.push(kind);
+        }
+        // Kahn topological sort over the substituted edges.
+        let mut indegree = vec![0usize; total];
+        let mut consumers: Vec<Vec<usize>> = vec![Vec::new(); total];
+        for (i, ins) in inputs.iter().enumerate() {
+            for r in ins {
+                indegree[i] += 1;
+                consumers[r.node.0].push(i);
+            }
+        }
+        let mut queue: Vec<usize> = (0..total).filter(|&i| indegree[i] == 0).collect();
+        let mut order = Vec::with_capacity(total);
+        // Prefer low ids for stable, deterministic output.
+        queue.sort_unstable_by(|a, b| b.cmp(a));
+        while let Some(i) = queue.pop() {
+            order.push(i);
+            for &c in &consumers[i] {
+                indegree[c] -= 1;
+                if indegree[c] == 0 {
+                    queue.push(c);
+                    queue.sort_unstable_by(|a, b| b.cmp(a));
+                }
+            }
+        }
+        if order.len() != total {
+            return Err(IrError::Invalid("rewrite introduced a dependency cycle".into()));
+        }
+        let mut remap: HashMap<usize, NodeId> = HashMap::new();
+        let mut out = PrimGraph::new();
+        for &i in &order {
+            let ins = inputs[i]
+                .iter()
+                .map(|r| PortRef { node: remap[&r.node.0], port: r.port })
+                .collect();
+            let id = out.add(kinds[i].clone(), ins)?;
+            remap.insert(i, id);
+        }
+        for o in g.outputs() {
+            let s = subst(*o);
+            out.mark_output(PortRef { node: remap[&s.node.0], port: s.port })?;
+        }
+        let (pruned, _) = out.eliminate_dead()?;
+        Ok(pruned)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use korch_ir::EwFn;
+    use korch_tensor::{BinaryOp, UnaryOp};
+
+    fn relu_chain() -> PrimGraph {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![4] }, vec![]).unwrap();
+        let a = g
+            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![x.into()])
+            .unwrap();
+        let b = g
+            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![a.into()])
+            .unwrap();
+        g.mark_output(b).unwrap();
+        g
+    }
+
+    #[test]
+    fn substitute_and_prune() {
+        // Replace the first relu with abs: append abs(x), substitute.
+        let g = relu_chain();
+        let mut rw = Rewrite::new();
+        let abs = rw.add_node(
+            g.len(),
+            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Abs)),
+            vec![NodeId(0).into()],
+        );
+        rw.substitute(NodeId(1).into(), abs.into());
+        let out = rw.apply(&g).unwrap();
+        assert_eq!(out.len(), 3); // input, abs, relu (old relu pruned)
+        let labels: Vec<String> =
+            out.nodes().iter().map(|n| korch_ir::NodeKind::label(&n.kind)).collect();
+        assert!(labels.iter().any(|l| l.contains("abs")));
+        assert_eq!(labels.iter().filter(|l| l.contains("relu")).count(), 1);
+    }
+
+    #[test]
+    fn identity_rewrite_preserves_graph() {
+        let g = relu_chain();
+        let out = Rewrite::new().apply(&g).unwrap();
+        assert_eq!(out.len(), g.len());
+        assert_eq!(out.fingerprint(), g.fingerprint());
+    }
+
+    #[test]
+    fn output_port_substitution() {
+        let g = relu_chain();
+        let mut rw = Rewrite::new();
+        // Redirect the graph output to the first relu (drop the second).
+        rw.substitute(NodeId(2).into(), NodeId(1).into());
+        let out = rw.apply(&g).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn cycles_are_rejected() {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![4] }, vec![]).unwrap();
+        let a = g
+            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![x.into()])
+            .unwrap();
+        let b = g
+            .add(
+                PrimKind::Elementwise(EwFn::Binary(BinaryOp::Add)),
+                vec![a.into(), a.into()],
+            )
+            .unwrap();
+        g.mark_output(b).unwrap();
+        // Substitute a's output by b's output: b then depends on itself.
+        let mut rw = Rewrite::new();
+        rw.substitute(NodeId(1).into(), NodeId(2).into());
+        assert!(rw.apply(&g).is_err());
+    }
+}

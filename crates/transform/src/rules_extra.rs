@@ -1,0 +1,315 @@
+//! Additional rewrite rules beyond the Fig. 2b set: layout-chain
+//! canonicalization and the symmetric shared-RHS MatMul merge. These are in
+//! the spirit of TASO's automatically generated substitutions (paper §7).
+
+use crate::rewrite::Rewrite;
+use crate::rules::Rule;
+use korch_ir::{LayoutFn, LinearFn, NodeId, PrimGraph, PrimKind};
+
+fn transpose_perm(g: &PrimGraph, id: NodeId) -> Option<&Vec<usize>> {
+    match &g.node(id).kind {
+        PrimKind::Layout(LayoutFn::Transpose { perm }) => Some(perm),
+        _ => None,
+    }
+}
+
+/// `Transpose(Transpose(x, p1), p2)` → `Transpose(x, p1∘p2)` (or nothing at
+/// all when the composition is the identity).
+pub struct ComposeTransposes;
+
+impl Rule for ComposeTransposes {
+    fn name(&self) -> &'static str {
+        "compose-transposes"
+    }
+
+    fn apply_all(&self, g: &PrimGraph) -> Vec<PrimGraph> {
+        let mut out = Vec::new();
+        for (id, node) in g.iter() {
+            let Some(p2) = transpose_perm(g, id) else { continue };
+            let src_port = node.inputs[0];
+            let Some(p1) = transpose_perm(g, src_port.node) else { continue };
+            // Output dim d of the composite reads input dim p1[p2[d]].
+            let composed: Vec<usize> = p2.iter().map(|&d| p1[d]).collect();
+            let original = g.node(src_port.node).inputs[0];
+            let mut rw = Rewrite::new();
+            if composed.iter().enumerate().all(|(d, &p)| d == p) {
+                rw.substitute(id.into(), original);
+            } else {
+                let t = rw.add_node(
+                    g.len(),
+                    PrimKind::Layout(LayoutFn::Transpose { perm: composed }),
+                    vec![original],
+                );
+                rw.substitute(id.into(), t.into());
+            }
+            if let Ok(new_g) = rw.apply(g) {
+                out.push(new_g);
+            }
+        }
+        out
+    }
+}
+
+/// `Reshape(Reshape(x, s1), s2)` → `Reshape(x, s2)` (element counts are
+/// validated by shape inference, so the composition is always legal), and
+/// `Reshape(x, shape_of(x))` → `x`.
+pub struct ComposeReshapes;
+
+impl Rule for ComposeReshapes {
+    fn name(&self) -> &'static str {
+        "compose-reshapes"
+    }
+
+    fn apply_all(&self, g: &PrimGraph) -> Vec<PrimGraph> {
+        let mut out = Vec::new();
+        for (id, node) in g.iter() {
+            let PrimKind::Layout(LayoutFn::Reshape { shape }) = &node.kind else { continue };
+            let src_port = node.inputs[0];
+            // identity reshape
+            if g.meta(src_port).shape() == shape.as_slice() {
+                let mut rw = Rewrite::new();
+                rw.substitute(id.into(), src_port);
+                if let Ok(new_g) = rw.apply(g) {
+                    out.push(new_g);
+                }
+                continue;
+            }
+            // reshape-of-reshape
+            if let PrimKind::Layout(LayoutFn::Reshape { .. }) = &g.node(src_port.node).kind {
+                let original = g.node(src_port.node).inputs[0];
+                let mut rw = Rewrite::new();
+                let r = rw.add_node(
+                    g.len(),
+                    PrimKind::Layout(LayoutFn::Reshape { shape: shape.clone() }),
+                    vec![original],
+                );
+                rw.substitute(id.into(), r.into());
+                if let Ok(new_g) = rw.apply(g) {
+                    out.push(new_g);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Two MatMuls sharing their *right* operand and specs merge into one
+/// MatMul over row-concatenated left operands plus a row `Split` — the
+/// mirror image of the shared-LHS merge (paper Fig. 9 merges the two
+/// orange MatMuls, which share `v`).
+pub struct MergeSharedRhsMatMuls;
+
+impl Rule for MergeSharedRhsMatMuls {
+    fn name(&self) -> &'static str {
+        "merge-shared-rhs-matmuls"
+    }
+
+    fn apply_all(&self, g: &PrimGraph) -> Vec<PrimGraph> {
+        let mut out = Vec::new();
+        let reach = g.reachability();
+        let mms: Vec<NodeId> = g
+            .iter()
+            .filter(|(_, n)| matches!(n.kind, PrimKind::Linear(LinearFn::MatMul { .. })))
+            .map(|(id, _)| id)
+            .collect();
+        for (i, &m1) in mms.iter().enumerate() {
+            for &m2 in mms.iter().skip(i + 1) {
+                let spec1 = match g.node(m1).kind {
+                    PrimKind::Linear(LinearFn::MatMul { spec }) => spec,
+                    _ => unreachable!(),
+                };
+                let spec2 = match g.node(m2).kind {
+                    PrimKind::Linear(LinearFn::MatMul { spec }) => spec,
+                    _ => unreachable!(),
+                };
+                if spec1 != spec2 || spec1.trans_a {
+                    continue;
+                }
+                let (n1, n2) = (g.node(m1), g.node(m2));
+                if n1.inputs[1] != n2.inputs[1] {
+                    continue;
+                }
+                if reach.path(m1, n2.inputs[0].node) || reach.path(m2, n1.inputs[0].node) {
+                    continue;
+                }
+                let a1 = g.meta(n1.inputs[0]).shape().to_vec();
+                let a2 = g.meta(n2.inputs[0]).shape().to_vec();
+                let rank = a1.len();
+                if a1[..rank - 2] != a2[..rank - 2] || a1[rank - 1] != a2[rank - 1] {
+                    continue;
+                }
+                let (r1, r2) = (a1[rank - 2], a2[rank - 2]);
+                let mut rw = Rewrite::new();
+                let cat = rw.add_node(
+                    g.len(),
+                    PrimKind::Layout(LayoutFn::Concat { axis: rank - 2 }),
+                    vec![n1.inputs[0], n2.inputs[0]],
+                );
+                let mm = rw.add_node(
+                    g.len(),
+                    PrimKind::Linear(LinearFn::MatMul { spec: spec1 }),
+                    vec![cat.into(), n1.inputs[1]],
+                );
+                let split = rw.add_node(
+                    g.len(),
+                    PrimKind::Layout(LayoutFn::Split { axis: rank - 2, sizes: vec![r1, r2] }),
+                    vec![mm.into()],
+                );
+                rw.substitute(m1.into(), korch_ir::PortRef { node: split, port: 0 });
+                rw.substitute(m2.into(), korch_ir::PortRef { node: split, port: 1 });
+                if let Ok(new_g) = rw.apply(g) {
+                    out.push(new_g);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use korch_exec::execute_prims;
+    use korch_ir::{ConstInit, PortRef};
+    use korch_tensor::{MatMulSpec, Tensor};
+
+    fn input(g: &mut PrimGraph, shape: &[usize]) -> PortRef {
+        g.add(PrimKind::Input { shape: shape.to_vec() }, vec![]).unwrap().into()
+    }
+
+    #[test]
+    fn double_transpose_composes_to_identity() {
+        let mut g = PrimGraph::new();
+        let x = input(&mut g, &[3, 5]);
+        let t1 = g
+            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![x])
+            .unwrap();
+        let t2 = g
+            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![t1.into()])
+            .unwrap();
+        g.mark_output(t2).unwrap();
+        let variants = ComposeTransposes.apply_all(&g);
+        assert_eq!(variants.len(), 1);
+        // everything collapsed: input only
+        assert_eq!(variants[0].len(), 1);
+    }
+
+    #[test]
+    fn triple_axis_transposes_compose() {
+        let mut g = PrimGraph::new();
+        let x = input(&mut g, &[2, 3, 4]);
+        let t1 = g
+            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 2, 0] }), vec![x])
+            .unwrap();
+        let t2 = g
+            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![2, 0, 1] }), vec![t1.into()])
+            .unwrap();
+        g.mark_output(t2).unwrap();
+        let variants = ComposeTransposes.apply_all(&g);
+        assert_eq!(variants.len(), 1);
+        let xs = Tensor::random(vec![2, 3, 4], 3);
+        let a = execute_prims(&g, &[xs.clone()]).unwrap();
+        let b = execute_prims(&variants[0], &[xs]).unwrap();
+        assert!(a[0].allclose(&b[0], 1e-6));
+    }
+
+    #[test]
+    fn reshape_chain_collapses() {
+        let mut g = PrimGraph::new();
+        let x = input(&mut g, &[2, 6]);
+        let r1 = g
+            .add(PrimKind::Layout(LayoutFn::Reshape { shape: vec![12] }), vec![x])
+            .unwrap();
+        let r2 = g
+            .add(PrimKind::Layout(LayoutFn::Reshape { shape: vec![3, 4] }), vec![r1.into()])
+            .unwrap();
+        g.mark_output(r2).unwrap();
+        let variants = ComposeReshapes.apply_all(&g);
+        assert!(!variants.is_empty());
+        let best = variants.iter().min_by_key(|v| v.len()).unwrap();
+        assert_eq!(best.len(), 2); // input + single reshape
+        let xs = Tensor::random(vec![2, 6], 4);
+        let a = execute_prims(&g, &[xs.clone()]).unwrap();
+        let b = execute_prims(best, &[xs]).unwrap();
+        assert_eq!(a[0], b[0]);
+    }
+
+    #[test]
+    fn identity_reshape_removed() {
+        let mut g = PrimGraph::new();
+        let x = input(&mut g, &[2, 3]);
+        let r = g
+            .add(PrimKind::Layout(LayoutFn::Reshape { shape: vec![2, 3] }), vec![x])
+            .unwrap();
+        g.mark_output(r).unwrap();
+        let variants = ComposeReshapes.apply_all(&g);
+        assert_eq!(variants.len(), 1);
+        assert_eq!(variants[0].len(), 1);
+    }
+
+    #[test]
+    fn shared_rhs_matmuls_merge_and_stay_correct() {
+        let mut g = PrimGraph::new();
+        let a1 = input(&mut g, &[3, 8]);
+        let a2 = input(&mut g, &[5, 8]);
+        let w = g
+            .add(
+                PrimKind::Constant { shape: vec![8, 4], init: ConstInit::Random(9) },
+                vec![],
+            )
+            .unwrap();
+        let m1 = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![a1, w.into()],
+            )
+            .unwrap();
+        let m2 = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![a2, w.into()],
+            )
+            .unwrap();
+        g.mark_output(m1).unwrap();
+        g.mark_output(m2).unwrap();
+        let variants = MergeSharedRhsMatMuls.apply_all(&g);
+        assert_eq!(variants.len(), 1);
+        let v = &variants[0];
+        let mm_count = v
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, PrimKind::Linear(_)))
+            .count();
+        assert_eq!(mm_count, 1);
+        let (t1, t2) = (Tensor::random(vec![3, 8], 1), Tensor::random(vec![5, 8], 2));
+        let a = execute_prims(&g, &[t1.clone(), t2.clone()]).unwrap();
+        let b = execute_prims(v, &[t1, t2]).unwrap();
+        assert!(a[0].allclose(&b[0], 1e-5));
+        assert!(a[1].allclose(&b[1], 1e-5));
+    }
+
+    #[test]
+    fn mismatched_inner_dims_not_merged() {
+        let mut g = PrimGraph::new();
+        let a1 = input(&mut g, &[3, 8]);
+        let w1 = input(&mut g, &[8, 4]);
+        let a2 = input(&mut g, &[5, 4]);
+        let m1 = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![a1, w1],
+            )
+            .unwrap();
+        // different RHS entirely
+        let w2 = input(&mut g, &[4, 2]);
+        let m2 = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                vec![a2, w2],
+            )
+            .unwrap();
+        g.mark_output(m1).unwrap();
+        g.mark_output(m2).unwrap();
+        assert!(MergeSharedRhsMatMuls.apply_all(&g).is_empty());
+    }
+}

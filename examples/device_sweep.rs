@@ -1,0 +1,32 @@
+//! Sweep one workload across GPU generations: how the optimal orchestration
+//! and its payoff change as compute throughput outgrows memory bandwidth
+//! (the paper's Fig. 5 observation driving redundant computation).
+//!
+//! Run with: `cargo run --release --example device_sweep`
+
+use korch::baselines::{orchestrate_baseline, Baseline};
+use korch::core::{Korch, KorchConfig};
+use korch::cost::Device;
+use korch::models::subgraphs::efficientvit_attention;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let graph = efficientvit_attention(1024, 16);
+    println!("EfficientViT attention block across GPU generations\n");
+    println!(
+        "{:>6}  {:>12}  {:>12}  {:>10}  {:>8}",
+        "GPU", "TensorRT ms", "Korch ms", "kernels", "speedup"
+    );
+    for device in Device::generations() {
+        let trt = orchestrate_baseline(Baseline::TensorRt, &graph, &device)?;
+        let korch = Korch::new(device.clone(), KorchConfig::default()).optimize(&graph)?;
+        println!(
+            "{:>6}  {:>12.4}  {:>12.4}  {:>10}  {:>7.2}x",
+            device.name,
+            trt.total_latency.as_millis(),
+            korch.latency_ms(),
+            korch.kernel_count(),
+            trt.total_latency.as_millis() / korch.latency_ms(),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! # Korch: optimal kernel orchestration for tensor programs
+//!
+//! Facade crate for the Rust reproduction of *"Optimal Kernel Orchestration
+//! for Tensor Programs with Korch"* (Hu et al., ASPLOS 2024). It re-exports
+//! the workspace crates so downstream users need a single dependency:
+//!
+//! - [`tensor`] — dense CPU tensors and reference kernels for every primitive
+//! - [`ir`] — operator and primitive graph IRs with shape inference
+//! - [`fission`] — operator fission engine (operator → primitive subgraph)
+//! - [`transform`] — TASO-style primitive-graph optimizer
+//! - [`blp`] — binary linear programming solver (simplex + branch & bound)
+//! - [`cost`] — analytical GPU cost model (the kernel-profiler substitute)
+//! - [`orch`] — execution-state DFS, kernel identifier, BLP orchestration
+//! - [`exec`] — interpreters for operator graphs, primitive graphs and plans
+//! - [`core`] — the end-to-end [`core::Korch`] pipeline
+//! - [`models`] — the five evaluation workloads and case-study subgraphs
+//! - [`baselines`] — PyTorch-, TVM- and TensorRT-like orchestrators
+//!
+//! # Quickstart
+//!
+//! ```
+//! use korch::core::{Korch, KorchConfig};
+//! use korch::cost::Device;
+//! use korch::models::subgraphs::softmax_attention;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = softmax_attention(64, 64);
+//! let korch = Korch::new(Device::v100(), KorchConfig::default());
+//! let optimized = korch.optimize(&graph)?;
+//! println!(
+//!     "latency {:.3} ms across {} kernels",
+//!     optimized.latency_ms(),
+//!     optimized.kernel_count()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+pub use korch_baselines as baselines;
+pub use korch_blp as blp;
+pub use korch_core as core;
+pub use korch_cost as cost;
+pub use korch_exec as exec;
+pub use korch_fission as fission;
+pub use korch_ir as ir;
+pub use korch_models as models;
+pub use korch_orch as orch;
+pub use korch_tensor as tensor;
+pub use korch_transform as transform;

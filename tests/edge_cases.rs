@@ -1,0 +1,147 @@
+//! Edge cases and failure-injection across the pipeline: degenerate
+//! graphs, pass-through partitions, exotic configs.
+
+use korch::core::{Korch, KorchConfig};
+use korch::cost::{Backend, Device, Profiler};
+use korch::fission::fission;
+use korch::ir::{ConstInit, OpGraph, OpKind, PrimGraph, PrimKind};
+use korch::orch::{enumerate_states, identify_kernels, IdentifyConfig, Orchestrator};
+use korch::tensor::{Tensor, UnaryOp};
+
+#[test]
+fn single_op_graph() {
+    let mut g = OpGraph::new();
+    let x = g.add(OpKind::Input { shape: vec![8] }, vec![]).unwrap();
+    let r = g.add(OpKind::Unary(UnaryOp::Relu), vec![x.into()]).unwrap();
+    g.mark_output(r).unwrap();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let (optimized, err) = korch.optimize_verified(&g, 1).unwrap();
+    assert_eq!(optimized.kernel_count(), 1);
+    assert_eq!(err, 0.0);
+}
+
+#[test]
+fn input_is_output_passthrough() {
+    // A graph whose output is also consumed raw: relu(x) and x itself.
+    let mut g = OpGraph::new();
+    let x = g.add(OpKind::Input { shape: vec![4] }, vec![]).unwrap();
+    let r = g.add(OpKind::Unary(UnaryOp::Relu), vec![x.into()]).unwrap();
+    g.mark_output(r).unwrap();
+    g.mark_output(x).unwrap();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let optimized = korch.optimize(&g).unwrap();
+    let input = Tensor::random(vec![4], 5);
+    let out = optimized.execute(&[input.clone()]).unwrap();
+    assert_eq!(out[1], input);
+}
+
+#[test]
+fn constant_only_graph() {
+    // No inputs at all: the program produces a transformed constant.
+    let mut g = OpGraph::new();
+    let c = g
+        .add(OpKind::Constant { shape: vec![6], init: ConstInit::Fill(2.0) }, vec![])
+        .unwrap();
+    let sq = g.add(OpKind::Unary(UnaryOp::Square), vec![c.into()]).unwrap();
+    g.mark_output(sq).unwrap();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let optimized = korch.optimize(&g).unwrap();
+    let out = optimized.execute(&[]).unwrap();
+    assert_eq!(out[0].as_slice(), &[4.0; 6]);
+}
+
+#[test]
+fn duplicate_outputs_allowed() {
+    let mut g = OpGraph::new();
+    let x = g.add(OpKind::Input { shape: vec![4] }, vec![]).unwrap();
+    let r = g.add(OpKind::Unary(UnaryOp::Tanh), vec![x.into()]).unwrap();
+    g.mark_output(r).unwrap();
+    g.mark_output(r).unwrap();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let optimized = korch.optimize(&g).unwrap();
+    let out = optimized.execute(&[Tensor::random(vec![4], 2)]).unwrap();
+    assert_eq!(out.len(), 2);
+    assert_eq!(out[0], out[1]);
+}
+
+#[test]
+fn deep_chain_partitions_and_verifies() {
+    // 60 unary ops: forces many partitions; every boundary must plumb.
+    let mut g = OpGraph::new();
+    let x = g.add(OpKind::Input { shape: vec![16] }, vec![]).unwrap();
+    let mut cur = korch::ir::PortRef::from(x);
+    for i in 0..60 {
+        let op = if i % 2 == 0 { UnaryOp::Tanh } else { UnaryOp::Abs };
+        cur = g.add(OpKind::Unary(op), vec![cur]).unwrap().into();
+    }
+    g.mark_output(cur).unwrap();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let (optimized, err) = korch.optimize_verified(&g, 3).unwrap();
+    assert!(err < 1e-5);
+    assert!(optimized.stats().partitions >= 2);
+}
+
+#[test]
+fn trt_backend_orchestrator() {
+    // Orchestrating with the TensorRT-runtime backend list must also work.
+    let g = korch::models::subgraphs::softmax_attention(64, 32);
+    let f = fission(&g).unwrap();
+    let orch = Orchestrator::new(Device::a100())
+        .with_backends(vec![Backend::TrtRuntime, Backend::Vendor]);
+    let o = orch.orchestrate(&f.prim_graph).unwrap();
+    assert!(o.plan.kernel_count() >= 1);
+    assert!(o.plan.total_latency.0 > 0.0);
+}
+
+#[test]
+fn no_applicable_backend_is_infeasible_not_panic() {
+    // Vendor alone cannot serve memory-intensive kernels; with only that
+    // backend an all-elementwise graph has no candidates.
+    let mut pg = PrimGraph::new();
+    let x = pg.add(PrimKind::Input { shape: vec![8] }, vec![]).unwrap();
+    let e = pg
+        .add(
+            PrimKind::Elementwise(korch::ir::EwFn::Unary(UnaryOp::Exp)),
+            vec![x.into()],
+        )
+        .unwrap();
+    pg.mark_output(e).unwrap();
+    let space = enumerate_states(&pg, 100);
+    let cands = identify_kernels(
+        &pg,
+        &space,
+        &Profiler::new(Device::v100()),
+        &IdentifyConfig::default(),
+        &[Backend::Vendor],
+    );
+    assert!(cands.kernels.is_empty());
+}
+
+#[test]
+fn zero_sized_dims_rejected_gracefully() {
+    // A shape with a zero dim builds but reduces to empty tensors; the
+    // pipeline must not panic.
+    let mut g = OpGraph::new();
+    let x = g.add(OpKind::Input { shape: vec![0, 4] }, vec![]).unwrap();
+    let r = g.add(OpKind::Unary(UnaryOp::Relu), vec![x.into()]).unwrap();
+    g.mark_output(r).unwrap();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let optimized = korch.optimize(&g).unwrap();
+    let out = optimized.execute(&[Tensor::zeros(vec![0, 4])]).unwrap();
+    assert_eq!(out[0].numel(), 0);
+}
+
+#[test]
+fn multiple_inputs_fed_in_declaration_order() {
+    let mut g = OpGraph::new();
+    let a = g.add(OpKind::Input { shape: vec![3] }, vec![]).unwrap();
+    let b = g.add(OpKind::Input { shape: vec![3] }, vec![]).unwrap();
+    let diff = g.add(OpKind::Sub, vec![a.into(), b.into()]).unwrap();
+    g.mark_output(diff).unwrap();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let optimized = korch.optimize(&g).unwrap();
+    let ta = Tensor::from_vec(vec![3], vec![5.0, 5.0, 5.0]).unwrap();
+    let tb = Tensor::from_vec(vec![3], vec![1.0, 2.0, 3.0]).unwrap();
+    let out = optimized.execute(&[ta, tb]).unwrap();
+    assert_eq!(out[0].as_slice(), &[4.0, 3.0, 2.0]); // a - b, not b - a
+}

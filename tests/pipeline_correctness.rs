@@ -1,0 +1,117 @@
+//! End-to-end functional correctness: Korch's optimized executables and
+//! every baseline plan must compute exactly what the unoptimized operator
+//! graph computes, across all model families (scaled-down for CPU speed).
+
+use korch::baselines::{orchestrate_baseline, Baseline};
+use korch::core::{Korch, KorchConfig};
+use korch::cost::Device;
+use korch::exec::{execute_ops, execute_plan};
+use korch::fission::fission;
+use korch::ir::OpKind;
+use korch::models::*;
+use korch::tensor::Tensor;
+
+fn random_inputs(g: &korch::ir::OpGraph, seed: u64) -> Vec<Tensor> {
+    g.nodes()
+        .iter()
+        .filter_map(|n| match &n.kind {
+            OpKind::Input { shape } => Some(shape.clone()),
+            _ => None,
+        })
+        .enumerate()
+        .map(|(i, shape)| Tensor::random(shape, seed + i as u64))
+        .collect()
+}
+
+fn assert_korch_matches_reference(g: &korch::ir::OpGraph, seed: u64, tol: f32) {
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let (optimized, err) = korch.optimize_verified(g, seed).expect("pipeline");
+    assert!(err < tol, "Korch executable diverged: max |err| = {err}");
+    assert!(optimized.kernel_count() > 0);
+}
+
+fn assert_baselines_match_reference(g: &korch::ir::OpGraph, seed: u64, tol: f32) {
+    let inputs = random_inputs(g, seed);
+    let reference = execute_ops(g, &inputs).expect("reference");
+    let f = fission(g).expect("fission");
+    for b in [Baseline::PyTorch, Baseline::Tvm, Baseline::TensorRt] {
+        let plan = orchestrate_baseline(b, g, &Device::v100()).expect("baseline");
+        let out = execute_plan(&f.prim_graph, &plan, &inputs).expect("execute");
+        for (r, o) in reference.iter().zip(&out) {
+            assert!(r.allclose(o, tol), "{b:?} diverged from reference");
+        }
+    }
+}
+
+#[test]
+fn tiny_candy_end_to_end() {
+    let g = candy(CandyConfig::tiny());
+    assert_korch_matches_reference(&g, 1, 1e-2);
+    assert_baselines_match_reference(&g, 1, 1e-2);
+}
+
+#[test]
+fn tiny_yolox_end_to_end() {
+    let g = yolox_nano(YoloConfig::tiny());
+    assert_korch_matches_reference(&g, 2, 1e-2);
+}
+
+#[test]
+fn tiny_yolov4_end_to_end() {
+    let g = yolov4(YoloConfig::tiny());
+    assert_korch_matches_reference(&g, 3, 1e-2);
+    assert_baselines_match_reference(&g, 3, 1e-2);
+}
+
+#[test]
+fn tiny_segformer_end_to_end() {
+    let g = segformer(SegformerConfig::tiny());
+    assert_korch_matches_reference(&g, 4, 1e-2);
+}
+
+#[test]
+fn tiny_efficientvit_end_to_end() {
+    let g = efficientvit(EfficientVitConfig::tiny());
+    assert_korch_matches_reference(&g, 5, 1e-2);
+    assert_baselines_match_reference(&g, 5, 1e-2);
+}
+
+#[test]
+fn attention_subgraphs_end_to_end() {
+    for g in [
+        subgraphs::softmax_attention(32, 16),
+        subgraphs::segformer_attention(64, 16, 4),
+        subgraphs::efficientvit_attention(64, 8),
+    ] {
+        assert_korch_matches_reference(&g, 6, 1e-3);
+        assert_baselines_match_reference(&g, 6, 1e-3);
+    }
+}
+
+#[test]
+fn decoder_subgraph_end_to_end() {
+    let g = subgraphs::segformer_decoder_sized(2, &[8, 4], 16, 8);
+    assert_korch_matches_reference(&g, 7, 1e-3);
+    assert_baselines_match_reference(&g, 7, 1e-3);
+}
+
+#[test]
+fn instance_norm_block_end_to_end() {
+    let g = subgraphs::instance_norm_block(4, 12);
+    assert_korch_matches_reference(&g, 8, 1e-3);
+    assert_baselines_match_reference(&g, 8, 1e-3);
+}
+
+#[test]
+fn multiple_devices_same_function() {
+    // The orchestration differs across devices, but the function must not.
+    let g = subgraphs::softmax_attention(48, 24);
+    let inputs = random_inputs(&g, 9);
+    let reference = execute_ops(&g, &inputs).unwrap();
+    for device in [Device::p100(), Device::v100(), Device::a100(), Device::h100()] {
+        let korch = Korch::new(device, KorchConfig::default());
+        let optimized = korch.optimize(&g).unwrap();
+        let out = optimized.execute(&inputs).unwrap();
+        assert!(reference[0].allclose(&out[0], 1e-3));
+    }
+}

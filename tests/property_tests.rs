@@ -1,0 +1,236 @@
+//! Property-based tests over randomly generated programs: fission,
+//! transformation search and orchestration must preserve semantics, and the
+//! BLP solvers must agree with each other.
+
+use korch::blp::{BalasSolver, BlpProblem, BranchAndBound, Constraint, Solver};
+use korch::core::{Korch, KorchConfig};
+use korch::cost::Device;
+use korch::exec::{execute_ops, execute_prims};
+use korch::fission::fission;
+use korch::ir::{OpGraph, OpKind};
+use korch::tensor::{Tensor, UnaryOp};
+use korch::transform::{optimize_graph, SearchConfig};
+use proptest::prelude::*;
+
+/// A random small operator graph: a chain of safe unary/softmax/norm ops
+/// over a 2-D tensor, with occasional residual adds.
+fn arb_op_graph() -> impl Strategy<Value = (OpGraph, Vec<usize>)> {
+    let dims = (2usize..6, 2usize..10);
+    let ops = prop::collection::vec(0u8..9, 1..8);
+    (dims, ops).prop_map(|((rows, cols), opcodes)| {
+        let shape = vec![rows, cols];
+        let mut g = OpGraph::new();
+        let x = g.add(OpKind::Input { shape: shape.clone() }, vec![]).unwrap();
+        let mut cur = korch::ir::PortRef::from(x);
+        let mut prev = cur;
+        for code in opcodes {
+            let next = match code {
+                0 => g.add(OpKind::Unary(UnaryOp::Tanh), vec![cur]).unwrap().into(),
+                1 => g.add(OpKind::Unary(UnaryOp::Sigmoid), vec![cur]).unwrap().into(),
+                2 => g.add(OpKind::Softmax { axis: 1 }, vec![cur]).unwrap().into(),
+                3 => g.add(OpKind::AddScalar(0.5), vec![cur]).unwrap().into(),
+                4 => g.add(OpKind::Add, vec![cur, prev]).unwrap().into(),
+                5 => g.add(OpKind::Gelu, vec![cur]).unwrap().into(),
+                6 => g.add(OpKind::GeluTanh, vec![cur]).unwrap().into(),
+                7 => g.add(OpKind::Elu { alpha: 0.5 }, vec![cur]).unwrap().into(),
+                _ => g.add(OpKind::LogSoftmax { axis: 1 }, vec![cur]).unwrap().into(),
+            };
+            prev = cur;
+            cur = next;
+        }
+        g.mark_output(cur).unwrap();
+        (g, shape)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Fission preserves semantics on arbitrary op chains.
+    #[test]
+    fn fission_preserves_semantics((g, shape) in arb_op_graph(), seed in 0u64..1000) {
+        let x = Tensor::random(shape, seed);
+        let reference = execute_ops(&g, &[x.clone()]).unwrap();
+        let f = fission(&g).unwrap();
+        let out = execute_prims(&f.prim_graph, &[x]).unwrap();
+        prop_assert!(reference[0].allclose(&out[0], 1e-3));
+    }
+
+    /// Every transformation variant computes the same function.
+    #[test]
+    fn transforms_preserve_semantics((g, shape) in arb_op_graph(), seed in 0u64..1000) {
+        let x = Tensor::random(shape, seed);
+        let f = fission(&g).unwrap();
+        let reference = execute_prims(&f.prim_graph, &[x.clone()]).unwrap();
+        let config = SearchConfig { max_depth: 2, beam: 4, max_variants: 5 };
+        for v in optimize_graph(&f.prim_graph, &config) {
+            let out = execute_prims(&v, &[x.clone()]).unwrap();
+            prop_assert!(reference[0].allclose(&out[0], 1e-3), "variant diverged");
+        }
+    }
+
+    /// The full pipeline's executable equals the reference semantics.
+    #[test]
+    fn pipeline_preserves_semantics((g, _shape) in arb_op_graph(), seed in 0u64..1000) {
+        let korch = Korch::new(Device::v100(), KorchConfig::default());
+        let (_, err) = korch.optimize_verified(&g, seed).unwrap();
+        prop_assert!(err < 1e-3, "pipeline diverged: {err}");
+    }
+
+    /// Text serialization round-trips arbitrary operator graphs exactly
+    /// (structure, outputs, and a second print is byte-identical).
+    #[test]
+    fn op_text_round_trips((g, _shape) in arb_op_graph()) {
+        let text = korch::ir::text::op_to_text(&g);
+        let back = korch::ir::text::op_from_text(&text).unwrap();
+        prop_assert_eq!(back.fingerprint(), g.fingerprint());
+        prop_assert_eq!(back.outputs(), g.outputs());
+        prop_assert_eq!(korch::ir::text::op_to_text(&back), text);
+    }
+
+    /// Fissioned primitive graphs survive the text round trip, and the
+    /// parsed copy still computes the same function.
+    #[test]
+    fn prim_text_round_trips((g, shape) in arb_op_graph(), seed in 0u64..1000) {
+        let f = fission(&g).unwrap();
+        let text = korch::ir::text::prim_to_text(&f.prim_graph);
+        let back = korch::ir::text::prim_from_text(&text).unwrap();
+        prop_assert_eq!(back.fingerprint(), f.prim_graph.fingerprint());
+        let x = Tensor::random(shape, seed);
+        let a = execute_prims(&f.prim_graph, &[x.clone()]).unwrap();
+        let b = execute_prims(&back, &[x]).unwrap();
+        prop_assert!(a[0].allclose(&b[0], 1e-6));
+    }
+
+    /// The layout-aware BLP (§8 extension) never loses to the standard BLP
+    /// (its all-canonical variants embed it), and its plan stays executable.
+    #[test]
+    fn layout_blp_parity_on_random_graphs((g, shape) in arb_op_graph(), seed in 0u64..1000) {
+        use korch::cost::{Backend, Profiler};
+        use korch::orch::{
+            enumerate_states, identify_kernels, optimize, optimize_with_layouts,
+            IdentifyConfig, LayoutConfig, OptimizeConfig,
+        };
+        let f = fission(&g).unwrap();
+        let profiler = Profiler::new(Device::v100());
+        let space = enumerate_states(&f.prim_graph, 10_000);
+        let cands = identify_kernels(
+            &f.prim_graph,
+            &space,
+            &profiler,
+            &IdentifyConfig::default(),
+            &[Backend::Generated, Backend::Vendor],
+        );
+        let (std_plan, _) =
+            optimize(&f.prim_graph, &cands, Some(&space), &OptimizeConfig::default()).unwrap();
+        let outcome = optimize_with_layouts(
+            &f.prim_graph,
+            &cands,
+            &profiler,
+            &LayoutConfig::default(),
+        )
+        .unwrap();
+        prop_assert!(
+            outcome.plan.total_latency.0 <= std_plan.total_latency.0 * 1.02 + 1e-9,
+            "layout-aware lost: {} vs {}",
+            outcome.plan.total_latency.0,
+            std_plan.total_latency.0
+        );
+        let x = Tensor::random(shape, seed);
+        let reference = execute_prims(&f.prim_graph, &[x.clone()]).unwrap();
+        let out = korch::exec::execute_plan(&f.prim_graph, &outcome.plan, &[x]).unwrap();
+        prop_assert!(reference[0].allclose(&out[0], 1e-3));
+    }
+
+    /// Multi-stream schedules: one lane reproduces Eq. 2 exactly; more
+    /// lanes never increase the makespan and never violate dependencies
+    /// (checked inside `schedule_streams`' own assertions plus here).
+    #[test]
+    fn stream_schedules_are_sound((g, _shape) in arb_op_graph()) {
+        use korch::orch::schedule_streams;
+        let korch = Korch::new(Device::v100(), KorchConfig::default());
+        let optimized = korch.optimize(&g).unwrap();
+        for part in optimized.partitions() {
+            let seq = schedule_streams(&part.part.graph, &part.plan, 1, &Device::v100());
+            prop_assert!((seq.makespan.0 - part.plan.total_latency.0).abs() < 1e-6);
+            for s in [2usize, 4] {
+                let par = schedule_streams(&part.part.graph, &part.plan, s, &Device::v100());
+                prop_assert!(par.makespan.0 <= part.plan.total_latency.0 + 1e-6);
+            }
+        }
+    }
+
+    /// Quick-prune soundness at margin 1.0: the end-to-end pipeline
+    /// objective is unchanged when provably-losing candidates are skipped.
+    #[test]
+    fn quick_prune_is_sound_end_to_end((g, _shape) in arb_op_graph()) {
+        let base = Korch::new(Device::v100(), KorchConfig::default());
+        let mut cfg = KorchConfig::default();
+        cfg.orchestrator.identify.quick_prune = true;
+        let pruned = Korch::new(Device::v100(), cfg);
+        let a = base.optimize(&g).unwrap();
+        let b = pruned.optimize(&g).unwrap();
+        prop_assert!(
+            (a.latency_ms() - b.latency_ms()).abs() <= a.latency_ms() * 0.02 + 1e-12,
+            "quick prune changed the objective: {} vs {}",
+            a.latency_ms(),
+            b.latency_ms()
+        );
+    }
+}
+
+/// Random covering-style BLP instances.
+fn arb_blp() -> impl Strategy<Value = BlpProblem> {
+    let n = 3usize..9;
+    n.prop_flat_map(|n| {
+        let costs = prop::collection::vec(1.0f64..10.0, n);
+        let rows = prop::collection::vec(
+            prop::collection::vec(prop::bool::ANY, n),
+            1..6,
+        );
+        (costs, rows).prop_map(|(costs, rows)| {
+            let mut p = BlpProblem::minimize(costs);
+            for row in rows {
+                let coeffs: Vec<(usize, f64)> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &b)| b)
+                    .map(|(j, _)| (j, 1.0))
+                    .collect();
+                if !coeffs.is_empty() {
+                    p.add(Constraint::ge(coeffs, 1.0));
+                }
+            }
+            p
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Branch & bound and Balas implicit enumeration agree on the optimum.
+    #[test]
+    fn solvers_agree(p in arb_blp()) {
+        let exact = BranchAndBound { rel_gap: 0.0, ..Default::default() };
+        let a = exact.solve(&p).unwrap();
+        let b = BalasSolver::default().solve(&p).unwrap();
+        prop_assert!((a.objective - b.objective).abs() < 1e-6,
+            "bnb {} vs balas {}", a.objective, b.objective);
+        prop_assert!(p.feasible(&a.values));
+        prop_assert!(p.feasible(&b.values));
+    }
+
+    /// The LP relaxation lower-bounds the integer optimum.
+    #[test]
+    fn lp_bound_is_valid(p in arb_blp()) {
+        let sol = BalasSolver::default().solve(&p).unwrap();
+        match korch::blp::solve_lp(&p, &vec![None; p.num_vars()]) {
+            korch::blp::LpOutcome::Optimal { objective, .. } => {
+                prop_assert!(objective <= sol.objective + 1e-6,
+                    "LP bound {} above optimum {}", objective, sol.objective);
+            }
+            korch::blp::LpOutcome::Infeasible => prop_assert!(false, "LP infeasible but IP feasible"),
+        }
+    }
+}

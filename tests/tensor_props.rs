@@ -1,0 +1,141 @@
+//! Property tests on the tensor substrate, including the paper's §3
+//! *definition* of linear transformation primitives: the output is linear
+//! in every input (additivity + homogeneity) — verified numerically for
+//! matmul and conv2d.
+
+use korch::tensor::{MatMulSpec, ReduceKind, Tensor};
+use proptest::prelude::*;
+
+fn dims() -> impl Strategy<Value = (usize, usize, usize)> {
+    (1usize..6, 1usize..6, 1usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// MatMul is linear in its left input: (αX + Y)·W = α(X·W) + Y·W.
+    #[test]
+    fn matmul_is_linear_in_lhs((m, k, n) in dims(), alpha in -3.0f32..3.0, seed in 0u64..100) {
+        let x = Tensor::random(vec![m, k], seed);
+        let y = Tensor::random(vec![m, k], seed + 1);
+        let w = Tensor::random(vec![k, n], seed + 2);
+        let spec = MatMulSpec::new();
+        let lhs = x
+            .binary_scalar(alpha, korch::tensor::BinaryOp::Mul)
+            .binary(&y, korch::tensor::BinaryOp::Add)
+            .unwrap()
+            .matmul(&w, spec)
+            .unwrap();
+        let rhs = x
+            .matmul(&w, spec)
+            .unwrap()
+            .binary_scalar(alpha, korch::tensor::BinaryOp::Mul)
+            .binary(&y.matmul(&w, spec).unwrap(), korch::tensor::BinaryOp::Add)
+            .unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    /// Conv2d is linear in its input feature map.
+    #[test]
+    fn conv2d_is_linear_in_input(alpha in -2.0f32..2.0, seed in 0u64..100) {
+        let x = Tensor::random(vec![1, 2, 6, 6], seed);
+        let y = Tensor::random(vec![1, 2, 6, 6], seed + 1);
+        let w = Tensor::random(vec![3, 2, 3, 3], seed + 2);
+        let lhs = x
+            .binary_scalar(alpha, korch::tensor::BinaryOp::Mul)
+            .binary(&y, korch::tensor::BinaryOp::Add)
+            .unwrap()
+            .conv2d(&w, 1, 1, 1)
+            .unwrap();
+        let rhs = x
+            .conv2d(&w, 1, 1, 1)
+            .unwrap()
+            .binary_scalar(alpha, korch::tensor::BinaryOp::Mul)
+            .binary(&y.conv2d(&w, 1, 1, 1).unwrap(), korch::tensor::BinaryOp::Add)
+            .unwrap();
+        prop_assert!(lhs.allclose(&rhs, 1e-3));
+    }
+
+    /// Softmax (the fission composite) is NOT linear — the reason the paper
+    /// decomposes it rather than treating it as a linear primitive.
+    #[test]
+    fn softmax_is_not_linear(seed in 0u64..50) {
+        let x = Tensor::random(vec![2, 8], seed);
+        let softmax = |t: &Tensor| {
+            let e = t.unary(korch::tensor::UnaryOp::Exp);
+            let s = e.reduce_sum(1).unwrap().broadcast(1, 8).unwrap();
+            e.binary(&s, korch::tensor::BinaryOp::Div).unwrap()
+        };
+        let doubled = softmax(&x.binary_scalar(2.0, korch::tensor::BinaryOp::Mul));
+        let scaled = softmax(&x).binary_scalar(2.0, korch::tensor::BinaryOp::Mul);
+        prop_assert!(!doubled.allclose(&scaled, 1e-3));
+    }
+
+    /// Transpose round-trips through its inverse permutation.
+    #[test]
+    fn transpose_roundtrip(seed in 0u64..100) {
+        let t = Tensor::random(vec![2, 3, 4], seed);
+        for perm in [[0usize, 1, 2], [0, 2, 1], [1, 0, 2], [1, 2, 0], [2, 0, 1], [2, 1, 0]] {
+            let mut inv = [0usize; 3];
+            for (d, &p) in perm.iter().enumerate() {
+                inv[p] = d;
+            }
+            let back = t.transpose(&perm).unwrap().transpose(&inv).unwrap();
+            prop_assert_eq!(&back, &t);
+        }
+    }
+
+    /// Concat inverts split for arbitrary part sizes.
+    #[test]
+    fn split_concat_roundtrip(a in 1usize..5, b in 1usize..5, c in 1usize..5, seed in 0u64..100) {
+        let t = Tensor::random(vec![a + b + c, 3], seed);
+        let parts = t.split(0, &[a, b, c]).unwrap();
+        let refs: Vec<&Tensor> = parts.iter().collect();
+        let back = Tensor::concat(&refs, 0).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Slicing out the interior of a padded tensor recovers the original.
+    #[test]
+    fn pad_slice_roundtrip(p in 0usize..3, seed in 0u64..100) {
+        let t = Tensor::random(vec![3, 4], seed);
+        let padded = t.pad(&[p, p], &[p, p], -1.0).unwrap();
+        let back = padded.slice(&[p, p], &[p + 3, p + 4]).unwrap();
+        prop_assert_eq!(back, t);
+    }
+
+    /// Reduce-sum distributes over concat along the reduced axis.
+    #[test]
+    fn reduce_sum_distributes_over_concat(seed in 0u64..100) {
+        let a = Tensor::random(vec![3, 4], seed);
+        let b = Tensor::random(vec![3, 5], seed + 1);
+        let cat = Tensor::concat(&[&a, &b], 1).unwrap();
+        let total = cat.reduce_sum(1).unwrap();
+        let partial = a
+            .reduce_sum(1)
+            .unwrap()
+            .binary(&b.reduce_sum(1).unwrap(), korch::tensor::BinaryOp::Add)
+            .unwrap();
+        prop_assert!(total.allclose(&partial, 1e-4));
+    }
+
+    /// Max-pool with stride=kernel equals blockwise reduce-max.
+    #[test]
+    fn pool_matches_blockwise_reduce(seed in 0u64..100) {
+        let t = Tensor::random(vec![1, 1, 4, 4], seed);
+        let pooled = t
+            .pool2d(korch::tensor::PoolSpec::new(2, 2), ReduceKind::Max)
+            .unwrap();
+        for by in 0..2 {
+            for bx in 0..2 {
+                let mut m = f32::NEG_INFINITY;
+                for dy in 0..2 {
+                    for dx in 0..2 {
+                        m = m.max(t.at(&[0, 0, 2 * by + dy, 2 * bx + dx]));
+                    }
+                }
+                prop_assert_eq!(pooled.at(&[0, 0, by, bx]), m);
+            }
+        }
+    }
+}

@@ -1,0 +1,149 @@
+//! Property tests of the paper's Theorem 1: a node set is a convex subgraph
+//! iff it is the difference of two execution states. Random DAGs, both
+//! directions.
+
+use korch::ir::{EwFn, NodeId, PrimGraph, PrimKind};
+use korch::orch::{enumerate_states, BitSet};
+use korch::tensor::{BinaryOp, UnaryOp};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A random DAG of unary/binary elementwise primitives over one input.
+fn arb_dag() -> impl Strategy<Value = PrimGraph> {
+    // Each entry: (use_binary, src1 offset, src2 offset)
+    prop::collection::vec((prop::bool::ANY, 1usize..5, 1usize..5), 2..10).prop_map(|nodes| {
+        let mut g = PrimGraph::new();
+        let x = g.add(PrimKind::Input { shape: vec![4] }, vec![]).unwrap();
+        let mut ids: Vec<NodeId> = vec![x];
+        for (binary, o1, o2) in nodes {
+            let s1 = ids[ids.len() - o1.min(ids.len())];
+            let s2 = ids[ids.len() - o2.min(ids.len())];
+            let id = if binary {
+                g.add(
+                    PrimKind::Elementwise(EwFn::Binary(BinaryOp::Add)),
+                    vec![s1.into(), s2.into()],
+                )
+                .unwrap()
+            } else {
+                g.add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![s1.into()])
+                    .unwrap()
+            };
+            ids.push(id);
+        }
+        g.mark_output(*ids.last().unwrap()).unwrap();
+        g
+    })
+}
+
+fn computational(g: &PrimGraph) -> Vec<NodeId> {
+    g.iter()
+        .filter(|(_, n)| !n.kind.is_source())
+        .map(|(id, _)| id)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Forward direction: every difference of two execution states is a
+    /// convex subgraph.
+    #[test]
+    fn state_differences_are_convex(g in arb_dag()) {
+        let space = enumerate_states(&g, 5_000);
+        prop_assume!(!space.truncated);
+        let reach = g.reachability();
+        for d1 in &space.states {
+            for d2 in &space.states {
+                if d1 == d2 || !d1.is_subset(d2) {
+                    continue;
+                }
+                let diff: BTreeSet<NodeId> = d1.diff_from(d2).into_iter().collect();
+                prop_assert!(
+                    g.is_convex(&diff, &reach),
+                    "state difference {diff:?} is not convex"
+                );
+            }
+        }
+    }
+
+    /// Reverse direction: every convex subgraph appears as a difference of
+    /// two enumerated execution states (checked on all subsets of the
+    /// computational nodes, which stays feasible for ≤ 10 nodes).
+    #[test]
+    fn convex_subgraphs_are_state_differences(g in arb_dag()) {
+        let nodes = computational(&g);
+        prop_assume!(nodes.len() <= 8);
+        let space = enumerate_states(&g, 100_000);
+        prop_assume!(!space.truncated);
+        let reach = g.reachability();
+        // Collect all differences once.
+        let mut diffs: std::collections::HashSet<Vec<NodeId>> = std::collections::HashSet::new();
+        for d1 in &space.states {
+            for d2 in &space.states {
+                if d1 != d2 && d1.is_subset(d2) {
+                    diffs.insert(d1.diff_from(d2));
+                }
+            }
+        }
+        for mask in 1u32..(1 << nodes.len()) {
+            let set: BTreeSet<NodeId> = nodes
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, &id)| id)
+                .collect();
+            if g.is_convex(&set, &reach) {
+                let as_vec: Vec<NodeId> = set.iter().copied().collect();
+                prop_assert!(
+                    diffs.contains(&as_vec),
+                    "convex set {as_vec:?} not expressible as a state difference"
+                );
+            }
+        }
+    }
+
+    /// Execution states are exactly the predecessor-closed sets.
+    #[test]
+    fn states_are_predecessor_closed_sets(g in arb_dag()) {
+        let nodes = computational(&g);
+        prop_assume!(nodes.len() <= 8);
+        let space = enumerate_states(&g, 100_000);
+        prop_assume!(!space.truncated);
+        // Count predecessor-closed subsets of computational nodes.
+        let mut closed = 0usize;
+        for mask in 0u32..(1 << nodes.len()) {
+            let in_set = |id: NodeId| {
+                nodes.iter().position(|&n| n == id).map(|i| mask & (1 << i) != 0)
+            };
+            let mut ok = true;
+            'outer: for (i, &id) in nodes.iter().enumerate() {
+                if mask & (1 << i) == 0 {
+                    continue;
+                }
+                for r in &g.node(id).inputs {
+                    if let Some(false) = in_set(r.node) {
+                        ok = false;
+                        break 'outer;
+                    }
+                }
+            }
+            if ok {
+                closed += 1;
+            }
+        }
+        prop_assert_eq!(space.states.len(), closed);
+    }
+}
+
+#[test]
+fn bitset_subset_diff_consistency() {
+    let mut a = BitSet::empty(130);
+    let mut b = BitSet::empty(130);
+    for i in [0usize, 64, 129] {
+        b.insert(i);
+    }
+    a.insert(64);
+    assert!(a.is_subset(&b));
+    let d = a.diff_from(&b);
+    assert_eq!(d, vec![NodeId(0), NodeId(129)]);
+}
