@@ -80,12 +80,24 @@ pub fn groups_to_plan(
             }
         }
         let spec = kernel_spec(pg, &member_set, &outputs);
-        let backend = if spec.is_compute_intensive() { compute_backend } else { memory_backend };
+        let backend = if spec.is_compute_intensive() {
+            compute_backend
+        } else {
+            memory_backend
+        };
         let latency = profiler.latency(&spec, backend);
-        kernels.push(SelectedKernel { members: members.clone(), outputs, latency, backend });
+        kernels.push(SelectedKernel {
+            members: members.clone(),
+            outputs,
+            latency,
+            backend,
+        });
     }
     let total: Micros = kernels.iter().map(|k| k.latency).sum();
-    Plan { kernels, total_latency: total }
+    Plan {
+        kernels,
+        total_latency: total,
+    }
 }
 
 /// Primitive-level fusion class for the TensorRT-with-fission study.
@@ -188,9 +200,10 @@ pub fn trt_with_fission(pg: &PrimGraph, profiler: &Profiler) -> Plan {
         // Source-fed fusable primitives (weight broadcast chains) stay
         // pending until a consumer adopts them, so they never materialize
         // a full-size broadcast tensor on their own.
-        let all_producers_pending = node.inputs.iter().all(|r| {
-            pg.node(r.node).kind.is_source() || group_of[r.node.0].is_none()
-        });
+        let all_producers_pending = node
+            .inputs
+            .iter()
+            .all(|r| pg.node(r.node).kind.is_source() || group_of[r.node.0].is_none());
         if class == PrimClass::Fusable && all_producers_pending {
             continue;
         }
@@ -255,7 +268,13 @@ pub fn trt_with_fission(pg: &PrimGraph, profiler: &Profiler) -> Plan {
         .filter(|m| !m.is_empty())
         .map(|m| m.into_iter().collect())
         .collect();
-    groups_to_plan(pg, groups, profiler, Backend::TrtRuntime, Backend::TrtRuntime)
+    groups_to_plan(
+        pg,
+        groups,
+        profiler,
+        Backend::TrtRuntime,
+        Backend::TrtRuntime,
+    )
 }
 
 #[cfg(test)]
@@ -273,8 +292,8 @@ mod tests {
         let f = fission(&g).unwrap();
         let profiler = Profiler::new(Device::v100());
         let with_fission = trt_with_fission(&f.prim_graph, &profiler);
-        let without = crate::orchestrate_baseline(crate::Baseline::TensorRt, &g, &Device::v100())
-            .unwrap();
+        let without =
+            crate::orchestrate_baseline(crate::Baseline::TensorRt, &g, &Device::v100()).unwrap();
         assert!(
             with_fission.total_latency.0 < without.total_latency.0,
             "fission: {} vs op-level: {}",
@@ -292,7 +311,7 @@ mod tests {
         let profiler = Profiler::new(Device::v100());
         let plan = trt_with_fission(&f.prim_graph, &profiler);
         let x = Tensor::random(vec![1, 4, 8, 8], 7);
-        let reference = execute_ops(&g, &[x.clone()]).unwrap();
+        let reference = execute_ops(&g, std::slice::from_ref(&x)).unwrap();
         let out = execute_plan(&f.prim_graph, &plan, &[x]).unwrap();
         assert!(reference[0].allclose(&out[0], 1e-4));
     }

@@ -199,13 +199,14 @@ fn rule_group_of(baseline: Baseline, g: &OpGraph) -> (Vec<Option<usize>>, usize)
         if class == OpClass::Source {
             continue;
         }
-        let new_group = |open_flag: bool,
-                             open: &mut Vec<bool>,
-                             group_members: &mut Vec<std::collections::BTreeSet<NodeId>>| {
-            open.push(open_flag);
-            group_members.push(std::collections::BTreeSet::new());
-            open.len() - 1
-        };
+        let new_group =
+            |open_flag: bool,
+             open: &mut Vec<bool>,
+             group_members: &mut Vec<std::collections::BTreeSet<NodeId>>| {
+                open.push(open_flag);
+                group_members.push(std::collections::BTreeSet::new());
+                open.len() - 1
+            };
         // Distinct groups of non-source producers.
         let mut producer_groups: Vec<usize> = node
             .inputs
@@ -219,11 +220,14 @@ fn rule_group_of(baseline: Baseline, g: &OpGraph) -> (Vec<Option<usize>>, usize)
         // with this op when the union stays convex (Relay's fuse-ops merges
         // injective DAGs, not just chains).
         let tvm_fuse = |open: &mut Vec<bool>,
-                            group_members: &mut Vec<std::collections::BTreeSet<NodeId>>,
-                            group_of: &mut Vec<Option<usize>>|
+                        group_members: &mut Vec<std::collections::BTreeSet<NodeId>>,
+                        group_of: &mut Vec<Option<usize>>|
          -> Option<usize> {
-            let open_producers: Vec<usize> =
-                producer_groups.iter().copied().filter(|&gr| open[gr]).collect();
+            let open_producers: Vec<usize> = producer_groups
+                .iter()
+                .copied()
+                .filter(|&gr| open[gr])
+                .collect();
             if open_producers.is_empty() || open_producers.len() != producer_groups.len() {
                 return None; // some producer is closed: start fresh
             }
@@ -250,12 +254,10 @@ fn rule_group_of(baseline: Baseline, g: &OpGraph) -> (Vec<Option<usize>>, usize)
             // PyTorch: one kernel per operator, never fused.
             (Baseline::PyTorch, _) => new_group(false, &mut open, &mut group_members),
             // TVM: injective and layout ops fuse through fan-in.
-            (Baseline::Tvm, OpClass::Injective | OpClass::Layout) => tvm_fuse(
-                &mut open,
-                &mut group_members,
-                &mut group_of,
-            )
-            .unwrap_or_else(|| new_group(true, &mut open, &mut group_members)),
+            (Baseline::Tvm, OpClass::Injective | OpClass::Layout) => {
+                tvm_fuse(&mut open, &mut group_members, &mut group_of)
+                    .unwrap_or_else(|| new_group(true, &mut open, &mut group_members))
+            }
             // TensorRT: injective ops chain into a single open producer
             // group (pointwise-network fusion), layout ops are dedicated
             // reformat kernels (Fig. 12a: Pad is its own kernel).
@@ -263,7 +265,9 @@ fn rule_group_of(baseline: Baseline, g: &OpGraph) -> (Vec<Option<usize>>, usize)
                 [one] if open[*one] => *one,
                 _ => new_group(true, &mut open, &mut group_members),
             },
-            (Baseline::TensorRt, OpClass::Layout) => new_group(false, &mut open, &mut group_members),
+            (Baseline::TensorRt, OpClass::Layout) => {
+                new_group(false, &mut open, &mut group_members)
+            }
             // Compute anchors open a fresh group that absorbs epilogues.
             (_, OpClass::Linear) => new_group(true, &mut open, &mut group_members),
             // TVM fuses the whole normalization into one generated kernel
@@ -429,18 +433,43 @@ mod tests {
 
     fn conv_bn_relu_chain() -> OpGraph {
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![1, 3, 16, 16] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![1, 3, 16, 16],
+                },
+                vec![],
+            )
+            .unwrap();
         let w = g
-            .add(OpKind::Constant { shape: vec![8, 3, 3, 3], init: ConstInit::Random(1) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![8, 3, 3, 3],
+                    init: ConstInit::Random(1),
+                },
+                vec![],
+            )
             .unwrap();
         let conv = g
             .add(
-                OpKind::Conv2d { stride: 1, padding: 1, groups: 1, bias: false },
+                OpKind::Conv2d {
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    bias: false,
+                },
                 vec![x.into(), w.into()],
             )
             .unwrap();
         let mk = |g: &mut OpGraph, init| {
-            g.add(OpKind::Constant { shape: vec![8], init }, vec![]).unwrap()
+            g.add(
+                OpKind::Constant {
+                    shape: vec![8],
+                    init,
+                },
+                vec![],
+            )
+            .unwrap()
         };
         let gamma = mk(&mut g, ConstInit::Ones);
         let beta = mk(&mut g, ConstInit::Zeros);
@@ -449,10 +478,18 @@ mod tests {
         let bn = g
             .add(
                 OpKind::BatchNorm { eps: 1e-5 },
-                vec![conv.into(), gamma.into(), beta.into(), mean.into(), var.into()],
+                vec![
+                    conv.into(),
+                    gamma.into(),
+                    beta.into(),
+                    mean.into(),
+                    var.into(),
+                ],
             )
             .unwrap();
-        let relu = g.add(OpKind::Unary(UnaryOp::Relu), vec![bn.into()]).unwrap();
+        let relu = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![bn.into()])
+            .unwrap();
         g.mark_output(relu).unwrap();
         g
     }
@@ -510,10 +547,21 @@ mod tests {
         // dedicated reformat kernel; DNNFusion's mapping classification
         // fuses one-to-one + reorganize + one-to-one into a single kernel.
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![32, 64] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![32, 64],
+                },
+                vec![],
+            )
+            .unwrap();
         let r1 = g.add(OpKind::Unary(UnaryOp::Relu), vec![x.into()]).unwrap();
-        let t = g.add(OpKind::Transpose { perm: vec![1, 0] }, vec![r1.into()]).unwrap();
-        let r2 = g.add(OpKind::Unary(UnaryOp::Sigmoid), vec![t.into()]).unwrap();
+        let t = g
+            .add(OpKind::Transpose { perm: vec![1, 0] }, vec![r1.into()])
+            .unwrap();
+        let r2 = g
+            .add(OpKind::Unary(UnaryOp::Sigmoid), vec![t.into()])
+            .unwrap();
         g.mark_output(r2).unwrap();
         let dnn = orchestrate_baseline(Baseline::DnnFusion, &g, &Device::v100()).unwrap();
         assert_eq!(dnn.kernel_count(), 1, "{dnn:?}");
@@ -528,13 +576,27 @@ mod tests {
         let mut g = OpGraph::new();
         let x = g.add(OpKind::Input { shape: vec![8, 8] }, vec![]).unwrap();
         let w1 = g
-            .add(OpKind::Constant { shape: vec![8, 8], init: ConstInit::Random(1) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![8, 8],
+                    init: ConstInit::Random(1),
+                },
+                vec![],
+            )
             .unwrap();
         let w2 = g
-            .add(OpKind::Constant { shape: vec![8, 8], init: ConstInit::Random(2) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![8, 8],
+                    init: ConstInit::Random(2),
+                },
+                vec![],
+            )
             .unwrap();
         let m1 = g.add(OpKind::MatMul, vec![x.into(), w1.into()]).unwrap();
-        let r = g.add(OpKind::Unary(UnaryOp::Relu), vec![m1.into()]).unwrap();
+        let r = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![m1.into()])
+            .unwrap();
         let m2 = g.add(OpKind::MatMul, vec![r.into(), w2.into()]).unwrap();
         g.mark_output(m2).unwrap();
         let plan = orchestrate_baseline(Baseline::DnnFusion, &g, &Device::v100()).unwrap();
@@ -548,7 +610,10 @@ mod tests {
         let r = g.add(OpKind::Unary(UnaryOp::Relu), vec![x.into()]).unwrap();
         let c = g
             .add(
-                OpKind::Custom { name: "topk".into(), out_shapes: vec![vec![8]] },
+                OpKind::Custom {
+                    name: "topk".into(),
+                    out_shapes: vec![vec![8]],
+                },
                 vec![r.into()],
             )
             .unwrap();
@@ -564,11 +629,16 @@ mod tests {
         use korch_tensor::Tensor;
         let g = conv_bn_relu_chain();
         let x = Tensor::random(vec![1, 3, 16, 16], 3);
-        let reference = execute_ops(&g, &[x.clone()]).unwrap();
-        for b in [Baseline::PyTorch, Baseline::Tvm, Baseline::TensorRt, Baseline::DnnFusion] {
+        let reference = execute_ops(&g, std::slice::from_ref(&x)).unwrap();
+        for b in [
+            Baseline::PyTorch,
+            Baseline::Tvm,
+            Baseline::TensorRt,
+            Baseline::DnnFusion,
+        ] {
             let fission = FissionEngine::new().fission(&g).unwrap();
             let plan = orchestrate_baseline(b, &g, &Device::v100()).unwrap();
-            let out = execute_plan(&fission.prim_graph, &plan, &[x.clone()]).unwrap();
+            let out = execute_plan(&fission.prim_graph, &plan, std::slice::from_ref(&x)).unwrap();
             assert!(
                 reference[0].allclose(&out[0], 1e-4),
                 "{b:?} plan diverged from reference"

@@ -16,11 +16,26 @@ use std::hint::black_box;
 /// transpose feeding three matmuls (linear prims cannot share a kernel).
 fn transpose_fanout() -> OpGraph {
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![512, 512] }, vec![]).unwrap();
-    let t = g.add(OpKind::Transpose { perm: vec![1, 0] }, vec![x.into()]).unwrap();
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![512, 512],
+            },
+            vec![],
+        )
+        .unwrap();
+    let t = g
+        .add(OpKind::Transpose { perm: vec![1, 0] }, vec![x.into()])
+        .unwrap();
     for seed in 0..3u64 {
         let w = g
-            .add(OpKind::Constant { shape: vec![512, 64], init: ConstInit::Random(seed) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![512, 64],
+                    init: ConstInit::Random(seed),
+                },
+                vec![],
+            )
             .unwrap();
         let mm = g.add(OpKind::MatMul, vec![t.into(), w.into()]).unwrap();
         g.mark_output(mm).unwrap();
@@ -28,17 +43,21 @@ fn transpose_fanout() -> OpGraph {
     g
 }
 
-fn config_with(
-    allow_redundancy: bool,
-    multi_output: bool,
-    transform_depth: usize,
-) -> KorchConfig {
-    let mut orchestrator = OrchestratorConfig::default();
-    orchestrator.optimize = OptimizeConfig { allow_redundancy, ..Default::default() };
+fn config_with(allow_redundancy: bool, multi_output: bool, transform_depth: usize) -> KorchConfig {
+    let mut orchestrator = OrchestratorConfig {
+        optimize: OptimizeConfig {
+            allow_redundancy,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
     orchestrator.identify.multi_output = multi_output;
     KorchConfig {
         orchestrator,
-        transform: SearchConfig { max_depth: transform_depth, ..Default::default() },
+        transform: SearchConfig {
+            max_depth: transform_depth,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }

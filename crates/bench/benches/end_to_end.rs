@@ -11,9 +11,16 @@ use korch_models::{candy, subgraphs, CandyConfig};
 use std::hint::black_box;
 
 fn bench_end_to_end(c: &mut Criterion) {
-    let small_candy = candy(CandyConfig { resolution: 64, width: 8, residual_blocks: 2 });
+    let small_candy = candy(CandyConfig {
+        resolution: 64,
+        width: 8,
+        residual_blocks: 2,
+    });
     let graphs = [
-        ("instance_norm_block", subgraphs::instance_norm_block(32, 224)),
+        (
+            "instance_norm_block",
+            subgraphs::instance_norm_block(32, 224),
+        ),
         ("softmax_attention", subgraphs::softmax_attention(256, 64)),
         ("candy_small", small_candy),
     ];
@@ -38,7 +45,9 @@ fn bench_end_to_end(c: &mut Criterion) {
             b.iter(|| korch.optimize(black_box(g)).unwrap())
         });
         c.bench_function(&format!("baseline_trt/{name}"), |b| {
-            b.iter(|| orchestrate_baseline(Baseline::TensorRt, black_box(g), &Device::v100()).unwrap())
+            b.iter(|| {
+                orchestrate_baseline(Baseline::TensorRt, black_box(g), &Device::v100()).unwrap()
+            })
         });
     }
 }

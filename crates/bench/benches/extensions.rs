@@ -64,14 +64,27 @@ fn bench_streams(c: &mut Criterion) {
         println!("streams S={s}: makespan {:.2} µs", sched.makespan.0);
     }
     c.bench_function("streams/schedule_4_lanes", |b| {
-        b.iter(|| black_box(schedule_streams(black_box(&g), black_box(&plan), 4, &device)))
+        b.iter(|| {
+            black_box(schedule_streams(
+                black_box(&g),
+                black_box(&plan),
+                4,
+                &device,
+            ))
+        })
     });
 }
 
 fn bench_quick_prune(c: &mut Criterion) {
     let g = attention_prims();
     let full = candidates(&g, &IdentifyConfig::default());
-    let pruned = candidates(&g, &IdentifyConfig { quick_prune: true, ..Default::default() });
+    let pruned = candidates(
+        &g,
+        &IdentifyConfig {
+            quick_prune: true,
+            ..Default::default()
+        },
+    );
     println!(
         "identification: {} candidates / {:.1} s tuning (full) vs {} / {:.1} s (quick-pruned, {} skipped)",
         full.kernels.len(),
@@ -83,7 +96,13 @@ fn bench_quick_prune(c: &mut Criterion) {
     let mut group = c.benchmark_group("identify");
     for (name, cfg) in [
         ("full", IdentifyConfig::default()),
-        ("quick_prune", IdentifyConfig { quick_prune: true, ..Default::default() }),
+        (
+            "quick_prune",
+            IdentifyConfig {
+                quick_prune: true,
+                ..Default::default()
+            },
+        ),
     ] {
         group.bench_function(name, |b| {
             b.iter(|| black_box(candidates(black_box(&g), &cfg).kernels.len()))

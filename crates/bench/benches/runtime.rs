@@ -1,0 +1,178 @@
+//! Parallel-runtime benchmark: the `korch-runtime` executor against the
+//! sequential `execute_plan` interpreter on a plan with many independent
+//! kernels (the acceptance workload: ≥ 8 independent kernels, 4 lanes).
+//!
+//! On a multi-core host the 4-lane executor overlaps the eight branch
+//! kernels and wins well beyond 1.5×; on a single core it degrades to the
+//! interpreter plus scheduling noise. The `serving` group measures the
+//! dynamic-batching front-end end to end.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use korch_cost::{kernel_spec, Backend, Device, Profiler};
+use korch_exec::execute_plan;
+use korch_ir::{EwFn, NodeId, PrimGraph, PrimKind};
+use korch_orch::{Plan, SelectedKernel};
+use korch_runtime::{BatchConfig, PlanExecutor, RuntimeConfig, Server};
+use korch_tensor::{BinaryOp, ReduceKind, Tensor, UnaryOp};
+use std::collections::BTreeSet;
+use std::hint::black_box;
+use std::sync::Arc;
+
+/// `branches` independent softmax chains with one kernel per branch, so
+/// the plan has exactly `branches` independent kernels.
+fn independent_kernel_plan(branches: usize, rows: usize, cols: usize) -> (PrimGraph, Plan) {
+    let mut g = PrimGraph::new();
+    let mut branch_nodes: Vec<Vec<NodeId>> = Vec::new();
+    for _ in 0..branches {
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![rows, cols],
+                },
+                vec![],
+            )
+            .unwrap();
+        let e = g
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
+            .unwrap();
+        let r = g
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )
+            .unwrap();
+        let b = g
+            .add(
+                PrimKind::Broadcast {
+                    axis: 1,
+                    size: cols,
+                },
+                vec![r.into()],
+            )
+            .unwrap();
+        let d = g
+            .add(
+                PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
+                vec![e.into(), b.into()],
+            )
+            .unwrap();
+        g.mark_output(d).unwrap();
+        branch_nodes.push(vec![e, r, b, d]);
+    }
+    let profiler = Profiler::new(Device::v100());
+    let kernels: Vec<SelectedKernel> = branch_nodes
+        .into_iter()
+        .map(|members| {
+            let out = *members.last().unwrap();
+            let set: BTreeSet<NodeId> = members.iter().copied().collect();
+            let spec = kernel_spec(&g, &set, &[out.into()]);
+            SelectedKernel {
+                members,
+                outputs: vec![out.into()],
+                latency: profiler.latency(&spec, Backend::Generated),
+                backend: Backend::Generated,
+            }
+        })
+        .collect();
+    let total = kernels.iter().map(|k| k.latency).sum();
+    (
+        g,
+        Plan {
+            kernels,
+            total_latency: total,
+        },
+    )
+}
+
+fn bench_inputs(g: &PrimGraph) -> Vec<Tensor> {
+    g.iter()
+        .filter_map(|(_, n)| match &n.kind {
+            PrimKind::Input { shape } => Some(shape.clone()),
+            _ => None,
+        })
+        .enumerate()
+        .map(|(i, shape)| Tensor::random(shape, 100 + i as u64))
+        .collect()
+}
+
+fn bench_runtime(c: &mut Criterion) {
+    let (g, plan) = independent_kernel_plan(8, 256, 256);
+    assert!(
+        plan.kernel_count() >= 8,
+        "acceptance workload needs >= 8 kernels"
+    );
+    let inputs = bench_inputs(&g);
+    let mut group = c.benchmark_group("runtime");
+
+    group.bench_function("sequential_interpreter", |b| {
+        b.iter(|| execute_plan(black_box(&g), black_box(&plan), black_box(&inputs)).unwrap())
+    });
+    for lanes in [1usize, 2, 4] {
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+        group.bench_with_input(
+            BenchmarkId::new("parallel_executor", lanes),
+            &exec,
+            |b, exec| b.iter(|| exec.execute(black_box(&inputs)).unwrap()),
+        );
+    }
+    group.finish();
+
+    // One-shot speedup report (criterion compares groups; this prints the
+    // headline number directly).
+    let mean = |f: &mut dyn FnMut()| {
+        f(); // warm-up
+        let n = 10;
+        let start = std::time::Instant::now();
+        for _ in 0..n {
+            f();
+        }
+        start.elapsed().as_secs_f64() / n as f64
+    };
+    let seq = mean(&mut || {
+        black_box(execute_plan(&g, &plan, &inputs).unwrap());
+    });
+    let exec4 = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
+    let par = mean(&mut || {
+        black_box(exec4.execute(&inputs).unwrap());
+    });
+    println!(
+        "runtime/speedup_4_lanes: {:.2}x (sequential {:.3} ms, parallel {:.3} ms, {} cores)",
+        seq / par,
+        seq * 1e3,
+        par * 1e3,
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    );
+}
+
+fn bench_serving(c: &mut Criterion) {
+    let (g, plan) = independent_kernel_plan(4, 128, 128);
+    let inputs = bench_inputs(&g);
+    let mut group = c.benchmark_group("serving");
+    group.bench_function("batched_burst_16", |b| {
+        b.iter(|| {
+            let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2)).unwrap();
+            let server = Server::start(Arc::new(exec), BatchConfig::default());
+            let handles: Vec<_> = (0..16).map(|_| server.submit(inputs.clone())).collect();
+            for h in handles {
+                black_box(h.wait().unwrap());
+            }
+            server.shutdown()
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_runtime, bench_serving
+}
+criterion_main!(benches);

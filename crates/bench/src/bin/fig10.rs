@@ -22,8 +22,14 @@ fn main() {
     let a = trt.total_latency.as_millis();
     let b = optimized.latency_ms();
     println!("Figure 10: EfficientViT attention block (V100)\n");
-    println!("  TensorRT strategy (Fig 8a): {a:8.4} ms   {:3} kernels", trt.kernel_count());
-    println!("  Korch strategy    (Fig 8b): {b:8.4} ms   {:3} kernels", optimized.kernel_count());
+    println!(
+        "  TensorRT strategy (Fig 8a): {a:8.4} ms   {:3} kernels",
+        trt.kernel_count()
+    );
+    println!(
+        "  Korch strategy    (Fig 8b): {b:8.4} ms   {:3} kernels",
+        optimized.kernel_count()
+    );
     println!("\n  block speedup: {:.2}x   (paper: 3.29x)", a / b);
     println!(
         "  kernels saved: {}   (paper: 5)",
@@ -42,8 +48,18 @@ fn main() {
 
     // The Fig. 8 layout effect in isolation: the normalizer GEMM
     // [n, d] x [d, 1] has a 1024:1 aspect; folding the transpose flips it.
-    let skinny = GemmShape { batch: 1, m: 1024, n: 1, k: 16 };
-    let fixed = GemmShape { batch: 1, m: 16, n: 1024, k: 16 };
+    let skinny = GemmShape {
+        batch: 1,
+        m: 1024,
+        n: 1,
+        k: 16,
+    };
+    let fixed = GemmShape {
+        batch: 1,
+        m: 16,
+        n: 1024,
+        k: 16,
+    };
     let ratio = gemm_shape_efficiency(fixed) / gemm_shape_efficiency(skinny);
     println!("\n  GEMM layout effect (cost model): {ratio:.2}x   (paper k5 vs k8: 3.52x)");
 

@@ -21,7 +21,13 @@ fn strategy_a(pg: &korch_ir::PrimGraph, profiler: &Profiler) -> korch_orch::Plan
         .filter(|(_, n)| !n.kind.is_source())
         .map(|(id, _)| id)
         .collect();
-    groups_to_plan(pg, vec![members], profiler, Backend::Generated, Backend::Generated)
+    groups_to_plan(
+        pg,
+        vec![members],
+        profiler,
+        Backend::Generated,
+        Backend::Generated,
+    )
 }
 
 /// Strategy B (Fig. 11b): one kernel per branch, concat separate.
@@ -54,7 +60,10 @@ fn main() {
     let profiler = Profiler::new(device.clone());
     println!("Figure 13: Segformer decoder subgraph, strategy A (full fusion, TVM's\nchoice) vs strategy B (per-branch kernels), V100\n");
     let widths = [10, 14, 14, 16, 14];
-    report::header(&["batch", "A (ms)", "B (ms)", "B vs A", "Korch (ms)"], &widths);
+    report::header(
+        &["batch", "A (ms)", "B (ms)", "B vs A", "Korch (ms)"],
+        &widths,
+    );
     for batch in [1usize, 16] {
         let g = segformer_decoder(batch);
         let f = fission(&g).expect("fission");
@@ -66,7 +75,10 @@ fn main() {
         let b = strategy_b(&f.prim_graph, &f.origins, 6, &profiler);
         // The subgraph is small: let Korch see it whole (no partitioning),
         // as the paper's per-subgraph study does.
-        let config = KorchConfig { partition_max_prims: 64, ..Default::default() };
+        let config = KorchConfig {
+            partition_max_prims: 64,
+            ..Default::default()
+        };
         let korch = Korch::new(device.clone(), config);
         let optimized = korch.optimize(&g).expect("korch");
         let (ams, bms) = (a.total_latency.as_millis(), b.total_latency.as_millis());

@@ -44,7 +44,10 @@ fn main() {
     let b = optimized.latency_ms();
     println!("Segformer self-attention block (V100):");
     println!("  TensorRT: {a:8.4} ms   {:3} kernels", trt.kernel_count());
-    println!("  Korch:    {b:8.4} ms   {:3} kernels", optimized.kernel_count());
+    println!(
+        "  Korch:    {b:8.4} ms   {:3} kernels",
+        optimized.kernel_count()
+    );
     println!("  speedup: {:.2}x   (paper: 1.50x)", a / b);
 
     // How many kernels touch softmax primitives in Korch's plan?

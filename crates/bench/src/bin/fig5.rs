@@ -10,7 +10,10 @@ use korch_cost::Device;
 fn main() {
     println!("Figure 5: relative performance vs P100 (higher is better)\n");
     let widths = [8, 10, 16, 20];
-    report::header(&["GPU", "mem BW", "FP32 FLOPS", "half/tensor FLOPS"], &widths);
+    report::header(
+        &["GPU", "mem BW", "FP32 FLOPS", "half/tensor FLOPS"],
+        &widths,
+    );
     for d in Device::generations() {
         let (bw, fp32, half) = d.fig5_row();
         report::row(

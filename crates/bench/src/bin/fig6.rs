@@ -12,10 +12,21 @@ use korch_models::evaluation_suite;
 
 fn main() {
     for device in [Device::v100(), Device::a100()] {
-        println!("\n=== Figure 6: {} results (relative exec. time; lower is better) ===\n", device.name);
+        println!(
+            "\n=== Figure 6: {} results (relative exec. time; lower is better) ===\n",
+            device.name
+        );
         let widths = [14, 12, 10, 10, 12, 12, 10];
         report::header(
-            &["Model", "(A) PyTorch", "(B) TVM", "(C) TRT", "(E) DNNFus", "(D) Korch", "best/Korch"],
+            &[
+                "Model",
+                "(A) PyTorch",
+                "(B) TVM",
+                "(C) TRT",
+                "(E) DNNFus",
+                "(D) Korch",
+                "best/Korch",
+            ],
             &widths,
         );
         let mut speedups = Vec::new();
@@ -25,7 +36,12 @@ fn main() {
             let korch_ms = optimized.latency_ms();
             let mut rel = Vec::new();
             let mut best_baseline = f64::INFINITY;
-            for b in [Baseline::PyTorch, Baseline::Tvm, Baseline::TensorRt, Baseline::DnnFusion] {
+            for b in [
+                Baseline::PyTorch,
+                Baseline::Tvm,
+                Baseline::TensorRt,
+                Baseline::DnnFusion,
+            ] {
                 let plan = orchestrate_baseline(b, &graph, &device).expect("baseline");
                 let ms = plan.total_latency.as_millis();
                 best_baseline = best_baseline.min(ms);
@@ -46,7 +62,10 @@ fn main() {
                 &widths,
             );
         }
-        let avg = speedups.iter().product::<f64>().powf(1.0 / speedups.len() as f64);
+        let avg = speedups
+            .iter()
+            .product::<f64>()
+            .powf(1.0 / speedups.len() as f64);
         let max = speedups.iter().fold(0.0f64, |a, &b| a.max(b));
         println!(
             "\n{}: Korch vs best prior framework: up to {max:.2}x, geomean {avg:.2}x",

@@ -19,7 +19,16 @@ fn main() {
     let a = plain.total_latency.as_millis();
     let b = fissioned.total_latency.as_millis();
     println!("Figure 7: operator fission transplanted onto TensorRT (Segformer, V100)\n");
-    println!("  TensorRT (operator graph):          {a:8.3} ms   {:4} kernels", plain.kernel_count());
-    println!("  TensorRT (post-fission prim graph): {b:8.3} ms   {:4} kernels", fissioned.kernel_count());
-    println!("\n  speedup from fission alone: {:.2}x   (paper: 1.24x)", a / b);
+    println!(
+        "  TensorRT (operator graph):          {a:8.3} ms   {:4} kernels",
+        plain.kernel_count()
+    );
+    println!(
+        "  TensorRT (post-fission prim graph): {b:8.3} ms   {:4} kernels",
+        fissioned.kernel_count()
+    );
+    println!(
+        "\n  speedup from fission alone: {:.2}x   (paper: 1.24x)",
+        a / b
+    );
 }

@@ -23,18 +23,32 @@ use korch_tensor::UnaryOp;
 /// tanh -> transpose -> transpose -> sigmoid over an `n×n` tensor.
 fn transpose_sandwich(n: usize) -> PrimGraph {
     let mut g = PrimGraph::new();
-    let x = g.add(PrimKind::Input { shape: vec![n, n] }, vec![]).unwrap();
+    let x = g
+        .add(PrimKind::Input { shape: vec![n, n] }, vec![])
+        .unwrap();
     let e1 = g
-        .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+        .add(
+            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+            vec![x.into()],
+        )
         .unwrap();
     let t = g
-        .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![e1.into()])
+        .add(
+            PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+            vec![e1.into()],
+        )
         .unwrap();
     let t2 = g
-        .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![t.into()])
+        .add(
+            PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+            vec![t.into()],
+        )
         .unwrap();
     let e2 = g
-        .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)), vec![t2.into()])
+        .add(
+            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)),
+            vec![t2.into()],
+        )
         .unwrap();
     g.mark_output(e2).unwrap();
     g
@@ -55,7 +69,10 @@ fn candidates(g: &PrimGraph, profiler: &Profiler) -> Candidates {
 /// becomes a dedicated reformat kernel (the Fig. 8a regime).
 fn reformat_regime(g: &PrimGraph, mut cands: Candidates) -> Candidates {
     let is_t = |m: NodeId| {
-        matches!(&g.node(m).kind, PrimKind::Layout(LayoutFn::Transpose { .. }))
+        matches!(
+            &g.node(m).kind,
+            PrimKind::Layout(LayoutFn::Transpose { .. })
+        )
     };
     cands
         .kernels
@@ -68,7 +85,14 @@ fn main() {
     println!("Layout-aware BLP study (paper §8 future work; V100 cost model)\n");
     let widths = [8, 12, 12, 12, 10, 10];
     report::header(
-        &["size", "regime", "std (µs)", "layout (µs)", "win", "swapped"],
+        &[
+            "size",
+            "regime",
+            "std (µs)",
+            "layout (µs)",
+            "win",
+            "swapped",
+        ],
         &widths,
     );
     let profiler = Profiler::new(Device::v100());
@@ -79,11 +103,10 @@ fn main() {
             ("strong", full.clone()),
             ("reformat", reformat_regime(&g, full.clone())),
         ] {
-            let (std_plan, _) = optimize(&g, &cands, None, &OptimizeConfig::default())
-                .expect("standard BLP");
-            let outcome =
-                optimize_with_layouts(&g, &cands, &profiler, &LayoutConfig::default())
-                    .expect("layout BLP");
+            let (std_plan, _) =
+                optimize(&g, &cands, None, &OptimizeConfig::default()).expect("standard BLP");
+            let outcome = optimize_with_layouts(&g, &cands, &profiler, &LayoutConfig::default())
+                .expect("layout BLP");
             let win = std_plan.total_latency.0 / outcome.plan.total_latency.0;
             report::row(
                 &[

@@ -20,7 +20,9 @@ fn main() {
     println!("Multi-stream scheduling study (V100 pipeline, simulated makespan)\n");
     let widths = [14, 12, 12, 12, 12, 10];
     report::header(
-        &["Model", "seq (ms)", "S=2 (ms)", "S=4 (ms)", "S=8 (ms)", "best win"],
+        &[
+            "Model", "seq (ms)", "S=2 (ms)", "S=4 (ms)", "S=8 (ms)", "best win",
+        ],
         &widths,
     );
     for (name, graph) in evaluation_suite() {
@@ -38,7 +40,10 @@ fn main() {
             (seq - optimized.latency_ms()).abs() / seq < 1e-6,
             "{name}: S=1 must equal the sequential Eq. 2 latency"
         );
-        let best = makespan_ms[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+        let best = makespan_ms[1..]
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
         report::row(
             &[
                 name.to_string(),

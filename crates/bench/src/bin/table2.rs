@@ -10,7 +10,14 @@ fn main() {
     println!("Table 2: tuning statistics (A100 pipeline, simulated tuning clock)\n");
     let widths = [14, 10, 14, 14, 12, 12];
     report::header(
-        &["Model", "# Nodes", "# Cand. K.", "Tuning (h)", "partitions", "cache hits"],
+        &[
+            "Model",
+            "# Nodes",
+            "# Cand. K.",
+            "Tuning (h)",
+            "partitions",
+            "cache hits",
+        ],
         &widths,
     );
     let paper: &[(&str, usize, usize, f64)] = &[
@@ -37,7 +44,10 @@ fn main() {
         );
     }
     println!("\nPaper's Table 2 for comparison:");
-    report::header(&["Model", "# Nodes", "# Cand. K.", "Tuning (h)"], &widths[..4]);
+    report::header(
+        &["Model", "# Nodes", "# Cand. K.", "Tuning (h)"],
+        &widths[..4],
+    );
     for &(name, nodes, cands, hours) in paper {
         report::row(
             &[

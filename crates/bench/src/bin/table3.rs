@@ -18,7 +18,14 @@ fn main() {
     println!("Table 3: quick-prune tuning-time study (paper §8 future work; V100 pipeline)\n");
     let widths = [14, 10, 13, 10, 12, 12];
     report::header(
-        &["Model", "margin", "profiling(h)", "saved", "pruned cand", "lat drift"],
+        &[
+            "Model",
+            "margin",
+            "profiling(h)",
+            "saved",
+            "pruned cand",
+            "lat drift",
+        ],
         &widths,
     );
     let mut worst_sound_drift = 0.0f64;
@@ -41,7 +48,9 @@ fn main() {
             let mut cfg = KorchConfig::default();
             cfg.orchestrator.identify.quick_prune = true;
             cfg.orchestrator.identify.quick_prune_margin = margin;
-            let on = Korch::new(Device::v100(), cfg).optimize(&graph).expect("pipeline");
+            let on = Korch::new(Device::v100(), cfg)
+                .optimize(&graph)
+                .expect("pipeline");
             let t_on = on.stats().profile_tuning_s;
             let drift = (on.latency_ms() - lat_off) / lat_off;
             if margin == 1.0 {
@@ -71,5 +80,8 @@ fn main() {
          not savings, is the win there.",
         worst_sound_drift * 100.0
     );
-    assert!(worst_sound_drift < 0.021, "sound margin regressed the objective");
+    assert!(
+        worst_sound_drift < 0.021,
+        "sound margin regressed the objective"
+    );
 }

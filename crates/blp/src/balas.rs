@@ -18,7 +18,9 @@ pub struct BalasSolver {
 
 impl Default for BalasSolver {
     fn default() -> Self {
-        Self { max_nodes: 5_000_000 }
+        Self {
+            max_nodes: 5_000_000,
+        }
     }
 }
 
@@ -169,7 +171,11 @@ impl<'a> Search<'a> {
         let j = self.order[depth];
         let c = self.problem.objective[j];
         // Explore the cheaper branch first.
-        let branches = if c >= 0.0 { [false, true] } else { [true, false] };
+        let branches = if c >= 0.0 {
+            [false, true]
+        } else {
+            [true, false]
+        };
         for value in branches {
             self.set_var(j, value);
             let add = if value { c } else { 0.0 };

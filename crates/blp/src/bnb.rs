@@ -30,7 +30,13 @@ pub struct BranchAndBound {
 
 impl Default for BranchAndBound {
     fn default() -> Self {
-        Self { max_nodes: 200_000, int_tol: 1e-6, incumbent: None, best_on_limit: false, rel_gap: 1e-4 }
+        Self {
+            max_nodes: 200_000,
+            int_tol: 1e-6,
+            incumbent: None,
+            best_on_limit: false,
+            rel_gap: 1e-4,
+        }
     }
 }
 
@@ -123,7 +129,9 @@ fn round_and_repair(problem: &BlpProblem, x: &[f64]) -> Option<Vec<bool>> {
                 .iter()
                 .filter(|&&(j, a)| a > 0.0 && !vals[j])
                 .max_by(|&&(j1, _), &&(j2, _)| {
-                    x[j1].partial_cmp(&x[j2]).unwrap_or(std::cmp::Ordering::Equal)
+                    x[j1]
+                        .partial_cmp(&x[j2])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .map(|&(j, _)| (j, true))
         } else {
@@ -131,7 +139,9 @@ fn round_and_repair(problem: &BlpProblem, x: &[f64]) -> Option<Vec<bool>> {
                 .iter()
                 .filter(|&&(j, a)| a > 0.0 && vals[j])
                 .min_by(|&&(j1, _), &&(j2, _)| {
-                    x[j1].partial_cmp(&x[j2]).unwrap_or(std::cmp::Ordering::Equal)
+                    x[j1]
+                        .partial_cmp(&x[j2])
+                        .unwrap_or(std::cmp::Ordering::Equal)
                 })
                 .map(|&(j, _)| (j, false))
         };
@@ -162,7 +172,10 @@ impl PartialOrd for Node {
 impl Ord for Node {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to pop the lowest bound first.
-        other.bound.partial_cmp(&self.bound).unwrap_or(Ordering::Equal)
+        other
+            .bound
+            .partial_cmp(&self.bound)
+            .unwrap_or(Ordering::Equal)
     }
 }
 
@@ -181,10 +194,18 @@ impl Solver for BranchAndBound {
         match solve_lp(problem, &root_fixed) {
             LpOutcome::Infeasible => {
                 return best
-                    .map(|(values, objective)| BlpSolution { values, objective, stats })
+                    .map(|(values, objective)| BlpSolution {
+                        values,
+                        objective,
+                        stats,
+                    })
                     .ok_or(BlpError::Infeasible)
             }
-            LpOutcome::Optimal { objective, pivots, x } => {
+            LpOutcome::Optimal {
+                objective,
+                pivots,
+                x,
+            } => {
                 stats.pivots += pivots;
                 // LP-guided incumbents: rounding repair plus a single dive.
                 // Both are cheap and make gap pruning effective immediately.
@@ -201,7 +222,11 @@ impl Solver for BranchAndBound {
                         best = Some((r, obj));
                     }
                 }
-                heap.push(Node { bound: objective, fixed: root_fixed, x });
+                heap.push(Node {
+                    bound: objective,
+                    fixed: root_fixed,
+                    x,
+                });
             }
         }
 
@@ -244,13 +269,21 @@ impl Solver for BranchAndBound {
                         let mut f = fixed.clone();
                         f[j] = Some(v);
                         match solve_lp(problem, &f) {
-                            LpOutcome::Optimal { objective: child_bound, pivots, x: cx } => {
+                            LpOutcome::Optimal {
+                                objective: child_bound,
+                                pivots,
+                                x: cx,
+                            } => {
                                 stats.pivots += pivots;
-                                let prune = best.as_ref().is_some_and(|(_, ub)| {
-                                    child_bound >= *ub - self.gap(*ub)
-                                });
+                                let prune = best
+                                    .as_ref()
+                                    .is_some_and(|(_, ub)| child_bound >= *ub - self.gap(*ub));
                                 if !prune {
-                                    heap.push(Node { bound: child_bound, fixed: f, x: cx });
+                                    heap.push(Node {
+                                        bound: child_bound,
+                                        fixed: f,
+                                        x: cx,
+                                    });
                                 }
                             }
                             LpOutcome::Infeasible => {}
@@ -260,8 +293,12 @@ impl Solver for BranchAndBound {
             }
         }
 
-        best.map(|(values, objective)| BlpSolution { values, objective, stats })
-            .ok_or(BlpError::Infeasible)
+        best.map(|(values, objective)| BlpSolution {
+            values,
+            objective,
+            stats,
+        })
+        .ok_or(BlpError::Infeasible)
     }
 }
 
@@ -315,7 +352,10 @@ mod tests {
             p.add(Constraint::ge(vec![(i, 1.0), (i + 1, 1.0)], 1.0));
         }
         p.add(Constraint::ge(vec![(0, 1.0), (8, 1.0)], 1.0));
-        let solver = BranchAndBound { max_nodes: 0, ..Default::default() };
+        let solver = BranchAndBound {
+            max_nodes: 0,
+            ..Default::default()
+        };
         assert!(matches!(solver.solve(&p), Err(BlpError::Limit)));
     }
 

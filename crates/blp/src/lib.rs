@@ -85,8 +85,14 @@ mod tests {
         let mut p = BlpProblem::minimize(vec![1.0]);
         p.add(Constraint::ge(vec![(0, 1.0)], 1.0));
         p.add(Constraint::le(vec![(0, 1.0)], 0.0));
-        assert!(matches!(BranchAndBound::default().solve(&p), Err(BlpError::Infeasible)));
-        assert!(matches!(BalasSolver::default().solve(&p), Err(BlpError::Infeasible)));
+        assert!(matches!(
+            BranchAndBound::default().solve(&p),
+            Err(BlpError::Infeasible)
+        ));
+        assert!(matches!(
+            BalasSolver::default().solve(&p),
+            Err(BlpError::Infeasible)
+        ));
     }
 
     #[test]

@@ -28,17 +28,29 @@ pub struct Constraint {
 impl Constraint {
     /// A `≥` constraint.
     pub fn ge(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
-        Self { coeffs, sense: Sense::Ge, rhs }
+        Self {
+            coeffs,
+            sense: Sense::Ge,
+            rhs,
+        }
     }
 
     /// A `≤` constraint.
     pub fn le(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
-        Self { coeffs, sense: Sense::Le, rhs }
+        Self {
+            coeffs,
+            sense: Sense::Le,
+            rhs,
+        }
     }
 
     /// An `=` constraint.
     pub fn eq(coeffs: Vec<(usize, f64)>, rhs: f64) -> Self {
-        Self { coeffs, sense: Sense::Eq, rhs }
+        Self {
+            coeffs,
+            sense: Sense::Eq,
+            rhs,
+        }
     }
 
     /// Evaluates the left-hand side under a 0/1 assignment.
@@ -72,7 +84,10 @@ pub struct BlpProblem {
 impl BlpProblem {
     /// Creates a minimization problem with the given objective.
     pub fn minimize(objective: Vec<f64>) -> Self {
-        Self { objective, constraints: Vec::new() }
+        Self {
+            objective,
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -87,7 +102,11 @@ impl BlpProblem {
     /// Panics if the constraint references a variable out of range.
     pub fn add(&mut self, c: Constraint) {
         for &(j, _) in &c.coeffs {
-            assert!(j < self.num_vars(), "constraint references variable {j} of {}", self.num_vars());
+            assert!(
+                j < self.num_vars(),
+                "constraint references variable {j} of {}",
+                self.num_vars()
+            );
         }
         self.constraints.push(c);
     }

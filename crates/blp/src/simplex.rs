@@ -86,7 +86,11 @@ pub fn solve_lp(problem: &BlpProblem, fixed: &[Option<f64>]) -> LpOutcome {
         .sum();
 
     match simplex_standard(&objective, &rows) {
-        StandardOutcome::Optimal { x, objective: obj, pivots } => {
+        StandardOutcome::Optimal {
+            x,
+            objective: obj,
+            pivots,
+        } => {
             let mut full = vec![0.0; n];
             for (c, &j) in free.iter().enumerate() {
                 full[j] = x[c];
@@ -96,14 +100,22 @@ pub fn solve_lp(problem: &BlpProblem, fixed: &[Option<f64>]) -> LpOutcome {
                     full[j] = v;
                 }
             }
-            LpOutcome::Optimal { x: full, objective: obj + base_obj, pivots }
+            LpOutcome::Optimal {
+                x: full,
+                objective: obj + base_obj,
+                pivots,
+            }
         }
         StandardOutcome::Infeasible => LpOutcome::Infeasible,
     }
 }
 
 enum StandardOutcome {
-    Optimal { x: Vec<f64>, objective: f64, pivots: usize },
+    Optimal {
+        x: Vec<f64>,
+        objective: f64,
+        pivots: usize,
+    },
     Infeasible,
 }
 
@@ -114,7 +126,11 @@ fn simplex_standard(c: &[f64], rows: &[(Vec<f64>, Sense, f64)]) -> StandardOutco
     let m = rows.len();
     if n == 0 {
         // Nothing free: feasibility was checked by the caller.
-        return StandardOutcome::Optimal { x: vec![], objective: 0.0, pivots: 0 };
+        return StandardOutcome::Optimal {
+            x: vec![],
+            objective: 0.0,
+            pivots: 0,
+        };
     }
 
     // Normalize rows to b >= 0 and count extra columns.
@@ -192,8 +208,8 @@ fn simplex_standard(c: &[f64], rows: &[(Vec<f64>, Sense, f64)]) -> StandardOutco
     // Phase 1: minimize the sum of artificials.
     if num_art > 0 {
         let mut z = vec![0.0f64; total + 1];
-        for col in art_start..total {
-            z[col] = 1.0;
+        for zc in &mut z[art_start..total] {
+            *zc = 1.0;
         }
         // Make reduced costs consistent with the starting basis.
         for i in 0..m {
@@ -236,8 +252,8 @@ fn simplex_standard(c: &[f64], rows: &[(Vec<f64>, Sense, f64)]) -> StandardOutco
         }
     }
     // Forbid artificials from re-entering by giving them +inf reduced cost.
-    for col in art_start..total {
-        z[col] = f64::INFINITY;
+    for zc in &mut z[art_start..total] {
+        *zc = f64::INFINITY;
     }
     if !run_simplex(&mut t, &mut z, &mut basis, total, &mut pivots) {
         // Unbounded cannot happen with 0 ≤ x ≤ 1 rows present; treat as
@@ -252,7 +268,11 @@ fn simplex_standard(c: &[f64], rows: &[(Vec<f64>, Sense, f64)]) -> StandardOutco
         }
     }
     let objective: f64 = x.iter().zip(c).map(|(&v, &cc)| v * cc).sum();
-    StandardOutcome::Optimal { x, objective, pivots }
+    StandardOutcome::Optimal {
+        x,
+        objective,
+        pivots,
+    }
 }
 
 /// Runs simplex iterations until optimal; returns false on unboundedness.
@@ -278,8 +298,7 @@ fn run_simplex(
         // negative (Bland).
         let mut enter: Option<usize> = None;
         let mut best = -1e-9;
-        for col in 0..total {
-            let rc = z[col];
+        for (col, &rc) in z.iter().enumerate().take(total) {
             if rc.is_infinite() {
                 continue;
             }
@@ -300,8 +319,7 @@ fn run_simplex(
             if a > EPS {
                 let ratio = t[i][total] / a;
                 if ratio < best_ratio - EPS
-                    || (ratio < best_ratio + EPS
-                        && leave.is_some_and(|l| basis[i] < basis[l]))
+                    || (ratio < best_ratio + EPS && leave.is_some_and(|l| basis[i] < basis[l]))
                 {
                     best_ratio = ratio;
                     leave = Some(i);

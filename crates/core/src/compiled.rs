@@ -1,0 +1,253 @@
+//! Compiled models: the `Korch::compile` entry point wiring the optimizer
+//! to the `korch-runtime` parallel executor.
+//!
+//! [`Optimized`] (the optimizer's output) interprets plans sequentially
+//! via `korch-exec`. A [`CompiledModel`] instead holds one
+//! [`PlanExecutor`] per partition — constants materialized once, lane
+//! assignments precomputed, buffer arenas warm — so repeated inference
+//! (and the `korch_runtime::Server` batching front-end) pays optimization
+//! cost once and runs each request concurrently.
+
+use crate::pipeline::{KorchError, Optimized, PipelineStats};
+use korch_cost::{Calibration, CalibrationSample, Micros, Profiler};
+use korch_exec::ExecError;
+use korch_ir::{PortRef, PrimGraph};
+use korch_orch::Plan;
+use korch_runtime::{MemoryReport, Model, PlanExecutor, RuntimeConfig, RuntimeProfile};
+use korch_tensor::Tensor;
+use std::collections::HashMap;
+
+/// One compiled partition: its subgraph, plan, and ready executor.
+pub struct CompiledPartition {
+    /// The partition's primitive subgraph (the chosen variant).
+    pub graph: PrimGraph,
+    /// The orchestrated plan the executor runs.
+    pub plan: Plan,
+    /// Outer ports feeding the partition.
+    pub inputs: Vec<PortRef>,
+    /// Outer ports the partition produces.
+    pub outputs: Vec<PortRef>,
+    /// The compiled parallel executor.
+    pub executor: PlanExecutor,
+}
+
+/// An optimized program compiled onto the parallel runtime.
+pub struct CompiledModel {
+    parts: Vec<CompiledPartition>,
+    graph_input_ports: Vec<PortRef>,
+    graph_output_ports: Vec<PortRef>,
+    stats: PipelineStats,
+    total_latency: Micros,
+}
+
+impl CompiledModel {
+    /// Compiles an optimizer result onto the runtime.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KorchError::Exec`] if a plan is not executable (which
+    /// would indicate an optimizer bug).
+    pub fn from_optimized(
+        optimized: &Optimized,
+        runtime: &RuntimeConfig,
+    ) -> Result<Self, KorchError> {
+        let mut parts = Vec::with_capacity(optimized.partitions().len());
+        for opt in optimized.partitions() {
+            let executor = PlanExecutor::new(&opt.part.graph, &opt.plan, runtime.clone())?;
+            parts.push(CompiledPartition {
+                graph: opt.part.graph.clone(),
+                plan: opt.plan.clone(),
+                inputs: opt.part.inputs.clone(),
+                outputs: opt.part.outputs.clone(),
+                executor,
+            });
+        }
+        Ok(Self {
+            parts,
+            graph_input_ports: optimized.input_ports().to_vec(),
+            graph_output_ports: optimized.output_ports().to_vec(),
+            stats: optimized.stats().clone(),
+            total_latency: Micros(optimized.latency_ms() * 1000.0),
+        })
+    }
+
+    /// Simulated end-to-end latency in milliseconds (Eq. 2).
+    pub fn latency_ms(&self) -> f64 {
+        self.total_latency.as_millis()
+    }
+
+    /// Total number of kernel launches.
+    pub fn kernel_count(&self) -> usize {
+        self.parts.iter().map(|p| p.plan.kernel_count()).sum()
+    }
+
+    /// Optimizer statistics carried over from the pipeline.
+    pub fn stats(&self) -> &PipelineStats {
+        &self.stats
+    }
+
+    /// The compiled partitions in execution order.
+    pub fn partitions(&self) -> &[CompiledPartition] {
+        &self.parts
+    }
+
+    /// Aggregate memory report across partitions (fields summed).
+    pub fn memory_report(&self) -> MemoryReport {
+        let mut total = MemoryReport {
+            allocate_everything_bytes: 0,
+            peak_resident_bytes: 0,
+            pinned_bytes: 0,
+            reclaimable_buffers: 0,
+        };
+        for p in &self.parts {
+            let r = p.executor.memory_report();
+            total.allocate_everything_bytes += r.allocate_everything_bytes;
+            total.peak_resident_bytes += r.peak_resident_bytes;
+            total.pinned_bytes += r.pinned_bytes;
+            total.reclaimable_buffers += r.reclaimable_buffers;
+        }
+        total
+    }
+
+    /// Per-partition wall-time profiles accumulated so far.
+    pub fn profiles(&self) -> Vec<RuntimeProfile> {
+        self.parts.iter().map(|p| p.executor.profile()).collect()
+    }
+
+    /// Calibration samples from every profiled kernel across partitions.
+    pub fn calibration_samples(&self) -> Vec<CalibrationSample> {
+        self.parts
+            .iter()
+            .flat_map(|p| p.executor.profile().calibration_samples(&p.graph, &p.plan))
+            .collect()
+    }
+
+    /// Fits a cost-model [`Calibration`] from everything measured so far
+    /// (the profiling-feedback loop: compile → run → calibrate →
+    /// re-optimize with `Profiler::with_calibration`).
+    pub fn calibrate(&self, cost_profiler: &Profiler) -> Calibration {
+        Calibration::fit(cost_profiler, &self.calibration_samples())
+    }
+
+    /// Executes the compiled program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on input mismatches or kernel failures.
+    pub fn execute(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        if inputs.len() != self.graph_input_ports.len() {
+            return Err(ExecError::Input(format!(
+                "program takes {} inputs, {} were fed",
+                self.graph_input_ports.len(),
+                inputs.len()
+            )));
+        }
+        let mut env: HashMap<PortRef, Tensor> = self
+            .graph_input_ports
+            .iter()
+            .copied()
+            .zip(inputs.iter().cloned())
+            .collect();
+        for part in &self.parts {
+            let part_inputs: Vec<Tensor> = part
+                .inputs
+                .iter()
+                .map(|outer| {
+                    env.get(outer).cloned().ok_or(ExecError::NotMaterialized {
+                        node: outer.node.0,
+                        port: outer.port,
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            let outs = part.executor.execute(&part_inputs)?;
+            for (outer, t) in part.outputs.iter().zip(outs) {
+                env.insert(*outer, t);
+            }
+        }
+        self.graph_output_ports
+            .iter()
+            .map(|p| {
+                env.get(p).cloned().ok_or(ExecError::NotMaterialized {
+                    node: p.node.0,
+                    port: p.port,
+                })
+            })
+            .collect()
+    }
+}
+
+impl Model for CompiledModel {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        self.execute(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Korch, KorchConfig};
+    use korch_cost::Device;
+    use korch_ir::{OpGraph, OpKind};
+    use korch_tensor::UnaryOp;
+
+    fn two_block_model() -> OpGraph {
+        let mut g = OpGraph::new();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![16, 32],
+                },
+                vec![],
+            )
+            .unwrap();
+        let s1 = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()]).unwrap();
+        let r1 = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![s1.into()])
+            .unwrap();
+        let s2 = g.add(OpKind::Softmax { axis: 1 }, vec![r1.into()]).unwrap();
+        g.mark_output(s2).unwrap();
+        g
+    }
+
+    #[test]
+    fn compiled_model_matches_interpreter() {
+        let korch = Korch::new(Device::v100(), KorchConfig::default());
+        let g = two_block_model();
+        let optimized = korch.optimize(&g).unwrap();
+        let compiled = korch.compile(&g).unwrap();
+        let inputs = vec![Tensor::random(vec![16, 32], 4)];
+        let a = optimized.execute(&inputs).unwrap();
+        let b = compiled.execute(&inputs).unwrap();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(
+                x.as_slice(),
+                y.as_slice(),
+                "compiled model diverged bitwise"
+            );
+        }
+        assert_eq!(compiled.kernel_count(), optimized.kernel_count());
+        assert!((compiled.latency_ms() - optimized.latency_ms()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compiled_model_profiles_and_calibrates() {
+        let korch = Korch::new(Device::v100(), KorchConfig::default());
+        let g = two_block_model();
+        let compiled = korch
+            .compile_with(&g, &RuntimeConfig::with_lanes(2))
+            .unwrap();
+        let inputs = vec![Tensor::random(vec![16, 32], 4)];
+        for _ in 0..3 {
+            compiled.execute(&inputs).unwrap();
+        }
+        let profiles = compiled.profiles();
+        assert!(!profiles.is_empty());
+        assert!(profiles.iter().all(|p| p.runs == 3));
+        assert!(!compiled.calibration_samples().is_empty());
+        let cal = compiled.calibrate(&Profiler::new(Device::v100()));
+        assert!(cal.memory_scale.is_finite() && cal.memory_scale > 0.0);
+        let report = compiled.memory_report();
+        assert!(report.peak_resident_bytes <= report.allocate_everything_bytes);
+    }
+}

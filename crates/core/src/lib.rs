@@ -31,10 +31,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compiled;
 mod partition;
 mod pipeline;
 
+pub use compiled::{CompiledModel, CompiledPartition};
 pub use partition::{partition, Partition};
-pub use pipeline::{
-    Korch, KorchConfig, KorchError, Optimized, OptimizedPartition, PipelineStats,
-};
+pub use pipeline::{Korch, KorchConfig, KorchError, Optimized, OptimizedPartition, PipelineStats};

@@ -111,10 +111,10 @@ fn extract(
     let mut inputs: Vec<PortRef> = Vec::new();
 
     let outer_input = |sub: &mut PrimGraph,
-                           map: &mut HashMap<PortRef, PortRef>,
-                           inputs: &mut Vec<PortRef>,
-                           r: PortRef,
-                           meta: &TensorMeta|
+                       map: &mut HashMap<PortRef, PortRef>,
+                       inputs: &mut Vec<PortRef>,
+                       r: PortRef,
+                       meta: &TensorMeta|
      -> Result<PortRef, IrError> {
         if let Some(&p) = map.get(&r) {
             return Ok(p);
@@ -122,13 +122,21 @@ fn extract(
         // Clone constants instead of feeding them across the boundary.
         if let PrimKind::Constant { shape, init } = &g.node(r.node).kind {
             let id = sub.add(
-                PrimKind::Constant { shape: shape.clone(), init: init.clone() },
+                PrimKind::Constant {
+                    shape: shape.clone(),
+                    init: init.clone(),
+                },
                 vec![],
             )?;
             map.insert(r, id.into());
             return Ok(id.into());
         }
-        let id = sub.add(PrimKind::Input { shape: meta.shape().to_vec() }, vec![])?;
+        let id = sub.add(
+            PrimKind::Input {
+                shape: meta.shape().to_vec(),
+            },
+            vec![],
+        )?;
         map.insert(r, id.into());
         inputs.push(r);
         Ok(id.into())
@@ -142,7 +150,13 @@ fn extract(
             if r.node.0 >= start && r.node.0 < end {
                 ins.push(map[r]);
             } else {
-                ins.push(outer_input(&mut sub, &mut map, &mut inputs, *r, g.meta(*r))?);
+                ins.push(outer_input(
+                    &mut sub,
+                    &mut map,
+                    &mut inputs,
+                    *r,
+                    g.meta(*r),
+                )?);
             }
         }
         let new_id = sub.add(node.kind.clone(), ins)?;
@@ -158,22 +172,25 @@ fn extract(
 
     // Outputs: ports consumed outside the range or marked as graph outputs.
     let mut outputs = Vec::new();
-    for i in start..end {
+    for (i, succ_i) in succ.iter().enumerate().take(end).skip(start) {
         let id = NodeId(i);
         let node = g.node(id);
         for port in 0..node.out_metas.len() {
             let p = PortRef { node: id, port };
-            let external_consumer = succ[i].iter().any(|s| {
-                (s.0 < start || s.0 >= end)
-                    && g.node(*s).inputs.iter().any(|r| *r == p)
-            });
+            let external_consumer = succ_i
+                .iter()
+                .any(|s| (s.0 < start || s.0 >= end) && g.node(*s).inputs.contains(&p));
             if external_consumer || graph_outputs.contains_key(&p) {
                 sub.mark_output(map[&p])?;
                 outputs.push(p);
             }
         }
     }
-    Ok(Partition { graph: sub, inputs, outputs })
+    Ok(Partition {
+        graph: sub,
+        inputs,
+        outputs,
+    })
 }
 
 #[cfg(test)]
@@ -187,7 +204,10 @@ mod tests {
         let mut prev = g.add(PrimKind::Input { shape: vec![8] }, vec![]).unwrap();
         for _ in 0..n {
             prev = g
-                .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![prev.into()])
+                .add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                    vec![prev.into()],
+                )
                 .unwrap();
         }
         g.mark_output(prev).unwrap();
@@ -223,7 +243,13 @@ mod tests {
         let parts = partition(&g, 100).unwrap();
         assert_eq!(parts.len(), 1);
         // the single entry is the original program input
-        assert_eq!(parts[0].inputs, vec![PortRef { node: NodeId(0), port: 0 }]);
+        assert_eq!(
+            parts[0].inputs,
+            vec![PortRef {
+                node: NodeId(0),
+                port: 0
+            }]
+        );
     }
 
     #[test]
@@ -231,7 +257,10 @@ mod tests {
         let mut g = PrimGraph::new();
         let c = g
             .add(
-                PrimKind::Constant { shape: vec![8], init: korch_ir::ConstInit::Ones },
+                PrimKind::Constant {
+                    shape: vec![8],
+                    init: korch_ir::ConstInit::Ones,
+                },
                 vec![],
             )
             .unwrap();
@@ -276,7 +305,10 @@ mod tests {
         let mut prev: PortRef = x.into();
         for _ in 0..3 {
             prev = g
-                .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![prev])
+                .add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                    vec![prev],
+                )
                 .unwrap()
                 .into();
         }

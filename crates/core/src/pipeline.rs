@@ -153,6 +153,16 @@ impl Optimized {
         &self.parts
     }
 
+    /// The program's input ports, in feed order.
+    pub fn input_ports(&self) -> &[PortRef] {
+        &self.graph_input_ports
+    }
+
+    /// The program's output ports.
+    pub fn output_ports(&self) -> &[PortRef] {
+        &self.graph_output_ports
+    }
+
     /// Executes the optimized program on the CPU reference kernels.
     ///
     /// # Errors
@@ -192,9 +202,10 @@ impl Optimized {
         self.graph_output_ports
             .iter()
             .map(|p| {
-                env.get(p)
-                    .cloned()
-                    .ok_or(ExecError::NotMaterialized { node: p.node.0, port: p.port })
+                env.get(p).cloned().ok_or(ExecError::NotMaterialized {
+                    node: p.node.0,
+                    port: p.port,
+                })
             })
             .collect()
     }
@@ -261,7 +272,10 @@ impl Korch {
         };
         let orchestrator =
             Orchestrator::new(self.device.clone()).with_config(self.config.orchestrator.clone());
-        let mut cache: HashMap<u64, (PrimGraph, Plan, usize, usize, f64, usize, f64)> = HashMap::new();
+        // Variant graph, plan, candidate count, state count, tuning clock,
+        // quick-pruned count, profile clock.
+        type PartitionRecord = (PrimGraph, Plan, usize, usize, f64, usize, f64);
+        let mut cache: HashMap<u64, PartitionRecord> = HashMap::new();
         let mut optimized_parts = Vec::with_capacity(parts.len());
         let mut total = Micros(0.0);
         for part in parts {
@@ -305,7 +319,10 @@ impl Korch {
             let _ = (candidates, states, tuning, pruned, profile);
             total = total + plan.total_latency;
             optimized_parts.push(OptimizedPartition {
-                part: Partition { graph: variant, ..part },
+                part: Partition {
+                    graph: variant,
+                    ..part
+                },
                 plan,
             });
         }
@@ -362,8 +379,40 @@ impl Korch {
             orch.quick_pruned = quick_pruned;
         }
         best.ok_or_else(|| {
-            KorchError::Orch(OrchError::Infeasible("no variant could be orchestrated".into()))
+            KorchError::Orch(OrchError::Infeasible(
+                "no variant could be orchestrated".into(),
+            ))
         })
+    }
+
+    /// Optimizes a tensor program and compiles it onto the parallel
+    /// runtime with default [`korch_runtime::RuntimeConfig`] (lanes sized
+    /// to the host's cores, lane placement using the orchestrator's
+    /// configured contention rates).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KorchError`] on IR, orchestration or compilation failures.
+    pub fn compile(&self, g: &OpGraph) -> Result<crate::CompiledModel, KorchError> {
+        let runtime = korch_runtime::RuntimeConfig {
+            contention: self.config.orchestrator.contention.clone(),
+            ..Default::default()
+        };
+        self.compile_with(g, &runtime)
+    }
+
+    /// [`Korch::compile`] with an explicit runtime configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KorchError`] on IR, orchestration or compilation failures.
+    pub fn compile_with(
+        &self,
+        g: &OpGraph,
+        runtime: &korch_runtime::RuntimeConfig,
+    ) -> Result<crate::CompiledModel, KorchError> {
+        let optimized = self.optimize(g)?;
+        crate::CompiledModel::from_optimized(&optimized, runtime)
     }
 
     /// Convenience wrapper: optimize and functionally verify against the
@@ -403,28 +452,67 @@ mod tests {
     /// Small CNN-ish block: conv -> instance norm -> relu -> softmax tail.
     fn small_model() -> OpGraph {
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![1, 3, 8, 8] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![1, 3, 8, 8],
+                },
+                vec![],
+            )
+            .unwrap();
         let w = g
-            .add(OpKind::Constant { shape: vec![4, 3, 3, 3], init: ConstInit::Random(1) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![4, 3, 3, 3],
+                    init: ConstInit::Random(1),
+                },
+                vec![],
+            )
             .unwrap();
         let conv = g
             .add(
-                OpKind::Conv2d { stride: 1, padding: 1, groups: 1, bias: false },
+                OpKind::Conv2d {
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    bias: false,
+                },
                 vec![x.into(), w.into()],
             )
             .unwrap();
         let s = g
-            .add(OpKind::Constant { shape: vec![4], init: ConstInit::Ones }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![4],
+                    init: ConstInit::Ones,
+                },
+                vec![],
+            )
             .unwrap();
         let b = g
-            .add(OpKind::Constant { shape: vec![4], init: ConstInit::Zeros }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![4],
+                    init: ConstInit::Zeros,
+                },
+                vec![],
+            )
             .unwrap();
         let inorm = g
-            .add(OpKind::InstanceNorm { eps: 1e-5 }, vec![conv.into(), s.into(), b.into()])
+            .add(
+                OpKind::InstanceNorm { eps: 1e-5 },
+                vec![conv.into(), s.into(), b.into()],
+            )
             .unwrap();
-        let relu = g.add(OpKind::Unary(UnaryOp::Relu), vec![inorm.into()]).unwrap();
-        let rshp = g.add(OpKind::Reshape { shape: vec![4, 64] }, vec![relu.into()]).unwrap();
-        let sm = g.add(OpKind::Softmax { axis: 1 }, vec![rshp.into()]).unwrap();
+        let relu = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![inorm.into()])
+            .unwrap();
+        let rshp = g
+            .add(OpKind::Reshape { shape: vec![4, 64] }, vec![relu.into()])
+            .unwrap();
+        let sm = g
+            .add(OpKind::Softmax { axis: 1 }, vec![rshp.into()])
+            .unwrap();
         g.mark_output(sm).unwrap();
         g
     }
@@ -465,16 +553,34 @@ mod tests {
     fn cache_hits_on_repeated_blocks() {
         // Two identical softmax blocks back to back.
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![32, 64] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![32, 64],
+                },
+                vec![],
+            )
+            .unwrap();
         let s1 = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()]).unwrap();
-        let r1 = g.add(OpKind::Unary(UnaryOp::Relu), vec![s1.into()]).unwrap();
+        let r1 = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![s1.into()])
+            .unwrap();
         let s2 = g.add(OpKind::Softmax { axis: 1 }, vec![r1.into()]).unwrap();
-        let r2 = g.add(OpKind::Unary(UnaryOp::Relu), vec![s2.into()]).unwrap();
+        let r2 = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![s2.into()])
+            .unwrap();
         g.mark_output(r2).unwrap();
-        let config = KorchConfig { partition_max_prims: 5, ..Default::default() };
+        let config = KorchConfig {
+            partition_max_prims: 5,
+            ..Default::default()
+        };
         let korch = Korch::new(Device::v100(), config);
         let optimized = korch.optimize(&g).unwrap();
-        assert!(optimized.stats().cache_hits >= 1, "stats: {:?}", optimized.stats());
+        assert!(
+            optimized.stats().cache_hits >= 1,
+            "stats: {:?}",
+            optimized.stats()
+        );
     }
 
     #[test]

@@ -142,8 +142,6 @@ mod tests {
         // §6.2: A100 offers a higher compute/bandwidth ratio than V100.
         let v = Device::v100();
         let a = Device::a100();
-        assert!(
-            a.linear_peak_tflops() / a.mem_bw_gbps > v.linear_peak_tflops() / v.mem_bw_gbps
-        );
+        assert!(a.linear_peak_tflops() / a.mem_bw_gbps > v.linear_peak_tflops() / v.mem_bw_gbps);
     }
 }

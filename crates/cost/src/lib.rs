@@ -34,5 +34,8 @@ mod model;
 mod spec;
 
 pub use device::Device;
-pub use model::{gemm_shape_efficiency, swapped_io_factor, Backend, Micros, Profiler};
+pub use model::{
+    gemm_shape_efficiency, swapped_io_factor, Backend, Calibration, CalibrationSample, Micros,
+    Profiler,
+};
 pub use spec::{kernel_spec, GemmShape, KernelSpec, PatternClass};

@@ -79,6 +79,91 @@ impl std::iter::Sum for Micros {
     }
 }
 
+/// One measured kernel execution, used to fit a [`Calibration`].
+#[derive(Debug, Clone)]
+pub struct CalibrationSample {
+    /// The kernel that ran.
+    pub spec: KernelSpec,
+    /// The backend it ran on.
+    pub backend: Backend,
+    /// Measured wall time.
+    pub measured: Micros,
+}
+
+/// Multiplicative corrections fitted from measured kernel wall times — the
+/// feedback path from the `korch-runtime` profiler back into this
+/// analytical model. Each factor scales one roofline component, so a model
+/// fitted on one host transfers its *decision structure* (which kernel
+/// wins) while matching that host's absolute times.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Calibration {
+    /// Scales the memory (bandwidth) term.
+    pub memory_scale: f64,
+    /// Scales the compute (FLOP) term.
+    pub compute_scale: f64,
+    /// Scales the per-kernel launch overhead.
+    pub launch_scale: f64,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Self {
+            memory_scale: 1.0,
+            compute_scale: 1.0,
+            launch_scale: 1.0,
+        }
+    }
+}
+
+impl Calibration {
+    /// Fits per-class scales by comparing measured wall times against an
+    /// uncalibrated profiler's predictions: memory-intensive samples fit
+    /// `memory_scale`, compute-intensive samples fit `compute_scale`
+    /// (least-squares ratio of sums, robust to a few outliers). Classes
+    /// with no samples keep scale 1.0; `launch_scale` is left at 1.0 —
+    /// launch overhead cannot be separated from body time by whole-kernel
+    /// timing alone.
+    pub fn fit(profiler: &Profiler, samples: &[CalibrationSample]) -> Self {
+        let reference = Profiler {
+            calibration: Calibration::default(),
+            ..profiler.clone()
+        };
+        let (mut mem_measured, mut mem_predicted) = (0.0f64, 0.0f64);
+        let (mut cmp_measured, mut cmp_predicted) = (0.0f64, 0.0f64);
+        for s in samples {
+            // Fit on body time: launch overhead is common-mode and would
+            // bias the ratio toward 1 for small kernels.
+            let launch = (reference.device.launch_overhead_us * s.backend.launch_scale()
+                + reference.dispatch_overhead_us)
+                * if s.spec.has_opaque { 2.0 } else { 1.0 };
+            let predicted = reference.latency(&s.spec, s.backend).0 - launch;
+            let measured = s.measured.0 - launch;
+            if predicted <= 0.0 || !measured.is_finite() || measured <= 0.0 {
+                continue;
+            }
+            if s.spec.is_compute_intensive() {
+                cmp_measured += measured;
+                cmp_predicted += predicted;
+            } else {
+                mem_measured += measured;
+                mem_predicted += predicted;
+            }
+        }
+        let ratio = |measured: f64, predicted: f64| {
+            if predicted > 0.0 {
+                measured / predicted
+            } else {
+                1.0
+            }
+        };
+        Self {
+            memory_scale: ratio(mem_measured, mem_predicted),
+            compute_scale: ratio(cmp_measured, cmp_predicted),
+            launch_scale: 1.0,
+        }
+    }
+}
+
 /// The kernel profiler substitute: prices [`KernelSpec`]s on a [`Device`].
 #[derive(Debug, Clone)]
 pub struct Profiler {
@@ -86,12 +171,18 @@ pub struct Profiler {
     /// Extra per-kernel host dispatch overhead in µs (eager frameworks pay
     /// more than compiled runtimes; the PyTorch-like baseline sets this).
     pub dispatch_overhead_us: f64,
+    /// Measured corrections applied to every priced kernel.
+    calibration: Calibration,
 }
 
 impl Profiler {
     /// Profiler for a device with zero extra dispatch overhead.
     pub fn new(device: Device) -> Self {
-        Self { device, dispatch_overhead_us: 0.0 }
+        Self {
+            device,
+            dispatch_overhead_us: 0.0,
+            calibration: Calibration::default(),
+        }
     }
 
     /// The device being modeled.
@@ -99,13 +190,31 @@ impl Profiler {
         &self.device
     }
 
+    /// The calibration currently applied.
+    pub fn calibration(&self) -> &Calibration {
+        &self.calibration
+    }
+
+    /// Replaces the calibration (builder style).
+    pub fn with_calibration(mut self, calibration: Calibration) -> Self {
+        self.calibration = calibration;
+        self
+    }
+
+    /// Replaces the calibration in place.
+    pub fn set_calibration(&mut self, calibration: Calibration) {
+        self.calibration = calibration;
+    }
+
     /// Latency of one kernel on the given backend.
     pub fn latency(&self, spec: &KernelSpec, backend: Backend) -> Micros {
-        let launch =
-            self.device.launch_overhead_us * backend.launch_scale() + self.dispatch_overhead_us;
+        let launch = (self.device.launch_overhead_us * backend.launch_scale()
+            + self.dispatch_overhead_us)
+            * self.calibration.launch_scale;
         if spec.has_opaque {
             // Opaque external kernels: pessimistic copy-bound estimate.
-            let t = spec.bytes_moved() as f64 / (self.device.mem_bw_gbps * 0.5 * 1000.0);
+            let t = spec.bytes_moved() as f64 / (self.device.mem_bw_gbps * 0.5 * 1000.0)
+                * self.calibration.memory_scale;
             return Micros(2.0 * launch + t);
         }
         let t_mem = self.memory_time_us(spec, backend);
@@ -126,8 +235,9 @@ impl Profiler {
         gemm_layout_eff: f64,
         extra_pattern_classes: u32,
     ) -> Micros {
-        let launch =
-            self.device.launch_overhead_us * backend.launch_scale() + self.dispatch_overhead_us;
+        let launch = (self.device.launch_overhead_us * backend.launch_scale()
+            + self.dispatch_overhead_us)
+            * self.calibration.launch_scale;
         if spec.has_opaque {
             return self.latency(spec, backend);
         }
@@ -146,12 +256,17 @@ impl Profiler {
     /// over-fusion cliff, and peak vendor GEMM efficiency — so discarding a
     /// candidate whose *bound* already loses is always sound.
     pub fn quick_latency(&self, spec: &KernelSpec) -> Micros {
-        let launch = self.device.launch_overhead_us + self.dispatch_overhead_us;
+        let launch = (self.device.launch_overhead_us + self.dispatch_overhead_us)
+            * self.calibration.launch_scale;
         if spec.has_opaque {
-            let t = spec.bytes_moved() as f64 / (self.device.mem_bw_gbps * 0.5 * 1000.0);
+            let t = spec.bytes_moved() as f64 / (self.device.mem_bw_gbps * 0.5 * 1000.0)
+                * self.calibration.memory_scale;
             return Micros(2.0 * launch + t);
         }
-        let t_mem = spec.bytes_moved() as f64 / (self.device.mem_bw_gbps * 0.85 * 1000.0);
+        // Each component carries the same calibration factor as the real
+        // model, so the bound survives calibration unchanged.
+        let t_mem = spec.bytes_moved() as f64 / (self.device.mem_bw_gbps * 0.85 * 1000.0)
+            * self.calibration.memory_scale;
         let mut t_compute = spec.pointwise_flops as f64 / (self.device.fp32_tflops * 0.5 * 1e6);
         let peak = self.device.linear_peak_tflops();
         for g in &spec.linear {
@@ -159,6 +274,7 @@ impl Profiler {
             let eff = 0.85 * gemm_shape_efficiency(*g);
             t_compute += g.flops() as f64 / (peak * eff * 1e6);
         }
+        t_compute *= self.calibration.compute_scale;
         Micros(launch + t_mem.max(t_compute))
     }
 
@@ -206,6 +322,7 @@ impl Profiler {
             eff *= 0.30;
         }
         spec.bytes_moved() as f64 / (self.device.mem_bw_gbps * eff * 1000.0)
+            * self.calibration.memory_scale
     }
 
     fn compute_time_us(&self, spec: &KernelSpec, backend: Backend, layout_eff: f64) -> f64 {
@@ -217,7 +334,7 @@ impl Profiler {
             let eff = backend.gemm_base_efficiency() * gemm_shape_efficiency(*g) * layout_eff;
             t += g.flops() as f64 / (peak * eff * 1e6);
         }
-        t
+        t * self.calibration.compute_scale
     }
 }
 
@@ -306,12 +423,21 @@ mod tests {
         let p = Profiler::new(Device::v100());
         // small: 8 MiB moved (below the 24 MiB V100 threshold);
         // big: 512 MiB moved (batch-16 style, far beyond it).
-        let small = KernelSpec { pattern_classes: 3, ..mem_spec(4 << 20, 4 << 20) };
-        let big = KernelSpec { pattern_classes: 3, ..mem_spec(256 << 20, 256 << 20) };
+        let small = KernelSpec {
+            pattern_classes: 3,
+            ..mem_spec(4 << 20, 4 << 20)
+        };
+        let big = KernelSpec {
+            pattern_classes: 3,
+            ..mem_spec(256 << 20, 256 << 20)
+        };
         let t_small = p.latency(&small, Backend::Generated).0;
         let t_big = p.latency(&big, Backend::Generated).0;
         // 64x the bytes but much more than 64x the time (cliff engaged).
-        assert!(t_big > 2.0 * 64.0 * t_small, "no cliff: {t_small} -> {t_big}");
+        assert!(
+            t_big > 2.0 * 64.0 * t_small,
+            "no cliff: {t_small} -> {t_big}"
+        );
         // Vendor kernels see no cliff (ratio stays near the byte ratio).
         let v_small = p.latency(&small, Backend::Vendor).0;
         let v_big = p.latency(&big, Backend::Vendor).0;
@@ -321,8 +447,18 @@ mod tests {
     #[test]
     fn gemm_aspect_ratio_penalty() {
         // Balanced 1024³ GEMM vs a 1024:1 aspect (n = 1) of equal FLOPs.
-        let balanced = GemmShape { batch: 1, m: 1024, n: 1024, k: 1024 };
-        let skinny = GemmShape { batch: 1, m: 1024 * 1024, n: 1, k: 1024 };
+        let balanced = GemmShape {
+            batch: 1,
+            m: 1024,
+            n: 1024,
+            k: 1024,
+        };
+        let skinny = GemmShape {
+            batch: 1,
+            m: 1024 * 1024,
+            n: 1,
+            k: 1024,
+        };
         let e_b = gemm_shape_efficiency(balanced);
         let e_s = gemm_shape_efficiency(skinny);
         assert!(e_b > 0.9);
@@ -336,11 +472,20 @@ mod tests {
     #[test]
     fn compute_kernel_uses_tensor_cores_on_a100() {
         let spec = KernelSpec {
-            linear: vec![GemmShape { batch: 1, m: 2048, n: 2048, k: 2048 }],
+            linear: vec![GemmShape {
+                batch: 1,
+                m: 2048,
+                n: 2048,
+                k: 2048,
+            }],
             ..mem_spec(48 << 20, 16 << 20)
         };
-        let v100 = Profiler::new(Device::v100()).latency(&spec, Backend::Vendor).0;
-        let a100 = Profiler::new(Device::a100()).latency(&spec, Backend::Vendor).0;
+        let v100 = Profiler::new(Device::v100())
+            .latency(&spec, Backend::Vendor)
+            .0;
+        let a100 = Profiler::new(Device::a100())
+            .latency(&spec, Backend::Vendor)
+            .0;
         // TF32 tensor cores + bigger BW: far faster than V100 FP32.
         assert!(a100 * 3.0 < v100, "a100={a100} v100={v100}");
     }
@@ -348,7 +493,12 @@ mod tests {
     #[test]
     fn vendor_beats_generated_for_gemm() {
         let spec = KernelSpec {
-            linear: vec![GemmShape { batch: 1, m: 512, n: 512, k: 512 }],
+            linear: vec![GemmShape {
+                batch: 1,
+                m: 512,
+                n: 512,
+                k: 512,
+            }],
             ..mem_spec(3 << 20, 1 << 20)
         };
         let p = Profiler::new(Device::v100());
@@ -384,13 +534,27 @@ mod tests {
         let p = Profiler::new(Device::v100());
         let specs = [
             mem_spec(1 << 20, 1 << 20),
-            KernelSpec { pattern_classes: 3, ..mem_spec(256 << 20, 256 << 20) },
             KernelSpec {
-                linear: vec![GemmShape { batch: 1, m: 1024, n: 1, k: 1024 }],
+                pattern_classes: 3,
+                ..mem_spec(256 << 20, 256 << 20)
+            },
+            KernelSpec {
+                linear: vec![GemmShape {
+                    batch: 1,
+                    m: 1024,
+                    n: 1,
+                    k: 1024,
+                }],
                 ..mem_spec(4 << 20, 4 << 10)
             },
-            KernelSpec { has_opaque: true, ..mem_spec(1 << 18, 1 << 18) },
-            KernelSpec { passes: 3, ..mem_spec(8 << 20, 8 << 20) },
+            KernelSpec {
+                has_opaque: true,
+                ..mem_spec(1 << 18, 1 << 18)
+            },
+            KernelSpec {
+                passes: 3,
+                ..mem_spec(8 << 20, 8 << 20)
+            },
         ];
         for spec in &specs {
             let bound = p.quick_latency(spec).0;
@@ -398,6 +562,108 @@ mod tests {
                 assert!(
                     bound <= p.latency(spec, b).0 + 1e-12,
                     "bound {bound} above {b:?} latency {} for {spec:?}",
+                    p.latency(spec, b).0
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_fit_recovers_per_class_scales() {
+        // Synthesize measurements from a "host" that is 3x slower on
+        // memory-bound kernels and 0.5x on compute-bound ones; the fit must
+        // recover both factors and the calibrated model must predict the
+        // measurements.
+        let base = Profiler::new(Device::v100());
+        let mem = mem_spec(8 << 20, 8 << 20);
+        let cmp = KernelSpec {
+            linear: vec![GemmShape {
+                batch: 1,
+                m: 512,
+                n: 512,
+                k: 512,
+            }],
+            ..mem_spec(3 << 20, 1 << 20)
+        };
+        let truth = base.clone().with_calibration(Calibration {
+            memory_scale: 3.0,
+            compute_scale: 0.5,
+            launch_scale: 1.0,
+        });
+        let samples: Vec<CalibrationSample> = [
+            (mem.clone(), Backend::Generated),
+            (mem.clone(), Backend::Vendor),
+            (cmp.clone(), Backend::Vendor),
+            (cmp.clone(), Backend::Generated),
+        ]
+        .into_iter()
+        .map(|(spec, backend)| CalibrationSample {
+            measured: truth.latency(&spec, backend),
+            spec,
+            backend,
+        })
+        .collect();
+        let fit = Calibration::fit(&base, &samples);
+        // Launch time is folded into the class scale by the ratio fit, so
+        // the recovered factors are close to (not exactly) the truth.
+        assert!(
+            (fit.memory_scale - 3.0).abs() < 0.3,
+            "memory {}",
+            fit.memory_scale
+        );
+        assert!(
+            (fit.compute_scale - 0.5).abs() < 0.2,
+            "compute {}",
+            fit.compute_scale
+        );
+        let fitted = base.clone().with_calibration(fit);
+        for s in &samples {
+            let predicted = fitted.latency(&s.spec, s.backend).0;
+            let err = (predicted - s.measured.0).abs() / s.measured.0;
+            assert!(err < 0.25, "calibrated prediction off by {err}");
+        }
+    }
+
+    #[test]
+    fn calibration_defaults_are_identity() {
+        let p = Profiler::new(Device::v100());
+        let spec = mem_spec(1 << 20, 1 << 20);
+        let calibrated = p.clone().with_calibration(Calibration::default());
+        for b in [Backend::Generated, Backend::Vendor, Backend::TrtRuntime] {
+            assert_eq!(p.latency(&spec, b).0, calibrated.latency(&spec, b).0);
+        }
+        assert_eq!(Calibration::fit(&p, &[]), Calibration::default());
+    }
+
+    #[test]
+    fn quick_latency_bound_survives_calibration() {
+        let p = Profiler::new(Device::v100()).with_calibration(Calibration {
+            memory_scale: 2.5,
+            compute_scale: 0.4,
+            launch_scale: 1.3,
+        });
+        let specs = [
+            mem_spec(1 << 20, 1 << 20),
+            KernelSpec {
+                linear: vec![GemmShape {
+                    batch: 1,
+                    m: 1024,
+                    n: 1,
+                    k: 1024,
+                }],
+                ..mem_spec(4 << 20, 4 << 10)
+            },
+            KernelSpec {
+                has_opaque: true,
+                ..mem_spec(1 << 18, 1 << 18)
+            },
+        ];
+        for spec in &specs {
+            let bound = p.quick_latency(spec).0;
+            for b in [Backend::Generated, Backend::Vendor, Backend::TrtRuntime] {
+                assert!(
+                    bound <= p.latency(spec, b).0 + 1e-12,
+                    "calibrated bound {bound} above {b:?} latency {}",
                     p.latency(spec, b).0
                 );
             }

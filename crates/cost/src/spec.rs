@@ -149,10 +149,16 @@ pub fn kernel_spec(g: &PrimGraph, members: &BTreeSet<NodeId>, outputs: &[PortRef
         }
     }
 
-    let input_bytes: u64 = input_ports.iter().map(|r| g.meta(*r).byte_size() as u64).sum();
+    let input_bytes: u64 = input_ports
+        .iter()
+        .map(|r| g.meta(*r).byte_size() as u64)
+        .sum();
     let out_set: HashSet<PortRef> = outputs.iter().copied().collect();
     for o in &out_set {
-        assert!(members.contains(&o.node), "output {o:?} not produced by a member");
+        assert!(
+            members.contains(&o.node),
+            "output {o:?} not produced by a member"
+        );
     }
     let output_bytes: u64 = out_set.iter().map(|r| g.meta(*r).byte_size() as u64).sum();
 
@@ -184,7 +190,12 @@ fn gemm_shape(g: &PrimGraph, id: NodeId, l: &LinearFn) -> GemmShape {
             let (bk, bn) = (b.shape()[ra - 2] as u64, b.shape()[ra - 1] as u64);
             let (m, k) = if spec.trans_a { (ak, am) } else { (am, ak) };
             let n = if spec.trans_b { bk } else { bn };
-            GemmShape { batch: batch.max(1), m, n, k }
+            GemmShape {
+                batch: batch.max(1),
+                m,
+                n,
+                k,
+            }
         }
         LinearFn::Conv2d { groups, .. } => {
             let x = g.meta(node.inputs[0]);
@@ -211,14 +222,27 @@ mod tests {
     fn softmax_graph() -> (PrimGraph, Vec<NodeId>) {
         // input [4,16] -> exp -> reduce(1) -> bcast(1,16) -> div(exp, bcast)
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![4, 16] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![4, 16] }, vec![])
+            .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
             .unwrap();
         let r = g
-            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )
             .unwrap();
-        let b = g.add(PrimKind::Broadcast { axis: 1, size: 16 }, vec![r.into()]).unwrap();
+        let b = g
+            .add(PrimKind::Broadcast { axis: 1, size: 16 }, vec![r.into()])
+            .unwrap();
         let d = g
             .add(
                 PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
@@ -265,16 +289,23 @@ mod tests {
     #[test]
     fn matmul_shape_extraction() {
         let mut g = PrimGraph::new();
-        let a = g.add(PrimKind::Input { shape: vec![8, 32] }, vec![]).unwrap();
+        let a = g
+            .add(PrimKind::Input { shape: vec![8, 32] }, vec![])
+            .unwrap();
         let b = g
             .add(
-                PrimKind::Constant { shape: vec![32, 4], init: ConstInit::Random(0) },
+                PrimKind::Constant {
+                    shape: vec![32, 4],
+                    init: ConstInit::Random(0),
+                },
                 vec![],
             )
             .unwrap();
         let mm = g
             .add(
-                PrimKind::Linear(korch_ir::LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(korch_ir::LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![a.into(), b.into()],
             )
             .unwrap();
@@ -282,7 +313,15 @@ mod tests {
         let members: BTreeSet<NodeId> = [mm].into_iter().collect();
         let spec = kernel_spec(&g, &members, &[mm.into()]);
         assert!(spec.is_compute_intensive());
-        assert_eq!(spec.linear, vec![GemmShape { batch: 1, m: 8, n: 4, k: 32 }]);
+        assert_eq!(
+            spec.linear,
+            vec![GemmShape {
+                batch: 1,
+                m: 8,
+                n: 4,
+                k: 32
+            }]
+        );
         assert_eq!(spec.linear[0].flops(), 2 * 8 * 4 * 32);
         // inputs: a (8*32) + weight (32*4)
         assert_eq!(spec.input_bytes, (256 + 128) * 4);
@@ -291,12 +330,19 @@ mod tests {
     #[test]
     fn transpose_flags_swap_gemm_dims() {
         let mut g = PrimGraph::new();
-        let a = g.add(PrimKind::Input { shape: vec![32, 8] }, vec![]).unwrap();
-        let b = g.add(PrimKind::Input { shape: vec![32, 4] }, vec![]).unwrap();
+        let a = g
+            .add(PrimKind::Input { shape: vec![32, 8] }, vec![])
+            .unwrap();
+        let b = g
+            .add(PrimKind::Input { shape: vec![32, 4] }, vec![])
+            .unwrap();
         let mm = g
             .add(
                 PrimKind::Linear(korch_ir::LinearFn::MatMul {
-                    spec: MatMulSpec { trans_a: true, trans_b: false },
+                    spec: MatMulSpec {
+                        trans_a: true,
+                        trans_b: false,
+                    },
                 }),
                 vec![a.into(), b.into()],
             )
@@ -304,22 +350,44 @@ mod tests {
         g.mark_output(mm).unwrap();
         let members: BTreeSet<NodeId> = [mm].into_iter().collect();
         let spec = kernel_spec(&g, &members, &[mm.into()]);
-        assert_eq!(spec.linear[0], GemmShape { batch: 1, m: 8, n: 4, k: 32 });
+        assert_eq!(
+            spec.linear[0],
+            GemmShape {
+                batch: 1,
+                m: 8,
+                n: 4,
+                k: 32
+            }
+        );
     }
 
     #[test]
     fn conv_maps_to_implicit_gemm() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![2, 8, 16, 16] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![2, 8, 16, 16],
+                },
+                vec![],
+            )
+            .unwrap();
         let w = g
             .add(
-                PrimKind::Constant { shape: vec![32, 8, 3, 3], init: ConstInit::Random(0) },
+                PrimKind::Constant {
+                    shape: vec![32, 8, 3, 3],
+                    init: ConstInit::Random(0),
+                },
                 vec![],
             )
             .unwrap();
         let c = g
             .add(
-                PrimKind::Linear(korch_ir::LinearFn::Conv2d { stride: 1, padding: 1, groups: 1 }),
+                PrimKind::Linear(korch_ir::LinearFn::Conv2d {
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                }),
                 vec![x.into(), w.into()],
             )
             .unwrap();
@@ -327,16 +395,33 @@ mod tests {
         let members: BTreeSet<NodeId> = [c].into_iter().collect();
         let spec = kernel_spec(&g, &members, &[c.into()]);
         let shape = spec.linear[0];
-        assert_eq!(shape, GemmShape { batch: 1, m: 2 * 16 * 16, n: 32, k: 8 * 9 });
+        assert_eq!(
+            shape,
+            GemmShape {
+                batch: 1,
+                m: 2 * 16 * 16,
+                n: 32,
+                k: 8 * 9
+            }
+        );
     }
 
     #[test]
     fn pattern_classes_counted_distinctly() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![1, 2, 4, 4] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![1, 2, 4, 4],
+                },
+                vec![],
+            )
+            .unwrap();
         let t = g
             .add(
-                PrimKind::Layout(korch_ir::LayoutFn::Transpose { perm: vec![0, 1, 3, 2] }),
+                PrimKind::Layout(korch_ir::LayoutFn::Transpose {
+                    perm: vec![0, 1, 3, 2],
+                }),
                 vec![x.into()],
             )
             .unwrap();

@@ -33,7 +33,10 @@ impl fmt::Display for ExecError {
             ExecError::Graph(e) => write!(f, "graph error: {e}"),
             ExecError::Input(msg) => write!(f, "input error: {msg}"),
             ExecError::NotMaterialized { node, port } => {
-                write!(f, "tensor of node {node} port {port} was never materialized")
+                write!(
+                    f,
+                    "tensor of node {node} port {port} was never materialized"
+                )
             }
         }
     }

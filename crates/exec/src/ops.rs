@@ -19,7 +19,11 @@ pub fn eval_op(kind: &OpKind, inputs: &[&Tensor], node: usize) -> Result<Vec<Ten
     let wrap = |source| ExecError::Tensor { node, source };
     let bbin = |a: &Tensor, b: &Tensor, op: BinaryOp| -> Result<Tensor, ExecError> {
         let target = korch_ir::broadcast_shapes(a.shape(), b.shape()).ok_or_else(|| {
-            ExecError::Input(format!("cannot broadcast {:?} with {:?}", a.shape(), b.shape()))
+            ExecError::Input(format!(
+                "cannot broadcast {:?} with {:?}",
+                a.shape(),
+                b.shape()
+            ))
         })?;
         let ba = a.broadcast_to(&target).map_err(wrap)?;
         let bb = b.broadcast_to(&target).map_err(wrap)?;
@@ -119,8 +123,7 @@ pub fn eval_op(kind: &OpKind, inputs: &[&Tensor], node: usize) -> Result<Vec<Ten
         OpKind::BatchNorm { eps } => {
             let x = inputs[0];
             let c = x.shape()[1];
-            let reshape_c =
-                |t: &Tensor| t.reshape(vec![1, c, 1, 1]).map_err(wrap);
+            let reshape_c = |t: &Tensor| t.reshape(vec![1, c, 1, 1]).map_err(wrap);
             let gamma = reshape_c(inputs[1])?;
             let beta = reshape_c(inputs[2])?;
             let mean = reshape_c(inputs[3])?;
@@ -148,13 +151,20 @@ pub fn eval_op(kind: &OpKind, inputs: &[&Tensor], node: usize) -> Result<Vec<Ten
             let x = inputs[0];
             let axis = x.shape().len() - 1;
             let d = x.shape()[axis];
-            let ms = x.unary(UnaryOp::Square).reduce(axis, ReduceKind::Mean).map_err(wrap)?;
+            let ms = x
+                .unary(UnaryOp::Square)
+                .reduce(axis, ReduceKind::Mean)
+                .map_err(wrap)?;
             let denom = ms.binary_scalar(*eps, BinaryOp::Add).unary(UnaryOp::Sqrt);
             let b = denom.broadcast(axis, d).map_err(wrap)?;
             let normed = x.binary(&b, BinaryOp::Div).map_err(wrap)?;
             Ok(vec![bbin(&normed, inputs[1], BinaryOp::Mul)?])
         }
-        OpKind::Reduce { kind, axis, keep_dim } => {
+        OpKind::Reduce {
+            kind,
+            axis,
+            keep_dim,
+        } => {
             let r = inputs[0].reduce(*axis, *kind).map_err(wrap)?;
             if *keep_dim {
                 let mut shape = r.shape().to_vec();
@@ -164,16 +174,33 @@ pub fn eval_op(kind: &OpKind, inputs: &[&Tensor], node: usize) -> Result<Vec<Ten
                 Ok(vec![r])
             }
         }
-        OpKind::MatMul => Ok(vec![inputs[0].matmul(inputs[1], MatMulSpec::new()).map_err(wrap)?]),
-        OpKind::Gemm { alpha, beta, trans_a, trans_b } => {
-            let spec = MatMulSpec { trans_a: *trans_a, trans_b: *trans_b };
+        OpKind::MatMul => Ok(vec![inputs[0]
+            .matmul(inputs[1], MatMulSpec::new())
+            .map_err(wrap)?]),
+        OpKind::Gemm {
+            alpha,
+            beta,
+            trans_a,
+            trans_b,
+        } => {
+            let spec = MatMulSpec {
+                trans_a: *trans_a,
+                trans_b: *trans_b,
+            };
             let ab = inputs[0].matmul(inputs[1], spec).map_err(wrap)?;
             let scaled = ab.binary_scalar(*alpha, BinaryOp::Mul);
             let c = inputs[2].binary_scalar(*beta, BinaryOp::Mul);
             Ok(vec![bbin(&scaled, &c, BinaryOp::Add)?])
         }
-        OpKind::Conv2d { stride, padding, groups, bias } => {
-            let y = inputs[0].conv2d(inputs[1], *stride, *padding, *groups).map_err(wrap)?;
+        OpKind::Conv2d {
+            stride,
+            padding,
+            groups,
+            bias,
+        } => {
+            let y = inputs[0]
+                .conv2d(inputs[1], *stride, *padding, *groups)
+                .map_err(wrap)?;
             if *bias {
                 let o = y.shape()[1];
                 let b = inputs[2].reshape(vec![1, o, 1, 1]).map_err(wrap)?;
@@ -182,23 +209,25 @@ pub fn eval_op(kind: &OpKind, inputs: &[&Tensor], node: usize) -> Result<Vec<Ten
                 Ok(vec![y])
             }
         }
-        OpKind::MaxPool(spec) => Ok(vec![inputs[0].pool2d(*spec, ReduceKind::Max).map_err(wrap)?]),
-        OpKind::AvgPool(spec) => {
-            Ok(vec![inputs[0].pool2d(*spec, ReduceKind::Mean).map_err(wrap)?])
-        }
-        OpKind::Resize { out_h, out_w, mode } => {
-            Ok(vec![inputs[0].resize2d(*out_h, *out_w, *mode).map_err(wrap)?])
-        }
+        OpKind::MaxPool(spec) => Ok(vec![inputs[0]
+            .pool2d(*spec, ReduceKind::Max)
+            .map_err(wrap)?]),
+        OpKind::AvgPool(spec) => Ok(vec![inputs[0]
+            .pool2d(*spec, ReduceKind::Mean)
+            .map_err(wrap)?]),
+        OpKind::Resize { out_h, out_w, mode } => Ok(vec![inputs[0]
+            .resize2d(*out_h, *out_w, *mode)
+            .map_err(wrap)?]),
         OpKind::Transpose { perm } => Ok(vec![inputs[0].transpose(perm).map_err(wrap)?]),
         OpKind::Reshape { shape } => Ok(vec![inputs[0].reshape(shape.clone()).map_err(wrap)?]),
         OpKind::Slice { starts, ends } => Ok(vec![inputs[0].slice(starts, ends).map_err(wrap)?]),
         OpKind::Concat { axis } => Ok(vec![Tensor::concat(inputs, *axis).map_err(wrap)?]),
-        OpKind::Split { axis, sizes } => inputs[0]
-            .split(*axis, sizes)
-            .map_err(wrap),
-        OpKind::Pad { before, after, value } => {
-            Ok(vec![inputs[0].pad(before, after, *value).map_err(wrap)?])
-        }
+        OpKind::Split { axis, sizes } => inputs[0].split(*axis, sizes).map_err(wrap),
+        OpKind::Pad {
+            before,
+            after,
+            value,
+        } => Ok(vec![inputs[0].pad(before, after, *value).map_err(wrap)?]),
         OpKind::Identity => Ok(vec![inputs[0].clone()]),
         OpKind::Custom { name, .. } => Err(ExecError::Input(format!(
             "custom operator '{name}' has no reference interpreter"
@@ -252,9 +281,10 @@ pub fn execute_ops(g: &OpGraph, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecEr
                     .inputs
                     .iter()
                     .map(|r| {
-                        values
-                            .get(r)
-                            .ok_or(ExecError::NotMaterialized { node: r.node.0, port: r.port })
+                        values.get(r).ok_or(ExecError::NotMaterialized {
+                            node: r.node.0,
+                            port: r.port,
+                        })
                     })
                     .collect::<Result<_, _>>()?;
                 let outs = eval_op(kind, &ins, id.0)?;
@@ -273,10 +303,10 @@ pub fn execute_ops(g: &OpGraph, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecEr
     g.outputs()
         .iter()
         .map(|r| {
-            values
-                .get(r)
-                .cloned()
-                .ok_or(ExecError::NotMaterialized { node: r.node.0, port: r.port })
+            values.get(r).cloned().ok_or(ExecError::NotMaterialized {
+                node: r.node.0,
+                port: r.port,
+            })
         })
         .collect()
 }
@@ -307,15 +337,37 @@ mod tests {
     #[test]
     fn instance_norm_reference_statistics() {
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![1, 2, 4, 4] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![1, 2, 4, 4],
+                },
+                vec![],
+            )
+            .unwrap();
         let s = g
-            .add(OpKind::Constant { shape: vec![2], init: ConstInit::Ones }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![2],
+                    init: ConstInit::Ones,
+                },
+                vec![],
+            )
             .unwrap();
         let b = g
-            .add(OpKind::Constant { shape: vec![2], init: ConstInit::Zeros }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![2],
+                    init: ConstInit::Zeros,
+                },
+                vec![],
+            )
             .unwrap();
         let inorm = g
-            .add(OpKind::InstanceNorm { eps: 1e-6 }, vec![x.into(), s.into(), b.into()])
+            .add(
+                OpKind::InstanceNorm { eps: 1e-6 },
+                vec![x.into(), s.into(), b.into()],
+            )
             .unwrap();
         g.mark_output(inorm).unwrap();
         let x = Tensor::random(vec![1, 2, 4, 4], 11);
@@ -324,7 +376,12 @@ mod tests {
         for c in 0..2 {
             let ch = out[0].slice(&[0, c, 0, 0], &[1, c + 1, 4, 4]).unwrap();
             let mean: f32 = ch.as_slice().iter().sum::<f32>() / 16.0;
-            let var: f32 = ch.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / 16.0;
+            let var: f32 = ch
+                .as_slice()
+                .iter()
+                .map(|v| (v - mean) * (v - mean))
+                .sum::<f32>()
+                / 16.0;
             assert!(mean.abs() < 1e-5, "mean {mean}");
             assert!((var - 1.0).abs() < 1e-3, "var {var}");
         }
@@ -369,7 +426,15 @@ mod tests {
     fn multi_output_split_op() {
         let mut g = OpGraph::new();
         let x = g.add(OpKind::Input { shape: vec![4] }, vec![]).unwrap();
-        let sp = g.add(OpKind::Split { axis: 0, sizes: vec![1, 3] }, vec![x.into()]).unwrap();
+        let sp = g
+            .add(
+                OpKind::Split {
+                    axis: 0,
+                    sizes: vec![1, 3],
+                },
+                vec![x.into()],
+            )
+            .unwrap();
         g.mark_output(PortRef { node: sp, port: 1 }).unwrap();
         let x = Tensor::from_vec(vec![4], vec![1.0, 2.0, 3.0, 4.0]).unwrap();
         let out = execute_ops(&g, &[x]).unwrap();

@@ -27,7 +27,11 @@ pub fn materialize_const(shape: &[usize], init: &ConstInit) -> Tensor {
 ///
 /// Returns [`ExecError::Tensor`] when a kernel rejects its inputs (which
 /// indicates a shape-inference bug, since graphs are validated eagerly).
-pub fn eval_prim(kind: &PrimKind, inputs: &[&Tensor], node: usize) -> Result<Vec<Tensor>, ExecError> {
+pub fn eval_prim(
+    kind: &PrimKind,
+    inputs: &[&Tensor],
+    node: usize,
+) -> Result<Vec<Tensor>, ExecError> {
     let wrap = |source| ExecError::Tensor { node, source };
     match kind {
         PrimKind::Input { .. } => Err(ExecError::Input(format!(
@@ -60,24 +64,28 @@ pub fn eval_prim(kind: &PrimKind, inputs: &[&Tensor], node: usize) -> Result<Vec
             LayoutFn::Slice { starts, ends } => {
                 Ok(vec![inputs[0].slice(starts, ends).map_err(wrap)?])
             }
-            LayoutFn::Concat { axis } => {
-                Ok(vec![Tensor::concat(inputs, *axis).map_err(wrap)?])
-            }
+            LayoutFn::Concat { axis } => Ok(vec![Tensor::concat(inputs, *axis).map_err(wrap)?]),
             LayoutFn::Split { axis, sizes } => inputs[0].split(*axis, sizes).map_err(wrap),
-            LayoutFn::Pad { before, after, value } => {
-                Ok(vec![inputs[0].pad(before, after, *value).map_err(wrap)?])
-            }
-            LayoutFn::Resize { out_h, out_w, mode } => {
-                Ok(vec![inputs[0].resize2d(*out_h, *out_w, *mode).map_err(wrap)?])
-            }
+            LayoutFn::Pad {
+                before,
+                after,
+                value,
+            } => Ok(vec![inputs[0].pad(before, after, *value).map_err(wrap)?]),
+            LayoutFn::Resize { out_h, out_w, mode } => Ok(vec![inputs[0]
+                .resize2d(*out_h, *out_w, *mode)
+                .map_err(wrap)?]),
         },
         PrimKind::Linear(l) => match l {
             LinearFn::MatMul { spec } => {
                 Ok(vec![inputs[0].matmul(inputs[1], *spec).map_err(wrap)?])
             }
-            LinearFn::Conv2d { stride, padding, groups } => {
-                Ok(vec![inputs[0].conv2d(inputs[1], *stride, *padding, *groups).map_err(wrap)?])
-            }
+            LinearFn::Conv2d {
+                stride,
+                padding,
+                groups,
+            } => Ok(vec![inputs[0]
+                .conv2d(inputs[1], *stride, *padding, *groups)
+                .map_err(wrap)?]),
         },
         PrimKind::WindowReduce { spec, kind } => {
             Ok(vec![inputs[0].pool2d(*spec, *kind).map_err(wrap)?])
@@ -88,10 +96,7 @@ pub fn eval_prim(kind: &PrimKind, inputs: &[&Tensor], node: usize) -> Result<Vec
     }
 }
 
-fn feed_sources(
-    g: &PrimGraph,
-    inputs: &[Tensor],
-) -> Result<HashMap<PortRef, Tensor>, ExecError> {
+fn feed_sources(g: &PrimGraph, inputs: &[Tensor]) -> Result<HashMap<PortRef, Tensor>, ExecError> {
     let mut values: HashMap<PortRef, Tensor> = HashMap::new();
     let mut fed = 0usize;
     for (id, node) in g.iter() {
@@ -140,7 +145,10 @@ pub fn execute_prims(g: &PrimGraph, inputs: &[Tensor]) -> Result<Vec<Tensor>, Ex
             .inputs
             .iter()
             .map(|r| {
-                values.get(r).ok_or(ExecError::NotMaterialized { node: r.node.0, port: r.port })
+                values.get(r).ok_or(ExecError::NotMaterialized {
+                    node: r.node.0,
+                    port: r.port,
+                })
             })
             .collect::<Result<_, _>>()?;
         let outs = eval_prim(&node.kind, &ins, id.0)?;
@@ -151,10 +159,10 @@ pub fn execute_prims(g: &PrimGraph, inputs: &[Tensor]) -> Result<Vec<Tensor>, Ex
     g.outputs()
         .iter()
         .map(|r| {
-            values
-                .get(r)
-                .cloned()
-                .ok_or(ExecError::NotMaterialized { node: r.node.0, port: r.port })
+            values.get(r).cloned().ok_or(ExecError::NotMaterialized {
+                node: r.node.0,
+                port: r.port,
+            })
         })
         .collect()
 }
@@ -168,7 +176,11 @@ pub fn execute_prims(g: &PrimGraph, inputs: &[Tensor]) -> Result<Vec<Tensor>, Ex
 ///
 /// Returns [`ExecError::NotMaterialized`] if the plan's dependency order is
 /// broken (which would indicate an optimizer bug).
-pub fn execute_plan(g: &PrimGraph, plan: &Plan, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+pub fn execute_plan(
+    g: &PrimGraph,
+    plan: &Plan,
+    inputs: &[Tensor],
+) -> Result<Vec<Tensor>, ExecError> {
     let mut materialized = feed_sources(g, inputs)?;
     for kernel in &plan.kernels {
         let mut local: HashMap<PortRef, Tensor> = HashMap::new();
@@ -189,9 +201,10 @@ pub fn execute_plan(g: &PrimGraph, plan: &Plan, inputs: &[Tensor]) -> Result<Vec
                             return Ok(t);
                         }
                     }
-                    materialized
-                        .get(r)
-                        .ok_or(ExecError::NotMaterialized { node: r.node.0, port: r.port })
+                    materialized.get(r).ok_or(ExecError::NotMaterialized {
+                        node: r.node.0,
+                        port: r.port,
+                    })
                 })
                 .collect::<Result<_, _>>()?;
             let outs = eval_prim(&node.kind, &ins, m.0)?;
@@ -200,10 +213,10 @@ pub fn execute_plan(g: &PrimGraph, plan: &Plan, inputs: &[Tensor]) -> Result<Vec
             }
         }
         for out in &kernel.outputs {
-            let t = local
-                .get(out)
-                .cloned()
-                .ok_or(ExecError::NotMaterialized { node: out.node.0, port: out.port })?;
+            let t = local.get(out).cloned().ok_or(ExecError::NotMaterialized {
+                node: out.node.0,
+                port: out.port,
+            })?;
             materialized.insert(*out, t);
         }
     }
@@ -213,7 +226,10 @@ pub fn execute_plan(g: &PrimGraph, plan: &Plan, inputs: &[Tensor]) -> Result<Vec
             materialized
                 .get(r)
                 .cloned()
-                .ok_or(ExecError::NotMaterialized { node: r.node.0, port: r.port })
+                .ok_or(ExecError::NotMaterialized {
+                    node: r.node.0,
+                    port: r.port,
+                })
         })
         .collect()
 }
@@ -227,14 +243,38 @@ mod tests {
 
     fn softmax_prims(rows: usize, cols: usize) -> PrimGraph {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![rows, cols] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![rows, cols],
+                },
+                vec![],
+            )
+            .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
             .unwrap();
         let r = g
-            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )
             .unwrap();
-        let b = g.add(PrimKind::Broadcast { axis: 1, size: cols }, vec![r.into()]).unwrap();
+        let b = g
+            .add(
+                PrimKind::Broadcast {
+                    axis: 1,
+                    size: cols,
+                },
+                vec![r.into()],
+            )
+            .unwrap();
         let d = g
             .add(
                 PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
@@ -260,7 +300,7 @@ mod tests {
     fn plan_execution_matches_reference() {
         let g = softmax_prims(16, 32);
         let x = Tensor::random(vec![16, 32], 5);
-        let reference = execute_prims(&g, &[x.clone()]).unwrap();
+        let reference = execute_prims(&g, std::slice::from_ref(&x)).unwrap();
         let orch = Orchestrator::new(Device::v100());
         let plan = orch.orchestrate(&g).unwrap().plan;
         let optimized = execute_plan(&g, &plan, &[x]).unwrap();
@@ -271,11 +311,17 @@ mod tests {
     fn input_shape_validated() {
         let g = softmax_prims(4, 8);
         let bad = Tensor::zeros(vec![3, 3]);
-        assert!(matches!(execute_prims(&g, &[bad]), Err(ExecError::Input(_))));
+        assert!(matches!(
+            execute_prims(&g, &[bad]),
+            Err(ExecError::Input(_))
+        ));
         assert!(matches!(execute_prims(&g, &[]), Err(ExecError::Input(_))));
         let ok = Tensor::zeros(vec![4, 8]);
         let extra = Tensor::zeros(vec![1]);
-        assert!(matches!(execute_prims(&g, &[ok, extra]), Err(ExecError::Input(_))));
+        assert!(matches!(
+            execute_prims(&g, &[ok, extra]),
+            Err(ExecError::Input(_))
+        ));
     }
 
     #[test]
@@ -283,8 +329,14 @@ mod tests {
         let a = materialize_const(&[4, 4], &ConstInit::Random(9));
         let b = materialize_const(&[4, 4], &ConstInit::Random(9));
         assert_eq!(a, b);
-        assert_eq!(materialize_const(&[2], &ConstInit::Ones).as_slice(), &[1.0, 1.0]);
-        assert_eq!(materialize_const(&[2], &ConstInit::Fill(7.0)).as_slice(), &[7.0, 7.0]);
+        assert_eq!(
+            materialize_const(&[2], &ConstInit::Ones).as_slice(),
+            &[1.0, 1.0]
+        );
+        assert_eq!(
+            materialize_const(&[2], &ConstInit::Fill(7.0)).as_slice(),
+            &[7.0, 7.0]
+        );
     }
 
     #[test]
@@ -293,7 +345,10 @@ mod tests {
         let x = g.add(PrimKind::Input { shape: vec![4] }, vec![]).unwrap();
         let o = g
             .add(
-                PrimKind::Opaque { name: "mystery".into(), out_shapes: vec![vec![4]] },
+                PrimKind::Opaque {
+                    name: "mystery".into(),
+                    out_shapes: vec![vec![4]],
+                },
                 vec![x.into()],
             )
             .unwrap();

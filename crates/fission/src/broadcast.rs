@@ -25,7 +25,9 @@ pub fn broadcast_chain(
         return Ok(src);
     }
     if from.len() > to.len() {
-        return Err(IrError::Invalid(format!("cannot broadcast {from:?} to {to:?}")));
+        return Err(IrError::Invalid(format!(
+            "cannot broadcast {from:?} to {to:?}"
+        )));
     }
     let pad = to.len() - from.len();
     let mut aligned = vec![1usize; pad];
@@ -75,14 +77,18 @@ fn broadcast_aligned(
         } else if aligned[d] == 1 {
             expand.push((d, to[d]));
         } else {
-            return Err(IrError::Invalid(format!("cannot broadcast {aligned:?} to {to:?}")));
+            return Err(IrError::Invalid(format!(
+                "cannot broadcast {aligned:?} to {to:?}"
+            )));
         }
     }
     // Squeeze away the to-be-expanded size-1 dims with a single reshape.
     let mut cur = src;
     if pg.meta(cur).shape() != kept_shape.as_slice() {
         let reshape = pg.add(
-            PrimKind::Layout(LayoutFn::Reshape { shape: kept_shape.clone() }),
+            PrimKind::Layout(LayoutFn::Reshape {
+                shape: kept_shape.clone(),
+            }),
             vec![cur],
         )?;
         cur = reshape.into();
@@ -103,7 +109,14 @@ mod tests {
 
     fn graph_with_input(shape: &[usize]) -> (PrimGraph, PortRef) {
         let mut pg = PrimGraph::new();
-        let x = pg.add(PrimKind::Input { shape: shape.to_vec() }, vec![]).unwrap();
+        let x = pg
+            .add(
+                PrimKind::Input {
+                    shape: shape.to_vec(),
+                },
+                vec![],
+            )
+            .unwrap();
         (pg, x.into())
     }
 

@@ -145,12 +145,22 @@ impl FissionEngine {
         let port_map = port_map
             .into_iter()
             .filter_map(|(k, v)| {
-                remap
-                    .get(&v.node)
-                    .map(|&n| (k, PortRef { node: n, port: v.port }))
+                remap.get(&v.node).map(|&n| {
+                    (
+                        k,
+                        PortRef {
+                            node: n,
+                            port: v.port,
+                        },
+                    )
+                })
             })
             .collect();
-        Ok(FissionResult { prim_graph: pruned, port_map, origins: new_origins })
+        Ok(FissionResult {
+            prim_graph: pruned,
+            port_map,
+            origins: new_origins,
+        })
     }
 
     fn lower_op(
@@ -164,10 +174,15 @@ impl FissionEngine {
                 return rule(pg, inputs);
             }
             let id = pg.add(
-                korch_ir::PrimKind::Opaque { name: name.clone(), out_shapes: out_shapes.clone() },
+                korch_ir::PrimKind::Opaque {
+                    name: name.clone(),
+                    out_shapes: out_shapes.clone(),
+                },
                 inputs.to_vec(),
             )?;
-            return Ok((0..out_shapes.len()).map(|port| PortRef { node: id, port }).collect());
+            return Ok((0..out_shapes.len())
+                .map(|port| PortRef { node: id, port })
+                .collect());
         }
         rules::builtin(pg, kind, inputs)
     }
@@ -189,7 +204,13 @@ mod tests {
     use korch_tensor::{PoolSpec, ReduceKind, UnaryOp};
 
     fn input(g: &mut OpGraph, shape: &[usize]) -> NodeId {
-        g.add(OpKind::Input { shape: shape.to_vec() }, vec![]).unwrap()
+        g.add(
+            OpKind::Input {
+                shape: shape.to_vec(),
+            },
+            vec![],
+        )
+        .unwrap()
     }
 
     #[test]
@@ -204,7 +225,10 @@ mod tests {
         assert_eq!(s.elementwise, 2); // exp + div
         assert_eq!(s.reduce_broadcast, 2); // reduce + broadcast
         assert_eq!(s.linear, 0);
-        assert_eq!(r.prim_graph.meta(r.port_map[&PortRef::from(sm)]).shape(), &[4, 16]);
+        assert_eq!(
+            r.prim_graph.meta(r.port_map[&PortRef::from(sm)]).shape(),
+            &[4, 16]
+        );
     }
 
     #[test]
@@ -214,20 +238,44 @@ mod tests {
         let mut g = OpGraph::new();
         let x = input(&mut g, &[1, 8, 6, 6]);
         let scale = g
-            .add(OpKind::Constant { shape: vec![8], init: ConstInit::Ones }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![8],
+                    init: ConstInit::Ones,
+                },
+                vec![],
+            )
             .unwrap();
         let bias = g
-            .add(OpKind::Constant { shape: vec![8], init: ConstInit::Zeros }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![8],
+                    init: ConstInit::Zeros,
+                },
+                vec![],
+            )
             .unwrap();
         let inorm = g
-            .add(OpKind::InstanceNorm { eps: 1e-5 }, vec![x.into(), scale.into(), bias.into()])
+            .add(
+                OpKind::InstanceNorm { eps: 1e-5 },
+                vec![x.into(), scale.into(), bias.into()],
+            )
             .unwrap();
         g.mark_output(inorm).unwrap();
         let r = fission(&g).unwrap();
         let s = PrimStats::of(&r.prim_graph);
-        assert!(s.elementwise >= 5, "expected rich elementwise decomposition, got {s:?}");
-        assert!(s.reduce_broadcast >= 4, "2 reduces + broadcasts expected, got {s:?}");
-        assert_eq!(r.prim_graph.meta(r.port_map[&PortRef::from(inorm)]).shape(), &[1, 8, 6, 6]);
+        assert!(
+            s.elementwise >= 5,
+            "expected rich elementwise decomposition, got {s:?}"
+        );
+        assert!(
+            s.reduce_broadcast >= 4,
+            "2 reduces + broadcasts expected, got {s:?}"
+        );
+        assert_eq!(
+            r.prim_graph.meta(r.port_map[&PortRef::from(inorm)]).shape(),
+            &[1, 8, 6, 6]
+        );
     }
 
     #[test]
@@ -247,9 +295,17 @@ mod tests {
     fn layout_ops_lower_to_layout_prims() {
         let mut g = OpGraph::new();
         let x = input(&mut g, &[2, 6]);
-        let t = g.add(OpKind::Transpose { perm: vec![1, 0] }, vec![x.into()]).unwrap();
+        let t = g
+            .add(OpKind::Transpose { perm: vec![1, 0] }, vec![x.into()])
+            .unwrap();
         let sp = g
-            .add(OpKind::Split { axis: 0, sizes: vec![2, 4] }, vec![t.into()])
+            .add(
+                OpKind::Split {
+                    axis: 0,
+                    sizes: vec![2, 4],
+                },
+                vec![t.into()],
+            )
             .unwrap();
         g.mark_output(PortRef { node: sp, port: 0 }).unwrap();
         g.mark_output(PortRef { node: sp, port: 1 }).unwrap();
@@ -257,7 +313,9 @@ mod tests {
         let s = PrimStats::of(&r.prim_graph);
         assert_eq!(s.layout, 2);
         assert_eq!(
-            r.prim_graph.meta(r.port_map[&PortRef { node: sp, port: 1 }]).shape(),
+            r.prim_graph
+                .meta(r.port_map[&PortRef { node: sp, port: 1 }])
+                .shape(),
             &[4, 2]
         );
     }
@@ -267,14 +325,31 @@ mod tests {
         let mut g = OpGraph::new();
         let x = input(&mut g, &[1, 3, 8, 8]);
         let w = g
-            .add(OpKind::Constant { shape: vec![16, 3, 3, 3], init: ConstInit::Random(1) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![16, 3, 3, 3],
+                    init: ConstInit::Random(1),
+                },
+                vec![],
+            )
             .unwrap();
         let b = g
-            .add(OpKind::Constant { shape: vec![16], init: ConstInit::Random(2) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![16],
+                    init: ConstInit::Random(2),
+                },
+                vec![],
+            )
             .unwrap();
         let c = g
             .add(
-                OpKind::Conv2d { stride: 1, padding: 1, groups: 1, bias: true },
+                OpKind::Conv2d {
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    bias: true,
+                },
                 vec![x.into(), w.into(), b.into()],
             )
             .unwrap();
@@ -283,7 +358,10 @@ mod tests {
         let s = PrimStats::of(&r.prim_graph);
         assert_eq!(s.linear, 1);
         assert_eq!(s.elementwise, 1); // the bias add
-        assert!(s.reduce_broadcast >= 2, "bias broadcast chain expected: {s:?}");
+        assert!(
+            s.reduce_broadcast >= 2,
+            "bias broadcast chain expected: {s:?}"
+        );
     }
 
     #[test]
@@ -307,7 +385,9 @@ mod tests {
     fn pooling_becomes_window_reduce() {
         let mut g = OpGraph::new();
         let x = input(&mut g, &[1, 4, 8, 8]);
-        let p = g.add(OpKind::MaxPool(PoolSpec::new(2, 2)), vec![x.into()]).unwrap();
+        let p = g
+            .add(OpKind::MaxPool(PoolSpec::new(2, 2)), vec![x.into()])
+            .unwrap();
         g.mark_output(p).unwrap();
         let r = fission(&g).unwrap();
         let kinds: Vec<_> = r
@@ -324,7 +404,9 @@ mod tests {
         let mut g = OpGraph::new();
         let x = input(&mut g, &[4]);
         let id = g.add(OpKind::Identity, vec![x.into()]).unwrap();
-        let rl = g.add(OpKind::Unary(UnaryOp::Relu), vec![id.into()]).unwrap();
+        let rl = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![id.into()])
+            .unwrap();
         g.mark_output(rl).unwrap();
         let r = fission(&g).unwrap();
         assert_eq!(r.prim_graph.len(), 2); // input + relu only
@@ -336,7 +418,10 @@ mod tests {
         let x = input(&mut g, &[10]);
         let c = g
             .add(
-                OpKind::Custom { name: "topk".into(), out_shapes: vec![vec![3]] },
+                OpKind::Custom {
+                    name: "topk".into(),
+                    out_shapes: vec![vec![3]],
+                },
                 vec![x.into()],
             )
             .unwrap();
@@ -352,7 +437,10 @@ mod tests {
         let x = input(&mut g, &[10]);
         let c = g
             .add(
-                OpKind::Custom { name: "double".into(), out_shapes: vec![vec![10]] },
+                OpKind::Custom {
+                    name: "double".into(),
+                    out_shapes: vec![vec![10]],
+                },
                 vec![x.into()],
             )
             .unwrap();
@@ -382,11 +470,21 @@ mod tests {
         let mut g = OpGraph::new();
         let x = input(&mut g, &[2, 5, 3]);
         let rkd = g
-            .add(OpKind::Reduce { kind: ReduceKind::Mean, axis: 1, keep_dim: true }, vec![x.into()])
+            .add(
+                OpKind::Reduce {
+                    kind: ReduceKind::Mean,
+                    axis: 1,
+                    keep_dim: true,
+                },
+                vec![x.into()],
+            )
             .unwrap();
         g.mark_output(rkd).unwrap();
         let r = fission(&g).unwrap();
-        assert_eq!(r.prim_graph.meta(r.port_map[&PortRef::from(rkd)]).shape(), &[2, 1, 3]);
+        assert_eq!(
+            r.prim_graph.meta(r.port_map[&PortRef::from(rkd)]).shape(),
+            &[2, 1, 3]
+        );
         let s = PrimStats::of(&r.prim_graph);
         assert_eq!(s.layout, 1); // the keep-dim reshape
     }
@@ -396,7 +494,9 @@ mod tests {
         let mut g = OpGraph::new();
         let x = input(&mut g, &[4, 16]);
         let sm = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()]).unwrap();
-        let rl = g.add(OpKind::Unary(UnaryOp::Relu), vec![sm.into()]).unwrap();
+        let rl = g
+            .add(OpKind::Unary(UnaryOp::Relu), vec![sm.into()])
+            .unwrap();
         g.mark_output(rl).unwrap();
         let r = fission(&g).unwrap();
         assert_eq!(r.origins.len(), r.prim_graph.len());
@@ -412,7 +512,14 @@ mod tests {
         let mut g = OpGraph::new();
         let x = input(&mut g, &[2, 4, 3, 3]);
         let mk = |g: &mut OpGraph, init| {
-            g.add(OpKind::Constant { shape: vec![4], init }, vec![]).unwrap()
+            g.add(
+                OpKind::Constant {
+                    shape: vec![4],
+                    init,
+                },
+                vec![],
+            )
+            .unwrap()
         };
         let gamma = mk(&mut g, ConstInit::Ones);
         let beta = mk(&mut g, ConstInit::Zeros);

@@ -48,11 +48,23 @@ fn normalize_along(
     eps: f32,
 ) -> Result<PortRef, IrError> {
     let size = pg.meta(x).shape()[axis];
-    let mean = pg.add(PrimKind::Reduce { kind: ReduceKind::Mean, axis }, vec![x])?;
+    let mean = pg.add(
+        PrimKind::Reduce {
+            kind: ReduceKind::Mean,
+            axis,
+        },
+        vec![x],
+    )?;
     let mean_b = pg.add(PrimKind::Broadcast { axis, size }, vec![mean.into()])?;
     let centered = bin(pg, BinaryOp::Sub, x, mean_b.into())?;
     let sq = unary(pg, UnaryOp::Square, centered)?;
-    let var = pg.add(PrimKind::Reduce { kind: ReduceKind::Mean, axis }, vec![sq])?;
+    let var = pg.add(
+        PrimKind::Reduce {
+            kind: ReduceKind::Mean,
+            axis,
+        },
+        vec![sq],
+    )?;
     let var_eps = bin_scalar(pg, BinaryOp::Add, var.into(), eps)?;
     let std = unary(pg, UnaryOp::Sqrt, var_eps)?;
     let std_b = pg.add(PrimKind::Broadcast { axis, size }, vec![std])?;
@@ -68,13 +80,23 @@ pub(crate) fn builtin(
 ) -> Result<Vec<PortRef>, IrError> {
     let one = |p: PortRef| Ok(vec![p]);
     match kind {
-        OpKind::Input { shape } => {
-            one(pg.add(PrimKind::Input { shape: shape.clone() }, vec![])?.into())
-        }
-        OpKind::Constant { shape, init } => one(
-            pg.add(PrimKind::Constant { shape: shape.clone(), init: init.clone() }, vec![])?
-                .into(),
-        ),
+        OpKind::Input { shape } => one(pg
+            .add(
+                PrimKind::Input {
+                    shape: shape.clone(),
+                },
+                vec![],
+            )?
+            .into()),
+        OpKind::Constant { shape, init } => one(pg
+            .add(
+                PrimKind::Constant {
+                    shape: shape.clone(),
+                    init: init.clone(),
+                },
+                vec![],
+            )?
+            .into()),
         OpKind::Unary(u) => one(unary(pg, *u, inputs[0])?),
         OpKind::AddScalar(c) => one(bin_scalar(pg, BinaryOp::Add, inputs[0], *c)?),
         OpKind::MulScalar(c) => one(bin_scalar(pg, BinaryOp::Mul, inputs[0], *c)?),
@@ -99,7 +121,12 @@ pub(crate) fn builtin(
         }
         OpKind::Gelu => {
             // 0.5 * x * (1 + erf(x / sqrt(2)))
-            let scaled = bin_scalar(pg, BinaryOp::Mul, inputs[0], std::f32::consts::FRAC_1_SQRT_2)?;
+            let scaled = bin_scalar(
+                pg,
+                BinaryOp::Mul,
+                inputs[0],
+                std::f32::consts::FRAC_1_SQRT_2,
+            )?;
             let e = unary(pg, UnaryOp::Erf, scaled)?;
             let p1 = bin_scalar(pg, BinaryOp::Add, e, 1.0)?;
             let xe = bin(pg, BinaryOp::Mul, inputs[0], p1)?;
@@ -111,8 +138,12 @@ pub(crate) fn builtin(
             let cube = bin(pg, BinaryOp::Mul, sq, inputs[0])?;
             let c = bin_scalar(pg, BinaryOp::Mul, cube, 0.044715)?;
             let inner = bin(pg, BinaryOp::Add, inputs[0], c)?;
-            let scaled =
-                bin_scalar(pg, BinaryOp::Mul, inner, (2.0 / std::f32::consts::PI).sqrt())?;
+            let scaled = bin_scalar(
+                pg,
+                BinaryOp::Mul,
+                inner,
+                (2.0 / std::f32::consts::PI).sqrt(),
+            )?;
             let t = unary(pg, UnaryOp::Tanh, scaled)?;
             let p1 = bin_scalar(pg, BinaryOp::Add, t, 1.0)?;
             let xp = bin(pg, BinaryOp::Mul, inputs[0], p1)?;
@@ -157,16 +188,23 @@ pub(crate) fn builtin(
             let shape = pg.meta(inputs[0]).shape().to_vec();
             let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
             let flat = pg.add(
-                PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, c, h * w] }),
+                PrimKind::Layout(LayoutFn::Reshape {
+                    shape: vec![n, c, h * w],
+                }),
                 vec![inputs[0]],
             )?;
             let mean = pg.add(
-                PrimKind::Reduce { kind: ReduceKind::Mean, axis: 2 },
+                PrimKind::Reduce {
+                    kind: ReduceKind::Mean,
+                    axis: 2,
+                },
                 vec![flat.into()],
             )?;
             one(pg
                 .add(
-                    PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, c, 1, 1] }),
+                    PrimKind::Layout(LayoutFn::Reshape {
+                        shape: vec![n, c, 1, 1],
+                    }),
                     vec![mean.into()],
                 )?
                 .into())
@@ -175,25 +213,57 @@ pub(crate) fn builtin(
             let mut shape = pg.meta(inputs[0]).shape().to_vec();
             shape.remove(*axis);
             one(pg
-                .add(PrimKind::Layout(LayoutFn::Reshape { shape }), vec![inputs[0]])?
+                .add(
+                    PrimKind::Layout(LayoutFn::Reshape { shape }),
+                    vec![inputs[0]],
+                )?
                 .into())
         }
         OpKind::Unsqueeze { axis } => {
             let mut shape = pg.meta(inputs[0]).shape().to_vec();
             shape.insert(*axis, 1);
             one(pg
-                .add(PrimKind::Layout(LayoutFn::Reshape { shape }), vec![inputs[0]])?
+                .add(
+                    PrimKind::Layout(LayoutFn::Reshape { shape }),
+                    vec![inputs[0]],
+                )?
                 .into())
         }
-        OpKind::Add => one(broadcasting_binary(pg, BinaryOp::Add, inputs[0], inputs[1])?),
-        OpKind::Sub => one(broadcasting_binary(pg, BinaryOp::Sub, inputs[0], inputs[1])?),
-        OpKind::Mul => one(broadcasting_binary(pg, BinaryOp::Mul, inputs[0], inputs[1])?),
-        OpKind::Div => one(broadcasting_binary(pg, BinaryOp::Div, inputs[0], inputs[1])?),
+        OpKind::Add => one(broadcasting_binary(
+            pg,
+            BinaryOp::Add,
+            inputs[0],
+            inputs[1],
+        )?),
+        OpKind::Sub => one(broadcasting_binary(
+            pg,
+            BinaryOp::Sub,
+            inputs[0],
+            inputs[1],
+        )?),
+        OpKind::Mul => one(broadcasting_binary(
+            pg,
+            BinaryOp::Mul,
+            inputs[0],
+            inputs[1],
+        )?),
+        OpKind::Div => one(broadcasting_binary(
+            pg,
+            BinaryOp::Div,
+            inputs[0],
+            inputs[1],
+        )?),
         OpKind::Softmax { axis } => {
             // Fig 3: Exp -> Reduce(Sum) -> Broadcast -> Div
             let size = pg.meta(inputs[0]).shape()[*axis];
             let e = unary(pg, UnaryOp::Exp, inputs[0])?;
-            let s = pg.add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: *axis }, vec![e])?;
+            let s = pg.add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: *axis,
+                },
+                vec![e],
+            )?;
             let b = pg.add(PrimKind::Broadcast { axis: *axis, size }, vec![s.into()])?;
             one(bin(pg, BinaryOp::Div, e, b.into())?)
         }
@@ -202,7 +272,13 @@ pub(crate) fn builtin(
             // division replaced by a log-domain subtraction.
             let size = pg.meta(inputs[0]).shape()[*axis];
             let e = unary(pg, UnaryOp::Exp, inputs[0])?;
-            let s = pg.add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: *axis }, vec![e])?;
+            let s = pg.add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: *axis,
+                },
+                vec![e],
+            )?;
             let l = unary(pg, UnaryOp::Ln, s.into())?;
             let b = pg.add(PrimKind::Broadcast { axis: *axis, size }, vec![l])?;
             one(bin(pg, BinaryOp::Sub, inputs[0], b.into())?)
@@ -213,7 +289,9 @@ pub(crate) fn builtin(
             let shape = pg.meta(inputs[0]).shape().to_vec();
             let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
             let flat = pg.add(
-                PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, c, h * w] }),
+                PrimKind::Layout(LayoutFn::Reshape {
+                    shape: vec![n, c, h * w],
+                }),
                 vec![inputs[0]],
             )?;
             let normed = normalize_along(pg, flat.into(), 2, *eps)?;
@@ -259,12 +337,16 @@ pub(crate) fn builtin(
             let (n, c, h, w) = (shape[0], shape[1], shape[2], shape[3]);
             let per = c / groups * h * w;
             let grouped = pg.add(
-                PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, *groups, per] }),
+                PrimKind::Layout(LayoutFn::Reshape {
+                    shape: vec![n, *groups, per],
+                }),
                 vec![inputs[0]],
             )?;
             let normed = normalize_along(pg, grouped.into(), 2, *eps)?;
             let flat = pg.add(
-                PrimKind::Layout(LayoutFn::Reshape { shape: vec![n, c, h * w] }),
+                PrimKind::Layout(LayoutFn::Reshape {
+                    shape: vec![n, c, h * w],
+                }),
                 vec![normed],
             )?;
             let scale_b = broadcast_at_axis(pg, inputs[1], c, &[n, c, h * w], 1)?;
@@ -281,7 +363,13 @@ pub(crate) fn builtin(
             let axis = shape.len() - 1;
             let d = shape[axis];
             let sq = unary(pg, UnaryOp::Square, inputs[0])?;
-            let ms = pg.add(PrimKind::Reduce { kind: ReduceKind::Mean, axis }, vec![sq])?;
+            let ms = pg.add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Mean,
+                    axis,
+                },
+                vec![sq],
+            )?;
             let ms_eps = bin_scalar(pg, BinaryOp::Add, ms.into(), *eps)?;
             let rms = unary(pg, UnaryOp::Sqrt, ms_eps)?;
             let rms_b = pg.add(PrimKind::Broadcast { axis, size: d }, vec![rms])?;
@@ -289,32 +377,54 @@ pub(crate) fn builtin(
             let scale_b = broadcast_chain(pg, inputs[1], &[d], &shape)?;
             one(bin(pg, BinaryOp::Mul, normed, scale_b)?)
         }
-        OpKind::Reduce { kind, axis, keep_dim } => {
-            let r = pg.add(PrimKind::Reduce { kind: *kind, axis: *axis }, vec![inputs[0]])?;
+        OpKind::Reduce {
+            kind,
+            axis,
+            keep_dim,
+        } => {
+            let r = pg.add(
+                PrimKind::Reduce {
+                    kind: *kind,
+                    axis: *axis,
+                },
+                vec![inputs[0]],
+            )?;
             if *keep_dim {
                 let mut shape = pg.meta(PortRef::from(r)).shape().to_vec();
                 shape.insert(*axis, 1);
                 one(pg
-                    .add(PrimKind::Layout(LayoutFn::Reshape { shape }), vec![r.into()])?
+                    .add(
+                        PrimKind::Layout(LayoutFn::Reshape { shape }),
+                        vec![r.into()],
+                    )?
                     .into())
             } else {
                 one(r.into())
             }
         }
-        OpKind::MatMul => one(
-            pg.add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+        OpKind::MatMul => one(pg
+            .add(
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![inputs[0], inputs[1]],
             )?
-            .into(),
-        ),
-        OpKind::Gemm { alpha, beta, trans_a, trans_b } => {
+            .into()),
+        OpKind::Gemm {
+            alpha,
+            beta,
+            trans_a,
+            trans_b,
+        } => {
             // alpha op(A) op(B) + beta C: the matmul keeps its transpose
             // flags (so the cost model can price layouts), scaling folds
             // into scalar elementwise primitives.
             let mm = pg.add(
                 PrimKind::Linear(LinearFn::MatMul {
-                    spec: MatMulSpec { trans_a: *trans_a, trans_b: *trans_b },
+                    spec: MatMulSpec {
+                        trans_a: *trans_a,
+                        trans_b: *trans_b,
+                    },
                 }),
                 vec![inputs[0], inputs[1]],
             )?;
@@ -331,7 +441,12 @@ pub(crate) fn builtin(
             }
             one(acc)
         }
-        OpKind::Conv2d { stride, padding, groups, bias } => {
+        OpKind::Conv2d {
+            stride,
+            padding,
+            groups,
+            bias,
+        } => {
             let conv = pg.add(
                 PrimKind::Linear(LinearFn::Conv2d {
                     stride: *stride,
@@ -349,51 +464,81 @@ pub(crate) fn builtin(
                 one(conv.into())
             }
         }
-        OpKind::MaxPool(spec) => one(
-            pg.add(PrimKind::WindowReduce { spec: *spec, kind: ReduceKind::Max }, vec![inputs[0]])?
-                .into(),
-        ),
-        OpKind::AvgPool(spec) => one(
-            pg.add(
-                PrimKind::WindowReduce { spec: *spec, kind: ReduceKind::Mean },
+        OpKind::MaxPool(spec) => one(pg
+            .add(
+                PrimKind::WindowReduce {
+                    spec: *spec,
+                    kind: ReduceKind::Max,
+                },
                 vec![inputs[0]],
             )?
-            .into(),
-        ),
-        OpKind::Resize { out_h, out_w, mode } => one(
-            pg.add(
-                PrimKind::Layout(LayoutFn::Resize { out_h: *out_h, out_w: *out_w, mode: *mode }),
+            .into()),
+        OpKind::AvgPool(spec) => one(pg
+            .add(
+                PrimKind::WindowReduce {
+                    spec: *spec,
+                    kind: ReduceKind::Mean,
+                },
                 vec![inputs[0]],
             )?
-            .into(),
-        ),
-        OpKind::Transpose { perm } => one(
-            pg.add(PrimKind::Layout(LayoutFn::Transpose { perm: perm.clone() }), vec![inputs[0]])?
-                .into(),
-        ),
-        OpKind::Reshape { shape } => one(
-            pg.add(PrimKind::Layout(LayoutFn::Reshape { shape: shape.clone() }), vec![inputs[0]])?
-                .into(),
-        ),
-        OpKind::Slice { starts, ends } => one(
-            pg.add(
-                PrimKind::Layout(LayoutFn::Slice { starts: starts.clone(), ends: ends.clone() }),
+            .into()),
+        OpKind::Resize { out_h, out_w, mode } => one(pg
+            .add(
+                PrimKind::Layout(LayoutFn::Resize {
+                    out_h: *out_h,
+                    out_w: *out_w,
+                    mode: *mode,
+                }),
                 vec![inputs[0]],
             )?
-            .into(),
-        ),
-        OpKind::Concat { axis } => one(
-            pg.add(PrimKind::Layout(LayoutFn::Concat { axis: *axis }), inputs.to_vec())?.into(),
-        ),
+            .into()),
+        OpKind::Transpose { perm } => one(pg
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: perm.clone() }),
+                vec![inputs[0]],
+            )?
+            .into()),
+        OpKind::Reshape { shape } => one(pg
+            .add(
+                PrimKind::Layout(LayoutFn::Reshape {
+                    shape: shape.clone(),
+                }),
+                vec![inputs[0]],
+            )?
+            .into()),
+        OpKind::Slice { starts, ends } => one(pg
+            .add(
+                PrimKind::Layout(LayoutFn::Slice {
+                    starts: starts.clone(),
+                    ends: ends.clone(),
+                }),
+                vec![inputs[0]],
+            )?
+            .into()),
+        OpKind::Concat { axis } => one(pg
+            .add(
+                PrimKind::Layout(LayoutFn::Concat { axis: *axis }),
+                inputs.to_vec(),
+            )?
+            .into()),
         OpKind::Split { axis, sizes } => {
             let id = pg.add(
-                PrimKind::Layout(LayoutFn::Split { axis: *axis, sizes: sizes.clone() }),
+                PrimKind::Layout(LayoutFn::Split {
+                    axis: *axis,
+                    sizes: sizes.clone(),
+                }),
                 vec![inputs[0]],
             )?;
-            Ok((0..sizes.len()).map(|port| PortRef { node: id, port }).collect())
+            Ok((0..sizes.len())
+                .map(|port| PortRef { node: id, port })
+                .collect())
         }
-        OpKind::Pad { before, after, value } => one(
-            pg.add(
+        OpKind::Pad {
+            before,
+            after,
+            value,
+        } => one(pg
+            .add(
                 PrimKind::Layout(LayoutFn::Pad {
                     before: before.clone(),
                     after: after.clone(),
@@ -401,8 +546,7 @@ pub(crate) fn builtin(
                 }),
                 vec![inputs[0]],
             )?
-            .into(),
-        ),
+            .into()),
         OpKind::Identity => one(inputs[0]),
         OpKind::Custom { .. } => unreachable!("custom ops handled by the engine"),
     }

@@ -34,10 +34,16 @@ pub enum IrError {
 impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IrError::Arity { kind, expected, actual } => {
+            IrError::Arity {
+                kind,
+                expected,
+                actual,
+            } => {
                 write!(f, "{kind} expects {expected} inputs but received {actual}")
             }
-            IrError::Shape { kind, detail } => write!(f, "shape inference for {kind} failed: {detail}"),
+            IrError::Shape { kind, detail } => {
+                write!(f, "shape inference for {kind} failed: {detail}")
+            }
             IrError::DanglingRef { node, port } => {
                 write!(f, "reference to nonexistent node {node} port {port}")
             }
@@ -60,7 +66,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = IrError::Arity { kind: "MatMul".into(), expected: "2".into(), actual: 1 };
+        let e = IrError::Arity {
+            kind: "MatMul".into(),
+            expected: "2".into(),
+            actual: 1,
+        };
         assert_eq!(e.to_string(), "MatMul expects 2 inputs but received 1");
         let e = IrError::DanglingRef { node: 3, port: 1 };
         assert!(e.to_string().contains("node 3"));

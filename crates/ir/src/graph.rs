@@ -68,7 +68,10 @@ pub struct Graph<K> {
 impl<K: NodeKind> Graph<K> {
     /// Creates an empty graph.
     pub fn new() -> Self {
-        Self { nodes: Vec::new(), outputs: Vec::new() }
+        Self {
+            nodes: Vec::new(),
+            outputs: Vec::new(),
+        }
     }
 
     /// Appends a node, inferring and validating its output shapes.
@@ -81,19 +84,23 @@ impl<K: NodeKind> Graph<K> {
     pub fn add(&mut self, kind: K, inputs: Vec<PortRef>) -> Result<NodeId, IrError> {
         let mut in_metas = Vec::with_capacity(inputs.len());
         for r in &inputs {
-            let node = self
-                .nodes
-                .get(r.node.0)
-                .ok_or(IrError::DanglingRef { node: r.node.0, port: r.port })?;
-            let meta = node
-                .out_metas
-                .get(r.port)
-                .ok_or(IrError::DanglingRef { node: r.node.0, port: r.port })?;
+            let node = self.nodes.get(r.node.0).ok_or(IrError::DanglingRef {
+                node: r.node.0,
+                port: r.port,
+            })?;
+            let meta = node.out_metas.get(r.port).ok_or(IrError::DanglingRef {
+                node: r.node.0,
+                port: r.port,
+            })?;
             in_metas.push(meta.clone());
         }
         let out_metas = kind.infer(&in_metas)?;
         let id = NodeId(self.nodes.len());
-        self.nodes.push(Node { kind, inputs, out_metas });
+        self.nodes.push(Node {
+            kind,
+            inputs,
+            out_metas,
+        });
         Ok(id)
     }
 
@@ -104,12 +111,15 @@ impl<K: NodeKind> Graph<K> {
     /// Returns [`IrError::DanglingRef`] for references to missing nodes.
     pub fn mark_output(&mut self, port: impl Into<PortRef>) -> Result<(), IrError> {
         let port = port.into();
-        let node = self
-            .nodes
-            .get(port.node.0)
-            .ok_or(IrError::DanglingRef { node: port.node.0, port: port.port })?;
+        let node = self.nodes.get(port.node.0).ok_or(IrError::DanglingRef {
+            node: port.node.0,
+            port: port.port,
+        })?;
         if port.port >= node.out_metas.len() {
-            return Err(IrError::DanglingRef { node: port.node.0, port: port.port });
+            return Err(IrError::DanglingRef {
+                node: port.node.0,
+                port: port.port,
+            });
         }
         self.outputs.push(port);
         Ok(())
@@ -293,13 +303,19 @@ impl<K: NodeKind> Graph<K> {
             let inputs = node
                 .inputs
                 .iter()
-                .map(|r| PortRef { node: remap[&r.node], port: r.port })
+                .map(|r| PortRef {
+                    node: remap[&r.node],
+                    port: r.port,
+                })
                 .collect();
             let id = out.add(node.kind.clone(), inputs)?;
             remap.insert(NodeId(i), id);
         }
         for o in &self.outputs {
-            out.mark_output(PortRef { node: remap[&o.node], port: o.port })?;
+            out.mark_output(PortRef {
+                node: remap[&o.node],
+                port: o.port,
+            })?;
         }
         Ok((out, remap))
     }
@@ -321,7 +337,9 @@ impl<K: NodeKind> Graph<K> {
             }
         }
         for (k, o) in self.outputs.iter().enumerate() {
-            s.push_str(&format!("  out{k} [shape=doublecircle,label=\"out{k}\"];\n"));
+            s.push_str(&format!(
+                "  out{k} [shape=doublecircle,label=\"out{k}\"];\n"
+            ));
             s.push_str(&format!("  n{} -> out{k};\n", o.node.0));
         }
         s.push_str("}\n");
@@ -398,7 +416,13 @@ mod tests {
     fn add_rejects_dangling() {
         let mut g: Graph<TK> = Graph::new();
         let err = g
-            .add(TK::Op(1), vec![PortRef { node: NodeId(5), port: 0 }])
+            .add(
+                TK::Op(1),
+                vec![PortRef {
+                    node: NodeId(5),
+                    port: 0,
+                }],
+            )
             .unwrap_err();
         assert!(matches!(err, IrError::DanglingRef { node: 5, .. }));
     }
@@ -407,7 +431,9 @@ mod tests {
     fn add_rejects_bad_port() {
         let mut g: Graph<TK> = Graph::new();
         let s = g.add(TK::Src, vec![]).unwrap();
-        let err = g.add(TK::Op(1), vec![PortRef { node: s, port: 3 }]).unwrap_err();
+        let err = g
+            .add(TK::Op(1), vec![PortRef { node: s, port: 3 }])
+            .unwrap_err();
         assert!(matches!(err, IrError::DanglingRef { .. }));
     }
 
@@ -485,7 +511,13 @@ mod tests {
         let s = g.add(TK::Src, vec![]).unwrap();
         let split = g.add(TK::Op(3), vec![s.into()]).unwrap();
         let use2 = g
-            .add(TK::Op(1), vec![PortRef { node: split, port: 2 }])
+            .add(
+                TK::Op(1),
+                vec![PortRef {
+                    node: split,
+                    port: 2,
+                }],
+            )
             .unwrap();
         g.mark_output(use2).unwrap();
         assert_eq!(g.node(split).out_metas.len(), 3);

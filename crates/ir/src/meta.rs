@@ -45,8 +45,16 @@ pub fn broadcast_shapes(a: &[usize], b: &[usize]) -> Option<Vec<usize>> {
     let rank = a.len().max(b.len());
     let mut out = vec![0usize; rank];
     for d in 0..rank {
-        let av = if d < rank - a.len() { 1 } else { a[d - (rank - a.len())] };
-        let bv = if d < rank - b.len() { 1 } else { b[d - (rank - b.len())] };
+        let av = if d < rank - a.len() {
+            1
+        } else {
+            a[d - (rank - a.len())]
+        };
+        let bv = if d < rank - b.len() {
+            1
+        } else {
+            b[d - (rank - b.len())]
+        };
         out[d] = if av == bv {
             av
         } else if av == 1 {

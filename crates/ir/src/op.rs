@@ -234,7 +234,10 @@ impl NodeKind for OpKind {
             expected: expected.into(),
             actual: inputs.len(),
         };
-        let shape_err = |detail: String| IrError::Shape { kind: self.label(), detail };
+        let shape_err = |detail: String| IrError::Shape {
+            kind: self.label(),
+            detail,
+        };
         match self {
             OpKind::Input { shape } | OpKind::Constant { shape, .. } => {
                 if !inputs.is_empty() {
@@ -255,18 +258,29 @@ impl NodeKind for OpKind {
             | OpKind::AddScalar(_)
             | OpKind::MulScalar(_)
             | OpKind::Identity => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 Ok(vec![x.clone()])
             }
             OpKind::GlobalAvgPool => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 if x.rank() != 4 {
                     return Err(shape_err("global average pool expects NCHW".into()));
                 }
-                Ok(vec![TensorMeta::new(vec![x.shape()[0], x.shape()[1], 1, 1])])
+                Ok(vec![TensorMeta::new(vec![
+                    x.shape()[0],
+                    x.shape()[1],
+                    1,
+                    1,
+                ])])
             }
             OpKind::Squeeze { axis } => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 if *axis >= x.rank() || x.shape()[*axis] != 1 {
                     return Err(shape_err(format!(
                         "cannot squeeze axis {axis} of {:?}",
@@ -278,7 +292,9 @@ impl NodeKind for OpKind {
                 Ok(vec![TensorMeta::new(shape)])
             }
             OpKind::Unsqueeze { axis } => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 if *axis > x.rank() {
                     return Err(shape_err(format!(
                         "cannot unsqueeze at axis {axis} of rank {}",
@@ -290,21 +306,34 @@ impl NodeKind for OpKind {
                 Ok(vec![TensorMeta::new(shape)])
             }
             OpKind::Add | OpKind::Sub | OpKind::Mul | OpKind::Div => {
-                let [a, b] = inputs else { return Err(arity_err("2")) };
+                let [a, b] = inputs else {
+                    return Err(arity_err("2"));
+                };
                 let shape = broadcast_shapes(a.shape(), b.shape()).ok_or_else(|| {
-                    shape_err(format!("cannot broadcast {:?} with {:?}", a.shape(), b.shape()))
+                    shape_err(format!(
+                        "cannot broadcast {:?} with {:?}",
+                        a.shape(),
+                        b.shape()
+                    ))
                 })?;
                 Ok(vec![TensorMeta::new(shape)])
             }
             OpKind::Softmax { axis } | OpKind::LogSoftmax { axis } => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 if *axis >= x.rank() {
-                    return Err(shape_err(format!("axis {axis} out of range for {:?}", x.shape())));
+                    return Err(shape_err(format!(
+                        "axis {axis} out of range for {:?}",
+                        x.shape()
+                    )));
                 }
                 Ok(vec![x.clone()])
             }
             OpKind::PRelu => {
-                let [x, slope] = inputs else { return Err(arity_err("2")) };
+                let [x, slope] = inputs else {
+                    return Err(arity_err("2"));
+                };
                 let target = broadcast_shapes(x.shape(), slope.shape()).ok_or_else(|| {
                     shape_err(format!(
                         "cannot broadcast slope {:?} with {:?}",
@@ -322,7 +351,9 @@ impl NodeKind for OpKind {
                 Ok(vec![x.clone()])
             }
             OpKind::GroupNorm { groups, .. } => {
-                let [x, scale, bias] = inputs else { return Err(arity_err("3")) };
+                let [x, scale, bias] = inputs else {
+                    return Err(arity_err("3"));
+                };
                 if x.rank() != 4 {
                     return Err(shape_err("group norm expects NCHW".into()));
                 }
@@ -340,7 +371,9 @@ impl NodeKind for OpKind {
                 Ok(vec![x.clone()])
             }
             OpKind::RmsNorm { .. } => {
-                let [x, scale] = inputs else { return Err(arity_err("2")) };
+                let [x, scale] = inputs else {
+                    return Err(arity_err("2"));
+                };
                 let d = *x.shape().last().ok_or_else(|| shape_err("rank 0".into()))?;
                 if scale.shape() != [d] {
                     return Err(shape_err(format!(
@@ -351,7 +384,9 @@ impl NodeKind for OpKind {
                 Ok(vec![x.clone()])
             }
             OpKind::InstanceNorm { .. } => {
-                let [x, scale, bias] = inputs else { return Err(arity_err("3")) };
+                let [x, scale, bias] = inputs else {
+                    return Err(arity_err("3"));
+                };
                 if x.rank() != 4 {
                     return Err(shape_err("instance norm expects NCHW".into()));
                 }
@@ -366,7 +401,9 @@ impl NodeKind for OpKind {
                 Ok(vec![x.clone()])
             }
             OpKind::LayerNorm { .. } => {
-                let [x, scale, bias] = inputs else { return Err(arity_err("3")) };
+                let [x, scale, bias] = inputs else {
+                    return Err(arity_err("3"));
+                };
                 let d = *x.shape().last().ok_or_else(|| shape_err("rank 0".into()))?;
                 if scale.shape() != [d] || bias.shape() != [d] {
                     return Err(shape_err(format!(
@@ -378,22 +415,37 @@ impl NodeKind for OpKind {
                 Ok(vec![x.clone()])
             }
             OpKind::BatchNorm { .. } => {
-                let [x, gamma, beta, mean, var] = inputs else { return Err(arity_err("5")) };
+                let [x, gamma, beta, mean, var] = inputs else {
+                    return Err(arity_err("5"));
+                };
                 if x.rank() != 4 {
                     return Err(shape_err("batch norm expects NCHW".into()));
                 }
                 let c = x.shape()[1];
-                for (name, t) in [("gamma", gamma), ("beta", beta), ("mean", mean), ("var", var)] {
+                for (name, t) in [
+                    ("gamma", gamma),
+                    ("beta", beta),
+                    ("mean", mean),
+                    ("var", var),
+                ] {
                     if t.shape() != [c] {
-                        return Err(shape_err(format!("{name} must be [{c}], got {:?}", t.shape())));
+                        return Err(shape_err(format!(
+                            "{name} must be [{c}], got {:?}",
+                            t.shape()
+                        )));
                     }
                 }
                 Ok(vec![x.clone()])
             }
             OpKind::Reduce { axis, keep_dim, .. } => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 if *axis >= x.rank() {
-                    return Err(shape_err(format!("axis {axis} out of range for {:?}", x.shape())));
+                    return Err(shape_err(format!(
+                        "axis {axis} out of range for {:?}",
+                        x.shape()
+                    )));
                 }
                 let mut shape = x.shape().to_vec();
                 if *keep_dim {
@@ -406,21 +458,32 @@ impl NodeKind for OpKind {
             OpKind::MatMul => {
                 use crate::prim::LinearFn;
                 use korch_tensor::MatMulSpec;
-                let lf = LinearFn::MatMul { spec: MatMulSpec::new() };
-                crate::prim::PrimKind::Linear(lf).infer(inputs).map_err(|e| match e {
-                    IrError::Arity { actual, .. } => arity_err("2").clone_with_actual(actual),
-                    other => other,
-                })
+                let lf = LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                };
+                crate::prim::PrimKind::Linear(lf)
+                    .infer(inputs)
+                    .map_err(|e| match e {
+                        IrError::Arity { actual, .. } => arity_err("2").clone_with_actual(actual),
+                        other => other,
+                    })
             }
-            OpKind::Gemm { trans_a, trans_b, .. } => {
+            OpKind::Gemm {
+                trans_a, trans_b, ..
+            } => {
                 use crate::prim::LinearFn;
                 use korch_tensor::MatMulSpec;
-                let [a, b, c] = inputs else { return Err(arity_err("3")) };
+                let [a, b, c] = inputs else {
+                    return Err(arity_err("3"));
+                };
                 if a.rank() != 2 || b.rank() != 2 {
                     return Err(shape_err("Gemm operands must be 2-D".into()));
                 }
                 let lf = LinearFn::MatMul {
-                    spec: MatMulSpec { trans_a: *trans_a, trans_b: *trans_b },
+                    spec: MatMulSpec {
+                        trans_a: *trans_a,
+                        trans_b: *trans_b,
+                    },
                 };
                 let out = crate::prim::PrimKind::Linear(lf).infer(&inputs[..2])?;
                 let target = broadcast_shapes(c.shape(), out[0].shape());
@@ -433,13 +496,22 @@ impl NodeKind for OpKind {
                 }
                 Ok(out)
             }
-            OpKind::Conv2d { stride, padding, groups, bias } => {
+            OpKind::Conv2d {
+                stride,
+                padding,
+                groups,
+                bias,
+            } => {
                 let expected = if *bias { 3 } else { 2 };
                 if inputs.len() != expected {
                     return Err(arity_err(&expected.to_string()));
                 }
                 use crate::prim::LinearFn;
-                let lf = LinearFn::Conv2d { stride: *stride, padding: *padding, groups: *groups };
+                let lf = LinearFn::Conv2d {
+                    stride: *stride,
+                    padding: *padding,
+                    groups: *groups,
+                };
                 let out = crate::prim::PrimKind::Linear(lf).infer(&inputs[..2])?;
                 if *bias {
                     let o = out[0].shape()[1];
@@ -456,37 +528,53 @@ impl NodeKind for OpKind {
                 let kind = ReduceKind::Max; // shape only depends on spec
                 crate::prim::PrimKind::WindowReduce { spec: *spec, kind }.infer(inputs)
             }
-            OpKind::Resize { out_h, out_w, mode } => crate::prim::PrimKind::Layout(
-                crate::prim::LayoutFn::Resize { out_h: *out_h, out_w: *out_w, mode: *mode },
-            )
-            .infer(inputs),
+            OpKind::Resize { out_h, out_w, mode } => {
+                crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Resize {
+                    out_h: *out_h,
+                    out_w: *out_w,
+                    mode: *mode,
+                })
+                .infer(inputs)
+            }
             OpKind::Transpose { perm } => {
-                crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Transpose { perm: perm.clone() })
-                    .infer(inputs)
+                crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Transpose {
+                    perm: perm.clone(),
+                })
+                .infer(inputs)
             }
             OpKind::Reshape { shape } => {
-                crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Reshape { shape: shape.clone() })
-                    .infer(inputs)
+                crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Reshape {
+                    shape: shape.clone(),
+                })
+                .infer(inputs)
             }
-            OpKind::Slice { starts, ends } => crate::prim::PrimKind::Layout(
-                crate::prim::LayoutFn::Slice { starts: starts.clone(), ends: ends.clone() },
-            )
-            .infer(inputs),
+            OpKind::Slice { starts, ends } => {
+                crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Slice {
+                    starts: starts.clone(),
+                    ends: ends.clone(),
+                })
+                .infer(inputs)
+            }
             OpKind::Concat { axis } => {
                 crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Concat { axis: *axis })
                     .infer(inputs)
             }
-            OpKind::Split { axis, sizes } => crate::prim::PrimKind::Layout(
-                crate::prim::LayoutFn::Split { axis: *axis, sizes: sizes.clone() },
-            )
-            .infer(inputs),
-            OpKind::Pad { before, after, value } => crate::prim::PrimKind::Layout(
-                crate::prim::LayoutFn::Pad {
-                    before: before.clone(),
-                    after: after.clone(),
-                    value: *value,
-                },
-            )
+            OpKind::Split { axis, sizes } => {
+                crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Split {
+                    axis: *axis,
+                    sizes: sizes.clone(),
+                })
+                .infer(inputs)
+            }
+            OpKind::Pad {
+                before,
+                after,
+                value,
+            } => crate::prim::PrimKind::Layout(crate::prim::LayoutFn::Pad {
+                before: before.clone(),
+                after: after.clone(),
+                value: *value,
+            })
             .infer(inputs),
             OpKind::Custom { out_shapes, .. } => {
                 Ok(out_shapes.iter().cloned().map(TensorMeta::new).collect())
@@ -527,10 +615,20 @@ impl NodeKind for OpKind {
             OpKind::LogSoftmax { axis } => format!("LogSoftmax(axis={axis})"),
             OpKind::Reduce { kind, axis, .. } => format!("Reduce({},{axis})", kind.name()),
             OpKind::MatMul => "MatMul".into(),
-            OpKind::Gemm { alpha, beta, trans_a, trans_b } => {
+            OpKind::Gemm {
+                alpha,
+                beta,
+                trans_a,
+                trans_b,
+            } => {
                 format!("Gemm(a={alpha},b={beta},tA={trans_a},tB={trans_b})")
             }
-            OpKind::Conv2d { stride, padding, groups, .. } => {
+            OpKind::Conv2d {
+                stride,
+                padding,
+                groups,
+                ..
+            } => {
                 format!("Conv2d(s={stride},p={padding},g={groups})")
             }
             OpKind::MaxPool(s) => format!("MaxPool(k={})", s.kernel),
@@ -562,7 +660,11 @@ impl NodeKind for OpKind {
 impl IrError {
     fn clone_with_actual(self, actual: usize) -> IrError {
         match self {
-            IrError::Arity { kind, expected, .. } => IrError::Arity { kind, expected, actual },
+            IrError::Arity { kind, expected, .. } => IrError::Arity {
+                kind,
+                expected,
+                actual,
+            },
             other => other,
         }
     }
@@ -589,26 +691,46 @@ mod tests {
 
     #[test]
     fn softmax_preserves_shape() {
-        let out = OpKind::Softmax { axis: 1 }.infer(&[meta(&[4, 16])]).unwrap();
+        let out = OpKind::Softmax { axis: 1 }
+            .infer(&[meta(&[4, 16])])
+            .unwrap();
         assert_eq!(out[0].shape(), &[4, 16]);
-        assert!(OpKind::Softmax { axis: 2 }.infer(&[meta(&[4, 16])]).is_err());
+        assert!(OpKind::Softmax { axis: 2 }
+            .infer(&[meta(&[4, 16])])
+            .is_err());
     }
 
     #[test]
     fn norm_ops_validate_params() {
         let inorm = OpKind::InstanceNorm { eps: 1e-5 };
-        assert!(inorm.infer(&[meta(&[1, 8, 4, 4]), meta(&[8]), meta(&[8])]).is_ok());
-        assert!(inorm.infer(&[meta(&[1, 8, 4, 4]), meta(&[4]), meta(&[8])]).is_err());
-        assert!(inorm.infer(&[meta(&[8, 4]), meta(&[4]), meta(&[4])]).is_err());
+        assert!(inorm
+            .infer(&[meta(&[1, 8, 4, 4]), meta(&[8]), meta(&[8])])
+            .is_ok());
+        assert!(inorm
+            .infer(&[meta(&[1, 8, 4, 4]), meta(&[4]), meta(&[8])])
+            .is_err());
+        assert!(inorm
+            .infer(&[meta(&[8, 4]), meta(&[4]), meta(&[4])])
+            .is_err());
 
         let lnorm = OpKind::LayerNorm { eps: 1e-5 };
-        assert!(lnorm.infer(&[meta(&[2, 7, 16]), meta(&[16]), meta(&[16])]).is_ok());
-        assert!(lnorm.infer(&[meta(&[2, 7, 16]), meta(&[7]), meta(&[16])]).is_err());
+        assert!(lnorm
+            .infer(&[meta(&[2, 7, 16]), meta(&[16]), meta(&[16])])
+            .is_ok());
+        assert!(lnorm
+            .infer(&[meta(&[2, 7, 16]), meta(&[7]), meta(&[16])])
+            .is_err());
 
         let bnorm = OpKind::BatchNorm { eps: 1e-5 };
         let c4 = meta(&[4]);
         assert!(bnorm
-            .infer(&[meta(&[1, 4, 2, 2]), c4.clone(), c4.clone(), c4.clone(), c4.clone()])
+            .infer(&[
+                meta(&[1, 4, 2, 2]),
+                c4.clone(),
+                c4.clone(),
+                c4.clone(),
+                c4.clone()
+            ])
             .is_ok());
         assert!(bnorm
             .infer(&[meta(&[1, 4, 2, 2]), c4.clone(), c4.clone(), c4.clone()])
@@ -617,20 +739,35 @@ mod tests {
 
     #[test]
     fn conv_with_bias_checks_channels() {
-        let conv = OpKind::Conv2d { stride: 1, padding: 1, groups: 1, bias: true };
+        let conv = OpKind::Conv2d {
+            stride: 1,
+            padding: 1,
+            groups: 1,
+            bias: true,
+        };
         let ok = conv.infer(&[meta(&[1, 3, 8, 8]), meta(&[16, 3, 3, 3]), meta(&[16])]);
         assert_eq!(ok.unwrap()[0].shape(), &[1, 16, 8, 8]);
         assert!(conv
             .infer(&[meta(&[1, 3, 8, 8]), meta(&[16, 3, 3, 3]), meta(&[8])])
             .is_err());
-        assert!(conv.infer(&[meta(&[1, 3, 8, 8]), meta(&[16, 3, 3, 3])]).is_err());
+        assert!(conv
+            .infer(&[meta(&[1, 3, 8, 8]), meta(&[16, 3, 3, 3])])
+            .is_err());
     }
 
     #[test]
     fn reduce_keep_dim() {
-        let r = OpKind::Reduce { kind: ReduceKind::Mean, axis: 1, keep_dim: true };
+        let r = OpKind::Reduce {
+            kind: ReduceKind::Mean,
+            axis: 1,
+            keep_dim: true,
+        };
         assert_eq!(r.infer(&[meta(&[2, 5, 3])]).unwrap()[0].shape(), &[2, 1, 3]);
-        let r = OpKind::Reduce { kind: ReduceKind::Mean, axis: 1, keep_dim: false };
+        let r = OpKind::Reduce {
+            kind: ReduceKind::Mean,
+            axis: 1,
+            keep_dim: false,
+        };
         assert_eq!(r.infer(&[meta(&[2, 5, 3])]).unwrap()[0].shape(), &[2, 3]);
     }
 
@@ -638,16 +775,31 @@ mod tests {
     fn build_small_op_graph() {
         // x -> conv -> relu -> output; exercises graph plumbing end to end.
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![1, 3, 8, 8] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![1, 3, 8, 8],
+                },
+                vec![],
+            )
+            .unwrap();
         let w = g
             .add(
-                OpKind::Constant { shape: vec![8, 3, 3, 3], init: ConstInit::Random(1) },
+                OpKind::Constant {
+                    shape: vec![8, 3, 3, 3],
+                    init: ConstInit::Random(1),
+                },
                 vec![],
             )
             .unwrap();
         let c = g
             .add(
-                OpKind::Conv2d { stride: 1, padding: 1, groups: 1, bias: false },
+                OpKind::Conv2d {
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    bias: false,
+                },
                 vec![x.into(), w.into()],
             )
             .unwrap();
@@ -662,7 +814,13 @@ mod tests {
         let mut g = OpGraph::new();
         let x = g.add(OpKind::Input { shape: vec![2, 6] }, vec![]).unwrap();
         let s = g
-            .add(OpKind::Split { axis: 1, sizes: vec![2, 4] }, vec![x.into()])
+            .add(
+                OpKind::Split {
+                    axis: 1,
+                    sizes: vec![2, 4],
+                },
+                vec![x.into()],
+            )
             .unwrap();
         g.mark_output(PortRef { node: s, port: 0 }).unwrap();
         g.mark_output(PortRef { node: s, port: 1 }).unwrap();
@@ -671,7 +829,10 @@ mod tests {
 
     #[test]
     fn custom_op_is_opaque() {
-        let k = OpKind::Custom { name: "topk".into(), out_shapes: vec![vec![10]] };
+        let k = OpKind::Custom {
+            name: "topk".into(),
+            out_shapes: vec![vec![10]],
+        };
         assert_eq!(k.infer(&[meta(&[100])]).unwrap()[0].shape(), &[10]);
         assert!(!k.is_source());
     }

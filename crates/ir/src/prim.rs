@@ -191,7 +191,11 @@ impl LayoutFn {
                 axis.hash(&mut &mut *h);
                 sizes.hash(&mut &mut *h);
             }
-            LayoutFn::Pad { before, after, value } => {
+            LayoutFn::Pad {
+                before,
+                after,
+                value,
+            } => {
                 5u8.hash(&mut &mut *h);
                 before.hash(&mut &mut *h);
                 after.hash(&mut &mut *h);
@@ -243,7 +247,11 @@ impl LinearFn {
                 spec.trans_a.hash(&mut &mut *h);
                 spec.trans_b.hash(&mut &mut *h);
             }
-            LinearFn::Conv2d { stride, padding, groups } => {
+            LinearFn::Conv2d {
+                stride,
+                padding,
+                groups,
+            } => {
                 1u8.hash(&mut &mut *h);
                 stride.hash(&mut &mut *h);
                 padding.hash(&mut &mut *h);
@@ -330,9 +338,9 @@ impl PrimKind {
         match self {
             PrimKind::Input { .. } | PrimKind::Constant { .. } => PrimCategory::Source,
             PrimKind::Elementwise(_) => PrimCategory::Elementwise,
-            PrimKind::Reduce { .. } | PrimKind::Broadcast { .. } | PrimKind::WindowReduce { .. } => {
-                PrimCategory::ReduceBroadcast
-            }
+            PrimKind::Reduce { .. }
+            | PrimKind::Broadcast { .. }
+            | PrimKind::WindowReduce { .. } => PrimCategory::ReduceBroadcast,
             PrimKind::Layout(_) => PrimCategory::Layout,
             PrimKind::Linear(_) => PrimCategory::Linear,
             PrimKind::Opaque { .. } => PrimCategory::Opaque,
@@ -357,7 +365,10 @@ impl NodeKind for PrimKind {
             expected: expected.into(),
             actual: inputs.len(),
         };
-        let shape_err = |detail: String| IrError::Shape { kind: self.label(), detail };
+        let shape_err = |detail: String| IrError::Shape {
+            kind: self.label(),
+            detail,
+        };
         match self {
             PrimKind::Input { shape } | PrimKind::Constant { shape, .. } => {
                 if !inputs.is_empty() {
@@ -379,18 +390,28 @@ impl NodeKind for PrimKind {
                 Ok(vec![inputs[0].clone()])
             }
             PrimKind::Reduce { axis, .. } => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 if *axis >= x.rank() {
-                    return Err(shape_err(format!("axis {axis} out of range for {:?}", x.shape())));
+                    return Err(shape_err(format!(
+                        "axis {axis} out of range for {:?}",
+                        x.shape()
+                    )));
                 }
                 let mut shape = x.shape().to_vec();
                 shape.remove(*axis);
                 Ok(vec![TensorMeta::new(shape)])
             }
             PrimKind::Broadcast { axis, size } => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 if *axis > x.rank() {
-                    return Err(shape_err(format!("axis {axis} out of range for {:?}", x.shape())));
+                    return Err(shape_err(format!(
+                        "axis {axis} out of range for {:?}",
+                        x.shape()
+                    )));
                 }
                 let mut shape = x.shape().to_vec();
                 shape.insert(*axis, *size);
@@ -399,7 +420,9 @@ impl NodeKind for PrimKind {
             PrimKind::Layout(l) => infer_layout(l, inputs, &self.label()),
             PrimKind::Linear(l) => infer_linear(l, inputs, &self.label()),
             PrimKind::WindowReduce { spec, .. } => {
-                let [x] = inputs else { return Err(arity_err("1")) };
+                let [x] = inputs else {
+                    return Err(arity_err("1"));
+                };
                 if x.rank() != 4 {
                     return Err(shape_err("window reduce expects NCHW".into()));
                 }
@@ -483,17 +506,25 @@ impl NodeKind for PrimKind {
     }
 }
 
-fn infer_layout(l: &LayoutFn, inputs: &[TensorMeta], kind: &str) -> Result<Vec<TensorMeta>, IrError> {
+fn infer_layout(
+    l: &LayoutFn,
+    inputs: &[TensorMeta],
+    kind: &str,
+) -> Result<Vec<TensorMeta>, IrError> {
     let arity_err = |expected: &str| IrError::Arity {
         kind: kind.to_string(),
         expected: expected.into(),
         actual: inputs.len(),
     };
-    let shape_err =
-        |detail: String| IrError::Shape { kind: kind.to_string(), detail };
+    let shape_err = |detail: String| IrError::Shape {
+        kind: kind.to_string(),
+        detail,
+    };
     match l {
         LayoutFn::Transpose { perm } => {
-            let [x] = inputs else { return Err(arity_err("1")) };
+            let [x] = inputs else {
+                return Err(arity_err("1"));
+            };
             if perm.len() != x.rank() {
                 return Err(shape_err(format!("perm {perm:?} vs rank {}", x.rank())));
             }
@@ -504,10 +535,14 @@ fn infer_layout(l: &LayoutFn, inputs: &[TensorMeta], kind: &str) -> Result<Vec<T
                 }
                 seen[p] = true;
             }
-            Ok(vec![TensorMeta::new(perm.iter().map(|&p| x.shape()[p]).collect())])
+            Ok(vec![TensorMeta::new(
+                perm.iter().map(|&p| x.shape()[p]).collect(),
+            )])
         }
         LayoutFn::Reshape { shape } => {
-            let [x] = inputs else { return Err(arity_err("1")) };
+            let [x] = inputs else {
+                return Err(arity_err("1"));
+            };
             if shape.iter().product::<usize>() != x.numel() {
                 return Err(shape_err(format!(
                     "cannot reshape {:?} ({} elems) to {shape:?}",
@@ -518,7 +553,9 @@ fn infer_layout(l: &LayoutFn, inputs: &[TensorMeta], kind: &str) -> Result<Vec<T
             Ok(vec![TensorMeta::new(shape.clone())])
         }
         LayoutFn::Slice { starts, ends } => {
-            let [x] = inputs else { return Err(arity_err("1")) };
+            let [x] = inputs else {
+                return Err(arity_err("1"));
+            };
             if starts.len() != x.rank() || ends.len() != x.rank() {
                 return Err(shape_err("slice bounds rank mismatch".into()));
             }
@@ -562,7 +599,9 @@ fn infer_layout(l: &LayoutFn, inputs: &[TensorMeta], kind: &str) -> Result<Vec<T
             Ok(vec![TensorMeta::new(shape)])
         }
         LayoutFn::Split { axis, sizes } => {
-            let [x] = inputs else { return Err(arity_err("1")) };
+            let [x] = inputs else {
+                return Err(arity_err("1"));
+            };
             if *axis >= x.rank() {
                 return Err(shape_err(format!("axis {axis} out of range")));
             }
@@ -582,40 +621,63 @@ fn infer_layout(l: &LayoutFn, inputs: &[TensorMeta], kind: &str) -> Result<Vec<T
                 .collect())
         }
         LayoutFn::Pad { before, after, .. } => {
-            let [x] = inputs else { return Err(arity_err("1")) };
+            let [x] = inputs else {
+                return Err(arity_err("1"));
+            };
             if before.len() != x.rank() || after.len() != x.rank() {
                 return Err(shape_err("pad spec rank mismatch".into()));
             }
             Ok(vec![TensorMeta::new(
-                (0..x.rank()).map(|d| before[d] + x.shape()[d] + after[d]).collect(),
+                (0..x.rank())
+                    .map(|d| before[d] + x.shape()[d] + after[d])
+                    .collect(),
             )])
         }
         LayoutFn::Resize { out_h, out_w, .. } => {
-            let [x] = inputs else { return Err(arity_err("1")) };
+            let [x] = inputs else {
+                return Err(arity_err("1"));
+            };
             if x.rank() != 4 {
                 return Err(shape_err("resize expects NCHW".into()));
             }
             if *out_h == 0 || *out_w == 0 {
                 return Err(shape_err("resize target must be positive".into()));
             }
-            Ok(vec![TensorMeta::new(vec![x.shape()[0], x.shape()[1], *out_h, *out_w])])
+            Ok(vec![TensorMeta::new(vec![
+                x.shape()[0],
+                x.shape()[1],
+                *out_h,
+                *out_w,
+            ])])
         }
     }
 }
 
-fn infer_linear(l: &LinearFn, inputs: &[TensorMeta], kind: &str) -> Result<Vec<TensorMeta>, IrError> {
+fn infer_linear(
+    l: &LinearFn,
+    inputs: &[TensorMeta],
+    kind: &str,
+) -> Result<Vec<TensorMeta>, IrError> {
     let arity_err = |expected: &str| IrError::Arity {
         kind: kind.to_string(),
         expected: expected.into(),
         actual: inputs.len(),
     };
-    let shape_err =
-        |detail: String| IrError::Shape { kind: kind.to_string(), detail };
+    let shape_err = |detail: String| IrError::Shape {
+        kind: kind.to_string(),
+        detail,
+    };
     match l {
         LinearFn::MatMul { spec } => {
-            let [a, b] = inputs else { return Err(arity_err("2")) };
+            let [a, b] = inputs else {
+                return Err(arity_err("2"));
+            };
             if a.rank() != b.rank() || a.rank() < 2 {
-                return Err(shape_err(format!("ranks {:?} vs {:?}", a.shape(), b.shape())));
+                return Err(shape_err(format!(
+                    "ranks {:?} vs {:?}",
+                    a.shape(),
+                    b.shape()
+                )));
             }
             let ra = a.rank();
             if a.shape()[..ra - 2] != b.shape()[..ra - 2] {
@@ -637,10 +699,18 @@ fn infer_linear(l: &LinearFn, inputs: &[TensorMeta], kind: &str) -> Result<Vec<T
             shape.push(n);
             Ok(vec![TensorMeta::new(shape)])
         }
-        LinearFn::Conv2d { stride, padding, groups } => {
-            let [x, w] = inputs else { return Err(arity_err("2")) };
+        LinearFn::Conv2d {
+            stride,
+            padding,
+            groups,
+        } => {
+            let [x, w] = inputs else {
+                return Err(arity_err("2"));
+            };
             if x.rank() != 4 || w.rank() != 4 {
-                return Err(shape_err("conv2d expects NCHW input and OIHW weight".into()));
+                return Err(shape_err(
+                    "conv2d expects NCHW input and OIHW weight".into(),
+                ));
             }
             let (c, h, wdim) = (x.shape()[1], x.shape()[2], x.shape()[3]);
             let (o, cg, kh, kw) = (w.shape()[0], w.shape()[1], w.shape()[2], w.shape()[3]);
@@ -727,7 +797,10 @@ mod tests {
 
     #[test]
     fn reduce_broadcast_shapes_are_inverse() {
-        let r = PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 };
+        let r = PrimKind::Reduce {
+            kind: ReduceKind::Sum,
+            axis: 1,
+        };
         let out = r.infer(&[meta(&[2, 5, 3])]).unwrap();
         assert_eq!(out[0].shape(), &[2, 3]);
         let b = PrimKind::Broadcast { axis: 1, size: 5 };
@@ -737,14 +810,20 @@ mod tests {
 
     #[test]
     fn reduce_axis_bounds() {
-        let r = PrimKind::Reduce { kind: ReduceKind::Sum, axis: 3 };
+        let r = PrimKind::Reduce {
+            kind: ReduceKind::Sum,
+            axis: 3,
+        };
         assert!(r.infer(&[meta(&[2, 2])]).is_err());
     }
 
     #[test]
     fn matmul_inference_with_flags() {
         let k = PrimKind::Linear(LinearFn::MatMul {
-            spec: MatMulSpec { trans_a: true, trans_b: false },
+            spec: MatMulSpec {
+                trans_a: true,
+                trans_b: false,
+            },
         });
         let out = k.infer(&[meta(&[8, 4]), meta(&[8, 16])]).unwrap();
         assert_eq!(out[0].shape(), &[4, 16]);
@@ -753,7 +832,9 @@ mod tests {
 
     #[test]
     fn batched_matmul_inference() {
-        let k = PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() });
+        let k = PrimKind::Linear(LinearFn::MatMul {
+            spec: MatMulSpec::new(),
+        });
         let out = k.infer(&[meta(&[2, 3, 4]), meta(&[2, 4, 5])]).unwrap();
         assert_eq!(out[0].shape(), &[2, 3, 5]);
         assert!(k.infer(&[meta(&[2, 3, 4]), meta(&[3, 4, 5])]).is_err());
@@ -761,22 +842,40 @@ mod tests {
 
     #[test]
     fn conv2d_inference() {
-        let k = PrimKind::Linear(LinearFn::Conv2d { stride: 2, padding: 1, groups: 1 });
-        let out = k.infer(&[meta(&[1, 3, 8, 8]), meta(&[16, 3, 3, 3])]).unwrap();
+        let k = PrimKind::Linear(LinearFn::Conv2d {
+            stride: 2,
+            padding: 1,
+            groups: 1,
+        });
+        let out = k
+            .infer(&[meta(&[1, 3, 8, 8]), meta(&[16, 3, 3, 3])])
+            .unwrap();
         assert_eq!(out[0].shape(), &[1, 16, 4, 4]);
         // group mismatch
-        let k = PrimKind::Linear(LinearFn::Conv2d { stride: 1, padding: 0, groups: 2 });
-        assert!(k.infer(&[meta(&[1, 3, 8, 8]), meta(&[4, 1, 1, 1])]).is_err());
+        let k = PrimKind::Linear(LinearFn::Conv2d {
+            stride: 1,
+            padding: 0,
+            groups: 2,
+        });
+        assert!(k
+            .infer(&[meta(&[1, 3, 8, 8]), meta(&[4, 1, 1, 1])])
+            .is_err());
     }
 
     #[test]
     fn split_is_multi_output() {
-        let k = PrimKind::Layout(LayoutFn::Split { axis: 1, sizes: vec![2, 3, 1] });
+        let k = PrimKind::Layout(LayoutFn::Split {
+            axis: 1,
+            sizes: vec![2, 3, 1],
+        });
         let out = k.infer(&[meta(&[4, 6])]).unwrap();
         assert_eq!(out.len(), 3);
         assert_eq!(out[0].shape(), &[4, 2]);
         assert_eq!(out[2].shape(), &[4, 1]);
-        let bad = PrimKind::Layout(LayoutFn::Split { axis: 1, sizes: vec![2, 2] });
+        let bad = PrimKind::Layout(LayoutFn::Split {
+            axis: 1,
+            sizes: vec![2, 2],
+        });
         assert!(bad.infer(&[meta(&[4, 6])]).is_err());
     }
 
@@ -797,21 +896,38 @@ mod tests {
             value: 0.0,
         });
         assert_eq!(p.infer(&[meta(&[2, 3])]).unwrap()[0].shape(), &[2, 6]);
-        let s = PrimKind::Layout(LayoutFn::Slice { starts: vec![0, 1], ends: vec![2, 3] });
+        let s = PrimKind::Layout(LayoutFn::Slice {
+            starts: vec![0, 1],
+            ends: vec![2, 3],
+        });
         assert_eq!(s.infer(&[meta(&[2, 3])]).unwrap()[0].shape(), &[2, 2]);
-        assert!(
-            PrimKind::Layout(LayoutFn::Slice { starts: vec![0, 1], ends: vec![2, 9] })
-                .infer(&[meta(&[2, 3])])
-                .is_err()
-        );
+        assert!(PrimKind::Layout(LayoutFn::Slice {
+            starts: vec![0, 1],
+            ends: vec![2, 9]
+        })
+        .infer(&[meta(&[2, 3])])
+        .is_err());
     }
 
     #[test]
     fn resize_and_pool_shapes() {
-        let r = PrimKind::Layout(LayoutFn::Resize { out_h: 16, out_w: 8, mode: ResizeMode::Nearest });
-        assert_eq!(r.infer(&[meta(&[1, 4, 8, 4])]).unwrap()[0].shape(), &[1, 4, 16, 8]);
-        let p = PrimKind::WindowReduce { spec: PoolSpec::new(2, 2), kind: ReduceKind::Max };
-        assert_eq!(p.infer(&[meta(&[1, 4, 8, 8])]).unwrap()[0].shape(), &[1, 4, 4, 4]);
+        let r = PrimKind::Layout(LayoutFn::Resize {
+            out_h: 16,
+            out_w: 8,
+            mode: ResizeMode::Nearest,
+        });
+        assert_eq!(
+            r.infer(&[meta(&[1, 4, 8, 4])]).unwrap()[0].shape(),
+            &[1, 4, 16, 8]
+        );
+        let p = PrimKind::WindowReduce {
+            spec: PoolSpec::new(2, 2),
+            kind: ReduceKind::Max,
+        };
+        assert_eq!(
+            p.infer(&[meta(&[1, 4, 8, 8])]).unwrap()[0].shape(),
+            &[1, 4, 4, 4]
+        );
     }
 
     #[test]
@@ -821,20 +937,30 @@ mod tests {
             PrimCategory::Elementwise
         );
         assert_eq!(
-            PrimKind::Reduce { kind: ReduceKind::Sum, axis: 0 }.category(),
+            PrimKind::Reduce {
+                kind: ReduceKind::Sum,
+                axis: 0
+            }
+            .category(),
             PrimCategory::ReduceBroadcast
         );
         assert_eq!(
             PrimKind::Layout(LayoutFn::Concat { axis: 0 }).category(),
             PrimCategory::Layout
         );
-        assert!(PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }).is_linear());
+        assert!(PrimKind::Linear(LinearFn::MatMul {
+            spec: MatMulSpec::new()
+        })
+        .is_linear());
         assert!(PrimKind::Input { shape: vec![1] }.is_source());
     }
 
     #[test]
     fn opaque_reports_declared_shapes() {
-        let k = PrimKind::Opaque { name: "topk".into(), out_shapes: vec![vec![5], vec![5]] };
+        let k = PrimKind::Opaque {
+            name: "topk".into(),
+            out_shapes: vec![vec![5], vec![5]],
+        };
         let out = k.infer(&[meta(&[100])]).unwrap();
         assert_eq!(out.len(), 2);
         assert_eq!(k.category(), PrimCategory::Opaque);
@@ -843,12 +969,23 @@ mod tests {
     #[test]
     fn stats_count_by_category() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![2, 4] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![2, 4] }, vec![])
+            .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
             .unwrap();
         let r = g
-            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )
             .unwrap();
         g.mark_output(r).unwrap();
         let s = PrimStats::of(&g);

@@ -230,7 +230,10 @@ struct Cursor<'a> {
 
 impl<'a> Cursor<'a> {
     fn err(&self, msg: impl Into<String>) -> TextError {
-        TextError::Parse { line: self.line, msg: msg.into() }
+        TextError::Parse {
+            line: self.line,
+            msg: msg.into(),
+        }
     }
 
     fn peek(&self) -> Option<&'a Token> {
@@ -340,11 +343,18 @@ fn parse_port(cur: &mut Cursor<'_>) -> Result<PortRef, TextError> {
             other => return Err(cur.err(format!("expected port, found {other:?}"))),
         };
     }
-    Ok(PortRef { node: crate::graph::NodeId(id), port })
+    Ok(PortRef {
+        node: crate::graph::NodeId(id),
+        port,
+    })
 }
 
 fn parse_line(tokens: &[Token], line_no: usize) -> Result<Line, TextError> {
-    let mut cur = Cursor { tokens, pos: 0, line: line_no };
+    let mut cur = Cursor {
+        tokens,
+        pos: 0,
+        line: line_no,
+    };
     if let Some(Token::Ident(s)) = cur.peek() {
         if s == "output" {
             cur.next();
@@ -390,7 +400,12 @@ fn parse_line(tokens: &[Token], line_no: usize) -> Result<Line, TextError> {
             other => return Err(cur.err(format!("unexpected token {other:?}"))),
         }
     }
-    Ok(Line::Node(NodeLine { id: port.node.0, kind_name, attrs, inputs }))
+    Ok(Line::Node(NodeLine {
+        id: port.node.0,
+        kind_name,
+        attrs,
+        inputs,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -452,8 +467,12 @@ fn binary_from_name(name: &str) -> Option<BinaryOp> {
 }
 
 fn reduce_from_name(name: &str) -> Option<ReduceKind> {
-    const ALL: [ReduceKind; 4] =
-        [ReduceKind::Sum, ReduceKind::Mean, ReduceKind::Max, ReduceKind::Min];
+    const ALL: [ReduceKind; 4] = [
+        ReduceKind::Sum,
+        ReduceKind::Mean,
+        ReduceKind::Max,
+        ReduceKind::Min,
+    ];
     ALL.into_iter().find(|r| r.name() == name)
 }
 
@@ -562,26 +581,46 @@ fn op_kind_attrs(kind: &OpKind) -> (String, String) {
         }
         OpKind::RmsNorm { eps } => ("RmsNorm".into(), format!("eps={eps}")),
         OpKind::LogSoftmax { axis } => ("LogSoftmax".into(), format!("axis={axis}")),
-        OpKind::Reduce { kind, axis, keep_dim } => (
+        OpKind::Reduce {
+            kind,
+            axis,
+            keep_dim,
+        } => (
             "Reduce".into(),
             format!("kind={} axis={axis} keep_dim={keep_dim}", kind.name()),
         ),
         OpKind::MatMul => ("MatMul".into(), String::new()),
-        OpKind::Gemm { alpha, beta, trans_a, trans_b } => (
+        OpKind::Gemm {
+            alpha,
+            beta,
+            trans_a,
+            trans_b,
+        } => (
             "Gemm".into(),
             format!("alpha={alpha} beta={beta} trans_a={trans_a} trans_b={trans_b}"),
         ),
-        OpKind::Conv2d { stride, padding, groups, bias } => (
+        OpKind::Conv2d {
+            stride,
+            padding,
+            groups,
+            bias,
+        } => (
             "Conv2d".into(),
             format!("stride={stride} padding={padding} groups={groups} bias={bias}"),
         ),
         OpKind::MaxPool(s) => (
             "MaxPool".into(),
-            format!("kernel={} stride={} padding={}", s.kernel, s.stride, s.padding),
+            format!(
+                "kernel={} stride={} padding={}",
+                s.kernel, s.stride, s.padding
+            ),
         ),
         OpKind::AvgPool(s) => (
             "AvgPool".into(),
-            format!("kernel={} stride={} padding={}", s.kernel, s.stride, s.padding),
+            format!(
+                "kernel={} stride={} padding={}",
+                s.kernel, s.stride, s.padding
+            ),
         ),
         OpKind::GlobalAvgPool => ("GlobalAvgPool".into(), String::new()),
         OpKind::Resize { out_h, out_w, mode } => (
@@ -595,10 +634,15 @@ fn op_kind_attrs(kind: &OpKind) -> (String, String) {
             format!("starts={} ends={}", fmt_usizes(starts), fmt_usizes(ends)),
         ),
         OpKind::Concat { axis } => ("Concat".into(), format!("axis={axis}")),
-        OpKind::Split { axis, sizes } => {
-            ("Split".into(), format!("axis={axis} sizes={}", fmt_usizes(sizes)))
-        }
-        OpKind::Pad { before, after, value } => (
+        OpKind::Split { axis, sizes } => (
+            "Split".into(),
+            format!("axis={axis} sizes={}", fmt_usizes(sizes)),
+        ),
+        OpKind::Pad {
+            before,
+            after,
+            value,
+        } => (
             "Pad".into(),
             format!(
                 "before={} after={} value={value}",
@@ -617,7 +661,11 @@ fn op_kind_attrs(kind: &OpKind) -> (String, String) {
 }
 
 fn op_kind_from(line: &NodeLine, line_no: usize) -> Result<OpKind, TextError> {
-    let a = Attrs { line: line_no, kind: &line.kind_name, attrs: &line.attrs };
+    let a = Attrs {
+        line: line_no,
+        kind: &line.kind_name,
+        attrs: &line.attrs,
+    };
     let pool = || -> Result<PoolSpec, TextError> {
         Ok(PoolSpec {
             kernel: a.usize("kernel")?,
@@ -626,22 +674,27 @@ fn op_kind_from(line: &NodeLine, line_no: usize) -> Result<OpKind, TextError> {
         })
     };
     Ok(match line.kind_name.as_str() {
-        "Input" => OpKind::Input { shape: a.usizes("shape")? },
+        "Input" => OpKind::Input {
+            shape: a.usizes("shape")?,
+        },
         "Constant" => OpKind::Constant {
             shape: a.usizes("shape")?,
             init: init_from_value(a.get("init")?).ok_or_else(|| a.bad("init"))?,
         },
-        "Unary" => OpKind::Unary(
-            unary_from_name(a.ident("op")?).ok_or_else(|| a.bad("op"))?,
-        ),
+        "Unary" => OpKind::Unary(unary_from_name(a.ident("op")?).ok_or_else(|| a.bad("op"))?),
         "Silu" => OpKind::Silu,
         "Mish" => OpKind::Mish,
         "Gelu" => OpKind::Gelu,
         "GeluTanh" => OpKind::GeluTanh,
-        "Elu" => OpKind::Elu { alpha: a.f32("alpha")? },
+        "Elu" => OpKind::Elu {
+            alpha: a.f32("alpha")?,
+        },
         "PRelu" => OpKind::PRelu,
         "Softplus" => OpKind::Softplus,
-        "Clip" => OpKind::Clip { min: a.f32("min")?, max: a.f32("max")? },
+        "Clip" => OpKind::Clip {
+            min: a.f32("min")?,
+            max: a.f32("max")?,
+        },
         "HardSigmoid" => OpKind::HardSigmoid,
         "HardSwish" => OpKind::HardSwish,
         "Add" => OpKind::Add,
@@ -650,13 +703,20 @@ fn op_kind_from(line: &NodeLine, line_no: usize) -> Result<OpKind, TextError> {
         "Div" => OpKind::Div,
         "AddScalar" => OpKind::AddScalar(a.f32("c")?),
         "MulScalar" => OpKind::MulScalar(a.f32("c")?),
-        "Softmax" => OpKind::Softmax { axis: a.usize("axis")? },
+        "Softmax" => OpKind::Softmax {
+            axis: a.usize("axis")?,
+        },
         "InstanceNorm" => OpKind::InstanceNorm { eps: a.f32("eps")? },
         "LayerNorm" => OpKind::LayerNorm { eps: a.f32("eps")? },
         "BatchNorm" => OpKind::BatchNorm { eps: a.f32("eps")? },
-        "GroupNorm" => OpKind::GroupNorm { groups: a.usize("groups")?, eps: a.f32("eps")? },
+        "GroupNorm" => OpKind::GroupNorm {
+            groups: a.usize("groups")?,
+            eps: a.f32("eps")?,
+        },
         "RmsNorm" => OpKind::RmsNorm { eps: a.f32("eps")? },
-        "LogSoftmax" => OpKind::LogSoftmax { axis: a.usize("axis")? },
+        "LogSoftmax" => OpKind::LogSoftmax {
+            axis: a.usize("axis")?,
+        },
         "Gemm" => OpKind::Gemm {
             alpha: a.f32("alpha")?,
             beta: a.f32("beta")?,
@@ -683,18 +743,34 @@ fn op_kind_from(line: &NodeLine, line_no: usize) -> Result<OpKind, TextError> {
             out_w: a.usize("out_w")?,
             mode: resize_from_name(a.ident("mode")?).ok_or_else(|| a.bad("mode"))?,
         },
-        "Transpose" => OpKind::Transpose { perm: a.usizes("perm")? },
-        "Reshape" => OpKind::Reshape { shape: a.usizes("shape")? },
-        "Slice" => OpKind::Slice { starts: a.usizes("starts")?, ends: a.usizes("ends")? },
-        "Concat" => OpKind::Concat { axis: a.usize("axis")? },
-        "Split" => OpKind::Split { axis: a.usize("axis")?, sizes: a.usizes("sizes")? },
+        "Transpose" => OpKind::Transpose {
+            perm: a.usizes("perm")?,
+        },
+        "Reshape" => OpKind::Reshape {
+            shape: a.usizes("shape")?,
+        },
+        "Slice" => OpKind::Slice {
+            starts: a.usizes("starts")?,
+            ends: a.usizes("ends")?,
+        },
+        "Concat" => OpKind::Concat {
+            axis: a.usize("axis")?,
+        },
+        "Split" => OpKind::Split {
+            axis: a.usize("axis")?,
+            sizes: a.usizes("sizes")?,
+        },
         "Pad" => OpKind::Pad {
             before: a.usizes("before")?,
             after: a.usizes("after")?,
             value: a.f32("value")?,
         },
-        "Squeeze" => OpKind::Squeeze { axis: a.usize("axis")? },
-        "Unsqueeze" => OpKind::Unsqueeze { axis: a.usize("axis")? },
+        "Squeeze" => OpKind::Squeeze {
+            axis: a.usize("axis")?,
+        },
+        "Unsqueeze" => OpKind::Unsqueeze {
+            axis: a.usize("axis")?,
+        },
         "Identity" => OpKind::Identity,
         "Custom" => OpKind::Custom {
             name: a.string("name")?,
@@ -723,16 +799,20 @@ fn ew_to_value(f: &EwFn) -> String {
 }
 
 fn ew_from_value(v: &Value) -> Option<EwFn> {
-    let Value::Call(name, args) = v else { return None };
+    let Value::Call(name, args) = v else {
+        return None;
+    };
     match (name.as_str(), args.as_slice()) {
         ("unary", [u]) => Some(EwFn::Unary(unary_from_name(u.as_ident()?)?)),
         ("binary", [b]) => Some(EwFn::Binary(binary_from_name(b.as_ident()?)?)),
-        ("binary_scalar", [b, c]) => {
-            Some(EwFn::BinaryScalar(binary_from_name(b.as_ident()?)?, c.as_f32()?))
-        }
-        ("binary_scalar_lhs", [b, c]) => {
-            Some(EwFn::BinaryScalarLhs(binary_from_name(b.as_ident()?)?, c.as_f32()?))
-        }
+        ("binary_scalar", [b, c]) => Some(EwFn::BinaryScalar(
+            binary_from_name(b.as_ident()?)?,
+            c.as_f32()?,
+        )),
+        ("binary_scalar_lhs", [b, c]) => Some(EwFn::BinaryScalarLhs(
+            binary_from_name(b.as_ident()?)?,
+            c.as_f32()?,
+        )),
         _ => None,
     }
 }
@@ -762,12 +842,14 @@ fn prim_kind_attrs(kind: &PrimKind) -> (String, String) {
             ),
         ),
         PrimKind::Layout(l) => match l {
-            LayoutFn::Transpose { perm } => {
-                ("LayoutTranspose".into(), format!("perm={}", fmt_usizes(perm)))
-            }
-            LayoutFn::Reshape { shape } => {
-                ("LayoutReshape".into(), format!("shape={}", fmt_usizes(shape)))
-            }
+            LayoutFn::Transpose { perm } => (
+                "LayoutTranspose".into(),
+                format!("perm={}", fmt_usizes(perm)),
+            ),
+            LayoutFn::Reshape { shape } => (
+                "LayoutReshape".into(),
+                format!("shape={}", fmt_usizes(shape)),
+            ),
             LayoutFn::Slice { starts, ends } => (
                 "LayoutSlice".into(),
                 format!("starts={} ends={}", fmt_usizes(starts), fmt_usizes(ends)),
@@ -777,7 +859,11 @@ fn prim_kind_attrs(kind: &PrimKind) -> (String, String) {
                 "LayoutSplit".into(),
                 format!("axis={axis} sizes={}", fmt_usizes(sizes)),
             ),
-            LayoutFn::Pad { before, after, value } => (
+            LayoutFn::Pad {
+                before,
+                after,
+                value,
+            } => (
                 "LayoutPad".into(),
                 format!(
                     "before={} after={} value={value}",
@@ -795,7 +881,11 @@ fn prim_kind_attrs(kind: &PrimKind) -> (String, String) {
                 "MatMul".into(),
                 format!("trans_a={} trans_b={}", spec.trans_a, spec.trans_b),
             ),
-            LinearFn::Conv2d { stride, padding, groups } => (
+            LinearFn::Conv2d {
+                stride,
+                padding,
+                groups,
+            } => (
                 "Conv2d".into(),
                 format!("stride={stride} padding={padding} groups={groups}"),
             ),
@@ -808,9 +898,15 @@ fn prim_kind_attrs(kind: &PrimKind) -> (String, String) {
 }
 
 fn prim_kind_from(line: &NodeLine, line_no: usize) -> Result<PrimKind, TextError> {
-    let a = Attrs { line: line_no, kind: &line.kind_name, attrs: &line.attrs };
+    let a = Attrs {
+        line: line_no,
+        kind: &line.kind_name,
+        attrs: &line.attrs,
+    };
     Ok(match line.kind_name.as_str() {
-        "Input" => PrimKind::Input { shape: a.usizes("shape")? },
+        "Input" => PrimKind::Input {
+            shape: a.usizes("shape")?,
+        },
         "Constant" => PrimKind::Constant {
             shape: a.usizes("shape")?,
             init: init_from_value(a.get("init")?).ok_or_else(|| a.bad("init"))?,
@@ -818,8 +914,14 @@ fn prim_kind_from(line: &NodeLine, line_no: usize) -> Result<PrimKind, TextError
         "Elementwise" => {
             PrimKind::Elementwise(ew_from_value(a.get("fn")?).ok_or_else(|| a.bad("fn"))?)
         }
-        "Reduce" => PrimKind::Reduce { kind: a.reduce("kind")?, axis: a.usize("axis")? },
-        "Broadcast" => PrimKind::Broadcast { axis: a.usize("axis")?, size: a.usize("size")? },
+        "Reduce" => PrimKind::Reduce {
+            kind: a.reduce("kind")?,
+            axis: a.usize("axis")?,
+        },
+        "Broadcast" => PrimKind::Broadcast {
+            axis: a.usize("axis")?,
+            size: a.usize("size")?,
+        },
         "WindowReduce" => PrimKind::WindowReduce {
             spec: PoolSpec {
                 kernel: a.usize("kernel")?,
@@ -828,13 +930,19 @@ fn prim_kind_from(line: &NodeLine, line_no: usize) -> Result<PrimKind, TextError
             },
             kind: a.reduce("kind")?,
         },
-        "LayoutTranspose" => PrimKind::Layout(LayoutFn::Transpose { perm: a.usizes("perm")? }),
-        "LayoutReshape" => PrimKind::Layout(LayoutFn::Reshape { shape: a.usizes("shape")? }),
+        "LayoutTranspose" => PrimKind::Layout(LayoutFn::Transpose {
+            perm: a.usizes("perm")?,
+        }),
+        "LayoutReshape" => PrimKind::Layout(LayoutFn::Reshape {
+            shape: a.usizes("shape")?,
+        }),
         "LayoutSlice" => PrimKind::Layout(LayoutFn::Slice {
             starts: a.usizes("starts")?,
             ends: a.usizes("ends")?,
         }),
-        "LayoutConcat" => PrimKind::Layout(LayoutFn::Concat { axis: a.usize("axis")? }),
+        "LayoutConcat" => PrimKind::Layout(LayoutFn::Concat {
+            axis: a.usize("axis")?,
+        }),
         "LayoutSplit" => PrimKind::Layout(LayoutFn::Split {
             axis: a.usize("axis")?,
             sizes: a.usizes("sizes")?,
@@ -850,7 +958,10 @@ fn prim_kind_from(line: &NodeLine, line_no: usize) -> Result<PrimKind, TextError
             mode: resize_from_name(a.ident("mode")?).ok_or_else(|| a.bad("mode"))?,
         }),
         "MatMul" => PrimKind::Linear(LinearFn::MatMul {
-            spec: MatMulSpec { trans_a: a.bool("trans_a")?, trans_b: a.bool("trans_b")? },
+            spec: MatMulSpec {
+                trans_a: a.bool("trans_a")?,
+                trans_b: a.bool("trans_b")?,
+            },
         }),
         "Conv2d" => PrimKind::Linear(LinearFn::Conv2d {
             stride: a.usize("stride")?,
@@ -922,7 +1033,10 @@ fn read_graph<K: NodeKind>(
     // Header.
     let header = loop {
         let Some((i, line)) = lines.next() else {
-            return Err(TextError::Parse { line: 1, msg: "empty document".into() });
+            return Err(TextError::Parse {
+                line: 1,
+                msg: "empty document".into(),
+            });
         };
         let trimmed = line.trim();
         if !trimmed.is_empty() && !trimmed.starts_with('#') {
@@ -1003,16 +1117,23 @@ mod tests {
     fn roundtrip_op(g: &OpGraph) {
         let text = op_to_text(g);
         let back = op_from_text(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
-        assert_eq!(back.fingerprint(), g.fingerprint(), "fingerprint drift:\n{text}");
+        assert_eq!(
+            back.fingerprint(),
+            g.fingerprint(),
+            "fingerprint drift:\n{text}"
+        );
         assert_eq!(back.outputs(), g.outputs());
         assert_eq!(op_to_text(&back), text, "second print differs");
     }
 
     fn roundtrip_prim(g: &PrimGraph) {
         let text = prim_to_text(g);
-        let back =
-            prim_from_text(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
-        assert_eq!(back.fingerprint(), g.fingerprint(), "fingerprint drift:\n{text}");
+        let back = prim_from_text(&text).unwrap_or_else(|e| panic!("parse failed: {e}\n{text}"));
+        assert_eq!(
+            back.fingerprint(),
+            g.fingerprint(),
+            "fingerprint drift:\n{text}"
+        );
         assert_eq!(back.outputs(), g.outputs());
         assert_eq!(prim_to_text(&back), text, "second print differs");
     }
@@ -1021,30 +1142,63 @@ mod tests {
     fn every_op_kind_round_trips() {
         // One graph exercising each attribute-carrying operator.
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![1, 4, 8, 8] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![1, 4, 8, 8],
+                },
+                vec![],
+            )
+            .unwrap();
         let w = g
             .add(
-                OpKind::Constant { shape: vec![4, 4, 3, 3], init: ConstInit::Random(7) },
+                OpKind::Constant {
+                    shape: vec![4, 4, 3, 3],
+                    init: ConstInit::Random(7),
+                },
                 vec![],
             )
             .unwrap();
         let c = g
             .add(
-                OpKind::Conv2d { stride: 1, padding: 1, groups: 1, bias: false },
+                OpKind::Conv2d {
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                    bias: false,
+                },
                 vec![x.into(), w.into()],
             )
             .unwrap();
-        let r = g.add(OpKind::Unary(UnaryOp::LeakyRelu), vec![c.into()]).unwrap();
-        let cl = g.add(OpKind::Clip { min: -1.5, max: 6.0 }, vec![r.into()]).unwrap();
+        let r = g
+            .add(OpKind::Unary(UnaryOp::LeakyRelu), vec![c.into()])
+            .unwrap();
+        let cl = g
+            .add(
+                OpKind::Clip {
+                    min: -1.5,
+                    max: 6.0,
+                },
+                vec![r.into()],
+            )
+            .unwrap();
         let p = g
             .add(
-                OpKind::MaxPool(PoolSpec { kernel: 2, stride: 2, padding: 0 }),
+                OpKind::MaxPool(PoolSpec {
+                    kernel: 2,
+                    stride: 2,
+                    padding: 0,
+                }),
                 vec![cl.into()],
             )
             .unwrap();
         let rs = g
             .add(
-                OpKind::Resize { out_h: 8, out_w: 8, mode: ResizeMode::Bilinear },
+                OpKind::Resize {
+                    out_h: 8,
+                    out_w: 8,
+                    mode: ResizeMode::Bilinear,
+                },
                 vec![p.into()],
             )
             .unwrap();
@@ -1060,20 +1214,37 @@ mod tests {
             .unwrap();
         let sl = g
             .add(
-                OpKind::Slice { starts: vec![0, 0, 0, 0], ends: vec![1, 4, 8, 8] },
+                OpKind::Slice {
+                    starts: vec![0, 0, 0, 0],
+                    ends: vec![1, 4, 8, 8],
+                },
                 vec![pad.into()],
             )
             .unwrap();
         let t = g
-            .add(OpKind::Transpose { perm: vec![0, 2, 3, 1] }, vec![sl.into()])
+            .add(
+                OpKind::Transpose {
+                    perm: vec![0, 2, 3, 1],
+                },
+                vec![sl.into()],
+            )
             .unwrap();
         let re = g
-            .add(OpKind::Reshape { shape: vec![1, 64, 4] }, vec![t.into()])
+            .add(
+                OpKind::Reshape {
+                    shape: vec![1, 64, 4],
+                },
+                vec![t.into()],
+            )
             .unwrap();
         let sm = g.add(OpKind::Softmax { axis: 2 }, vec![re.into()]).unwrap();
         let red = g
             .add(
-                OpKind::Reduce { kind: ReduceKind::Mean, axis: 1, keep_dim: true },
+                OpKind::Reduce {
+                    kind: ReduceKind::Mean,
+                    axis: 1,
+                    keep_dim: true,
+                },
                 vec![sm.into()],
             )
             .unwrap();
@@ -1084,15 +1255,37 @@ mod tests {
     #[test]
     fn scalar_and_norm_ops_round_trip() {
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![2, 3, 4, 4] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![2, 3, 4, 4],
+                },
+                vec![],
+            )
+            .unwrap();
         let s = g
-            .add(OpKind::Constant { shape: vec![3], init: ConstInit::Ones }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![3],
+                    init: ConstInit::Ones,
+                },
+                vec![],
+            )
             .unwrap();
         let b = g
-            .add(OpKind::Constant { shape: vec![3], init: ConstInit::Fill(0.125) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![3],
+                    init: ConstInit::Fill(0.125),
+                },
+                vec![],
+            )
             .unwrap();
         let n = g
-            .add(OpKind::InstanceNorm { eps: 1e-5 }, vec![x.into(), s.into(), b.into()])
+            .add(
+                OpKind::InstanceNorm { eps: 1e-5 },
+                vec![x.into(), s.into(), b.into()],
+            )
             .unwrap();
         let a = g.add(OpKind::AddScalar(-0.5), vec![n.into()]).unwrap();
         let m = g.add(OpKind::MulScalar(3.25), vec![a.into()]).unwrap();
@@ -1106,10 +1299,19 @@ mod tests {
         let mut g = OpGraph::new();
         let x = g.add(OpKind::Input { shape: vec![2, 6] }, vec![]).unwrap();
         let s = g
-            .add(OpKind::Split { axis: 1, sizes: vec![2, 4] }, vec![x.into()])
+            .add(
+                OpKind::Split {
+                    axis: 1,
+                    sizes: vec![2, 4],
+                },
+                vec![x.into()],
+            )
             .unwrap();
         let r0 = g
-            .add(OpKind::Unary(UnaryOp::Relu), vec![PortRef { node: s, port: 0 }])
+            .add(
+                OpKind::Unary(UnaryOp::Relu),
+                vec![PortRef { node: s, port: 0 }],
+            )
             .unwrap();
         g.mark_output(r0).unwrap();
         g.mark_output(PortRef { node: s, port: 1 }).unwrap();
@@ -1125,7 +1327,10 @@ mod tests {
         let x = g.add(OpKind::Input { shape: vec![100] }, vec![]).unwrap();
         let c = g
             .add(
-                OpKind::Custom { name: "topk".into(), out_shapes: vec![vec![10], vec![10]] },
+                OpKind::Custom {
+                    name: "topk".into(),
+                    out_shapes: vec![vec![10], vec![10]],
+                },
                 vec![x.into()],
             )
             .unwrap();
@@ -1137,9 +1342,14 @@ mod tests {
     #[test]
     fn every_prim_kind_round_trips() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![4, 16] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![4, 16] }, vec![])
+            .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
             .unwrap();
         let sc = g
             .add(
@@ -1154,7 +1364,13 @@ mod tests {
             )
             .unwrap();
         let r = g
-            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![lhs.into()])
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![lhs.into()],
+            )
             .unwrap();
         let b = g
             .add(PrimKind::Broadcast { axis: 1, size: 16 }, vec![r.into()])
@@ -1172,10 +1388,19 @@ mod tests {
     #[test]
     fn prim_layout_and_linear_round_trip() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![1, 2, 8, 8] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![1, 2, 8, 8],
+                },
+                vec![],
+            )
+            .unwrap();
         let t = g
             .add(
-                PrimKind::Layout(LayoutFn::Transpose { perm: vec![0, 1, 3, 2] }),
+                PrimKind::Layout(LayoutFn::Transpose {
+                    perm: vec![0, 1, 3, 2],
+                }),
                 vec![x.into()],
             )
             .unwrap();
@@ -1201,38 +1426,60 @@ mod tests {
             .unwrap();
         let w = g
             .add(
-                PrimKind::Constant { shape: vec![4, 2, 3, 3], init: ConstInit::Random(3) },
+                PrimKind::Constant {
+                    shape: vec![4, 2, 3, 3],
+                    init: ConstInit::Random(3),
+                },
                 vec![],
             )
             .unwrap();
         let c = g
             .add(
-                PrimKind::Linear(LinearFn::Conv2d { stride: 1, padding: 1, groups: 1 }),
+                PrimKind::Linear(LinearFn::Conv2d {
+                    stride: 1,
+                    padding: 1,
+                    groups: 1,
+                }),
                 vec![rz.into(), w.into()],
             )
             .unwrap();
         let wr = g
             .add(
                 PrimKind::WindowReduce {
-                    spec: PoolSpec { kernel: 2, stride: 2, padding: 0 },
+                    spec: PoolSpec {
+                        kernel: 2,
+                        stride: 2,
+                        padding: 0,
+                    },
                     kind: ReduceKind::Max,
                 },
                 vec![c.into()],
             )
             .unwrap();
         let flat = g
-            .add(PrimKind::Layout(LayoutFn::Reshape { shape: vec![4, 100] }), vec![wr.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Reshape {
+                    shape: vec![4, 100],
+                }),
+                vec![wr.into()],
+            )
             .unwrap();
         let wm = g
             .add(
-                PrimKind::Constant { shape: vec![4, 100], init: ConstInit::Random(4) },
+                PrimKind::Constant {
+                    shape: vec![4, 100],
+                    init: ConstInit::Random(4),
+                },
                 vec![],
             )
             .unwrap();
         let mm = g
             .add(
                 PrimKind::Linear(LinearFn::MatMul {
-                    spec: MatMulSpec { trans_a: false, trans_b: true },
+                    spec: MatMulSpec {
+                        trans_a: false,
+                        trans_b: true,
+                    },
                 }),
                 vec![flat.into(), wm.into()],
             )
@@ -1244,13 +1491,24 @@ mod tests {
     #[test]
     fn prim_split_concat_slice_opaque_round_trip() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![2, 6] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![2, 6] }, vec![])
+            .unwrap();
         let s = g
-            .add(PrimKind::Layout(LayoutFn::Split { axis: 1, sizes: vec![2, 4] }), vec![x.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Split {
+                    axis: 1,
+                    sizes: vec![2, 4],
+                }),
+                vec![x.into()],
+            )
             .unwrap();
         let sl = g
             .add(
-                PrimKind::Layout(LayoutFn::Slice { starts: vec![0, 0], ends: vec![2, 2] }),
+                PrimKind::Layout(LayoutFn::Slice {
+                    starts: vec![0, 0],
+                    ends: vec![2, 2],
+                }),
                 vec![PortRef { node: s, port: 1 }],
             )
             .unwrap();
@@ -1262,7 +1520,10 @@ mod tests {
             .unwrap();
         let o = g
             .add(
-                PrimKind::Opaque { name: "topk".into(), out_shapes: vec![vec![2, 2]] },
+                PrimKind::Opaque {
+                    name: "topk".into(),
+                    out_shapes: vec![vec![2, 2]],
+                },
                 vec![cc.into()],
             )
             .unwrap();
@@ -1286,11 +1547,20 @@ mod tests {
             Err(TextError::Parse { line: 1, .. })
         ));
         let bad_kind = "korch ops v1\n%0 = Frobnicate\noutput %0\n";
-        assert!(matches!(op_from_text(bad_kind), Err(TextError::Parse { line: 2, .. })));
+        assert!(matches!(
+            op_from_text(bad_kind),
+            Err(TextError::Parse { line: 2, .. })
+        ));
         let bad_id = "korch ops v1\n%5 = Input shape=[4]\noutput %5\n";
-        assert!(matches!(op_from_text(bad_id), Err(TextError::Parse { line: 2, .. })));
+        assert!(matches!(
+            op_from_text(bad_id),
+            Err(TextError::Parse { line: 2, .. })
+        ));
         let missing_attr = "korch ops v1\n%0 = Input\noutput %0\n";
-        assert!(matches!(op_from_text(missing_attr), Err(TextError::Parse { line: 2, .. })));
+        assert!(matches!(
+            op_from_text(missing_attr),
+            Err(TextError::Parse { line: 2, .. })
+        ));
         let no_output = "korch ops v1\n%0 = Input shape=[4]\n";
         assert!(matches!(op_from_text(no_output), Err(TextError::Graph(_))));
     }

@@ -13,7 +13,10 @@ pub struct GraphBuilder {
 impl GraphBuilder {
     /// Fresh builder; `seed` namespaces all weight constants.
     pub fn new(seed: u64) -> Self {
-        Self { g: OpGraph::new(), seed }
+        Self {
+            g: OpGraph::new(),
+            seed,
+        }
     }
 
     /// Finishes the graph, marking `outputs`.
@@ -34,14 +37,19 @@ impl GraphBuilder {
     }
 
     fn next_seed(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.seed = self
+            .seed
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         self.seed
     }
 
     /// Adds a node, panicking on shape errors (models are static and a
     /// failure is a bug in the model definition).
     pub fn add(&mut self, kind: OpKind, inputs: Vec<PortRef>) -> PortRef {
-        self.try_add(kind, inputs).expect("model construction error").into()
+        self.try_add(kind, inputs)
+            .expect("model construction error")
+            .into()
     }
 
     /// Fallible [`GraphBuilder::add`].
@@ -61,17 +69,35 @@ impl GraphBuilder {
     /// Random-initialized weight constant.
     pub fn weight(&mut self, shape: Vec<usize>) -> PortRef {
         let seed = self.next_seed();
-        self.add(OpKind::Constant { shape, init: ConstInit::Random(seed) }, vec![])
+        self.add(
+            OpKind::Constant {
+                shape,
+                init: ConstInit::Random(seed),
+            },
+            vec![],
+        )
     }
 
     /// Ones constant.
     pub fn ones(&mut self, shape: Vec<usize>) -> PortRef {
-        self.add(OpKind::Constant { shape, init: ConstInit::Ones }, vec![])
+        self.add(
+            OpKind::Constant {
+                shape,
+                init: ConstInit::Ones,
+            },
+            vec![],
+        )
     }
 
     /// Zeros constant.
     pub fn zeros(&mut self, shape: Vec<usize>) -> PortRef {
-        self.add(OpKind::Constant { shape, init: ConstInit::Zeros }, vec![])
+        self.add(
+            OpKind::Constant {
+                shape,
+                init: ConstInit::Zeros,
+            },
+            vec![],
+        )
     }
 
     /// `Conv2d` with bias.
@@ -100,7 +126,12 @@ impl GraphBuilder {
         let w = self.weight(vec![out_c, in_c / groups, kernel, kernel]);
         let b = self.weight(vec![out_c]);
         self.add(
-            OpKind::Conv2d { stride, padding, groups, bias: true },
+            OpKind::Conv2d {
+                stride,
+                padding,
+                groups,
+                bias: true,
+            },
             vec![x, w, b],
         )
     }
@@ -120,7 +151,10 @@ impl GraphBuilder {
         let beta = self.zeros(vec![c]);
         let mean = self.zeros(vec![c]);
         let var = self.ones(vec![c]);
-        self.add(OpKind::BatchNorm { eps: 1e-5 }, vec![x, gamma, beta, mean, var])
+        self.add(
+            OpKind::BatchNorm { eps: 1e-5 },
+            vec![x, gamma, beta, mean, var],
+        )
     }
 
     /// `LayerNorm` along the trailing dimension.
@@ -143,7 +177,12 @@ impl GraphBuilder {
         // a 2-D weight by flattening the batch into the matmul: use a plain
         // [d, out_d] weight and reshape x to 2-D around the matmul.
         let flat_rows: usize = shape[..rank - 1].iter().product();
-        let x2 = self.add(OpKind::Reshape { shape: vec![flat_rows, d] }, vec![x]);
+        let x2 = self.add(
+            OpKind::Reshape {
+                shape: vec![flat_rows, d],
+            },
+            vec![x],
+        );
         let w = self.weight(vec![d, out_d]);
         let mm = self.add(OpKind::MatMul, vec![x2, w]);
         let b = self.weight(vec![out_d]);
@@ -189,15 +228,32 @@ impl GraphBuilder {
     }
 
     /// Max pooling.
-    pub fn max_pool(&mut self, x: PortRef, kernel: usize, stride: usize, padding: usize) -> PortRef {
-        self.add(OpKind::MaxPool(PoolSpec { kernel, stride, padding }), vec![x])
+    pub fn max_pool(
+        &mut self,
+        x: PortRef,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> PortRef {
+        self.add(
+            OpKind::MaxPool(PoolSpec {
+                kernel,
+                stride,
+                padding,
+            }),
+            vec![x],
+        )
     }
 
     /// Nearest-neighbour upsample by 2.
     pub fn upsample2x(&mut self, x: PortRef) -> PortRef {
         let s = self.g.meta(x).shape().to_vec();
         self.add(
-            OpKind::Resize { out_h: s[2] * 2, out_w: s[3] * 2, mode: ResizeMode::Nearest },
+            OpKind::Resize {
+                out_h: s[2] * 2,
+                out_w: s[3] * 2,
+                mode: ResizeMode::Nearest,
+            },
             vec![x],
         )
     }
@@ -250,7 +306,10 @@ mod tests {
             .nodes()
             .iter()
             .filter_map(|n| match &n.kind {
-                OpKind::Constant { init: ConstInit::Random(s), .. } => Some(*s),
+                OpKind::Constant {
+                    init: ConstInit::Random(s),
+                    ..
+                } => Some(*s),
                 _ => None,
             })
             .collect();

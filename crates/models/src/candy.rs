@@ -20,7 +20,11 @@ pub struct CandyConfig {
 
 impl Default for CandyConfig {
     fn default() -> Self {
-        Self { resolution: 224, width: 32, residual_blocks: 5 }
+        Self {
+            resolution: 224,
+            width: 32,
+            residual_blocks: 5,
+        }
     }
 }
 
@@ -28,7 +32,11 @@ impl CandyConfig {
     /// A tiny variant whose CPU execution is fast enough for functional
     /// verification in tests.
     pub fn tiny() -> Self {
-        Self { resolution: 16, width: 4, residual_blocks: 1 }
+        Self {
+            resolution: 16,
+            width: 4,
+            residual_blocks: 1,
+        }
     }
 }
 
@@ -113,8 +121,14 @@ mod tests {
 
     #[test]
     fn residual_blocks_scale_node_count() {
-        let g1 = candy(CandyConfig { residual_blocks: 1, ..CandyConfig::tiny() });
-        let g3 = candy(CandyConfig { residual_blocks: 3, ..CandyConfig::tiny() });
+        let g1 = candy(CandyConfig {
+            residual_blocks: 1,
+            ..CandyConfig::tiny()
+        });
+        let g3 = candy(CandyConfig {
+            residual_blocks: 3,
+            ..CandyConfig::tiny()
+        });
         assert!(g3.len() > g1.len() + 20);
     }
 }

@@ -18,14 +18,22 @@ pub struct EfficientVitConfig {
 
 impl Default for EfficientVitConfig {
     fn default() -> Self {
-        Self { resolution: 2048, dims: vec![16, 32, 64, 128], attention_blocks: 2 }
+        Self {
+            resolution: 2048,
+            dims: vec![16, 32, 64, 128],
+            attention_blocks: 2,
+        }
     }
 }
 
 impl EfficientVitConfig {
     /// Tiny variant for functional tests.
     pub fn tiny() -> Self {
-        Self { resolution: 32, dims: vec![4, 8], attention_blocks: 1 }
+        Self {
+            resolution: 32,
+            dims: vec![4, 8],
+            attention_blocks: 1,
+        }
     }
 }
 
@@ -55,18 +63,45 @@ fn relu_linear_attention(b: &mut GraphBuilder, x: PortRef) -> PortRef {
     assert_eq!(batch, 1, "attention block is built for batch 1");
     let n = h * w;
     let qkv = b.conv(x, 3 * d, 1, 1, 0);
-    let resh = b.add(OpKind::Reshape { shape: vec![3 * d, n] }, vec![qkv]);
+    let resh = b.add(
+        OpKind::Reshape {
+            shape: vec![3 * d, n],
+        },
+        vec![qkv],
+    );
     let t = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![resh]);
-    let q = b.add(OpKind::Slice { starts: vec![0, 0], ends: vec![n, d] }, vec![t]);
-    let k = b.add(OpKind::Slice { starts: vec![0, d], ends: vec![n, 2 * d] }, vec![t]);
-    let v = b.add(OpKind::Slice { starts: vec![0, 2 * d], ends: vec![n, 3 * d] }, vec![t]);
+    let q = b.add(
+        OpKind::Slice {
+            starts: vec![0, 0],
+            ends: vec![n, d],
+        },
+        vec![t],
+    );
+    let k = b.add(
+        OpKind::Slice {
+            starts: vec![0, d],
+            ends: vec![n, 2 * d],
+        },
+        vec![t],
+    );
+    let v = b.add(
+        OpKind::Slice {
+            starts: vec![0, 2 * d],
+            ends: vec![n, 3 * d],
+        },
+        vec![t],
+    );
     let q = b.relu(q);
     let k = b.relu(k);
     let kt = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![k]);
     let kv = b.add(OpKind::MatMul, vec![kt, v]); // [d, d]
     let ctx = b.add(OpKind::MatMul, vec![q, kv]); // [n, d]
     let ksum = b.add(
-        OpKind::Reduce { kind: korch_tensor::ReduceKind::Sum, axis: 0, keep_dim: true },
+        OpKind::Reduce {
+            kind: korch_tensor::ReduceKind::Sum,
+            axis: 0,
+            keep_dim: true,
+        },
         vec![k],
     );
     let kst = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![ksum]);
@@ -75,7 +110,12 @@ fn relu_linear_attention(b: &mut GraphBuilder, x: PortRef) -> PortRef {
     let normed = b.add(OpKind::Div, vec![ctx, z_eps]);
     // tokens back to the feature map + output projection + residual
     let back_t = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![normed]);
-    let img = b.add(OpKind::Reshape { shape: vec![1, d, h, w] }, vec![back_t]);
+    let img = b.add(
+        OpKind::Reshape {
+            shape: vec![1, d, h, w],
+        },
+        vec![back_t],
+    );
     let proj = b.conv(img, d, 1, 1, 0);
     b.add2(proj, x)
 }
@@ -106,15 +146,26 @@ pub fn efficientvit(config: EfficientVitConfig) -> OpGraph {
     // Global head.
     let shape = b.shape(y);
     let flat = b.add(
-        OpKind::Reshape { shape: vec![shape[1], shape[2] * shape[3]] },
+        OpKind::Reshape {
+            shape: vec![shape[1], shape[2] * shape[3]],
+        },
         vec![y],
     );
     let pooled = b.add(
-        OpKind::Reduce { kind: korch_tensor::ReduceKind::Mean, axis: 1, keep_dim: false },
+        OpKind::Reduce {
+            kind: korch_tensor::ReduceKind::Mean,
+            axis: 1,
+            keep_dim: false,
+        },
         vec![flat],
     );
     let logits = {
-        let row = b.add(OpKind::Reshape { shape: vec![1, shape[1]] }, vec![pooled]);
+        let row = b.add(
+            OpKind::Reshape {
+                shape: vec![1, shape[1]],
+            },
+            vec![pooled],
+        );
         let w = b.weight(vec![shape[1], 1000]);
         b.add(OpKind::MatMul, vec![row, w])
     };

@@ -54,34 +54,50 @@ impl SegformerConfig {
 
 /// Efficient self-attention on `[B, N, D]` tokens with spatial reduction
 /// `sr` (keys/values computed on N/sr² tokens via a strided conv).
-fn attention(
-    b: &mut GraphBuilder,
-    x: PortRef,
-    side: usize,
-    dim: usize,
-    sr: usize,
-) -> PortRef {
+fn attention(b: &mut GraphBuilder, x: PortRef, side: usize, dim: usize, sr: usize) -> PortRef {
     let batch = b.shape(x)[0];
     let n = side * side;
     let q = b.linear(x, dim);
     let kv_tokens = if sr > 1 {
         // [B,N,D] -> [B,D,H,W] -> strided conv -> [B, N/sr², D]
-        let t = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![x]);
-        let img = b.add(OpKind::Reshape { shape: vec![batch, dim, side, side] }, vec![t]);
+        let t = b.add(
+            OpKind::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            vec![x],
+        );
+        let img = b.add(
+            OpKind::Reshape {
+                shape: vec![batch, dim, side, side],
+            },
+            vec![t],
+        );
         let red = b.conv(img, dim, sr, sr, 0);
         let rside = side / sr;
         let flat = b.add(
-            OpKind::Reshape { shape: vec![batch, dim, rside * rside] },
+            OpKind::Reshape {
+                shape: vec![batch, dim, rside * rside],
+            },
             vec![red],
         );
-        let back = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![flat]);
+        let back = b.add(
+            OpKind::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            vec![flat],
+        );
         b.layer_norm(back)
     } else {
         x
     };
     let k = b.linear(kv_tokens, dim);
     let v = b.linear(kv_tokens, dim);
-    let kt = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![k]);
+    let kt = b.add(
+        OpKind::Transpose {
+            perm: vec![0, 2, 1],
+        },
+        vec![k],
+    );
     let scores = b.add(OpKind::MatMul, vec![q, kt]);
     let scaled = b.add(OpKind::MulScalar(1.0 / (dim as f32).sqrt()), vec![scores]);
     let attn = b.add(OpKind::Softmax { axis: 2 }, vec![scaled]);
@@ -97,14 +113,31 @@ fn mix_ffn(b: &mut GraphBuilder, x: PortRef, side: usize, dim: usize) -> PortRef
     let hidden = 4 * dim;
     let h = b.linear(x, hidden);
     // tokens -> image for the depthwise conv
-    let t = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![h]);
-    let img = b.add(OpKind::Reshape { shape: vec![batch, hidden, side, side] }, vec![t]);
+    let t = b.add(
+        OpKind::Transpose {
+            perm: vec![0, 2, 1],
+        },
+        vec![h],
+    );
+    let img = b.add(
+        OpKind::Reshape {
+            shape: vec![batch, hidden, side, side],
+        },
+        vec![t],
+    );
     let dw = b.conv_grouped(img, hidden, 3, 1, 1, hidden);
     let flat = b.add(
-        OpKind::Reshape { shape: vec![batch, hidden, side * side] },
+        OpKind::Reshape {
+            shape: vec![batch, hidden, side * side],
+        },
         vec![dw],
     );
-    let back = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![flat]);
+    let back = b.add(
+        OpKind::Transpose {
+            perm: vec![0, 2, 1],
+        },
+        vec![flat],
+    );
     let act = b.gelu(back);
     b.linear(act, dim)
 }
@@ -124,10 +157,17 @@ pub fn segformer(config: SegformerConfig) -> OpGraph {
         side /= s;
         let tokens = side * side;
         let flat = b.add(
-            OpKind::Reshape { shape: vec![config.batch, dim, tokens] },
+            OpKind::Reshape {
+                shape: vec![config.batch, dim, tokens],
+            },
             vec![emb],
         );
-        let mut t = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![flat]);
+        let mut t = b.add(
+            OpKind::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            vec![flat],
+        );
         t = b.layer_norm(t);
         let sr = config.sr_ratios.get(i).copied().unwrap_or(1);
         for _ in 0..config.blocks {
@@ -141,9 +181,16 @@ pub fn segformer(config: SegformerConfig) -> OpGraph {
         }
         stage_outputs.push((t, side));
         // tokens -> image for the next stage's patch embedding
-        let timg = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![t]);
+        let timg = b.add(
+            OpKind::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            vec![t],
+        );
         cur = b.add(
-            OpKind::Reshape { shape: vec![config.batch, dim, side, side] },
+            OpKind::Reshape {
+                shape: vec![config.batch, dim, side, side],
+            },
             vec![timg],
         );
     }
@@ -153,13 +200,24 @@ pub fn segformer(config: SegformerConfig) -> OpGraph {
     let mut resized = Vec::new();
     for &(t, s_side) in &stage_outputs {
         let proj = b.linear(t, config.decoder_dim);
-        let tr = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![proj]);
+        let tr = b.add(
+            OpKind::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            vec![proj],
+        );
         let img = b.add(
-            OpKind::Reshape { shape: vec![config.batch, config.decoder_dim, s_side, s_side] },
+            OpKind::Reshape {
+                shape: vec![config.batch, config.decoder_dim, s_side, s_side],
+            },
             vec![tr],
         );
         let up = b.add(
-            OpKind::Resize { out_h: out_side, out_w: out_side, mode: ResizeMode::Bilinear },
+            OpKind::Resize {
+                out_h: out_side,
+                out_w: out_side,
+                mode: ResizeMode::Bilinear,
+            },
             vec![img],
         );
         resized.push(up);
@@ -193,15 +251,27 @@ mod tests {
 
     #[test]
     fn batch_dimension_propagates() {
-        let g = segformer(SegformerConfig { batch: 2, ..SegformerConfig::tiny() });
+        let g = segformer(SegformerConfig {
+            batch: 2,
+            ..SegformerConfig::tiny()
+        });
         assert_eq!(g.meta(*g.outputs().first().unwrap()).shape()[0], 2);
     }
 
     #[test]
     fn contains_softmax_and_layernorm() {
         let g = segformer(SegformerConfig::tiny());
-        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::Softmax { .. })));
-        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::LayerNorm { .. })));
-        assert!(g.nodes().iter().any(|n| matches!(n.kind, OpKind::Resize { .. })));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::Softmax { .. })));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::LayerNorm { .. })));
+        assert!(g
+            .nodes()
+            .iter()
+            .any(|n| matches!(n.kind, OpKind::Resize { .. })));
     }
 }

@@ -27,7 +27,9 @@ pub fn segformer_attention(tokens: usize, dim: usize, sr: usize) -> OpGraph {
     let q = b.linear(x, dim);
     // Spatial reduction: keys/values on tokens/sr rows.
     let red = b.add(
-        OpKind::Reshape { shape: vec![tokens / sr, sr * dim] },
+        OpKind::Reshape {
+            shape: vec![tokens / sr, sr * dim],
+        },
         vec![x],
     );
     let kv = b.linear(red, dim);
@@ -52,20 +54,47 @@ pub fn efficientvit_attention(n: usize, d: usize) -> OpGraph {
     let x = b.input(vec![1, d, side, side]);
     // QKV projection (1x1 conv to 3d channels), then tokens-first layout.
     let qkv = b.conv(x, 3 * d, 1, 1, 0);
-    let resh = b.add(OpKind::Reshape { shape: vec![3 * d, n] }, vec![qkv]);
+    let resh = b.add(
+        OpKind::Reshape {
+            shape: vec![3 * d, n],
+        },
+        vec![qkv],
+    );
     let t = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![resh]); // [n, 3d]
-    let q = b.add(OpKind::Slice { starts: vec![0, 0], ends: vec![n, d] }, vec![t]);
-    let k = b.add(OpKind::Slice { starts: vec![0, d], ends: vec![n, 2 * d] }, vec![t]);
-    let v = b.add(OpKind::Slice { starts: vec![0, 2 * d], ends: vec![n, 3 * d] }, vec![t]);
+    let q = b.add(
+        OpKind::Slice {
+            starts: vec![0, 0],
+            ends: vec![n, d],
+        },
+        vec![t],
+    );
+    let k = b.add(
+        OpKind::Slice {
+            starts: vec![0, d],
+            ends: vec![n, 2 * d],
+        },
+        vec![t],
+    );
+    let v = b.add(
+        OpKind::Slice {
+            starts: vec![0, 2 * d],
+            ends: vec![n, 3 * d],
+        },
+        vec![t],
+    );
     let q = b.relu(q);
     let k = b.relu(k);
     // Linear attention: out = q (kᵀ v) / (q (kᵀ 1))
     let kt = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![k]); // [d, n]
     let kv = b.add(OpKind::MatMul, vec![kt, v]); // [d, d]
     let qkv2 = b.add(OpKind::MatMul, vec![q, kv]); // [n, d]
-    // Normalizer: row sums of k give z = q · (Σ kᵀ); ReduceSum over tokens.
+                                                   // Normalizer: row sums of k give z = q · (Σ kᵀ); ReduceSum over tokens.
     let ksum = b.add(
-        OpKind::Reduce { kind: korch_tensor::ReduceKind::Sum, axis: 0, keep_dim: true },
+        OpKind::Reduce {
+            kind: korch_tensor::ReduceKind::Sum,
+            axis: 0,
+            keep_dim: true,
+        },
         vec![k],
     ); // [1, d]
     let kst = b.add(OpKind::Transpose { perm: vec![1, 0] }, vec![ksum]); // [d, 1]
@@ -97,13 +126,24 @@ pub fn segformer_decoder_sized(
         let x = b.input(vec![batch, tokens, channels]);
         let bias = b.weight(vec![channels]);
         let added = b.add(OpKind::Add, vec![x, bias]);
-        let t = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![added]);
+        let t = b.add(
+            OpKind::Transpose {
+                perm: vec![0, 2, 1],
+            },
+            vec![added],
+        );
         let r = b.add(
-            OpKind::Reshape { shape: vec![batch, channels, side, side] },
+            OpKind::Reshape {
+                shape: vec![batch, channels, side, side],
+            },
             vec![t],
         );
         let up = b.add(
-            OpKind::Resize { out_h: out_side, out_w: out_side, mode: ResizeMode::Bilinear },
+            OpKind::Resize {
+                out_h: out_side,
+                out_w: out_side,
+                mode: ResizeMode::Bilinear,
+            },
             vec![r],
         );
         resized.push(up);
@@ -137,7 +177,10 @@ pub fn with_opaque_topk(n: usize, k: usize) -> OpGraph {
     let x = b.input(vec![n]);
     let e = b.unary(x, UnaryOp::Exp);
     let t = b.add(
-        OpKind::Custom { name: "topk".into(), out_shapes: vec![vec![k]] },
+        OpKind::Custom {
+            name: "topk".into(),
+            out_shapes: vec![vec![k]],
+        },
         vec![e],
     );
     let r = b.relu(t);
@@ -153,7 +196,11 @@ mod tests {
     fn softmax_attention_shapes() {
         let g = softmax_attention(64, 32);
         assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[64, 32]);
-        assert!(g.len() >= 7, "expected a rich operator graph, got {}", g.len());
+        assert!(
+            g.len() >= 7,
+            "expected a rich operator graph, got {}",
+            g.len()
+        );
     }
 
     #[test]
@@ -167,15 +214,24 @@ mod tests {
     #[test]
     fn segformer_decoder_matches_fig11_shapes() {
         let g = segformer_decoder(1);
-        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[1, 4 * 256, 128, 128]);
+        assert_eq!(
+            g.meta(*g.outputs().first().unwrap()).shape(),
+            &[1, 4 * 256, 128, 128]
+        );
         let g16 = segformer_decoder(16);
-        assert_eq!(g16.meta(*g16.outputs().first().unwrap()).shape(), &[16, 1024, 128, 128]);
+        assert_eq!(
+            g16.meta(*g16.outputs().first().unwrap()).shape(),
+            &[16, 1024, 128, 128]
+        );
     }
 
     #[test]
     fn instance_norm_block_shape() {
         let g = instance_norm_block(32, 224);
-        assert_eq!(g.meta(*g.outputs().first().unwrap()).shape(), &[1, 32, 226, 226]);
+        assert_eq!(
+            g.meta(*g.outputs().first().unwrap()).shape(),
+            &[1, 32, 226, 226]
+        );
     }
 
     #[test]

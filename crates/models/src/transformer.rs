@@ -30,12 +30,24 @@ pub struct TransformerConfig {
 impl TransformerConfig {
     /// BERT-base-like geometry at a single-sequence batch.
     pub fn base() -> Self {
-        Self { seq: 128, d_model: 768, heads: 12, mlp_ratio: 4, layers: 4 }
+        Self {
+            seq: 128,
+            d_model: 768,
+            heads: 12,
+            mlp_ratio: 4,
+            layers: 4,
+        }
     }
 
     /// Small enough for CPU functional verification in tests.
     pub fn tiny() -> Self {
-        Self { seq: 8, d_model: 16, heads: 2, mlp_ratio: 2, layers: 1 }
+        Self {
+            seq: 8,
+            d_model: 16,
+            heads: 2,
+            mlp_ratio: 2,
+            layers: 1,
+        }
     }
 }
 
@@ -48,20 +60,40 @@ fn mha(b: &mut GraphBuilder, x: PortRef, cfg: &TransformerConfig) -> PortRef {
     let v = b.linear(x, d);
     // [seq, d] -> [heads, seq, dh]
     let to_heads = |b: &mut GraphBuilder, t: PortRef| {
-        let r = b.add(OpKind::Reshape { shape: vec![s, h, dh] }, vec![t]);
-        b.add(OpKind::Transpose { perm: vec![1, 0, 2] }, vec![r])
+        let r = b.add(
+            OpKind::Reshape {
+                shape: vec![s, h, dh],
+            },
+            vec![t],
+        );
+        b.add(
+            OpKind::Transpose {
+                perm: vec![1, 0, 2],
+            },
+            vec![r],
+        )
     };
     let qh = to_heads(b, q);
     let kh = to_heads(b, k);
     let vh = to_heads(b, v);
     // scores = q @ k^T / sqrt(dh): [h, s, s]
-    let kt = b.add(OpKind::Transpose { perm: vec![0, 2, 1] }, vec![kh]);
+    let kt = b.add(
+        OpKind::Transpose {
+            perm: vec![0, 2, 1],
+        },
+        vec![kh],
+    );
     let qk = b.add(OpKind::MatMul, vec![qh, kt]);
     let scaled = b.add(OpKind::MulScalar(1.0 / (dh as f32).sqrt()), vec![qk]);
     let attn = b.add(OpKind::Softmax { axis: 2 }, vec![scaled]);
     // out = attn @ v: [h, s, dh] -> [s, d]
     let ctx = b.add(OpKind::MatMul, vec![attn, vh]);
-    let back = b.add(OpKind::Transpose { perm: vec![1, 0, 2] }, vec![ctx]);
+    let back = b.add(
+        OpKind::Transpose {
+            perm: vec![1, 0, 2],
+        },
+        vec![ctx],
+    );
     let merged = b.add(OpKind::Reshape { shape: vec![s, d] }, vec![back]);
     b.linear(merged, d)
 }
@@ -127,7 +159,7 @@ mod tests {
         let cfg = TransformerConfig::tiny();
         for g in [transformer_encoder(cfg), llama_block(cfg)] {
             let x = Tensor::random(vec![cfg.seq, cfg.d_model], 5);
-            let reference = execute_ops(&g, &[x.clone()]).unwrap();
+            let reference = execute_ops(&g, std::slice::from_ref(&x)).unwrap();
             let f = fission(&g).unwrap();
             let out = execute_prims(&f.prim_graph, &[x]).unwrap();
             assert!(reference[0].allclose(&out[0], 1e-3), "fission diverged");

@@ -21,17 +21,29 @@ pub struct YoloConfig {
 impl YoloConfig {
     /// Paper-scale YOLOv4.
     pub fn v4() -> Self {
-        Self { resolution: 416, width: 32, depth: 2 }
+        Self {
+            resolution: 416,
+            width: 32,
+            depth: 2,
+        }
     }
 
     /// Paper-scale YOLOX-Nano.
     pub fn x_nano() -> Self {
-        Self { resolution: 416, width: 16, depth: 1 }
+        Self {
+            resolution: 416,
+            width: 16,
+            depth: 1,
+        }
     }
 
     /// Tiny variant for functional tests.
     pub fn tiny() -> Self {
-        Self { resolution: 32, width: 4, depth: 1 }
+        Self {
+            resolution: 32,
+            width: 4,
+            depth: 1,
+        }
     }
 }
 

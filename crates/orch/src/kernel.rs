@@ -336,8 +336,11 @@ pub fn greedy_seed_groups(
         if matches!(class, Class::Fusable) && all_producers_pending {
             continue; // adopted later by a consumer
         }
-        let mut producer_groups: Vec<usize> =
-            node.inputs.iter().filter_map(|r| group_of[r.node.0]).collect();
+        let mut producer_groups: Vec<usize> = node
+            .inputs
+            .iter()
+            .filter_map(|r| group_of[r.node.0])
+            .collect();
         producer_groups.sort_unstable();
         producer_groups.dedup();
         let joinable = producer_groups
@@ -603,14 +606,32 @@ mod tests {
     /// The Fig. 4a-style softmax attention subgraph used across tests.
     fn softmax_prims() -> PrimGraph {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![16, 64] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![16, 64],
+                },
+                vec![],
+            )
+            .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
             .unwrap();
         let r = g
-            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )
             .unwrap();
-        let b = g.add(PrimKind::Broadcast { axis: 1, size: 64 }, vec![r.into()]).unwrap();
+        let b = g
+            .add(PrimKind::Broadcast { axis: 1, size: 64 }, vec![r.into()])
+            .unwrap();
         let d = g
             .add(
                 PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
@@ -657,7 +678,11 @@ mod tests {
         let c = default_candidates(&g);
         // Kernel {exp}: exp's output feeds reduce AND div (both external),
         // so the single output is exp itself.
-        let k = c.kernels.iter().find(|k| k.members == vec![NodeId(1)]).unwrap();
+        let k = c
+            .kernels
+            .iter()
+            .find(|k| k.members == vec![NodeId(1)])
+            .unwrap();
         assert_eq!(k.output_nodes, vec![NodeId(1)]);
         // Kernel {exp, reduce}: both exp (feeds div) and reduce (feeds
         // bcast) qualify as outputs -> two single-output candidates.
@@ -675,18 +700,28 @@ mod tests {
     fn multi_linear_kernels_rejected() {
         // Two chained matmuls: no candidate may contain both.
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![8, 8] }, vec![]).unwrap();
-        let w1 = g.add(PrimKind::Input { shape: vec![8, 8] }, vec![]).unwrap();
-        let w2 = g.add(PrimKind::Input { shape: vec![8, 8] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![8, 8] }, vec![])
+            .unwrap();
+        let w1 = g
+            .add(PrimKind::Input { shape: vec![8, 8] }, vec![])
+            .unwrap();
+        let w2 = g
+            .add(PrimKind::Input { shape: vec![8, 8] }, vec![])
+            .unwrap();
         let m1 = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![x.into(), w1.into()],
             )
             .unwrap();
         let m2 = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![m1.into(), w2.into()],
             )
             .unwrap();
@@ -713,7 +748,10 @@ mod tests {
     fn kernel_size_cap_respected() {
         let g = softmax_prims();
         let space = enumerate_states(&g, 1000);
-        let config = IdentifyConfig { max_kernel_prims: 2, ..Default::default() };
+        let config = IdentifyConfig {
+            max_kernel_prims: 2,
+            ..Default::default()
+        };
         let c = identify_kernels(
             &g,
             &space,
@@ -741,13 +779,19 @@ mod tests {
             &g,
             &space,
             &Profiler::new(Device::v100()),
-            &IdentifyConfig { multi_output: true, ..Default::default() },
+            &IdentifyConfig {
+                multi_output: true,
+                ..Default::default()
+            },
             &[Backend::Generated],
         );
         // Full-output candidates exist in both modes (the chain-DP needs
         // them); multi-output mode can only add candidates.
         assert!(multi.kernels.len() >= single.kernels.len());
-        assert!(single.kernels.iter().any(|k| k.full_output && k.output_nodes.len() == 2));
+        assert!(single
+            .kernels
+            .iter()
+            .any(|k| k.full_output && k.output_nodes.len() == 2));
     }
 
     #[test]
@@ -756,12 +800,18 @@ mod tests {
         let x = g.add(PrimKind::Input { shape: vec![32] }, vec![]).unwrap();
         let o = g
             .add(
-                PrimKind::Opaque { name: "topk".into(), out_shapes: vec![vec![4]] },
+                PrimKind::Opaque {
+                    name: "topk".into(),
+                    out_shapes: vec![vec![4]],
+                },
                 vec![x.into()],
             )
             .unwrap();
         let rl = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![o.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                vec![o.into()],
+            )
             .unwrap();
         g.mark_output(rl).unwrap();
         let c = default_candidates(&g);
@@ -783,7 +833,11 @@ mod tests {
         let reach = g.reachability();
         for k in &c.kernels {
             let set: BTreeSet<NodeId> = k.members.iter().copied().collect();
-            assert!(g.is_convex(&set, &reach), "non-convex candidate {:?}", k.members);
+            assert!(
+                g.is_convex(&set, &reach),
+                "non-convex candidate {:?}",
+                k.members
+            );
         }
         assert!(c.kernels.len() >= 8);
         let _ = c.subgraphs_considered;
@@ -803,7 +857,10 @@ mod tests {
             &g,
             &space,
             &profiler,
-            &IdentifyConfig { quick_prune: true, ..Default::default() },
+            &IdentifyConfig {
+                quick_prune: true,
+                ..Default::default()
+            },
             &backends,
         );
         assert_eq!(full.quick_pruned, 0);
@@ -824,17 +881,36 @@ mod tests {
         // windows lose to their singleton covers once passes pile up, so
         // the quick bound should skip a measurable share of tunings.
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![1024, 1024] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![1024, 1024],
+                },
+                vec![],
+            )
+            .unwrap();
         let mut cur: PortRef = x.into();
         for i in 0..8 {
             // Alternate reduce+broadcast (multi-pass when fused) with
             // pointwise links.
             if i % 3 == 2 {
                 let r = g
-                    .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![cur])
+                    .add(
+                        PrimKind::Reduce {
+                            kind: ReduceKind::Sum,
+                            axis: 1,
+                        },
+                        vec![cur],
+                    )
                     .unwrap();
                 let b = g
-                    .add(PrimKind::Broadcast { axis: 1, size: 1024 }, vec![r.into()])
+                    .add(
+                        PrimKind::Broadcast {
+                            axis: 1,
+                            size: 1024,
+                        },
+                        vec![r.into()],
+                    )
                     .unwrap();
                 cur = b.into();
             } else {
@@ -847,9 +923,17 @@ mod tests {
         g.mark_output(cur.node).unwrap();
         let space = enumerate_states(&g, 10_000);
         let profiler = Profiler::new(Device::v100());
-        let cfg = IdentifyConfig { quick_prune: true, ..Default::default() };
-        let pruned =
-            identify_kernels(&g, &space, &profiler, &cfg, &[Backend::Generated, Backend::Vendor]);
+        let cfg = IdentifyConfig {
+            quick_prune: true,
+            ..Default::default()
+        };
+        let pruned = identify_kernels(
+            &g,
+            &space,
+            &profiler,
+            &cfg,
+            &[Backend::Generated, Backend::Vendor],
+        );
         let full = identify_kernels(
             &g,
             &space,
@@ -869,9 +953,14 @@ mod tests {
     #[test]
     fn layout_only_kernels_allowed() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![4, 4] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![4, 4] }, vec![])
+            .unwrap();
         let t = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![x.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+                vec![x.into()],
+            )
             .unwrap();
         g.mark_output(t).unwrap();
         let c = default_candidates(&g);

@@ -96,7 +96,11 @@ pub struct LayoutConfig {
 
 impl Default for LayoutConfig {
     fn default() -> Self {
-        Self { solver_max_nodes: 800, best_effort: true, max_variants: 500 }
+        Self {
+            solver_max_nodes: 800,
+            best_effort: true,
+            max_variants: 500,
+        }
     }
 }
 
@@ -144,8 +148,7 @@ pub fn layout_variants(
     cands: &[CandidateKernel],
     profiler: &Profiler,
 ) -> Vec<LayoutVariant> {
-    let launch_only =
-        Micros(profiler.device().launch_overhead_us + profiler.dispatch_overhead_us);
+    let launch_only = Micros(profiler.device().launch_overhead_us + profiler.dispatch_overhead_us);
     let mut variants = Vec::new();
     for (i, k) in cands.iter().enumerate() {
         // Base: everything canonical.
@@ -171,9 +174,8 @@ pub fn layout_variants(
             .members
             .iter()
             .all(|&m| matches!(g.node(m).kind, PrimKind::Elementwise(_)));
-        let ext_all_swappable = !ext.is_empty()
-            && ext.iter().all(|&j| rank_of_output(g, j) >= 2)
-            && {
+        let ext_all_swappable =
+            !ext.is_empty() && ext.iter().all(|&j| rank_of_output(g, j) >= 2) && {
                 // every external *port* must be rank >= 2 too (elementwise
                 // kernels have same-shape ios, so node-level rank suffices)
                 true
@@ -225,9 +227,7 @@ pub fn layout_variants(
                     .inputs
                     .iter()
                     .map(|r| r.node)
-                    .filter(|&j| {
-                        ext.contains(&j) && rank_of_output(g, j) >= 2
-                    })
+                    .filter(|&j| ext.contains(&j) && rank_of_output(g, j) >= 2)
                     .collect();
                 let subsets: Vec<Vec<NodeId>> = match operands.as_slice() {
                     [a] => vec![vec![*a]],
@@ -435,7 +435,12 @@ pub fn optimize_with_layouts(
         solver_pivots: solution.stats.pivots,
         greedy_objective_us: f64::NAN,
     };
-    Ok(LayoutOutcome { plan, layouts, swapped_kernels, report })
+    Ok(LayoutOutcome {
+        plan,
+        layouts,
+        swapped_kernels,
+        report,
+    })
 }
 
 fn greedy_standard_incumbent(
@@ -511,7 +516,9 @@ fn schedule_layout(
                 cover(p, TensorLayout::Standard, g, singleton, available, ordered)?;
             }
         }
-        let &i = singleton.get(&(j, layout)).ok_or(OrchError::Unschedulable)?;
+        let &i = singleton
+            .get(&(j, layout))
+            .ok_or(OrchError::Unschedulable)?;
         ordered.push(i);
         available.insert((j, layout));
         Ok(())
@@ -582,7 +589,13 @@ fn schedule_layout(
         });
     }
     let total: Micros = plan_kernels.iter().map(|k| k.latency).sum();
-    Ok((Plan { kernels: plan_kernels, total_latency: total }, layouts))
+    Ok((
+        Plan {
+            kernels: plan_kernels,
+            total_latency: total,
+        },
+        layouts,
+    ))
 }
 
 #[cfg(test)]
@@ -611,7 +624,14 @@ mod tests {
     /// scale -> transpose(last two) -> matmul with a huge-aspect operand.
     fn transpose_into_matmul(rows: usize, cols: usize, n: usize) -> PrimGraph {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![rows, cols] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![rows, cols],
+                },
+                vec![],
+            )
+            .unwrap();
         let s = g
             .add(
                 PrimKind::Elementwise(EwFn::BinaryScalar(BinaryOp::Mul, 0.5)),
@@ -626,13 +646,18 @@ mod tests {
             .unwrap();
         let w = g
             .add(
-                PrimKind::Constant { shape: vec![rows, n], init: ConstInit::Random(1) },
+                PrimKind::Constant {
+                    shape: vec![rows, n],
+                    init: ConstInit::Random(1),
+                },
                 vec![],
             )
             .unwrap();
         let mm = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![t.into(), w.into()],
             )
             .unwrap();
@@ -647,8 +672,7 @@ mod tests {
             transpose_into_matmul(4096, 16, 32),
         ] {
             let (cands, profiler) = setup(&g);
-            let (std_plan, _) =
-                optimize(&g, &cands, None, &OptimizeConfig::default()).unwrap();
+            let (std_plan, _) = optimize(&g, &cands, None, &OptimizeConfig::default()).unwrap();
             let outcome =
                 optimize_with_layouts(&g, &cands, &profiler, &LayoutConfig::default()).unwrap();
             assert!(
@@ -683,15 +707,31 @@ mod tests {
         // redundancy, so the layout-aware BLP exactly matches the standard
         // optimum on a transpose-laden pointwise chain.
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![1024, 1024] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![1024, 1024],
+                },
+                vec![],
+            )
+            .unwrap();
         let e1 = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                vec![x.into()],
+            )
             .unwrap();
         let t = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![e1.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+                vec![e1.into()],
+            )
             .unwrap();
         let e2 = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)), vec![t.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)),
+                vec![t.into()],
+            )
             .unwrap();
         g.mark_output(e2).unwrap();
         let (cands, profiler) = setup(&g);
@@ -715,18 +755,37 @@ mod tests {
         // layout-aware BLP instead *relabels* the transpose (launch cost
         // only) and lets the consumer absorb the swapped layout.
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![4096, 4096] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![4096, 4096],
+                },
+                vec![],
+            )
+            .unwrap();
         let e1 = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                vec![x.into()],
+            )
             .unwrap();
         let t = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![e1.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+                vec![e1.into()],
+            )
             .unwrap();
         let t2 = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![t.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+                vec![t.into()],
+            )
             .unwrap();
         let e2 = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)), vec![t2.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)),
+                vec![t2.into()],
+            )
             .unwrap();
         g.mark_output(e2).unwrap();
         let (cands, profiler) = setup(&g);
@@ -798,12 +857,25 @@ mod tests {
     #[test]
     fn elementwise_uniform_swap_variant_is_free() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![64, 64] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![64, 64],
+                },
+                vec![],
+            )
+            .unwrap();
         let e1 = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                vec![x.into()],
+            )
             .unwrap();
         let e2 = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![e1.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                vec![e1.into()],
+            )
             .unwrap();
         g.mark_output(e2).unwrap();
         let (cands, profiler) = setup(&g);
@@ -830,9 +902,19 @@ mod tests {
         // A graph ending in a bare transpose: the relabel variant (swapped
         // output) may NOT satisfy the graph output constraint on its own.
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![512, 128] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![512, 128],
+                },
+                vec![],
+            )
+            .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                vec![x.into()],
+            )
             .unwrap();
         let t = g
             .add(

@@ -44,7 +44,9 @@ mod plan;
 mod state;
 mod stream;
 
-pub use kernel::{backend_applicable, identify_kernels, CandidateKernel, Candidates, IdentifyConfig};
+pub use kernel::{
+    backend_applicable, identify_kernels, CandidateKernel, Candidates, IdentifyConfig,
+};
 pub use layout::{
     layout_variants, optimize_with_layouts, KernelLayout, LayoutConfig, LayoutOutcome,
     LayoutVariant, TensorLayout,
@@ -52,7 +54,10 @@ pub use layout::{
 pub use optimizer::{optimize, OptimizeConfig, OrchError, SolveReport};
 pub use plan::{Plan, SelectedKernel};
 pub use state::{enumerate_states, BitSet, StateSpace};
-pub use stream::{schedule_streams, StreamAssignment, StreamSchedule};
+pub use stream::{
+    schedule_streams, schedule_streams_with, ResourceClass, StreamAssignment, StreamContention,
+    StreamSchedule,
+};
 
 use korch_cost::{Backend, Device, Micros, Profiler};
 use korch_ir::PrimGraph;
@@ -66,6 +71,9 @@ pub struct OrchestratorConfig {
     pub identify: IdentifyConfig,
     /// BLP construction and solver settings.
     pub optimize: OptimizeConfig,
+    /// Resource-class sharing rates for multi-stream simulation (the
+    /// runtime profiler's calibration can tighten these to the host).
+    pub contention: StreamContention,
 }
 
 /// Everything produced by one orchestration run.
@@ -138,8 +146,13 @@ impl Orchestrator {
     pub fn orchestrate(&self, g: &PrimGraph) -> Result<Orchestration, OrchError> {
         let max_states = self.config.max_states.unwrap_or(1_500);
         let space = enumerate_states(g, max_states);
-        let cands =
-            identify_kernels(g, &space, &self.profiler, &self.config.identify, &self.backends);
+        let cands = identify_kernels(
+            g,
+            &space,
+            &self.profiler,
+            &self.config.identify,
+            &self.backends,
+        );
         let (plan, report) = optimize(g, &cands, Some(&space), &self.config.optimize)?;
         let tuning_time_s = report.tuning_time_s;
         Ok(Orchestration {
@@ -159,5 +172,18 @@ impl Orchestrator {
     pub fn price_plan(&self, plan: &mut Plan) {
         let total: Micros = plan.kernels.iter().map(|k| k.latency).sum();
         plan.total_latency = total;
+    }
+
+    /// Simulates `plan` on `num_streams` lanes using this orchestrator's
+    /// device and configured [`StreamContention`] rates (the knob the
+    /// runtime profiler's calibration adjusts).
+    pub fn schedule(&self, g: &PrimGraph, plan: &Plan, num_streams: usize) -> StreamSchedule {
+        schedule_streams_with(
+            g,
+            plan,
+            num_streams,
+            self.profiler.device(),
+            &self.config.contention,
+        )
     }
 }

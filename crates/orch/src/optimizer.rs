@@ -243,8 +243,7 @@ pub fn optimize(
         BlpError::Limit => OrchError::SolverBudget,
     })?;
 
-    let selected: Vec<usize> =
-        (0..n).filter(|&i| solution.values[i]).collect();
+    let selected: Vec<usize> = (0..n).filter(|&i| solution.values[i]).collect();
     let plan = schedule(g, candidates, &selected)?;
     let report = SolveReport {
         num_candidates: n,
@@ -299,7 +298,9 @@ fn dp_incumbent(
                 continue;
             }
             let diff = states[i].diff_from(&states[j]);
-            let Some(&c) = by_members.get(diff.as_slice()) else { continue };
+            let Some(&c) = by_members.get(diff.as_slice()) else {
+                continue;
+            };
             let nd = dist[i] + candidates[c].latency.0;
             if nd < dist[j] {
                 dist[j] = nd;
@@ -344,11 +345,7 @@ fn prune_candidates(candidates: &[CandidateKernel], cap: usize) -> Vec<Candidate
 /// The greedy per-primitive incumbent: select, for every primitive that has
 /// external consumers or is a graph output, the cheapest candidate whose
 /// members are exactly that primitive.
-fn greedy_incumbent(
-    g: &PrimGraph,
-    candidates: &[CandidateKernel],
-    n: usize,
-) -> Option<Vec<bool>> {
+fn greedy_incumbent(g: &PrimGraph, candidates: &[CandidateKernel], n: usize) -> Option<Vec<bool>> {
     let mut singleton_best: HashMap<NodeId, usize> = HashMap::new();
     for (i, k) in candidates.iter().enumerate() {
         if let [only] = k.members[..] {
@@ -501,7 +498,10 @@ fn schedule(
         })
         .collect();
     let total: Micros = kernels.iter().map(|k| k.latency).sum();
-    Ok(Plan { kernels, total_latency: total })
+    Ok(Plan {
+        kernels,
+        total_latency: total,
+    })
 }
 
 #[cfg(test)]
@@ -515,14 +515,38 @@ mod tests {
 
     fn softmax_prims(rows: usize, cols: usize) -> PrimGraph {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![rows, cols] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![rows, cols],
+                },
+                vec![],
+            )
+            .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
             .unwrap();
         let r = g
-            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )
             .unwrap();
-        let b = g.add(PrimKind::Broadcast { axis: 1, size: cols }, vec![r.into()]).unwrap();
+        let b = g
+            .add(
+                PrimKind::Broadcast {
+                    axis: 1,
+                    size: cols,
+                },
+                vec![r.into()],
+            )
+            .unwrap();
         let d = g
             .add(
                 PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
@@ -574,8 +598,13 @@ mod tests {
     fn no_redundancy_is_never_faster() {
         let g = softmax_prims(256, 128);
         let (with_red, _) = run(&g, &OptimizeConfig::default());
-        let (without, _) =
-            run(&g, &OptimizeConfig { allow_redundancy: false, ..Default::default() });
+        let (without, _) = run(
+            &g,
+            &OptimizeConfig {
+                allow_redundancy: false,
+                ..Default::default()
+            },
+        );
         assert!(with_red.total_latency.0 <= without.total_latency.0 + 1e-6);
     }
 
@@ -619,7 +648,9 @@ mod tests {
             &[Backend::Generated],
         );
         let mut only_exp = cands.clone();
-        only_exp.kernels.retain(|k| k.output_nodes == vec![NodeId(1)]);
+        only_exp
+            .kernels
+            .retain(|k| k.output_nodes == vec![NodeId(1)]);
         only_exp.seed_selections.clear();
         let err = optimize(&g, &only_exp, None, &OptimizeConfig::default()).unwrap_err();
         assert!(matches!(err, OrchError::Infeasible(_)));

@@ -18,7 +18,9 @@ pub struct BitSet {
 impl BitSet {
     /// An empty set sized for `n` bits.
     pub fn empty(n: usize) -> Self {
-        Self { words: vec![0; n.div_ceil(64)] }
+        Self {
+            words: vec![0; n.div_ceil(64)],
+        }
     }
 
     /// Inserts a bit.
@@ -33,7 +35,10 @@ impl BitSet {
 
     /// `true` iff `self ⊆ other`.
     pub fn is_subset(&self, other: &BitSet) -> bool {
-        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .all(|(a, b)| a & !b == 0)
     }
 
     /// Set difference `other \ self` as node ids.
@@ -113,7 +118,10 @@ pub fn enumerate_states(g: &PrimGraph, max_states: usize) -> StateSpace {
         }
     }
     let _ = succ;
-    StateSpace { states: order, truncated }
+    StateSpace {
+        states: order,
+        truncated,
+    }
 }
 
 #[cfg(test)]
@@ -127,7 +135,10 @@ mod tests {
         let mut prev = g.add(PrimKind::Input { shape: vec![4] }, vec![]).unwrap();
         for _ in 0..n {
             prev = g
-                .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![prev.into()])
+                .add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                    vec![prev.into()],
+                )
                 .unwrap();
         }
         g.mark_output(prev).unwrap();
@@ -138,10 +149,16 @@ mod tests {
         let mut g = PrimGraph::new();
         let x = g.add(PrimKind::Input { shape: vec![4] }, vec![]).unwrap();
         let a = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
             .unwrap();
         let b = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                vec![x.into()],
+            )
             .unwrap();
         let c = g
             .add(

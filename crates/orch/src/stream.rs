@@ -31,11 +31,46 @@ use std::collections::{BTreeSet, HashMap, HashSet};
 
 /// Resource class of a kernel body under concurrent execution.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum ResourceClass {
+pub enum ResourceClass {
     /// Saturates HBM bandwidth (no linear primitive, paper §5.2).
     Memory,
     /// Saturates the SMs / tensor cores.
     Compute,
+}
+
+/// How strongly co-running kernel bodies of the same [`ResourceClass`]
+/// contend for their shared resource. A body co-running with `n - 1`
+/// same-class bodies progresses at rate `1 / (1 + rate · (n - 1))`:
+/// `rate = 1.0` is full processor sharing (n bodies each at 1/n, the
+/// default), `rate = 0.0` is no contention at all. The runtime profiler's
+/// calibration fits these rates to measured overlap on the host.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamContention {
+    /// Sharing rate between concurrent memory-intensive bodies (HBM).
+    pub memory_rate: f64,
+    /// Sharing rate between concurrent compute-intensive bodies (SMs).
+    pub compute_rate: f64,
+}
+
+impl Default for StreamContention {
+    fn default() -> Self {
+        Self {
+            memory_rate: 1.0,
+            compute_rate: 1.0,
+        }
+    }
+}
+
+impl StreamContention {
+    /// Progress rate of one body co-running with `n` same-class bodies in
+    /// total (`n >= 1`).
+    fn rate(&self, class: ResourceClass, n: usize) -> f64 {
+        let r = match class {
+            ResourceClass::Memory => self.memory_rate,
+            ResourceClass::Compute => self.compute_rate,
+        };
+        1.0 / (1.0 + r.max(0.0) * (n.saturating_sub(1)) as f64)
+    }
 }
 
 /// Placement of one plan kernel on a stream, with simulated times in µs.
@@ -72,6 +107,20 @@ impl StreamSchedule {
     pub fn speedup_vs(&self, plan: &Plan) -> f64 {
         plan.total_latency.0 / self.makespan.0.max(1e-12)
     }
+
+    /// The schedule's lane structure: for each stream, the kernel indices
+    /// assigned to it in start-time order. Lane `s` of the result may be
+    /// empty if fewer kernels than streams exist. This is the view the
+    /// `korch-runtime` executor consumes — one worker thread per lane,
+    /// processing its kernels in this order.
+    pub fn lanes(&self) -> Vec<Vec<usize>> {
+        let mut lanes = vec![Vec::new(); self.num_streams];
+        // `assignments` is already sorted by start time.
+        for a in &self.assignments {
+            lanes[a.stream].push(a.kernel);
+        }
+        lanes
+    }
 }
 
 struct Job {
@@ -81,7 +130,8 @@ struct Job {
     class: ResourceClass,
 }
 
-/// Schedules `plan` onto `num_streams` lanes and simulates the makespan.
+/// Schedules `plan` onto `num_streams` lanes and simulates the makespan
+/// under the default full-sharing contention model.
 ///
 /// Kernels are started greedily in plan order (the plan order is a valid
 /// topological order of the kernel dependency DAG, so the list scheduler
@@ -95,6 +145,23 @@ pub fn schedule_streams(
     plan: &Plan,
     num_streams: usize,
     device: &Device,
+) -> StreamSchedule {
+    schedule_streams_with(g, plan, num_streams, device, &StreamContention::default())
+}
+
+/// [`schedule_streams`] with explicit [`StreamContention`] sharing rates
+/// (set via `OrchestratorConfig::contention`, or fitted by the runtime
+/// profiler's calibration).
+///
+/// # Panics
+///
+/// Panics if `num_streams == 0`.
+pub fn schedule_streams_with(
+    g: &PrimGraph,
+    plan: &Plan,
+    num_streams: usize,
+    device: &Device,
+    contention: &StreamContention,
 ) -> StreamSchedule {
     assert!(num_streams > 0, "need at least one stream");
     let n = plan.kernels.len();
@@ -179,19 +246,19 @@ pub fn schedule_streams(
             .iter()
             .filter(|&&k| jobs[k].launch_left <= 0.0 && jobs[k].class == ResourceClass::Memory)
             .count()
-            .max(1) as f64;
+            .max(1);
         let bodies_cmp = running
             .iter()
             .filter(|&&k| jobs[k].launch_left <= 0.0 && jobs[k].class == ResourceClass::Compute)
             .count()
-            .max(1) as f64;
+            .max(1);
         let rate = |k: usize| -> f64 {
             if jobs[k].launch_left > 0.0 {
                 1.0
             } else {
                 match jobs[k].class {
-                    ResourceClass::Memory => 1.0 / bodies_mem,
-                    ResourceClass::Compute => 1.0 / bodies_cmp,
+                    ResourceClass::Memory => contention.rate(ResourceClass::Memory, bodies_mem),
+                    ResourceClass::Compute => contention.rate(ResourceClass::Compute, bodies_cmp),
                 }
             }
         };
@@ -248,7 +315,11 @@ pub fn schedule_streams(
             .unwrap_or(std::cmp::Ordering::Equal)
             .then(a.kernel.cmp(&b.kernel))
     });
-    StreamSchedule { assignments, makespan: Micros(t), num_streams }
+    StreamSchedule {
+        assignments,
+        makespan: Micros(t),
+        num_streams,
+    }
 }
 
 #[cfg(test)]
@@ -270,13 +341,22 @@ mod tests {
             &IdentifyConfig::default(),
             &[Backend::Generated, Backend::Vendor],
         );
-        optimize(g, &cands, Some(&space), &OptimizeConfig::default()).unwrap().0
+        optimize(g, &cands, Some(&space), &OptimizeConfig::default())
+            .unwrap()
+            .0
     }
 
     /// Two independent branches: a big matmul and a long pointwise chain.
     fn heterogeneous_branches() -> PrimGraph {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![512, 512] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![512, 512],
+                },
+                vec![],
+            )
+            .unwrap();
         let w = g
             .add(
                 PrimKind::Constant {
@@ -288,23 +368,44 @@ mod tests {
             .unwrap();
         let mm = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![x.into(), w.into()],
             )
             .unwrap();
         g.mark_output(mm).unwrap();
         // Independent memory-bound branch on a second input.
-        let y = g.add(PrimKind::Input { shape: vec![2048, 2048] }, vec![]).unwrap();
+        let y = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![2048, 2048],
+                },
+                vec![],
+            )
+            .unwrap();
         let mut cur: PortRef = y.into();
         for _ in 0..3 {
             let e = g
                 .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![cur])
                 .unwrap();
             let r = g
-                .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+                .add(
+                    PrimKind::Reduce {
+                        kind: ReduceKind::Sum,
+                        axis: 1,
+                    },
+                    vec![e.into()],
+                )
                 .unwrap();
             let b = g
-                .add(PrimKind::Broadcast { axis: 1, size: 2048 }, vec![r.into()])
+                .add(
+                    PrimKind::Broadcast {
+                        axis: 1,
+                        size: 2048,
+                    },
+                    vec![r.into()],
+                )
                 .unwrap();
             cur = g
                 .add(
@@ -339,7 +440,14 @@ mod tests {
         // independent bandwidth-bound elementwise kernel. With two streams
         // their bodies overlap fully (different resource classes).
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![1024, 1024] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![1024, 1024],
+                },
+                vec![],
+            )
+            .unwrap();
         let w = g
             .add(
                 PrimKind::Constant {
@@ -351,13 +459,25 @@ mod tests {
             .unwrap();
         let mm = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![x.into(), w.into()],
             )
             .unwrap();
-        let y = g.add(PrimKind::Input { shape: vec![4096, 4096] }, vec![]).unwrap();
+        let y = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![4096, 4096],
+                },
+                vec![],
+            )
+            .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![y.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                vec![y.into()],
+            )
             .unwrap();
         g.mark_output(mm).unwrap();
         g.mark_output(e).unwrap();
@@ -373,9 +493,15 @@ mod tests {
                 backend,
             }
         };
-        let kernels = vec![mk(vec![mm], mm, Backend::Vendor), mk(vec![e], e, Backend::Generated)];
+        let kernels = vec![
+            mk(vec![mm], mm, Backend::Vendor),
+            mk(vec![e], e, Backend::Generated),
+        ];
         let total = kernels.iter().map(|k| k.latency).sum();
-        let plan = Plan { kernels, total_latency: total };
+        let plan = Plan {
+            kernels,
+            total_latency: total,
+        };
 
         let seq = schedule_streams(&g, &plan, 1, &device);
         let par = schedule_streams(&g, &plan, 2, &device);
@@ -394,7 +520,10 @@ mod tests {
         let a = &par.assignments[0];
         let b = &par.assignments[1];
         assert_ne!(a.stream, b.stream);
-        assert!(a.start_us < b.end_us && b.start_us < a.end_us, "no overlap: {a:?} {b:?}");
+        assert!(
+            a.start_us < b.end_us && b.start_us < a.end_us,
+            "no overlap: {a:?} {b:?}"
+        );
     }
 
     #[test]
@@ -404,9 +533,19 @@ mod tests {
         let mut g = PrimGraph::new();
         let mut outs = Vec::new();
         for _ in 0..4 {
-            let x = g.add(PrimKind::Input { shape: vec![1024, 1024] }, vec![]).unwrap();
+            let x = g
+                .add(
+                    PrimKind::Input {
+                        shape: vec![1024, 1024],
+                    },
+                    vec![],
+                )
+                .unwrap();
             let e = g
-                .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+                .add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                    vec![x.into()],
+                )
                 .unwrap();
             outs.push(e);
         }
@@ -435,8 +574,11 @@ mod tests {
             let s = schedule_streams(&g, &plan, streams, &Device::v100());
             let end: HashMap<usize, f64> =
                 s.assignments.iter().map(|a| (a.kernel, a.end_us)).collect();
-            let start: HashMap<usize, f64> =
-                s.assignments.iter().map(|a| (a.kernel, a.start_us)).collect();
+            let start: HashMap<usize, f64> = s
+                .assignments
+                .iter()
+                .map(|a| (a.kernel, a.start_us))
+                .collect();
             // Recompute the dependency relation and check start >= dep end.
             let mut first_producer: HashMap<NodeId, usize> = HashMap::new();
             for (i, k) in plan.kernels.iter().enumerate() {
@@ -479,13 +621,130 @@ mod tests {
     }
 
     #[test]
+    fn zero_contention_overlaps_identical_memory_branches() {
+        // With memory_rate = 0 the four equal bandwidth-bound branches
+        // overlap fully, unlike under the default full-sharing model.
+        let mut g = PrimGraph::new();
+        let mut outs = Vec::new();
+        for _ in 0..4 {
+            let x = g
+                .add(
+                    PrimKind::Input {
+                        shape: vec![1024, 1024],
+                    },
+                    vec![],
+                )
+                .unwrap();
+            let e = g
+                .add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                    vec![x.into()],
+                )
+                .unwrap();
+            outs.push(e);
+        }
+        for o in outs {
+            g.mark_output(o).unwrap();
+        }
+        // One kernel per branch (the BLP would fuse all four into one, which
+        // leaves nothing to overlap).
+        let device = Device::v100();
+        let profiler = Profiler::new(device.clone());
+        let kernels: Vec<_> = g
+            .iter()
+            .filter(|(_, n)| !n.kind.is_source())
+            .map(|(id, _)| {
+                let set: BTreeSet<NodeId> = [id].into_iter().collect();
+                let spec = korch_cost::kernel_spec(&g, &set, &[id.into()]);
+                crate::plan::SelectedKernel {
+                    members: vec![id],
+                    outputs: vec![id.into()],
+                    latency: profiler.latency(&spec, Backend::Generated),
+                    backend: Backend::Generated,
+                }
+            })
+            .collect();
+        let total = kernels.iter().map(|k| k.latency).sum();
+        let plan = Plan {
+            kernels,
+            total_latency: total,
+        };
+        let shared = schedule_streams(&g, &plan, 4, &device);
+        let free = schedule_streams_with(
+            &g,
+            &plan,
+            4,
+            &device,
+            &StreamContention {
+                memory_rate: 0.0,
+                compute_rate: 1.0,
+            },
+        );
+        assert!(
+            free.makespan.0 < shared.makespan.0 * 0.75,
+            "uncontended bodies should overlap: {} vs {}",
+            free.makespan.0,
+            shared.makespan.0
+        );
+        // And full sharing (the default) must equal the rate-1.0 model.
+        let explicit = schedule_streams_with(&g, &plan, 4, &device, &StreamContention::default());
+        assert!((explicit.makespan.0 - shared.makespan.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn orchestrator_schedule_honors_config_contention() {
+        let g = heterogeneous_branches();
+        let plan = orchestrate(&g);
+        let contention = StreamContention {
+            memory_rate: 0.25,
+            compute_rate: 0.5,
+        };
+        let orch =
+            crate::Orchestrator::new(Device::v100()).with_config(crate::OrchestratorConfig {
+                contention: contention.clone(),
+                ..Default::default()
+            });
+        let via_orchestrator = orch.schedule(&g, &plan, 3);
+        let direct = schedule_streams_with(&g, &plan, 3, &Device::v100(), &contention);
+        assert!(
+            (via_orchestrator.makespan.0 - direct.makespan.0).abs() < 1e-12,
+            "Orchestrator::schedule must use the configured contention rates"
+        );
+    }
+
+    #[test]
+    fn lanes_partition_all_kernels_in_start_order() {
+        let g = heterogeneous_branches();
+        let plan = orchestrate(&g);
+        let s = schedule_streams(&g, &plan, 3, &Device::v100());
+        let lanes = s.lanes();
+        assert_eq!(lanes.len(), 3);
+        let mut seen: Vec<usize> = lanes.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..plan.kernel_count()).collect::<Vec<_>>());
+        let start: HashMap<usize, f64> = s
+            .assignments
+            .iter()
+            .map(|a| (a.kernel, a.start_us))
+            .collect();
+        for lane in &lanes {
+            for w in lane.windows(2) {
+                assert!(start[&w[0]] <= start[&w[1]], "lane out of start order");
+            }
+        }
+    }
+
+    #[test]
     fn stream_lanes_never_overlap_in_time() {
         let g = heterogeneous_branches();
         let plan = orchestrate(&g);
         let s = schedule_streams(&g, &plan, 3, &Device::v100());
         let mut by_stream: HashMap<usize, Vec<(f64, f64)>> = HashMap::new();
         for a in &s.assignments {
-            by_stream.entry(a.stream).or_default().push((a.start_us, a.end_us));
+            by_stream
+                .entry(a.stream)
+                .or_default()
+                .push((a.start_us, a.end_us));
         }
         for (stream, mut spans) in by_stream {
             spans.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());

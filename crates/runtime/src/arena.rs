@@ -1,0 +1,307 @@
+//! Buffer arena: tensor-lifetime analysis over a kernel plan plus a
+//! size-classed recycling pool.
+//!
+//! The sequential interpreter in `korch-exec` keeps every materialized
+//! tensor alive until the program ends (allocate-everything). The runtime
+//! instead computes, for every materialized port, the last kernel that
+//! reads it; once that kernel retires, the buffer is released back to the
+//! arena, which recycles freed storage by size class and reports
+//! peak-resident bytes. On real accelerators this discipline is what keeps
+//! activation memory flat as plans grow (cf. AraOS: management overheads
+//! dominate once kernels go parallel); on the CPU runtime it bounds the
+//! working set the same way.
+
+use korch_ir::{NodeId, PortRef, PrimGraph};
+use korch_orch::Plan;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::Mutex;
+
+/// Memory behavior of one plan, from lifetime analysis alone (no
+/// execution needed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryReport {
+    /// Bytes if every materialized tensor lives to the end (the
+    /// `execute_plan` interpreter's behavior).
+    pub allocate_everything_bytes: u64,
+    /// Peak-resident bytes under last-reader reclamation, assuming the
+    /// plan's sequential kernel order.
+    pub peak_resident_bytes: u64,
+    /// Bytes of graph inputs + outputs, which can never be reclaimed.
+    pub pinned_bytes: u64,
+    /// Number of materialized buffers that die before the plan ends.
+    pub reclaimable_buffers: usize,
+}
+
+impl MemoryReport {
+    /// Fraction of the allocate-everything footprint the runtime saves.
+    pub fn savings(&self) -> f64 {
+        if self.allocate_everything_bytes == 0 {
+            return 0.0;
+        }
+        1.0 - self.peak_resident_bytes as f64 / self.allocate_everything_bytes as f64
+    }
+}
+
+/// Lifetime of one materialized port within a plan.
+#[derive(Debug, Clone, Copy)]
+pub struct Lifetime {
+    /// Kernel index that first materializes the port (`None` for sources,
+    /// which exist before kernel 0).
+    pub producer: Option<usize>,
+    /// Last kernel index that reads the port from device memory (`None`
+    /// if nothing reads it).
+    pub last_reader: Option<usize>,
+    /// The port is a graph output (or input) and must outlive the plan.
+    pub pinned: bool,
+}
+
+/// Computes per-port lifetimes for `plan` over `g`.
+///
+/// Materialized ports are the graph's sources (inputs + constants) plus
+/// every kernel output. A kernel "reads" a port when one of its members
+/// consumes that port from outside the kernel's member set — the exact
+/// rule `execute_plan` uses to hit the materialized map.
+pub fn plan_lifetimes(g: &PrimGraph, plan: &Plan) -> HashMap<PortRef, Lifetime> {
+    let mut lifetimes: HashMap<PortRef, Lifetime> = HashMap::new();
+    let outputs: HashSet<PortRef> = g.outputs().iter().copied().collect();
+    for (id, node) in g.iter() {
+        if node.kind.is_source() {
+            let port = PortRef::from(id);
+            lifetimes.insert(
+                port,
+                Lifetime {
+                    producer: None,
+                    last_reader: None,
+                    pinned: outputs.contains(&port),
+                },
+            );
+        }
+    }
+    for (i, k) in plan.kernels.iter().enumerate() {
+        for o in &k.outputs {
+            let e = lifetimes.entry(*o).or_insert(Lifetime {
+                producer: Some(i),
+                last_reader: None,
+                pinned: outputs.contains(o),
+            });
+            if e.producer.is_none() && !g.node(o.node).kind.is_source() {
+                e.producer = Some(i);
+            }
+        }
+    }
+    for (i, k) in plan.kernels.iter().enumerate() {
+        let members: HashSet<NodeId> = k.members.iter().copied().collect();
+        for &m in &k.members {
+            for r in &g.node(m).inputs {
+                if members.contains(&r.node) {
+                    continue;
+                }
+                if let Some(e) = lifetimes.get_mut(r) {
+                    e.last_reader = Some(e.last_reader.map_or(i, |p| p.max(i)));
+                }
+            }
+        }
+    }
+    // Graph inputs are pinned (the caller owns them); mark them so.
+    for (_, lt) in lifetimes.iter_mut() {
+        if lt.producer.is_none() {
+            lt.pinned = true;
+        }
+    }
+    lifetimes
+}
+
+/// Static memory report for a plan (see [`MemoryReport`]).
+pub fn plan_memory_report(g: &PrimGraph, plan: &Plan) -> MemoryReport {
+    let lifetimes = plan_lifetimes(g, plan);
+    let bytes = |p: &PortRef| g.meta(*p).byte_size() as u64;
+    let mut allocate_everything = 0u64;
+    let mut pinned = 0u64;
+    let mut reclaimable = 0usize;
+    // Sweep kernels in order, tracking resident bytes.
+    let n = plan.kernels.len();
+    let mut alloc_at: Vec<Vec<PortRef>> = vec![Vec::new(); n];
+    let mut free_after: Vec<Vec<PortRef>> = vec![Vec::new(); n];
+    let mut resident = 0u64;
+    for (port, lt) in &lifetimes {
+        let b = bytes(port);
+        allocate_everything += b;
+        if lt.pinned {
+            pinned += b;
+        }
+        match lt.producer {
+            None => resident += b, // sources exist up front
+            Some(i) => alloc_at[i].push(*port),
+        }
+        if !lt.pinned {
+            match lt.last_reader {
+                Some(r) => {
+                    free_after[r].push(*port);
+                    reclaimable += 1;
+                }
+                // Dead on arrival: freed right after production.
+                None => {
+                    if let Some(i) = lt.producer {
+                        free_after[i].push(*port);
+                        reclaimable += 1;
+                    }
+                }
+            }
+        }
+    }
+    let mut peak = resident;
+    for i in 0..n {
+        for p in &alloc_at[i] {
+            resident += bytes(p);
+        }
+        peak = peak.max(resident);
+        for p in &free_after[i] {
+            resident = resident.saturating_sub(bytes(p));
+        }
+    }
+    MemoryReport {
+        allocate_everything_bytes: allocate_everything,
+        peak_resident_bytes: peak,
+        pinned_bytes: pinned,
+        reclaimable_buffers: reclaimable,
+    }
+}
+
+/// Live accounting + size-classed recycling pool shared by the executor's
+/// worker threads.
+#[derive(Debug, Default)]
+pub struct BufferArena {
+    inner: Mutex<ArenaInner>,
+}
+
+#[derive(Debug, Default)]
+struct ArenaInner {
+    live_bytes: u64,
+    peak_bytes: u64,
+    total_allocs: u64,
+    reuse_hits: u64,
+    /// Freed `f32` storage by element count, kept for reuse.
+    free: BTreeMap<usize, Vec<Vec<f32>>>,
+    free_bytes: u64,
+}
+
+/// Snapshot of the arena counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Bytes of live (adopted, unreleased) buffers.
+    pub live_bytes: u64,
+    /// High-water mark of `live_bytes`.
+    pub peak_bytes: u64,
+    /// Buffers adopted in total.
+    pub total_allocs: u64,
+    /// Buffers genuinely recycled through [`BufferArena::take`].
+    pub reuse_hits: u64,
+    /// Bytes parked in the free pool.
+    pub free_bytes: u64,
+}
+
+impl BufferArena {
+    /// Fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Accounts for a newly materialized buffer of `numel` elements.
+    pub fn adopt(&self, numel: usize) {
+        let bytes = (numel * 4) as u64;
+        let mut inner = self.inner.lock().expect("arena poisoned");
+        inner.total_allocs += 1;
+        inner.live_bytes += bytes;
+        inner.peak_bytes = inner.peak_bytes.max(inner.live_bytes);
+    }
+
+    /// Releases a dead buffer's storage back to the pool for reuse.
+    pub fn release(&self, storage: Vec<f32>) {
+        let numel = storage.len();
+        let bytes = (numel * 4) as u64;
+        let mut inner = self.inner.lock().expect("arena poisoned");
+        inner.live_bytes = inner.live_bytes.saturating_sub(bytes);
+        inner.free_bytes += bytes;
+        inner.free.entry(numel).or_default().push(storage);
+    }
+
+    /// Accounts for a dead buffer whose storage cannot be recovered (e.g.
+    /// still shared); only the live counter drops.
+    pub fn release_untracked(&self, numel: usize) {
+        let mut inner = self.inner.lock().expect("arena poisoned");
+        inner.live_bytes = inner.live_bytes.saturating_sub((numel * 4) as u64);
+    }
+
+    /// Takes a recycled buffer of exactly `numel` elements, if one is
+    /// parked. This is the genuine reuse path: the executor stages run
+    /// inputs and kernel outputs into buffers recovered here, so freed
+    /// intermediate storage from earlier kernels (and earlier runs) backs
+    /// new tensors instead of fresh allocations. Each successful take is
+    /// a reuse hit.
+    pub fn take(&self, numel: usize) -> Option<Vec<f32>> {
+        let mut inner = self.inner.lock().expect("arena poisoned");
+        let bucket = inner.free.get_mut(&numel)?;
+        let buf = bucket.pop();
+        if buf.is_some() {
+            inner.reuse_hits += 1;
+            inner.free_bytes = inner.free_bytes.saturating_sub((numel * 4) as u64);
+        }
+        if inner.free.get(&numel).is_some_and(Vec::is_empty) {
+            inner.free.remove(&numel);
+        }
+        buf
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ArenaStats {
+        let inner = self.inner.lock().expect("arena poisoned");
+        ArenaStats {
+            live_bytes: inner.live_bytes,
+            peak_bytes: inner.peak_bytes,
+            total_allocs: inner.total_allocs,
+            reuse_hits: inner.reuse_hits,
+            free_bytes: inner.free_bytes,
+        }
+    }
+
+    /// Drops everything parked in the free pool and resets live counters
+    /// (between serving sessions).
+    pub fn reset(&self) {
+        let mut inner = self.inner.lock().expect("arena poisoned");
+        *inner = ArenaInner::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arena_counts_reuse_and_peak() {
+        let a = BufferArena::new();
+        a.adopt(1024);
+        a.adopt(1024);
+        assert_eq!(a.stats().peak_bytes, 2 * 4096);
+        a.release(vec![0.0; 1024]);
+        assert_eq!(a.stats().live_bytes, 4096);
+        let buf = a.take(1024).expect("parked buffer");
+        assert_eq!(buf.len(), 1024);
+        a.adopt(1024); // the recycled buffer backs a new tensor
+        let s = a.stats();
+        assert_eq!(s.reuse_hits, 1);
+        assert_eq!(s.live_bytes, 2 * 4096);
+        assert_eq!(s.free_bytes, 0);
+        assert_eq!(s.peak_bytes, 2 * 4096, "reuse must not raise the peak");
+    }
+
+    #[test]
+    fn take_returns_exact_class_only() {
+        let a = BufferArena::new();
+        a.release(vec![1.0; 64]);
+        assert!(a.take(128).is_none());
+        let buf = a.take(64).expect("parked buffer");
+        assert_eq!(buf.len(), 64);
+        assert!(a.take(64).is_none(), "pool is drained");
+        assert_eq!(a.stats().reuse_hits, 1);
+    }
+}

@@ -1,0 +1,612 @@
+//! The parallel plan executor: runs an orchestrated [`Plan`] for real,
+//! with one worker thread per stream lane, kernel-level dependency
+//! tracking, and eager buffer reclamation.
+//!
+//! The seed's `korch_exec::execute_plan` interprets kernels sequentially
+//! and `korch_orch::schedule_streams` only *simulates* multi-stream
+//! overlap. [`PlanExecutor`] closes the loop: lane assignments come from
+//! the simulated schedule, each lane runs on its own thread, and a kernel
+//! starts as soon as every kernel it depends on has retired (atomic
+//! completion flags + condvar wakeups). Kernel bodies reuse
+//! `korch_exec::eval_prim`, so the parallel execution is **bit-identical**
+//! to the sequential interpreter — same primitive evaluations in the same
+//! per-kernel order, only genuinely overlapped across kernels.
+
+use crate::arena::{plan_memory_report, BufferArena, MemoryReport};
+use crate::profiler::RuntimeProfile;
+use korch_cost::Device;
+use korch_exec::{eval_prim, materialize_const, ExecError};
+use korch_ir::{NodeId, PortRef, PrimGraph, PrimKind};
+use korch_orch::{schedule_streams_with, Plan, StreamContention, StreamSchedule};
+use korch_tensor::Tensor;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::time::Instant;
+
+/// Configuration of the runtime executor.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads / stream lanes (1 = sequential in-thread execution).
+    pub lanes: usize,
+    /// Device whose simulated schedule decides lane placement.
+    pub device: Device,
+    /// Contention model used for lane placement.
+    pub contention: StreamContention,
+    /// Record per-kernel wall times on every run.
+    pub profile: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            lanes: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+                .min(8),
+            device: Device::v100(),
+            contention: StreamContention::default(),
+            profile: true,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Config with an explicit lane count.
+    pub fn with_lanes(lanes: usize) -> Self {
+        Self {
+            lanes: lanes.max(1),
+            ..Self::default()
+        }
+    }
+}
+
+/// One kernel, preprocessed for repeated execution.
+struct KernelTask {
+    /// Members in ascending (= topological) node order.
+    members: Vec<NodeId>,
+    member_set: BTreeSet<NodeId>,
+    /// Output port → value slot.
+    outputs: Vec<(PortRef, usize)>,
+    /// Distinct ports read from materialized memory → value slot.
+    global_reads: Vec<(PortRef, usize)>,
+    /// Kernels that must retire before this one starts.
+    deps: Vec<usize>,
+}
+
+/// A compiled, repeatedly executable parallel plan.
+pub struct PlanExecutor {
+    graph: PrimGraph,
+    kernels: Vec<KernelTask>,
+    /// Kernel indices per lane, in schedule start order.
+    lanes: Vec<Vec<usize>>,
+    schedule: StreamSchedule,
+    /// Slot count (sources + kernel outputs).
+    n_slots: usize,
+    /// Input slots in feed order, with expected shapes.
+    input_slots: Vec<(usize, Vec<usize>)>,
+    /// Constant tensors, materialized once and shared across runs.
+    const_slots: Vec<(usize, Arc<Tensor>)>,
+    /// Graph output ports → slots.
+    output_slots: Vec<(PortRef, usize)>,
+    /// Per-slot element count.
+    slot_numel: Vec<usize>,
+    /// Kernels reading each slot (for last-reader reclamation).
+    slot_readers: Vec<usize>,
+    /// Slots that must survive the whole run (inputs, constants, outputs).
+    slot_pinned: Vec<bool>,
+    memory_report: MemoryReport,
+    arena: BufferArena,
+    profile_enabled: bool,
+    profile: Mutex<RuntimeProfile>,
+}
+
+/// Shared state of one `execute` call.
+struct RunState {
+    values: Vec<RwLock<Option<Arc<Tensor>>>>,
+    finished: Vec<AtomicBool>,
+    remaining_readers: Vec<AtomicUsize>,
+    n_finished: Mutex<usize>,
+    wake: Condvar,
+    failed: AtomicBool,
+    error: Mutex<Option<ExecError>>,
+}
+
+impl PlanExecutor {
+    /// Compiles `plan` over `g` for repeated parallel execution.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Input`] if the plan reads a port no earlier
+    /// kernel materializes (such a plan would also fail under
+    /// `execute_plan`).
+    pub fn new(g: &PrimGraph, plan: &Plan, config: RuntimeConfig) -> Result<Self, ExecError> {
+        let lanes_requested = config.lanes.max(1);
+        let mut slots: HashMap<PortRef, usize> = HashMap::new();
+        let mut slot_numel: Vec<usize> = Vec::new();
+        let mut slot_of = |port: PortRef, numel: usize, slot_numel: &mut Vec<usize>| -> usize {
+            *slots.entry(port).or_insert_with(|| {
+                slot_numel.push(numel);
+                slot_numel.len() - 1
+            })
+        };
+
+        let mut input_slots = Vec::new();
+        let mut const_slots = Vec::new();
+        for (id, node) in g.iter() {
+            match &node.kind {
+                PrimKind::Input { shape } => {
+                    let s = slot_of(id.into(), g.meta(id).numel(), &mut slot_numel);
+                    input_slots.push((s, shape.clone()));
+                }
+                PrimKind::Constant { shape, init } => {
+                    let s = slot_of(id.into(), g.meta(id).numel(), &mut slot_numel);
+                    const_slots.push((s, Arc::new(materialize_const(shape, init))));
+                }
+                _ => {}
+            }
+        }
+
+        // First (in plan order) kernel materializing each port.
+        let mut first_producer: HashMap<PortRef, usize> = HashMap::new();
+        for (i, k) in plan.kernels.iter().enumerate() {
+            for o in &k.outputs {
+                first_producer.entry(*o).or_insert(i);
+            }
+        }
+
+        let mut kernels = Vec::with_capacity(plan.kernels.len());
+        for (i, k) in plan.kernels.iter().enumerate() {
+            let mut members = k.members.clone();
+            members.sort_unstable();
+            let member_set: BTreeSet<NodeId> = members.iter().copied().collect();
+            let mut global_ports: BTreeSet<PortRef> = BTreeSet::new();
+            for &m in &members {
+                let node = g.node(m);
+                if node.kind.is_source() {
+                    continue;
+                }
+                for r in &node.inputs {
+                    // Mirrors execute_plan: in-kernel values come from the
+                    // local map, everything else (including source members)
+                    // from materialized memory.
+                    if member_set.contains(&r.node) && !g.node(r.node).kind.is_source() {
+                        continue;
+                    }
+                    global_ports.insert(*r);
+                }
+            }
+            let mut deps: BTreeSet<usize> = BTreeSet::new();
+            let mut global_reads = Vec::with_capacity(global_ports.len());
+            for port in global_ports {
+                if !g.node(port.node).kind.is_source() {
+                    match first_producer.get(&port) {
+                        Some(&p) if p < i => {
+                            deps.insert(p);
+                        }
+                        Some(&p) if p == i => {}
+                        _ => {
+                            return Err(ExecError::Input(format!(
+                                "plan kernel {i} reads port {}:{} that no earlier \
+                                 kernel materializes",
+                                port.node.0, port.port
+                            )))
+                        }
+                    }
+                }
+                let s = slot_of(port, g.meta(port).numel(), &mut slot_numel);
+                global_reads.push((port, s));
+            }
+            let outputs = k
+                .outputs
+                .iter()
+                .map(|o| (*o, slot_of(*o, g.meta(*o).numel(), &mut slot_numel)))
+                .collect();
+            kernels.push(KernelTask {
+                members,
+                member_set,
+                outputs,
+                global_reads,
+                deps: deps.into_iter().collect(),
+            });
+        }
+
+        let n_slots = slot_numel.len();
+        let mut slot_readers = vec![0usize; n_slots];
+        for k in &kernels {
+            for (_, s) in &k.global_reads {
+                slot_readers[*s] += 1;
+            }
+        }
+        let mut slot_pinned = vec![false; n_slots];
+        for (s, _) in &input_slots {
+            slot_pinned[*s] = true;
+        }
+        for (s, _) in &const_slots {
+            slot_pinned[*s] = true;
+        }
+        let mut output_slots = Vec::new();
+        for o in g.outputs() {
+            let s = *slots.get(o).ok_or(ExecError::NotMaterialized {
+                node: o.node.0,
+                port: o.port,
+            })?;
+            slot_pinned[s] = true;
+            output_slots.push((*o, s));
+        }
+
+        let schedule =
+            schedule_streams_with(g, plan, lanes_requested, &config.device, &config.contention);
+        let lanes = Self::consistent_lanes(&schedule, &kernels, lanes_requested);
+
+        Ok(Self {
+            graph: g.clone(),
+            memory_report: plan_memory_report(g, plan),
+            kernels,
+            lanes,
+            schedule,
+            n_slots,
+            input_slots,
+            const_slots,
+            output_slots,
+            slot_numel,
+            slot_readers,
+            slot_pinned,
+            arena: BufferArena::new(),
+            profile_enabled: config.profile,
+            profile: Mutex::new(RuntimeProfile::new(plan.kernels.len())),
+        })
+    }
+
+    /// Lane assignment from the simulated schedule, validated against the
+    /// executor's dependency relation: a lane's wait graph (lane
+    /// predecessors + kernel dependencies) must be acyclic or lane threads
+    /// could deadlock. Falls back to round-robin in plan order — always
+    /// acyclic, since every edge then goes from a lower to a higher kernel
+    /// index — if the schedule's lanes are inconsistent (possible only for
+    /// hand-built plans that re-materialize one node's ports in several
+    /// kernels).
+    fn consistent_lanes(
+        schedule: &StreamSchedule,
+        kernels: &[KernelTask],
+        lanes_requested: usize,
+    ) -> Vec<Vec<usize>> {
+        let lanes = schedule.lanes();
+        let n = kernels.len();
+        // Kahn's algorithm over lane-predecessor + dependency edges.
+        let mut indegree = vec![0usize; n];
+        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for lane in &lanes {
+            for w in lane.windows(2) {
+                edges[w[0]].push(w[1]);
+                indegree[w[1]] += 1;
+            }
+        }
+        for (i, k) in kernels.iter().enumerate() {
+            for &d in &k.deps {
+                edges[d].push(i);
+                indegree[i] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+        let mut seen = 0usize;
+        while let Some(i) = queue.pop() {
+            seen += 1;
+            for &j in &edges[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if seen == n {
+            return lanes;
+        }
+        let mut fallback = vec![Vec::new(); lanes_requested];
+        for i in 0..n {
+            fallback[i % lanes_requested].push(i);
+        }
+        fallback
+    }
+
+    /// The simulated schedule backing the lane assignment.
+    pub fn schedule(&self) -> &StreamSchedule {
+        &self.schedule
+    }
+
+    /// Number of worker lanes.
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// Static lifetime-analysis report for the compiled plan.
+    pub fn memory_report(&self) -> &MemoryReport {
+        &self.memory_report
+    }
+
+    /// Live arena counters (peak-resident bytes, reuse hits).
+    pub fn arena_stats(&self) -> crate::arena::ArenaStats {
+        self.arena.stats()
+    }
+
+    /// Snapshot of the accumulated wall-time profile.
+    pub fn profile(&self) -> RuntimeProfile {
+        self.profile.lock().expect("profile poisoned").clone()
+    }
+
+    /// Clears the accumulated profile.
+    pub fn reset_profile(&self) {
+        let mut p = self.profile.lock().expect("profile poisoned");
+        *p = RuntimeProfile::new(self.kernels.len());
+    }
+
+    /// Executes the plan on `inputs`, overlapping independent kernels
+    /// across lanes. Produces exactly `execute_plan`'s outputs, bit for
+    /// bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on input mismatches or kernel failures.
+    pub fn execute(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        let run_start = Instant::now();
+        let state = self.feed(inputs)?;
+        if self.lanes.iter().filter(|l| !l.is_empty()).count() <= 1 || self.kernels.len() <= 1 {
+            for lane in &self.lanes {
+                for &k in lane {
+                    self.run_kernel(k, &state)?;
+                    self.retire(k, &state);
+                }
+            }
+        } else {
+            std::thread::scope(|scope| {
+                for lane in self.lanes.iter().filter(|l| !l.is_empty()) {
+                    scope.spawn(|| self.run_lane(lane, &state));
+                }
+            });
+        }
+        if state.failed.load(Ordering::Acquire) {
+            let e = state.error.lock().expect("error poisoned").take();
+            return Err(e.unwrap_or_else(|| ExecError::Input("executor failed".into())));
+        }
+        if self.profile_enabled {
+            self.profile
+                .lock()
+                .expect("profile poisoned")
+                .record_run(run_start.elapsed().as_secs_f64() * 1e6);
+        }
+        let outputs = self
+            .output_slots
+            .iter()
+            .map(|(port, s)| {
+                let guard = state.values[*s].read().expect("slot poisoned");
+                guard
+                    .as_ref()
+                    .map(|a| a.as_ref().clone())
+                    .ok_or(ExecError::NotMaterialized {
+                        node: port.node.0,
+                        port: port.port,
+                    })
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        // Output buffers were adopted by their producing kernels but are
+        // pinned (skipped by retire); settle their accounting now that the
+        // caller holds copies, recycling the storage where possible.
+        let mut settled: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        for (port, s) in &self.output_slots {
+            if !settled.insert(*s) || self.graph.node(port.node).kind.is_source() {
+                continue;
+            }
+            if let Some(arc) = state.values[*s].write().expect("slot poisoned").take() {
+                match Arc::try_unwrap(arc) {
+                    Ok(t) => self.arena.release(t.into_vec()),
+                    Err(_) => self.arena.release_untracked(self.slot_numel[*s]),
+                }
+            }
+        }
+        Ok(outputs)
+    }
+
+    /// Validates inputs and builds the run state with sources filled.
+    fn feed(&self, inputs: &[Tensor]) -> Result<RunState, ExecError> {
+        if inputs.len() != self.input_slots.len() {
+            return Err(ExecError::Input(format!(
+                "graph has {} inputs but {} tensors were fed",
+                self.input_slots.len(),
+                inputs.len()
+            )));
+        }
+        for (fed, ((_, shape), t)) in self.input_slots.iter().zip(inputs).enumerate() {
+            if t.shape() != shape.as_slice() {
+                return Err(ExecError::Input(format!(
+                    "input {fed} has shape {:?}, expected {shape:?}",
+                    t.shape()
+                )));
+            }
+        }
+        let state = RunState {
+            values: (0..self.n_slots).map(|_| RwLock::new(None)).collect(),
+            finished: (0..self.kernels.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
+            remaining_readers: self
+                .slot_readers
+                .iter()
+                .map(|&n| AtomicUsize::new(n))
+                .collect(),
+            n_finished: Mutex::new(0),
+            wake: Condvar::new(),
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+        };
+        for ((s, _), t) in self.input_slots.iter().zip(inputs) {
+            *state.values[*s].write().expect("slot poisoned") = Some(Arc::new(self.stage_copy(t)));
+        }
+        for (s, t) in &self.const_slots {
+            *state.values[*s].write().expect("slot poisoned") = Some(Arc::clone(t));
+        }
+        Ok(state)
+    }
+
+    /// Copies `t` into a buffer recycled from the arena when one of the
+    /// right size class is parked — the genuine reuse path: storage freed
+    /// by last-reader reclamation (this run or earlier ones) backs the
+    /// copy instead of a fresh allocation.
+    fn stage_copy(&self, t: &Tensor) -> Tensor {
+        match self.arena.take(t.numel()) {
+            Some(mut buf) => {
+                buf.clear();
+                buf.extend_from_slice(t.as_slice());
+                Tensor::from_vec(t.shape().to_vec(), buf).expect("recycled buffer matches numel")
+            }
+            None => t.clone(),
+        }
+    }
+
+    /// Worker body: one lane's kernels, in schedule order.
+    fn run_lane(&self, lane: &[usize], state: &RunState) {
+        for &k in lane {
+            if !self.wait_for_deps(k, state) {
+                return; // another lane failed
+            }
+            match self.run_kernel(k, state) {
+                Ok(()) => self.retire(k, state),
+                Err(e) => {
+                    *state.error.lock().expect("error poisoned") = Some(e);
+                    state.failed.store(true, Ordering::Release);
+                    // Wake every waiter so all lanes unwind.
+                    let _guard = state.n_finished.lock().expect("finish poisoned");
+                    state.wake.notify_all();
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Blocks until every dependency of `k` retired. Returns `false` if
+    /// the run failed meanwhile.
+    fn wait_for_deps(&self, k: usize, state: &RunState) -> bool {
+        let ready = |state: &RunState| {
+            self.kernels[k]
+                .deps
+                .iter()
+                .all(|&d| state.finished[d].load(Ordering::Acquire))
+        };
+        if ready(state) {
+            return !state.failed.load(Ordering::Acquire);
+        }
+        let mut guard = state.n_finished.lock().expect("finish poisoned");
+        loop {
+            if state.failed.load(Ordering::Acquire) {
+                return false;
+            }
+            if ready(state) {
+                return true;
+            }
+            guard = state.wake.wait(guard).expect("finish poisoned");
+        }
+    }
+
+    /// Marks `k` retired, reclaims dead buffers, wakes waiters.
+    fn retire(&self, k: usize, state: &RunState) {
+        state.finished[k].store(true, Ordering::Release);
+        // Last-reader reclamation: ports only this kernel still needed.
+        for (_, s) in &self.kernels[k].global_reads {
+            if state.remaining_readers[*s].fetch_sub(1, Ordering::AcqRel) == 1
+                && !self.slot_pinned[*s]
+            {
+                let taken = state.values[*s].write().expect("slot poisoned").take();
+                if let Some(arc) = taken {
+                    match Arc::try_unwrap(arc) {
+                        Ok(t) => self.arena.release(t.into_vec()),
+                        Err(_) => self.arena.release_untracked(self.slot_numel[*s]),
+                    }
+                }
+            }
+        }
+        let mut n = state.n_finished.lock().expect("finish poisoned");
+        *n += 1;
+        state.wake.notify_all();
+    }
+
+    /// Executes one kernel exactly as `execute_plan` would: members in
+    /// ascending order, a local map for in-kernel values, materialized
+    /// reads for the rest.
+    fn run_kernel(&self, k: usize, state: &RunState) -> Result<(), ExecError> {
+        let start = Instant::now();
+        let task = &self.kernels[k];
+        let mut global: HashMap<PortRef, Arc<Tensor>> =
+            HashMap::with_capacity(task.global_reads.len());
+        for (port, s) in &task.global_reads {
+            let arc = state.values[*s]
+                .read()
+                .expect("slot poisoned")
+                .clone()
+                .ok_or(ExecError::NotMaterialized {
+                    node: port.node.0,
+                    port: port.port,
+                })?;
+            global.insert(*port, arc);
+        }
+        let mut local: HashMap<PortRef, Tensor> = HashMap::new();
+        for &m in &task.members {
+            let node = self.graph.node(m);
+            if node.kind.is_source() {
+                continue;
+            }
+            let ins: Vec<&Tensor> = node
+                .inputs
+                .iter()
+                .map(|r| {
+                    if task.member_set.contains(&r.node) {
+                        if let Some(t) = local.get(r) {
+                            return Ok(t);
+                        }
+                    }
+                    global
+                        .get(r)
+                        .map(|a| a.as_ref())
+                        .ok_or(ExecError::NotMaterialized {
+                            node: r.node.0,
+                            port: r.port,
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            let outs = eval_prim(&node.kind, &ins, m.0)?;
+            for (port, t) in outs.into_iter().enumerate() {
+                local.insert(PortRef { node: m, port }, t);
+            }
+        }
+        for (port, s) in &task.outputs {
+            let t =
+                local
+                    .get(port)
+                    .map(|t| self.stage_copy(t))
+                    .ok_or(ExecError::NotMaterialized {
+                        node: port.node.0,
+                        port: port.port,
+                    })?;
+            let mut w = state.values[*s].write().expect("slot poisoned");
+            // Redundant producers write identical bytes; first wins.
+            if w.is_none() {
+                self.arena.adopt(t.numel());
+                *w = Some(Arc::new(t));
+            }
+            // Dead-on-arrival outputs are reclaimed immediately.
+            if !self.slot_pinned[*s] && state.remaining_readers[*s].load(Ordering::Acquire) == 0 {
+                if let Some(arc) = w.take() {
+                    match Arc::try_unwrap(arc) {
+                        Ok(t) => self.arena.release(t.into_vec()),
+                        Err(_) => self.arena.release_untracked(self.slot_numel[*s]),
+                    }
+                }
+            }
+        }
+        if self.profile_enabled {
+            self.profile
+                .lock()
+                .expect("profile poisoned")
+                .record_kernel(k, start.elapsed().as_secs_f64() * 1e6);
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,337 @@
+//! The Korch runtime: actually executes orchestrated plans, concurrently.
+//!
+//! The rest of the workspace *optimizes* tensor programs (fission →
+//! primitive-graph transforms → BLP orchestration) and *simulates* their
+//! execution. This crate converts the repo from "optimizer + simulator"
+//! into "optimizer + runtime":
+//!
+//! - [`PlanExecutor`] — runs a [`korch_orch::Plan`] with one worker thread
+//!   per stream lane (lane placement from [`korch_orch::schedule_streams`]),
+//!   kernel-level dependency tracking (atomic completion flags + condvar
+//!   wakeups), and bit-identical results to `korch_exec::execute_plan`;
+//! - [`BufferArena`] / [`plan_memory_report`] — tensor-lifetime analysis,
+//!   last-reader buffer reclamation, size-classed reuse, and peak-resident
+//!   accounting (vs. the interpreter's allocate-everything behavior);
+//! - [`RuntimeProfile`] — per-kernel wall times with a calibration hook
+//!   ([`RuntimeProfile::fit_calibration`]) feeding measured latencies back
+//!   into the `korch_cost` analytical model;
+//! - [`Server`] — a request queue with dynamic batching over any
+//!   [`Model`], with throughput / latency statistics.
+//!
+//! ```
+//! use korch_ir::{EwFn, PrimGraph, PrimKind};
+//! use korch_orch::Orchestrator;
+//! use korch_cost::Device;
+//! use korch_runtime::{PlanExecutor, RuntimeConfig};
+//! use korch_tensor::{Tensor, UnaryOp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut g = PrimGraph::new();
+//! let x = g.add(PrimKind::Input { shape: vec![8, 8] }, vec![])?;
+//! let e = g.add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])?;
+//! g.mark_output(e)?;
+//! let plan = Orchestrator::new(Device::v100()).orchestrate(&g)?.plan;
+//! let executor = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2))?;
+//! let out = executor.execute(&[Tensor::random(vec![8, 8], 1)])?;
+//! assert_eq!(out.len(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arena;
+mod executor;
+mod profiler;
+mod serving;
+
+pub use arena::{
+    plan_lifetimes, plan_memory_report, ArenaStats, BufferArena, Lifetime, MemoryReport,
+};
+pub use executor::{PlanExecutor, RuntimeConfig};
+pub use profiler::{KernelStats, RuntimeProfile};
+pub use serving::{BatchConfig, Model, ResponseHandle, ServeError, Server, ServerStats};
+
+use korch_exec::ExecError;
+use korch_tensor::Tensor;
+
+impl Model for PlanExecutor {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        self.execute(inputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use korch_cost::Device;
+    use korch_exec::{execute_plan, execute_prims};
+    use korch_ir::{ConstInit, EwFn, LinearFn, PortRef, PrimGraph, PrimKind};
+    use korch_orch::Orchestrator;
+    use korch_tensor::{BinaryOp, MatMulSpec, ReduceKind, Tensor, UnaryOp};
+
+    /// Wide graph: `branches` independent softmax-ish chains, so plans
+    /// contain many independent kernels.
+    fn wide_graph(branches: usize, rows: usize, cols: usize) -> PrimGraph {
+        let mut g = PrimGraph::new();
+        for _ in 0..branches {
+            let x = g
+                .add(
+                    PrimKind::Input {
+                        shape: vec![rows, cols],
+                    },
+                    vec![],
+                )
+                .unwrap();
+            let e = g
+                .add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                    vec![x.into()],
+                )
+                .unwrap();
+            let r = g
+                .add(
+                    PrimKind::Reduce {
+                        kind: ReduceKind::Sum,
+                        axis: 1,
+                    },
+                    vec![e.into()],
+                )
+                .unwrap();
+            let b = g
+                .add(
+                    PrimKind::Broadcast {
+                        axis: 1,
+                        size: cols,
+                    },
+                    vec![r.into()],
+                )
+                .unwrap();
+            let d = g
+                .add(
+                    PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
+                    vec![e.into(), b.into()],
+                )
+                .unwrap();
+            g.mark_output(d).unwrap();
+        }
+        g
+    }
+
+    fn inputs_for(g: &PrimGraph, seed: u64) -> Vec<Tensor> {
+        g.iter()
+            .filter_map(|(_, n)| match &n.kind {
+                PrimKind::Input { shape } => Some(shape.clone()),
+                _ => None,
+            })
+            .enumerate()
+            .map(|(i, shape)| Tensor::random(shape, seed + i as u64))
+            .collect()
+    }
+
+    #[test]
+    fn parallel_execution_is_bit_identical() {
+        let g = wide_graph(4, 16, 32);
+        let plan = Orchestrator::new(Device::v100())
+            .orchestrate(&g)
+            .unwrap()
+            .plan;
+        let inputs = inputs_for(&g, 7);
+        let reference = execute_plan(&g, &plan, &inputs).unwrap();
+        for lanes in [1, 2, 4] {
+            let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+            let out = exec.execute(&inputs).unwrap();
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.shape(), b.shape());
+                assert_eq!(a.as_slice(), b.as_slice(), "lanes={lanes} diverged bitwise");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_runs_reuse_buffers() {
+        let g = wide_graph(3, 32, 64);
+        let plan = Orchestrator::new(Device::v100())
+            .orchestrate(&g)
+            .unwrap()
+            .plan;
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2)).unwrap();
+        let inputs = inputs_for(&g, 3);
+        let first = exec.execute(&inputs).unwrap();
+        for _ in 0..3 {
+            let again = exec.execute(&inputs).unwrap();
+            for (a, b) in first.iter().zip(&again) {
+                assert_eq!(a.as_slice(), b.as_slice(), "runs must be deterministic");
+            }
+        }
+        let stats = exec.arena_stats();
+        let report = exec.memory_report();
+        assert!(report.allocate_everything_bytes > 0);
+        assert!(report.peak_resident_bytes <= report.allocate_everything_bytes);
+        // Multi-kernel plans materialize intermediates; dead ones must be
+        // reclaimed and (across runs) recycled.
+        if report.reclaimable_buffers > 0 {
+            assert!(stats.reuse_hits > 0, "no reuse across four runs: {stats:?}");
+        }
+    }
+
+    #[test]
+    fn profiling_accumulates_and_calibrates() {
+        let g = wide_graph(2, 32, 32);
+        let plan = Orchestrator::new(Device::v100())
+            .orchestrate(&g)
+            .unwrap()
+            .plan;
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2)).unwrap();
+        let inputs = inputs_for(&g, 11);
+        for _ in 0..5 {
+            exec.execute(&inputs).unwrap();
+        }
+        let profile = exec.profile();
+        assert_eq!(profile.runs, 5);
+        assert!(profile.per_kernel.iter().all(|s| s.count == 5));
+        assert!(profile.sequential_us() > 0.0);
+        let cost = korch_cost::Profiler::new(Device::v100());
+        let samples = profile.calibration_samples(&g, &plan);
+        assert_eq!(samples.len(), plan.kernel_count());
+        let calibration = profile.fit_calibration(&g, &plan, &cost);
+        // CPU wall times are far from simulated GPU micros; the fit must
+        // still produce a finite positive scale and tighten the model.
+        assert!(calibration.memory_scale.is_finite() && calibration.memory_scale > 0.0);
+        let fitted = cost.clone().with_calibration(calibration);
+        let err_before = profile.model_error(&g, &plan, &cost);
+        let err_after = profile.model_error(&g, &plan, &fitted);
+        assert!(
+            err_after <= err_before + 1e-9,
+            "calibration should not worsen the fit: {err_before} -> {err_after}"
+        );
+    }
+
+    #[test]
+    fn executor_validates_inputs_like_the_interpreter() {
+        let g = wide_graph(1, 4, 8);
+        let plan = Orchestrator::new(Device::v100())
+            .orchestrate(&g)
+            .unwrap()
+            .plan;
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2)).unwrap();
+        assert!(exec.execute(&[]).is_err());
+        assert!(exec.execute(&[Tensor::zeros(vec![3, 3])]).is_err());
+        let too_many = vec![Tensor::zeros(vec![4, 8]), Tensor::zeros(vec![1])];
+        assert!(exec.execute(&too_many).is_err());
+    }
+
+    #[test]
+    fn compute_and_memory_kernels_overlap_without_deadlock() {
+        // A matmul branch plus elementwise branches, many lanes, many runs:
+        // exercises cross-lane waits under contention.
+        let mut g = PrimGraph::new();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![64, 64],
+                },
+                vec![],
+            )
+            .unwrap();
+        let w = g
+            .add(
+                PrimKind::Constant {
+                    shape: vec![64, 64],
+                    init: ConstInit::Random(5),
+                },
+                vec![],
+            )
+            .unwrap();
+        let mm = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
+                vec![x.into(), w.into()],
+            )
+            .unwrap();
+        let t = g
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                vec![mm.into()],
+            )
+            .unwrap();
+        g.mark_output(t).unwrap();
+        let y = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![128, 128],
+                },
+                vec![],
+            )
+            .unwrap();
+        let mut cur: PortRef = y.into();
+        for _ in 0..4 {
+            cur = g
+                .add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)),
+                    vec![cur],
+                )
+                .unwrap()
+                .into();
+        }
+        g.mark_output(cur.node).unwrap();
+        let plan = Orchestrator::new(Device::v100())
+            .orchestrate(&g)
+            .unwrap()
+            .plan;
+        let inputs = inputs_for(&g, 21);
+        let reference = execute_plan(&g, &plan, &inputs).unwrap();
+        for lanes in [2, 3, 8] {
+            let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+            for _ in 0..3 {
+                let out = exec.execute(&inputs).unwrap();
+                for (a, b) in reference.iter().zip(&out) {
+                    assert_eq!(a.as_slice(), b.as_slice());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matches_reference_prims_semantics() {
+        let g = wide_graph(2, 8, 16);
+        let plan = Orchestrator::new(Device::v100())
+            .orchestrate(&g)
+            .unwrap()
+            .plan;
+        let inputs = inputs_for(&g, 33);
+        let reference = execute_prims(&g, &inputs).unwrap();
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
+        let out = exec.execute(&inputs).unwrap();
+        for (a, b) in reference.iter().zip(&out) {
+            assert!(a.allclose(b, 1e-5));
+        }
+    }
+
+    #[test]
+    fn serves_a_real_plan() {
+        let g = wide_graph(2, 16, 16);
+        let plan = Orchestrator::new(Device::v100())
+            .orchestrate(&g)
+            .unwrap()
+            .plan;
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2)).unwrap();
+        let inputs = inputs_for(&g, 9);
+        let reference = exec.execute(&inputs).unwrap();
+        let server = Server::start(std::sync::Arc::new(exec), BatchConfig::default());
+        let handles: Vec<_> = (0..6).map(|_| server.submit(inputs.clone())).collect();
+        for h in handles {
+            let out = h.wait().expect("served response");
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.as_slice(), b.as_slice());
+            }
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 6);
+        assert_eq!(stats.errors, 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Wall-time profiling of executed plans, and the feedback path that fits
+//! the analytical cost model (`korch_cost`) to the host.
+//!
+//! The paper's profiler measures candidate kernels on real GPUs; the
+//! reproduction replaced it with an analytical model. The runtime closes
+//! the loop in the other direction: every kernel execution is timed, the
+//! accumulated means become [`CalibrationSample`]s, and
+//! [`Calibration::fit`] turns them into per-roofline-component scale
+//! factors, so the optimizer's cost model can be re-fitted to whatever
+//! host actually runs the plan.
+
+use korch_cost::{Calibration, CalibrationSample, KernelSpec, Micros, Profiler};
+use korch_ir::{NodeId, PrimGraph};
+use korch_orch::Plan;
+use std::collections::BTreeSet;
+
+/// Aggregated wall-time statistics of one kernel across runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct KernelStats {
+    /// Executions recorded.
+    pub count: u64,
+    /// Total wall time, µs.
+    pub total_us: f64,
+    /// Fastest execution, µs.
+    pub min_us: f64,
+    /// Slowest execution, µs.
+    pub max_us: f64,
+}
+
+impl KernelStats {
+    /// Mean wall time per execution, µs.
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_us / self.count as f64
+        }
+    }
+}
+
+/// Accumulated profile of a [`crate::PlanExecutor`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeProfile {
+    /// Per-kernel statistics, indexed like `plan.kernels`.
+    pub per_kernel: Vec<KernelStats>,
+    /// Completed `execute` calls.
+    pub runs: u64,
+    /// Total end-to-end wall time across runs, µs.
+    pub total_wall_us: f64,
+}
+
+impl RuntimeProfile {
+    /// Empty profile for `n` kernels.
+    pub fn new(n: usize) -> Self {
+        Self {
+            per_kernel: vec![KernelStats::default(); n],
+            runs: 0,
+            total_wall_us: 0.0,
+        }
+    }
+
+    /// Records one kernel execution.
+    pub fn record_kernel(&mut self, kernel: usize, wall_us: f64) {
+        let s = &mut self.per_kernel[kernel];
+        if s.count == 0 {
+            s.min_us = wall_us;
+            s.max_us = wall_us;
+        } else {
+            s.min_us = s.min_us.min(wall_us);
+            s.max_us = s.max_us.max(wall_us);
+        }
+        s.count += 1;
+        s.total_us += wall_us;
+    }
+
+    /// Records one completed run.
+    pub fn record_run(&mut self, wall_us: f64) {
+        self.runs += 1;
+        self.total_wall_us += wall_us;
+    }
+
+    /// Σ mean kernel times, µs: the sequential-execution estimate of the
+    /// measured plan (Eq. 2 over wall clocks).
+    pub fn sequential_us(&self) -> f64 {
+        self.per_kernel.iter().map(KernelStats::mean_us).sum()
+    }
+
+    /// Mean end-to-end wall time per run, µs.
+    pub fn mean_run_us(&self) -> f64 {
+        if self.runs == 0 {
+            0.0
+        } else {
+            self.total_wall_us / self.runs as f64
+        }
+    }
+
+    /// Measured speedup of overlapped execution over the sum of kernel
+    /// times (> 1 when lanes genuinely overlap).
+    pub fn overlap_speedup(&self) -> f64 {
+        let run = self.mean_run_us();
+        if run <= 0.0 {
+            return 1.0;
+        }
+        self.sequential_us() / run
+    }
+
+    /// Turns the profile into cost-model calibration samples: one per
+    /// kernel that has measurements, with the kernel's spec extracted from
+    /// the plan and the mean measured wall time.
+    pub fn calibration_samples(&self, g: &PrimGraph, plan: &Plan) -> Vec<CalibrationSample> {
+        plan.kernels
+            .iter()
+            .zip(&self.per_kernel)
+            .filter(|(_, s)| s.count > 0)
+            .map(|(k, s)| {
+                let members: BTreeSet<NodeId> = k.members.iter().copied().collect();
+                CalibrationSample {
+                    spec: korch_cost::kernel_spec(g, &members, &k.outputs),
+                    backend: k.backend,
+                    measured: Micros(s.mean_us()),
+                }
+            })
+            .collect()
+    }
+
+    /// Fits a [`Calibration`] of `cost_profiler` from this profile (see
+    /// [`Calibration::fit`]).
+    pub fn fit_calibration(
+        &self,
+        g: &PrimGraph,
+        plan: &Plan,
+        cost_profiler: &Profiler,
+    ) -> Calibration {
+        Calibration::fit(cost_profiler, &self.calibration_samples(g, plan))
+    }
+
+    /// Prediction error of a cost model against this profile: mean of
+    /// `|predicted - measured| / measured` over profiled kernels. Useful
+    /// to confirm a fitted calibration actually tightened the model.
+    pub fn model_error(&self, g: &PrimGraph, plan: &Plan, cost_profiler: &Profiler) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0usize;
+        for (k, s) in plan.kernels.iter().zip(&self.per_kernel) {
+            if s.count == 0 || s.mean_us() <= 0.0 {
+                continue;
+            }
+            let members: BTreeSet<NodeId> = k.members.iter().copied().collect();
+            let spec: KernelSpec = korch_cost::kernel_spec(g, &members, &k.outputs);
+            let predicted = cost_profiler.latency(&spec, k.backend).0;
+            sum += (predicted - s.mean_us()).abs() / s.mean_us();
+            n += 1;
+        }
+        if n == 0 {
+            0.0
+        } else {
+            sum / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_track_extrema_and_mean() {
+        let mut p = RuntimeProfile::new(2);
+        p.record_kernel(0, 10.0);
+        p.record_kernel(0, 30.0);
+        p.record_kernel(1, 5.0);
+        p.record_run(40.0);
+        assert_eq!(p.per_kernel[0].count, 2);
+        assert_eq!(p.per_kernel[0].min_us, 10.0);
+        assert_eq!(p.per_kernel[0].max_us, 30.0);
+        assert_eq!(p.per_kernel[0].mean_us(), 20.0);
+        assert_eq!(p.sequential_us(), 25.0);
+        assert_eq!(p.mean_run_us(), 40.0);
+    }
+
+    #[test]
+    fn empty_profile_is_neutral() {
+        let p = RuntimeProfile::new(3);
+        assert_eq!(p.sequential_us(), 0.0);
+        assert_eq!(p.overlap_speedup(), 1.0);
+    }
+}

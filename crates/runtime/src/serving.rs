@@ -1,0 +1,523 @@
+//! Batched serving front-end: a request queue with dynamic batching over
+//! a compiled model.
+//!
+//! Requests are submitted from any thread and enqueued; a batcher thread
+//! drains the queue into batches of up to `max_batch` requests, waiting at
+//! most `max_wait` for stragglers once the first request of a batch
+//! arrives. The batch then executes as one unit over the shared compiled
+//! model: all of its requests run **concurrently** (one thread each, on
+//! top of the executor's own lane parallelism), constants stay
+//! materialized, the executor's buffer arena stays warm, and per-kernel
+//! profiles accumulate across requests. Every response is delivered
+//! through its request's channel; throughput and latency percentiles are
+//! tracked over a sliding window.
+
+use korch_exec::ExecError;
+use korch_tensor::Tensor;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Anything the server can serve: a thread-safe "run inputs to outputs"
+/// model. Implemented by `korch_runtime::PlanExecutor` and by
+/// `korch_core`'s `CompiledModel`.
+pub trait Model: Send + Sync + 'static {
+    /// Runs one request.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] on invalid inputs or kernel failures.
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError>;
+}
+
+/// Dynamic-batching policy.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Maximum requests stacked into one batch.
+    pub max_batch: usize,
+    /// How long to hold an open batch for more requests.
+    pub max_wait: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self {
+            max_batch: 8,
+            max_wait: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Error returned to a waiting client.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The model failed on this request.
+    Exec(ExecError),
+    /// The server shut down before the request ran.
+    Shutdown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Exec(e) => write!(f, "execution: {e}"),
+            ServeError::Shutdown => write!(f, "server shut down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+struct Request {
+    inputs: Vec<Tensor>,
+    enqueued: Instant,
+    reply: mpsc::Sender<Result<Vec<Tensor>, ServeError>>,
+}
+
+/// Pending response of a submitted request.
+pub struct ResponseHandle {
+    rx: mpsc::Receiver<Result<Vec<Tensor>, ServeError>>,
+}
+
+impl ResponseHandle {
+    /// Blocks until the request completes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the model failed or the server stopped.
+    pub fn wait(self) -> Result<Vec<Tensor>, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::Shutdown))
+    }
+
+    /// Non-blocking poll; `None` while the request is still in flight.
+    pub fn try_wait(&self) -> Option<Result<Vec<Tensor>, ServeError>> {
+        match self.rx.try_recv() {
+            Ok(r) => Some(r),
+            Err(mpsc::TryRecvError::Empty) => None,
+            // Sender gone without a reply: the server shut down.
+            Err(mpsc::TryRecvError::Disconnected) => Some(Err(ServeError::Shutdown)),
+        }
+    }
+}
+
+/// Latency samples kept for percentile queries (sliding window, so a
+/// long-lived server stays O(1) in memory).
+const LATENCY_WINDOW: usize = 4096;
+
+#[derive(Default)]
+struct StatsInner {
+    requests: u64,
+    errors: u64,
+    batches: u64,
+    batched_requests: u64,
+    /// Ring buffer of the most recent end-to-end latencies, µs.
+    latencies_us: Vec<f64>,
+    latency_cursor: usize,
+}
+
+impl StatsInner {
+    fn record_latency(&mut self, us: f64) {
+        if self.latencies_us.len() < LATENCY_WINDOW {
+            self.latencies_us.push(us);
+        } else {
+            self.latencies_us[self.latency_cursor] = us;
+            self.latency_cursor = (self.latency_cursor + 1) % LATENCY_WINDOW;
+        }
+    }
+}
+
+/// Snapshot of serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests completed (including failures).
+    pub requests: u64,
+    /// Requests that returned an error.
+    pub errors: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean requests per batch.
+    pub mean_batch: f64,
+    /// Mean end-to-end latency, µs.
+    pub mean_latency_us: f64,
+    /// Median end-to-end latency, µs.
+    pub p50_latency_us: f64,
+    /// 95th-percentile end-to-end latency, µs.
+    pub p95_latency_us: f64,
+    /// Completed requests per second since the server started.
+    pub throughput_rps: f64,
+}
+
+struct Queue {
+    requests: Mutex<VecDeque<Request>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+}
+
+/// A serving front-end around a shared [`Model`].
+pub struct Server {
+    queue: Arc<Queue>,
+    stats: Arc<Mutex<StatsInner>>,
+    started: Instant,
+    batcher: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts a server (and its batcher thread) over `model`.
+    pub fn start(model: Arc<dyn Model>, config: BatchConfig) -> Self {
+        let queue = Arc::new(Queue {
+            requests: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let stats = Arc::new(Mutex::new(StatsInner::default()));
+        let batcher = {
+            let queue = Arc::clone(&queue);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || batcher_loop(&queue, &stats, &*model, &config))
+        };
+        Self {
+            queue,
+            stats,
+            started: Instant::now(),
+            batcher: Some(batcher),
+        }
+    }
+
+    /// Enqueues a request; the handle resolves when its batch executes.
+    pub fn submit(&self, inputs: Vec<Tensor>) -> ResponseHandle {
+        let (tx, rx) = mpsc::channel();
+        // The shutdown check happens under the queue lock: the batcher
+        // only exits after observing the flag with the (then empty) queue
+        // locked, so a request is either enqueued before that observation
+        // (and served or drained) or rejected here — never orphaned.
+        let mut q = self.queue.requests.lock().expect("queue poisoned");
+        if self.queue.shutdown.load(Ordering::Acquire) {
+            drop(q);
+            let _ = tx.send(Err(ServeError::Shutdown));
+            return ResponseHandle { rx };
+        }
+        q.push_back(Request {
+            inputs,
+            enqueued: Instant::now(),
+            reply: tx,
+        });
+        drop(q);
+        self.queue.available.notify_one();
+        ResponseHandle { rx }
+    }
+
+    /// Convenience: submit and block for the response.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] if the model failed or the server stopped.
+    pub fn infer(&self, inputs: Vec<Tensor>) -> Result<Vec<Tensor>, ServeError> {
+        self.submit(inputs).wait()
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> ServerStats {
+        let inner = self.stats.lock().expect("stats poisoned");
+        let mut sorted = inner.latencies_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let pct = |p: f64| -> f64 {
+            if sorted.is_empty() {
+                0.0
+            } else {
+                sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+            }
+        };
+        let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
+        ServerStats {
+            requests: inner.requests,
+            errors: inner.errors,
+            batches: inner.batches,
+            mean_batch: if inner.batches == 0 {
+                0.0
+            } else {
+                inner.batched_requests as f64 / inner.batches as f64
+            },
+            mean_latency_us: if sorted.is_empty() {
+                0.0
+            } else {
+                sorted.iter().sum::<f64>() / sorted.len() as f64
+            },
+            p50_latency_us: pct(0.50),
+            p95_latency_us: pct(0.95),
+            throughput_rps: inner.requests as f64 / elapsed,
+        }
+    }
+
+    /// Drains the queue, stops the batcher, and returns final statistics.
+    pub fn shutdown(mut self) -> ServerStats {
+        self.stop();
+        self.stats()
+    }
+
+    fn stop(&mut self) {
+        self.queue.shutdown.store(true, Ordering::Release);
+        self.queue.available.notify_all();
+        if let Some(h) = self.batcher.take() {
+            let _ = h.join();
+        }
+        // The batcher drains on its way out; this second sweep only
+        // defends against future exit paths forgetting to.
+        let mut q = self.queue.requests.lock().expect("queue poisoned");
+        while let Some(r) = q.pop_front() {
+            let _ = r.reply.send(Err(ServeError::Shutdown));
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn batcher_loop(queue: &Queue, stats: &Mutex<StatsInner>, model: &dyn Model, config: &BatchConfig) {
+    let max_batch = config.max_batch.max(1);
+    loop {
+        // Block for the first request of the next batch.
+        let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
+        {
+            let mut q = queue.requests.lock().expect("queue poisoned");
+            loop {
+                if let Some(r) = q.pop_front() {
+                    batch.push(r);
+                    break;
+                }
+                if queue.shutdown.load(Ordering::Acquire) {
+                    while let Some(r) = q.pop_front() {
+                        let _ = r.reply.send(Err(ServeError::Shutdown));
+                    }
+                    return;
+                }
+                q = queue.available.wait(q).expect("queue poisoned");
+            }
+            // Opportunistically take whatever is already queued.
+            while batch.len() < max_batch {
+                match q.pop_front() {
+                    Some(r) => batch.push(r),
+                    None => break,
+                }
+            }
+        }
+        // Hold the batch open briefly for stragglers.
+        let deadline = Instant::now() + config.max_wait;
+        while batch.len() < max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            let mut q = queue.requests.lock().expect("queue poisoned");
+            if let Some(r) = q.pop_front() {
+                batch.push(r);
+                continue;
+            }
+            if queue.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            let (guard, timeout) = queue
+                .available
+                .wait_timeout(q, deadline - now)
+                .expect("queue poisoned");
+            drop(guard);
+            if timeout.timed_out() {
+                break;
+            }
+        }
+
+        // Execute the batch as one unit: every request runs concurrently
+        // over the shared warm model (one thread per request on top of the
+        // executor's own lane parallelism), which is what makes grouping
+        // requests pay off beyond FIFO dispatch.
+        let n = batch.len() as u64;
+        std::thread::scope(|scope| {
+            for req in batch {
+                scope.spawn(move || {
+                    let result = model.run(&req.inputs).map_err(ServeError::Exec);
+                    let latency_us = req.enqueued.elapsed().as_secs_f64() * 1e6;
+                    let mut s = stats.lock().expect("stats poisoned");
+                    s.requests += 1;
+                    if result.is_err() {
+                        s.errors += 1;
+                    }
+                    s.record_latency(latency_us);
+                    drop(s);
+                    let _ = req.reply.send(result);
+                });
+            }
+        });
+        let mut s = stats.lock().expect("stats poisoned");
+        s.batches += 1;
+        s.batched_requests += n;
+        drop(s);
+
+        if queue.shutdown.load(Ordering::Acquire) {
+            // Fail whatever is still queued, then exit.
+            let mut q = queue.requests.lock().expect("queue poisoned");
+            while let Some(r) = q.pop_front() {
+                let _ = r.reply.send(Err(ServeError::Shutdown));
+            }
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Doubles its single input; counts concurrent entries.
+    struct Doubler {
+        concurrent: std::sync::atomic::AtomicUsize,
+    }
+
+    impl Model for Doubler {
+        fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+            self.concurrent.fetch_add(1, Ordering::SeqCst);
+            let out = inputs[0].map(|v| v * 2.0);
+            self.concurrent.fetch_sub(1, Ordering::SeqCst);
+            Ok(vec![out])
+        }
+    }
+
+    #[test]
+    fn serves_requests_and_tracks_stats() {
+        let model = Arc::new(Doubler {
+            concurrent: std::sync::atomic::AtomicUsize::new(0),
+        });
+        let server = Server::start(
+            model,
+            BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+            },
+        );
+        let handles: Vec<ResponseHandle> = (0..10)
+            .map(|i| server.submit(vec![Tensor::full(vec![4], i as f32)]))
+            .collect();
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.wait().expect("response");
+            assert_eq!(out[0].as_slice(), &[2.0 * i as f32; 4]);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, 10);
+        assert_eq!(stats.errors, 0);
+        assert!(
+            stats.batches >= 3,
+            "4-cap batching of 10: {}",
+            stats.batches
+        );
+        assert!(stats.mean_batch >= 1.0 && stats.mean_batch <= 4.0);
+        assert!(stats.p95_latency_us >= stats.p50_latency_us);
+        assert!(stats.throughput_rps > 0.0);
+    }
+
+    #[test]
+    fn batch_requests_run_concurrently() {
+        use std::sync::atomic::AtomicUsize;
+        struct Tracker {
+            cur: AtomicUsize,
+            max: AtomicUsize,
+        }
+        impl Model for Tracker {
+            fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+                let now = self.cur.fetch_add(1, Ordering::SeqCst) + 1;
+                self.max.fetch_max(now, Ordering::SeqCst);
+                std::thread::sleep(Duration::from_millis(10));
+                self.cur.fetch_sub(1, Ordering::SeqCst);
+                Ok(inputs.to_vec())
+            }
+        }
+        let model = Arc::new(Tracker {
+            cur: AtomicUsize::new(0),
+            max: AtomicUsize::new(0),
+        });
+        let server = Server::start(
+            Arc::clone(&model) as Arc<dyn Model>,
+            BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(50),
+            },
+        );
+        let handles: Vec<ResponseHandle> = (0..4)
+            .map(|_| server.submit(vec![Tensor::zeros(vec![2])]))
+            .collect();
+        for h in handles {
+            h.wait().expect("response");
+        }
+        server.shutdown();
+        assert!(
+            model.max.load(Ordering::SeqCst) >= 2,
+            "a batch must overlap its requests, max concurrency {}",
+            model.max.load(Ordering::SeqCst)
+        );
+    }
+
+    #[test]
+    fn every_handle_resolves_across_shutdown() {
+        struct Echo;
+        impl Model for Echo {
+            fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+                Ok(inputs.to_vec())
+            }
+        }
+        for _ in 0..10 {
+            let server = Server::start(Arc::new(Echo), BatchConfig::default());
+            let handles: Vec<ResponseHandle> = (0..8)
+                .map(|_| server.submit(vec![Tensor::zeros(vec![1])]))
+                .collect();
+            server.shutdown();
+            // Every handle must resolve (served or Shutdown), never hang,
+            // and try_wait must agree rather than reporting in-flight.
+            for h in handles {
+                assert!(h.try_wait().is_some(), "handle unresolved after shutdown");
+            }
+        }
+    }
+
+    #[test]
+    fn shutdown_fails_pending_requests() {
+        struct Slow;
+        impl Model for Slow {
+            fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+                std::thread::sleep(Duration::from_millis(20));
+                Ok(inputs.to_vec())
+            }
+        }
+        let server = Server::start(
+            Arc::new(Slow),
+            BatchConfig {
+                max_batch: 1,
+                max_wait: Duration::ZERO,
+            },
+        );
+        let slow: Vec<ResponseHandle> = (0..5)
+            .map(|_| server.submit(vec![Tensor::zeros(vec![2])]))
+            .collect();
+        let stats = server.shutdown();
+        let outcomes: Vec<bool> = slow.into_iter().map(|h| h.wait().is_ok()).collect();
+        assert!(
+            outcomes.iter().any(|ok| !ok) || stats.requests == 5,
+            "either some requests were shut down or all completed"
+        );
+    }
+
+    #[test]
+    fn model_errors_are_delivered() {
+        struct Failing;
+        impl Model for Failing {
+            fn run(&self, _: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+                Err(ExecError::Input("nope".into()))
+            }
+        }
+        let server = Server::start(Arc::new(Failing), BatchConfig::default());
+        let err = server.infer(vec![Tensor::zeros(vec![1])]).unwrap_err();
+        assert!(matches!(err, ServeError::Exec(_)));
+        let stats = server.shutdown();
+        assert_eq!(stats.errors, 1);
+    }
+}

@@ -137,7 +137,8 @@ fn erf(x: f32) -> f32 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.3275911 * x);
     let poly = t
-        * (0.254829592 + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+        * (0.254_829_6
+            + t * (-0.284_496_72 + t * (1.421_413_8 + t * (-1.453_152_1 + t * 1.061_405_4))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -200,11 +201,26 @@ mod tests {
     fn binary_ops_apply_pointwise() {
         let a = Tensor::from_vec(vec![3], vec![1.0, 4.0, 9.0]).unwrap();
         let b = Tensor::from_vec(vec![3], vec![2.0, 2.0, 3.0]).unwrap();
-        assert_eq!(a.binary(&b, BinaryOp::Add).unwrap().as_slice(), &[3.0, 6.0, 12.0]);
-        assert_eq!(a.binary(&b, BinaryOp::Div).unwrap().as_slice(), &[0.5, 2.0, 3.0]);
-        assert_eq!(a.binary(&b, BinaryOp::Max).unwrap().as_slice(), &[2.0, 4.0, 9.0]);
-        assert_eq!(a.binary(&b, BinaryOp::Min).unwrap().as_slice(), &[1.0, 2.0, 3.0]);
-        assert_eq!(a.binary(&b, BinaryOp::Pow).unwrap().as_slice(), &[1.0, 16.0, 729.0]);
+        assert_eq!(
+            a.binary(&b, BinaryOp::Add).unwrap().as_slice(),
+            &[3.0, 6.0, 12.0]
+        );
+        assert_eq!(
+            a.binary(&b, BinaryOp::Div).unwrap().as_slice(),
+            &[0.5, 2.0, 3.0]
+        );
+        assert_eq!(
+            a.binary(&b, BinaryOp::Max).unwrap().as_slice(),
+            &[2.0, 4.0, 9.0]
+        );
+        assert_eq!(
+            a.binary(&b, BinaryOp::Min).unwrap().as_slice(),
+            &[1.0, 2.0, 3.0]
+        );
+        assert_eq!(
+            a.binary(&b, BinaryOp::Pow).unwrap().as_slice(),
+            &[1.0, 16.0, 729.0]
+        );
     }
 
     #[test]

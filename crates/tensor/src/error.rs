@@ -33,7 +33,10 @@ impl fmt::Display for TensorError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TensorError::ElementCount { expected, actual } => {
-                write!(f, "shape requires {expected} elements but buffer has {actual}")
+                write!(
+                    f,
+                    "shape requires {expected} elements but buffer has {actual}"
+                )
             }
             TensorError::ShapeMismatch { lhs, rhs } => {
                 write!(f, "incompatible shapes {lhs:?} and {rhs:?}")

@@ -164,7 +164,10 @@ impl Tensor {
     /// axis length.
     pub fn split(&self, axis: usize, sizes: &[usize]) -> Result<Vec<Tensor>, TensorError> {
         if axis >= self.rank() {
-            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let total: usize = sizes.iter().sum();
         if total != self.shape()[axis] {
@@ -193,7 +196,12 @@ impl Tensor {
     ///
     /// Returns [`TensorError::InvalidArgument`] if pad specs have the wrong
     /// rank.
-    pub fn pad(&self, before: &[usize], after: &[usize], value: f32) -> Result<Tensor, TensorError> {
+    pub fn pad(
+        &self,
+        before: &[usize],
+        after: &[usize],
+        value: f32,
+    ) -> Result<Tensor, TensorError> {
         let rank = self.rank();
         if before.len() != rank || after.len() != rank {
             return Err(TensorError::InvalidArgument(
@@ -326,7 +334,10 @@ mod tests {
         let t = Tensor::ones(vec![2, 2]);
         let p = t.pad(&[1, 1], &[1, 1], 0.0).unwrap();
         assert_eq!(p.shape(), &[4, 4]);
-        assert_eq!(p.reduce_sum(0).unwrap().reduce_sum(0).unwrap().as_slice(), &[4.0]);
+        assert_eq!(
+            p.reduce_sum(0).unwrap().reduce_sum(0).unwrap().as_slice(),
+            &[4.0]
+        );
         assert_eq!(p.at(&[0, 0]), 0.0);
         assert_eq!(p.at(&[1, 1]), 1.0);
     }

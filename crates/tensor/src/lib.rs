@@ -41,8 +41,6 @@ pub use pool::PoolSpec;
 pub use reduce::ReduceKind;
 pub use resize::ResizeMode;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
 use std::fmt;
 
 /// Row-major dense `f32` tensor.
@@ -76,13 +74,19 @@ impl Tensor {
 
     /// Creates a scalar (rank-0) tensor.
     pub fn scalar(value: f32) -> Self {
-        Self { shape: vec![], data: vec![value] }
+        Self {
+            shape: vec![],
+            data: vec![value],
+        }
     }
 
     /// Creates a tensor filled with `value`.
     pub fn full(shape: Vec<usize>, value: f32) -> Self {
         let numel = shape.iter().product();
-        Self { shape, data: vec![value; numel] }
+        Self {
+            shape,
+            data: vec![value; numel],
+        }
     }
 
     /// Creates a tensor of zeros.
@@ -98,9 +102,19 @@ impl Tensor {
     /// Creates a tensor with deterministic pseudo-random values in
     /// `[-1, 1)`, seeded by `seed` (reproducible across runs).
     pub fn random(shape: Vec<usize>, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        // SplitMix64: dependency-free, stable across platforms and runs.
+        let mut state = seed ^ 0x9E37_79B9_7F4A_7C15;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
         let numel = shape.iter().product();
-        let data = (0..numel).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let data = (0..numel)
+            .map(|_| ((next() >> 11) as f64 / (1u64 << 53) as f64 * 2.0 - 1.0) as f32)
+            .collect();
         Self { shape, data }
     }
 
@@ -290,7 +304,13 @@ mod tests {
     #[test]
     fn from_vec_checks_element_count() {
         let err = Tensor::from_vec(vec![2, 2], vec![1.0]).unwrap_err();
-        assert!(matches!(err, TensorError::ElementCount { expected: 4, actual: 1 }));
+        assert!(matches!(
+            err,
+            TensorError::ElementCount {
+                expected: 4,
+                actual: 1
+            }
+        ));
     }
 
     #[test]

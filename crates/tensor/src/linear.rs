@@ -75,12 +75,20 @@ impl Tensor {
             let ob = &mut out[bi * m * n..(bi + 1) * m * n];
             for i in 0..m {
                 for p in 0..k {
-                    let av = if spec.trans_a { ab[p * ak + i] } else { ab[i * ak + p] };
+                    let av = if spec.trans_a {
+                        ab[p * ak + i]
+                    } else {
+                        ab[i * ak + p]
+                    };
                     if av == 0.0 {
                         continue;
                     }
                     for j in 0..n {
-                        let bv = if spec.trans_b { bb[j * bn + p] } else { bb[p * bn + j] };
+                        let bv = if spec.trans_b {
+                            bb[j * bn + p]
+                        } else {
+                            bb[p * bn + j]
+                        };
                         ob[i * n + j] += av * bv;
                     }
                 }
@@ -113,7 +121,12 @@ impl Tensor {
                 "stride and groups must be positive".into(),
             ));
         }
-        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         let (o, cg, kh, kw) = (
             weight.shape()[0],
             weight.shape()[1],
@@ -212,12 +225,32 @@ mod tests {
         let a = Tensor::random(vec![4, 3], 1);
         let b = Tensor::random(vec![4, 5], 2);
         // aᵀ·b via flag vs via explicit transpose
-        let via_flag = a.matmul(&b, MatMulSpec { trans_a: true, trans_b: false }).unwrap();
-        let via_t = a.transpose(&[1, 0]).unwrap().matmul(&b, MatMulSpec::new()).unwrap();
+        let via_flag = a
+            .matmul(
+                &b,
+                MatMulSpec {
+                    trans_a: true,
+                    trans_b: false,
+                },
+            )
+            .unwrap();
+        let via_t = a
+            .transpose(&[1, 0])
+            .unwrap()
+            .matmul(&b, MatMulSpec::new())
+            .unwrap();
         assert!(via_flag.allclose(&via_t, 1e-5));
 
         let c = Tensor::random(vec![5, 4], 3);
-        let via_flag = a.matmul(&c, MatMulSpec { trans_a: true, trans_b: true }).unwrap();
+        let via_flag = a
+            .matmul(
+                &c,
+                MatMulSpec {
+                    trans_a: true,
+                    trans_b: true,
+                },
+            )
+            .unwrap();
         let via_t = a
             .transpose(&[1, 0])
             .unwrap()
@@ -257,7 +290,11 @@ mod tests {
         // matmul with a ones column vector.
         let x = Tensor::random(vec![5, 7], 6);
         let ones = Tensor::ones(vec![7, 1]);
-        let via_mm = x.matmul(&ones, MatMulSpec::new()).unwrap().reshape(vec![5]).unwrap();
+        let via_mm = x
+            .matmul(&ones, MatMulSpec::new())
+            .unwrap()
+            .reshape(vec![5])
+            .unwrap();
         let via_rs = x.reduce_sum(1).unwrap();
         assert!(via_mm.allclose(&via_rs, 1e-5));
     }

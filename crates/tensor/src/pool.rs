@@ -21,7 +21,11 @@ pub struct PoolSpec {
 impl PoolSpec {
     /// Pooling with square `kernel`, matching `stride`, and no padding.
     pub fn new(kernel: usize, stride: usize) -> Self {
-        Self { kernel, stride, padding: 0 }
+        Self {
+            kernel,
+            stride,
+            padding: 0,
+        }
     }
 
     /// Output spatial size for an input spatial size.
@@ -49,7 +53,12 @@ impl Tensor {
                 "pool kernel and stride must be positive".into(),
             ));
         }
-        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         if h + 2 * spec.padding < spec.kernel || w + 2 * spec.padding < spec.kernel {
             return Err(TensorError::InvalidArgument(
                 "pool window larger than padded input".into(),
@@ -122,7 +131,11 @@ mod tests {
     #[test]
     fn maxpool_with_padding_ignores_border() {
         let x = Tensor::full(vec![1, 1, 2, 2], -5.0);
-        let spec = PoolSpec { kernel: 3, stride: 1, padding: 1 };
+        let spec = PoolSpec {
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
         let y = x.pool2d(spec, ReduceKind::Max).unwrap();
         assert_eq!(y.shape(), &[1, 1, 2, 2]);
         // all windows see only -5 (padding is not a candidate value)
@@ -133,7 +146,11 @@ mod tests {
     fn pool_same_size_as_spp() {
         // SPP-style pooling: kernel 5, stride 1, pad 2 keeps spatial dims.
         let x = Tensor::random(vec![1, 2, 8, 8], 11);
-        let spec = PoolSpec { kernel: 5, stride: 1, padding: 2 };
+        let spec = PoolSpec {
+            kernel: 5,
+            stride: 1,
+            padding: 2,
+        };
         let y = x.pool2d(spec, ReduceKind::Max).unwrap();
         assert_eq!(y.shape(), x.shape());
     }

@@ -40,7 +40,10 @@ impl Tensor {
     /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`.
     pub fn reduce(&self, axis: usize, kind: ReduceKind) -> Result<Tensor, TensorError> {
         if axis >= self.rank() {
-            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let in_shape = self.shape();
         let axis_len = in_shape[axis];
@@ -97,7 +100,10 @@ impl Tensor {
     /// `rank` appends a trailing dimension).
     pub fn broadcast(&self, axis: usize, size: usize) -> Result<Tensor, TensorError> {
         if axis > self.rank() {
-            return Err(TensorError::AxisOutOfRange { axis, rank: self.rank() });
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
         }
         let mut out_shape = self.shape().to_vec();
         out_shape.insert(axis, size);

@@ -42,9 +42,16 @@ impl Tensor {
             )));
         }
         if out_h == 0 || out_w == 0 {
-            return Err(TensorError::InvalidArgument("resize target must be positive".into()));
+            return Err(TensorError::InvalidArgument(
+                "resize target must be positive".into(),
+            ));
         }
-        let (n, c, h, w) = (self.shape()[0], self.shape()[1], self.shape()[2], self.shape()[3]);
+        let (n, c, h, w) = (
+            self.shape()[0],
+            self.shape()[1],
+            self.shape()[2],
+            self.shape()[3],
+        );
         let mut out = vec![0f32; n * c * out_h * out_w];
         let x = self.as_slice();
         let sy = h as f32 / out_h as f32;

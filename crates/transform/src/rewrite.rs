@@ -81,21 +81,29 @@ impl Rewrite {
             }
         }
         if order.len() != total {
-            return Err(IrError::Invalid("rewrite introduced a dependency cycle".into()));
+            return Err(IrError::Invalid(
+                "rewrite introduced a dependency cycle".into(),
+            ));
         }
         let mut remap: HashMap<usize, NodeId> = HashMap::new();
         let mut out = PrimGraph::new();
         for &i in &order {
             let ins = inputs[i]
                 .iter()
-                .map(|r| PortRef { node: remap[&r.node.0], port: r.port })
+                .map(|r| PortRef {
+                    node: remap[&r.node.0],
+                    port: r.port,
+                })
                 .collect();
             let id = out.add(kinds[i].clone(), ins)?;
             remap.insert(i, id);
         }
         for o in g.outputs() {
             let s = subst(*o);
-            out.mark_output(PortRef { node: remap[&s.node.0], port: s.port })?;
+            out.mark_output(PortRef {
+                node: remap[&s.node.0],
+                port: s.port,
+            })?;
         }
         let (pruned, _) = out.eliminate_dead()?;
         Ok(pruned)
@@ -112,10 +120,16 @@ mod tests {
         let mut g = PrimGraph::new();
         let x = g.add(PrimKind::Input { shape: vec![4] }, vec![]).unwrap();
         let a = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                vec![x.into()],
+            )
             .unwrap();
         let b = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![a.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                vec![a.into()],
+            )
             .unwrap();
         g.mark_output(b).unwrap();
         g
@@ -134,8 +148,11 @@ mod tests {
         rw.substitute(NodeId(1).into(), abs.into());
         let out = rw.apply(&g).unwrap();
         assert_eq!(out.len(), 3); // input, abs, relu (old relu pruned)
-        let labels: Vec<String> =
-            out.nodes().iter().map(|n| korch_ir::NodeKind::label(&n.kind)).collect();
+        let labels: Vec<String> = out
+            .nodes()
+            .iter()
+            .map(|n| korch_ir::NodeKind::label(&n.kind))
+            .collect();
         assert!(labels.iter().any(|l| l.contains("abs")));
         assert_eq!(labels.iter().filter(|l| l.contains("relu")).count(), 1);
     }
@@ -163,7 +180,10 @@ mod tests {
         let mut g = PrimGraph::new();
         let x = g.add(PrimKind::Input { shape: vec![4] }, vec![]).unwrap();
         let a = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                vec![x.into()],
+            )
             .unwrap();
         let b = g
             .add(

@@ -58,7 +58,13 @@ impl Rule for ReduceToMatMul {
     fn apply_all(&self, g: &PrimGraph) -> Vec<PrimGraph> {
         let mut out = Vec::new();
         for (id, node) in g.iter() {
-            let PrimKind::Reduce { kind: ReduceKind::Sum, axis } = node.kind else { continue };
+            let PrimKind::Reduce {
+                kind: ReduceKind::Sum,
+                axis,
+            } = node.kind
+            else {
+                continue;
+            };
             let in_shape = g.meta(node.inputs[0]).shape().to_vec();
             if in_shape.len() < 2 || axis != in_shape.len() - 1 {
                 continue;
@@ -71,12 +77,17 @@ impl Rule for ReduceToMatMul {
             full_ones[in_shape.len() - 2] = n;
             let ones = rw.add_node(
                 g.len(),
-                PrimKind::Constant { shape: full_ones, init: ConstInit::Ones },
+                PrimKind::Constant {
+                    shape: full_ones,
+                    init: ConstInit::Ones,
+                },
                 vec![],
             );
             let mm = rw.add_node(
                 g.len(),
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![node.inputs[0], ones.into()],
             );
             let mut out_shape = in_shape.clone();
@@ -108,7 +119,9 @@ impl Rule for DivMatMulReorder {
     fn apply_all(&self, g: &PrimGraph) -> Vec<PrimGraph> {
         let mut out = Vec::new();
         for (mm_id, mm_node) in g.iter() {
-            let Some(spec) = matmul_spec(g, mm_id) else { continue };
+            let Some(spec) = matmul_spec(g, mm_id) else {
+                continue;
+            };
             if spec.trans_a {
                 continue; // row scaling no longer aligns with the last axis
             }
@@ -119,7 +132,9 @@ impl Rule for DivMatMulReorder {
             };
             let div_node = g.node(div_port.node);
             let bcast_port = div_node.inputs[1];
-            let PrimKind::Broadcast { axis, .. } = g.node(bcast_port.node).kind else { continue };
+            let PrimKind::Broadcast { axis, .. } = g.node(bcast_port.node).kind else {
+                continue;
+            };
             let a_rank = g.meta(div_node.inputs[0]).rank();
             if axis != a_rank - 1 {
                 continue;
@@ -138,7 +153,10 @@ impl Rule for DivMatMulReorder {
                 .unwrap_or(1);
             let bcast2 = rw.add_node(
                 g.len(),
-                PrimKind::Broadcast { axis: a_rank - 1, size: out_cols },
+                PrimKind::Broadcast {
+                    axis: a_rank - 1,
+                    size: out_cols,
+                },
                 vec![s_port],
             );
             let div2 = rw.add_node(
@@ -206,11 +224,26 @@ impl Rule for MergeSharedMatMuls {
                 );
                 let split = rw.add_node(
                     g.len(),
-                    PrimKind::Layout(LayoutFn::Split { axis: rank - 1, sizes: vec![c1, c2] }),
+                    PrimKind::Layout(LayoutFn::Split {
+                        axis: rank - 1,
+                        sizes: vec![c1, c2],
+                    }),
                     vec![mm.into()],
                 );
-                rw.substitute(m1.into(), PortRef { node: split, port: 0 });
-                rw.substitute(m2.into(), PortRef { node: split, port: 1 });
+                rw.substitute(
+                    m1.into(),
+                    PortRef {
+                        node: split,
+                        port: 0,
+                    },
+                );
+                rw.substitute(
+                    m2.into(),
+                    PortRef {
+                        node: split,
+                        port: 1,
+                    },
+                );
                 if let Ok(new_g) = rw.apply(g) {
                     out.push(new_g);
                 }
@@ -232,7 +265,9 @@ impl Rule for FoldTransposeIntoMatMul {
     fn apply_all(&self, g: &PrimGraph) -> Vec<PrimGraph> {
         let mut out = Vec::new();
         for (mm_id, mm_node) in g.iter() {
-            let Some(spec) = matmul_spec(g, mm_id) else { continue };
+            let Some(spec) = matmul_spec(g, mm_id) else {
+                continue;
+            };
             for operand in 0..2 {
                 let t_port = mm_node.inputs[operand];
                 let PrimKind::Layout(LayoutFn::Transpose { perm }) = &g.node(t_port.node).kind
@@ -276,10 +311,7 @@ impl Rule for FoldTransposeIntoMatMul {
 
 /// Guard shared by tests: the rule machinery must never change program
 /// semantics. Exposed so integration tests can fuzz rule applications.
-pub fn rules_preserve_outputs(
-    original: &PrimGraph,
-    rewritten: &PrimGraph,
-) -> Result<(), IrError> {
+pub fn rules_preserve_outputs(original: &PrimGraph, rewritten: &PrimGraph) -> Result<(), IrError> {
     if original.outputs().len() != rewritten.outputs().len() {
         return Err(IrError::Invalid("output arity changed".into()));
     }
@@ -304,10 +336,15 @@ mod tests {
     /// Softmax(x) @ W — the Fig. 2 running example.
     fn softmax_matmul(m: usize, n: usize, p: usize) -> PrimGraph {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![m, n] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![m, n] }, vec![])
+            .unwrap();
         let w = g
             .add(
-                PrimKind::Constant { shape: vec![n, p], init: ConstInit::Random(7) },
+                PrimKind::Constant {
+                    shape: vec![n, p],
+                    init: ConstInit::Random(7),
+                },
                 vec![],
             )
             .unwrap();
@@ -318,9 +355,17 @@ mod tests {
             )
             .unwrap();
         let r = g
-            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )
             .unwrap();
-        let b = g.add(PrimKind::Broadcast { axis: 1, size: n }, vec![r.into()]).unwrap();
+        let b = g
+            .add(PrimKind::Broadcast { axis: 1, size: n }, vec![r.into()])
+            .unwrap();
         let d = g
             .add(
                 PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
@@ -329,7 +374,9 @@ mod tests {
             .unwrap();
         let mm = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![d.into(), w.into()],
             )
             .unwrap();
@@ -338,7 +385,7 @@ mod tests {
     }
 
     fn check_equivalent(a: &PrimGraph, b: &PrimGraph, input: Tensor) {
-        let ra = execute_prims(a, &[input.clone()]).unwrap();
+        let ra = execute_prims(a, std::slice::from_ref(&input)).unwrap();
         let rb = execute_prims(b, &[input]).unwrap();
         assert_eq!(ra.len(), rb.len());
         for (x, y) in ra.iter().zip(&rb) {
@@ -406,20 +453,34 @@ mod tests {
     #[test]
     fn merge_requires_same_lhs() {
         let mut g = PrimGraph::new();
-        let x1 = g.add(PrimKind::Input { shape: vec![4, 8] }, vec![]).unwrap();
-        let x2 = g.add(PrimKind::Input { shape: vec![4, 8] }, vec![]).unwrap();
+        let x1 = g
+            .add(PrimKind::Input { shape: vec![4, 8] }, vec![])
+            .unwrap();
+        let x2 = g
+            .add(PrimKind::Input { shape: vec![4, 8] }, vec![])
+            .unwrap();
         let w = g
-            .add(PrimKind::Constant { shape: vec![8, 3], init: ConstInit::Random(1) }, vec![])
+            .add(
+                PrimKind::Constant {
+                    shape: vec![8, 3],
+                    init: ConstInit::Random(1),
+                },
+                vec![],
+            )
             .unwrap();
         let m1 = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![x1.into(), w.into()],
             )
             .unwrap();
         let m2 = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![x2.into(), w.into()],
             )
             .unwrap();
@@ -431,16 +492,29 @@ mod tests {
     #[test]
     fn transpose_folds_into_flag() {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![8, 4] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![8, 4] }, vec![])
+            .unwrap();
         let w = g
-            .add(PrimKind::Constant { shape: vec![8, 3], init: ConstInit::Random(2) }, vec![])
+            .add(
+                PrimKind::Constant {
+                    shape: vec![8, 3],
+                    init: ConstInit::Random(2),
+                },
+                vec![],
+            )
             .unwrap();
         let t = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![x.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+                vec![x.into()],
+            )
             .unwrap();
         let mm = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![t.into(), w.into()],
             )
             .unwrap();
@@ -470,17 +544,35 @@ mod tests {
         // perm [1,0,2] permutes batch dims, not the contraction tail, so it
         // must not fold into a BLAS flag.
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![2, 2, 4, 8] }, vec![]).unwrap();
-        let w = g.add(PrimKind::Input { shape: vec![2, 2, 8, 3] }, vec![]).unwrap();
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![2, 2, 4, 8],
+                },
+                vec![],
+            )
+            .unwrap();
+        let w = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![2, 2, 8, 3],
+                },
+                vec![],
+            )
+            .unwrap();
         let t = g
             .add(
-                PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0, 2, 3] }),
+                PrimKind::Layout(LayoutFn::Transpose {
+                    perm: vec![1, 0, 2, 3],
+                }),
                 vec![w.into()],
             )
             .unwrap();
         let mm = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![x.into(), t.into()],
             )
             .unwrap();

@@ -25,9 +25,13 @@ impl Rule for ComposeTransposes {
     fn apply_all(&self, g: &PrimGraph) -> Vec<PrimGraph> {
         let mut out = Vec::new();
         for (id, node) in g.iter() {
-            let Some(p2) = transpose_perm(g, id) else { continue };
+            let Some(p2) = transpose_perm(g, id) else {
+                continue;
+            };
             let src_port = node.inputs[0];
-            let Some(p1) = transpose_perm(g, src_port.node) else { continue };
+            let Some(p1) = transpose_perm(g, src_port.node) else {
+                continue;
+            };
             // Output dim d of the composite reads input dim p1[p2[d]].
             let composed: Vec<usize> = p2.iter().map(|&d| p1[d]).collect();
             let original = g.node(src_port.node).inputs[0];
@@ -63,7 +67,9 @@ impl Rule for ComposeReshapes {
     fn apply_all(&self, g: &PrimGraph) -> Vec<PrimGraph> {
         let mut out = Vec::new();
         for (id, node) in g.iter() {
-            let PrimKind::Layout(LayoutFn::Reshape { shape }) = &node.kind else { continue };
+            let PrimKind::Layout(LayoutFn::Reshape { shape }) = &node.kind else {
+                continue;
+            };
             let src_port = node.inputs[0];
             // identity reshape
             if g.meta(src_port).shape() == shape.as_slice() {
@@ -80,7 +86,9 @@ impl Rule for ComposeReshapes {
                 let mut rw = Rewrite::new();
                 let r = rw.add_node(
                     g.len(),
-                    PrimKind::Layout(LayoutFn::Reshape { shape: shape.clone() }),
+                    PrimKind::Layout(LayoutFn::Reshape {
+                        shape: shape.clone(),
+                    }),
                     vec![original],
                 );
                 rw.substitute(id.into(), r.into());
@@ -152,11 +160,26 @@ impl Rule for MergeSharedRhsMatMuls {
                 );
                 let split = rw.add_node(
                     g.len(),
-                    PrimKind::Layout(LayoutFn::Split { axis: rank - 2, sizes: vec![r1, r2] }),
+                    PrimKind::Layout(LayoutFn::Split {
+                        axis: rank - 2,
+                        sizes: vec![r1, r2],
+                    }),
                     vec![mm.into()],
                 );
-                rw.substitute(m1.into(), korch_ir::PortRef { node: split, port: 0 });
-                rw.substitute(m2.into(), korch_ir::PortRef { node: split, port: 1 });
+                rw.substitute(
+                    m1.into(),
+                    korch_ir::PortRef {
+                        node: split,
+                        port: 0,
+                    },
+                );
+                rw.substitute(
+                    m2.into(),
+                    korch_ir::PortRef {
+                        node: split,
+                        port: 1,
+                    },
+                );
                 if let Ok(new_g) = rw.apply(g) {
                     out.push(new_g);
                 }
@@ -174,7 +197,14 @@ mod tests {
     use korch_tensor::{MatMulSpec, Tensor};
 
     fn input(g: &mut PrimGraph, shape: &[usize]) -> PortRef {
-        g.add(PrimKind::Input { shape: shape.to_vec() }, vec![]).unwrap().into()
+        g.add(
+            PrimKind::Input {
+                shape: shape.to_vec(),
+            },
+            vec![],
+        )
+        .unwrap()
+        .into()
     }
 
     #[test]
@@ -182,10 +212,16 @@ mod tests {
         let mut g = PrimGraph::new();
         let x = input(&mut g, &[3, 5]);
         let t1 = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![x])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+                vec![x],
+            )
             .unwrap();
         let t2 = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![t1.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+                vec![t1.into()],
+            )
             .unwrap();
         g.mark_output(t2).unwrap();
         let variants = ComposeTransposes.apply_all(&g);
@@ -199,16 +235,26 @@ mod tests {
         let mut g = PrimGraph::new();
         let x = input(&mut g, &[2, 3, 4]);
         let t1 = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 2, 0] }), vec![x])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose {
+                    perm: vec![1, 2, 0],
+                }),
+                vec![x],
+            )
             .unwrap();
         let t2 = g
-            .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![2, 0, 1] }), vec![t1.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Transpose {
+                    perm: vec![2, 0, 1],
+                }),
+                vec![t1.into()],
+            )
             .unwrap();
         g.mark_output(t2).unwrap();
         let variants = ComposeTransposes.apply_all(&g);
         assert_eq!(variants.len(), 1);
         let xs = Tensor::random(vec![2, 3, 4], 3);
-        let a = execute_prims(&g, &[xs.clone()]).unwrap();
+        let a = execute_prims(&g, std::slice::from_ref(&xs)).unwrap();
         let b = execute_prims(&variants[0], &[xs]).unwrap();
         assert!(a[0].allclose(&b[0], 1e-6));
     }
@@ -218,10 +264,16 @@ mod tests {
         let mut g = PrimGraph::new();
         let x = input(&mut g, &[2, 6]);
         let r1 = g
-            .add(PrimKind::Layout(LayoutFn::Reshape { shape: vec![12] }), vec![x])
+            .add(
+                PrimKind::Layout(LayoutFn::Reshape { shape: vec![12] }),
+                vec![x],
+            )
             .unwrap();
         let r2 = g
-            .add(PrimKind::Layout(LayoutFn::Reshape { shape: vec![3, 4] }), vec![r1.into()])
+            .add(
+                PrimKind::Layout(LayoutFn::Reshape { shape: vec![3, 4] }),
+                vec![r1.into()],
+            )
             .unwrap();
         g.mark_output(r2).unwrap();
         let variants = ComposeReshapes.apply_all(&g);
@@ -229,7 +281,7 @@ mod tests {
         let best = variants.iter().min_by_key(|v| v.len()).unwrap();
         assert_eq!(best.len(), 2); // input + single reshape
         let xs = Tensor::random(vec![2, 6], 4);
-        let a = execute_prims(&g, &[xs.clone()]).unwrap();
+        let a = execute_prims(&g, std::slice::from_ref(&xs)).unwrap();
         let b = execute_prims(best, &[xs]).unwrap();
         assert_eq!(a[0], b[0]);
     }
@@ -239,7 +291,10 @@ mod tests {
         let mut g = PrimGraph::new();
         let x = input(&mut g, &[2, 3]);
         let r = g
-            .add(PrimKind::Layout(LayoutFn::Reshape { shape: vec![2, 3] }), vec![x])
+            .add(
+                PrimKind::Layout(LayoutFn::Reshape { shape: vec![2, 3] }),
+                vec![x],
+            )
             .unwrap();
         g.mark_output(r).unwrap();
         let variants = ComposeReshapes.apply_all(&g);
@@ -254,19 +309,26 @@ mod tests {
         let a2 = input(&mut g, &[5, 8]);
         let w = g
             .add(
-                PrimKind::Constant { shape: vec![8, 4], init: ConstInit::Random(9) },
+                PrimKind::Constant {
+                    shape: vec![8, 4],
+                    init: ConstInit::Random(9),
+                },
                 vec![],
             )
             .unwrap();
         let m1 = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![a1, w.into()],
             )
             .unwrap();
         let m2 = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![a2, w.into()],
             )
             .unwrap();
@@ -296,7 +358,9 @@ mod tests {
         let a2 = input(&mut g, &[5, 4]);
         let m1 = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![a1, w1],
             )
             .unwrap();
@@ -304,7 +368,9 @@ mod tests {
         let w2 = input(&mut g, &[4, 2]);
         let m2 = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![a2, w2],
             )
             .unwrap();

@@ -25,7 +25,11 @@ pub struct SearchConfig {
 
 impl Default for SearchConfig {
     fn default() -> Self {
-        Self { max_depth: 4, beam: 8, max_variants: 12 }
+        Self {
+            max_depth: 4,
+            beam: 8,
+            max_variants: 12,
+        }
     }
 }
 
@@ -109,17 +113,36 @@ mod tests {
 
     fn softmax_matmul(m: usize, n: usize, p: usize) -> PrimGraph {
         let mut g = PrimGraph::new();
-        let x = g.add(PrimKind::Input { shape: vec![m, n] }, vec![]).unwrap();
+        let x = g
+            .add(PrimKind::Input { shape: vec![m, n] }, vec![])
+            .unwrap();
         let w = g
-            .add(PrimKind::Constant { shape: vec![n, p], init: ConstInit::Random(7) }, vec![])
+            .add(
+                PrimKind::Constant {
+                    shape: vec![n, p],
+                    init: ConstInit::Random(7),
+                },
+                vec![],
+            )
             .unwrap();
         let e = g
-            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)), vec![x.into()])
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
             .unwrap();
         let r = g
-            .add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])
+            .add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )
             .unwrap();
-        let b = g.add(PrimKind::Broadcast { axis: 1, size: n }, vec![r.into()]).unwrap();
+        let b = g
+            .add(PrimKind::Broadcast { axis: 1, size: n }, vec![r.into()])
+            .unwrap();
         let d = g
             .add(
                 PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
@@ -128,7 +151,9 @@ mod tests {
             .unwrap();
         let mm = g
             .add(
-                PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![d.into(), w.into()],
             )
             .unwrap();
@@ -144,20 +169,32 @@ mod tests {
         let variants = optimize_graph(&g, &SearchConfig::default());
         assert!(variants.len() > 1);
         let fig2 = variants.iter().any(|v| {
-            let mm = v.nodes().iter().filter(|n| matches!(n.kind, PrimKind::Linear(_))).count();
-            let red = v.nodes().iter().filter(|n| matches!(n.kind, PrimKind::Reduce { .. })).count();
+            let mm = v
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.kind, PrimKind::Linear(_)))
+                .count();
+            let red = v
+                .nodes()
+                .iter()
+                .filter(|n| matches!(n.kind, PrimKind::Reduce { .. }))
+                .count();
             mm == 1 && red == 0
         });
-        assert!(fig2, "Fig. 2b endpoint not found among {} variants", variants.len());
+        assert!(
+            fig2,
+            "Fig. 2b endpoint not found among {} variants",
+            variants.len()
+        );
     }
 
     #[test]
     fn all_variants_are_equivalent() {
         let g = softmax_matmul(4, 8, 3);
         let x = Tensor::random(vec![4, 8], 5);
-        let reference = execute_prims(&g, &[x.clone()]).unwrap();
+        let reference = execute_prims(&g, std::slice::from_ref(&x)).unwrap();
         for v in optimize_graph(&g, &SearchConfig::default()) {
-            let out = execute_prims(&v, &[x.clone()]).unwrap();
+            let out = execute_prims(&v, std::slice::from_ref(&x)).unwrap();
             assert!(reference[0].allclose(&out[0], 1e-4), "variant diverged");
         }
     }
@@ -172,8 +209,13 @@ mod tests {
     #[test]
     fn zero_depth_returns_original_only() {
         let g = softmax_matmul(4, 8, 3);
-        let variants =
-            optimize_graph(&g, &SearchConfig { max_depth: 0, ..Default::default() });
+        let variants = optimize_graph(
+            &g,
+            &SearchConfig {
+                max_depth: 0,
+                ..Default::default()
+            },
+        );
         assert_eq!(variants.len(), 1);
     }
 
@@ -182,7 +224,10 @@ mod tests {
         let g = softmax_matmul(8, 16, 4);
         let variants = optimize_graph(
             &g,
-            &SearchConfig { max_variants: 3, ..Default::default() },
+            &SearchConfig {
+                max_variants: 3,
+                ..Default::default()
+            },
         );
         assert!(variants.len() <= 3);
     }
@@ -192,7 +237,10 @@ mod tests {
         let g = softmax_matmul(8, 16, 4);
         let variants = optimize_graph(&g, &SearchConfig::default());
         let reduce_count = |v: &PrimGraph| {
-            v.nodes().iter().filter(|n| matches!(n.kind, PrimKind::Reduce { .. })).count()
+            v.nodes()
+                .iter()
+                .filter(|n| matches!(n.kind, PrimKind::Reduce { .. }))
+                .count()
         };
         // The best-ranked non-original variant has at most as many reduces
         // as the original.

@@ -37,20 +37,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let variants = optimize_graph(pg, &SearchConfig::default());
     println!("\n== transformation search: {} variants ==", variants.len());
     for (i, v) in variants.iter().enumerate() {
-        let mm = v.nodes().iter().filter(|n| matches!(n.kind, PrimKind::Linear(_))).count();
+        let mm = v
+            .nodes()
+            .iter()
+            .filter(|n| matches!(n.kind, PrimKind::Linear(_)))
+            .count();
         let red = v
             .nodes()
             .iter()
             .filter(|n| matches!(n.kind, PrimKind::Reduce { .. }))
             .count();
-        println!("  variant {i}: {} prims, {mm} matmuls, {red} reduces", v.len());
+        println!(
+            "  variant {i}: {} prims, {mm} matmuls, {red} reduces",
+            v.len()
+        );
     }
 
     // Every variant computes the same function.
     let x = Tensor::random(vec![64, 32], 7);
-    let reference = execute_prims(pg, &[x.clone()])?;
+    let reference = execute_prims(pg, std::slice::from_ref(&x))?;
     for v in &variants {
-        let out = execute_prims(v, &[x.clone()])?;
+        let out = execute_prims(v, std::slice::from_ref(&x))?;
         assert!(reference[0].allclose(&out[0], 1e-4), "variant diverged!");
     }
     println!("\nall variants verified equivalent on random inputs");

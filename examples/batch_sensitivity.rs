@@ -12,13 +12,19 @@ use korch::models::subgraphs::segformer_decoder;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Segformer decoder head on V100: latency (ms) per strategy\n");
-    println!("{:>6}  {:>10}  {:>10}  {:>10}  {:>8}", "batch", "TVM", "TensorRT", "Korch", "gain");
+    println!(
+        "{:>6}  {:>10}  {:>10}  {:>10}  {:>8}",
+        "batch", "TVM", "TensorRT", "Korch", "gain"
+    );
     for batch in [1usize, 4, 16] {
         let graph = segformer_decoder(batch);
         let tvm = orchestrate_baseline(Baseline::Tvm, &graph, &Device::v100())?;
         let trt = orchestrate_baseline(Baseline::TensorRt, &graph, &Device::v100())?;
         // Small subgraph: let Korch see it whole.
-        let config = KorchConfig { partition_max_prims: 64, ..Default::default() };
+        let config = KorchConfig {
+            partition_max_prims: 64,
+            ..Default::default()
+        };
         let korch = Korch::new(Device::v100(), config).optimize(&graph)?;
         let best_baseline = tvm
             .total_latency

@@ -20,11 +20,16 @@ fn graph_with_custom_attention(n: usize, d: usize) -> OpGraph {
     let v = g.add(OpKind::Input { shape: vec![n, d] }, vec![]).unwrap();
     let attn = g
         .add(
-            OpKind::Custom { name: "flash_attention".into(), out_shapes: vec![vec![n, d]] },
+            OpKind::Custom {
+                name: "flash_attention".into(),
+                out_shapes: vec![vec![n, d]],
+            },
             vec![q.into(), k.into(), v.into()],
         )
         .unwrap();
-    let out = g.add(OpKind::Unary(UnaryOp::Relu), vec![attn.into()]).unwrap();
+    let out = g
+        .add(OpKind::Unary(UnaryOp::Relu), vec![attn.into()])
+        .unwrap();
     g.mark_output(out).unwrap();
     g
 }
@@ -38,7 +43,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //     around it is orchestrated normally.
     let opaque = FissionEngine::new().fission(&g)?;
     let stats = korch::ir::PrimStats::of(&opaque.prim_graph);
-    println!("opaque lowering: {} primitives ({} opaque)", stats.computational(), stats.opaque);
+    println!(
+        "opaque lowering: {} primitives ({} opaque)",
+        stats.computational(),
+        stats.opaque
+    );
 
     // (b) Register a fission rule: exact attention as primitives. Now the
     //     softmax internals participate in kernel orchestration.
@@ -52,7 +61,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 vec![k],
             )?;
             let scores = pg.add(
-                PrimKind::Linear(korch::ir::LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(korch::ir::LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![q, kt.into()],
             )?;
             let scaled = pg.add(
@@ -63,14 +74,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
                 vec![scaled.into()],
             )?;
-            let s = pg.add(PrimKind::Reduce { kind: ReduceKind::Sum, axis: 1 }, vec![e.into()])?;
+            let s = pg.add(
+                PrimKind::Reduce {
+                    kind: ReduceKind::Sum,
+                    axis: 1,
+                },
+                vec![e.into()],
+            )?;
             let b = pg.add(PrimKind::Broadcast { axis: 1, size: n }, vec![s.into()])?;
             let p = pg.add(
                 PrimKind::Elementwise(EwFn::Binary(BinaryOp::Div)),
                 vec![e.into(), b.into()],
             )?;
             let out = pg.add(
-                PrimKind::Linear(korch::ir::LinearFn::MatMul { spec: MatMulSpec::new() }),
+                PrimKind::Linear(korch::ir::LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
                 vec![p.into(), v],
             )?;
             Ok(vec![out.into()])

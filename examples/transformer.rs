@@ -13,7 +13,10 @@ use korch::models::{llama_block, transformer_encoder, TransformerConfig};
 use korch::tensor::Tensor;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = TransformerConfig { layers: 2, ..TransformerConfig::base() };
+    let cfg = TransformerConfig {
+        layers: 2,
+        ..TransformerConfig::base()
+    };
     let korch = Korch::new(Device::v100(), KorchConfig::default());
 
     for (name, graph) in [
@@ -28,7 +31,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             graph.len(),
             optimized.stats().prim_nodes,
         );
-        for b in [Baseline::PyTorch, Baseline::Tvm, Baseline::TensorRt, Baseline::DnnFusion] {
+        for b in [
+            Baseline::PyTorch,
+            Baseline::Tvm,
+            Baseline::TensorRt,
+            Baseline::DnnFusion,
+        ] {
             let plan = orchestrate_baseline(b, &graph, &Device::v100())?;
             println!(
                 "  {:>10}: {:.4} ms in {} kernels ({:.2}x vs Korch)",

@@ -12,7 +12,11 @@
 //! - [`cost`] — analytical GPU cost model (the kernel-profiler substitute)
 //! - [`orch`] — execution-state DFS, kernel identifier, BLP orchestration
 //! - [`exec`] — interpreters for operator graphs, primitive graphs and plans
-//! - [`core`] — the end-to-end [`core::Korch`] pipeline
+//! - [`runtime`] — the parallel plan executor (lane threads, buffer arena,
+//!   wall-time profiler with cost-model calibration) and the batched
+//!   serving front-end
+//! - [`core`] — the end-to-end [`core::Korch`] pipeline and the
+//!   [`core::Korch::compile`] entry point onto the runtime
 //! - [`models`] — the five evaluation workloads and case-study subgraphs
 //! - [`baselines`] — PyTorch-, TVM- and TensorRT-like orchestrators
 //!
@@ -45,5 +49,6 @@ pub use korch_fission as fission;
 pub use korch_ir as ir;
 pub use korch_models as models;
 pub use korch_orch as orch;
+pub use korch_runtime as runtime;
 pub use korch_tensor as tensor;
 pub use korch_transform as transform;

@@ -31,7 +31,7 @@ fn input_is_output_passthrough() {
     let korch = Korch::new(Device::v100(), KorchConfig::default());
     let optimized = korch.optimize(&g).unwrap();
     let input = Tensor::random(vec![4], 5);
-    let out = optimized.execute(&[input.clone()]).unwrap();
+    let out = optimized.execute(std::slice::from_ref(&input)).unwrap();
     assert_eq!(out[1], input);
 }
 
@@ -40,9 +40,17 @@ fn constant_only_graph() {
     // No inputs at all: the program produces a transformed constant.
     let mut g = OpGraph::new();
     let c = g
-        .add(OpKind::Constant { shape: vec![6], init: ConstInit::Fill(2.0) }, vec![])
+        .add(
+            OpKind::Constant {
+                shape: vec![6],
+                init: ConstInit::Fill(2.0),
+            },
+            vec![],
+        )
         .unwrap();
-    let sq = g.add(OpKind::Unary(UnaryOp::Square), vec![c.into()]).unwrap();
+    let sq = g
+        .add(OpKind::Unary(UnaryOp::Square), vec![c.into()])
+        .unwrap();
     g.mark_output(sq).unwrap();
     let korch = Korch::new(Device::v100(), KorchConfig::default());
     let optimized = korch.optimize(&g).unwrap();
@@ -71,7 +79,11 @@ fn deep_chain_partitions_and_verifies() {
     let x = g.add(OpKind::Input { shape: vec![16] }, vec![]).unwrap();
     let mut cur = korch::ir::PortRef::from(x);
     for i in 0..60 {
-        let op = if i % 2 == 0 { UnaryOp::Tanh } else { UnaryOp::Abs };
+        let op = if i % 2 == 0 {
+            UnaryOp::Tanh
+        } else {
+            UnaryOp::Abs
+        };
         cur = g.add(OpKind::Unary(op), vec![cur]).unwrap().into();
     }
     g.mark_output(cur).unwrap();
@@ -86,8 +98,8 @@ fn trt_backend_orchestrator() {
     // Orchestrating with the TensorRT-runtime backend list must also work.
     let g = korch::models::subgraphs::softmax_attention(64, 32);
     let f = fission(&g).unwrap();
-    let orch = Orchestrator::new(Device::a100())
-        .with_backends(vec![Backend::TrtRuntime, Backend::Vendor]);
+    let orch =
+        Orchestrator::new(Device::a100()).with_backends(vec![Backend::TrtRuntime, Backend::Vendor]);
     let o = orch.orchestrate(&f.prim_graph).unwrap();
     assert!(o.plan.kernel_count() >= 1);
     assert!(o.plan.total_latency.0 > 0.0);

@@ -18,7 +18,7 @@ fn unary_graph(shape: Vec<usize>, op: OpKind) -> OpGraph {
 }
 
 fn check_fission_equivalence(g: &OpGraph, input: Tensor) {
-    let reference = execute_ops(g, &[input.clone()]).unwrap();
+    let reference = execute_ops(g, std::slice::from_ref(&input)).unwrap();
     let f = fission(g).unwrap();
     let out = execute_prims(&f.prim_graph, &[input]).unwrap();
     for (r, o) in reference.iter().zip(&out) {
@@ -28,7 +28,13 @@ fn check_fission_equivalence(g: &OpGraph, input: Tensor) {
 
 #[test]
 fn clip_matches_reference() {
-    let g = unary_graph(vec![4, 8], OpKind::Clip { min: -0.5, max: 0.5 });
+    let g = unary_graph(
+        vec![4, 8],
+        OpKind::Clip {
+            min: -0.5,
+            max: 0.5,
+        },
+    );
     let x = Tensor::random(vec![4, 8], 1);
     check_fission_equivalence(&g, x.clone());
     let out = execute_ops(&g, &[x]).unwrap();
@@ -58,7 +64,7 @@ fn global_avg_pool_matches_reference() {
     let g = unary_graph(vec![2, 3, 4, 4], OpKind::GlobalAvgPool);
     let x = Tensor::random(vec![2, 3, 4, 4], 3);
     check_fission_equivalence(&g, x.clone());
-    let out = execute_ops(&g, &[x.clone()]).unwrap();
+    let out = execute_ops(&g, std::slice::from_ref(&x)).unwrap();
     assert_eq!(out[0].shape(), &[2, 3, 1, 1]);
     // hand-check one channel mean
     let ch = x.slice(&[1, 2, 0, 0], &[2, 3, 4, 4]).unwrap();
@@ -69,9 +75,18 @@ fn global_avg_pool_matches_reference() {
 #[test]
 fn squeeze_unsqueeze_roundtrip() {
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![2, 1, 5] }, vec![]).unwrap();
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![2, 1, 5],
+            },
+            vec![],
+        )
+        .unwrap();
     let s = g.add(OpKind::Squeeze { axis: 1 }, vec![x.into()]).unwrap();
-    let u = g.add(OpKind::Unsqueeze { axis: 0 }, vec![s.into()]).unwrap();
+    let u = g
+        .add(OpKind::Unsqueeze { axis: 0 }, vec![s.into()])
+        .unwrap();
     g.mark_output(u).unwrap();
     assert_eq!(g.meta(PortRef::from(u)).shape(), &[1, 2, 5]);
     check_fission_equivalence(&g, Tensor::random(vec![2, 1, 5], 4));
@@ -90,16 +105,31 @@ fn mobilenet_style_block_optimizes_end_to_end() {
     // A MobileNetV3-flavoured block: conv -> hardswish -> depthwise ->
     // squeeze-excite-ish (global pool + clip) -> residual.
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![1, 8, 8, 8] }, vec![]).unwrap();
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![1, 8, 8, 8],
+            },
+            vec![],
+        )
+        .unwrap();
     let w1 = g
         .add(
-            OpKind::Constant { shape: vec![8, 8, 1, 1], init: korch::ir::ConstInit::Random(1) },
+            OpKind::Constant {
+                shape: vec![8, 8, 1, 1],
+                init: korch::ir::ConstInit::Random(1),
+            },
             vec![],
         )
         .unwrap();
     let c1 = g
         .add(
-            OpKind::Conv2d { stride: 1, padding: 0, groups: 1, bias: false },
+            OpKind::Conv2d {
+                stride: 1,
+                padding: 0,
+                groups: 1,
+                bias: false,
+            },
             vec![x.into(), w1.into()],
         )
         .unwrap();
@@ -113,7 +143,11 @@ fn mobilenet_style_block_optimizes_end_to_end() {
     let korch = Korch::new(Device::v100(), KorchConfig::default());
     let (optimized, err) = korch.optimize_verified(&g, 7).unwrap();
     assert!(err < 1e-4, "block diverged: {err}");
-    assert!(optimized.kernel_count() < 8, "expected fusion, got {}", optimized.kernel_count());
+    assert!(
+        optimized.kernel_count() < 8,
+        "expected fusion, got {}",
+        optimized.kernel_count()
+    );
 }
 
 // --- second-wave operators: GeluTanh, Elu, PRelu, LogSoftmax, GroupNorm,
@@ -126,7 +160,7 @@ fn gelu_tanh_matches_reference() {
     check_fission_equivalence(&g, x.clone());
     // The tanh approximation tracks the erf form to ~1e-3 on small inputs.
     let erf_g = unary_graph(vec![64], OpKind::Gelu);
-    let approx = execute_ops(&g, &[x.clone()]).unwrap();
+    let approx = execute_ops(&g, std::slice::from_ref(&x)).unwrap();
     let exact = execute_ops(&erf_g, &[x]).unwrap();
     assert!(approx[0].allclose(&exact[0], 5e-3), "approximation drifted");
 }
@@ -135,8 +169,8 @@ fn gelu_tanh_matches_reference() {
 fn elu_matches_reference() {
     for alpha in [0.5, 1.0, 2.0] {
         let g = unary_graph(vec![64], OpKind::Elu { alpha });
-        let x = Tensor::from_vec(vec![64], (0..64).map(|i| (i as f32 - 32.0) / 8.0).collect())
-            .unwrap();
+        let x =
+            Tensor::from_vec(vec![64], (0..64).map(|i| (i as f32 - 32.0) / 8.0).collect()).unwrap();
         check_fission_equivalence(&g, x.clone());
         let out = execute_ops(&g, &[x]).unwrap();
         let s = out[0].as_slice();
@@ -149,8 +183,22 @@ fn elu_matches_reference() {
 fn prelu_matches_reference_with_channel_slopes() {
     // slope is per-channel [1, C, 1, 1] broadcast over NCHW.
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![2, 3, 4, 4] }, vec![]).unwrap();
-    let slope = g.add(OpKind::Input { shape: vec![1, 3, 1, 1] }, vec![]).unwrap();
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![2, 3, 4, 4],
+            },
+            vec![],
+        )
+        .unwrap();
+    let slope = g
+        .add(
+            OpKind::Input {
+                shape: vec![1, 3, 1, 1],
+            },
+            vec![],
+        )
+        .unwrap();
     let p = g.add(OpKind::PRelu, vec![x.into(), slope.into()]).unwrap();
     g.mark_output(p).unwrap();
     let xv = Tensor::random(vec![2, 3, 4, 4], 5);
@@ -190,21 +238,37 @@ fn log_softmax_matches_reference() {
 fn group_norm_matches_reference() {
     for groups in [1, 2, 4] {
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![2, 4, 3, 3] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![2, 4, 3, 3],
+                },
+                vec![],
+            )
+            .unwrap();
         let s = g
             .add(
-                OpKind::Constant { shape: vec![4], init: korch::ir::ConstInit::Fill(1.5) },
+                OpKind::Constant {
+                    shape: vec![4],
+                    init: korch::ir::ConstInit::Fill(1.5),
+                },
                 vec![],
             )
             .unwrap();
         let b = g
             .add(
-                OpKind::Constant { shape: vec![4], init: korch::ir::ConstInit::Fill(-0.25) },
+                OpKind::Constant {
+                    shape: vec![4],
+                    init: korch::ir::ConstInit::Fill(-0.25),
+                },
                 vec![],
             )
             .unwrap();
         let gn = g
-            .add(OpKind::GroupNorm { groups, eps: 1e-5 }, vec![x.into(), s.into(), b.into()])
+            .add(
+                OpKind::GroupNorm { groups, eps: 1e-5 },
+                vec![x.into(), s.into(), b.into()],
+            )
             .unwrap();
         g.mark_output(gn).unwrap();
         check_fission_equivalence(&g, Tensor::random(vec![2, 4, 3, 3], 7));
@@ -216,19 +280,45 @@ fn group_norm_with_one_group_equals_flattened_layer_stats() {
     // groups == C: per-channel statistics — must agree with InstanceNorm.
     let mk = |kind: OpKind| {
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: vec![1, 4, 5, 5] }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![1, 4, 5, 5],
+                },
+                vec![],
+            )
+            .unwrap();
         let s = g
-            .add(OpKind::Constant { shape: vec![4], init: korch::ir::ConstInit::Ones }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![4],
+                    init: korch::ir::ConstInit::Ones,
+                },
+                vec![],
+            )
             .unwrap();
         let b = g
-            .add(OpKind::Constant { shape: vec![4], init: korch::ir::ConstInit::Zeros }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![4],
+                    init: korch::ir::ConstInit::Zeros,
+                },
+                vec![],
+            )
             .unwrap();
         let n = g.add(kind, vec![x.into(), s.into(), b.into()]).unwrap();
         g.mark_output(n).unwrap();
         g
     };
     let x = Tensor::random(vec![1, 4, 5, 5], 8);
-    let gn = execute_ops(&mk(OpKind::GroupNorm { groups: 4, eps: 1e-5 }), &[x.clone()]).unwrap();
+    let gn = execute_ops(
+        &mk(OpKind::GroupNorm {
+            groups: 4,
+            eps: 1e-5,
+        }),
+        std::slice::from_ref(&x),
+    )
+    .unwrap();
     let inorm = execute_ops(&mk(OpKind::InstanceNorm { eps: 1e-5 }), &[x]).unwrap();
     assert!(gn[0].allclose(&inorm[0], 1e-5));
 }
@@ -236,23 +326,51 @@ fn group_norm_with_one_group_equals_flattened_layer_stats() {
 #[test]
 fn group_norm_validates_divisibility() {
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![1, 6, 2, 2] }, vec![]).unwrap();
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![1, 6, 2, 2],
+            },
+            vec![],
+        )
+        .unwrap();
     let s = g.add(OpKind::Input { shape: vec![6] }, vec![]).unwrap();
     let b = g.add(OpKind::Input { shape: vec![6] }, vec![]).unwrap();
     assert!(g
-        .add(OpKind::GroupNorm { groups: 4, eps: 1e-5 }, vec![x.into(), s.into(), b.into()])
+        .add(
+            OpKind::GroupNorm {
+                groups: 4,
+                eps: 1e-5
+            },
+            vec![x.into(), s.into(), b.into()]
+        )
         .is_err());
     assert!(g
-        .add(OpKind::GroupNorm { groups: 0, eps: 1e-5 }, vec![x.into(), s.into(), b.into()])
+        .add(
+            OpKind::GroupNorm {
+                groups: 0,
+                eps: 1e-5
+            },
+            vec![x.into(), s.into(), b.into()]
+        )
         .is_err());
 }
 
 #[test]
 fn rms_norm_matches_reference() {
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![3, 7, 16] }, vec![]).unwrap();
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![3, 7, 16],
+            },
+            vec![],
+        )
+        .unwrap();
     let s = g.add(OpKind::Input { shape: vec![16] }, vec![]).unwrap();
-    let n = g.add(OpKind::RmsNorm { eps: 1e-6 }, vec![x.into(), s.into()]).unwrap();
+    let n = g
+        .add(OpKind::RmsNorm { eps: 1e-6 }, vec![x.into(), s.into()])
+        .unwrap();
     g.mark_output(n).unwrap();
     let xv = Tensor::random(vec![3, 7, 16], 9);
     let sv = Tensor::random(vec![16], 10);
@@ -269,18 +387,39 @@ fn rms_norm_matches_reference() {
 
 #[test]
 fn gemm_matches_reference() {
-    for (ta, tb, alpha, beta) in
-        [(false, false, 1.0, 1.0), (true, false, 0.5, 2.0), (false, true, 2.0, 0.0)]
-    {
+    for (ta, tb, alpha, beta) in [
+        (false, false, 1.0, 1.0),
+        (true, false, 0.5, 2.0),
+        (false, true, 2.0, 0.0),
+    ] {
         let mut g = OpGraph::new();
         let a_shape = if ta { vec![8, 4] } else { vec![4, 8] };
         let b_shape = if tb { vec![6, 8] } else { vec![8, 6] };
-        let a = g.add(OpKind::Input { shape: a_shape.clone() }, vec![]).unwrap();
-        let b = g.add(OpKind::Input { shape: b_shape.clone() }, vec![]).unwrap();
+        let a = g
+            .add(
+                OpKind::Input {
+                    shape: a_shape.clone(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let b = g
+            .add(
+                OpKind::Input {
+                    shape: b_shape.clone(),
+                },
+                vec![],
+            )
+            .unwrap();
         let c = g.add(OpKind::Input { shape: vec![6] }, vec![]).unwrap();
         let gm = g
             .add(
-                OpKind::Gemm { alpha, beta, trans_a: ta, trans_b: tb },
+                OpKind::Gemm {
+                    alpha,
+                    beta,
+                    trans_a: ta,
+                    trans_b: tb,
+                },
                 vec![a.into(), b.into(), c.into()],
             )
             .unwrap();
@@ -302,19 +441,46 @@ fn gemm_matches_reference() {
 #[test]
 fn new_ops_round_trip_through_text() {
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![2, 4, 3, 3] }, vec![]).unwrap();
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![2, 4, 3, 3],
+            },
+            vec![],
+        )
+        .unwrap();
     let s = g
-        .add(OpKind::Constant { shape: vec![4], init: korch::ir::ConstInit::Ones }, vec![])
+        .add(
+            OpKind::Constant {
+                shape: vec![4],
+                init: korch::ir::ConstInit::Ones,
+            },
+            vec![],
+        )
         .unwrap();
     let b = g
-        .add(OpKind::Constant { shape: vec![4], init: korch::ir::ConstInit::Zeros }, vec![])
+        .add(
+            OpKind::Constant {
+                shape: vec![4],
+                init: korch::ir::ConstInit::Zeros,
+            },
+            vec![],
+        )
         .unwrap();
     let gn = g
-        .add(OpKind::GroupNorm { groups: 2, eps: 1e-5 }, vec![x.into(), s.into(), b.into()])
+        .add(
+            OpKind::GroupNorm {
+                groups: 2,
+                eps: 1e-5,
+            },
+            vec![x.into(), s.into(), b.into()],
+        )
         .unwrap();
     let e = g.add(OpKind::Elu { alpha: 0.75 }, vec![gn.into()]).unwrap();
     let gt = g.add(OpKind::GeluTanh, vec![e.into()]).unwrap();
-    let ls = g.add(OpKind::LogSoftmax { axis: 1 }, vec![gt.into()]).unwrap();
+    let ls = g
+        .add(OpKind::LogSoftmax { axis: 1 }, vec![gt.into()])
+        .unwrap();
     g.mark_output(ls).unwrap();
     let text = korch::ir::text::op_to_text(&g);
     let back = korch::ir::text::op_from_text(&text).unwrap();
@@ -325,24 +491,53 @@ fn new_ops_round_trip_through_text() {
 fn new_ops_orchestrate_end_to_end() {
     // RMSNorm -> GeluTanh -> Gemm: a Llama-flavoured block tail.
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![16, 32] }, vec![]).unwrap();
-    let s = g
-        .add(OpKind::Constant { shape: vec![32], init: korch::ir::ConstInit::Ones }, vec![])
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![16, 32],
+            },
+            vec![],
+        )
         .unwrap();
-    let n = g.add(OpKind::RmsNorm { eps: 1e-6 }, vec![x.into(), s.into()]).unwrap();
+    let s = g
+        .add(
+            OpKind::Constant {
+                shape: vec![32],
+                init: korch::ir::ConstInit::Ones,
+            },
+            vec![],
+        )
+        .unwrap();
+    let n = g
+        .add(OpKind::RmsNorm { eps: 1e-6 }, vec![x.into(), s.into()])
+        .unwrap();
     let act = g.add(OpKind::GeluTanh, vec![n.into()]).unwrap();
     let w = g
         .add(
-            OpKind::Constant { shape: vec![32, 8], init: korch::ir::ConstInit::Random(3) },
+            OpKind::Constant {
+                shape: vec![32, 8],
+                init: korch::ir::ConstInit::Random(3),
+            },
             vec![],
         )
         .unwrap();
     let cbias = g
-        .add(OpKind::Constant { shape: vec![8], init: korch::ir::ConstInit::Random(4) }, vec![])
+        .add(
+            OpKind::Constant {
+                shape: vec![8],
+                init: korch::ir::ConstInit::Random(4),
+            },
+            vec![],
+        )
         .unwrap();
     let out = g
         .add(
-            OpKind::Gemm { alpha: 1.0, beta: 1.0, trans_a: false, trans_b: false },
+            OpKind::Gemm {
+                alpha: 1.0,
+                beta: 1.0,
+                trans_a: false,
+                trans_b: false,
+            },
             vec![act.into(), w.into(), cbias.into()],
         )
         .unwrap();
@@ -351,5 +546,9 @@ fn new_ops_orchestrate_end_to_end() {
     let (optimized, err) = korch.optimize_verified(&g, 13).unwrap();
     assert!(err < 1e-4, "diverged: {err}");
     // The norm + activation should fuse rather than run one-per-primitive.
-    assert!(optimized.kernel_count() <= 6, "got {} kernels", optimized.kernel_count());
+    assert!(
+        optimized.kernel_count() <= 6,
+        "got {} kernels",
+        optimized.kernel_count()
+    );
 }

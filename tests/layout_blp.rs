@@ -30,22 +30,40 @@ fn layout_plan_executes_functionally() {
     // scale -> transpose -> matmul: the layout plan (whatever it selects)
     // must compute exactly what the primitive graph computes.
     let mut g = PrimGraph::new();
-    let x = g.add(PrimKind::Input { shape: vec![128, 64] }, vec![]).unwrap();
+    let x = g
+        .add(
+            PrimKind::Input {
+                shape: vec![128, 64],
+            },
+            vec![],
+        )
+        .unwrap();
     let s = g
-        .add(PrimKind::Elementwise(EwFn::BinaryScalar(BinaryOp::Mul, 0.5)), vec![x.into()])
+        .add(
+            PrimKind::Elementwise(EwFn::BinaryScalar(BinaryOp::Mul, 0.5)),
+            vec![x.into()],
+        )
         .unwrap();
     let t = g
-        .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![s.into()])
+        .add(
+            PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+            vec![s.into()],
+        )
         .unwrap();
     let w = g
         .add(
-            PrimKind::Constant { shape: vec![128, 32], init: korch::ir::ConstInit::Random(1) },
+            PrimKind::Constant {
+                shape: vec![128, 32],
+                init: korch::ir::ConstInit::Random(1),
+            },
             vec![],
         )
         .unwrap();
     let mm = g
         .add(
-            PrimKind::Linear(LinearFn::MatMul { spec: MatMulSpec::new() }),
+            PrimKind::Linear(LinearFn::MatMul {
+                spec: MatMulSpec::new(),
+            }),
             vec![t.into(), w.into()],
         )
         .unwrap();
@@ -53,7 +71,7 @@ fn layout_plan_executes_functionally() {
     let (cands, profiler) = setup(&g);
     let outcome = optimize_with_layouts(&g, &cands, &profiler, &LayoutConfig::default()).unwrap();
     let x = Tensor::random(vec![128, 64], 17);
-    let reference = execute_prims(&g, &[x.clone()]).unwrap();
+    let reference = execute_prims(&g, std::slice::from_ref(&x)).unwrap();
     let out = execute_plan(&g, &outcome.plan, &[x]).unwrap();
     assert!(reference[0].allclose(&out[0], 1e-4));
 }
@@ -66,11 +84,9 @@ fn layout_blp_parity_on_attention_prims() {
     let op_graph = korch::models::subgraphs::softmax_attention(64, 32);
     let f = fission(&op_graph).unwrap();
     let (cands, profiler) = setup(&f.prim_graph);
-    let (std_plan, _) =
-        optimize(&f.prim_graph, &cands, None, &OptimizeConfig::default()).unwrap();
+    let (std_plan, _) = optimize(&f.prim_graph, &cands, None, &OptimizeConfig::default()).unwrap();
     let outcome =
-        optimize_with_layouts(&f.prim_graph, &cands, &profiler, &LayoutConfig::default())
-            .unwrap();
+        optimize_with_layouts(&f.prim_graph, &cands, &profiler, &LayoutConfig::default()).unwrap();
     assert!(
         outcome.plan.total_latency.0 <= std_plan.total_latency.0 * 1.02 + 1e-9,
         "layout-aware lost: {} vs {}",
@@ -78,7 +94,7 @@ fn layout_blp_parity_on_attention_prims() {
         std_plan.total_latency.0
     );
     let x = Tensor::random(vec![64, 32], 3);
-    let reference = execute_prims(&f.prim_graph, &[x.clone()]).unwrap();
+    let reference = execute_prims(&f.prim_graph, std::slice::from_ref(&x)).unwrap();
     let out = execute_plan(&f.prim_graph, &outcome.plan, &[x]).unwrap();
     assert!(reference[0].allclose(&out[0], 1e-3));
 }
@@ -89,32 +105,54 @@ fn uniform_swap_chain_survives_execution() {
     // execute: relabeled transposes are represented as ordinary plan
     // kernels (the interpreter is layout-blind), so results must agree.
     let mut g = PrimGraph::new();
-    let x = g.add(PrimKind::Input { shape: vec![256, 256] }, vec![]).unwrap();
+    let x = g
+        .add(
+            PrimKind::Input {
+                shape: vec![256, 256],
+            },
+            vec![],
+        )
+        .unwrap();
     let e1 = g
-        .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![x.into()])
+        .add(
+            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+            vec![x.into()],
+        )
         .unwrap();
     let t = g
-        .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![e1.into()])
+        .add(
+            PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+            vec![e1.into()],
+        )
         .unwrap();
     let t2 = g
-        .add(PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }), vec![t.into()])
+        .add(
+            PrimKind::Layout(LayoutFn::Transpose { perm: vec![1, 0] }),
+            vec![t.into()],
+        )
         .unwrap();
     let e2 = g
-        .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)), vec![t2.into()])
+        .add(
+            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)),
+            vec![t2.into()],
+        )
         .unwrap();
     g.mark_output(e2).unwrap();
     let (mut cands, profiler) = setup(&g);
     cands.kernels.retain(|k| {
         k.members.len() == 1
             || !k.members.iter().any(|&m| {
-                matches!(&g.node(m).kind, PrimKind::Layout(LayoutFn::Transpose { .. }))
+                matches!(
+                    &g.node(m).kind,
+                    PrimKind::Layout(LayoutFn::Transpose { .. })
+                )
             })
     });
     cands.seed_selections.clear();
     let outcome = optimize_with_layouts(&g, &cands, &profiler, &LayoutConfig::default()).unwrap();
     assert!(outcome.swapped_kernels > 0);
     let x = Tensor::random(vec![256, 256], 9);
-    let reference = execute_prims(&g, &[x.clone()]).unwrap();
+    let reference = execute_prims(&g, std::slice::from_ref(&x)).unwrap();
     let out = execute_plan(&g, &outcome.plan, &[x]).unwrap();
     assert!(reference[0].allclose(&out[0], 1e-5));
 }
@@ -124,12 +162,31 @@ fn layout_blp_on_fissioned_op_graph_with_gemm() {
     // Gemm with transposed operands coming out of fission keeps its flags;
     // the layout BLP must coexist with IR-level transpose flags.
     let mut g = korch::ir::OpGraph::new();
-    let a = g.add(OpKind::Input { shape: vec![96, 48] }, vec![]).unwrap();
-    let b = g.add(OpKind::Input { shape: vec![24, 96] }, vec![]).unwrap();
+    let a = g
+        .add(
+            OpKind::Input {
+                shape: vec![96, 48],
+            },
+            vec![],
+        )
+        .unwrap();
+    let b = g
+        .add(
+            OpKind::Input {
+                shape: vec![24, 96],
+            },
+            vec![],
+        )
+        .unwrap();
     let c = g.add(OpKind::Input { shape: vec![24] }, vec![]).unwrap();
     let gm = g
         .add(
-            OpKind::Gemm { alpha: 0.5, beta: 1.0, trans_a: true, trans_b: true },
+            OpKind::Gemm {
+                alpha: 0.5,
+                beta: 1.0,
+                trans_a: true,
+                trans_b: true,
+            },
             vec![a.into(), b.into(), c.into()],
         )
         .unwrap();
@@ -137,8 +194,7 @@ fn layout_blp_on_fissioned_op_graph_with_gemm() {
     let f = fission(&g).unwrap();
     let (cands, profiler) = setup(&f.prim_graph);
     let outcome =
-        optimize_with_layouts(&f.prim_graph, &cands, &profiler, &LayoutConfig::default())
-            .unwrap();
+        optimize_with_layouts(&f.prim_graph, &cands, &profiler, &LayoutConfig::default()).unwrap();
     let inputs = vec![
         Tensor::random(vec![96, 48], 1),
         Tensor::random(vec![24, 96], 2),

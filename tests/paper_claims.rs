@@ -61,7 +61,9 @@ fn fig10_efficientvit_attention_speedup_in_range() {
     // Paper: 3.29x over TensorRT with 5 kernels saved.
     let g = subgraphs::efficientvit_attention(1024, 16);
     let trt = orchestrate_baseline(Baseline::TensorRt, &g, &Device::v100()).unwrap();
-    let korch = Korch::new(Device::v100(), KorchConfig::default()).optimize(&g).unwrap();
+    let korch = Korch::new(Device::v100(), KorchConfig::default())
+        .optimize(&g)
+        .unwrap();
     let speedup = trt.total_latency.as_millis() / korch.latency_ms();
     assert!(
         (1.5..6.0).contains(&speedup),
@@ -94,10 +96,15 @@ fn fig7_fission_alone_helps_tensorrt() {
 fn fig13_crossover_with_batch_size() {
     // Paper: full fusion wins at batch 1; per-branch kernels win 2.88x at
     // batch 16; Korch picks the right side of the crossover both times.
-    let config = KorchConfig { partition_max_prims: 64, ..Default::default() };
+    let config = KorchConfig {
+        partition_max_prims: 64,
+        ..Default::default()
+    };
     let g1 = subgraphs::segformer_decoder(1);
     let g16 = subgraphs::segformer_decoder(16);
-    let k1 = Korch::new(Device::v100(), config.clone()).optimize(&g1).unwrap();
+    let k1 = Korch::new(Device::v100(), config.clone())
+        .optimize(&g1)
+        .unwrap();
     let k16 = Korch::new(Device::v100(), config).optimize(&g16).unwrap();
     // Batch 1: few kernels (full-fusion-like). Batch 16: several kernels.
     assert!(
@@ -129,7 +136,10 @@ fn v100_gains_exceed_a100_gains() {
     };
     let v = ratio(Device::v100());
     let a = ratio(Device::a100());
-    assert!(v > 1.0 && a > 1.0, "Korch should win on both: v={v:.2} a={a:.2}");
+    assert!(
+        v > 1.0 && a > 1.0,
+        "Korch should win on both: v={v:.2} a={a:.2}"
+    );
 }
 
 #[test]
@@ -137,7 +147,9 @@ fn opaque_operators_survive_the_pipeline() {
     // §3 "Supporting new operators": TopK stays opaque; the rest optimizes.
     let g = subgraphs::with_opaque_topk(4096, 16);
     let korch = Korch::new(Device::v100(), KorchConfig::default());
-    let optimized = korch.optimize(&g).expect("pipeline should not choke on opaque ops");
+    let optimized = korch
+        .optimize(&g)
+        .expect("pipeline should not choke on opaque ops");
     assert!(optimized.kernel_count() >= 2); // opaque kernel + the rest
     assert!(optimized.stats().prim_stats.opaque == 1);
 }
@@ -149,15 +161,30 @@ fn redundant_computation_is_exercised_when_profitable() {
     // beats materializing its large output.
     use korch::ir::{ConstInit, OpGraph, OpKind};
     let mut g = OpGraph::new();
-    let x = g.add(OpKind::Input { shape: vec![512, 512] }, vec![]).unwrap();
-    let t = g.add(OpKind::Transpose { perm: vec![1, 0] }, vec![x.into()]).unwrap();
+    let x = g
+        .add(
+            OpKind::Input {
+                shape: vec![512, 512],
+            },
+            vec![],
+        )
+        .unwrap();
+    let t = g
+        .add(OpKind::Transpose { perm: vec![1, 0] }, vec![x.into()])
+        .unwrap();
     // Three matmul consumers: linear primitives cannot share one kernel
     // (§6.5), so covering them without redundancy forces the transpose to
     // be materialized; recomputing it inside each matmul kernel is cheaper.
     let mut outs = Vec::new();
     for seed in 0..3u64 {
         let w = g
-            .add(OpKind::Constant { shape: vec![512, 64], init: ConstInit::Random(seed) }, vec![])
+            .add(
+                OpKind::Constant {
+                    shape: vec![512, 64],
+                    init: ConstInit::Random(seed),
+                },
+                vec![],
+            )
             .unwrap();
         let mm = g.add(OpKind::MatMul, vec![t.into(), w.into()]).unwrap();
         outs.push(mm);

@@ -108,7 +108,12 @@ fn multiple_devices_same_function() {
     let g = subgraphs::softmax_attention(48, 24);
     let inputs = random_inputs(&g, 9);
     let reference = execute_ops(&g, &inputs).unwrap();
-    for device in [Device::p100(), Device::v100(), Device::a100(), Device::h100()] {
+    for device in [
+        Device::p100(),
+        Device::v100(),
+        Device::a100(),
+        Device::h100(),
+    ] {
         let korch = Korch::new(device, KorchConfig::default());
         let optimized = korch.optimize(&g).unwrap();
         let out = optimized.execute(&inputs).unwrap();

@@ -20,20 +20,39 @@ fn arb_op_graph() -> impl Strategy<Value = (OpGraph, Vec<usize>)> {
     (dims, ops).prop_map(|((rows, cols), opcodes)| {
         let shape = vec![rows, cols];
         let mut g = OpGraph::new();
-        let x = g.add(OpKind::Input { shape: shape.clone() }, vec![]).unwrap();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: shape.clone(),
+                },
+                vec![],
+            )
+            .unwrap();
         let mut cur = korch::ir::PortRef::from(x);
         let mut prev = cur;
         for code in opcodes {
             let next = match code {
-                0 => g.add(OpKind::Unary(UnaryOp::Tanh), vec![cur]).unwrap().into(),
-                1 => g.add(OpKind::Unary(UnaryOp::Sigmoid), vec![cur]).unwrap().into(),
-                2 => g.add(OpKind::Softmax { axis: 1 }, vec![cur]).unwrap().into(),
+                0 => g
+                    .add(OpKind::Unary(UnaryOp::Tanh), vec![cur])
+                    .unwrap()
+                    .into(),
+                1 => g
+                    .add(OpKind::Unary(UnaryOp::Sigmoid), vec![cur])
+                    .unwrap()
+                    .into(),
+                2 => g
+                    .add(OpKind::Softmax { axis: 1 }, vec![cur])
+                    .unwrap()
+                    .into(),
                 3 => g.add(OpKind::AddScalar(0.5), vec![cur]).unwrap().into(),
                 4 => g.add(OpKind::Add, vec![cur, prev]).unwrap().into(),
                 5 => g.add(OpKind::Gelu, vec![cur]).unwrap().into(),
                 6 => g.add(OpKind::GeluTanh, vec![cur]).unwrap().into(),
                 7 => g.add(OpKind::Elu { alpha: 0.5 }, vec![cur]).unwrap().into(),
-                _ => g.add(OpKind::LogSoftmax { axis: 1 }, vec![cur]).unwrap().into(),
+                _ => g
+                    .add(OpKind::LogSoftmax { axis: 1 }, vec![cur])
+                    .unwrap()
+                    .into(),
             };
             prev = cur;
             cur = next;
@@ -50,7 +69,7 @@ proptest! {
     #[test]
     fn fission_preserves_semantics((g, shape) in arb_op_graph(), seed in 0u64..1000) {
         let x = Tensor::random(shape, seed);
-        let reference = execute_ops(&g, &[x.clone()]).unwrap();
+        let reference = execute_ops(&g, std::slice::from_ref(&x)).unwrap();
         let f = fission(&g).unwrap();
         let out = execute_prims(&f.prim_graph, &[x]).unwrap();
         prop_assert!(reference[0].allclose(&out[0], 1e-3));
@@ -61,10 +80,10 @@ proptest! {
     fn transforms_preserve_semantics((g, shape) in arb_op_graph(), seed in 0u64..1000) {
         let x = Tensor::random(shape, seed);
         let f = fission(&g).unwrap();
-        let reference = execute_prims(&f.prim_graph, &[x.clone()]).unwrap();
+        let reference = execute_prims(&f.prim_graph, std::slice::from_ref(&x)).unwrap();
         let config = SearchConfig { max_depth: 2, beam: 4, max_variants: 5 };
         for v in optimize_graph(&f.prim_graph, &config) {
-            let out = execute_prims(&v, &[x.clone()]).unwrap();
+            let out = execute_prims(&v, std::slice::from_ref(&x)).unwrap();
             prop_assert!(reference[0].allclose(&out[0], 1e-3), "variant diverged");
         }
     }
@@ -97,7 +116,7 @@ proptest! {
         let back = korch::ir::text::prim_from_text(&text).unwrap();
         prop_assert_eq!(back.fingerprint(), f.prim_graph.fingerprint());
         let x = Tensor::random(shape, seed);
-        let a = execute_prims(&f.prim_graph, &[x.clone()]).unwrap();
+        let a = execute_prims(&f.prim_graph, std::slice::from_ref(&x)).unwrap();
         let b = execute_prims(&back, &[x]).unwrap();
         prop_assert!(a[0].allclose(&b[0], 1e-6));
     }
@@ -137,7 +156,7 @@ proptest! {
             std_plan.total_latency.0
         );
         let x = Tensor::random(shape, seed);
-        let reference = execute_prims(&f.prim_graph, &[x.clone()]).unwrap();
+        let reference = execute_prims(&f.prim_graph, std::slice::from_ref(&x)).unwrap();
         let out = korch::exec::execute_plan(&f.prim_graph, &outcome.plan, &[x]).unwrap();
         prop_assert!(reference[0].allclose(&out[0], 1e-3));
     }
@@ -184,10 +203,7 @@ fn arb_blp() -> impl Strategy<Value = BlpProblem> {
     let n = 3usize..9;
     n.prop_flat_map(|n| {
         let costs = prop::collection::vec(1.0f64..10.0, n);
-        let rows = prop::collection::vec(
-            prop::collection::vec(prop::bool::ANY, n),
-            1..6,
-        );
+        let rows = prop::collection::vec(prop::collection::vec(prop::bool::ANY, n), 1..6);
         (costs, rows).prop_map(|(costs, rows)| {
             let mut p = BlpProblem::minimize(costs);
             for row in rows {

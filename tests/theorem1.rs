@@ -25,8 +25,11 @@ fn arb_dag() -> impl Strategy<Value = PrimGraph> {
                 )
                 .unwrap()
             } else {
-                g.add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![s1.into()])
-                    .unwrap()
+                g.add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                    vec![s1.into()],
+                )
+                .unwrap()
             };
             ids.push(id);
         }
