@@ -5,12 +5,17 @@
 //! On a multi-core host the 4-lane executor overlaps the eight branch
 //! kernels and wins well beyond 1.5×; on a single core it degrades to the
 //! interpreter plus scheduling noise. The `serving` group measures the
-//! dynamic-batching front-end end to end.
+//! dynamic-batching front-end end to end; the `recalibration` group runs
+//! the closed calibration loop (profile → fit → re-orchestrate → swap)
+//! and prints how far the fitted model tightens against the measured
+//! kernels.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use korch_core::{Korch, KorchConfig};
 use korch_cost::{kernel_spec, Backend, Device, Profiler};
 use korch_exec::execute_plan;
 use korch_ir::{EwFn, NodeId, PrimGraph, PrimKind};
+use korch_models::subgraphs::softmax_attention;
 use korch_orch::{Plan, SelectedKernel};
 use korch_runtime::{BatchConfig, PlanExecutor, RuntimeConfig, Server};
 use korch_tensor::{BinaryOp, ReduceKind, Tensor, UnaryOp};
@@ -170,9 +175,61 @@ fn bench_serving(c: &mut Criterion) {
     group.finish();
 }
 
+/// The closed calibration loop on a real model: compile, profile a few
+/// runs, then fit + re-orchestrate + swap. Prints the model-error
+/// tightening (the acceptance headline) alongside the loop's cost.
+fn bench_recalibration(c: &mut Criterion) {
+    let graph = softmax_attention(64, 32);
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let inputs: Vec<Tensor> = vec![Tensor::random(vec![64, 32], 7)];
+    let mut group = c.benchmark_group("recalibration");
+    group.bench_function("profile_fit_replan_swap", |b| {
+        b.iter(|| {
+            let compiled = korch
+                .compile_with(&graph, &RuntimeConfig::with_lanes(2))
+                .unwrap();
+            for _ in 0..3 {
+                compiled.execute(&inputs).unwrap();
+            }
+            black_box(korch.recalibrate(&compiled).unwrap())
+        })
+    });
+    group.finish();
+
+    // One-shot headline: the fitted calibration must tighten the cost
+    // model against the measured kernels.
+    let compiled = korch
+        .compile_with(&graph, &RuntimeConfig::with_lanes(4))
+        .unwrap();
+    for _ in 0..5 {
+        compiled.execute(&inputs).unwrap();
+    }
+    let steals: u64 = compiled.profiles().iter().map(|p| p.steals).sum();
+    let report = korch.recalibrate(&compiled).unwrap();
+    println!(
+        "recalibration/model_error: {:.3} -> {:.3} ({:.1}x tighter), \
+         memory x{:.3e}, compute x{:.3e}, {} steals during profiling",
+        report.model_error_before,
+        report.model_error_after,
+        report.model_error_before / report.model_error_after.max(1e-12),
+        report.calibration.memory_scale,
+        report.calibration.compute_scale,
+        steals,
+    );
+    // Tolerance matches the core unit test: kernels measured below the
+    // simulated launch overhead are excluded from the fit but still
+    // scored by model_error, so equality is legitimate.
+    assert!(
+        report.model_error_after <= report.model_error_before + 1e-9,
+        "calibration worsened the model: {} -> {}",
+        report.model_error_before,
+        report.model_error_after
+    );
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_runtime, bench_serving
+    targets = bench_runtime, bench_serving, bench_recalibration
 }
 criterion_main!(benches);

@@ -247,6 +247,11 @@ impl Korch {
         &self.device
     }
 
+    /// The pipeline configuration.
+    pub fn config(&self) -> &KorchConfig {
+        &self.config
+    }
+
     /// Optimizes a tensor program (operator graph).
     ///
     /// # Errors
@@ -413,6 +418,22 @@ impl Korch {
     ) -> Result<crate::CompiledModel, KorchError> {
         let optimized = self.optimize(g)?;
         crate::CompiledModel::from_optimized(&optimized, runtime)
+    }
+
+    /// Closes the calibration loop on a compiled model: fits a
+    /// `Calibration` from its accumulated runtime profile, re-orchestrates
+    /// every partition with the calibrated cost model, and atomically
+    /// swaps the new plans in (see [`crate::CompiledModel::recalibrate`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KorchError`] when the model has no profiled runs yet or a
+    /// re-orchestration stage fails (the current plan stays in place).
+    pub fn recalibrate(
+        &self,
+        model: &crate::CompiledModel,
+    ) -> Result<crate::RecalibrationReport, KorchError> {
+        model.recalibrate(self)
     }
 
     /// Convenience wrapper: optimize and functionally verify against the

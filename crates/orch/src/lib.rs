@@ -132,6 +132,15 @@ impl Orchestrator {
         self
     }
 
+    /// Replaces the kernel profiler — typically with one carrying a
+    /// fitted [`korch_cost::Calibration`], so candidate identification
+    /// and the BLP price kernels in measured host time (the runtime's
+    /// closed calibration loop).
+    pub fn with_profiler(mut self, profiler: Profiler) -> Self {
+        self.profiler = profiler;
+        self
+    }
+
     /// The profiler in use.
     pub fn profiler(&self) -> &Profiler {
         &self.profiler

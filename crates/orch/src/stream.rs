@@ -110,9 +110,11 @@ impl StreamSchedule {
 
     /// The schedule's lane structure: for each stream, the kernel indices
     /// assigned to it in start-time order. Lane `s` of the result may be
-    /// empty if fewer kernels than streams exist. This is the view the
-    /// `korch-runtime` executor consumes — one worker thread per lane,
-    /// processing its kernels in this order.
+    /// empty if fewer kernels than streams exist. The `korch-runtime`
+    /// executor uses this as a *placement hint* — each lane's ready deque
+    /// is seeded in this order, but actual execution order is derived
+    /// from the kernel dependency DAG and idle lanes steal, so no
+    /// strict per-lane ordering is guaranteed at run time.
     pub fn lanes(&self) -> Vec<Vec<usize>> {
         let mut lanes = vec![Vec::new(); self.num_streams];
         // `assignments` is already sorted by start time.
@@ -120,6 +122,19 @@ impl StreamSchedule {
             lanes[a.stream].push(a.kernel);
         }
         lanes
+    }
+
+    /// Per-kernel placement hint: `lane_of()[k]` is the stream lane the
+    /// simulation placed kernel `k` on. The `korch-runtime` work-stealing
+    /// executor enqueues each kernel on this lane when it becomes ready
+    /// (preserving the simulated locality) but lets any idle lane steal
+    /// it, so a mispredicted placement costs rebalancing, not stalls.
+    pub fn lane_of(&self) -> Vec<usize> {
+        let mut lane = vec![0usize; self.assignments.len()];
+        for a in &self.assignments {
+            lane[a.kernel] = a.stream;
+        }
+        lane
     }
 }
 

@@ -13,6 +13,7 @@
 
 use korch_ir::{NodeId, PortRef, PrimGraph};
 use korch_orch::Plan;
+use std::collections::btree_map::Entry as BTreeEntry;
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Mutex;
 
@@ -240,14 +241,17 @@ impl BufferArena {
     /// a reuse hit.
     pub fn take(&self, numel: usize) -> Option<Vec<f32>> {
         let mut inner = self.inner.lock().expect("arena poisoned");
-        let bucket = inner.free.get_mut(&numel)?;
-        let buf = bucket.pop();
+        let inner = &mut *inner;
+        let BTreeEntry::Occupied(mut bucket) = inner.free.entry(numel) else {
+            return None;
+        };
+        let buf = bucket.get_mut().pop();
+        if bucket.get().is_empty() {
+            bucket.remove();
+        }
         if buf.is_some() {
             inner.reuse_hits += 1;
             inner.free_bytes = inner.free_bytes.saturating_sub((numel * 4) as u64);
-        }
-        if inner.free.get(&numel).is_some_and(Vec::is_empty) {
-            inner.free.remove(&numel);
         }
         buf
     }

@@ -1,16 +1,20 @@
 //! The parallel plan executor: runs an orchestrated [`Plan`] for real,
-//! with one worker thread per stream lane, kernel-level dependency
-//! tracking, and eager buffer reclamation.
+//! with a work-stealing scheduler over stream lanes, kernel-level
+//! dependency tracking, and eager buffer reclamation.
 //!
 //! The seed's `korch_exec::execute_plan` interprets kernels sequentially
 //! and `korch_orch::schedule_streams` only *simulates* multi-stream
-//! overlap. [`PlanExecutor`] closes the loop: lane assignments come from
-//! the simulated schedule, each lane runs on its own thread, and a kernel
-//! starts as soon as every kernel it depends on has retired (atomic
-//! completion flags + condvar wakeups). Kernel bodies reuse
-//! `korch_exec::eval_prim`, so the parallel execution is **bit-identical**
-//! to the sequential interpreter — same primitive evaluations in the same
-//! per-kernel order, only genuinely overlapped across kernels.
+//! overlap. [`PlanExecutor`] closes the loop: the simulated schedule's
+//! lane placement seeds one ready deque per lane (locality preserved),
+//! but execution order is derived from the kernel dependency DAG alone —
+//! a kernel becomes ready the moment its last dependency retires (atomic
+//! dependency counters), and an idle lane whose own deque is empty
+//! *steals* ready kernels from other lanes instead of blocking behind a
+//! lane predecessor. Kernel bodies reuse `korch_exec::eval_prim`, so the
+//! parallel execution is **bit-identical** to the sequential interpreter
+//! — same primitive evaluations in the same per-kernel order, only
+//! genuinely overlapped across kernels, whichever lane ends up running
+//! them.
 
 use crate::arena::{plan_memory_report, BufferArena, MemoryReport};
 use crate::profiler::RuntimeProfile;
@@ -19,7 +23,7 @@ use korch_exec::{eval_prim, materialize_const, ExecError};
 use korch_ir::{NodeId, PortRef, PrimGraph, PrimKind};
 use korch_orch::{schedule_streams_with, Plan, StreamContention, StreamSchedule};
 use korch_tensor::Tensor;
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
 use std::time::Instant;
@@ -78,8 +82,14 @@ struct KernelTask {
 pub struct PlanExecutor {
     graph: PrimGraph,
     kernels: Vec<KernelTask>,
-    /// Kernel indices per lane, in schedule start order.
+    /// Kernel indices per lane, in schedule start order (deque seeds).
     lanes: Vec<Vec<usize>>,
+    /// Schedule lane hint per kernel: the deque it is enqueued on when it
+    /// becomes ready (any idle lane may still steal it).
+    home_lane: Vec<usize>,
+    /// Kernels unblocked when each kernel retires (reverse dependency
+    /// edges).
+    dependents: Vec<Vec<usize>>,
     schedule: StreamSchedule,
     /// Slot count (sources + kernel outputs).
     n_slots: usize,
@@ -87,6 +97,8 @@ pub struct PlanExecutor {
     input_slots: Vec<(usize, Vec<usize>)>,
     /// Constant tensors, materialized once and shared across runs.
     const_slots: Vec<(usize, Arc<Tensor>)>,
+    /// Slots backed by shared constants (never arena-tracked).
+    const_slot: Vec<bool>,
     /// Graph output ports → slots.
     output_slots: Vec<(PortRef, usize)>,
     /// Per-slot element count.
@@ -104,12 +116,25 @@ pub struct PlanExecutor {
 /// Shared state of one `execute` call.
 struct RunState {
     values: Vec<RwLock<Option<Arc<Tensor>>>>,
-    finished: Vec<AtomicBool>,
+    /// Unretired dependencies per kernel; the transition to zero enqueues
+    /// the kernel on its home lane's ready deque.
+    remaining_deps: Vec<AtomicUsize>,
     remaining_readers: Vec<AtomicUsize>,
+    /// Per-lane deques of ready kernels (front = schedule order; steals
+    /// take from the back).
+    ready: Vec<Mutex<VecDeque<usize>>>,
     n_finished: Mutex<usize>,
     wake: Condvar,
     failed: AtomicBool,
     error: Mutex<Option<ExecError>>,
+}
+
+/// Worker-thread-local profiling buffer, merged into the shared
+/// [`RuntimeProfile`] once per run (instead of one lock per kernel).
+#[derive(Default)]
+struct LaneLog {
+    samples: Vec<(usize, f64)>,
+    steals: u64,
 }
 
 impl PlanExecutor {
@@ -222,8 +247,10 @@ impl PlanExecutor {
         for (s, _) in &input_slots {
             slot_pinned[*s] = true;
         }
+        let mut const_slot = vec![false; n_slots];
         for (s, _) in &const_slots {
             slot_pinned[*s] = true;
+            const_slot[*s] = true;
         }
         let mut output_slots = Vec::new();
         for o in g.outputs() {
@@ -235,19 +262,33 @@ impl PlanExecutor {
             output_slots.push((*o, s));
         }
 
+        // Reverse dependency edges: who to unblock on retirement. Since
+        // every dependency points at a lower kernel index, the relation is
+        // acyclic by construction — no lane order needs validating.
+        let mut dependents: Vec<Vec<usize>> = vec![Vec::new(); kernels.len()];
+        for (i, k) in kernels.iter().enumerate() {
+            for &d in &k.deps {
+                dependents[d].push(i);
+            }
+        }
+
         let schedule =
             schedule_streams_with(g, plan, lanes_requested, &config.device, &config.contention);
-        let lanes = Self::consistent_lanes(&schedule, &kernels, lanes_requested);
+        let lanes = schedule.lanes();
+        let home_lane = schedule.lane_of();
 
         Ok(Self {
             graph: g.clone(),
             memory_report: plan_memory_report(g, plan),
             kernels,
             lanes,
+            home_lane,
+            dependents,
             schedule,
             n_slots,
             input_slots,
             const_slots,
+            const_slot,
             output_slots,
             slot_numel,
             slot_readers,
@@ -258,58 +299,7 @@ impl PlanExecutor {
         })
     }
 
-    /// Lane assignment from the simulated schedule, validated against the
-    /// executor's dependency relation: a lane's wait graph (lane
-    /// predecessors + kernel dependencies) must be acyclic or lane threads
-    /// could deadlock. Falls back to round-robin in plan order — always
-    /// acyclic, since every edge then goes from a lower to a higher kernel
-    /// index — if the schedule's lanes are inconsistent (possible only for
-    /// hand-built plans that re-materialize one node's ports in several
-    /// kernels).
-    fn consistent_lanes(
-        schedule: &StreamSchedule,
-        kernels: &[KernelTask],
-        lanes_requested: usize,
-    ) -> Vec<Vec<usize>> {
-        let lanes = schedule.lanes();
-        let n = kernels.len();
-        // Kahn's algorithm over lane-predecessor + dependency edges.
-        let mut indegree = vec![0usize; n];
-        let mut edges: Vec<Vec<usize>> = vec![Vec::new(); n];
-        for lane in &lanes {
-            for w in lane.windows(2) {
-                edges[w[0]].push(w[1]);
-                indegree[w[1]] += 1;
-            }
-        }
-        for (i, k) in kernels.iter().enumerate() {
-            for &d in &k.deps {
-                edges[d].push(i);
-                indegree[i] += 1;
-            }
-        }
-        let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
-        let mut seen = 0usize;
-        while let Some(i) = queue.pop() {
-            seen += 1;
-            for &j in &edges[i] {
-                indegree[j] -= 1;
-                if indegree[j] == 0 {
-                    queue.push(j);
-                }
-            }
-        }
-        if seen == n {
-            return lanes;
-        }
-        let mut fallback = vec![Vec::new(); lanes_requested];
-        for i in 0..n {
-            fallback[i % lanes_requested].push(i);
-        }
-        fallback
-    }
-
-    /// The simulated schedule backing the lane assignment.
+    /// The simulated schedule backing the lane seeds.
     pub fn schedule(&self) -> &StreamSchedule {
         &self.schedule
     }
@@ -350,21 +340,24 @@ impl PlanExecutor {
     pub fn execute(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
         let run_start = Instant::now();
         let state = self.feed(inputs)?;
-        if self.lanes.iter().filter(|l| !l.is_empty()).count() <= 1 || self.kernels.len() <= 1 {
-            for lane in &self.lanes {
-                for &k in lane {
-                    self.run_kernel(k, &state)?;
-                    self.retire(k, &state);
-                }
-            }
+        // A lane's deque only ever holds its homed kernels, so lanes the
+        // schedule left empty never need a worker; chain-shaped plans run
+        // inline on the calling thread.
+        let occupied: Vec<usize> = (0..self.lanes.len())
+            .filter(|&l| !self.lanes[l].is_empty())
+            .collect();
+        if occupied.len() <= 1 || self.kernels.len() <= 1 {
+            self.run_sequential(&state);
         } else {
             std::thread::scope(|scope| {
-                for lane in self.lanes.iter().filter(|l| !l.is_empty()) {
-                    scope.spawn(|| self.run_lane(lane, &state));
+                let state = &state;
+                for &w in &occupied {
+                    scope.spawn(move || self.run_worker(w, state));
                 }
             });
         }
         if state.failed.load(Ordering::Acquire) {
+            self.settle(&state);
             let e = state.error.lock().expect("error poisoned").take();
             return Err(e.unwrap_or_else(|| ExecError::Input("executor failed".into())));
         }
@@ -388,25 +381,30 @@ impl PlanExecutor {
                     })
             })
             .collect::<Result<Vec<_>, _>>()?;
-        // Output buffers were adopted by their producing kernels but are
-        // pinned (skipped by retire); settle their accounting now that the
-        // caller holds copies, recycling the storage where possible.
-        let mut settled: std::collections::HashSet<usize> = std::collections::HashSet::new();
-        for (port, s) in &self.output_slots {
-            if !settled.insert(*s) || self.graph.node(port.node).kind.is_source() {
-                continue;
-            }
-            if let Some(arc) = state.values[*s].write().expect("slot poisoned").take() {
-                match Arc::try_unwrap(arc) {
-                    Ok(t) => self.arena.release(t.into_vec()),
-                    Err(_) => self.arena.release_untracked(self.slot_numel[*s]),
-                }
-            }
-        }
+        self.settle(&state);
         Ok(outputs)
     }
 
-    /// Validates inputs and builds the run state with sources filled.
+    /// Releases every arena-tracked buffer still held by the run state
+    /// (pinned inputs/outputs after a completed run, or whatever a failed
+    /// run left behind), recycling the storage where possible. Constants
+    /// are shared across runs and skipped.
+    fn settle(&self, state: &RunState) {
+        for (s, value) in state.values.iter().enumerate() {
+            if self.const_slot[s] {
+                continue;
+            }
+            if let Some(arc) = value.write().expect("slot poisoned").take() {
+                match Arc::try_unwrap(arc) {
+                    Ok(t) => self.arena.release(t.into_vec()),
+                    Err(_) => self.arena.release_untracked(self.slot_numel[s]),
+                }
+            }
+        }
+    }
+
+    /// Validates inputs and builds the run state with sources filled and
+    /// the per-lane ready deques seeded from the schedule.
     fn feed(&self, inputs: &[Tensor]) -> Result<RunState, ExecError> {
         if inputs.len() != self.input_slots.len() {
             return Err(ExecError::Input(format!(
@@ -425,21 +423,39 @@ impl PlanExecutor {
         }
         let state = RunState {
             values: (0..self.n_slots).map(|_| RwLock::new(None)).collect(),
-            finished: (0..self.kernels.len())
-                .map(|_| AtomicBool::new(false))
+            remaining_deps: self
+                .kernels
+                .iter()
+                .map(|k| AtomicUsize::new(k.deps.len()))
                 .collect(),
             remaining_readers: self
                 .slot_readers
                 .iter()
                 .map(|&n| AtomicUsize::new(n))
                 .collect(),
+            ready: (0..self.lanes.len())
+                .map(|_| Mutex::new(VecDeque::new()))
+                .collect(),
             n_finished: Mutex::new(0),
             wake: Condvar::new(),
             failed: AtomicBool::new(false),
             error: Mutex::new(None),
         };
+        // Seed each lane with its dependency-free kernels, in schedule
+        // start order (locality: a lane works through its simulated
+        // placement first and only then steals).
+        for (l, lane) in self.lanes.iter().enumerate() {
+            let mut q = state.ready[l].lock().expect("queue poisoned");
+            for &k in lane {
+                if self.kernels[k].deps.is_empty() {
+                    q.push_back(k);
+                }
+            }
+        }
         for ((s, _), t) in self.input_slots.iter().zip(inputs) {
-            *state.values[*s].write().expect("slot poisoned") = Some(Arc::new(self.stage_copy(t)));
+            let staged = self.stage_copy(t);
+            self.arena.adopt(staged.numel());
+            *state.values[*s].write().expect("slot poisoned") = Some(Arc::new(staged));
         }
         for (s, t) in &self.const_slots {
             *state.values[*s].write().expect("slot poisoned") = Some(Arc::clone(t));
@@ -450,7 +466,8 @@ impl PlanExecutor {
     /// Copies `t` into a buffer recycled from the arena when one of the
     /// right size class is parked — the genuine reuse path: storage freed
     /// by last-reader reclamation (this run or earlier ones) backs the
-    /// copy instead of a fresh allocation.
+    /// copy instead of a fresh allocation. Callers adopt the staged buffer
+    /// into the arena's live accounting.
     fn stage_copy(&self, t: &Tensor) -> Tensor {
         match self.arena.take(t.numel()) {
             Some(mut buf) => {
@@ -462,53 +479,120 @@ impl PlanExecutor {
         }
     }
 
-    /// Worker body: one lane's kernels, in schedule order.
-    fn run_lane(&self, lane: &[usize], state: &RunState) {
-        for &k in lane {
-            if !self.wait_for_deps(k, state) {
-                return; // another lane failed
+    /// In-thread execution for single-lane or single-kernel plans: kernel
+    /// indices ascend in dependency order (every dependency points at a
+    /// lower index), so plan order is a valid schedule.
+    fn run_sequential(&self, state: &RunState) {
+        let mut log = LaneLog::default();
+        for k in 0..self.kernels.len() {
+            if !self.run_one(k, state, &mut log) {
+                break;
             }
-            match self.run_kernel(k, state) {
-                Ok(()) => self.retire(k, state),
-                Err(e) => {
-                    *state.error.lock().expect("error poisoned") = Some(e);
-                    state.failed.store(true, Ordering::Release);
-                    // Wake every waiter so all lanes unwind.
-                    let _guard = state.n_finished.lock().expect("finish poisoned");
-                    state.wake.notify_all();
-                    return;
+        }
+        self.merge_log(log);
+    }
+
+    /// Worker body: drain the own lane's deque, steal when it runs dry,
+    /// park on the condvar only when no kernel anywhere is ready.
+    fn run_worker(&self, w: usize, state: &RunState) {
+        let mut log = LaneLog::default();
+        while let Some((k, stolen)) = self.next_task(w, state) {
+            if stolen {
+                log.steals += 1;
+            }
+            if !self.run_one(k, state, &mut log) {
+                break;
+            }
+        }
+        self.merge_log(log);
+    }
+
+    /// Runs and retires kernel `k`, timing it into `log` when profiling.
+    /// On failure stores the error, flags the run failed, and wakes every
+    /// parked worker so all lanes unwind (a no-op when running
+    /// sequentially); returns `false` so the caller stops.
+    fn run_one(&self, k: usize, state: &RunState, log: &mut LaneLog) -> bool {
+        let start = self.profile_enabled.then(Instant::now);
+        match self.run_kernel(k, state) {
+            Ok(()) => {
+                if let Some(start) = start {
+                    log.samples.push((k, start.elapsed().as_secs_f64() * 1e6));
                 }
+                self.retire(k, state);
+                true
+            }
+            Err(e) => {
+                *state.error.lock().expect("error poisoned") = Some(e);
+                state.failed.store(true, Ordering::Release);
+                let _guard = state.n_finished.lock().expect("finish poisoned");
+                state.wake.notify_all();
+                false
             }
         }
     }
 
-    /// Blocks until every dependency of `k` retired. Returns `false` if
-    /// the run failed meanwhile.
-    fn wait_for_deps(&self, k: usize, state: &RunState) -> bool {
-        let ready = |state: &RunState| {
-            self.kernels[k]
-                .deps
-                .iter()
-                .all(|&d| state.finished[d].load(Ordering::Acquire))
-        };
-        if ready(state) {
-            return !state.failed.load(Ordering::Acquire);
+    /// Folds a worker's local samples into the shared profile (one lock
+    /// per worker per run).
+    fn merge_log(&self, log: LaneLog) {
+        if (self.profile_enabled && !log.samples.is_empty()) || log.steals > 0 {
+            self.profile
+                .lock()
+                .expect("profile poisoned")
+                .merge_worker(&log.samples, log.steals);
         }
-        let mut guard = state.n_finished.lock().expect("finish poisoned");
+    }
+
+    /// Next ready kernel for worker `w`, or `None` when the run is over
+    /// (all kernels retired, or another lane failed). Blocks while
+    /// kernels are in flight but none is ready.
+    fn next_task(&self, w: usize, state: &RunState) -> Option<(usize, bool)> {
+        if state.failed.load(Ordering::Acquire) {
+            return None;
+        }
+        if let Some(t) = self.try_pop(w, state) {
+            return Some(t);
+        }
+        let mut done = state.n_finished.lock().expect("finish poisoned");
         loop {
             if state.failed.load(Ordering::Acquire) {
-                return false;
+                return None;
             }
-            if ready(state) {
-                return true;
+            if *done == self.kernels.len() {
+                return None;
             }
-            guard = state.wake.wait(guard).expect("finish poisoned");
+            // Re-check under the lock: retiring workers enqueue newly
+            // ready kernels *before* notifying under this mutex, so a
+            // push that raced the fast-path miss is visible here.
+            if let Some(t) = self.try_pop(w, state) {
+                return Some(t);
+            }
+            done = state.wake.wait(done).expect("finish poisoned");
         }
     }
 
-    /// Marks `k` retired, reclaims dead buffers, wakes waiters.
+    /// Pops the next kernel: own lane front first (schedule order), then
+    /// steal from the other lanes' backs, round-robin from `w + 1`.
+    fn try_pop(&self, w: usize, state: &RunState) -> Option<(usize, bool)> {
+        if let Some(k) = state.ready[w].lock().expect("queue poisoned").pop_front() {
+            return Some((k, false));
+        }
+        let n = state.ready.len();
+        for off in 1..n {
+            let victim = (w + off) % n;
+            if let Some(k) = state.ready[victim]
+                .lock()
+                .expect("queue poisoned")
+                .pop_back()
+            {
+                return Some((k, true));
+            }
+        }
+        None
+    }
+
+    /// Marks `k` retired: reclaims dead buffers, enqueues newly ready
+    /// dependents on their home lanes, wakes parked workers.
     fn retire(&self, k: usize, state: &RunState) {
-        state.finished[k].store(true, Ordering::Release);
         // Last-reader reclamation: ports only this kernel still needed.
         for (_, s) in &self.kernels[k].global_reads {
             if state.remaining_readers[*s].fetch_sub(1, Ordering::AcqRel) == 1
@@ -523,6 +607,14 @@ impl PlanExecutor {
                 }
             }
         }
+        for &j in &self.dependents[k] {
+            if state.remaining_deps[j].fetch_sub(1, Ordering::AcqRel) == 1 {
+                state.ready[self.home_lane[j]]
+                    .lock()
+                    .expect("queue poisoned")
+                    .push_back(j);
+            }
+        }
         let mut n = state.n_finished.lock().expect("finish poisoned");
         *n += 1;
         state.wake.notify_all();
@@ -532,7 +624,6 @@ impl PlanExecutor {
     /// ascending order, a local map for in-kernel values, materialized
     /// reads for the rest.
     fn run_kernel(&self, k: usize, state: &RunState) -> Result<(), ExecError> {
-        let start = Instant::now();
         let task = &self.kernels[k];
         let mut global: HashMap<PortRef, Arc<Tensor>> =
             HashMap::with_capacity(task.global_reads.len());
@@ -585,12 +676,17 @@ impl PlanExecutor {
                         node: port.node.0,
                         port: port.port,
                     })?;
+            self.arena.adopt(t.numel());
             let mut w = state.values[*s].write().expect("slot poisoned");
-            // Redundant producers write identical bytes; first wins.
-            if w.is_none() {
-                self.arena.adopt(t.numel());
-                *w = Some(Arc::new(t));
+            if w.is_some() {
+                // Redundant producer: the first writer's identical bytes
+                // won. Return the staged copy's storage to the arena pool
+                // instead of leaking it past the accounting.
+                drop(w);
+                self.arena.release(t.into_vec());
+                continue;
             }
+            *w = Some(Arc::new(t));
             // Dead-on-arrival outputs are reclaimed immediately.
             if !self.slot_pinned[*s] && state.remaining_readers[*s].load(Ordering::Acquire) == 0 {
                 if let Some(arc) = w.take() {
@@ -600,12 +696,6 @@ impl PlanExecutor {
                     }
                 }
             }
-        }
-        if self.profile_enabled {
-            self.profile
-                .lock()
-                .expect("profile poisoned")
-                .record_kernel(k, start.elapsed().as_secs_f64() * 1e6);
         }
         Ok(())
     }

@@ -5,16 +5,22 @@
 //! execution. This crate converts the repo from "optimizer + simulator"
 //! into "optimizer + runtime":
 //!
-//! - [`PlanExecutor`] — runs a [`korch_orch::Plan`] with one worker thread
-//!   per stream lane (lane placement from [`korch_orch::schedule_streams`]),
-//!   kernel-level dependency tracking (atomic completion flags + condvar
-//!   wakeups), and bit-identical results to `korch_exec::execute_plan`;
+//! - [`PlanExecutor`] — runs a [`korch_orch::Plan`] with a work-stealing
+//!   scheduler: one worker thread per stream lane, per-lane ready deques
+//!   seeded from the simulated [`korch_orch::schedule_streams`] placement,
+//!   kernels released by atomic dependency counters, and idle lanes
+//!   stealing ready kernels instead of blocking behind a lane predecessor
+//!   (steal counts land in [`RuntimeProfile::steals`]). Results stay
+//!   bit-identical to `korch_exec::execute_plan`;
 //! - [`BufferArena`] / [`plan_memory_report`] — tensor-lifetime analysis,
 //!   last-reader buffer reclamation, size-classed reuse, and peak-resident
 //!   accounting (vs. the interpreter's allocate-everything behavior);
-//! - [`RuntimeProfile`] — per-kernel wall times with a calibration hook
+//! - [`RuntimeProfile`] — per-kernel wall times (buffered per lane, merged
+//!   once per run) with a calibration hook
 //!   ([`RuntimeProfile::fit_calibration`]) feeding measured latencies back
-//!   into the `korch_cost` analytical model;
+//!   into the `korch_cost` analytical model — `korch-core`'s
+//!   `CompiledModel::recalibrate` closes that loop by re-orchestrating
+//!   with the fitted model and swapping the plan in place;
 //! - [`Server`] — a request queue with dynamic batching over any
 //!   [`Model`], with throughput / latency statistics.
 //!

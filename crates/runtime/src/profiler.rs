@@ -47,6 +47,10 @@ pub struct RuntimeProfile {
     pub runs: u64,
     /// Total end-to-end wall time across runs, µs.
     pub total_wall_us: f64,
+    /// Kernels executed by a lane other than the one the stream schedule
+    /// placed them on (work-stealing rebalances away the simulated
+    /// assignment when it mispredicts).
+    pub steals: u64,
 }
 
 impl RuntimeProfile {
@@ -56,7 +60,19 @@ impl RuntimeProfile {
             per_kernel: vec![KernelStats::default(); n],
             runs: 0,
             total_wall_us: 0.0,
+            steals: 0,
         }
+    }
+
+    /// Folds one worker lane's locally buffered measurements — `(kernel
+    /// index, wall µs)` pairs plus its steal count — into the profile.
+    /// Workers buffer locally and merge once per run, so profiling does
+    /// not serialize the lanes it measures.
+    pub fn merge_worker(&mut self, samples: &[(usize, f64)], steals: u64) {
+        for &(k, us) in samples {
+            self.record_kernel(k, us);
+        }
+        self.steals += steals;
     }
 
     /// Records one kernel execution.

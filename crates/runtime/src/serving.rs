@@ -138,11 +138,15 @@ pub struct ServerStats {
     pub batches: u64,
     /// Mean requests per batch.
     pub mean_batch: f64,
-    /// Mean end-to-end latency, µs.
+    /// Mean end-to-end latency over the sliding latency window (the most
+    /// recent `LATENCY_WINDOW` requests), not over all requests ever
+    /// served, µs.
     pub mean_latency_us: f64,
-    /// Median end-to-end latency, µs.
+    /// Median end-to-end latency over the sliding window, µs
+    /// (nearest-rank).
     pub p50_latency_us: f64,
-    /// 95th-percentile end-to-end latency, µs.
+    /// 95th-percentile end-to-end latency over the sliding window, µs
+    /// (nearest-rank).
     pub p95_latency_us: f64,
     /// Completed requests per second since the server started.
     pub throughput_rps: f64,
@@ -221,11 +225,16 @@ impl Server {
         let inner = self.stats.lock().expect("stats poisoned");
         let mut sorted = inner.latencies_us.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        // Nearest-rank percentile: the smallest sample ≥ p of the window.
+        // Rounding the interpolated index under-reports p95 on small
+        // windows (e.g. 12 samples: round(10.45) picks the 11th sample,
+        // nearest-rank the 12th).
         let pct = |p: f64| -> f64 {
             if sorted.is_empty() {
                 0.0
             } else {
-                sorted[((sorted.len() - 1) as f64 * p).round() as usize]
+                let rank = (p * sorted.len() as f64).ceil() as usize;
+                sorted[rank.clamp(1, sorted.len()) - 1]
             }
         };
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
@@ -304,28 +313,43 @@ fn batcher_loop(queue: &Queue, stats: &Mutex<StatsInner>, model: &dyn Model, con
                 }
             }
         }
-        // Hold the batch open briefly for stragglers.
-        let deadline = Instant::now() + config.max_wait;
-        while batch.len() < max_batch {
-            let now = Instant::now();
-            if now >= deadline {
-                break;
-            }
+        // Hold the batch open briefly for stragglers: one lock hold per
+        // wakeup drains *everything* queued (re-acquiring the mutex per
+        // popped request would ping-pong the lock against submitters
+        // exactly when the queue is busiest).
+        if batch.len() < max_batch {
+            let deadline = Instant::now() + config.max_wait;
             let mut q = queue.requests.lock().expect("queue poisoned");
-            if let Some(r) = q.pop_front() {
-                batch.push(r);
-                continue;
-            }
-            if queue.shutdown.load(Ordering::Acquire) {
-                break;
-            }
-            let (guard, timeout) = queue
-                .available
-                .wait_timeout(q, deadline - now)
-                .expect("queue poisoned");
-            drop(guard);
-            if timeout.timed_out() {
-                break;
+            loop {
+                while batch.len() < max_batch {
+                    match q.pop_front() {
+                        Some(r) => batch.push(r),
+                        None => break,
+                    }
+                }
+                if batch.len() >= max_batch || queue.shutdown.load(Ordering::Acquire) {
+                    break;
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                let (guard, timeout) = queue
+                    .available
+                    .wait_timeout(q, deadline - now)
+                    .expect("queue poisoned");
+                q = guard;
+                if timeout.timed_out() {
+                    // Final drain of anything that slipped in with the
+                    // timeout's wakeup, then close the batch.
+                    while batch.len() < max_batch {
+                        match q.pop_front() {
+                            Some(r) => batch.push(r),
+                            None => break,
+                        }
+                    }
+                    break;
+                }
             }
         }
 

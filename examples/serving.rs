@@ -6,7 +6,7 @@
 //! Run with: `cargo run --release --example serving`
 
 use korch::core::{Korch, KorchConfig};
-use korch::cost::{Device, Profiler};
+use korch::cost::Device;
 use korch::ir::OpKind;
 use korch::models::subgraphs::softmax_attention;
 use korch::runtime::{BatchConfig, RuntimeConfig, Server};
@@ -85,18 +85,34 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.throughput_rps,
     );
 
-    // 3. Feed measured kernel wall times back into the cost model: the
-    //    fitted calibration rescales the analytical model to this host, so
-    //    a re-optimization prices kernels with measured (not textbook)
-    //    roofline constants.
+    // 3. Close the calibration loop: fit the cost model to the measured
+    //    kernel wall times, re-orchestrate every partition with the
+    //    calibrated model, and atomically swap the new plans in — the
+    //    served model now runs kernels priced in *this host's* time.
+    let steals: u64 = compiled.profiles().iter().map(|p| p.steals).sum();
+    let report = korch.recalibrate(&compiled)?;
+    println!(
+        "calibration: memory x{:.3e}, compute x{:.3e}",
+        report.calibration.memory_scale, report.calibration.compute_scale,
+    );
+    println!(
+        "recalibrated: model error {:.3} -> {:.3}, replanned at {:.4} ms \
+         (host-time units); {} kernels were work-stolen across lanes",
+        report.model_error_before, report.model_error_after, report.latency_ms, steals,
+    );
+
+    // 4. The server picks up the swapped plan on the next request — no
+    //    restart, in-flight requests finish on the plan they started on.
+    let inputs: Vec<Tensor> = input_shapes
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Tensor::random(s.clone(), 999 + i as u64))
+        .collect();
+    let outputs = server.infer(inputs)?;
+    assert!(!outputs.is_empty());
+    println!("served one request on the recalibrated plan");
+
     let server = Arc::try_unwrap(server).ok().expect("all clients joined");
     let _ = server.shutdown();
-    let cost = Profiler::new(Device::v100());
-    let calibration = compiled.calibrate(&cost);
-    println!(
-        "calibration: memory x{:.3e}, compute x{:.3e} (feed into \
-         Profiler::with_calibration to refit the optimizer)",
-        calibration.memory_scale, calibration.compute_scale,
-    );
     Ok(())
 }

@@ -1,8 +1,8 @@
 //! Differential tests for the parallel runtime: every `korch::models`
 //! case-study subgraph runs through the sequential interpreter
 //! (`execute_plan`, via `Optimized::execute`) and the `korch-runtime`
-//! parallel executor at 1, 2 and 4 lanes; outputs must be **bit-identical**
-//! and no configuration may deadlock.
+//! work-stealing executor at 1, 2, 4 and 8 lanes; outputs must be
+//! **bit-identical** and no configuration may deadlock.
 
 use korch::core::{CompiledModel, Korch, KorchConfig};
 use korch::cost::Device;
@@ -37,7 +37,7 @@ fn assert_parallel_matches_sequential(name: &str, g: &OpGraph, seed: u64) {
     let reference = optimized
         .execute(&inputs)
         .unwrap_or_else(|e| panic!("{name}: sequential execution failed: {e}"));
-    for lanes in [1usize, 2, 4] {
+    for lanes in [1usize, 2, 4, 8] {
         let compiled = CompiledModel::from_optimized(&optimized, &RuntimeConfig::with_lanes(lanes))
             .unwrap_or_else(|e| panic!("{name}: compile at {lanes} lanes failed: {e}"));
         let out = compiled
@@ -103,7 +103,7 @@ fn opaque_subgraph_fails_identically_in_both_runtimes() {
     let inputs = random_inputs(&g, 6);
     let sequential = optimized.execute(&inputs);
     assert!(sequential.is_err(), "opaque primitive should not interpret");
-    for lanes in [1usize, 2, 4] {
+    for lanes in [1usize, 2, 4, 8] {
         let compiled = CompiledModel::from_optimized(&optimized, &RuntimeConfig::with_lanes(lanes))
             .expect("compilation does not evaluate opaque kernels");
         let parallel = compiled.execute(&inputs);
@@ -148,7 +148,7 @@ fn deep_partitioned_model_parallel_parity() {
     );
     let inputs = random_inputs(&g, 7);
     let reference = optimized.execute(&inputs).unwrap();
-    for lanes in [1usize, 2, 4] {
+    for lanes in [1usize, 2, 4, 8] {
         let compiled =
             CompiledModel::from_optimized(&optimized, &RuntimeConfig::with_lanes(lanes)).unwrap();
         let out = compiled.execute(&inputs).unwrap();

@@ -1,0 +1,418 @@
+//! Work-stealing executor tests: random DAG plans must execute
+//! bit-identically to the sequential `execute_plan` interpreter at every
+//! lane count, failures must unwind every lane mid-run, imbalanced
+//! schedules must trigger steals, and redundant-producer plans must
+//! conserve the buffer arena's pool.
+
+use korch::cost::{kernel_spec, Backend, Device, Micros, Profiler};
+use korch::exec::execute_plan;
+use korch::ir::{EwFn, NodeId, PortRef, PrimGraph, PrimKind};
+use korch::orch::{Plan, SelectedKernel};
+use korch::runtime::{PlanExecutor, RuntimeConfig};
+use korch::tensor::{BinaryOp, Tensor, UnaryOp};
+use proptest::prelude::*;
+use std::collections::{BTreeSet, HashSet};
+
+/// Groups the non-source nodes of `g` (insertion order = topological
+/// order) into contiguous kernels sized by cycling through `chunks`, with
+/// each kernel outputting every member port read outside it plus the
+/// graph outputs it covers — exactly the materialization rule
+/// `execute_plan` expects.
+fn chunked_plan(g: &PrimGraph, chunks: &[usize]) -> Plan {
+    let profiler = Profiler::new(Device::v100());
+    let comp: Vec<NodeId> = g
+        .iter()
+        .filter(|(_, n)| !n.kind.is_source())
+        .map(|(id, _)| id)
+        .collect();
+    let graph_outputs: HashSet<PortRef> = g.outputs().iter().copied().collect();
+    let mut kernels = Vec::new();
+    let mut chunk_iter = chunks.iter().cycle();
+    let mut idx = 0usize;
+    while idx < comp.len() {
+        let take = chunk_iter.next().copied().unwrap_or(1).clamp(1, 3);
+        let members: Vec<NodeId> = comp[idx..(idx + take).min(comp.len())].to_vec();
+        idx += members.len();
+        let mset: BTreeSet<NodeId> = members.iter().copied().collect();
+        let mut outs: BTreeSet<PortRef> = BTreeSet::new();
+        for (id, node) in g.iter() {
+            if mset.contains(&id) {
+                continue;
+            }
+            for r in &node.inputs {
+                if mset.contains(&r.node) {
+                    outs.insert(*r);
+                }
+            }
+        }
+        for o in &graph_outputs {
+            if mset.contains(&o.node) {
+                outs.insert(*o);
+            }
+        }
+        let outputs: Vec<PortRef> = outs.into_iter().collect();
+        let spec = kernel_spec(g, &mset, &outputs);
+        let latency = profiler.latency(&spec, Backend::Generated);
+        kernels.push(SelectedKernel {
+            members,
+            outputs,
+            latency,
+            backend: Backend::Generated,
+        });
+    }
+    let total = kernels.iter().map(|k| k.latency).sum();
+    Plan {
+        kernels,
+        total_latency: total,
+    }
+}
+
+/// A random DAG of same-shape elementwise nodes over `n_inputs` inputs:
+/// each op reads one or two uniformly chosen earlier nodes, so the graph
+/// mixes long chains, diamonds and independent branches. Every sink is
+/// marked as an output.
+fn arb_dag() -> impl Strategy<Value = (PrimGraph, Vec<usize>, usize)> {
+    let dims = (2usize..8, 2usize..12);
+    let n_inputs = 1usize..4;
+    let ops = prop::collection::vec((0u8..8, 0u64..1_000_000, 0u64..1_000_000), 3..24);
+    let chunks = prop::collection::vec(1usize..4, 1..6);
+    (dims, n_inputs, ops, chunks).prop_map(|((rows, cols), n_inputs, ops, chunks)| {
+        let shape = vec![rows, cols];
+        let mut g = PrimGraph::new();
+        let mut pool: Vec<NodeId> = Vec::new();
+        for _ in 0..n_inputs {
+            pool.push(
+                g.add(
+                    PrimKind::Input {
+                        shape: shape.clone(),
+                    },
+                    vec![],
+                )
+                .unwrap(),
+            );
+        }
+        let mut consumed: HashSet<NodeId> = HashSet::new();
+        for (code, ra, rb) in ops {
+            let a = pool[(ra % pool.len() as u64) as usize];
+            let b = pool[(rb % pool.len() as u64) as usize];
+            let kind = match code {
+                0 => PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                1 => PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)),
+                2 => PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                3 => PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+                4 => PrimKind::Elementwise(EwFn::Binary(BinaryOp::Add)),
+                5 => PrimKind::Elementwise(EwFn::Binary(BinaryOp::Mul)),
+                6 => PrimKind::Elementwise(EwFn::Binary(BinaryOp::Max)),
+                _ => PrimKind::Elementwise(EwFn::Binary(BinaryOp::Sub)),
+            };
+            let inputs: Vec<PortRef> = if code < 4 {
+                vec![a.into()]
+            } else {
+                vec![a.into(), b.into()]
+            };
+            for r in &inputs {
+                consumed.insert(r.node);
+            }
+            pool.push(g.add(kind, inputs).unwrap());
+        }
+        for &id in &pool {
+            if !consumed.contains(&id) && !g.node(id).kind.is_source() {
+                g.mark_output(id).unwrap();
+            }
+        }
+        // Degenerate case: every computational node was consumed (cycle of
+        // reads is impossible, so the last node is always unconsumed — but
+        // guard anyway for graphs that are all inputs).
+        if g.outputs().is_empty() {
+            let last = *pool.last().unwrap();
+            g.mark_output(last).unwrap();
+        }
+        (g, chunks, n_inputs)
+    })
+}
+
+fn random_inputs(n: usize, shape: &[usize], seed: u64) -> Vec<Tensor> {
+    (0..n)
+        .map(|i| Tensor::random(shape.to_vec(), seed + i as u64))
+        .collect()
+}
+
+fn input_shape(g: &PrimGraph) -> Vec<usize> {
+    g.iter()
+        .find_map(|(_, n)| match &n.kind {
+            PrimKind::Input { shape } => Some(shape.clone()),
+            _ => None,
+        })
+        .expect("graph has an input")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random DAG plans: the work-stealing executor is bit-identical to
+    /// `execute_plan` at 1, 2, 4 and 8 lanes, including on repeated runs
+    /// over a warm arena.
+    #[test]
+    fn random_dag_plans_are_bit_identical((g, chunks, n_inputs) in arb_dag(), seed in 0u64..1000) {
+        let plan = chunked_plan(&g, &chunks);
+        let shape = input_shape(&g);
+        let inputs = random_inputs(n_inputs, &shape, seed);
+        let reference = execute_plan(&g, &plan, &inputs).unwrap();
+        for lanes in [1usize, 2, 4, 8] {
+            let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+            for run in 0..2 {
+                let out = exec.execute(&inputs).unwrap();
+                prop_assert_eq!(out.len(), reference.len());
+                for (a, b) in reference.iter().zip(&out) {
+                    prop_assert_eq!(a.shape(), b.shape());
+                    prop_assert!(
+                        a.as_slice() == b.as_slice(),
+                        "lanes={} run={} diverged bitwise", lanes, run
+                    );
+                }
+            }
+            // Every adopted buffer must be settled once the run is over.
+            prop_assert_eq!(exec.arena_stats().live_bytes, 0);
+        }
+    }
+}
+
+/// An imbalanced schedule — the simulator believes kernel 0 is enormous
+/// and serializes the other seven behind one lane — must be rebalanced by
+/// stealing: the lane that finishes its (actually cheap) kernel steals
+/// from the overloaded lane instead of idling.
+#[test]
+fn imbalanced_schedule_triggers_steals() {
+    let mut g = PrimGraph::new();
+    let shape = vec![96usize, 96];
+    let mut kernels_members: Vec<Vec<NodeId>> = Vec::new();
+    for _ in 0..8 {
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: shape.clone(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let mut members = Vec::new();
+        let mut cur: PortRef = x.into();
+        for _ in 0..4 {
+            let n = g
+                .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![cur])
+                .unwrap();
+            members.push(n);
+            cur = n.into();
+        }
+        g.mark_output(cur.node).unwrap();
+        kernels_members.push(members);
+    }
+    let kernels: Vec<SelectedKernel> = kernels_members
+        .into_iter()
+        .enumerate()
+        .map(|(i, members)| {
+            let out = *members.last().unwrap();
+            SelectedKernel {
+                members,
+                outputs: vec![out.into()],
+                // Kernel 0 looks huge to the simulator, so the list
+                // scheduler stacks kernels 1..8 on the other lane; on the
+                // host all eight cost the same.
+                latency: Micros(if i == 0 { 1e6 } else { 1.0 }),
+                backend: Backend::Generated,
+            }
+        })
+        .collect();
+    let total = kernels.iter().map(|k| k.latency).sum();
+    let plan = Plan {
+        kernels,
+        total_latency: total,
+    };
+    let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2)).unwrap();
+    let inputs = random_inputs(8, &shape, 11);
+    let reference = execute_plan(&g, &plan, &inputs).unwrap();
+    for _ in 0..6 {
+        let out = exec.execute(&inputs).unwrap();
+        for (a, b) in reference.iter().zip(&out) {
+            assert_eq!(a.as_slice(), b.as_slice());
+        }
+    }
+    let profile = exec.profile();
+    assert_eq!(profile.runs, 6);
+    assert!(
+        profile.steals > 0,
+        "an idle lane must steal from the overloaded one, profile: {profile:?}"
+    );
+}
+
+/// A failing kernel (opaque primitive, no CPU interpreter) must unwind
+/// every lane mid-run — parallel branches included — and leave the arena
+/// settled, run after run.
+#[test]
+fn failure_unwinds_all_lanes_mid_run() {
+    let mut g = PrimGraph::new();
+    let shape = vec![32usize, 32];
+    let x = g
+        .add(
+            PrimKind::Input {
+                shape: shape.clone(),
+            },
+            vec![],
+        )
+        .unwrap();
+    let mut members: Vec<NodeId> = Vec::new();
+    // Several healthy parallel branches...
+    for _ in 0..4 {
+        let mut cur: PortRef = x.into();
+        for _ in 0..3 {
+            let n = g
+                .add(
+                    PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)),
+                    vec![cur],
+                )
+                .unwrap();
+            members.push(n);
+            cur = n.into();
+        }
+        g.mark_output(cur.node).unwrap();
+    }
+    // ...and one opaque node that has no interpreter.
+    let opaque = g
+        .add(
+            PrimKind::Opaque {
+                name: "external".into(),
+                out_shapes: vec![shape.clone()],
+            },
+            vec![x.into()],
+        )
+        .unwrap();
+    g.mark_output(opaque).unwrap();
+    members.push(opaque);
+    let profiler = Profiler::new(Device::v100());
+    let kernels: Vec<SelectedKernel> = members
+        .into_iter()
+        .map(|m| {
+            let mset: BTreeSet<NodeId> = [m].into_iter().collect();
+            let outputs = vec![PortRef::from(m)];
+            let spec = kernel_spec(&g, &mset, &outputs);
+            SelectedKernel {
+                members: vec![m],
+                outputs,
+                latency: profiler.latency(&spec, Backend::Generated),
+                backend: Backend::Generated,
+            }
+        })
+        .collect();
+    let total = kernels.iter().map(|k| k.latency).sum();
+    let plan = Plan {
+        kernels,
+        total_latency: total,
+    };
+    for lanes in [2usize, 4, 8] {
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+        let inputs = random_inputs(1, &shape, 3);
+        for _ in 0..5 {
+            let err = exec.execute(&inputs);
+            assert!(err.is_err(), "opaque kernel must fail at {lanes} lanes");
+            assert_eq!(
+                exec.arena_stats().live_bytes,
+                0,
+                "failed runs must settle the arena at {lanes} lanes"
+            );
+        }
+    }
+}
+
+/// Regression for the redundant-producer arena leak: a plan that
+/// re-materializes one port in two kernels must return the loser's staged
+/// copy to the pool — `free_bytes` reaches a steady state instead of
+/// draining run over run, and `live_bytes` returns to zero.
+#[test]
+fn redundant_producer_conserves_arena_pool() {
+    let mut g = PrimGraph::new();
+    let shape = vec![32usize, 32];
+    let x = g
+        .add(
+            PrimKind::Input {
+                shape: shape.clone(),
+            },
+            vec![],
+        )
+        .unwrap();
+    let e = g
+        .add(
+            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+            vec![x.into()],
+        )
+        .unwrap();
+    let r = g
+        .add(
+            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Relu)),
+            vec![e.into()],
+        )
+        .unwrap();
+    let s = g
+        .add(
+            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Sigmoid)),
+            vec![e.into()],
+        )
+        .unwrap();
+    g.mark_output(r).unwrap();
+    g.mark_output(s).unwrap();
+    let profiler = Profiler::new(Device::v100());
+    let mk = |members: Vec<NodeId>, outputs: Vec<PortRef>| {
+        let mset: BTreeSet<NodeId> = members.iter().copied().collect();
+        let spec = kernel_spec(&g, &mset, &outputs);
+        SelectedKernel {
+            members,
+            outputs,
+            latency: profiler.latency(&spec, Backend::Generated),
+            backend: Backend::Generated,
+        }
+    };
+    // Kernel 1 recomputes `e` in-kernel *and* re-materializes it: its
+    // staged copy of `e` always loses to (or beats) kernel 0's.
+    let kernels = vec![
+        mk(vec![e], vec![e.into()]),
+        mk(vec![e, r], vec![r.into(), e.into()]),
+        mk(vec![s], vec![s.into()]),
+    ];
+    let total = kernels.iter().map(|k| k.latency).sum();
+    let plan = Plan {
+        kernels,
+        total_latency: total,
+    };
+    for lanes in [1usize, 2, 4] {
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+        let inputs = random_inputs(1, &shape, 17);
+        let reference = execute_plan(&g, &plan, &inputs).unwrap();
+        let mut steady_free: Option<u64> = None;
+        for run in 0..8 {
+            let out = exec.execute(&inputs).unwrap();
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.as_slice(), b.as_slice(), "lanes={lanes} run={run}");
+            }
+            let stats = exec.arena_stats();
+            assert_eq!(
+                stats.live_bytes, 0,
+                "live bytes must settle after run {run} at {lanes} lanes"
+            );
+            // After a warm-up run the pool must be conserved: the
+            // redundant producer's staged copy goes back to the pool
+            // instead of silently leaving it.
+            if run >= 2 {
+                match steady_free {
+                    None => steady_free = Some(stats.free_bytes),
+                    Some(f) => assert_eq!(
+                        stats.free_bytes, f,
+                        "pool drained between runs at {lanes} lanes (run {run})"
+                    ),
+                }
+            }
+        }
+        assert!(
+            exec.arena_stats().reuse_hits > 0,
+            "warm runs must recycle pooled buffers at {lanes} lanes"
+        );
+    }
+}
