@@ -216,6 +216,20 @@ fn bench_recalibration(c: &mut Criterion) {
         report.calibration.compute_scale,
         steals,
     );
+    println!(
+        "recalibration/contention: fitted memory_rate {:.3} / compute_rate {:.3} \
+         from measured overlap (memory {:?}, compute {:?})",
+        report.contention.memory_rate,
+        report.contention.compute_rate,
+        report.memory_overlap,
+        report.compute_overlap,
+    );
+    assert!(
+        (0.0..=1.0).contains(&report.contention.memory_rate)
+            && (0.0..=1.0).contains(&report.contention.compute_rate),
+        "fitted rates out of range: {:?}",
+        report.contention
+    );
     // Tolerance matches the core unit test: kernels measured below the
     // simulated launch overhead are excluded from the fit but still
     // scored by model_error, so equality is legitimate.

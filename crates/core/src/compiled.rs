@@ -15,12 +15,15 @@
 //! with, subsequent ones run the re-orchestrated plan priced in measured
 //! host time.
 
-use crate::pipeline::{KorchError, Optimized, PipelineStats};
+use crate::pipeline::{Korch, KorchError, Optimized, PipelineStats};
 use korch_cost::{Calibration, CalibrationSample, Micros, Profiler};
 use korch_exec::ExecError;
 use korch_ir::{PortRef, PrimGraph};
-use korch_orch::{Orchestrator, Plan};
-use korch_runtime::{MemoryReport, Model, PlanExecutor, RuntimeConfig, RuntimeProfile};
+use korch_orch::{kernel_classes, Orchestrator, Plan, StreamContention};
+use korch_runtime::{
+    MemoryReport, Model, OverlapEvidence, PlanExecutor, RuntimeConfig, RuntimeProfile, SelfTune,
+    TuneOutcome,
+};
 use korch_tensor::Tensor;
 use std::collections::HashMap;
 use std::sync::{Arc, RwLock};
@@ -55,13 +58,31 @@ pub struct RecalibrationReport {
     /// units are measured host time, so this is not comparable to the
     /// pre-swap simulated latency.
     pub latency_ms: f64,
+    /// Contention sharing rates the re-orchestration used: fitted from
+    /// measured cross-lane interval overlap where evidence existed,
+    /// carried over from the previous state where it did not.
+    pub contention: StreamContention,
+    /// Mean measured overlap fraction of memory-class kernel pairs on
+    /// different lanes (`None` when no such pair was observed).
+    pub memory_overlap: Option<f64>,
+    /// Mean measured overlap fraction of compute-class kernel pairs on
+    /// different lanes (`None` when no such pair was observed).
+    pub compute_overlap: Option<f64>,
 }
 
-/// The swappable half of a [`CompiledModel`]: the partitions and the
-/// simulated latency of the plans they run, always replaced together.
+/// The swappable half of a [`CompiledModel`]: the partitions, the
+/// simulated latency of the plans they run, and the cost model + contention
+/// rates those plans were priced with — always replaced together.
 struct PlanState {
     parts: Arc<Vec<CompiledPartition>>,
     total_latency: Micros,
+    /// Calibration the live plans were priced with (default until the
+    /// first recalibration). Drift is measured against *this*, not the
+    /// uncalibrated base — otherwise a freshly calibrated model would
+    /// still look maximally drifted.
+    calibration: Calibration,
+    /// Contention rates the live plans' lane placement used.
+    contention: StreamContention,
 }
 
 /// An optimized program compiled onto the parallel runtime.
@@ -101,6 +122,13 @@ impl CompiledModel {
             plan: RwLock::new(PlanState {
                 parts: Arc::new(parts),
                 total_latency: Micros(optimized.latency_ms() * 1000.0),
+                calibration: Calibration::default(),
+                // The rates the plans were *orchestrated* with, not the
+                // executor's lane-placement rates: this is the fallback a
+                // no-evidence recalibration must re-price under, so a
+                // divergent `RuntimeConfig::contention` (possible via
+                // `compile_with`) must not leak into plan pricing.
+                contention: optimized.contention().clone(),
             }),
             graph_input_ports: optimized.input_ports().to_vec(),
             graph_output_ports: optimized.output_ports().to_vec(),
@@ -181,6 +209,38 @@ impl CompiledModel {
         Calibration::fit(cost_profiler, &self.calibration_samples())
     }
 
+    /// The [`Calibration`] the live plans were priced with: the default
+    /// until the first [`CompiledModel::recalibrate`], the fitted one
+    /// after (it swaps together with the plans).
+    pub fn applied_calibration(&self) -> Calibration {
+        self.plan.read().expect("plan poisoned").calibration.clone()
+    }
+
+    /// The [`StreamContention`] sharing rates the live plans were priced
+    /// with: the orchestrator's compile-time configuration until the
+    /// first [`CompiledModel::recalibrate`] fits rates from measured
+    /// overlap (after which pricing and lane placement share the fitted
+    /// rates). Also the fallback for classes a recalibration has no
+    /// overlap evidence for.
+    pub fn applied_contention(&self) -> StreamContention {
+        self.plan.read().expect("plan poisoned").contention.clone()
+    }
+
+    /// Drift of the live model: mean relative prediction error of the
+    /// cost model the current plans were priced with (`base` +
+    /// [`CompiledModel::applied_calibration`]) against the profile
+    /// accumulated since the plans went live, kernel-weighted across
+    /// partitions. `None` while no kernel has been measured. This is the
+    /// quantity a serving-side [`korch_runtime::RecalibrationPolicy`]
+    /// thresholds.
+    pub fn current_model_error(&self, base: &Profiler) -> Option<f64> {
+        let state = self.plan.read().expect("plan poisoned");
+        let fitted = base.clone().with_calibration(state.calibration.clone());
+        let profiles: Vec<RuntimeProfile> =
+            state.parts.iter().map(|p| p.executor.profile()).collect();
+        weighted_model_error(&profiles, &state.parts, &fitted)
+    }
+
     /// Closes the calibration loop in place: fits a [`Calibration`] from
     /// every kernel measured so far, re-runs the orchestrator over each
     /// partition's chosen graph with the calibrated cost model, and
@@ -195,14 +255,20 @@ impl CompiledModel {
     /// Returns [`KorchError::Exec`] when no profiled run exists yet, and
     /// propagates orchestration/compilation failures (the current plan
     /// stays in place on any error).
-    pub fn recalibrate(&self, korch: &crate::Korch) -> Result<RecalibrationReport, KorchError> {
+    pub fn recalibrate(&self, korch: &Korch) -> Result<RecalibrationReport, KorchError> {
         let parts = self.partitions();
+        let previous_contention = self.applied_contention();
         let base = Profiler::new(korch.device().clone());
         let mut samples = Vec::new();
         let mut profiled = Vec::with_capacity(parts.len());
+        let mut evidence = OverlapEvidence::default();
         for p in parts.iter() {
             let profile = p.executor.profile();
             samples.extend(profile.calibration_samples(&p.graph, &p.plan));
+            evidence.merge(&OverlapEvidence::collect(
+                &profile,
+                &kernel_classes(&p.graph, &p.plan),
+            ));
             profiled.push(profile);
         }
         if samples.is_empty() {
@@ -212,37 +278,34 @@ impl CompiledModel {
         }
         let calibration = Calibration::fit(&base, &samples);
         let fitted = base.clone().with_calibration(calibration.clone());
-        let model_error = |profiler: &Profiler| -> f64 {
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            for (profile, p) in profiled.iter().zip(parts.iter()) {
-                let measured = profile.per_kernel.iter().filter(|s| s.count > 0).count();
-                if measured == 0 {
-                    continue;
-                }
-                sum += profile.model_error(&p.graph, &p.plan, profiler) * measured as f64;
-                n += measured;
-            }
-            if n == 0 {
-                0.0
-            } else {
-                sum / n as f64
-            }
-        };
-        let model_error_before = model_error(&base);
-        let model_error_after = model_error(&fitted);
+        let model_error_before = weighted_model_error(&profiled, &parts, &base).unwrap_or(0.0);
+        let model_error_after = weighted_model_error(&profiled, &parts, &fitted).unwrap_or(0.0);
+        // Fit contention sharing rates from the measured cross-lane
+        // interval overlap; classes (or plans) without any co-run evidence
+        // keep the rates the current plans were placed with.
+        let contention = evidence
+            .fit(&previous_contention)
+            .map(|f| f.contention)
+            .unwrap_or(previous_contention);
 
         // Re-orchestrate every partition's chosen variant with the
-        // calibrated profiler (the transform search already picked the
-        // variant; only kernel selection is re-priced).
+        // calibrated profiler *and* the fitted contention (the transform
+        // search already picked the variant; kernel selection and lane
+        // placement are re-priced in measured host behavior).
+        let mut orch_config = korch.config().orchestrator.clone();
+        orch_config.contention = contention.clone();
+        let runtime = RuntimeConfig {
+            contention: contention.clone(),
+            ..self.runtime.clone()
+        };
         let orchestrator = Orchestrator::new(korch.device().clone())
-            .with_config(korch.config().orchestrator.clone())
+            .with_config(orch_config)
             .with_profiler(fitted);
         let mut new_parts = Vec::with_capacity(parts.len());
         let mut total = Micros(0.0);
         for p in parts.iter() {
             let orch = orchestrator.orchestrate(&p.graph)?;
-            let executor = PlanExecutor::new(&p.graph, &orch.plan, self.runtime.clone())?;
+            let executor = PlanExecutor::new(&p.graph, &orch.plan, runtime.clone())?;
             total = total + orch.plan.total_latency;
             new_parts.push(CompiledPartition {
                 graph: p.graph.clone(),
@@ -255,12 +318,17 @@ impl CompiledModel {
         *self.plan.write().expect("plan poisoned") = PlanState {
             parts: Arc::new(new_parts),
             total_latency: total,
+            calibration: calibration.clone(),
+            contention: contention.clone(),
         };
         Ok(RecalibrationReport {
             calibration,
             model_error_before,
             model_error_after,
             latency_ms: total.as_millis(),
+            contention,
+            memory_overlap: evidence.memory_overlap(),
+            compute_overlap: evidence.compute_overlap(),
         })
     }
 
@@ -311,9 +379,83 @@ impl CompiledModel {
     }
 }
 
+/// Mean relative prediction error of `profiler` against the accumulated
+/// profiles, weighted by each partition's measured kernel count. `None`
+/// when nothing has been measured.
+fn weighted_model_error(
+    profiles: &[RuntimeProfile],
+    parts: &[CompiledPartition],
+    profiler: &Profiler,
+) -> Option<f64> {
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (profile, p) in profiles.iter().zip(parts.iter()) {
+        let measured = profile.per_kernel.iter().filter(|s| s.count > 0).count();
+        if measured == 0 {
+            continue;
+        }
+        sum += profile.model_error(&p.graph, &p.plan, profiler) * measured as f64;
+        n += measured;
+    }
+    (n > 0).then(|| sum / n as f64)
+}
+
 impl Model for CompiledModel {
     fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
         self.execute(inputs)
+    }
+}
+
+/// A [`CompiledModel`] bundled with the [`Korch`] pipeline that built it,
+/// so it can re-tune itself: the [`SelfTune`] implementation lets
+/// `korch_runtime::Server::start_tuned` measure drift and trigger
+/// recalibration hands-free while the model keeps serving (plan swaps are
+/// atomic; in-flight requests finish on the plan they started with).
+pub struct SelfTuningModel {
+    korch: Korch,
+    model: CompiledModel,
+}
+
+impl SelfTuningModel {
+    /// Bundles a compiled model with its pipeline.
+    pub fn new(korch: Korch, model: CompiledModel) -> Self {
+        Self { korch, model }
+    }
+
+    /// The compiled model being served.
+    pub fn model(&self) -> &CompiledModel {
+        &self.model
+    }
+
+    /// The pipeline used for re-orchestration.
+    pub fn korch(&self) -> &Korch {
+        &self.korch
+    }
+}
+
+impl Model for SelfTuningModel {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        self.model.execute(inputs)
+    }
+}
+
+impl SelfTune for SelfTuningModel {
+    fn model_error(&self) -> Option<f64> {
+        self.model
+            .current_model_error(&Profiler::new(self.korch.device().clone()))
+    }
+
+    fn retune(&self) -> Result<TuneOutcome, String> {
+        let report = self
+            .model
+            .recalibrate(&self.korch)
+            .map_err(|e| e.to_string())?;
+        Ok(TuneOutcome {
+            model_error_before: report.model_error_before,
+            model_error_after: report.model_error_after,
+            memory_rate: report.contention.memory_rate,
+            compute_rate: report.contention.compute_rate,
+        })
     }
 }
 

@@ -35,6 +35,6 @@ mod compiled;
 mod partition;
 mod pipeline;
 
-pub use compiled::{CompiledModel, CompiledPartition, RecalibrationReport};
+pub use compiled::{CompiledModel, CompiledPartition, RecalibrationReport, SelfTuningModel};
 pub use partition::{partition, Partition};
 pub use pipeline::{Korch, KorchConfig, KorchError, Optimized, OptimizedPartition, PipelineStats};

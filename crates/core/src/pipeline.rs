@@ -7,7 +7,9 @@ use korch_cost::{Device, Micros};
 use korch_exec::{execute_ops, execute_plan, ExecError};
 use korch_fission::FissionEngine;
 use korch_ir::{IrError, OpGraph, PortRef, PrimGraph, PrimKind, PrimStats};
-use korch_orch::{OrchError, Orchestration, Orchestrator, OrchestratorConfig, Plan};
+use korch_orch::{
+    OrchError, Orchestration, Orchestrator, OrchestratorConfig, Plan, StreamContention,
+};
 use korch_tensor::Tensor;
 use korch_transform::{optimize_graph, SearchConfig};
 use std::collections::HashMap;
@@ -129,6 +131,7 @@ pub struct Optimized {
     graph_output_ports: Vec<PortRef>,
     stats: PipelineStats,
     total_latency: Micros,
+    contention: StreamContention,
 }
 
 impl Optimized {
@@ -161,6 +164,14 @@ impl Optimized {
     /// The program's output ports.
     pub fn output_ports(&self) -> &[PortRef] {
         &self.graph_output_ports
+    }
+
+    /// The [`StreamContention`] sharing rates the plans were orchestrated
+    /// with (`OrchestratorConfig::contention` at optimization time) —
+    /// what a compiled model's recalibration falls back to for classes
+    /// without measured overlap evidence.
+    pub fn contention(&self) -> &StreamContention {
+        &self.contention
     }
 
     /// Executes the optimized program on the CPU reference kernels.
@@ -342,6 +353,7 @@ impl Korch {
             graph_output_ports: pg.outputs().to_vec(),
             stats,
             total_latency: total,
+            contention: self.config.orchestrator.contention.clone(),
         })
     }
 
@@ -418,6 +430,23 @@ impl Korch {
     ) -> Result<crate::CompiledModel, KorchError> {
         let optimized = self.optimize(g)?;
         crate::CompiledModel::from_optimized(&optimized, runtime)
+    }
+
+    /// [`Korch::compile_with`], bundled for self-tuning: the returned
+    /// [`crate::SelfTuningModel`] implements both `korch_runtime::Model`
+    /// and `korch_runtime::SelfTune`, so `Server::start_tuned` can serve
+    /// it and drive drift-triggered recalibration hands-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KorchError`] on IR, orchestration or compilation failures.
+    pub fn compile_tuned(
+        &self,
+        g: &OpGraph,
+        runtime: &korch_runtime::RuntimeConfig,
+    ) -> Result<crate::SelfTuningModel, KorchError> {
+        let model = self.compile_with(g, runtime)?;
+        Ok(crate::SelfTuningModel::new(self.clone(), model))
     }
 
     /// Closes the calibration loop on a compiled model: fits a

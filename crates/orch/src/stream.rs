@@ -62,6 +62,34 @@ impl Default for StreamContention {
 }
 
 impl StreamContention {
+    /// Builds sharing rates from *measured* pairwise overlap fractions
+    /// (each in `[0, 1]`: the fraction of a body's runtime during which a
+    /// same-class body was co-resident on another lane, as recorded by the
+    /// `korch-runtime` profiler's interval tracking).
+    ///
+    /// The mapping inverts the sharing model: bodies that fully overlap in
+    /// wall clock were not serialized by their shared resource
+    /// (`rate → 0.0`), bodies that never overlap behave as if co-scheduling
+    /// saves nothing (`rate → 1.0`). `None` means no same-class pair ever
+    /// had the chance to overlap — there is no evidence, so the class keeps
+    /// its `fallback` rate. Inputs are clamped into `[0, 1]`.
+    pub fn from_overlap(
+        memory_overlap: Option<f64>,
+        compute_overlap: Option<f64>,
+        fallback: &StreamContention,
+    ) -> Self {
+        let rate = |overlap: Option<f64>, fallback: f64| -> f64 {
+            match overlap {
+                Some(f) => (1.0 - f.clamp(0.0, 1.0)).clamp(0.0, 1.0),
+                None => fallback,
+            }
+        };
+        Self {
+            memory_rate: rate(memory_overlap, fallback.memory_rate),
+            compute_rate: rate(compute_overlap, fallback.compute_rate),
+        }
+    }
+
     /// Progress rate of one body co-running with `n` same-class bodies in
     /// total (`n >= 1`).
     fn rate(&self, class: ResourceClass, n: usize) -> f64 {
@@ -145,6 +173,25 @@ struct Job {
     class: ResourceClass,
 }
 
+/// [`ResourceClass`] of every kernel in `plan`, indexed like
+/// `plan.kernels`. This is the classification the contention simulation
+/// uses internally; the `korch-runtime` contention fitting uses it to
+/// decide which measured interval pairs contend for the same resource.
+pub fn kernel_classes(g: &PrimGraph, plan: &Plan) -> Vec<ResourceClass> {
+    plan.kernels
+        .iter()
+        .map(|k| {
+            let member_set: BTreeSet<NodeId> = k.members.iter().copied().collect();
+            let spec = kernel_spec(g, &member_set, &k.outputs);
+            if spec.is_compute_intensive() {
+                ResourceClass::Compute
+            } else {
+                ResourceClass::Memory
+            }
+        })
+        .collect()
+}
+
 /// Schedules `plan` onto `num_streams` lanes and simulates the makespan
 /// under the default full-sharing contention model.
 ///
@@ -192,6 +239,7 @@ pub fn schedule_streams_with(
         }
         m
     };
+    let classes = kernel_classes(g, plan);
     let mut jobs: Vec<Job> = Vec::with_capacity(n);
     for (i, k) in plan.kernels.iter().enumerate() {
         let member_set: BTreeSet<NodeId> = k.members.iter().copied().collect();
@@ -208,12 +256,7 @@ pub fn schedule_streams_with(
                 }
             }
         }
-        let spec = kernel_spec(g, &member_set, &k.outputs);
-        let class = if spec.is_compute_intensive() {
-            ResourceClass::Compute
-        } else {
-            ResourceClass::Memory
-        };
+        let class = classes[i];
         let launch = device.launch_overhead_us.min(k.latency.0);
         jobs.push(Job {
             deps: deps.into_iter().collect(),

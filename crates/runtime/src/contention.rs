@@ -1,0 +1,236 @@
+//! Fitting [`StreamContention`] sharing rates from measured kernel
+//! intervals — the second half of the runtime's feedback loop.
+//!
+//! [`crate::RuntimeProfile::fit_calibration`] fits *per-kernel* costs; this
+//! module fits the *inter-kernel* knob: how strongly same-resource-class
+//! kernel bodies contend when co-scheduled on different lanes. The
+//! executor records each kernel's (start, end) wall-clock interval against
+//! one shared clock origin per run ([`crate::KernelInterval`]); for every
+//! same-class pair that ran on different lanes within a run, the pair's
+//! overlap fraction (`overlap / min(duration)`) is evidence:
+//!
+//! - intervals that **fully overlap** mean the host genuinely co-ran both
+//!   bodies — the shared resource was not a bottleneck, so the fitted
+//!   sharing rate approaches `0.0`;
+//! - intervals that **never overlap** mean co-scheduling bought nothing —
+//!   full processor sharing, rate `1.0` (the simulator's default).
+//!
+//! Pairs that ran on the *same* worker lane are excluded: a lane executes
+//! its kernels serially, so their non-overlap says nothing about the
+//! resource. A class with no cross-lane pair anywhere keeps its fallback
+//! rate — no evidence is different from evidence of serialization.
+//!
+//! The fitted rates feed `schedule_streams_with` through
+//! `CompiledModel::recalibrate`, which re-orchestrates with both the
+//! fitted cost [`korch_cost::Calibration`] and the fitted contention, so
+//! lane placement reflects measured co-residency instead of hand-set
+//! defaults. (Wall-clock co-residency is itself an approximation — a
+//! timesliced host can overlap intervals while halving throughput — which
+//! mirrors the paper's choice of simple measurable proxies over
+//! microarchitectural models.)
+
+use crate::profiler::RuntimeProfile;
+use korch_ir::PrimGraph;
+use korch_orch::{kernel_classes, Plan, ResourceClass, StreamContention};
+
+/// Accumulated pairwise-overlap evidence, mergeable across partitions
+/// (each partition has its own profile and kernel classes; the fit wants
+/// all of it).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct OverlapEvidence {
+    /// Σ overlap fractions of memory/memory cross-lane pairs.
+    pub memory_overlap_sum: f64,
+    /// Number of memory/memory cross-lane pairs observed.
+    pub memory_pairs: u64,
+    /// Σ overlap fractions of compute/compute cross-lane pairs.
+    pub compute_overlap_sum: f64,
+    /// Number of compute/compute cross-lane pairs observed.
+    pub compute_pairs: u64,
+}
+
+impl OverlapEvidence {
+    /// Collects evidence from every run recorded in `profile`'s interval
+    /// window. `classes` maps kernel index → [`ResourceClass`], indexed
+    /// like the plan (see [`korch_orch::kernel_classes`]).
+    pub fn collect(profile: &RuntimeProfile, classes: &[ResourceClass]) -> Self {
+        let mut ev = Self::default();
+        for run in &profile.intervals {
+            for (i, a) in run.iter().enumerate() {
+                for b in &run[i + 1..] {
+                    if a.lane == b.lane || classes[a.kernel] != classes[b.kernel] {
+                        continue;
+                    }
+                    let denom = a.duration_us().min(b.duration_us());
+                    if denom <= 0.0 {
+                        continue;
+                    }
+                    let fraction = (a.overlap_us(b) / denom).clamp(0.0, 1.0);
+                    match classes[a.kernel] {
+                        ResourceClass::Memory => {
+                            ev.memory_overlap_sum += fraction;
+                            ev.memory_pairs += 1;
+                        }
+                        ResourceClass::Compute => {
+                            ev.compute_overlap_sum += fraction;
+                            ev.compute_pairs += 1;
+                        }
+                    }
+                }
+            }
+        }
+        ev
+    }
+
+    /// Folds another partition's evidence into this one.
+    pub fn merge(&mut self, other: &Self) {
+        self.memory_overlap_sum += other.memory_overlap_sum;
+        self.memory_pairs += other.memory_pairs;
+        self.compute_overlap_sum += other.compute_overlap_sum;
+        self.compute_pairs += other.compute_pairs;
+    }
+
+    /// Mean overlap fraction of memory/memory pairs (`None` without
+    /// evidence).
+    pub fn memory_overlap(&self) -> Option<f64> {
+        (self.memory_pairs > 0).then(|| self.memory_overlap_sum / self.memory_pairs as f64)
+    }
+
+    /// Mean overlap fraction of compute/compute pairs (`None` without
+    /// evidence).
+    pub fn compute_overlap(&self) -> Option<f64> {
+        (self.compute_pairs > 0).then(|| self.compute_overlap_sum / self.compute_pairs as f64)
+    }
+
+    /// Turns the evidence into sharing rates. Classes without evidence
+    /// keep their `fallback` rate; returns `None` when *no* class has any
+    /// (nothing measured, nothing to fit).
+    pub fn fit(&self, fallback: &StreamContention) -> Option<ContentionFit> {
+        if self.memory_pairs == 0 && self.compute_pairs == 0 {
+            return None;
+        }
+        Some(ContentionFit {
+            contention: StreamContention::from_overlap(
+                self.memory_overlap(),
+                self.compute_overlap(),
+                fallback,
+            ),
+            evidence: *self,
+        })
+    }
+}
+
+/// Outcome of one contention fit: the rates plus the evidence behind them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContentionFit {
+    /// The fitted sharing rates (measured classes) / fallback rates
+    /// (unmeasured classes).
+    pub contention: StreamContention,
+    /// The pairwise-overlap evidence the rates were fitted from.
+    pub evidence: OverlapEvidence,
+}
+
+/// Fits [`StreamContention`] sharing rates for one plan from its
+/// accumulated [`RuntimeProfile`]. Returns `None` when the profile holds
+/// no cross-lane same-class pair (single-lane runs, single-kernel plans,
+/// or profiling disabled) — callers should keep their current rates.
+pub fn fit_contention(
+    profile: &RuntimeProfile,
+    g: &PrimGraph,
+    plan: &Plan,
+    fallback: &StreamContention,
+) -> Option<ContentionFit> {
+    OverlapEvidence::collect(profile, &kernel_classes(g, plan)).fit(fallback)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::KernelInterval;
+
+    fn profile_with(runs: Vec<Vec<KernelInterval>>, n: usize) -> RuntimeProfile {
+        let mut p = RuntimeProfile::new(n);
+        for run in runs {
+            p.merge_run(run, 0);
+        }
+        p
+    }
+
+    fn iv(kernel: usize, lane: usize, start_us: f64, end_us: f64) -> KernelInterval {
+        KernelInterval {
+            kernel,
+            lane,
+            start_us,
+            end_us,
+        }
+    }
+
+    #[test]
+    fn serial_intervals_fit_full_sharing() {
+        let p = profile_with(vec![vec![iv(0, 0, 0.0, 10.0), iv(1, 1, 10.0, 20.0)]], 2);
+        let ev = OverlapEvidence::collect(&p, &[ResourceClass::Memory, ResourceClass::Memory]);
+        assert_eq!(ev.memory_pairs, 1);
+        assert!(ev.memory_overlap().unwrap() < 1e-9);
+        let fit = ev.fit(&StreamContention::default()).unwrap();
+        assert!((fit.contention.memory_rate - 1.0).abs() < 1e-9);
+        // No compute evidence: fallback rate survives.
+        assert!((fit.contention.compute_rate - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_intervals_fit_no_sharing() {
+        let p = profile_with(vec![vec![iv(0, 0, 0.0, 10.0), iv(1, 1, 0.0, 10.0)]], 2);
+        let fit = fit_like_memory(&p);
+        assert!((fit.evidence.memory_overlap().unwrap() - 1.0).abs() < 1e-9);
+        assert!(fit.contention.memory_rate < 1e-9);
+    }
+
+    fn fit_like_memory(p: &RuntimeProfile) -> ContentionFit {
+        OverlapEvidence::collect(p, &[ResourceClass::Memory, ResourceClass::Memory])
+            .fit(&StreamContention::default())
+            .unwrap()
+    }
+
+    #[test]
+    fn same_lane_and_cross_class_pairs_are_not_evidence() {
+        let p = profile_with(
+            vec![vec![
+                iv(0, 0, 0.0, 10.0),
+                iv(1, 0, 10.0, 20.0), // same lane as kernel 0
+                iv(2, 1, 0.0, 10.0),  // compute, different class from 0
+            ]],
+            3,
+        );
+        let ev = OverlapEvidence::collect(
+            &p,
+            &[
+                ResourceClass::Memory,
+                ResourceClass::Memory,
+                ResourceClass::Compute,
+            ],
+        );
+        assert_eq!(ev.memory_pairs, 0);
+        assert_eq!(ev.compute_pairs, 0);
+        assert!(ev.fit(&StreamContention::default()).is_none());
+    }
+
+    #[test]
+    fn evidence_merges_across_partitions() {
+        let a = OverlapEvidence {
+            memory_overlap_sum: 1.0,
+            memory_pairs: 1,
+            ..Default::default()
+        };
+        let mut b = OverlapEvidence {
+            memory_overlap_sum: 0.0,
+            memory_pairs: 1,
+            compute_overlap_sum: 0.5,
+            compute_pairs: 1,
+        };
+        b.merge(&a);
+        assert_eq!(b.memory_pairs, 2);
+        assert!((b.memory_overlap().unwrap() - 0.5).abs() < 1e-9);
+        let fit = b.fit(&StreamContention::default()).unwrap();
+        assert!((fit.contention.memory_rate - 0.5).abs() < 1e-9);
+        assert!((fit.contention.compute_rate - 0.5).abs() < 1e-9);
+    }
+}

@@ -17,7 +17,7 @@
 //! them.
 
 use crate::arena::{plan_memory_report, BufferArena, MemoryReport};
-use crate::profiler::RuntimeProfile;
+use crate::profiler::{KernelInterval, RuntimeProfile};
 use korch_cost::Device;
 use korch_exec::{eval_prim, materialize_const, ExecError};
 use korch_ir::{NodeId, PortRef, PrimGraph, PrimKind};
@@ -129,12 +129,31 @@ struct RunState {
     error: Mutex<Option<ExecError>>,
 }
 
-/// Worker-thread-local profiling buffer, merged into the shared
-/// [`RuntimeProfile`] once per run (instead of one lock per kernel).
+/// Worker-thread-local profiling buffer, folded into the run's shared
+/// [`RunLog`] once per worker (instead of one lock per kernel).
 #[derive(Default)]
 struct LaneLog {
-    samples: Vec<(usize, f64)>,
+    samples: Vec<KernelInterval>,
     steals: u64,
+}
+
+/// One `execute` call's profiling context. Every worker measures kernel
+/// intervals against the *same* `origin` `Instant` — the clock-origin
+/// invariant [`KernelInterval`] documents: per-lane origins would shift
+/// lanes against each other and corrupt the overlap measurement the
+/// intervals feed (`crate::fit_contention`).
+struct RunCtx {
+    origin: Instant,
+    log: Mutex<LaneLog>,
+}
+
+impl RunCtx {
+    fn new() -> Self {
+        Self {
+            origin: Instant::now(),
+            log: Mutex::new(LaneLog::default()),
+        }
+    }
 }
 
 impl PlanExecutor {
@@ -338,7 +357,7 @@ impl PlanExecutor {
     ///
     /// Returns [`ExecError`] on input mismatches or kernel failures.
     pub fn execute(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
-        let run_start = Instant::now();
+        let run = RunCtx::new();
         let state = self.feed(inputs)?;
         // A lane's deque only ever holds its homed kernels, so lanes the
         // schedule left empty never need a worker; chain-shaped plans run
@@ -347,25 +366,31 @@ impl PlanExecutor {
             .filter(|&l| !self.lanes[l].is_empty())
             .collect();
         if occupied.len() <= 1 || self.kernels.len() <= 1 {
-            self.run_sequential(&state);
+            self.run_sequential(occupied.first().copied().unwrap_or(0), &state, &run);
         } else {
             std::thread::scope(|scope| {
                 let state = &state;
+                let run = &run;
                 for &w in &occupied {
-                    scope.spawn(move || self.run_worker(w, state));
+                    scope.spawn(move || self.run_worker(w, state, run));
                 }
             });
         }
-        if state.failed.load(Ordering::Acquire) {
+        // All workers have merged their lane logs; fold the run into the
+        // shared profile under one lock hold.
+        let log = run.log.into_inner().expect("run log poisoned");
+        let failed = state.failed.load(Ordering::Acquire);
+        if self.profile_enabled || log.steals > 0 {
+            let mut profile = self.profile.lock().expect("profile poisoned");
+            profile.merge_run(log.samples, log.steals);
+            if self.profile_enabled && !failed {
+                profile.record_run(run.origin.elapsed().as_secs_f64() * 1e6);
+            }
+        }
+        if failed {
             self.settle(&state);
             let e = state.error.lock().expect("error poisoned").take();
             return Err(e.unwrap_or_else(|| ExecError::Input("executor failed".into())));
-        }
-        if self.profile_enabled {
-            self.profile
-                .lock()
-                .expect("profile poisoned")
-                .record_run(run_start.elapsed().as_secs_f64() * 1e6);
         }
         let outputs = self
             .output_slots
@@ -482,41 +507,56 @@ impl PlanExecutor {
     /// In-thread execution for single-lane or single-kernel plans: kernel
     /// indices ascend in dependency order (every dependency points at a
     /// lower index), so plan order is a valid schedule.
-    fn run_sequential(&self, state: &RunState) {
+    fn run_sequential(&self, lane: usize, state: &RunState, run: &RunCtx) {
         let mut log = LaneLog::default();
         for k in 0..self.kernels.len() {
-            if !self.run_one(k, state, &mut log) {
+            if !self.run_one(k, lane, state, run, &mut log) {
                 break;
             }
         }
-        self.merge_log(log);
+        self.merge_log(log, run);
     }
 
     /// Worker body: drain the own lane's deque, steal when it runs dry,
     /// park on the condvar only when no kernel anywhere is ready.
-    fn run_worker(&self, w: usize, state: &RunState) {
+    fn run_worker(&self, w: usize, state: &RunState, run: &RunCtx) {
         let mut log = LaneLog::default();
         while let Some((k, stolen)) = self.next_task(w, state) {
             if stolen {
                 log.steals += 1;
             }
-            if !self.run_one(k, state, &mut log) {
+            if !self.run_one(k, w, state, run, &mut log) {
                 break;
             }
         }
-        self.merge_log(log);
+        self.merge_log(log, run);
     }
 
-    /// Runs and retires kernel `k`, timing it into `log` when profiling.
-    /// On failure stores the error, flags the run failed, and wakes every
-    /// parked worker so all lanes unwind (a no-op when running
+    /// Runs and retires kernel `k` on worker lane `lane`, timing its
+    /// (start, end) interval against the run's shared clock origin when
+    /// profiling. On failure stores the error, flags the run failed, and
+    /// wakes every parked worker so all lanes unwind (a no-op when running
     /// sequentially); returns `false` so the caller stops.
-    fn run_one(&self, k: usize, state: &RunState, log: &mut LaneLog) -> bool {
-        let start = self.profile_enabled.then(Instant::now);
+    fn run_one(
+        &self,
+        k: usize,
+        lane: usize,
+        state: &RunState,
+        run: &RunCtx,
+        log: &mut LaneLog,
+    ) -> bool {
+        let start = self
+            .profile_enabled
+            .then(|| run.origin.elapsed().as_secs_f64() * 1e6);
         match self.run_kernel(k, state) {
             Ok(()) => {
-                if let Some(start) = start {
-                    log.samples.push((k, start.elapsed().as_secs_f64() * 1e6));
+                if let Some(start_us) = start {
+                    log.samples.push(KernelInterval {
+                        kernel: k,
+                        lane,
+                        start_us,
+                        end_us: run.origin.elapsed().as_secs_f64() * 1e6,
+                    });
                 }
                 self.retire(k, state);
                 true
@@ -531,14 +571,13 @@ impl PlanExecutor {
         }
     }
 
-    /// Folds a worker's local samples into the shared profile (one lock
-    /// per worker per run).
-    fn merge_log(&self, log: LaneLog) {
-        if (self.profile_enabled && !log.samples.is_empty()) || log.steals > 0 {
-            self.profile
-                .lock()
-                .expect("profile poisoned")
-                .merge_worker(&log.samples, log.steals);
+    /// Folds a worker's local samples into the run's shared log (one lock
+    /// per worker per run; the run merges into the profile once).
+    fn merge_log(&self, log: LaneLog, run: &RunCtx) {
+        if !log.samples.is_empty() || log.steals > 0 {
+            let mut shared = run.log.lock().expect("run log poisoned");
+            shared.samples.extend(log.samples);
+            shared.steals += log.steals;
         }
     }
 

@@ -15,14 +15,37 @@
 //! - [`BufferArena`] / [`plan_memory_report`] — tensor-lifetime analysis,
 //!   last-reader buffer reclamation, size-classed reuse, and peak-resident
 //!   accounting (vs. the interpreter's allocate-everything behavior);
-//! - [`RuntimeProfile`] — per-kernel wall times (buffered per lane, merged
-//!   once per run) with a calibration hook
-//!   ([`RuntimeProfile::fit_calibration`]) feeding measured latencies back
-//!   into the `korch_cost` analytical model — `korch-core`'s
-//!   `CompiledModel::recalibrate` closes that loop by re-orchestrating
-//!   with the fitted model and swapping the plan in place;
+//! - [`RuntimeProfile`] — per-kernel wall times *and* per-run
+//!   [`KernelInterval`]s (every lane timestamps against one shared clock
+//!   origin per run), with two fitting hooks:
+//!   [`RuntimeProfile::fit_calibration`] feeds measured latencies back
+//!   into the `korch_cost` analytical model, and [`fit_contention`] turns
+//!   measured cross-lane interval overlap into
+//!   [`korch_orch::StreamContention`] sharing rates;
 //! - [`Server`] — a request queue with dynamic batching over any
-//!   [`Model`], with throughput / latency statistics.
+//!   [`Model`], with throughput / latency statistics. Started over a
+//!   [`SelfTune`] model it runs the whole loop hands-free.
+//!
+//! # The self-tuning cycle
+//!
+//! `korch-core`'s `CompiledModel` + `SelfTuningModel` close the loop end
+//! to end — **measure → fit → re-orchestrate → swap**:
+//!
+//! 1. **measure** — every `execute` records per-kernel wall times and
+//!    (start, end) intervals against the run's single clock origin;
+//! 2. **fit** — `Calibration::fit` scales the analytical cost model to
+//!    the measured kernel times; [`fit_contention`] maps measured lane
+//!    overlap to per-resource-class sharing rates;
+//! 3. **re-orchestrate** — the orchestrator re-runs with the calibrated
+//!    profiler and fitted contention, re-pricing kernel selection *and*
+//!    lane placement in measured host behavior;
+//! 4. **swap** — the new plans replace the old atomically; in-flight
+//!    requests finish on the plan they started with.
+//!
+//! A [`Server`] started with [`Server::start_tuned`] drives the cycle
+//! automatically: a [`RecalibrationPolicy`] samples drift every N served
+//! requests and triggers step 2–4 on a background thread when the model
+//! error exceeds its threshold.
 //!
 //! ```
 //! use korch_ir::{EwFn, PrimGraph, PrimKind};
@@ -48,6 +71,7 @@
 #![warn(missing_docs)]
 
 mod arena;
+mod contention;
 mod executor;
 mod profiler;
 mod serving;
@@ -55,9 +79,13 @@ mod serving;
 pub use arena::{
     plan_lifetimes, plan_memory_report, ArenaStats, BufferArena, Lifetime, MemoryReport,
 };
+pub use contention::{fit_contention, ContentionFit, OverlapEvidence};
 pub use executor::{PlanExecutor, RuntimeConfig};
-pub use profiler::{KernelStats, RuntimeProfile};
-pub use serving::{BatchConfig, Model, ResponseHandle, ServeError, Server, ServerStats};
+pub use profiler::{KernelInterval, KernelStats, RuntimeProfile, INTERVAL_WINDOW};
+pub use serving::{
+    BatchConfig, Model, RecalibrationPolicy, ResponseHandle, SelfTune, ServeError, Server,
+    ServerStats, TuneOutcome,
+};
 
 use korch_exec::ExecError;
 use korch_tensor::Tensor;

@@ -38,6 +38,43 @@ impl KernelStats {
     }
 }
 
+/// One kernel execution's wall-clock interval within a run.
+///
+/// **Clock-origin invariant:** `start_us` and `end_us` are offsets from
+/// *one* monotonic origin captured once per `execute` call (a single
+/// `Instant` shared by every worker lane of that run). Per-lane origins
+/// would skew the very overlap these intervals exist to measure — a lane
+/// that spawns late would report intervals shifted against its peers.
+/// Intervals are therefore only comparable *within* one run's set, never
+/// across runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelInterval {
+    /// Index into `plan.kernels`.
+    pub kernel: usize,
+    /// Worker lane that actually executed the kernel (after any steal).
+    pub lane: usize,
+    /// Offset of the kernel's start from the run's clock origin, µs.
+    pub start_us: f64,
+    /// Offset of the kernel's completion from the run's clock origin, µs.
+    pub end_us: f64,
+}
+
+impl KernelInterval {
+    /// Wall time of the execution, µs.
+    pub fn duration_us(&self) -> f64 {
+        self.end_us - self.start_us
+    }
+
+    /// Wall-clock overlap with another interval, µs (0 when disjoint).
+    pub fn overlap_us(&self, other: &KernelInterval) -> f64 {
+        (self.end_us.min(other.end_us) - self.start_us.max(other.start_us)).max(0.0)
+    }
+}
+
+/// Per-run interval sets kept for concurrency analysis (sliding window,
+/// so a long-lived server stays O(1) in memory).
+pub const INTERVAL_WINDOW: usize = 64;
+
 /// Accumulated profile of a [`crate::PlanExecutor`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct RuntimeProfile {
@@ -51,6 +88,11 @@ pub struct RuntimeProfile {
     /// placed them on (work-stealing rebalances away the simulated
     /// assignment when it mispredicts).
     pub steals: u64,
+    /// Per-run kernel intervals of the most recent [`INTERVAL_WINDOW`]
+    /// runs, each set sharing that run's single clock origin (see
+    /// [`KernelInterval`]). Concurrent `execute` calls land in separate
+    /// sets, so every set describes one plan traversal.
+    pub intervals: Vec<Vec<KernelInterval>>,
 }
 
 impl RuntimeProfile {
@@ -61,18 +103,25 @@ impl RuntimeProfile {
             runs: 0,
             total_wall_us: 0.0,
             steals: 0,
+            intervals: Vec::new(),
         }
     }
 
-    /// Folds one worker lane's locally buffered measurements — `(kernel
-    /// index, wall µs)` pairs plus its steal count — into the profile.
-    /// Workers buffer locally and merge once per run, so profiling does
-    /// not serialize the lanes it measures.
-    pub fn merge_worker(&mut self, samples: &[(usize, f64)], steals: u64) {
-        for &(k, us) in samples {
-            self.record_kernel(k, us);
+    /// Folds one run's measurements — every lane's kernel intervals (all
+    /// offsets from the run's shared clock origin) plus the run's total
+    /// steal count — into the profile. Workers buffer locally and the run
+    /// merges once, so profiling does not serialize the lanes it measures.
+    pub fn merge_run(&mut self, intervals: Vec<KernelInterval>, steals: u64) {
+        for iv in &intervals {
+            self.record_kernel(iv.kernel, iv.duration_us());
         }
         self.steals += steals;
+        if !intervals.is_empty() {
+            if self.intervals.len() == INTERVAL_WINDOW {
+                self.intervals.remove(0);
+            }
+            self.intervals.push(intervals);
+        }
     }
 
     /// Records one kernel execution.

@@ -11,6 +11,16 @@
 //! profiles accumulate across requests. Every response is delivered
 //! through its request's channel; throughput and latency percentiles are
 //! tracked over a sliding window.
+//!
+//! A server started over a [`SelfTune`] model ([`Server::start_tuned`])
+//! additionally *tunes itself*: every [`RecalibrationPolicy::every_n_requests`]
+//! served requests the batcher samples the model's drift (prediction error
+//! of the cost model its current plans were priced with, against the
+//! profile measured since), and when drift exceeds the policy threshold it
+//! triggers a recalibration on a background thread. Serving never stalls —
+//! the model swaps its plans atomically, in-flight requests finish on the
+//! plan they started with — and [`ServerStats`] reports the recalibration
+//! count, the last sampled drift, and the fitted contention rates.
 
 use korch_exec::ExecError;
 use korch_tensor::Tensor;
@@ -38,6 +48,10 @@ pub struct BatchConfig {
     pub max_batch: usize,
     /// How long to hold an open batch for more requests.
     pub max_wait: Duration,
+    /// Drift-triggered auto-recalibration. Only consulted by servers
+    /// started over a [`SelfTune`] model ([`Server::start_tuned`]);
+    /// `None` disables the check entirely.
+    pub recalibration: Option<RecalibrationPolicy>,
 }
 
 impl Default for BatchConfig {
@@ -45,8 +59,67 @@ impl Default for BatchConfig {
         Self {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
+            recalibration: None,
         }
     }
+}
+
+/// When a self-tuning server re-fits its model (see [`SelfTune`]).
+#[derive(Debug, Clone)]
+pub struct RecalibrationPolicy {
+    /// Sample drift after at least this many requests since the last
+    /// check (clamped to ≥ 1). Checking is cheap (a scan of the
+    /// accumulated profile) but not free, so it is amortized over batches.
+    pub every_n_requests: u64,
+    /// Recalibrate when the sampled drift ([`SelfTune::model_error`],
+    /// mean relative prediction error) exceeds this.
+    pub model_error_threshold: f64,
+}
+
+impl Default for RecalibrationPolicy {
+    fn default() -> Self {
+        Self {
+            every_n_requests: 32,
+            model_error_threshold: 0.25,
+        }
+    }
+}
+
+/// Fitted rates and errors reported by one [`SelfTune::retune`] pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TuneOutcome {
+    /// Drift of the uncalibrated cost model against the profile the pass
+    /// fitted from.
+    pub model_error_before: f64,
+    /// The same error under the freshly fitted calibration — the model
+    /// the swapped-in plans were priced with.
+    pub model_error_after: f64,
+    /// Fitted memory-class contention sharing rate.
+    pub memory_rate: f64,
+    /// Fitted compute-class contention sharing rate.
+    pub compute_rate: f64,
+}
+
+/// A model that can measure its own prediction drift and re-tune itself
+/// in place — `korch-core`'s `SelfTuningModel` (a `CompiledModel` bundled
+/// with its pipeline) is the canonical implementation. The server calls
+/// [`SelfTune::retune`] from a background thread while requests keep
+/// flowing, so implementations must swap state atomically rather than
+/// lock it across the re-fit.
+pub trait SelfTune: Send + Sync {
+    /// Current drift: prediction error of the cost model the live plans
+    /// were priced with, against the profile measured since the last
+    /// (re)compilation. `None` while nothing has been measured.
+    fn model_error(&self) -> Option<f64>;
+
+    /// Re-fits the model from its accumulated measurements and swaps the
+    /// result in.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when nothing was measured yet or
+    /// re-fitting failed; the live model must stay untouched.
+    fn retune(&self) -> Result<TuneOutcome, String>;
 }
 
 /// Error returned to a waiting client.
@@ -114,6 +187,9 @@ struct StatsInner {
     /// Ring buffer of the most recent end-to-end latencies, µs.
     latencies_us: Vec<f64>,
     latency_cursor: usize,
+    recalibrations: u64,
+    last_model_error: Option<f64>,
+    fitted_contention: Option<(f64, f64)>,
 }
 
 impl StatsInner {
@@ -150,6 +226,17 @@ pub struct ServerStats {
     pub p95_latency_us: f64,
     /// Completed requests per second since the server started.
     pub throughput_rps: f64,
+    /// Automatic recalibrations completed (0 unless the server was started
+    /// via [`Server::start_tuned`] with a [`RecalibrationPolicy`]).
+    pub recalibrations: u64,
+    /// Most recent drift sample — either a periodic check's
+    /// [`SelfTune::model_error`] or, right after a recalibration, the
+    /// post-fit error the new plans were priced with. `None` until the
+    /// first check.
+    pub last_model_error: Option<f64>,
+    /// `(memory_rate, compute_rate)` contention sharing rates fitted by
+    /// the most recent recalibration; `None` until one completes.
+    pub fitted_contention: Option<(f64, f64)>,
 }
 
 struct Queue {
@@ -167,8 +254,30 @@ pub struct Server {
 }
 
 impl Server {
-    /// Starts a server (and its batcher thread) over `model`.
+    /// Starts a server (and its batcher thread) over `model`. Any
+    /// [`BatchConfig::recalibration`] policy is ignored — a plain
+    /// [`Model`] cannot re-tune itself; use [`Server::start_tuned`].
     pub fn start(model: Arc<dyn Model>, config: BatchConfig) -> Self {
+        Self::start_inner(model, None, config)
+    }
+
+    /// Starts a self-tuning server: `model` serves requests *and* is
+    /// consulted for drift / recalibration per
+    /// [`BatchConfig::recalibration`] (defaulted when `None` — passing a
+    /// tunable model opts into tuning).
+    pub fn start_tuned<M: Model + SelfTune>(model: Arc<M>, mut config: BatchConfig) -> Self {
+        if config.recalibration.is_none() {
+            config.recalibration = Some(RecalibrationPolicy::default());
+        }
+        let tuner: Arc<dyn SelfTune> = Arc::clone(&model) as Arc<dyn SelfTune>;
+        Self::start_inner(model, Some(tuner), config)
+    }
+
+    fn start_inner(
+        model: Arc<dyn Model>,
+        tuner: Option<Arc<dyn SelfTune>>,
+        config: BatchConfig,
+    ) -> Self {
         let queue = Arc::new(Queue {
             requests: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
@@ -178,7 +287,7 @@ impl Server {
         let batcher = {
             let queue = Arc::clone(&queue);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || batcher_loop(&queue, &stats, &*model, &config))
+            std::thread::spawn(move || batcher_loop(&queue, &stats, &*model, tuner, &config))
         };
         Self {
             queue,
@@ -255,6 +364,9 @@ impl Server {
             p50_latency_us: pct(0.50),
             p95_latency_us: pct(0.95),
             throughput_rps: inner.requests as f64 / elapsed,
+            recalibrations: inner.recalibrations,
+            last_model_error: inner.last_model_error,
+            fitted_contention: inner.fitted_contention,
         }
     }
 
@@ -285,8 +397,85 @@ impl Drop for Server {
     }
 }
 
-fn batcher_loop(queue: &Queue, stats: &Mutex<StatsInner>, model: &dyn Model, config: &BatchConfig) {
+/// Drift-check state of a self-tuning server, owned by the batcher.
+/// Dropping it joins any in-flight background recalibration, so every
+/// batcher exit path waits the tune thread out.
+struct TuneState {
+    tuner: Arc<dyn SelfTune>,
+    policy: RecalibrationPolicy,
+    stats: Arc<Mutex<StatsInner>>,
+    since_check: u64,
+    in_flight: Option<std::thread::JoinHandle<()>>,
+}
+
+impl TuneState {
+    /// Called after every executed batch with the number of requests it
+    /// served. Samples drift every `every_n_requests` requests and, when
+    /// it exceeds the threshold, kicks off [`SelfTune::retune`] on a
+    /// background thread — the batcher (and every in-flight request)
+    /// keeps running; at most one recalibration is in flight at a time.
+    fn after_batch(&mut self, served: u64) {
+        self.since_check += served;
+        if self.since_check < self.policy.every_n_requests.max(1) {
+            return;
+        }
+        self.since_check = 0;
+        if let Some(h) = &self.in_flight {
+            if !h.is_finished() {
+                return;
+            }
+        }
+        if let Some(h) = self.in_flight.take() {
+            let _ = h.join();
+        }
+        let Some(drift) = self.tuner.model_error() else {
+            return;
+        };
+        self.stats.lock().expect("stats poisoned").last_model_error = Some(drift);
+        if drift <= self.policy.model_error_threshold {
+            return;
+        }
+        let tuner = Arc::clone(&self.tuner);
+        let stats = Arc::clone(&self.stats);
+        self.in_flight = Some(std::thread::spawn(move || {
+            // A failed retune (e.g. nothing profiled yet) leaves the live
+            // model untouched; the next drift check simply tries again.
+            if let Ok(outcome) = tuner.retune() {
+                let mut s = stats.lock().expect("stats poisoned");
+                s.recalibrations += 1;
+                s.last_model_error = Some(outcome.model_error_after);
+                s.fitted_contention = Some((outcome.memory_rate, outcome.compute_rate));
+            }
+        }));
+    }
+}
+
+impl Drop for TuneState {
+    fn drop(&mut self) {
+        if let Some(h) = self.in_flight.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn batcher_loop(
+    queue: &Queue,
+    stats: &Arc<Mutex<StatsInner>>,
+    model: &dyn Model,
+    tuner: Option<Arc<dyn SelfTune>>,
+    config: &BatchConfig,
+) {
     let max_batch = config.max_batch.max(1);
+    let mut tune = match (&config.recalibration, tuner) {
+        (Some(policy), Some(tuner)) => Some(TuneState {
+            tuner,
+            policy: policy.clone(),
+            stats: Arc::clone(stats),
+            since_check: 0,
+            in_flight: None,
+        }),
+        _ => None,
+    };
     loop {
         // Block for the first request of the next batch.
         let mut batch: Vec<Request> = Vec::with_capacity(max_batch);
@@ -378,6 +567,9 @@ fn batcher_loop(queue: &Queue, stats: &Mutex<StatsInner>, model: &dyn Model, con
         s.batches += 1;
         s.batched_requests += n;
         drop(s);
+        if let Some(t) = tune.as_mut() {
+            t.after_batch(n);
+        }
 
         if queue.shutdown.load(Ordering::Acquire) {
             // Fail whatever is still queued, then exit.
@@ -418,6 +610,7 @@ mod tests {
             BatchConfig {
                 max_batch: 4,
                 max_wait: Duration::from_millis(1),
+                ..Default::default()
             },
         );
         let handles: Vec<ResponseHandle> = (0..10)
@@ -465,6 +658,7 @@ mod tests {
             BatchConfig {
                 max_batch: 4,
                 max_wait: Duration::from_millis(50),
+                ..Default::default()
             },
         );
         let handles: Vec<ResponseHandle> = (0..4)
@@ -517,6 +711,7 @@ mod tests {
             BatchConfig {
                 max_batch: 1,
                 max_wait: Duration::ZERO,
+                ..Default::default()
             },
         );
         let slow: Vec<ResponseHandle> = (0..5)

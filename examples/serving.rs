@@ -1,34 +1,46 @@
-//! Batched serving end to end: compile a model onto the parallel runtime,
-//! stand up the dynamic-batching server, fire a burst of concurrent
-//! clients, then read back throughput/latency statistics, the memory
-//! report, and a cost-model calibration fitted from the measured kernels.
+//! Self-tuning batched serving end to end: compile a model onto the
+//! parallel runtime, stand up the dynamic-batching server with a
+//! drift-triggered recalibration policy, fire bursts of concurrent
+//! clients, and watch the server re-fit its own cost model *and*
+//! stream-contention rates hands-free — no `recalibrate()` call anywhere
+//! in this file.
 //!
 //! Run with: `cargo run --release --example serving`
 
 use korch::core::{Korch, KorchConfig};
 use korch::cost::Device;
 use korch::ir::OpKind;
-use korch::models::subgraphs::softmax_attention;
-use korch::runtime::{BatchConfig, RuntimeConfig, Server};
+use korch::models::subgraphs::segformer_attention;
+use korch::runtime::{BatchConfig, RecalibrationPolicy, RuntimeConfig, Server};
 use korch::tensor::Tensor;
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Drift above this re-tunes the server; the hands-free run must end
+/// below it.
+const DRIFT_THRESHOLD: f64 = 0.5;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // 1. Optimize + compile. `compile` runs the full Fig. 1 pipeline, then
-    //    builds one parallel executor per partition (constants cached,
-    //    stream-lane placement precomputed).
-    let graph = softmax_attention(128, 64);
+    // 1. Optimize + compile, bundled for self-tuning. `compile_tuned` runs
+    //    the full Fig. 1 pipeline, builds one parallel executor per
+    //    partition, and keeps the pipeline around so the model can
+    //    re-orchestrate itself.
+    // Segformer's efficient attention: its plan keeps several independent
+    // kernels (q/k/v projections, attention, output), so multiple stream
+    // lanes stay busy and the contention fit gets real cross-lane overlap
+    // evidence to work with — and its kernels are uniform enough that the
+    // per-class calibration fit settles well under the drift threshold.
+    let graph = segformer_attention(64, 64, 2);
     let korch = Korch::new(Device::v100(), KorchConfig::default());
     let runtime = RuntimeConfig::with_lanes(4);
-    let compiled = korch.compile_with(&graph, &runtime)?;
+    let tuned = Arc::new(korch.compile_tuned(&graph, &runtime)?);
     println!(
         "compiled: {} kernels, simulated {:.4} ms, {} partitions",
-        compiled.kernel_count(),
-        compiled.latency_ms(),
-        compiled.partitions().len(),
+        tuned.model().kernel_count(),
+        tuned.model().latency_ms(),
+        tuned.model().partitions().len(),
     );
-    let report = compiled.memory_report();
+    let report = tuned.model().memory_report();
     println!(
         "memory:   peak {} KiB resident vs {} KiB allocate-everything ({:.0}% saved)",
         report.peak_resident_bytes / 1024,
@@ -36,7 +48,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         report.savings() * 100.0,
     );
 
-    // 2. Serve a burst of concurrent clients through dynamic batching.
+    // 2. Serve through dynamic batching with an auto-recalibration policy:
+    //    every 64 served requests the batcher samples the model's drift
+    //    (prediction error of the cost model the live plans were priced
+    //    with, against the measured kernel profile) and re-tunes on a
+    //    background thread when it exceeds the threshold. In-flight
+    //    requests keep running across the atomic plan swap. 64 requests ≈
+    //    the profiler's full interval window, so the first fit already
+    //    sees a window's worth of overlap evidence.
     let input_shapes: Vec<Vec<usize>> = graph
         .nodes()
         .iter()
@@ -45,64 +64,64 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             _ => None,
         })
         .collect();
-    let compiled = Arc::new(compiled);
-    let server = Arc::new(Server::start(
-        Arc::clone(&compiled) as Arc<dyn korch::runtime::Model>,
+    let server = Arc::new(Server::start_tuned(
+        Arc::clone(&tuned),
         BatchConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(1),
+            recalibration: Some(RecalibrationPolicy {
+                every_n_requests: 64,
+                model_error_threshold: DRIFT_THRESHOLD,
+            }),
         },
     ));
-    let clients: Vec<_> = (0..4)
-        .map(|c| {
-            let server = Arc::clone(&server);
-            let shapes = input_shapes.clone();
-            std::thread::spawn(move || {
-                for r in 0..8u64 {
-                    let inputs: Vec<Tensor> = shapes
-                        .iter()
-                        .enumerate()
-                        .map(|(i, s)| Tensor::random(s.clone(), c * 100 + r * 10 + i as u64))
-                        .collect();
-                    let outputs = server.infer(inputs).expect("inference");
-                    assert!(!outputs.is_empty());
-                }
+    // Re-orchestrating under full serving load takes tens of seconds on a
+    // busy single-core host, so the demo keeps traffic flowing until the
+    // background recalibration lands (bounded by a generous deadline).
+    let deadline = Instant::now() + Duration::from_secs(300);
+    let mut bursts = 0u64;
+    loop {
+        bursts += 1;
+        let clients: Vec<_> = (0..4)
+            .map(|c| {
+                let server = Arc::clone(&server);
+                let shapes = input_shapes.clone();
+                std::thread::spawn(move || {
+                    for r in 0..8u64 {
+                        let inputs: Vec<Tensor> = shapes
+                            .iter()
+                            .enumerate()
+                            .map(|(i, s)| {
+                                Tensor::random(
+                                    s.clone(),
+                                    bursts * 1000 + c * 100 + r * 10 + i as u64,
+                                )
+                            })
+                            .collect();
+                        let outputs = server.infer(inputs).expect("inference");
+                        assert!(!outputs.is_empty());
+                    }
+                })
             })
-        })
-        .collect();
-    for c in clients {
-        c.join().expect("client thread");
+            .collect();
+        for c in clients {
+            c.join().expect("client thread");
+        }
+        let stats = server.stats();
+        let settled = stats.recalibrations >= 1
+            && stats.last_model_error.is_some_and(|e| e < DRIFT_THRESHOLD)
+            && stats
+                .fitted_contention
+                .is_some_and(|(m, c)| (m, c) != (1.0, 1.0));
+        if settled || Instant::now() >= deadline {
+            break;
+        }
     }
-    let stats = server.stats();
-    println!(
-        "served:   {} requests in {} batches (mean batch {:.2})",
-        stats.requests, stats.batches, stats.mean_batch,
-    );
-    println!(
-        "latency:  p50 {:.2} ms, p95 {:.2} ms, throughput {:.1} req/s",
-        stats.p50_latency_us / 1e3,
-        stats.p95_latency_us / 1e3,
-        stats.throughput_rps,
-    );
 
-    // 3. Close the calibration loop: fit the cost model to the measured
-    //    kernel wall times, re-orchestrate every partition with the
-    //    calibrated model, and atomically swap the new plans in — the
-    //    served model now runs kernels priced in *this host's* time.
-    let steals: u64 = compiled.profiles().iter().map(|p| p.steals).sum();
-    let report = korch.recalibrate(&compiled)?;
-    println!(
-        "calibration: memory x{:.3e}, compute x{:.3e}",
-        report.calibration.memory_scale, report.calibration.compute_scale,
-    );
-    println!(
-        "recalibrated: model error {:.3} -> {:.3}, replanned at {:.4} ms \
-         (host-time units); {} kernels were work-stolen across lanes",
-        report.model_error_before, report.model_error_after, report.latency_ms, steals,
-    );
-
-    // 4. The server picks up the swapped plan on the next request — no
-    //    restart, in-flight requests finish on the plan they started on.
+    // 3. One more request on the recalibrated plan — no restart needed —
+    //    then stop the server. Shutdown joins the batcher and any
+    //    still-running background recalibration, so the final statistics
+    //    below are quiescent (no retune can race the reads).
     let inputs: Vec<Tensor> = input_shapes
         .iter()
         .enumerate()
@@ -110,9 +129,60 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
     let outputs = server.infer(inputs)?;
     assert!(!outputs.is_empty());
-    println!("served one request on the recalibrated plan");
-
     let server = Arc::try_unwrap(server).ok().expect("all clients joined");
-    let _ = server.shutdown();
+    let stats = server.shutdown();
+
+    // 4. Read back what the server did to itself.
+    println!(
+        "served:   {} requests in {} batches (mean batch {:.2}) over {} bursts",
+        stats.requests, stats.batches, stats.mean_batch, bursts,
+    );
+    println!(
+        "latency:  p50 {:.2} ms, p95 {:.2} ms, throughput {:.1} req/s",
+        stats.p50_latency_us / 1e3,
+        stats.p95_latency_us / 1e3,
+        stats.throughput_rps,
+    );
+    let steals: u64 = tuned.model().profiles().iter().map(|p| p.steals).sum();
+    let (mem_rate, cmp_rate) = stats
+        .fitted_contention
+        .expect("a recalibration must have fitted contention rates");
+    let calibration = tuned.model().applied_calibration();
+    println!(
+        "self-tuned: {} auto-recalibration(s); model error now {:.3} \
+         (threshold {DRIFT_THRESHOLD}); calibration memory x{:.3e}, compute x{:.3e}",
+        stats.recalibrations,
+        stats.last_model_error.unwrap_or(f64::NAN),
+        calibration.memory_scale,
+        calibration.compute_scale,
+    );
+    println!(
+        "contention: fitted memory_rate {mem_rate:.3}, compute_rate {cmp_rate:.3} \
+         (default 1.000/1.000); {steals} kernels work-stolen across lanes",
+    );
+
+    // The acceptance bar for the hands-free loop: at least one automatic
+    // recalibration fired, drift ended below the threshold, and the
+    // reported contention rates are exactly what the live plans use
+    // (safe to compare: the tuner was joined by the shutdown above).
+    assert!(
+        stats.recalibrations >= 1,
+        "no automatic recalibration fired"
+    );
+    assert!(
+        stats.last_model_error.is_some_and(|e| e < DRIFT_THRESHOLD),
+        "model error did not settle below the threshold: {:?}",
+        stats.last_model_error
+    );
+    assert!(
+        (mem_rate, cmp_rate) != (1.0, 1.0),
+        "contention rates were never fitted away from the defaults"
+    );
+    let applied = tuned.model().applied_contention();
+    assert_eq!(
+        (applied.memory_rate, applied.compute_rate),
+        (mem_rate, cmp_rate)
+    );
+    println!("served a final request on the self-tuned plan; all checks passed");
     Ok(())
 }

@@ -1,0 +1,209 @@
+//! Server concurrency stress: many submitter threads racing a shutdown
+//! must never lose a response, and the statistics must honor their
+//! structural contracts (nearest-rank percentiles, conservation of
+//! request counts). Designed for the 1-core CI container: every assertion
+//! is about structure — counts, orderings, bounds — never wall-clock.
+
+use korch::exec::ExecError;
+use korch::runtime::{BatchConfig, Model, RecalibrationPolicy, SelfTune, Server, TuneOutcome};
+use korch::tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::time::Duration;
+
+/// Echoes its input and counts executions.
+struct Echo {
+    served: AtomicU64,
+}
+
+impl Model for Echo {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        self.served.fetch_add(1, Ordering::SeqCst);
+        Ok(inputs.to_vec())
+    }
+}
+
+/// N concurrent submitters race a shutdown fired mid-storm: every
+/// submission resolves exactly once (served or `Shutdown`, never a hang),
+/// the server's request counter equals the number of delivered successes,
+/// and every delivered response matches its own request.
+#[test]
+fn concurrent_submitters_race_shutdown_without_losing_responses() {
+    let submitters = 4u64;
+    let per_thread = 16u64;
+    for round in 0u64..6 {
+        let model = Arc::new(Echo {
+            served: AtomicU64::new(0),
+        });
+        let server = Arc::new(RwLock::new(Some(Server::start(
+            Arc::clone(&model) as Arc<dyn Model>,
+            BatchConfig {
+                max_batch: 4,
+                max_wait: Duration::from_micros(200),
+                ..Default::default()
+            },
+        ))));
+        let oks = Arc::new(AtomicU64::new(0));
+        let rejected = Arc::new(AtomicU64::new(0));
+        let threads: Vec<_> = (0..submitters)
+            .map(|t| {
+                let server = Arc::clone(&server);
+                let oks = Arc::clone(&oks);
+                let rejected = Arc::clone(&rejected);
+                std::thread::spawn(move || {
+                    for i in 0..per_thread {
+                        let payload = Tensor::full(vec![2], (t * per_thread + i) as f32);
+                        // Take the handle under the read lock, wait outside
+                        // it: the shutdown thread's write lock interleaves
+                        // between submissions, racing for real.
+                        let handle = {
+                            let guard = server.read().expect("server lock");
+                            match guard.as_ref() {
+                                Some(s) => s.submit(vec![payload.clone()]),
+                                None => {
+                                    rejected.fetch_add(1, Ordering::SeqCst);
+                                    continue;
+                                }
+                            }
+                        };
+                        match handle.wait() {
+                            Ok(out) => {
+                                // Responses must match their own request,
+                                // not another racer's.
+                                assert_eq!(out[0].as_slice(), payload.as_slice());
+                                oks.fetch_add(1, Ordering::SeqCst);
+                            }
+                            Err(_) => {
+                                rejected.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        // Vary how deep into the storm the shutdown lands; round 0 fires
+        // it immediately, later rounds let more traffic through first.
+        std::thread::sleep(Duration::from_millis(round));
+        let stats = server
+            .write()
+            .expect("server lock")
+            .take()
+            .expect("server present")
+            .shutdown();
+        for t in threads {
+            t.join().expect("submitter panicked");
+        }
+        let ok = oks.load(Ordering::SeqCst);
+        let failed = rejected.load(Ordering::SeqCst);
+        assert_eq!(
+            ok + failed,
+            submitters * per_thread,
+            "every submission must resolve exactly once"
+        );
+        assert_eq!(
+            stats.requests, ok,
+            "server request count must equal delivered successes"
+        );
+        assert_eq!(stats.errors, 0, "echo model never fails");
+        assert_eq!(model.served.load(Ordering::SeqCst), ok);
+        // Nearest-rank percentile contract over whatever window remains:
+        // percentiles are real samples, so p50 ≤ p95 and both bracket the
+        // window's extremes ordering-wise.
+        if stats.requests > 0 {
+            assert!(stats.p50_latency_us > 0.0);
+            assert!(stats.p95_latency_us >= stats.p50_latency_us);
+            assert!(stats.mean_latency_us > 0.0);
+            assert!(stats.throughput_rps > 0.0);
+        }
+        // No tuner attached: the recalibration stats must stay inert.
+        assert_eq!(stats.recalibrations, 0);
+        assert!(stats.fitted_contention.is_none());
+        assert!(stats.last_model_error.is_none());
+    }
+}
+
+/// A tuned server whose model reports permanent drift: submissions racing
+/// the background recalibrations still all resolve, failed retunes leave
+/// serving untouched, and the recalibration counters stay consistent with
+/// the tuner's own accounting.
+struct FlakyTuner {
+    inner: Echo,
+    retunes: AtomicU64,
+}
+
+impl Model for FlakyTuner {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        self.inner.run(inputs)
+    }
+}
+
+impl SelfTune for FlakyTuner {
+    fn model_error(&self) -> Option<f64> {
+        Some(1.0) // permanently drifted: every check fires a retune
+    }
+
+    fn retune(&self) -> Result<TuneOutcome, String> {
+        let n = self.retunes.fetch_add(1, Ordering::SeqCst);
+        if n % 2 == 1 {
+            // Failed retunes must leave serving untouched.
+            return Err("transient".into());
+        }
+        Ok(TuneOutcome {
+            model_error_before: 1.0,
+            model_error_after: 0.1,
+            memory_rate: 0.25,
+            compute_rate: 0.75,
+        })
+    }
+}
+
+#[test]
+fn tuned_server_survives_retune_races() {
+    for _ in 0..4 {
+        let model = Arc::new(FlakyTuner {
+            inner: Echo {
+                served: AtomicU64::new(0),
+            },
+            retunes: AtomicU64::new(0),
+        });
+        let server = Server::start_tuned(
+            Arc::clone(&model),
+            BatchConfig {
+                max_batch: 2,
+                max_wait: Duration::from_micros(100),
+                recalibration: Some(RecalibrationPolicy {
+                    every_n_requests: 2,
+                    model_error_threshold: 0.5,
+                }),
+            },
+        );
+        let handles: Vec<_> = (0..24)
+            .map(|i| server.submit(vec![Tensor::full(vec![2], i as f32)]))
+            .collect();
+        let mut ok = 0u64;
+        for (i, h) in handles.into_iter().enumerate() {
+            let out = h.wait().expect("no shutdown raced: must be served");
+            assert_eq!(out[0].as_slice(), &[i as f32; 2]);
+            ok += 1;
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.requests, ok);
+        assert_eq!(ok, 24);
+        // Retunes alternate success/failure; only successes may count.
+        let attempts = model.retunes.load(Ordering::SeqCst);
+        let successes = attempts.div_ceil(2);
+        assert_eq!(
+            stats.recalibrations, successes,
+            "every successful retune (and only those) must be counted \
+             ({attempts} attempts)"
+        );
+        if stats.recalibrations > 0 {
+            assert_eq!(stats.fitted_contention, Some((0.25, 0.75)));
+        }
+        // The last drift event is either a periodic check (1.0) or a
+        // completed retune's post-fit error (0.1), depending on the race.
+        let last = stats.last_model_error.expect("drift was sampled");
+        assert!(last == 1.0 || last == 0.1, "unexpected drift sample {last}");
+        assert!(stats.p95_latency_us >= stats.p50_latency_us);
+    }
+}
