@@ -17,7 +17,7 @@ use korch_exec::execute_plan;
 use korch_ir::{EwFn, NodeId, PrimGraph, PrimKind};
 use korch_models::subgraphs::softmax_attention;
 use korch_orch::{Plan, SelectedKernel};
-use korch_runtime::{BatchConfig, PlanExecutor, RuntimeConfig, Server};
+use korch_runtime::{BatchConfig, PlanExecutor, RuntimeConfig, Server, ShardedExecutor};
 use korch_tensor::{BinaryOp, ReduceKind, Tensor, UnaryOp};
 use std::collections::BTreeSet;
 use std::hint::black_box;
@@ -172,7 +172,60 @@ fn bench_serving(c: &mut Criterion) {
             server.shutdown()
         })
     });
+    // The same burst over the plan replicated across 2 shards (each with
+    // its own arena and worker pool). On a multi-core host the router
+    // overlaps whole requests across shards on top of the executor's
+    // lane parallelism; on this 1-core CI container it degrades to
+    // round-robin dispatch plus routing overhead — the printed shard
+    // spread below is the structural check.
+    for shards in [2usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::new("sharded_burst_16", shards),
+            &shards,
+            |b, &shards| {
+                b.iter(|| {
+                    let exec =
+                        ShardedExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2), shards)
+                            .unwrap();
+                    let server = Server::start(Arc::new(exec), BatchConfig::default());
+                    let handles: Vec<_> = (0..16).map(|_| server.submit(inputs.clone())).collect();
+                    for h in handles {
+                        black_box(h.wait().unwrap());
+                    }
+                    server.shutdown()
+                })
+            },
+        );
+    }
     group.finish();
+
+    // One-shot conservation headline: 32 requests over 4 shards, every
+    // request served by exactly one shard, aggregate profile sees all.
+    let exec = Arc::new(ShardedExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2), 4).unwrap());
+    let server = Server::start(
+        Arc::clone(&exec) as Arc<dyn korch_runtime::Model>,
+        BatchConfig::default(),
+    );
+    let handles: Vec<_> = (0..32).map(|_| server.submit(inputs.clone())).collect();
+    for h in handles {
+        black_box(h.wait().unwrap());
+    }
+    let stats = server.shutdown();
+    let shard_stats = korch_runtime::ShardControl::shard_stats(&*exec);
+    let served: Vec<u64> = shard_stats.iter().map(|s| s.served).collect();
+    println!(
+        "serving/sharded_spread: {} requests over {} shards, served per shard {:?}, \
+         merged profile runs {}",
+        stats.requests,
+        shard_stats.len(),
+        served,
+        exec.profile().runs,
+    );
+    assert_eq!(served.iter().sum::<u64>(), stats.requests);
+    assert!(
+        shard_stats.iter().all(|s| s.failures == 0 && s.live),
+        "healthy shards must not fail: {shard_stats:?}"
+    );
 }
 
 /// The closed calibration loop on a real model: compile, profile a few

@@ -14,6 +14,20 @@
 //! in atomically — in-flight requests finish on the plan they started
 //! with, subsequent ones run the re-orchestrated plan priced in measured
 //! host time.
+//!
+//! # Sharding
+//!
+//! A compiled model can be **sharded** ([`CompiledModel::set_shards`], or
+//! `korch_runtime::BatchConfig::shards` through a sharded `Server`): the
+//! live plan snapshot is replicated into N independent shard replicas —
+//! fresh `PlanExecutor`s and buffer arenas over identical plans — and
+//! every `execute` is routed to the least-loaded live shard, retrying on
+//! a sibling when a shard's run fails (`korch_runtime::ShardRouter`).
+//! Profiling splits per-shard/aggregate: each shard accumulates its own
+//! [`RuntimeProfile`]; drift measurement and recalibration consume the
+//! *merged* profile of all shards; and a recalibration swap replaces
+//! **all** shard replicas (plus their router) in one write — in-flight
+//! requests finish on the per-shard snapshot they claimed.
 
 use crate::pipeline::{Korch, KorchError, Optimized, PipelineStats};
 use korch_cost::{Calibration, CalibrationSample, Micros, Profiler};
@@ -22,7 +36,7 @@ use korch_ir::{PortRef, PrimGraph};
 use korch_orch::{kernel_classes, Orchestrator, Plan, StreamContention};
 use korch_runtime::{
     MemoryReport, Model, OverlapEvidence, PlanExecutor, RuntimeConfig, RuntimeProfile, SelfTune,
-    TuneOutcome,
+    ShardControl, ShardRouter, ShardStats, TuneOutcome,
 };
 use korch_tensor::Tensor;
 use std::collections::HashMap;
@@ -70,11 +84,23 @@ pub struct RecalibrationReport {
     pub compute_overlap: Option<f64>,
 }
 
-/// The swappable half of a [`CompiledModel`]: the partitions, the
-/// simulated latency of the plans they run, and the cost model + contention
-/// rates those plans were priced with — always replaced together.
+/// The swappable half of a [`CompiledModel`]: the shard replicas of the
+/// partitions, the router over them, the simulated latency of the plans
+/// they run, and the cost model + contention rates those plans were
+/// priced with — always replaced together, so routing state never
+/// outlives the shard set it describes.
 struct PlanState {
-    parts: Arc<Vec<CompiledPartition>>,
+    /// Shard replicas in routing order: every entry runs identical
+    /// graphs/plans through its own executors and arenas. `shards[0]` is
+    /// the primary replica — the snapshot [`CompiledModel::partitions`]
+    /// exposes. The outer `Arc` keeps the hot path cheap: `execute`
+    /// snapshots the whole set with one refcount bump instead of cloning
+    /// a `Vec` of per-shard `Arc`s per request.
+    shards: Arc<Vec<Arc<Vec<CompiledPartition>>>>,
+    /// Least-loaded router over `shards`, shared by `Arc` so in-flight
+    /// runs keep decrementing the counters they incremented even after a
+    /// swap replaced the state.
+    router: Arc<ShardRouter>,
     total_latency: Micros,
     /// Calibration the live plans were priced with (default until the
     /// first recalibration). Drift is measured against *this*, not the
@@ -83,6 +109,9 @@ struct PlanState {
     calibration: Calibration,
     /// Contention rates the live plans' lane placement used.
     contention: StreamContention,
+    /// Completed plan swaps (recalibrations). [`CompiledModel::set_shards`]
+    /// keeps it — re-provisioning shards does not change the plan.
+    generation: u64,
 }
 
 /// An optimized program compiled onto the parallel runtime.
@@ -120,7 +149,8 @@ impl CompiledModel {
         }
         Ok(Self {
             plan: RwLock::new(PlanState {
-                parts: Arc::new(parts),
+                shards: Arc::new(vec![Arc::new(parts)]),
+                router: Arc::new(ShardRouter::new(1)),
                 total_latency: Micros(optimized.latency_ms() * 1000.0),
                 calibration: Calibration::default(),
                 // The rates the plans were *orchestrated* with, not the
@@ -129,6 +159,7 @@ impl CompiledModel {
                 // divergent `RuntimeConfig::contention` (possible via
                 // `compile_with`) must not leak into plan pricing.
                 contention: optimized.contention().clone(),
+                generation: 0,
             }),
             graph_input_ports: optimized.input_ports().to_vec(),
             graph_output_ports: optimized.output_ports().to_vec(),
@@ -161,14 +192,32 @@ impl CompiledModel {
         &self.stats
     }
 
-    /// Snapshot of the compiled partitions in execution order. The plan
-    /// may be swapped by [`CompiledModel::recalibrate`]; holders of this
-    /// `Arc` keep the partitions they observed.
+    /// Snapshot of the **primary shard's** compiled partitions in
+    /// execution order (all shards run identical graphs and plans). The
+    /// plan may be swapped by [`CompiledModel::recalibrate`]; holders of
+    /// this `Arc` keep the partitions they observed.
     pub fn partitions(&self) -> Arc<Vec<CompiledPartition>> {
-        Arc::clone(&self.plan.read().expect("plan poisoned").parts)
+        Arc::clone(&self.plan.read().expect("plan poisoned").shards[0])
     }
 
-    /// Aggregate memory report across partitions (fields summed).
+    /// Snapshot of every shard's partitions (index = shard id).
+    pub fn shard_snapshots(&self) -> Arc<Vec<Arc<Vec<CompiledPartition>>>> {
+        Arc::clone(&self.plan.read().expect("plan poisoned").shards)
+    }
+
+    /// Number of shard replicas currently provisioned.
+    pub fn shard_count(&self) -> usize {
+        self.plan.read().expect("plan poisoned").shards.len()
+    }
+
+    /// Completed plan swaps: 0 at compile time, +1 per successful
+    /// [`CompiledModel::recalibrate`] (every swap re-plans all shards).
+    pub fn plan_generation(&self) -> u64 {
+        self.plan.read().expect("plan poisoned").generation
+    }
+
+    /// Aggregate memory report across partitions **and shards** (fields
+    /// summed — N shards provision N arenas).
     pub fn memory_report(&self) -> MemoryReport {
         let mut total = MemoryReport {
             allocate_everything_bytes: 0,
@@ -176,29 +225,34 @@ impl CompiledModel {
             pinned_bytes: 0,
             reclaimable_buffers: 0,
         };
-        for p in self.partitions().iter() {
-            let r = p.executor.memory_report();
-            total.allocate_everything_bytes += r.allocate_everything_bytes;
-            total.peak_resident_bytes += r.peak_resident_bytes;
-            total.pinned_bytes += r.pinned_bytes;
-            total.reclaimable_buffers += r.reclaimable_buffers;
+        for shard in self.shard_snapshots().iter() {
+            for p in shard.iter() {
+                let r = p.executor.memory_report();
+                total.allocate_everything_bytes += r.allocate_everything_bytes;
+                total.peak_resident_bytes += r.peak_resident_bytes;
+                total.pinned_bytes += r.pinned_bytes;
+                total.reclaimable_buffers += r.reclaimable_buffers;
+            }
         }
         total
     }
 
-    /// Per-partition wall-time profiles accumulated so far.
+    /// Per-partition wall-time profiles accumulated so far — the
+    /// **aggregate** view: every shard's profile of a partition merged
+    /// into one ([`RuntimeProfile::merge`]), which is what drift
+    /// measurement and recalibration fit from.
     pub fn profiles(&self) -> Vec<RuntimeProfile> {
-        self.partitions()
-            .iter()
-            .map(|p| p.executor.profile())
-            .collect()
+        merged_profiles(&self.shard_snapshots())
     }
 
-    /// Calibration samples from every profiled kernel across partitions.
+    /// Calibration samples from every profiled kernel across partitions
+    /// (aggregated over shards).
     pub fn calibration_samples(&self) -> Vec<CalibrationSample> {
-        self.partitions()
+        let shards = self.shard_snapshots();
+        merged_profiles(&shards)
             .iter()
-            .flat_map(|p| p.executor.profile().calibration_samples(&p.graph, &p.plan))
+            .zip(shards[0].iter())
+            .flat_map(|(profile, p)| profile.calibration_samples(&p.graph, &p.plan))
             .collect()
     }
 
@@ -234,19 +288,72 @@ impl CompiledModel {
     /// quantity a serving-side [`korch_runtime::RecalibrationPolicy`]
     /// thresholds.
     pub fn current_model_error(&self, base: &Profiler) -> Option<f64> {
-        let state = self.plan.read().expect("plan poisoned");
-        let fitted = base.clone().with_calibration(state.calibration.clone());
-        let profiles: Vec<RuntimeProfile> =
-            state.parts.iter().map(|p| p.executor.profile()).collect();
-        weighted_model_error(&profiles, &state.parts, &fitted)
+        let (shards, calibration) = {
+            let state = self.plan.read().expect("plan poisoned");
+            (state.shards.clone(), state.calibration.clone())
+        };
+        let fitted = base.clone().with_calibration(calibration);
+        weighted_model_error(&merged_profiles(&shards), &shards[0], &fitted)
+    }
+
+    /// Re-provisions the model to `n` shard replicas (clamped to ≥ 1) of
+    /// the live plan snapshot: growing compiles fresh executors over the
+    /// current plans (existing shards stay warm), shrinking drops surplus
+    /// replicas (their profiles with them). The swap is atomic and also
+    /// resets the router; in-flight runs finish on the shard they
+    /// claimed. The plan itself — and [`CompiledModel::plan_generation`]
+    /// — is unchanged.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when a replica cannot be compiled; the
+    /// current shard set stays untouched.
+    pub fn set_shards(&self, n: usize) -> Result<(), ExecError> {
+        let n = n.max(1);
+        loop {
+            let (shards, generation) = {
+                let state = self.plan.read().expect("plan poisoned");
+                (state.shards.clone(), state.generation)
+            };
+            if shards.len() == n {
+                return Ok(());
+            }
+            // Replicate outside the lock (compiling executors is slow);
+            // the generation check below catches a recalibration racing
+            // in — installing replicas of a superseded plan would fork
+            // the shard set across generations.
+            let new_shards = resize_shards(shards.as_ref().clone(), n)?;
+            let mut state = self.plan.write().expect("plan poisoned");
+            // `ptr_eq` catches both a recalibration (which also bumps the
+            // generation) and a concurrent `set_shards` landing in our
+            // unlock–build–relock window — either way, rebuild from the
+            // winner's state instead of silently clobbering it.
+            if state.generation != generation || !Arc::ptr_eq(&state.shards, &shards) {
+                continue;
+            }
+            state.shards = Arc::new(new_shards);
+            // Inherit cumulative counters (kept shards keep their books);
+            // runs draining on dropped shards still decrement the slots
+            // they hold through the old router `Arc`.
+            state.router = Arc::new(ShardRouter::inheriting(n, &state.router));
+            return Ok(());
+        }
+    }
+
+    /// Per-shard serving counters of the live router.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.plan.read().expect("plan poisoned").router.stats()
     }
 
     /// Closes the calibration loop in place: fits a [`Calibration`] from
-    /// every kernel measured so far, re-runs the orchestrator over each
-    /// partition's chosen graph with the calibrated cost model, and
-    /// atomically swaps in the re-orchestrated plans with fresh
-    /// executors. In-flight `execute` calls finish on the plan they
-    /// started with; later calls (and `Server` requests) run the new one.
+    /// every kernel measured so far (**all shards' profiles merged**),
+    /// re-runs the orchestrator over each partition's chosen graph with
+    /// the calibrated cost model, and atomically swaps in the
+    /// re-orchestrated plans with fresh executors for **every shard** —
+    /// one write replaces all shard replicas and their router, so a swap
+    /// can never leave shards running different plan generations.
+    /// In-flight `execute` calls finish on the per-shard snapshot they
+    /// claimed; later calls (and `Server` requests) run the new plans.
     /// Old profiles are discarded with the old executors, so a subsequent
     /// `recalibrate` fits the *new* plans' measurements.
     ///
@@ -256,20 +363,33 @@ impl CompiledModel {
     /// propagates orchestration/compilation failures (the current plan
     /// stays in place on any error).
     pub fn recalibrate(&self, korch: &Korch) -> Result<RecalibrationReport, KorchError> {
-        let parts = self.partitions();
-        let previous_contention = self.applied_contention();
+        let (shards, previous_contention) = {
+            let state = self.plan.read().expect("plan poisoned");
+            (state.shards.clone(), state.contention.clone())
+        };
+        let parts = &shards[0];
         let base = Profiler::new(korch.device().clone());
+        // One profile snapshot per shard per partition, taken up front:
+        // serving continues while we fit, so reading the executors twice
+        // would hand the calibration fit and the contention fit different
+        // measurement sets (and each read clones the profile under that
+        // executor's mutex — do it once, not twice).
+        let shard_profiles = profile_matrix(&shards);
+        // Aggregate across shards: calibration samples from the merged
+        // per-partition profiles, overlap evidence from every shard's own
+        // interval sets (never mixed — each set keeps its shard's run
+        // clock origin).
+        let profiled = merge_profile_matrix(&shard_profiles);
         let mut samples = Vec::new();
-        let mut profiled = Vec::with_capacity(parts.len());
-        let mut evidence = OverlapEvidence::default();
-        for p in parts.iter() {
-            let profile = p.executor.profile();
+        for (profile, p) in profiled.iter().zip(parts.iter()) {
             samples.extend(profile.calibration_samples(&p.graph, &p.plan));
-            evidence.merge(&OverlapEvidence::collect(
-                &profile,
-                &kernel_classes(&p.graph, &p.plan),
-            ));
-            profiled.push(profile);
+        }
+        let mut evidence = OverlapEvidence::default();
+        for (i, p) in parts.iter().enumerate() {
+            let classes = kernel_classes(&p.graph, &p.plan);
+            for sp in &shard_profiles {
+                evidence.merge(&OverlapEvidence::collect(&sp[i], &classes));
+            }
         }
         if samples.is_empty() {
             return Err(KorchError::Exec(ExecError::Input(
@@ -278,8 +398,8 @@ impl CompiledModel {
         }
         let calibration = Calibration::fit(&base, &samples);
         let fitted = base.clone().with_calibration(calibration.clone());
-        let model_error_before = weighted_model_error(&profiled, &parts, &base).unwrap_or(0.0);
-        let model_error_after = weighted_model_error(&profiled, &parts, &fitted).unwrap_or(0.0);
+        let model_error_before = weighted_model_error(&profiled, parts, &base).unwrap_or(0.0);
+        let model_error_after = weighted_model_error(&profiled, parts, &fitted).unwrap_or(0.0);
         // Fit contention sharing rates from the measured cross-lane
         // interval overlap; classes (or plans) without any co-run evidence
         // keep the rates the current plans were placed with.
@@ -291,7 +411,9 @@ impl CompiledModel {
         // Re-orchestrate every partition's chosen variant with the
         // calibrated profiler *and* the fitted contention (the transform
         // search already picked the variant; kernel selection and lane
-        // placement are re-priced in measured host behavior).
+        // placement are re-priced in measured host behavior). Each
+        // partition is orchestrated once; every shard then gets its own
+        // fresh executor over the shared new plan.
         let mut orch_config = korch.config().orchestrator.clone();
         orch_config.contention = contention.clone();
         let runtime = RuntimeConfig {
@@ -301,43 +423,81 @@ impl CompiledModel {
         let orchestrator = Orchestrator::new(korch.device().clone())
             .with_config(orch_config)
             .with_profiler(fitted);
-        let mut new_parts = Vec::with_capacity(parts.len());
+        let shard_count = shards.len();
+        let mut built: Vec<Vec<CompiledPartition>> = (0..shard_count)
+            .map(|_| Vec::with_capacity(parts.len()))
+            .collect();
         let mut total = Micros(0.0);
         for p in parts.iter() {
             let orch = orchestrator.orchestrate(&p.graph)?;
-            let executor = PlanExecutor::new(&p.graph, &orch.plan, runtime.clone())?;
             total = total + orch.plan.total_latency;
-            new_parts.push(CompiledPartition {
-                graph: p.graph.clone(),
-                plan: orch.plan,
-                inputs: p.inputs.clone(),
-                outputs: p.outputs.clone(),
-                executor,
-            });
+            for shard_parts in built.iter_mut() {
+                let executor = PlanExecutor::new(&p.graph, &orch.plan, runtime.clone())?;
+                shard_parts.push(CompiledPartition {
+                    graph: p.graph.clone(),
+                    plan: orch.plan.clone(),
+                    inputs: p.inputs.clone(),
+                    outputs: p.outputs.clone(),
+                    executor,
+                });
+            }
         }
-        *self.plan.write().expect("plan poisoned") = PlanState {
-            parts: Arc::new(new_parts),
-            total_latency: total,
+        let report = RecalibrationReport {
             calibration: calibration.clone(),
-            contention: contention.clone(),
-        };
-        Ok(RecalibrationReport {
-            calibration,
             model_error_before,
             model_error_after,
             latency_ms: total.as_millis(),
-            contention,
+            contention: contention.clone(),
             memory_overlap: evidence.memory_overlap(),
             compute_overlap: evidence.compute_overlap(),
-        })
+        };
+        let mut new_shards: Vec<Arc<Vec<CompiledPartition>>> =
+            built.into_iter().map(Arc::new).collect();
+        loop {
+            let target = {
+                let mut state = self.plan.write().expect("plan poisoned");
+                if state.shards.len() == new_shards.len() {
+                    let generation = state.generation + 1;
+                    // The new router inherits every shard's cumulative
+                    // counters (and live in-flight accounting — requests
+                    // still draining on the old snapshot stay on the
+                    // books), so serving statistics span plan generations;
+                    // quarantine resets with the fresh executors.
+                    let router = Arc::new(ShardRouter::inheriting(new_shards.len(), &state.router));
+                    *state = PlanState {
+                        shards: Arc::new(new_shards),
+                        router,
+                        total_latency: total,
+                        calibration: calibration.clone(),
+                        contention: contention.clone(),
+                        generation,
+                    };
+                    return Ok(report);
+                }
+                state.shards.len()
+            };
+            // A concurrent `set_shards` re-provisioned the model while we
+            // were re-orchestrating: honor the new width rather than
+            // silently reverting it — resize the freshly built set
+            // (outside the lock; replicas compile fresh executors) and
+            // retry the swap.
+            new_shards = resize_shards(new_shards, target)?;
+        }
     }
 
-    /// Executes the compiled program.
+    /// Executes the compiled program on the least-loaded live shard,
+    /// retrying on a sibling shard if that shard's run fails (exactly one
+    /// result is produced either way — see `korch_runtime::ShardRouter`).
+    /// Unsharded models (the default single shard) run exactly as before.
     ///
     /// # Errors
     ///
-    /// Returns [`ExecError`] on input mismatches or kernel failures.
+    /// Returns [`ExecError`] on input mismatches or kernel failures (a
+    /// kernel failure only after every shard declined the run).
     pub fn execute(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        // Arity is validated before routing: a malformed request is a
+        // client error, not shard-failure evidence, and must not burn
+        // retry attempts or quarantine counters on every shard.
         if inputs.len() != self.graph_input_ports.len() {
             return Err(ExecError::Input(format!(
                 "program takes {} inputs, {} were fed",
@@ -345,13 +505,26 @@ impl CompiledModel {
                 inputs.len()
             )));
         }
+        let (shards, router) = {
+            let state = self.plan.read().expect("plan poisoned");
+            (state.shards.clone(), Arc::clone(&state.router))
+        };
+        router.route(|s| self.execute_on(&shards[s], inputs))
+    }
+
+    /// Runs one request through one shard's partition pipeline.
+    fn execute_on(
+        &self,
+        parts: &[CompiledPartition],
+        inputs: &[Tensor],
+    ) -> Result<Vec<Tensor>, ExecError> {
         let mut env: HashMap<PortRef, Tensor> = self
             .graph_input_ports
             .iter()
             .copied()
             .zip(inputs.iter().cloned())
             .collect();
-        for part in self.partitions().iter() {
+        for part in parts {
             let part_inputs: Vec<Tensor> = part
                 .inputs
                 .iter()
@@ -379,6 +552,65 @@ impl CompiledModel {
     }
 }
 
+/// Replicates one compiled partition into an independent shard copy:
+/// same graph, plan and outer ports, fresh executor and arena.
+fn replicate_partition(p: &CompiledPartition) -> Result<CompiledPartition, ExecError> {
+    Ok(CompiledPartition {
+        graph: p.graph.clone(),
+        plan: p.plan.clone(),
+        inputs: p.inputs.clone(),
+        outputs: p.outputs.clone(),
+        executor: p.executor.replicate()?,
+    })
+}
+
+/// Resizes a shard set to `n`: surplus replicas are dropped, the deficit
+/// is filled by replicating the first remaining shard (fresh executors,
+/// shared plans). Used by both `set_shards` and `recalibrate`'s
+/// swap-retry — keep the two in lockstep through this one helper.
+fn resize_shards(
+    mut shards: Vec<Arc<Vec<CompiledPartition>>>,
+    n: usize,
+) -> Result<Vec<Arc<Vec<CompiledPartition>>>, ExecError> {
+    shards.truncate(n);
+    while shards.len() < n {
+        let replica: Vec<CompiledPartition> = shards[0]
+            .iter()
+            .map(replicate_partition)
+            .collect::<Result<_, _>>()?;
+        shards.push(Arc::new(replica));
+    }
+    Ok(shards)
+}
+
+/// The per-shard → aggregate step over a profile matrix (outer index =
+/// shard, inner = partition): for each partition, every shard's profile
+/// combined via [`RuntimeProfile::merged`]. All shards run identical
+/// plans, so kernel indices line up by construction.
+fn merge_profile_matrix(shard_profiles: &[Vec<RuntimeProfile>]) -> Vec<RuntimeProfile> {
+    (0..shard_profiles[0].len())
+        .map(|i| {
+            let column: Vec<&RuntimeProfile> = shard_profiles.iter().map(|sp| &sp[i]).collect();
+            RuntimeProfile::merged(&column)
+        })
+        .collect()
+}
+
+/// Snapshots every shard's per-partition profile once (each read clones
+/// the profile under that executor's mutex — callers should read once
+/// and reuse).
+fn profile_matrix(shards: &[Arc<Vec<CompiledPartition>>]) -> Vec<Vec<RuntimeProfile>> {
+    shards
+        .iter()
+        .map(|shard| shard.iter().map(|p| p.executor.profile()).collect())
+        .collect()
+}
+
+/// [`merge_profile_matrix`] over a fresh [`profile_matrix`] snapshot.
+fn merged_profiles(shards: &[Arc<Vec<CompiledPartition>>]) -> Vec<RuntimeProfile> {
+    merge_profile_matrix(&profile_matrix(shards))
+}
+
 /// Mean relative prediction error of `profiler` against the accumulated
 /// profiles, weighted by each partition's measured kernel count. `None`
 /// when nothing has been measured.
@@ -403,6 +635,16 @@ fn weighted_model_error(
 impl Model for CompiledModel {
     fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
         self.execute(inputs)
+    }
+}
+
+impl ShardControl for CompiledModel {
+    fn set_shards(&self, n: usize) -> Result<(), ExecError> {
+        CompiledModel::set_shards(self, n)
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        CompiledModel::shard_stats(self)
     }
 }
 
@@ -436,6 +678,16 @@ impl SelfTuningModel {
 impl Model for SelfTuningModel {
     fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
         self.model.execute(inputs)
+    }
+}
+
+impl ShardControl for SelfTuningModel {
+    fn set_shards(&self, n: usize) -> Result<(), ExecError> {
+        self.model.set_shards(n)
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.model.shard_stats()
     }
 }
 
@@ -545,6 +797,56 @@ mod tests {
             compiled.profiles().iter().all(|p| p.runs == 1),
             "old profiles must be discarded with the old executors"
         );
+    }
+
+    #[test]
+    fn sharded_model_routes_replans_all_shards_and_stays_bit_identical() {
+        let korch = Korch::new(Device::v100(), KorchConfig::default());
+        let g = two_block_model();
+        let compiled = korch
+            .compile_with(&g, &RuntimeConfig::with_lanes(2))
+            .unwrap();
+        let inputs = vec![Tensor::random(vec![16, 32], 4)];
+        let reference = compiled.execute(&inputs).unwrap();
+        compiled.set_shards(3).unwrap();
+        assert_eq!(compiled.shard_count(), 3);
+        // Routing spreads serialized traffic; every run stays bit-identical.
+        for _ in 0..6 {
+            let out = compiled.execute(&inputs).unwrap();
+            for (a, b) in reference.iter().zip(&out) {
+                assert_eq!(a.as_slice(), b.as_slice(), "sharded run diverged");
+            }
+        }
+        let stats = compiled.shard_stats();
+        assert_eq!(stats.len(), 3);
+        // 7 successes total: the pre-shard run's counter is inherited by
+        // the re-provisioned router (shard 0 keeps its books).
+        assert_eq!(stats.iter().map(|s| s.served).sum::<u64>(), 7);
+        assert!(
+            stats.iter().all(|s| s.served > 0),
+            "rotating tie-break must spread serialized runs: {stats:?}"
+        );
+        assert_eq!(stats.iter().map(|s| s.failures).sum::<u64>(), 0);
+        // Profiles aggregate across shards: 1 unsharded + 6 sharded runs.
+        assert_eq!(compiled.profiles().iter().map(|p| p.runs).sum::<u64>(), 7);
+        // A recalibration swap re-plans *all* shards in one generation.
+        assert_eq!(compiled.plan_generation(), 0);
+        let report = korch.recalibrate(&compiled).unwrap();
+        assert!(report.model_error_after <= report.model_error_before + 1e-9);
+        assert_eq!(compiled.shard_count(), 3, "swap must keep the shard set");
+        assert_eq!(compiled.plan_generation(), 1);
+        let snapshots = compiled.shard_snapshots();
+        for (s, shard) in snapshots.iter().enumerate() {
+            assert!(
+                shard.iter().all(|p| p.executor.profile().runs == 0),
+                "shard {s} must run a fresh executor after the swap"
+            );
+        }
+        // Fresh shard set serves the same bytes.
+        let out = compiled.execute(&inputs).unwrap();
+        for (a, b) in reference.iter().zip(&out) {
+            assert_eq!(a.as_slice(), b.as_slice(), "post-swap run diverged");
+        }
     }
 
     #[test]

@@ -187,7 +187,7 @@ struct ArenaInner {
 }
 
 /// Snapshot of the arena counters.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ArenaStats {
     /// Bytes of live (adopted, unreleased) buffers.
     pub live_bytes: u64,

@@ -81,6 +81,11 @@ struct KernelTask {
 /// A compiled, repeatedly executable parallel plan.
 pub struct PlanExecutor {
     graph: PrimGraph,
+    /// The source plan, kept so the executor can [`PlanExecutor::replicate`]
+    /// itself into an independent shard without the caller re-threading it.
+    plan: Plan,
+    /// The construction config, kept for the same reason.
+    config: RuntimeConfig,
     kernels: Vec<KernelTask>,
     /// Kernel indices per lane, in schedule start order (deque seeds).
     lanes: Vec<Vec<usize>>,
@@ -295,9 +300,12 @@ impl PlanExecutor {
             schedule_streams_with(g, plan, lanes_requested, &config.device, &config.contention);
         let lanes = schedule.lanes();
         let home_lane = schedule.lane_of();
+        let profile_enabled = config.profile;
 
         Ok(Self {
             graph: g.clone(),
+            plan: plan.clone(),
+            config,
             memory_report: plan_memory_report(g, plan),
             kernels,
             lanes,
@@ -313,9 +321,23 @@ impl PlanExecutor {
             slot_readers,
             slot_pinned,
             arena: BufferArena::new(),
-            profile_enabled: config.profile,
+            profile_enabled,
             profile: Mutex::new(RuntimeProfile::new(plan.kernels.len())),
         })
+    }
+
+    /// Compiles an independent replica of this executor — same graph,
+    /// plan and configuration, fresh buffer arena and empty profile. The
+    /// building block of sharded execution ([`crate::ShardedExecutor`]):
+    /// replicas share no mutable state, so they run fully concurrently.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when the plan no longer compiles (cannot
+    /// happen for a plan this executor was built from, barring resource
+    /// exhaustion).
+    pub fn replicate(&self) -> Result<Self, ExecError> {
+        Self::new(&self.graph, &self.plan, self.config.clone())
     }
 
     /// The simulated schedule backing the lane seeds.
@@ -347,6 +369,34 @@ impl PlanExecutor {
     pub fn reset_profile(&self) {
         let mut p = self.profile.lock().expect("profile poisoned");
         *p = RuntimeProfile::new(self.kernels.len());
+    }
+
+    /// Validates `inputs` against the graph's input arity and shapes
+    /// without running anything — the check [`PlanExecutor::execute`]
+    /// performs before building its run state, exposed so routing layers
+    /// (`crate::ShardedExecutor`) can reject malformed *client* requests
+    /// up front instead of burning a failure on every shard they retry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Input`] on arity or shape mismatches.
+    pub fn validate_inputs(&self, inputs: &[Tensor]) -> Result<(), ExecError> {
+        if inputs.len() != self.input_slots.len() {
+            return Err(ExecError::Input(format!(
+                "graph has {} inputs but {} tensors were fed",
+                self.input_slots.len(),
+                inputs.len()
+            )));
+        }
+        for (fed, ((_, shape), t)) in self.input_slots.iter().zip(inputs).enumerate() {
+            if t.shape() != shape.as_slice() {
+                return Err(ExecError::Input(format!(
+                    "input {fed} has shape {:?}, expected {shape:?}",
+                    t.shape()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Executes the plan on `inputs`, overlapping independent kernels
@@ -431,21 +481,7 @@ impl PlanExecutor {
     /// Validates inputs and builds the run state with sources filled and
     /// the per-lane ready deques seeded from the schedule.
     fn feed(&self, inputs: &[Tensor]) -> Result<RunState, ExecError> {
-        if inputs.len() != self.input_slots.len() {
-            return Err(ExecError::Input(format!(
-                "graph has {} inputs but {} tensors were fed",
-                self.input_slots.len(),
-                inputs.len()
-            )));
-        }
-        for (fed, ((_, shape), t)) in self.input_slots.iter().zip(inputs).enumerate() {
-            if t.shape() != shape.as_slice() {
-                return Err(ExecError::Input(format!(
-                    "input {fed} has shape {:?}, expected {shape:?}",
-                    t.shape()
-                )));
-            }
-        }
+        self.validate_inputs(inputs)?;
         let state = RunState {
             values: (0..self.n_slots).map(|_| RwLock::new(None)).collect(),
             remaining_deps: self

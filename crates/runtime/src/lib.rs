@@ -24,7 +24,16 @@
 //!   [`korch_orch::StreamContention`] sharing rates;
 //! - [`Server`] — a request queue with dynamic batching over any
 //!   [`Model`], with throughput / latency statistics. Started over a
-//!   [`SelfTune`] model it runs the whole loop hands-free.
+//!   [`SelfTune`] model it runs the whole loop hands-free;
+//! - [`ShardedExecutor`] / [`ShardRouter`] / [`ShardSet`] — one plan
+//!   replicated across N independent executors (own arena, own worker
+//!   pool) behind a least-loaded router with retry-on-sibling failover,
+//!   so serving throughput is no longer capped by a single execution
+//!   context. Per-shard [`RuntimeProfile`]s merge
+//!   ([`RuntimeProfile::merge`]) into the one aggregate profile the
+//!   calibration/contention fits consume, and a [`ShardControl`] model
+//!   (e.g. `korch-core`'s `CompiledModel`) re-plans **all** shards in one
+//!   atomic recalibration swap.
 //!
 //! # The self-tuning cycle
 //!
@@ -75,6 +84,7 @@ mod contention;
 mod executor;
 mod profiler;
 mod serving;
+mod shard;
 
 pub use arena::{
     plan_lifetimes, plan_memory_report, ArenaStats, BufferArena, Lifetime, MemoryReport,
@@ -85,6 +95,9 @@ pub use profiler::{KernelInterval, KernelStats, RuntimeProfile, INTERVAL_WINDOW}
 pub use serving::{
     BatchConfig, Model, RecalibrationPolicy, ResponseHandle, SelfTune, ServeError, Server,
     ServerStats, TuneOutcome,
+};
+pub use shard::{
+    ShardControl, ShardRouter, ShardSet, ShardStats, ShardedExecutor, QUARANTINE_AFTER,
 };
 
 use korch_exec::ExecError;

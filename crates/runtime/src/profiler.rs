@@ -124,6 +124,88 @@ impl RuntimeProfile {
         }
     }
 
+    /// Folds another profile of the **same plan** into this one
+    /// (equivalent to [`RuntimeProfile::merged`] over the pair — see
+    /// there for the aggregation and interval-sampling rules).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the profiles have different kernel counts — merging
+    /// profiles of different plans would mis-attribute every statistic.
+    pub fn merge(&mut self, other: &RuntimeProfile) {
+        let merged = RuntimeProfile::merged(&[&*self, other]);
+        *self = merged;
+    }
+
+    /// Aggregates profiles of the **same plan** into one — the per-shard
+    /// → aggregate step of sharded execution (see
+    /// [`crate::ShardedExecutor`]): kernel stats are combined
+    /// (counts/totals summed, extrema widened) and run/steal counters
+    /// summed. Per-run interval sets are carried *whole* — never mixed,
+    /// so each keeps its own run's clock origin and the
+    /// [`KernelInterval`] invariant (intervals comparable only within
+    /// one set) survives aggregation. When the contributors together
+    /// hold more than [`INTERVAL_WINDOW`] sets, the window is filled by
+    /// taking each contributor's newest sets **round-robin**: runs of
+    /// different shards have no cross-shard recency order, and a naive
+    /// append-and-trim would keep only the last contributor's window,
+    /// silently dropping every other shard's overlap evidence.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `profiles` is empty or the kernel counts differ.
+    pub fn merged(profiles: &[&RuntimeProfile]) -> RuntimeProfile {
+        assert!(!profiles.is_empty(), "merged needs at least one profile");
+        let n = profiles[0].per_kernel.len();
+        let mut out = RuntimeProfile::new(n);
+        for p in profiles {
+            assert_eq!(
+                p.per_kernel.len(),
+                n,
+                "merged profiles must describe the same plan"
+            );
+            for (a, b) in out.per_kernel.iter_mut().zip(&p.per_kernel) {
+                if b.count == 0 {
+                    continue;
+                }
+                if a.count == 0 {
+                    *a = *b;
+                } else {
+                    a.min_us = a.min_us.min(b.min_us);
+                    a.max_us = a.max_us.max(b.max_us);
+                    a.count += b.count;
+                    a.total_us += b.total_us;
+                }
+            }
+            out.runs += p.runs;
+            out.total_wall_us += p.total_wall_us;
+            out.steals += p.steals;
+        }
+        // Fair interval window: newest-first round-robin across
+        // contributors until the window fills (or the sets run out).
+        let mut newest_first: Vec<_> = profiles.iter().map(|p| p.intervals.iter().rev()).collect();
+        let mut picked: Vec<Vec<KernelInterval>> = Vec::new();
+        'fill: loop {
+            let mut any = false;
+            for sets in newest_first.iter_mut() {
+                if let Some(set) = sets.next() {
+                    picked.push(set.clone());
+                    any = true;
+                    if picked.len() == INTERVAL_WINDOW {
+                        break 'fill;
+                    }
+                }
+            }
+            if !any {
+                break;
+            }
+        }
+        // Oldest first, matching the order `merge_run` accumulates in.
+        picked.reverse();
+        out.intervals = picked;
+        out
+    }
+
     /// Records one kernel execution.
     pub fn record_kernel(&mut self, kernel: usize, wall_us: f64) {
         let s = &mut self.per_kernel[kernel];
@@ -240,6 +322,44 @@ mod tests {
         assert_eq!(p.per_kernel[0].mean_us(), 20.0);
         assert_eq!(p.sequential_us(), 25.0);
         assert_eq!(p.mean_run_us(), 40.0);
+    }
+
+    /// Two contributors with *full* interval windows: the merged window
+    /// must sample both round-robin, not keep only the last-merged
+    /// contributor's sets (the append-and-trim failure mode).
+    #[test]
+    fn merged_window_samples_all_contributors_fairly() {
+        let full_profile = |lane: usize| {
+            let mut p = RuntimeProfile::new(1);
+            for _ in 0..INTERVAL_WINDOW {
+                p.merge_run(
+                    vec![KernelInterval {
+                        kernel: 0,
+                        lane,
+                        start_us: 0.0,
+                        end_us: 1.0,
+                    }],
+                    0,
+                );
+            }
+            p
+        };
+        let a = full_profile(0);
+        let b = full_profile(1);
+        let merged = RuntimeProfile::merged(&[&a, &b]);
+        assert_eq!(merged.intervals.len(), INTERVAL_WINDOW);
+        let from_a = merged
+            .intervals
+            .iter()
+            .filter(|set| set[0].lane == 0)
+            .count();
+        assert_eq!(
+            from_a,
+            INTERVAL_WINDOW / 2,
+            "both contributors must survive in the merged window"
+        );
+        assert_eq!(merged.per_kernel[0].count, 2 * INTERVAL_WINDOW as u64);
+        assert_eq!(merged.runs, 0, "merge_run does not bump runs");
     }
 
     #[test]

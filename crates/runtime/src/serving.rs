@@ -21,7 +21,17 @@
 //! the model swaps its plans atomically, in-flight requests finish on the
 //! plan they started with — and [`ServerStats`] reports the recalibration
 //! count, the last sampled drift, and the fitted contention rates.
+//!
+//! A server started over a [`ShardControl`] model ([`Server::start_sharded`]
+//! / [`Server::start_tuned_sharded`]) is additionally *sharded*: at start
+//! it provisions [`BatchConfig::shards`] independent executor replicas of
+//! the model's current plan snapshot, each request is routed to the
+//! least-loaded live shard and retried on a sibling when a shard's run
+//! fails (see [`crate::ShardRouter::route`] for why this preserves
+//! exactly-once response delivery), and [`ServerStats::shards`] reports
+//! per-shard serving counters.
 
+use crate::shard::{ShardControl, ShardStats};
 use korch_exec::ExecError;
 use korch_tensor::Tensor;
 use std::collections::VecDeque;
@@ -52,6 +62,12 @@ pub struct BatchConfig {
     /// started over a [`SelfTune`] model ([`Server::start_tuned`]);
     /// `None` disables the check entirely.
     pub recalibration: Option<RecalibrationPolicy>,
+    /// Independent executor replicas to provision at server start
+    /// (clamped to ≥ 1; 1 = unsharded). Only consulted by servers started
+    /// over a [`ShardControl`] model ([`Server::start_sharded`] /
+    /// [`Server::start_tuned_sharded`]) — a plain [`Model`] carries no
+    /// replication handle, so [`Server::start`] serves it as-is.
+    pub shards: usize,
 }
 
 impl Default for BatchConfig {
@@ -60,6 +76,7 @@ impl Default for BatchConfig {
             max_batch: 8,
             max_wait: Duration::from_millis(2),
             recalibration: None,
+            shards: 1,
         }
     }
 }
@@ -204,6 +221,15 @@ impl StatsInner {
 }
 
 /// Snapshot of serving statistics.
+///
+/// **Empty-window contract:** every latency statistic (`mean_latency_us`,
+/// `p50_latency_us`, `p95_latency_us`) is computed over the sliding
+/// window of recently completed requests. While that window is empty —
+/// `stats()` before the first request completes, or a server shut down
+/// unused — they all return exactly `0.0`. The nearest-rank rule is only
+/// defined for a non-empty sample set (`ceil(p·0) = 0` would underflow
+/// the 1-based rank), so the empty case is special-cased rather than
+/// extrapolated.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Requests completed (including failures).
@@ -216,13 +242,13 @@ pub struct ServerStats {
     pub mean_batch: f64,
     /// Mean end-to-end latency over the sliding latency window (the most
     /// recent `LATENCY_WINDOW` requests), not over all requests ever
-    /// served, µs.
+    /// served, µs. `0.0` while the window is empty.
     pub mean_latency_us: f64,
     /// Median end-to-end latency over the sliding window, µs
-    /// (nearest-rank).
+    /// (nearest-rank). `0.0` while the window is empty.
     pub p50_latency_us: f64,
     /// 95th-percentile end-to-end latency over the sliding window, µs
-    /// (nearest-rank).
+    /// (nearest-rank). `0.0` while the window is empty.
     pub p95_latency_us: f64,
     /// Completed requests per second since the server started.
     pub throughput_rps: f64,
@@ -237,6 +263,9 @@ pub struct ServerStats {
     /// `(memory_rate, compute_rate)` contention sharing rates fitted by
     /// the most recent recalibration; `None` until one completes.
     pub fitted_contention: Option<(f64, f64)>,
+    /// Per-shard serving counters of a sharded server ([`Server::start_sharded`]
+    /// / [`Server::start_tuned_sharded`]); empty for unsharded servers.
+    pub shards: Vec<ShardStats>,
 }
 
 struct Queue {
@@ -249,6 +278,9 @@ struct Queue {
 pub struct Server {
     queue: Arc<Queue>,
     stats: Arc<Mutex<StatsInner>>,
+    /// Shard facet of a sharded server; consulted by [`Server::stats`]
+    /// for per-shard counters.
+    shard: Option<Arc<dyn ShardControl>>,
     started: Instant,
     batcher: Option<std::thread::JoinHandle<()>>,
 }
@@ -257,8 +289,10 @@ impl Server {
     /// Starts a server (and its batcher thread) over `model`. Any
     /// [`BatchConfig::recalibration`] policy is ignored — a plain
     /// [`Model`] cannot re-tune itself; use [`Server::start_tuned`].
+    /// Likewise [`BatchConfig::shards`] is ignored — a plain model
+    /// carries no replication handle; use [`Server::start_sharded`].
     pub fn start(model: Arc<dyn Model>, config: BatchConfig) -> Self {
-        Self::start_inner(model, None, config)
+        Self::start_inner(model, None, None, config)
     }
 
     /// Starts a self-tuning server: `model` serves requests *and* is
@@ -270,12 +304,53 @@ impl Server {
             config.recalibration = Some(RecalibrationPolicy::default());
         }
         let tuner: Arc<dyn SelfTune> = Arc::clone(&model) as Arc<dyn SelfTune>;
-        Self::start_inner(model, Some(tuner), config)
+        Self::start_inner(model, Some(tuner), None, config)
+    }
+
+    /// Starts a sharded server: provisions [`BatchConfig::shards`]
+    /// independent executor replicas of `model`'s current plan snapshot
+    /// before the batcher starts, then routes every request to the
+    /// least-loaded live shard with retry-on-sibling failover.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when a shard replica cannot be compiled; no
+    /// server is started and the model's shard set stays untouched.
+    pub fn start_sharded<M: Model + ShardControl>(
+        model: Arc<M>,
+        config: BatchConfig,
+    ) -> Result<Self, ExecError> {
+        model.set_shards(config.shards)?;
+        let shard: Arc<dyn ShardControl> = Arc::clone(&model) as Arc<dyn ShardControl>;
+        Ok(Self::start_inner(model, None, Some(shard), config))
+    }
+
+    /// [`Server::start_sharded`] + [`Server::start_tuned`] combined: the
+    /// server shards the model *and* drives drift-triggered
+    /// recalibration — each recalibration swap re-plans every shard
+    /// atomically while in-flight requests finish on their old per-shard
+    /// snapshots.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when a shard replica cannot be compiled.
+    pub fn start_tuned_sharded<M: Model + SelfTune + ShardControl>(
+        model: Arc<M>,
+        mut config: BatchConfig,
+    ) -> Result<Self, ExecError> {
+        model.set_shards(config.shards)?;
+        if config.recalibration.is_none() {
+            config.recalibration = Some(RecalibrationPolicy::default());
+        }
+        let tuner: Arc<dyn SelfTune> = Arc::clone(&model) as Arc<dyn SelfTune>;
+        let shard: Arc<dyn ShardControl> = Arc::clone(&model) as Arc<dyn ShardControl>;
+        Ok(Self::start_inner(model, Some(tuner), Some(shard), config))
     }
 
     fn start_inner(
         model: Arc<dyn Model>,
         tuner: Option<Arc<dyn SelfTune>>,
+        shard: Option<Arc<dyn ShardControl>>,
         config: BatchConfig,
     ) -> Self {
         let queue = Arc::new(Queue {
@@ -292,6 +367,7 @@ impl Server {
         Self {
             queue,
             stats,
+            shard,
             started: Instant::now(),
             batcher: Some(batcher),
         }
@@ -337,14 +413,17 @@ impl Server {
         // Nearest-rank percentile: the smallest sample ≥ p of the window.
         // Rounding the interpolated index under-reports p95 on small
         // windows (e.g. 12 samples: round(10.45) picks the 11th sample,
-        // nearest-rank the 12th).
+        // nearest-rank the 12th). An empty window is special-cased to the
+        // documented 0.0 (see [`ServerStats`]): `ceil(p·0)` is rank 0,
+        // which has no sample — clamping it to 1 would index out of
+        // bounds (and `clamp(1, 0)` itself panics on min > max).
         let pct = |p: f64| -> f64 {
-            if sorted.is_empty() {
-                0.0
-            } else {
-                let rank = (p * sorted.len() as f64).ceil() as usize;
-                sorted[rank.clamp(1, sorted.len()) - 1]
+            let n = sorted.len();
+            if n == 0 {
+                return 0.0;
             }
+            let rank = ((p * n as f64).ceil() as usize).clamp(1, n);
+            sorted[rank - 1]
         };
         let elapsed = self.started.elapsed().as_secs_f64().max(1e-9);
         ServerStats {
@@ -367,6 +446,11 @@ impl Server {
             recalibrations: inner.recalibrations,
             last_model_error: inner.last_model_error,
             fitted_contention: inner.fitted_contention,
+            shards: self
+                .shard
+                .as_ref()
+                .map(|s| s.shard_stats())
+                .unwrap_or_default(),
         }
     }
 
@@ -723,6 +807,36 @@ mod tests {
             outcomes.iter().any(|ok| !ok) || stats.requests == 5,
             "either some requests were shut down or all completed"
         );
+    }
+
+    /// The documented empty-window contract: latency statistics are
+    /// exactly 0.0 (not a panic, not garbage) while no request has
+    /// completed — both on a freshly started server and across a shutdown
+    /// that never served.
+    #[test]
+    fn empty_latency_window_stats_are_documented_zeros() {
+        struct Echo;
+        impl Model for Echo {
+            fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+                Ok(inputs.to_vec())
+            }
+        }
+        let server = Server::start(Arc::new(Echo), BatchConfig::default());
+        let before = server.stats();
+        assert_eq!(before.requests, 0);
+        assert_eq!(before.mean_latency_us, 0.0);
+        assert_eq!(before.p50_latency_us, 0.0);
+        assert_eq!(before.p95_latency_us, 0.0);
+        assert_eq!(before.mean_batch, 0.0);
+        assert!(
+            before.shards.is_empty(),
+            "unsharded server reports no shards"
+        );
+        let after = server.shutdown();
+        assert_eq!(after.requests, 0);
+        assert_eq!(after.mean_latency_us, 0.0);
+        assert_eq!(after.p50_latency_us, 0.0);
+        assert_eq!(after.p95_latency_us, 0.0);
     }
 
     #[test]

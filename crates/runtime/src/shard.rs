@@ -1,0 +1,631 @@
+//! Sharded execution: replicate one plan across N independent executors
+//! behind a load-aware, failure-tolerant router.
+//!
+//! A single [`crate::PlanExecutor`] caps throughput at one buffer arena
+//! and one worker pool no matter how much traffic the [`crate::Server`]
+//! queues. Sharding multiplexes many independent rollouts of the *same*
+//! compiled program over replicated execution contexts: each **shard** is
+//! a fresh `PlanExecutor` + `BufferArena` over the identical plan
+//! snapshot, and a [`ShardRouter`] assigns every run to the least-loaded
+//! live shard (per-shard in-flight counters, rotating tie-break so a
+//! serialized 1-core host still spreads traffic instead of hammering
+//! shard 0).
+//!
+//! # Failure handling and exactly-once delivery
+//!
+//! When a shard's run fails, the router retries the run on a sibling
+//! shard that has not been tried for this request yet. The client still
+//! observes **exactly one** response per request:
+//!
+//! - the first successful attempt short-circuits the retry loop, so at
+//!   most one success is ever produced;
+//! - failed attempts produce no reply — kernels are pure tensor
+//!   functions and a failed run [settles its arena](crate::BufferArena)
+//!   without externally visible side effects, so re-running on a sibling
+//!   cannot duplicate observable work;
+//! - when every candidate shard has been tried once, the *last* error is
+//!   returned — the request resolves exactly once either way, never
+//!   twice and never silently.
+//!
+//! Shards that fail [`QUARANTINE_AFTER`] consecutive runs are
+//! *quarantined*: the router prefers live siblings. Quarantine is a
+//! routing preference, not a denial of service — when no live shard
+//! remains (e.g. a deterministically failing request marched across all
+//! of them), quarantined shards are still tried, and one success revives
+//! a shard's standing. A recalibration swap replaces the whole shard set
+//! with fresh executors, which also resets routing state.
+//!
+//! # Per-shard vs aggregate profiles
+//!
+//! Each shard accumulates its own [`RuntimeProfile`] (wall times,
+//! steals, per-run intervals against that shard's own clock origins).
+//! [`RuntimeProfile::merge`] folds the per-shard profiles into the one
+//! aggregate profile that `CompiledModel::recalibrate` and
+//! [`crate::fit_contention`] already consume — interval *sets* are
+//! appended whole, never mixed across shards, so the clock-origin
+//! invariant ([`crate::KernelInterval`]) keeps holding within every set.
+//! A recalibration therefore fits calibration and contention from **all**
+//! shards' measurements and its swap atomically re-plans all shards;
+//! in-flight runs finish on the per-shard snapshot they started with.
+
+use crate::executor::PlanExecutor;
+use crate::profiler::RuntimeProfile;
+use crate::serving::Model;
+use korch_exec::ExecError;
+use korch_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, RwLock};
+
+/// Consecutive failed runs after which a shard is quarantined (deprioritized
+/// by [`ShardRouter::route`] until one of its runs succeeds again). Kept
+/// small: a genuinely broken shard stops attracting traffic quickly, while
+/// a single deterministically bad *request* (which fails on every shard it
+/// touches) cannot permanently kill a healthy shard — the next good run
+/// resets the count.
+pub const QUARANTINE_AFTER: u64 = 3;
+
+/// Serving counters of one shard, as reported by [`ShardRouter::stats`]
+/// (and surfaced in `ServerStats::shards`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index within the router.
+    pub shard: usize,
+    /// Runs currently executing on this shard.
+    pub in_flight: usize,
+    /// Runs this shard completed successfully.
+    pub served: u64,
+    /// Runs that failed on this shard.
+    pub failures: u64,
+    /// Successful runs this shard adopted after a sibling shard failed
+    /// the same request first (the retry-on-sibling path).
+    pub adopted: u64,
+    /// `false` while the shard is quarantined (≥ [`QUARANTINE_AFTER`]
+    /// consecutive failures, no success since).
+    pub live: bool,
+}
+
+/// One shard's routing state.
+#[derive(Default)]
+struct ShardSlot {
+    in_flight: AtomicUsize,
+    served: AtomicU64,
+    failures: AtomicU64,
+    adopted: AtomicU64,
+    consecutive_failures: AtomicU64,
+}
+
+impl ShardSlot {
+    fn quarantined(&self) -> bool {
+        self.consecutive_failures.load(Ordering::Acquire) >= QUARANTINE_AFTER
+    }
+}
+
+/// Load-aware router over N shards: picks the least-loaded live shard,
+/// retries failed runs on untried siblings, and tracks per-shard serving
+/// counters. Shared via `Arc` so runs that started before a shard-set
+/// swap keep decrementing the counters they incremented.
+pub struct ShardRouter {
+    slots: Vec<Arc<ShardSlot>>,
+    /// Rotating tie-break start for load comparisons: on a host where
+    /// runs serialize (every claim sees all-zero in-flight counts), a
+    /// fixed scan order would route everything to shard 0.
+    cursor: AtomicUsize,
+}
+
+impl ShardRouter {
+    /// Router over `n` shards (clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        Self {
+            slots: (0..n).map(|_| Arc::new(ShardSlot::default())).collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Router over `n` shards **inheriting** `prev`'s per-shard state by
+    /// index: carried shards share the very same counters (served,
+    /// failures, adopted, in-flight), so cumulative serving statistics
+    /// survive a shard-set or recalibration swap and runs still draining
+    /// on the old snapshot keep being accounted where the new router can
+    /// see them. Carried shards have their quarantine reset — a swap
+    /// provisions fresh executors, which deserve a clean slate; shards
+    /// beyond `prev`'s width start fresh.
+    pub fn inheriting(n: usize, prev: &ShardRouter) -> Self {
+        let n = n.max(1);
+        Self {
+            slots: (0..n)
+                .map(|i| match prev.slots.get(i) {
+                    Some(slot) => {
+                        slot.consecutive_failures.store(0, Ordering::Release);
+                        Arc::clone(slot)
+                    }
+                    None => Arc::new(ShardSlot::default()),
+                })
+                .collect(),
+            cursor: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Snapshot of every shard's counters.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.slots
+            .iter()
+            .enumerate()
+            .map(|(shard, s)| ShardStats {
+                shard,
+                in_flight: s.in_flight.load(Ordering::Acquire),
+                served: s.served.load(Ordering::Acquire),
+                failures: s.failures.load(Ordering::Acquire),
+                adopted: s.adopted.load(Ordering::Acquire),
+                live: !s.quarantined(),
+            })
+            .collect()
+    }
+
+    /// Claims the best untried shard: live before quarantined, then
+    /// lowest in-flight count, ties broken by the rotating cursor.
+    /// Increments the winner's in-flight counter. `None` when every
+    /// shard has been tried.
+    fn claim(&self, tried: &[bool]) -> Option<usize> {
+        let n = self.slots.len();
+        let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+        let mut best: Option<(bool, usize, usize)> = None;
+        for off in 0..n {
+            let s = (start + off) % n;
+            if tried[s] {
+                continue;
+            }
+            let key = (
+                self.slots[s].quarantined(),
+                self.slots[s].in_flight.load(Ordering::Acquire),
+            );
+            if best.is_none_or(|(dead, load, _)| key < (dead, load)) {
+                best = Some((key.0, key.1, s));
+            }
+        }
+        let (_, _, winner) = best?;
+        self.slots[winner].in_flight.fetch_add(1, Ordering::AcqRel);
+        Some(winner)
+    }
+
+    /// Records the outcome of a claimed run and releases its in-flight
+    /// slot. `adopted` marks a success that followed a sibling's failure.
+    fn complete(&self, shard: usize, ok: bool, adopted: bool) {
+        let slot = &self.slots[shard];
+        slot.in_flight.fetch_sub(1, Ordering::AcqRel);
+        if ok {
+            slot.served.fetch_add(1, Ordering::AcqRel);
+            slot.consecutive_failures.store(0, Ordering::Release);
+            if adopted {
+                slot.adopted.fetch_add(1, Ordering::AcqRel);
+            }
+        } else {
+            slot.failures.fetch_add(1, Ordering::AcqRel);
+            slot.consecutive_failures.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Runs `attempt` on the least-loaded live shard, retrying on untried
+    /// siblings while attempts fail. Returns the first success, or the
+    /// last error once every shard has been tried — exactly one outcome
+    /// per call (see the module docs on exactly-once delivery).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the final attempt's [`ExecError`] after all shards
+    /// failed.
+    pub fn route<T>(
+        &self,
+        mut attempt: impl FnMut(usize) -> Result<T, ExecError>,
+    ) -> Result<T, ExecError> {
+        let mut tried = vec![false; self.slots.len()];
+        let mut retrying = false;
+        let mut last_err = None;
+        while let Some(shard) = self.claim(&tried) {
+            tried[shard] = true;
+            match attempt(shard) {
+                Ok(v) => {
+                    self.complete(shard, true, retrying);
+                    return Ok(v);
+                }
+                Err(e) => {
+                    self.complete(shard, false, false);
+                    retrying = true;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err(last_err
+            .unwrap_or_else(|| ExecError::Input("shard router has no shard to run on".into())))
+    }
+}
+
+/// N independent replicas of one model behind a [`ShardRouter`] — the
+/// generic building block sharded serving is made of (and the seam tests
+/// use to induce per-shard failures). [`ShardedExecutor`] is the
+/// `PlanExecutor`-typed production variant with profile merging.
+pub struct ShardSet {
+    shards: Vec<Arc<dyn Model>>,
+    router: ShardRouter,
+}
+
+impl ShardSet {
+    /// Routes over the given replicas. Every replica must compute the
+    /// same function for retry-on-sibling to be transparent. Unlike
+    /// [`ShardedExecutor`], a generic `dyn Model` cannot be asked to
+    /// pre-validate a request, so a deterministically malformed input is
+    /// tried (and counted as a failure) on every shard — wrap replicas
+    /// that can validate cheaply, or use `ShardedExecutor` for plans.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shards` is empty — an empty set can serve nothing.
+    pub fn new(shards: Vec<Arc<dyn Model>>) -> Self {
+        assert!(!shards.is_empty(), "a shard set needs at least one shard");
+        let router = ShardRouter::new(shards.len());
+        Self { shards, router }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Per-shard serving counters.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.router.stats()
+    }
+}
+
+impl Model for ShardSet {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        self.router.route(|s| self.shards[s].run(inputs))
+    }
+}
+
+/// The swappable half of a [`ShardedExecutor`]: replicas and their router
+/// always replaced together, so routing state never outlives the shard
+/// set it describes (in-flight runs hold the `Arc`s they started with).
+struct ShardBank {
+    shards: Arc<Vec<Arc<PlanExecutor>>>,
+    router: Arc<ShardRouter>,
+}
+
+/// One plan replicated across N [`PlanExecutor`]s (each with its own
+/// buffer arena and worker pool) behind a [`ShardRouter`]. Implements
+/// [`Model`], so a `Server` can serve it directly; implements
+/// [`ShardControl`], so `Server::start_sharded` can provision it from
+/// `BatchConfig::shards`.
+pub struct ShardedExecutor {
+    bank: RwLock<ShardBank>,
+}
+
+impl ShardedExecutor {
+    /// Compiles `plan` over `g` once per shard (clamped to ≥ 1 shard).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when the plan is not executable (same
+    /// contract as [`PlanExecutor::new`]).
+    pub fn new(
+        g: &korch_ir::PrimGraph,
+        plan: &korch_orch::Plan,
+        config: crate::RuntimeConfig,
+        shards: usize,
+    ) -> Result<Self, ExecError> {
+        let n = shards.max(1);
+        let mut replicas = Vec::with_capacity(n);
+        for _ in 0..n {
+            replicas.push(Arc::new(PlanExecutor::new(g, plan, config.clone())?));
+        }
+        Ok(Self {
+            bank: RwLock::new(ShardBank {
+                shards: Arc::new(replicas),
+                router: Arc::new(ShardRouter::new(n)),
+            }),
+        })
+    }
+
+    fn snapshot(&self) -> (Arc<Vec<Arc<PlanExecutor>>>, Arc<ShardRouter>) {
+        let bank = self.bank.read().expect("shard bank poisoned");
+        (Arc::clone(&bank.shards), Arc::clone(&bank.router))
+    }
+
+    /// Current number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.snapshot().0.len()
+    }
+
+    /// The aggregate profile: every shard's [`RuntimeProfile`] combined
+    /// via [`RuntimeProfile::merged`] (summed kernel stats, interval
+    /// window filled round-robin across shards so no shard's overlap
+    /// evidence is evicted wholesale) — the one profile `fit_contention`
+    /// / calibration fitting consume.
+    pub fn profile(&self) -> RuntimeProfile {
+        let (shards, _) = self.snapshot();
+        let profiles: Vec<RuntimeProfile> = shards.iter().map(|s| s.profile()).collect();
+        RuntimeProfile::merged(&profiles.iter().collect::<Vec<_>>())
+    }
+
+    /// Aggregate arena counters across shards (fields summed).
+    pub fn arena_stats(&self) -> crate::ArenaStats {
+        let (shards, _) = self.snapshot();
+        let mut total = crate::ArenaStats::default();
+        for s in shards.iter() {
+            let a = s.arena_stats();
+            total.live_bytes += a.live_bytes;
+            total.peak_bytes += a.peak_bytes;
+            total.total_allocs += a.total_allocs;
+            total.reuse_hits += a.reuse_hits;
+            total.free_bytes += a.free_bytes;
+        }
+        total
+    }
+
+    /// Static lifetime-analysis report of the replicated plan. Identical
+    /// for every shard (same plan), so one copy is returned — multiply by
+    /// [`ShardedExecutor::shard_count`] for the provisioned footprint.
+    pub fn memory_report(&self) -> crate::MemoryReport {
+        self.snapshot().0[0].memory_report().clone()
+    }
+}
+
+impl Model for ShardedExecutor {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        let (shards, router) = self.snapshot();
+        // Malformed requests are client errors, not shard-failure
+        // evidence: reject them before routing so they neither burn a
+        // retry attempt on every shard nor quarantine healthy replicas
+        // (every shard runs the same plan, so shard 0's check is
+        // authoritative for all).
+        shards[0].validate_inputs(inputs)?;
+        router.route(|s| shards[s].execute(inputs))
+    }
+}
+
+impl ShardControl for ShardedExecutor {
+    fn set_shards(&self, n: usize) -> Result<(), ExecError> {
+        let n = n.max(1);
+        loop {
+            let (current, _) = self.snapshot();
+            if current.len() == n {
+                return Ok(());
+            }
+            // Build outside the lock (replication compiles a fresh
+            // executor); existing shards stay warm — only the surplus is
+            // dropped / the deficit replicated from shard 0's plan.
+            let mut shards: Vec<Arc<PlanExecutor>> = current.iter().take(n).cloned().collect();
+            while shards.len() < n {
+                shards.push(Arc::new(current[0].replicate()?));
+            }
+            let mut bank = self.bank.write().expect("shard bank poisoned");
+            if !Arc::ptr_eq(&bank.shards, &current) {
+                // Another re-provisioning landed while we replicated;
+                // rebuild from its result instead of silently discarding
+                // its replicas (and their profiles).
+                drop(bank);
+                continue;
+            }
+            let router = Arc::new(ShardRouter::inheriting(n, &bank.router));
+            *bank = ShardBank {
+                shards: Arc::new(shards),
+                router,
+            };
+            return Ok(());
+        }
+    }
+
+    fn shard_stats(&self) -> Vec<ShardStats> {
+        self.snapshot().1.stats()
+    }
+}
+
+/// A model whose execution resources can be re-provisioned into N
+/// independent shard replicas of its current plan snapshot — the facet
+/// `Server::start_sharded` / `Server::start_tuned_sharded` drive from
+/// `BatchConfig::shards`. Implemented by [`ShardedExecutor`] and by
+/// `korch_core`'s `CompiledModel` / `SelfTuningModel`.
+pub trait ShardControl: Send + Sync {
+    /// Re-provisions to `n` shards (clamped to ≥ 1). Growing replicates
+    /// the current plan snapshot into fresh executors; shrinking drops
+    /// surplus replicas. On error the current shard set stays untouched.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError`] when a replica cannot be compiled.
+    fn set_shards(&self, n: usize) -> Result<(), ExecError>;
+
+    /// Per-shard serving counters of the current shard set.
+    fn shard_stats(&self) -> Vec<ShardStats>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Echoes input; optionally fails every run; counts calls.
+    struct Replica {
+        fail: bool,
+        calls: AtomicU64,
+    }
+
+    impl Replica {
+        fn healthy() -> Arc<Self> {
+            Arc::new(Self {
+                fail: false,
+                calls: AtomicU64::new(0),
+            })
+        }
+        fn broken() -> Arc<Self> {
+            Arc::new(Self {
+                fail: true,
+                calls: AtomicU64::new(0),
+            })
+        }
+    }
+
+    impl Model for Replica {
+        fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            if self.fail {
+                Err(ExecError::Input("induced".into()))
+            } else {
+                Ok(inputs.to_vec())
+            }
+        }
+    }
+
+    #[test]
+    fn router_spreads_serialized_traffic_across_shards() {
+        let router = ShardRouter::new(4);
+        // Serialized host: every claim sees zero in-flight everywhere;
+        // the rotating cursor must still spread the picks.
+        for _ in 0..8 {
+            router.route(|_| Ok::<(), ExecError>(())).unwrap();
+        }
+        let stats = router.stats();
+        assert_eq!(stats.iter().map(|s| s.served).sum::<u64>(), 8);
+        assert!(
+            stats.iter().all(|s| s.served == 2),
+            "rotation must round-robin idle shards: {stats:?}"
+        );
+        assert!(stats.iter().all(|s| s.in_flight == 0 && s.live));
+    }
+
+    #[test]
+    fn failed_runs_retry_on_siblings_exactly_once() {
+        let replicas = [Replica::broken(), Replica::healthy(), Replica::broken()];
+        let set = ShardSet::new(
+            replicas
+                .iter()
+                .map(|r| Arc::clone(r) as Arc<dyn Model>)
+                .collect(),
+        );
+        for i in 0..6 {
+            let out = set.run(&[Tensor::full(vec![2], i as f32)]).unwrap();
+            assert_eq!(out[0].as_slice(), &[i as f32; 2]);
+        }
+        let stats = set.shard_stats();
+        // Every request was served by exactly one shard (the healthy one).
+        assert_eq!(stats.iter().map(|s| s.served).sum::<u64>(), 6);
+        assert_eq!(stats[1].served, 6);
+        // Each shard's call count equals its served + failed attempts:
+        // nothing ran off the router's books.
+        for (r, s) in replicas.iter().zip(&stats) {
+            assert_eq!(r.calls.load(Ordering::SeqCst), s.served + s.failures);
+        }
+        // Requests that hit a broken shard first were adopted by the
+        // healthy sibling — at least one (the rotating cursor guarantees
+        // broken shards get first claims), never more than the failures
+        // that preceded them.
+        assert!(stats[1].adopted >= 1, "no retry was adopted: {stats:?}");
+        assert!(stats[1].adopted <= stats[0].failures + stats[2].failures);
+    }
+
+    #[test]
+    fn all_shards_failing_returns_one_error_and_quarantines() {
+        let set = ShardSet::new(vec![
+            Replica::broken() as Arc<dyn Model>,
+            Replica::broken() as Arc<dyn Model>,
+        ]);
+        for _ in 0..QUARANTINE_AFTER {
+            assert!(set.run(&[Tensor::zeros(vec![1])]).is_err());
+        }
+        let stats = set.shard_stats();
+        assert!(stats.iter().all(|s| !s.live), "all shards quarantined");
+        assert_eq!(stats.iter().map(|s| s.served).sum::<u64>(), 0);
+        // Quarantine is a preference, not a denial of service: the next
+        // request is still attempted (and still fails with one error).
+        assert!(set.run(&[Tensor::zeros(vec![1])]).is_err());
+        let after = set.shard_stats();
+        assert!(
+            after.iter().map(|s| s.failures).sum::<u64>()
+                > stats.iter().map(|s| s.failures).sum::<u64>(),
+            "quarantined shards must still be tried when no live shard exists"
+        );
+    }
+
+    #[test]
+    fn sharded_executor_rejects_malformed_requests_before_routing() {
+        use korch_ir::{EwFn, PrimKind};
+        use korch_tensor::UnaryOp as U;
+        let mut g = korch_ir::PrimGraph::new();
+        let x = g
+            .add(PrimKind::Input { shape: vec![4, 4] }, vec![])
+            .unwrap();
+        let e = g
+            .add(PrimKind::Elementwise(EwFn::Unary(U::Exp)), vec![x.into()])
+            .unwrap();
+        g.mark_output(e).unwrap();
+        let plan = korch_orch::Orchestrator::new(korch_cost::Device::v100())
+            .orchestrate(&g)
+            .unwrap()
+            .plan;
+        let exec = ShardedExecutor::new(&g, &plan, crate::RuntimeConfig::with_lanes(1), 3).unwrap();
+        // Wrong arity and wrong shape are client errors: rejected before
+        // routing, no shard blamed, nothing quarantined.
+        assert!(exec.run(&[]).is_err());
+        assert!(exec.run(&[Tensor::zeros(vec![2, 2])]).is_err());
+        let stats = ShardControl::shard_stats(&exec);
+        assert!(
+            stats.iter().all(|s| s.failures == 0 && s.live),
+            "client errors must not burn shard counters: {stats:?}"
+        );
+        // A well-formed request still serves.
+        assert!(exec.run(&[Tensor::zeros(vec![4, 4])]).is_ok());
+    }
+
+    #[test]
+    fn inheriting_router_carries_counters_and_resets_quarantine() {
+        let old = ShardRouter::new(2);
+        old.route(|_| Ok::<(), ExecError>(())).unwrap();
+        for _ in 0..QUARANTINE_AFTER {
+            // Pin the failures to shard 1 by succeeding on shard 0 first.
+            let mut tried = vec![false; 2];
+            let s = old.claim(&tried).unwrap();
+            old.complete(s, s == 0, false);
+            tried[s] = true;
+            if s == 0 {
+                let s1 = old.claim(&tried).unwrap();
+                old.complete(s1, false, false);
+            }
+        }
+        let grown = ShardRouter::inheriting(4, &old);
+        let stats = grown.stats();
+        assert_eq!(stats.len(), 4);
+        // Cumulative books survive the swap; quarantine does not.
+        assert_eq!(
+            stats.iter().map(|s| s.served).sum::<u64>(),
+            old.stats().iter().map(|s| s.served).sum::<u64>()
+        );
+        assert!(stats.iter().all(|s| s.live), "swap must reset quarantine");
+        assert!(stats[1].failures >= QUARANTINE_AFTER);
+        // Shared slots: a completion recorded through the OLD router is
+        // visible to the new one (in-flight runs drain onto the books).
+        old.route(|_| Ok::<(), ExecError>(())).unwrap();
+        assert_eq!(
+            grown.stats().iter().map(|s| s.served).sum::<u64>(),
+            old.stats().iter().map(|s| s.served).sum::<u64>()
+        );
+        // Shrinking keeps the surviving prefix's books.
+        let shrunk = ShardRouter::inheriting(1, &old);
+        assert_eq!(shrunk.stats()[0].served, old.stats()[0].served);
+    }
+
+    #[test]
+    fn quarantined_shard_revives_on_success() {
+        let router = ShardRouter::new(1);
+        for _ in 0..QUARANTINE_AFTER {
+            let _ = router.route(|_| Err::<(), _>(ExecError::Input("x".into())));
+        }
+        assert!(!router.stats()[0].live);
+        router.route(|_| Ok::<(), ExecError>(())).unwrap();
+        assert!(router.stats()[0].live, "a success must reset quarantine");
+    }
+}

@@ -1,9 +1,11 @@
-//! Self-tuning batched serving end to end: compile a model onto the
-//! parallel runtime, stand up the dynamic-batching server with a
-//! drift-triggered recalibration policy, fire bursts of concurrent
-//! clients, and watch the server re-fit its own cost model *and*
-//! stream-contention rates hands-free — no `recalibrate()` call anywhere
-//! in this file.
+//! Self-tuning **sharded** batched serving end to end: compile a model
+//! onto the parallel runtime, stand up the dynamic-batching server with
+//! four independent executor shards and a drift-triggered recalibration
+//! policy, fire bursts of concurrent clients, and watch the server
+//! spread requests across the shards, re-fit its own cost model *and*
+//! stream-contention rates hands-free, and re-plan **all** shards in one
+//! atomic swap — no `recalibrate()` or `set_shards()` call anywhere in
+//! this file.
 //!
 //! Run with: `cargo run --release --example serving`
 
@@ -19,6 +21,9 @@ use std::time::{Duration, Instant};
 /// Drift above this re-tunes the server; the hands-free run must end
 /// below it.
 const DRIFT_THRESHOLD: f64 = 0.5;
+
+/// Independent executor replicas the server provisions.
+const SHARDS: usize = 4;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Optimize + compile, bundled for self-tuning. `compile_tuned` runs
@@ -64,17 +69,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             _ => None,
         })
         .collect();
-    let server = Arc::new(Server::start_tuned(
-        Arc::clone(&tuned),
-        BatchConfig {
-            max_batch: 8,
-            max_wait: Duration::from_millis(1),
-            recalibration: Some(RecalibrationPolicy {
-                every_n_requests: 64,
-                model_error_threshold: DRIFT_THRESHOLD,
-            }),
-        },
-    ));
+    let server = Arc::new(
+        Server::start_tuned_sharded(
+            Arc::clone(&tuned),
+            BatchConfig {
+                max_batch: 8,
+                max_wait: Duration::from_millis(1),
+                recalibration: Some(RecalibrationPolicy {
+                    every_n_requests: 64,
+                    model_error_threshold: DRIFT_THRESHOLD,
+                }),
+                // Four independent executor replicas of the plan snapshot:
+                // the router spreads each batch's requests across them, a
+                // failed shard run would be retried on a sibling, and the
+                // drift check fits from all four shards' merged profiles.
+                shards: SHARDS,
+            },
+        )
+        .expect("shard provisioning"),
+    );
+    assert_eq!(tuned.model().shard_count(), SHARDS);
     // Re-orchestrating under full serving load takes tens of seconds on a
     // busy single-core host, so the demo keeps traffic flowing until the
     // background recalibration lands (bounded by a generous deadline).
@@ -160,6 +174,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "contention: fitted memory_rate {mem_rate:.3}, compute_rate {cmp_rate:.3} \
          (default 1.000/1.000); {steals} kernels work-stolen across lanes",
     );
+    for s in &stats.shards {
+        println!(
+            "shard {}:  {} served, {} failures, {} adopted retries, live={}",
+            s.shard, s.served, s.failures, s.adopted, s.live,
+        );
+    }
 
     // The acceptance bar for the hands-free loop: at least one automatic
     // recalibration fired, drift ended below the threshold, and the
@@ -183,6 +203,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (applied.memory_rate, applied.compute_rate),
         (mem_rate, cmp_rate)
     );
-    println!("served a final request on the self-tuned plan; all checks passed");
+    // Sharding acceptance: the swap kept all four shards on one plan
+    // generation, every shard took traffic, every request was served by
+    // exactly one shard, and nothing failed.
+    assert_eq!(stats.shards.len(), SHARDS);
+    assert_eq!(tuned.model().shard_count(), SHARDS);
+    assert_eq!(
+        tuned.model().plan_generation(),
+        stats.recalibrations,
+        "every recalibration must swap one plan generation across all shards"
+    );
+    assert_eq!(
+        stats.shards.iter().map(|s| s.served).sum::<u64>(),
+        stats.requests,
+        "each request must be served by exactly one shard"
+    );
+    assert!(
+        stats.shards.iter().all(|s| s.served > 0 && s.live),
+        "the router must spread traffic over every shard: {:?}",
+        stats.shards
+    );
+    println!("served a final request on the self-tuned sharded plan; all checks passed");
     Ok(())
 }

@@ -9,40 +9,19 @@
 //! (bit-equality, counters, bounds), never wall-clock.
 
 use korch::core::{Korch, KorchConfig};
-use korch::cost::{kernel_spec, Backend, Device, Profiler};
-use korch::ir::{EwFn, NodeId, OpGraph, OpKind, PortRef, PrimGraph, PrimKind};
-use korch::orch::{
-    kernel_classes, schedule_streams_with, Plan, ResourceClass, SelectedKernel, StreamContention,
-};
+use korch::cost::Device;
+use korch::orch::{kernel_classes, schedule_streams_with, ResourceClass, StreamContention};
 use korch::runtime::{
-    BatchConfig, KernelInterval, OverlapEvidence, RecalibrationPolicy, RuntimeConfig,
-    RuntimeProfile, SelfTune, Server,
+    BatchConfig, KernelInterval, OverlapEvidence, RecalibrationPolicy, RuntimeConfig, SelfTune,
+    Server,
 };
-use korch::tensor::{Tensor, UnaryOp};
+use korch::tensor::Tensor;
 use proptest::prelude::*;
-use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::Duration;
 
-/// Two softmax blocks: enough kernels to overlap, one partition.
-fn model_graph() -> OpGraph {
-    let mut g = OpGraph::new();
-    let x = g
-        .add(
-            OpKind::Input {
-                shape: vec![16, 32],
-            },
-            vec![],
-        )
-        .unwrap();
-    let s1 = g.add(OpKind::Softmax { axis: 1 }, vec![x.into()]).unwrap();
-    let r1 = g
-        .add(OpKind::Unary(UnaryOp::Relu), vec![s1.into()])
-        .unwrap();
-    let s2 = g.add(OpKind::Softmax { axis: 1 }, vec![r1.into()]).unwrap();
-    g.mark_output(s2).unwrap();
-    g
-}
+mod common;
+use common::{assert_bit_identical, independent_plan, model_graph, profile_of_runs};
 
 /// Drift-triggered auto-recalibration fires mid-serving and the served
 /// bytes never change: every response (before, during and after the swap)
@@ -65,6 +44,7 @@ fn auto_recalibration_is_bit_identical_mid_serving() {
             BatchConfig {
                 max_batch: 4,
                 max_wait: Duration::from_millis(1),
+                shards: 1,
                 recalibration: Some(RecalibrationPolicy {
                     every_n_requests: 4,
                     // CPU wall times dwarf simulated GPU micros, so the
@@ -80,13 +60,11 @@ fn auto_recalibration_is_bit_identical_mid_serving() {
             let handles: Vec<_> = (0..8).map(|_| server.submit(inputs.clone())).collect();
             for h in handles {
                 let out = h.wait().expect("served response");
-                for (a, b) in reference.iter().zip(&out) {
-                    assert_eq!(
-                        a.as_slice(),
-                        b.as_slice(),
-                        "lanes={lanes}: serving diverged bitwise across recalibration"
-                    );
-                }
+                assert_bit_identical(
+                    &reference,
+                    &out,
+                    &format!("lanes={lanes}: serving across recalibration"),
+                );
             }
         }
         let stats = server.shutdown();
@@ -144,14 +122,10 @@ fn in_flight_snapshot_survives_the_swap() {
     assert!(report.model_error_after <= report.model_error_before + 1e-9);
     // The old executor still runs, producing the old (identical) bytes...
     let old_out = old_parts[0].executor.execute(&inputs).unwrap();
-    for (a, b) in reference.iter().zip(&old_out) {
-        assert_eq!(a.as_slice(), b.as_slice(), "old plan diverged after swap");
-    }
+    assert_bit_identical(&reference, &old_out, "old plan after swap");
     // ...and the swapped-in plan computes the same function.
     let new_out = compiled.execute(&inputs).unwrap();
-    for (a, b) in reference.iter().zip(&new_out) {
-        assert_eq!(a.as_slice(), b.as_slice(), "new plan diverged");
-    }
+    assert_bit_identical(&reference, &new_out, "new plan after swap");
     assert!(
         !Arc::ptr_eq(&old_parts, &compiled.partitions()),
         "recalibrate must swap the partitions snapshot"
@@ -190,71 +164,12 @@ fn self_tuning_model_contract() {
         outcome.model_error_before
     );
     let out = tuned.model().execute(&inputs).unwrap();
-    for (a, b) in reference.iter().zip(&out) {
-        assert_eq!(a.as_slice(), b.as_slice(), "retune changed the function");
-    }
+    assert_bit_identical(&reference, &out, "retune changed the function");
 }
 
 // ---------------------------------------------------------------------------
 // Contention-fit properties
 // ---------------------------------------------------------------------------
-
-fn profile_of_runs(runs: Vec<Vec<KernelInterval>>, kernels: usize) -> RuntimeProfile {
-    let mut p = RuntimeProfile::new(kernels);
-    for run in runs {
-        p.merge_run(run, 0);
-    }
-    p
-}
-
-/// `branches` independent one-node memory-bound kernels (nothing fuses,
-/// nothing depends): the plan shape where contention rates decide the
-/// whole makespan.
-fn independent_plan(branches: usize) -> (PrimGraph, Plan) {
-    let mut g = PrimGraph::new();
-    let mut nodes = Vec::new();
-    for _ in 0..branches {
-        let x = g
-            .add(
-                PrimKind::Input {
-                    shape: vec![64, 64],
-                },
-                vec![],
-            )
-            .unwrap();
-        let e = g
-            .add(
-                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
-                vec![x.into()],
-            )
-            .unwrap();
-        g.mark_output(e).unwrap();
-        nodes.push(e);
-    }
-    let profiler = Profiler::new(Device::v100());
-    let kernels: Vec<SelectedKernel> = nodes
-        .into_iter()
-        .map(|n| {
-            let set: BTreeSet<NodeId> = [n].into_iter().collect();
-            let outputs = vec![PortRef::from(n)];
-            let spec = kernel_spec(&g, &set, &outputs);
-            SelectedKernel {
-                members: vec![n],
-                outputs,
-                latency: profiler.latency(&spec, Backend::Generated),
-                backend: Backend::Generated,
-            }
-        })
-        .collect();
-    let total = kernels.iter().map(|k| k.latency).sum();
-    (
-        g,
-        Plan {
-            kernels,
-            total_latency: total,
-        },
-    )
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]

@@ -12,19 +12,9 @@ use korch::models::subgraphs::{
     softmax_attention, with_opaque_topk,
 };
 use korch::runtime::RuntimeConfig;
-use korch::tensor::Tensor;
 
-fn random_inputs(g: &OpGraph, seed: u64) -> Vec<Tensor> {
-    g.nodes()
-        .iter()
-        .filter_map(|n| match &n.kind {
-            OpKind::Input { shape } => Some(shape.clone()),
-            _ => None,
-        })
-        .enumerate()
-        .map(|(i, shape)| Tensor::random(shape, seed + i as u64))
-        .collect()
-}
+mod common;
+use common::{assert_bit_identical, op_random_inputs};
 
 /// Optimizes `g` once, then checks the parallel executor against the
 /// sequential interpreter at several lane counts.
@@ -33,7 +23,7 @@ fn assert_parallel_matches_sequential(name: &str, g: &OpGraph, seed: u64) {
     let optimized = korch
         .optimize(g)
         .unwrap_or_else(|e| panic!("{name}: optimize failed: {e}"));
-    let inputs = random_inputs(g, seed);
+    let inputs = op_random_inputs(g, seed);
     let reference = optimized
         .execute(&inputs)
         .unwrap_or_else(|e| panic!("{name}: sequential execution failed: {e}"));
@@ -43,23 +33,7 @@ fn assert_parallel_matches_sequential(name: &str, g: &OpGraph, seed: u64) {
         let out = compiled
             .execute(&inputs)
             .unwrap_or_else(|e| panic!("{name}: parallel execution at {lanes} lanes failed: {e}"));
-        assert_eq!(
-            out.len(),
-            reference.len(),
-            "{name}: output arity at {lanes} lanes"
-        );
-        for (i, (a, b)) in reference.iter().zip(&out).enumerate() {
-            assert_eq!(
-                a.shape(),
-                b.shape(),
-                "{name}: output {i} shape at {lanes} lanes"
-            );
-            assert_eq!(
-                a.as_slice(),
-                b.as_slice(),
-                "{name}: output {i} not bit-identical at {lanes} lanes"
-            );
-        }
+        assert_bit_identical(&reference, &out, &format!("{name} at {lanes} lanes"));
     }
 }
 
@@ -100,7 +74,7 @@ fn opaque_subgraph_fails_identically_in_both_runtimes() {
     let g = with_opaque_topk(16, 4);
     let korch = Korch::new(Device::v100(), KorchConfig::default());
     let optimized = korch.optimize(&g).expect("opaque graphs still optimize");
-    let inputs = random_inputs(&g, 6);
+    let inputs = op_random_inputs(&g, 6);
     let sequential = optimized.execute(&inputs);
     assert!(sequential.is_err(), "opaque primitive should not interpret");
     for lanes in [1usize, 2, 4, 8] {
@@ -146,14 +120,16 @@ fn deep_partitioned_model_parallel_parity() {
         optimized.stats().partitions >= 2,
         "want a multi-partition program"
     );
-    let inputs = random_inputs(&g, 7);
+    let inputs = op_random_inputs(&g, 7);
     let reference = optimized.execute(&inputs).unwrap();
     for lanes in [1usize, 2, 4, 8] {
         let compiled =
             CompiledModel::from_optimized(&optimized, &RuntimeConfig::with_lanes(lanes)).unwrap();
         let out = compiled.execute(&inputs).unwrap();
-        for (a, b) in reference.iter().zip(&out) {
-            assert_eq!(a.as_slice(), b.as_slice());
-        }
+        assert_bit_identical(
+            &reference,
+            &out,
+            &format!("deep partitioned at {lanes} lanes"),
+        );
     }
 }

@@ -4,14 +4,17 @@
 //! schedules must trigger steals, and redundant-producer plans must
 //! conserve the buffer arena's pool.
 
-use korch::cost::{kernel_spec, Backend, Device, Micros, Profiler};
+use korch::cost::{Backend, Micros};
 use korch::exec::execute_plan;
 use korch::ir::{EwFn, NodeId, PortRef, PrimGraph, PrimKind};
 use korch::orch::{Plan, SelectedKernel};
 use korch::runtime::{PlanExecutor, RuntimeConfig};
-use korch::tensor::{BinaryOp, Tensor, UnaryOp};
+use korch::tensor::{BinaryOp, UnaryOp};
 use proptest::prelude::*;
-use std::collections::{BTreeSet, HashSet};
+use std::collections::HashSet;
+
+mod common;
+use common::{assert_bit_identical, first_input_shape, kernel_of, plan_of, same_shape_inputs};
 
 /// Groups the non-source nodes of `g` (insertion order = topological
 /// order) into contiguous kernels sized by cycling through `chunks`, with
@@ -19,7 +22,7 @@ use std::collections::{BTreeSet, HashSet};
 /// graph outputs it covers — exactly the materialization rule
 /// `execute_plan` expects.
 fn chunked_plan(g: &PrimGraph, chunks: &[usize]) -> Plan {
-    let profiler = Profiler::new(Device::v100());
+    use std::collections::BTreeSet;
     let comp: Vec<NodeId> = g
         .iter()
         .filter(|(_, n)| !n.kind.is_source())
@@ -50,21 +53,9 @@ fn chunked_plan(g: &PrimGraph, chunks: &[usize]) -> Plan {
                 outs.insert(*o);
             }
         }
-        let outputs: Vec<PortRef> = outs.into_iter().collect();
-        let spec = kernel_spec(g, &mset, &outputs);
-        let latency = profiler.latency(&spec, Backend::Generated);
-        kernels.push(SelectedKernel {
-            members,
-            outputs,
-            latency,
-            backend: Backend::Generated,
-        });
+        kernels.push(kernel_of(g, members, outs.into_iter().collect()));
     }
-    let total = kernels.iter().map(|k| k.latency).sum();
-    Plan {
-        kernels,
-        total_latency: total,
-    }
+    plan_of(kernels)
 }
 
 /// A random DAG of same-shape elementwise nodes over `n_inputs` inputs:
@@ -131,21 +122,6 @@ fn arb_dag() -> impl Strategy<Value = (PrimGraph, Vec<usize>, usize)> {
     })
 }
 
-fn random_inputs(n: usize, shape: &[usize], seed: u64) -> Vec<Tensor> {
-    (0..n)
-        .map(|i| Tensor::random(shape.to_vec(), seed + i as u64))
-        .collect()
-}
-
-fn input_shape(g: &PrimGraph) -> Vec<usize> {
-    g.iter()
-        .find_map(|(_, n)| match &n.kind {
-            PrimKind::Input { shape } => Some(shape.clone()),
-            _ => None,
-        })
-        .expect("graph has an input")
-}
-
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -155,8 +131,8 @@ proptest! {
     #[test]
     fn random_dag_plans_are_bit_identical((g, chunks, n_inputs) in arb_dag(), seed in 0u64..1000) {
         let plan = chunked_plan(&g, &chunks);
-        let shape = input_shape(&g);
-        let inputs = random_inputs(n_inputs, &shape, seed);
+        let shape = first_input_shape(&g);
+        let inputs = same_shape_inputs(n_inputs, &shape, seed);
         let reference = execute_plan(&g, &plan, &inputs).unwrap();
         for lanes in [1usize, 2, 4, 8] {
             let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
@@ -223,19 +199,13 @@ fn imbalanced_schedule_triggers_steals() {
             }
         })
         .collect();
-    let total = kernels.iter().map(|k| k.latency).sum();
-    let plan = Plan {
-        kernels,
-        total_latency: total,
-    };
+    let plan = plan_of(kernels);
     let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(2)).unwrap();
-    let inputs = random_inputs(8, &shape, 11);
+    let inputs = same_shape_inputs(8, &shape, 11);
     let reference = execute_plan(&g, &plan, &inputs).unwrap();
-    for _ in 0..6 {
+    for run in 0..6 {
         let out = exec.execute(&inputs).unwrap();
-        for (a, b) in reference.iter().zip(&out) {
-            assert_eq!(a.as_slice(), b.as_slice());
-        }
+        assert_bit_identical(&reference, &out, &format!("imbalanced run {run}"));
     }
     let profile = exec.profile();
     assert_eq!(profile.runs, 6);
@@ -288,29 +258,14 @@ fn failure_unwinds_all_lanes_mid_run() {
         .unwrap();
     g.mark_output(opaque).unwrap();
     members.push(opaque);
-    let profiler = Profiler::new(Device::v100());
     let kernels: Vec<SelectedKernel> = members
         .into_iter()
-        .map(|m| {
-            let mset: BTreeSet<NodeId> = [m].into_iter().collect();
-            let outputs = vec![PortRef::from(m)];
-            let spec = kernel_spec(&g, &mset, &outputs);
-            SelectedKernel {
-                members: vec![m],
-                outputs,
-                latency: profiler.latency(&spec, Backend::Generated),
-                backend: Backend::Generated,
-            }
-        })
+        .map(|m| kernel_of(&g, vec![m], vec![PortRef::from(m)]))
         .collect();
-    let total = kernels.iter().map(|k| k.latency).sum();
-    let plan = Plan {
-        kernels,
-        total_latency: total,
-    };
+    let plan = plan_of(kernels);
     for lanes in [2usize, 4, 8] {
         let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
-        let inputs = random_inputs(1, &shape, 3);
+        let inputs = same_shape_inputs(1, &shape, 3);
         for _ in 0..5 {
             let err = exec.execute(&inputs);
             assert!(err.is_err(), "opaque kernel must fail at {lanes} lanes");
@@ -359,39 +314,22 @@ fn redundant_producer_conserves_arena_pool() {
         .unwrap();
     g.mark_output(r).unwrap();
     g.mark_output(s).unwrap();
-    let profiler = Profiler::new(Device::v100());
-    let mk = |members: Vec<NodeId>, outputs: Vec<PortRef>| {
-        let mset: BTreeSet<NodeId> = members.iter().copied().collect();
-        let spec = kernel_spec(&g, &mset, &outputs);
-        SelectedKernel {
-            members,
-            outputs,
-            latency: profiler.latency(&spec, Backend::Generated),
-            backend: Backend::Generated,
-        }
-    };
     // Kernel 1 recomputes `e` in-kernel *and* re-materializes it: its
     // staged copy of `e` always loses to (or beats) kernel 0's.
     let kernels = vec![
-        mk(vec![e], vec![e.into()]),
-        mk(vec![e, r], vec![r.into(), e.into()]),
-        mk(vec![s], vec![s.into()]),
+        kernel_of(&g, vec![e], vec![e.into()]),
+        kernel_of(&g, vec![e, r], vec![r.into(), e.into()]),
+        kernel_of(&g, vec![s], vec![s.into()]),
     ];
-    let total = kernels.iter().map(|k| k.latency).sum();
-    let plan = Plan {
-        kernels,
-        total_latency: total,
-    };
+    let plan = plan_of(kernels);
     for lanes in [1usize, 2, 4] {
         let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
-        let inputs = random_inputs(1, &shape, 17);
+        let inputs = same_shape_inputs(1, &shape, 17);
         let reference = execute_plan(&g, &plan, &inputs).unwrap();
         let mut steady_free: Option<u64> = None;
         for run in 0..8 {
             let out = exec.execute(&inputs).unwrap();
-            for (a, b) in reference.iter().zip(&out) {
-                assert_eq!(a.as_slice(), b.as_slice(), "lanes={lanes} run={run}");
-            }
+            assert_bit_identical(&reference, &out, &format!("lanes={lanes} run={run}"));
             let stats = exec.arena_stats();
             assert_eq!(
                 stats.live_bytes, 0,

@@ -1,0 +1,370 @@
+//! Sharded serving, locked down structurally: replicating one plan
+//! across N `PlanExecutor`s behind the least-loaded router must never
+//! change computed bytes (differential vs the sequential interpreter at
+//! shards 1/2/4 × lanes 1/2), must conserve every request under induced
+//! shard failures (none lost, none duplicated — each request is served
+//! by exactly one shard or fails exactly once), and an automatic
+//! recalibration mid-serving must swap **all** shards to the new plan.
+//!
+//! Runs on the 1-core CI container: every assertion is structural
+//! (bit-equality, counters, conservation laws), never wall-clock or
+//! overlap timing.
+
+use korch::core::{Korch, KorchConfig};
+use korch::cost::Device;
+use korch::exec::{execute_plan, ExecError};
+use korch::runtime::{
+    BatchConfig, Model, RecalibrationPolicy, ResponseHandle, RuntimeConfig, Server, ShardControl,
+    ShardSet, ShardedExecutor,
+};
+use korch::tensor::Tensor;
+use proptest::prelude::*;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+mod common;
+use common::{
+    assert_bit_identical, independent_plan, model_graph, op_random_inputs, prim_random_inputs,
+};
+
+fn burst_config() -> BatchConfig {
+    BatchConfig {
+        max_batch: 4,
+        max_wait: Duration::from_millis(1),
+        ..Default::default()
+    }
+}
+
+/// Sharded serving is bit-identical to the sequential `execute_plan`
+/// interpreter at every shards × lanes combination, over a mixed burst
+/// (every request carries different inputs).
+#[test]
+fn sharded_serving_is_bit_identical_to_execute_plan() {
+    let (g, plan) = independent_plan(6);
+    let bursts: Vec<(Vec<Tensor>, Vec<Tensor>)> = (0..12)
+        .map(|seed| {
+            let inputs = prim_random_inputs(&g, 100 + seed);
+            let reference = execute_plan(&g, &plan, &inputs).unwrap();
+            (inputs, reference)
+        })
+        .collect();
+    for shards in [1usize, 2, 4] {
+        for lanes in [1usize, 2] {
+            let exec = Arc::new(
+                ShardedExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes), shards).unwrap(),
+            );
+            assert_eq!(exec.shard_count(), shards);
+            let server = Server::start(Arc::clone(&exec) as Arc<dyn Model>, burst_config());
+            let handles: Vec<ResponseHandle> = bursts
+                .iter()
+                .map(|(inputs, _)| server.submit(inputs.clone()))
+                .collect();
+            for (h, (_, reference)) in handles.into_iter().zip(&bursts) {
+                let out = h.wait().expect("served response");
+                assert_bit_identical(reference, &out, &format!("shards={shards} lanes={lanes}"));
+            }
+            let stats = server.shutdown();
+            assert_eq!(stats.requests, bursts.len() as u64);
+            assert_eq!(stats.errors, 0);
+            // Exactly-once serving: each request ran on exactly one shard,
+            // and the aggregate (merged) profile saw every run.
+            let shard_stats = exec.shard_stats();
+            assert_eq!(shard_stats.len(), shards);
+            assert_eq!(
+                shard_stats.iter().map(|s| s.served).sum::<u64>(),
+                bursts.len() as u64
+            );
+            assert_eq!(shard_stats.iter().map(|s| s.failures).sum::<u64>(), 0);
+            assert_eq!(exec.profile().runs, bursts.len() as u64);
+            if shards > 1 {
+                assert!(
+                    shard_stats.iter().all(|s| s.served > 0),
+                    "the rotating tie-break must spread a serialized burst: {shard_stats:?}"
+                );
+            }
+        }
+    }
+}
+
+/// The `BatchConfig::shards` knob end to end over a compiled model:
+/// `Server::start_sharded` provisions the replicas, serving stays
+/// bit-identical to the interpreter, and `ServerStats::shards` reports
+/// per-shard conservation.
+#[test]
+fn start_sharded_provisions_compiled_model_replicas() {
+    let g = model_graph();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let optimized = korch.optimize(&g).unwrap();
+    let compiled = Arc::new(
+        korch
+            .compile_with(&g, &RuntimeConfig::with_lanes(2))
+            .unwrap(),
+    );
+    let bursts: Vec<(Vec<Tensor>, Vec<Tensor>)> = (0..3)
+        .map(|seed| {
+            let inputs = op_random_inputs(&g, 40 + seed);
+            let reference = optimized.execute(&inputs).unwrap();
+            (inputs, reference)
+        })
+        .collect();
+    let server = Server::start_sharded(
+        Arc::clone(&compiled),
+        BatchConfig {
+            shards: 4,
+            ..burst_config()
+        },
+    )
+    .expect("shard provisioning succeeds");
+    assert_eq!(compiled.shard_count(), 4);
+    // 8 interleaved rounds over the 3 distinct payloads: a mixed burst.
+    let handles: Vec<(usize, ResponseHandle)> = (0..24)
+        .map(|i| {
+            (
+                i % bursts.len(),
+                server.submit(bursts[i % bursts.len()].0.clone()),
+            )
+        })
+        .collect();
+    for (which, h) in handles {
+        let out = h.wait().expect("served response");
+        assert_bit_identical(&bursts[which].1, &out, &format!("payload {which}"));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 24);
+    assert_eq!(stats.errors, 0);
+    assert_eq!(stats.shards.len(), 4, "stats must surface all shards");
+    assert_eq!(stats.shards.iter().map(|s| s.served).sum::<u64>(), 24);
+    assert!(
+        stats.shards.iter().all(|s| s.served > 0 && s.live),
+        "every shard must take traffic: {:?}",
+        stats.shards
+    );
+}
+
+/// Echo replica with an induced permanent failure flag.
+struct Replica {
+    fail: bool,
+    calls: AtomicU64,
+}
+
+impl Model for Replica {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        self.calls.fetch_add(1, Ordering::SeqCst);
+        if self.fail {
+            Err(ExecError::Input("induced shard failure".into()))
+        } else {
+            Ok(inputs.to_vec())
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Conservation law under arbitrary (shard count, request count,
+    /// failure mask) combinations: every request resolves exactly once,
+    /// is served by exactly one shard (or fails after all were tried),
+    /// responses never cross requests, and no response is lost or
+    /// duplicated — even with every shard failing.
+    #[test]
+    fn random_failure_masks_conserve_requests(
+        shards in 1usize..5,
+        requests in 1usize..33,
+        mask in 0u32..16,
+    ) {
+        let replicas: Vec<Arc<Replica>> = (0..shards)
+            .map(|s| Arc::new(Replica {
+                fail: mask & (1 << s) != 0,
+                calls: AtomicU64::new(0),
+            }))
+            .collect();
+        let set = Arc::new(ShardSet::new(
+            replicas.iter().map(|r| Arc::clone(r) as Arc<dyn Model>).collect(),
+        ));
+        let server = Server::start(Arc::clone(&set) as Arc<dyn Model>, BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            ..Default::default()
+        });
+        let handles: Vec<ResponseHandle> = (0..requests)
+            .map(|i| server.submit(vec![Tensor::full(vec![2], i as f32)]))
+            .collect();
+        let mut oks = 0u64;
+        let mut errs = 0u64;
+        for (i, h) in handles.into_iter().enumerate() {
+            match h.wait() {
+                Ok(out) => {
+                    // The response must answer *this* request.
+                    prop_assert_eq!(out[0].as_slice(), &[i as f32; 2]);
+                    oks += 1;
+                }
+                Err(_) => errs += 1,
+            }
+        }
+        let stats = server.shutdown();
+        // Nothing lost: every submission resolved exactly once.
+        prop_assert_eq!(oks + errs, requests as u64);
+        let all_masked = (0..shards).all(|s| mask & (1 << s) != 0);
+        if all_masked {
+            prop_assert_eq!(oks, 0);
+        } else {
+            // At least one healthy sibling exists: retry-on-sibling must
+            // rescue every request.
+            prop_assert_eq!(errs, 0, "lost requests with a healthy shard present");
+        }
+        prop_assert_eq!(stats.requests, requests as u64);
+        prop_assert_eq!(stats.errors, errs);
+        // Nothing duplicated: successful servings across shards equal the
+        // delivered successes, masked shards never served, and every
+        // model call is on the router's books.
+        let shard_stats = set.shard_stats();
+        prop_assert_eq!(shard_stats.iter().map(|s| s.served).sum::<u64>(), oks);
+        for (s, (replica, stat)) in replicas.iter().zip(&shard_stats).enumerate() {
+            prop_assert_eq!(
+                replica.calls.load(Ordering::SeqCst),
+                stat.served + stat.failures,
+                "shard {} ran off the books", s
+            );
+            if mask & (1 << s) != 0 {
+                prop_assert_eq!(stat.served, 0);
+            } else {
+                prop_assert_eq!(stat.failures, 0);
+            }
+        }
+    }
+}
+
+/// Wraps a real executor and fails permanently after `healthy_runs` —
+/// the induced *mid-burst* shard failure.
+struct FailAfter {
+    inner: Arc<dyn Model>,
+    remaining: AtomicI64,
+}
+
+impl Model for FailAfter {
+    fn run(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
+        if self.remaining.fetch_sub(1, Ordering::SeqCst) <= 0 {
+            return Err(ExecError::Input("shard died mid-burst".into()));
+        }
+        self.inner.run(inputs)
+    }
+}
+
+/// A shard dying mid-burst over real `PlanExecutor` replicas: every
+/// request is still answered (adopted by a live sibling), every response
+/// stays bit-identical to the interpreter, and the router's books
+/// balance — failures on the dead shard equal adoptions elsewhere.
+#[test]
+fn mid_burst_shard_failure_conserves_every_request() {
+    let (g, plan) = independent_plan(4);
+    let inputs = prim_random_inputs(&g, 7);
+    let reference = execute_plan(&g, &plan, &inputs).unwrap();
+    let config = RuntimeConfig::with_lanes(2);
+    let mut replicas: Vec<Arc<dyn Model>> = (0..3)
+        .map(|_| {
+            Arc::new(korch::runtime::PlanExecutor::new(&g, &plan, config.clone()).unwrap())
+                as Arc<dyn Model>
+        })
+        .collect();
+    // Shard 3 serves two runs, then dies for good.
+    replicas.push(Arc::new(FailAfter {
+        inner: Arc::new(korch::runtime::PlanExecutor::new(&g, &plan, config.clone()).unwrap()),
+        remaining: AtomicI64::new(2),
+    }));
+    let set = Arc::new(ShardSet::new(replicas));
+    let server = Server::start(Arc::clone(&set) as Arc<dyn Model>, burst_config());
+    let handles: Vec<ResponseHandle> = (0..32).map(|_| server.submit(inputs.clone())).collect();
+    for (i, h) in handles.into_iter().enumerate() {
+        let out = h
+            .wait()
+            .expect("every request must survive the shard death");
+        assert_bit_identical(&reference, &out, &format!("request {i}"));
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 32);
+    assert_eq!(stats.errors, 0, "failures must be absorbed by siblings");
+    let shard_stats = set.shard_stats();
+    assert_eq!(shard_stats.iter().map(|s| s.served).sum::<u64>(), 32);
+    let dead = &shard_stats[3];
+    assert_eq!(dead.served, 2, "the dying shard served its healthy runs");
+    assert!(
+        dead.failures > 0,
+        "the dead shard must have been claimed again"
+    );
+    // Each failed claim was adopted by exactly one sibling.
+    assert_eq!(
+        shard_stats.iter().map(|s| s.adopted).sum::<u64>(),
+        dead.failures,
+        "router books must balance: {shard_stats:?}"
+    );
+}
+
+/// Drift-triggered auto-recalibration over a 4-shard tuned server: the
+/// swap must update all shards in one generation while serving stays
+/// bit-identical, and the stats must report rates the live plans use.
+#[test]
+fn auto_recalibration_swaps_all_shards_mid_serving() {
+    let g = model_graph();
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let optimized = korch.optimize(&g).unwrap();
+    let inputs = op_random_inputs(&g, 4);
+    let reference = optimized.execute(&inputs).unwrap();
+    let tuned = Arc::new(
+        korch
+            .compile_tuned(&g, &RuntimeConfig::with_lanes(2))
+            .unwrap(),
+    );
+    let server = Server::start_tuned_sharded(
+        Arc::clone(&tuned),
+        BatchConfig {
+            max_batch: 4,
+            max_wait: Duration::from_millis(1),
+            shards: 4,
+            // CPU wall times dwarf simulated GPU micros, so drift is far
+            // above this threshold: the trigger fires deterministically.
+            recalibration: Some(RecalibrationPolicy {
+                every_n_requests: 4,
+                model_error_threshold: 0.05,
+            }),
+        },
+    )
+    .expect("shard provisioning succeeds");
+    assert_eq!(tuned.model().shard_count(), 4);
+    assert_eq!(tuned.model().plan_generation(), 0);
+    // Serve in waves so drift checks interleave with background swaps.
+    for wave in 0..8 {
+        let handles: Vec<_> = (0..8).map(|_| server.submit(inputs.clone())).collect();
+        for h in handles {
+            let out = h.wait().expect("served response");
+            assert_bit_identical(&reference, &out, &format!("wave {wave}"));
+        }
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.requests, 64);
+    assert_eq!(stats.errors, 0);
+    assert!(
+        stats.recalibrations >= 1,
+        "drift above threshold must trigger at least one auto-recalibration: {stats:?}"
+    );
+    // Every completed recalibration re-planned *all* shards atomically:
+    // the shard set survived the swaps at the same width, on a bumped
+    // plan generation, with the fitted rates live everywhere.
+    assert_eq!(tuned.model().shard_count(), 4);
+    assert_eq!(tuned.model().plan_generation(), stats.recalibrations);
+    assert_eq!(stats.shards.len(), 4);
+    assert_eq!(stats.shards.iter().map(|s| s.failures).sum::<u64>(), 0);
+    let (mem, cmp) = stats
+        .fitted_contention
+        .expect("a completed recalibration must report fitted rates");
+    assert!((0.0..=1.0).contains(&mem) && (0.0..=1.0).contains(&cmp));
+    let applied = tuned.model().applied_contention();
+    assert_eq!(
+        (applied.memory_rate, applied.compute_rate),
+        (mem, cmp),
+        "stats must report the rates all live shards actually use"
+    );
+    // The post-swap shard set keeps serving the same bytes.
+    let out = tuned.model().execute(&inputs).unwrap();
+    assert_bit_identical(&reference, &out, "post-shutdown sharded run");
+}

@@ -171,6 +171,7 @@ fn tuned_server_survives_retune_races() {
             BatchConfig {
                 max_batch: 2,
                 max_wait: Duration::from_micros(100),
+                shards: 1,
                 recalibration: Some(RecalibrationPolicy {
                     every_n_requests: 2,
                     model_error_threshold: 0.5,
