@@ -4,23 +4,31 @@
 //!
 //! On a multi-core host the 4-lane executor overlaps the eight branch
 //! kernels and wins well beyond 1.5×; on a single core it degrades to the
-//! interpreter plus scheduling noise. The `serving` group measures the
-//! dynamic-batching front-end end to end; the `recalibration` group runs
-//! the closed calibration loop (profile → fit → re-orchestrate → swap)
-//! and prints how far the fitted model tightens against the measured
-//! kernels.
+//! interpreter plus scheduling noise. The `tiled_single_kernel` group is
+//! the *intra*-kernel counterpart: one big elementwise/matmul kernel that
+//! inter-kernel overlap cannot touch, split into row-range tiles across 4
+//! lanes (structural asserts — tile count > 1, bit-identity — hold on any
+//! host; the speedup only shows on multi-core). The `serving` group
+//! measures the dynamic-batching front-end end to end; the
+//! `recalibration` group runs the closed calibration loop (profile → fit
+//! → re-orchestrate → swap) and prints how far the fitted model tightens
+//! against the measured kernels. The runtime and tiled medians also land
+//! in `BENCH_runtime.json` at the workspace root — the machine-readable
+//! perf record tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use korch_bench::report::{median_ns, write_bench_json, BenchRecord};
 use korch_core::{Korch, KorchConfig};
 use korch_cost::{kernel_spec, Backend, Device, Profiler};
 use korch_exec::execute_plan;
-use korch_ir::{EwFn, NodeId, PrimGraph, PrimKind};
+use korch_ir::{EwFn, LinearFn, NodeId, PrimGraph, PrimKind};
 use korch_models::subgraphs::softmax_attention;
 use korch_orch::{Plan, SelectedKernel};
 use korch_runtime::{BatchConfig, PlanExecutor, RuntimeConfig, Server, ShardedExecutor};
-use korch_tensor::{BinaryOp, ReduceKind, Tensor, UnaryOp};
+use korch_tensor::{BinaryOp, MatMulSpec, ReduceKind, Tensor, UnaryOp};
 use std::collections::BTreeSet;
 use std::hint::black_box;
+use std::path::Path;
 use std::sync::Arc;
 
 /// `branches` independent softmax chains with one kernel per branch, so
@@ -154,6 +162,200 @@ fn bench_runtime(c: &mut Criterion) {
         std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1)
+    );
+}
+
+/// A plan with exactly ONE big kernel — the intra-kernel parallelism
+/// acceptance workload: inter-kernel overlap has nothing to overlap, so
+/// only tile decomposition can engage the other lanes.
+fn single_kernel_plan(matmul: bool, dim: usize) -> (PrimGraph, Plan) {
+    let mut g = PrimGraph::new();
+    let members;
+    let out;
+    if matmul {
+        let a = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![dim, dim],
+                },
+                vec![],
+            )
+            .unwrap();
+        let b = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![dim, dim],
+                },
+                vec![],
+            )
+            .unwrap();
+        let mm = g
+            .add(
+                PrimKind::Linear(LinearFn::MatMul {
+                    spec: MatMulSpec::new(),
+                }),
+                vec![a.into(), b.into()],
+            )
+            .unwrap();
+        g.mark_output(mm).unwrap();
+        members = vec![mm];
+        out = mm;
+    } else {
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: vec![dim, dim],
+                },
+                vec![],
+            )
+            .unwrap();
+        let e = g
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Exp)),
+                vec![x.into()],
+            )
+            .unwrap();
+        let t = g
+            .add(
+                PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
+                vec![e.into()],
+            )
+            .unwrap();
+        g.mark_output(t).unwrap();
+        members = vec![e, t];
+        out = t;
+    }
+    let profiler = Profiler::new(Device::v100());
+    let set: BTreeSet<NodeId> = members.iter().copied().collect();
+    let spec = kernel_spec(&g, &set, &[out.into()]);
+    let kernel = SelectedKernel {
+        members,
+        outputs: vec![out.into()],
+        latency: profiler.latency(&spec, Backend::Generated),
+        backend: Backend::Generated,
+    };
+    let total = kernel.latency;
+    (
+        g,
+        Plan {
+            kernels: vec![kernel],
+            total_latency: total,
+        },
+    )
+}
+
+/// Median seconds per call over `n` timed iterations (after one warm-up).
+fn measure(n: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut samples: Vec<f64> = (0..n)
+        .map(|_| {
+            let start = std::time::Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e9
+        })
+        .collect();
+    median_ns(&mut samples) / 1e9
+}
+
+/// The tiled-execution acceptance bench: a single large
+/// elementwise/matmul kernel, sequential interpreter vs the tiled
+/// 4-lane executor. Structural asserts (the tiled path must engage with
+/// tile count > 1, bit-identically) hold on any host; the speedup is
+/// only reported — on 1-core CI lanes time-slice and the ratio is noise.
+fn bench_tiled(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tiled_single_kernel");
+    let mut records: Vec<BenchRecord> = Vec::new();
+    for (name, matmul, dim) in [("elementwise", false, 768), ("matmul", true, 192)] {
+        let (g, plan) = single_kernel_plan(matmul, dim);
+        assert_eq!(plan.kernel_count(), 1, "acceptance workload is one kernel");
+        let inputs = bench_inputs(&g);
+        let reference = execute_plan(&g, &plan, &inputs).unwrap();
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
+        assert_eq!(
+            exec.tileable_kernels(),
+            1,
+            "the single kernel must clear the derived split threshold"
+        );
+        let out = exec.execute(&inputs).unwrap();
+        for (a, b) in reference.iter().zip(&out) {
+            assert_eq!(a.as_slice(), b.as_slice(), "tiled {name} diverged bitwise");
+        }
+        let profile = exec.profile();
+        assert!(
+            profile.tiled_kernels >= 1 && profile.tile_tasks > 1,
+            "tiled path must engage with >1 tile on {name}: {profile:?}"
+        );
+        group.bench_function(BenchmarkId::new("sequential", name), |b| {
+            b.iter(|| execute_plan(black_box(&g), black_box(&plan), black_box(&inputs)).unwrap())
+        });
+        group.bench_function(BenchmarkId::new("tiled_4_lanes", name), |b| {
+            b.iter(|| exec.execute(black_box(&inputs)).unwrap())
+        });
+        // One-shot medians for the headline + the JSON perf record.
+        let seq = measure(10, || {
+            black_box(execute_plan(&g, &plan, &inputs).unwrap());
+        });
+        let tiled = measure(10, || {
+            black_box(exec.execute(&inputs).unwrap());
+        });
+        let profile = exec.profile();
+        let tiles_per_run = profile.tile_tasks as f64 / profile.tiled_kernels.max(1) as f64;
+        println!(
+            "tiled_single_kernel/{name}: {:.2}x vs sequential ({:.3} ms -> {:.3} ms, \
+             {tiles_per_run:.0} tiles/run, {} cores)",
+            seq / tiled,
+            seq * 1e3,
+            tiled * 1e3,
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        );
+        records.push(BenchRecord {
+            name: format!("tiled_single_kernel/sequential/{name}"),
+            median_ns: seq * 1e9,
+            speedup_vs_sequential: None,
+            note: format!("dim {dim}"),
+        });
+        records.push(BenchRecord {
+            name: format!("tiled_single_kernel/tiled_4_lanes/{name}"),
+            median_ns: tiled * 1e9,
+            speedup_vs_sequential: Some(seq / tiled),
+            note: format!("dim {dim}, {tiles_per_run:.0} tiles/run"),
+        });
+    }
+    group.finish();
+
+    // The inter-kernel workload alongside, so the JSON record tracks both
+    // parallelism levers across PRs.
+    let (g, plan) = independent_kernel_plan(8, 256, 256);
+    let inputs = bench_inputs(&g);
+    let seq = measure(10, || {
+        black_box(execute_plan(&g, &plan, &inputs).unwrap());
+    });
+    records.push(BenchRecord {
+        name: "runtime/sequential_interpreter".into(),
+        median_ns: seq * 1e9,
+        speedup_vs_sequential: None,
+        note: "8 independent kernels, 256x256".into(),
+    });
+    for lanes in [2usize, 4] {
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+        let par = measure(10, || {
+            black_box(exec.execute(&inputs).unwrap());
+        });
+        records.push(BenchRecord {
+            name: format!("runtime/parallel_executor/{lanes}"),
+            median_ns: par * 1e9,
+            speedup_vs_sequential: Some(seq / par),
+            note: format!("{lanes} lanes, steals {}", exec.profile().steals),
+        });
+    }
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
+    write_bench_json(&path, &records).expect("perf record written");
+    println!(
+        "perf record: {} benches -> {}",
+        records.len(),
+        path.display()
     );
 }
 
@@ -297,6 +499,6 @@ fn bench_recalibration(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10);
-    targets = bench_runtime, bench_serving, bench_recalibration
+    targets = bench_runtime, bench_tiled, bench_serving, bench_recalibration
 }
 criterion_main!(benches);

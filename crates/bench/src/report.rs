@@ -1,4 +1,87 @@
-//! Small fixed-width table printer for the figure harnesses.
+//! Small fixed-width table printer for the figure harnesses, plus the
+//! machine-readable benchmark record (`BENCH_runtime.json`) that keeps a
+//! perf trajectory across PRs.
+
+use std::io::Write;
+use std::path::Path;
+
+/// One benchmark measurement destined for the JSON perf record.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Benchmark name (`group/bench` convention).
+    pub name: String,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: f64,
+    /// Speedup over the sequential-interpreter baseline of the same
+    /// workload (`None` for benches without one).
+    pub speedup_vs_sequential: Option<f64>,
+    /// Free-form structural note (tile counts, lane counts, host cores).
+    pub note: String,
+}
+
+/// Median of a sample set (interpolated for even sizes). Returns 0.0 for
+/// an empty slice.
+pub fn median_ns(samples: &mut [f64]) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN samples"));
+    let mid = samples.len() / 2;
+    if samples.len() % 2 == 1 {
+        samples[mid]
+    } else {
+        (samples[mid - 1] + samples[mid]) / 2.0
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Writes the perf record as JSON (hand-rolled — the build container has
+/// no serde). Schema: `{ "host_cores": N, "benches": [ { "name",
+/// "median_ns", "speedup_vs_sequential" | null, "note" } ] }`.
+///
+/// # Errors
+///
+/// Returns any I/O error from creating or writing the file.
+pub fn write_bench_json(path: &Path, records: &[BenchRecord]) -> std::io::Result<()> {
+    let mut f = std::fs::File::create(path)?;
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    writeln!(f, "{{")?;
+    writeln!(f, "  \"host_cores\": {cores},")?;
+    writeln!(f, "  \"benches\": [")?;
+    for (i, r) in records.iter().enumerate() {
+        let speedup = r
+            .speedup_vs_sequential
+            .map(|s| format!("{s:.4}"))
+            .unwrap_or_else(|| "null".into());
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        writeln!(
+            f,
+            "    {{ \"name\": \"{}\", \"median_ns\": {:.1}, \
+             \"speedup_vs_sequential\": {}, \"note\": \"{}\" }}{}",
+            json_escape(&r.name),
+            r.median_ns,
+            speedup,
+            json_escape(&r.note),
+            comma
+        )?;
+    }
+    writeln!(f, "  ]")?;
+    writeln!(f, "}}")?;
+    Ok(())
+}
 
 /// Prints a header row followed by a separator.
 pub fn header(cols: &[&str], widths: &[usize]) {

@@ -357,6 +357,16 @@ impl CompiledModel {
     /// Old profiles are discarded with the old executors, so a subsequent
     /// `recalibrate` fits the *new* plans' measurements.
     ///
+    /// The intra-kernel split threshold is re-derived along the way: with
+    /// the default `RuntimeConfig::split_threshold_us = None`, every
+    /// fresh executor prices its threshold from its own plan
+    /// (`total_latency / lanes`), and the re-orchestrated plans carry
+    /// *calibrated* — i.e. measured-host — latencies, so which kernels
+    /// are tile-eligible is re-decided in the same units the new plans
+    /// are priced in. An explicit threshold is carried over verbatim
+    /// (it is the caller's responsibility that its units match the
+    /// calibrated pricing).
+    ///
     /// # Errors
     ///
     /// Returns [`KorchError::Exec`] when no profiled run exists yet, and
@@ -846,6 +856,64 @@ mod tests {
         let out = compiled.execute(&inputs).unwrap();
         for (a, b) in reference.iter().zip(&out) {
             assert_eq!(a.as_slice(), b.as_slice(), "post-swap run diverged");
+        }
+    }
+
+    /// A model whose plan contains a tilable kernel: a pure elementwise
+    /// chain fuses into one all-elementwise megakernel — exactly the
+    /// shape the executor's `ElementwiseChain` tiling splits.
+    fn elementwise_chain_model() -> OpGraph {
+        let mut g = OpGraph::new();
+        let x = g
+            .add(
+                OpKind::Input {
+                    shape: vec![32, 32],
+                },
+                vec![],
+            )
+            .unwrap();
+        let a = g.add(OpKind::Gelu, vec![x.into()]).unwrap();
+        let b = g.add(OpKind::Silu, vec![a.into()]).unwrap();
+        let c = g.add(OpKind::Unary(UnaryOp::Tanh), vec![b.into()]).unwrap();
+        g.mark_output(c).unwrap();
+        g
+    }
+
+    /// A compiled model whose executors tile their big kernels (forced
+    /// here via a zero split threshold) must stay bit-identical to the
+    /// untiled compilation, keep serving bit-identically across a
+    /// recalibration swap, and surface the decompositions through the
+    /// aggregated profiles.
+    #[test]
+    fn tiled_compiled_model_is_bit_identical_across_recalibration() {
+        let korch = Korch::new(Device::v100(), KorchConfig::default());
+        let g = elementwise_chain_model();
+        let reference = korch
+            .compile_with(&g, &RuntimeConfig::with_lanes(1))
+            .unwrap();
+        let tiled_runtime = RuntimeConfig {
+            split_threshold_us: Some(0.0),
+            ..RuntimeConfig::with_lanes(2)
+        };
+        let compiled = korch.compile_with(&g, &tiled_runtime).unwrap();
+        let inputs = vec![Tensor::random(vec![32, 32], 4)];
+        let expected = reference.execute(&inputs).unwrap();
+        for _ in 0..4 {
+            let out = compiled.execute(&inputs).unwrap();
+            for (a, b) in expected.iter().zip(&out) {
+                assert_eq!(a.as_slice(), b.as_slice(), "tiled compiled model diverged");
+            }
+        }
+        let tiled: u64 = compiled.profiles().iter().map(|p| p.tiled_kernels).sum();
+        assert!(
+            tiled > 0,
+            "a zero split threshold must engage tiling in at least one partition"
+        );
+        let report = korch.recalibrate(&compiled).unwrap();
+        assert!(report.model_error_after <= report.model_error_before + 1e-9);
+        let out = compiled.execute(&inputs).unwrap();
+        for (a, b) in expected.iter().zip(&out) {
+            assert_eq!(a.as_slice(), b.as_slice(), "post-swap tiled run diverged");
         }
     }
 

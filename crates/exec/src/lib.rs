@@ -21,7 +21,9 @@
 mod error;
 mod ops;
 mod prims;
+mod tile;
 
 pub use error::ExecError;
 pub use ops::{eval_op, execute_ops};
 pub use prims::{eval_prim, execute_plan, execute_prims, materialize_const};
+pub use tile::{eval_ew_tile, eval_prim_tiled, prim_tilability, Tilability};

@@ -43,10 +43,7 @@ pub fn eval_prim(
                 EwFn::Unary(u) => inputs[0].unary(*u),
                 EwFn::Binary(b) => inputs[0].binary(inputs[1], *b).map_err(wrap)?,
                 EwFn::BinaryScalar(b, c) => inputs[0].binary_scalar(*c, *b),
-                EwFn::BinaryScalarLhs(b, c) => {
-                    let lhs = Tensor::full(inputs[0].shape().to_vec(), *c);
-                    lhs.binary(inputs[0], *b).map_err(wrap)?
-                }
+                EwFn::BinaryScalarLhs(b, c) => inputs[0].binary_scalar_lhs(*c, *b),
             };
             Ok(vec![out])
         }

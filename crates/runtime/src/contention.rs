@@ -17,8 +17,14 @@
 //!
 //! Pairs that ran on the *same* worker lane are excluded: a lane executes
 //! its kernels serially, so their non-overlap says nothing about the
-//! resource. A class with no cross-lane pair anywhere keeps its fallback
-//! rate — no evidence is different from evidence of serialization.
+//! resource. Pairs with the *same* kernel index are excluded too: those
+//! are sibling row-range tiles of one decomposed kernel
+//! ([`crate::KernelInterval::tile`]), whose cross-lane overlap is
+//! intra-kernel data parallelism by construction — counting it would
+//! flood the evidence with near-1 overlap fractions that say nothing
+//! about how *independent* kernels share the resource. A class with no
+//! cross-lane pair anywhere keeps its fallback rate — no evidence is
+//! different from evidence of serialization.
 //!
 //! The fitted rates feed `schedule_streams_with` through
 //! `CompiledModel::recalibrate`, which re-orchestrates with both the
@@ -57,7 +63,10 @@ impl OverlapEvidence {
         for run in &profile.intervals {
             for (i, a) in run.iter().enumerate() {
                 for b in &run[i + 1..] {
-                    if a.lane == b.lane || classes[a.kernel] != classes[b.kernel] {
+                    if a.lane == b.lane
+                        || a.kernel == b.kernel
+                        || classes[a.kernel] != classes[b.kernel]
+                    {
                         continue;
                     }
                     let denom = a.duration_us().min(b.duration_us());
@@ -161,6 +170,7 @@ mod tests {
             lane,
             start_us,
             end_us,
+            tile: None,
         }
     }
 
@@ -211,6 +221,33 @@ mod tests {
         assert_eq!(ev.memory_pairs, 0);
         assert_eq!(ev.compute_pairs, 0);
         assert!(ev.fit(&StreamContention::default()).is_none());
+    }
+
+    /// Sibling tiles of one decomposed kernel fully overlap across lanes
+    /// by design; they must contribute zero pairs — only the genuinely
+    /// independent kernel pair counts.
+    #[test]
+    fn sibling_tiles_are_not_overlap_evidence() {
+        let tile = |kernel, lane, t| KernelInterval {
+            kernel,
+            lane,
+            start_us: 0.0,
+            end_us: 10.0,
+            tile: Some(t),
+        };
+        let p = profile_with(
+            vec![vec![
+                tile(0, 0, 0),
+                tile(0, 1, 1),
+                tile(0, 2, 2),
+                iv(1, 3, 0.0, 10.0),
+            ]],
+            2,
+        );
+        let ev = OverlapEvidence::collect(&p, &[ResourceClass::Memory, ResourceClass::Memory]);
+        // 3 tile×kernel-1 pairs, never tile×tile.
+        assert_eq!(ev.memory_pairs, 3);
+        assert!((ev.memory_overlap().unwrap() - 1.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The parallel plan executor: runs an orchestrated [`Plan`] for real,
 //! with a work-stealing scheduler over stream lanes, kernel-level
-//! dependency tracking, and eager buffer reclamation.
+//! dependency tracking, intra-kernel tile decomposition, and eager buffer
+//! reclamation.
 //!
 //! The seed's `korch_exec::execute_plan` interprets kernels sequentially
 //! and `korch_orch::schedule_streams` only *simulates* multi-stream
@@ -15,11 +16,46 @@
 //! — same primitive evaluations in the same per-kernel order, only
 //! genuinely overlapped across kernels, whichever lane ends up running
 //! them.
+//!
+//! # Intra-kernel data parallelism
+//!
+//! Inter-kernel overlap saturates only when enough *independent* kernels
+//! are ready; a single large kernel — exactly the shape aggressive fusion
+//! produces — runs on one lane while its siblings idle. The executor
+//! therefore decomposes such a kernel into **row-range tiles**:
+//!
+//! - at compile time, kernels are classified ([`korch_exec::Tilability`])
+//!   and priced: a kernel is *tile-eligible* when its members form a
+//!   bit-stable split shape (one tilable primitive, or a fused
+//!   all-elementwise chain over one shape), it exports exactly one
+//!   output, and its plan-priced latency exceeds the split threshold
+//!   ([`RuntimeConfig::split_threshold_us`], by default one lane's fair
+//!   share of the plan, `total_latency / lanes` — re-derived whenever a
+//!   recalibration re-prices the plan);
+//! - at run time, a popped tile-eligible kernel is split **only when the
+//!   ready queues cannot keep the other workers busy** — with enough
+//!   whole kernels ready, inter-kernel parallelism already fills the
+//!   lanes. Tiles enter the existing steal deques (front, spread across
+//!   lanes) as subtasks of their kernel, so the work-stealing machinery
+//!   schedules them like everything else;
+//! - each tile computes its flat output range into an arena-recycled
+//!   chunk — the **disjoint-slice contract**: tile ranges partition the
+//!   output exactly, every element written by exactly one tile with the
+//!   arithmetic of the whole kernel — and a per-kernel atomic countdown
+//!   re-assembles completion: the last tile concatenates the chunks (in
+//!   tile order) into the output buffer and retires the kernel. The
+//!   assembly replaces the staging copy the untiled path pays per output
+//!   ([`PlanExecutor::stage_copy`]), so tiling adds no extra copy;
+//! - tile intervals are profiled with the parent kernel's index and a
+//!   tile tag ([`KernelInterval::tile`]): per-kernel stats sum a run's
+//!   tiles into one whole-kernel sample (what the calibration fit needs),
+//!   and the contention fit skips same-kernel pairs so sibling tiles are
+//!   never mistaken for cross-kernel overlap evidence.
 
 use crate::arena::{plan_memory_report, BufferArena, MemoryReport};
 use crate::profiler::{KernelInterval, RuntimeProfile};
 use korch_cost::Device;
-use korch_exec::{eval_prim, materialize_const, ExecError};
+use korch_exec::{eval_ew_tile, eval_prim, eval_prim_tiled, materialize_const, ExecError};
 use korch_ir::{NodeId, PortRef, PrimGraph, PrimKind};
 use korch_orch::{schedule_streams_with, Plan, StreamContention, StreamSchedule};
 use korch_tensor::Tensor;
@@ -39,6 +75,21 @@ pub struct RuntimeConfig {
     pub contention: StreamContention,
     /// Record per-kernel wall times on every run.
     pub profile: bool,
+    /// Enables intra-kernel data parallelism: a tilable kernel whose
+    /// cost-model estimate exceeds the split threshold is decomposed into
+    /// row-range tiles when sibling lanes would otherwise idle.
+    pub tiling: bool,
+    /// Plan-priced latency (µs, in the plan's own cost-model units —
+    /// simulated device time at compile, calibrated host time after a
+    /// recalibration) above which a tilable kernel is split. `None`
+    /// derives it from the plan itself: `total_latency / lanes`, i.e. a
+    /// kernel is "too big" when it alone exceeds one lane's fair share of
+    /// the plan — scale-free, so `recalibrate()` re-derives it
+    /// automatically when it re-prices plans in measured host time.
+    pub split_threshold_us: Option<f64>,
+    /// Rows (grain units) per tile. `None` splits a kernel into one tile
+    /// per lane; tests pin explicit sizes (1, 7, …) to sweep partitions.
+    pub tile_rows: Option<usize>,
 }
 
 impl Default for RuntimeConfig {
@@ -51,6 +102,9 @@ impl Default for RuntimeConfig {
             device: Device::v100(),
             contention: StreamContention::default(),
             profile: true,
+            tiling: true,
+            split_threshold_us: None,
+            tile_rows: None,
         }
     }
 }
@@ -76,6 +130,55 @@ struct KernelTask {
     global_reads: Vec<(PortRef, usize)>,
     /// Kernels that must retire before this one starts.
     deps: Vec<usize>,
+}
+
+/// How a tile evaluates one kernel's restricted output range.
+enum TileBody {
+    /// The kernel has exactly one non-source member, of a tilable
+    /// [`PrimKind`]; tiles call `korch_exec::eval_prim_tiled` on it.
+    Single(NodeId),
+    /// Every non-source member is elementwise over one shared shape: the
+    /// whole fused chain is pointwise per flat index, so tiles evaluate
+    /// the member DAG on range-restricted buffers end to end.
+    ElementwiseChain,
+}
+
+/// Compile-time decomposition of one tile-eligible kernel (built in
+/// [`PlanExecutor::new`] for kernels that pass the [`korch_exec::Tilability`]
+/// classifier *and* whose plan-priced latency exceeds the split
+/// threshold). Whether a ready kernel actually decomposes is decided at
+/// run time — only when sibling lanes would otherwise idle.
+struct TileSpec {
+    body: TileBody,
+    /// Flat output ranges, one per tile, grain-aligned and covering the
+    /// output exactly.
+    tiles: Vec<std::ops::Range<usize>>,
+    /// Shape of the kernel's single output.
+    out_shape: Vec<usize>,
+}
+
+/// Per-run completion state of one decomposed kernel: tiles park their
+/// finished chunks here and the last tile (atomic countdown) assembles
+/// the full output and retires the kernel.
+struct TileRun {
+    remaining: AtomicUsize,
+    chunks: Mutex<Vec<Option<Vec<f32>>>>,
+    /// The kernel's materialized input tensors, snapshotted **once** at
+    /// decomposition (tiles only clone the `Arc`s they read — no
+    /// per-tile slot locking or map building). Cleared before the kernel
+    /// retires: an `Arc` still parked here would make the last-reader
+    /// reclamation's `Arc::try_unwrap` fail and the storage would skip
+    /// the recycling pool.
+    global: Mutex<HashMap<PortRef, Arc<Tensor>>>,
+}
+
+/// One schedulable unit in the ready deques.
+#[derive(Debug, Clone, Copy)]
+enum Task {
+    /// A whole kernel.
+    Kernel(usize),
+    /// One row-range tile of a decomposed kernel.
+    Tile { kernel: usize, tile: usize },
 }
 
 /// A compiled, repeatedly executable parallel plan.
@@ -116,6 +219,15 @@ pub struct PlanExecutor {
     arena: BufferArena,
     profile_enabled: bool,
     profile: Mutex<RuntimeProfile>,
+    /// Per-kernel tile decompositions (None = runs whole).
+    tile_specs: Vec<Option<TileSpec>>,
+    /// The split threshold actually in force (explicit or plan-derived).
+    split_threshold_us: f64,
+    /// Dependency-free kernels — the run's initial ready set. When this
+    /// already covers the lanes, tiling will defer to inter-kernel
+    /// parallelism anyway, so `execute` spawns only the schedule-occupied
+    /// workers instead of one per lane.
+    n_roots: usize,
 }
 
 /// Shared state of one `execute` call.
@@ -125,9 +237,18 @@ struct RunState {
     /// the kernel on its home lane's ready deque.
     remaining_deps: Vec<AtomicUsize>,
     remaining_readers: Vec<AtomicUsize>,
-    /// Per-lane deques of ready kernels (front = schedule order; steals
-    /// take from the back).
-    ready: Vec<Mutex<VecDeque<usize>>>,
+    /// Per-lane deques of ready tasks (front = schedule order; steals
+    /// take from the back; tiles are pushed to the front — they are the
+    /// current critical path and hold chunk memory).
+    ready: Vec<Mutex<VecDeque<Task>>>,
+    /// Tasks currently enqueued across all deques (the split heuristic's
+    /// "would sibling lanes idle?" signal).
+    ready_count: AtomicUsize,
+    /// Worker threads participating in this run (1 = sequential path).
+    workers: usize,
+    /// Per-kernel tile completion state, initialized by the worker that
+    /// decomposes the kernel (before its tile tasks are enqueued).
+    tiles: Vec<std::sync::OnceLock<TileRun>>,
     n_finished: Mutex<usize>,
     wake: Condvar,
     failed: AtomicBool,
@@ -302,6 +423,26 @@ impl PlanExecutor {
         let home_lane = schedule.lane_of();
         let profile_enabled = config.profile;
 
+        // Intra-kernel tiling: price the split threshold from the plan's
+        // own cost estimates (a kernel is split-worthy when it alone
+        // exceeds one lane's fair share of the plan), then classify each
+        // kernel. Kernels below the threshold, with multiple outputs, or
+        // whose members don't form a tilable shape stay monolithic.
+        let split_threshold_us = config
+            .split_threshold_us
+            .unwrap_or(plan.total_latency.0 / lanes_requested as f64);
+        let tile_specs: Vec<Option<TileSpec>> = kernels
+            .iter()
+            .zip(&plan.kernels)
+            .map(|(task, k)| {
+                if !config.tiling || lanes_requested < 2 || k.latency.0 <= split_threshold_us {
+                    return None;
+                }
+                Self::classify_tiling(g, task, &config)
+            })
+            .collect();
+
+        let n_roots = kernels.iter().filter(|k| k.deps.is_empty()).count();
         Ok(Self {
             graph: g.clone(),
             plan: plan.clone(),
@@ -323,6 +464,91 @@ impl PlanExecutor {
             arena: BufferArena::new(),
             profile_enabled,
             profile: Mutex::new(RuntimeProfile::new(plan.kernels.len())),
+            tile_specs,
+            split_threshold_us,
+            n_roots,
+        })
+    }
+
+    /// Decides whether one kernel's output space can be split into
+    /// bit-stable row-range tiles, and if so precomputes the partition.
+    /// Two shapes qualify (see [`korch_exec::prim_tilability`]):
+    ///
+    /// - exactly one non-source member of a tilable primitive (matmul,
+    ///   reduce, broadcast, elementwise);
+    /// - a fused kernel whose non-source members are **all** elementwise
+    ///   over one shared shape — pointwise end to end, so the whole chain
+    ///   evaluates per flat index.
+    ///
+    /// Either way the kernel must export exactly one output (tiles write
+    /// disjoint slices of one buffer; multi-output kernels stay whole).
+    fn classify_tiling(
+        g: &PrimGraph,
+        task: &KernelTask,
+        config: &RuntimeConfig,
+    ) -> Option<TileSpec> {
+        let [(out_port, _)] = task.outputs.as_slice() else {
+            return None;
+        };
+        let out_shape = g.meta(*out_port).shape().to_vec();
+        let total: usize = out_shape.iter().product();
+        if total == 0 {
+            return None;
+        }
+        let body_members: Vec<NodeId> = task
+            .members
+            .iter()
+            .copied()
+            .filter(|&m| !g.node(m).kind.is_source())
+            .collect();
+        let (body, grain) = match body_members.as_slice() {
+            [] => return None,
+            &[m] if *out_port == PortRef::from(m) => {
+                let grain = korch_exec::prim_tilability(&g.node(m).kind, &out_shape).grain()?;
+                (TileBody::Single(m), grain)
+            }
+            members => {
+                // Chain form: every member elementwise, one shared shape,
+                // the exported port produced by a member.
+                let uniform = members.iter().all(|&m| {
+                    let node = g.node(m);
+                    matches!(node.kind, PrimKind::Elementwise(_))
+                        && node.out_metas.len() == 1
+                        && node.out_metas[0].shape() == out_shape.as_slice()
+                        && node
+                            .inputs
+                            .iter()
+                            .all(|r| g.meta(*r).shape() == out_shape.as_slice())
+                });
+                if !uniform || out_port.port != 0 || !members.contains(&out_port.node) {
+                    return None;
+                }
+                (TileBody::ElementwiseChain, 1)
+            }
+        };
+        let rows_total = total / grain;
+        let tile_rows = config
+            .tile_rows
+            .unwrap_or_else(|| rows_total.div_ceil(config.lanes.max(1)))
+            .clamp(1, rows_total);
+        let n_tiles = rows_total.div_ceil(tile_rows);
+        // Auto-sized partitions only pay off with real parallelism; an
+        // explicit `tile_rows` is honored even at one tile so tests can
+        // sweep degenerate partitions through the tile path.
+        if n_tiles < 2 && config.tile_rows.is_none() {
+            return None;
+        }
+        let tiles = (0..n_tiles)
+            .map(|t| {
+                let start = t * tile_rows * grain;
+                let end = ((t + 1) * tile_rows * grain).min(total);
+                start..end
+            })
+            .collect();
+        Some(TileSpec {
+            body,
+            tiles,
+            out_shape,
         })
     }
 
@@ -348,6 +574,21 @@ impl PlanExecutor {
     /// Number of worker lanes.
     pub fn lane_count(&self) -> usize {
         self.lanes.len()
+    }
+
+    /// The intra-kernel split threshold in force, in the plan's pricing
+    /// units (explicit [`RuntimeConfig::split_threshold_us`], or the
+    /// plan-derived default `total_latency / lanes`).
+    pub fn split_threshold_us(&self) -> f64 {
+        self.split_threshold_us
+    }
+
+    /// Number of kernels eligible for tile decomposition (cost estimate
+    /// above the split threshold and a tilable member shape). Whether an
+    /// eligible kernel actually splits in a given run depends on sibling
+    /// lanes being idle when it turns ready.
+    pub fn tileable_kernels(&self) -> usize {
+        self.tile_specs.iter().filter(|t| t.is_some()).count()
     }
 
     /// Static lifetime-analysis report for the compiled plan.
@@ -408,20 +649,37 @@ impl PlanExecutor {
     /// Returns [`ExecError`] on input mismatches or kernel failures.
     pub fn execute(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
         let run = RunCtx::new();
-        let state = self.feed(inputs)?;
+        let mut state = self.feed(inputs)?;
         // A lane's deque only ever holds its homed kernels, so lanes the
         // schedule left empty never need a worker; chain-shaped plans run
-        // inline on the calling thread.
+        // inline on the calling thread. Tile-eligible kernels change the
+        // calculus: their tiles are spread across *every* lane's deque at
+        // decomposition time, so all lanes get a worker even if the
+        // schedule seeded them empty (a single huge kernel is exactly the
+        // case tiling exists for).
         let occupied: Vec<usize> = (0..self.lanes.len())
             .filter(|&l| !self.lanes[l].is_empty())
             .collect();
-        if occupied.len() <= 1 || self.kernels.len() <= 1 {
-            self.run_sequential(occupied.first().copied().unwrap_or(0), &state, &run);
+        let may_tile = self.tile_specs.iter().any(Option::is_some);
+        // Widen to one worker per lane only when the initial ready set
+        // cannot seed them all — with enough root kernels, the split
+        // heuristic defers to inter-kernel parallelism and the extra
+        // workers would only spawn and park.
+        let workers: Vec<usize> =
+            if may_tile && self.lanes.len() > 1 && self.n_roots < self.lanes.len() {
+                (0..self.lanes.len()).collect()
+            } else {
+                occupied
+            };
+        state.workers = workers.len();
+        if workers.len() <= 1 || (self.kernels.len() <= 1 && !may_tile) {
+            state.workers = 1;
+            self.run_sequential(workers.first().copied().unwrap_or(0), &state, &run);
         } else {
             std::thread::scope(|scope| {
                 let state = &state;
                 let run = &run;
-                for &w in &occupied {
+                for &w in &workers {
                     scope.spawn(move || self.run_worker(w, state, run));
                 }
             });
@@ -463,8 +721,24 @@ impl PlanExecutor {
     /// Releases every arena-tracked buffer still held by the run state
     /// (pinned inputs/outputs after a completed run, or whatever a failed
     /// run left behind), recycling the storage where possible. Constants
-    /// are shared across runs and skipped.
+    /// are shared across runs and skipped. Tile chunks a failed run
+    /// stranded mid-decomposition (computed but never assembled) are
+    /// drained too — workers have joined by the time this runs, so every
+    /// in-flight chunk store has landed.
     fn settle(&self, state: &RunState) {
+        // Tile state first: a failed run's input snapshots still hold
+        // `Arc`s into the slots, and dropping them lets the slot sweep
+        // below recover sole ownership (and recycle the storage).
+        for tile_run in &state.tiles {
+            if let Some(tr) = tile_run.get() {
+                tr.global.lock().expect("tile inputs poisoned").clear();
+                for chunk in tr.chunks.lock().expect("tile chunks poisoned").iter_mut() {
+                    if let Some(c) = chunk.take() {
+                        self.arena.release(c);
+                    }
+                }
+            }
+        }
         for (s, value) in state.values.iter().enumerate() {
             if self.const_slot[s] {
                 continue;
@@ -497,6 +771,11 @@ impl PlanExecutor {
             ready: (0..self.lanes.len())
                 .map(|_| Mutex::new(VecDeque::new()))
                 .collect(),
+            ready_count: AtomicUsize::new(0),
+            workers: 1,
+            tiles: (0..self.kernels.len())
+                .map(|_| std::sync::OnceLock::new())
+                .collect(),
             n_finished: Mutex::new(0),
             wake: Condvar::new(),
             failed: AtomicBool::new(false),
@@ -505,14 +784,17 @@ impl PlanExecutor {
         // Seed each lane with its dependency-free kernels, in schedule
         // start order (locality: a lane works through its simulated
         // placement first and only then steals).
+        let mut seeded = 0usize;
         for (l, lane) in self.lanes.iter().enumerate() {
             let mut q = state.ready[l].lock().expect("queue poisoned");
             for &k in lane {
                 if self.kernels[k].deps.is_empty() {
-                    q.push_back(k);
+                    q.push_back(Task::Kernel(k));
+                    seeded += 1;
                 }
             }
         }
+        state.ready_count.store(seeded, Ordering::Release);
         for ((s, _), t) in self.input_slots.iter().zip(inputs) {
             let staged = self.stage_copy(t);
             self.arena.adopt(staged.numel());
@@ -554,18 +836,91 @@ impl PlanExecutor {
     }
 
     /// Worker body: drain the own lane's deque, steal when it runs dry,
-    /// park on the condvar only when no kernel anywhere is ready.
+    /// park on the condvar only when no task anywhere is ready. A popped
+    /// kernel that is tile-eligible is decomposed in place — its tiles go
+    /// back into the deques, spread across lanes — when sibling lanes
+    /// would otherwise idle.
     fn run_worker(&self, w: usize, state: &RunState, run: &RunCtx) {
         let mut log = LaneLog::default();
-        while let Some((k, stolen)) = self.next_task(w, state) {
+        while let Some((task, stolen)) = self.next_task(w, state) {
             if stolen {
                 log.steals += 1;
             }
-            if !self.run_one(k, w, state, run, &mut log) {
+            let ok = match task {
+                Task::Kernel(k) => {
+                    if self.should_split(k, state) {
+                        if self.decompose(k, w, state) {
+                            continue;
+                        }
+                        false
+                    } else {
+                        self.run_one(k, w, state, run, &mut log)
+                    }
+                }
+                Task::Tile { kernel, tile } => self.run_tile(kernel, tile, w, state, run, &mut log),
+            };
+            if !ok {
                 break;
             }
         }
         self.merge_log(log, run);
+    }
+
+    /// Splits kernel `k` iff it was classified tile-eligible and the
+    /// tasks currently queued cannot keep the other workers busy — the
+    /// "sibling lanes idle" condition: with enough whole ready kernels,
+    /// inter-kernel parallelism already fills the lanes and splitting
+    /// would only pay assembly overhead.
+    fn should_split(&self, k: usize, state: &RunState) -> bool {
+        self.tile_specs[k].is_some()
+            && state.workers > 1
+            && state.ready_count.load(Ordering::Acquire) + 1 < state.workers
+    }
+
+    /// Decomposes kernel `k`: snapshots its materialized inputs once,
+    /// initializes its completion state, and pushes one tile task per
+    /// partition range, spread round-robin across the lanes starting
+    /// with the decomposing worker's own deque (tiles go to the *front*
+    /// — they are the critical path and hold chunk memory). Returns
+    /// `false` (after flagging the run failed) if an input slot is not
+    /// materialized, which would indicate a dependency-tracking bug.
+    fn decompose(&self, k: usize, w: usize, state: &RunState) -> bool {
+        let spec = self.tile_specs[k].as_ref().expect("checked by caller");
+        let task = &self.kernels[k];
+        let mut global: HashMap<PortRef, Arc<Tensor>> =
+            HashMap::with_capacity(task.global_reads.len());
+        for (port, s) in &task.global_reads {
+            let Some(arc) = state.values[*s].read().expect("slot poisoned").clone() else {
+                self.fail(
+                    ExecError::NotMaterialized {
+                        node: port.node.0,
+                        port: port.port,
+                    },
+                    state,
+                );
+                return false;
+            };
+            global.insert(*port, arc);
+        }
+        let n = spec.tiles.len();
+        state.tiles[k]
+            .set(TileRun {
+                remaining: AtomicUsize::new(n),
+                chunks: Mutex::new((0..n).map(|_| None).collect()),
+                global: Mutex::new(global),
+            })
+            .unwrap_or_else(|_| panic!("kernel {k} decomposed twice in one run"));
+        for t in 0..n {
+            let lane = (w + t) % state.ready.len();
+            state.ready[lane]
+                .lock()
+                .expect("queue poisoned")
+                .push_front(Task::Tile { kernel: k, tile: t });
+        }
+        state.ready_count.fetch_add(n, Ordering::AcqRel);
+        let _guard = state.n_finished.lock().expect("finish poisoned");
+        state.wake.notify_all();
+        true
     }
 
     /// Runs and retires kernel `k` on worker lane `lane`, timing its
@@ -592,19 +947,240 @@ impl PlanExecutor {
                         lane,
                         start_us,
                         end_us: run.origin.elapsed().as_secs_f64() * 1e6,
+                        tile: None,
                     });
                 }
                 self.retire(k, state);
                 true
             }
             Err(e) => {
-                *state.error.lock().expect("error poisoned") = Some(e);
-                state.failed.store(true, Ordering::Release);
-                let _guard = state.n_finished.lock().expect("finish poisoned");
-                state.wake.notify_all();
+                self.fail(e, state);
                 false
             }
         }
+    }
+
+    /// Marks the run failed and wakes every parked worker so all lanes
+    /// unwind (a no-op when running sequentially).
+    fn fail(&self, e: ExecError, state: &RunState) {
+        *state.error.lock().expect("error poisoned") = Some(e);
+        state.failed.store(true, Ordering::Release);
+        let _guard = state.n_finished.lock().expect("finish poisoned");
+        state.wake.notify_all();
+    }
+
+    /// Runs one row-range tile of a decomposed kernel on worker lane
+    /// `lane`: evaluates the restricted output range into an
+    /// arena-recycled chunk, parks it in the kernel's completion state,
+    /// and — as the last tile of the countdown — assembles the full
+    /// output and retires the kernel. Tile intervals are recorded with
+    /// the parent kernel's index and a tile tag, against the run's shared
+    /// clock origin.
+    fn run_tile(
+        &self,
+        k: usize,
+        t_idx: usize,
+        lane: usize,
+        state: &RunState,
+        run: &RunCtx,
+        log: &mut LaneLog,
+    ) -> bool {
+        let start = self
+            .profile_enabled
+            .then(|| run.origin.elapsed().as_secs_f64() * 1e6);
+        match self.eval_tile(k, t_idx, state) {
+            Ok(chunk) => {
+                if let Some(start_us) = start {
+                    log.samples.push(KernelInterval {
+                        kernel: k,
+                        lane,
+                        start_us,
+                        end_us: run.origin.elapsed().as_secs_f64() * 1e6,
+                        tile: Some(t_idx),
+                    });
+                }
+                let tr = state.tiles[k]
+                    .get()
+                    .expect("tile state initialized before tiles were enqueued");
+                tr.chunks.lock().expect("tile chunks poisoned")[t_idx] = Some(chunk);
+                // The countdown's AcqRel pairs with the chunk stores: the
+                // final decrementer observes every sibling's parked chunk.
+                if tr.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+                    self.assemble(k, state);
+                    self.retire(k, state);
+                }
+                true
+            }
+            Err(e) => {
+                self.fail(e, state);
+                false
+            }
+        }
+    }
+
+    /// An arena-adopted buffer of exactly `len` elements, recycled from
+    /// the pool when one is parked. Contents are unspecified — every tile
+    /// body overwrites its full range (matmul zero-fills before
+    /// accumulating).
+    fn tile_buf(&self, len: usize) -> Vec<f32> {
+        let buf = self.arena.take(len).unwrap_or_else(|| vec![0.0; len]);
+        self.arena.adopt(len);
+        buf
+    }
+
+    /// Evaluates tile `t_idx` of kernel `k` into a fresh chunk,
+    /// bit-identically to the same output range of the whole-kernel
+    /// evaluation. Inputs come from the kernel's decomposition-time
+    /// snapshot ([`TileRun::global`]): the tile clones just the `Arc`s it
+    /// reads under one short lock, so siblings never rebuild slot maps.
+    /// All adopted scratch is released on every path, so a failed tile
+    /// leaves the arena balanced.
+    fn eval_tile(&self, k: usize, t_idx: usize, state: &RunState) -> Result<Vec<f32>, ExecError> {
+        let spec = self.tile_specs[k]
+            .as_ref()
+            .expect("tile tasks exist only for tiled kernels");
+        let range = spec.tiles[t_idx].clone();
+        let task = &self.kernels[k];
+        let global: HashMap<PortRef, Arc<Tensor>> = {
+            let shared = state.tiles[k]
+                .get()
+                .expect("tile state initialized before tiles were enqueued")
+                .global
+                .lock()
+                .expect("tile inputs poisoned");
+            task.global_reads
+                .iter()
+                .map(|(port, _)| {
+                    shared.get(port).cloned().map(|arc| (*port, arc)).ok_or(
+                        ExecError::NotMaterialized {
+                            node: port.node.0,
+                            port: port.port,
+                        },
+                    )
+                })
+                .collect::<Result<_, _>>()?
+        };
+        match &spec.body {
+            TileBody::Single(m) => {
+                let node = self.graph.node(*m);
+                let ins: Vec<&Tensor> = node
+                    .inputs
+                    .iter()
+                    .map(|r| {
+                        global
+                            .get(r)
+                            .map(|a| a.as_ref())
+                            .ok_or(ExecError::NotMaterialized {
+                                node: r.node.0,
+                                port: r.port,
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut chunk = self.tile_buf(range.len());
+                if let Err(e) = eval_prim_tiled(&node.kind, &ins, range, &mut chunk, m.0) {
+                    self.arena.release(chunk);
+                    return Err(e);
+                }
+                Ok(chunk)
+            }
+            TileBody::ElementwiseChain => {
+                // The fused chain, restricted to `range`: member values
+                // live in range-length buffers; global operands are read
+                // through the same flat window.
+                let mut local: HashMap<PortRef, Vec<f32>> = HashMap::new();
+                let out_port = task.outputs[0].0;
+                let release_all = |local: &mut HashMap<PortRef, Vec<f32>>| {
+                    for (_, buf) in local.drain() {
+                        self.arena.release(buf);
+                    }
+                };
+                for &m in &task.members {
+                    let node = self.graph.node(m);
+                    if node.kind.is_source() {
+                        continue;
+                    }
+                    let PrimKind::Elementwise(f) = &node.kind else {
+                        release_all(&mut local);
+                        return Err(ExecError::Input(format!(
+                            "non-elementwise member {} in a tiled chain kernel",
+                            m.0
+                        )));
+                    };
+                    let mut out = self.tile_buf(range.len());
+                    let result = {
+                        let mut slices: Vec<&[f32]> = Vec::with_capacity(node.inputs.len());
+                        let mut missing = None;
+                        for r in &node.inputs {
+                            if let Some(buf) = local.get(r) {
+                                slices.push(buf);
+                            } else if let Some(t) =
+                                global.get(r).and_then(|t| t.as_slice().get(range.clone()))
+                            {
+                                slices.push(t);
+                            } else {
+                                missing = Some(ExecError::NotMaterialized {
+                                    node: r.node.0,
+                                    port: r.port,
+                                });
+                                break;
+                            }
+                        }
+                        match missing {
+                            Some(e) => Err(e),
+                            None => eval_ew_tile(f, &slices, &mut out, m.0),
+                        }
+                    };
+                    if let Err(e) = result {
+                        self.arena.release(out);
+                        release_all(&mut local);
+                        return Err(e);
+                    }
+                    local.insert(PortRef { node: m, port: 0 }, out);
+                }
+                let chunk = local.remove(&out_port).ok_or(ExecError::NotMaterialized {
+                    node: out_port.node.0,
+                    port: out_port.port,
+                });
+                release_all(&mut local);
+                chunk
+            }
+        }
+    }
+
+    /// Concatenates a decomposed kernel's chunks, in tile order, into the
+    /// full output buffer and publishes it. This *is* the tiled path's
+    /// staging copy: the untiled path stages every kernel output into an
+    /// arena buffer too ([`PlanExecutor::stage_copy`] in `run_kernel`),
+    /// so tiling adds no extra copy — tiles computed directly into their
+    /// chunks, one assembly pass into the slot buffer.
+    fn assemble(&self, k: usize, state: &RunState) {
+        let spec = self.tile_specs[k].as_ref().expect("tiled kernel");
+        let task = &self.kernels[k];
+        let (_, s) = task.outputs[0];
+        let total: usize = spec.out_shape.iter().product();
+        let mut full = match self.arena.take(total) {
+            Some(mut b) => {
+                b.clear();
+                b
+            }
+            None => Vec::with_capacity(total),
+        };
+        self.arena.adopt(total);
+        let tr = state.tiles[k].get().expect("tiled kernel state");
+        {
+            let mut chunks = tr.chunks.lock().expect("tile chunks poisoned");
+            for c in chunks.iter_mut() {
+                let c = c.take().expect("every tile parked its chunk");
+                full.extend_from_slice(&c);
+                self.arena.release(c);
+            }
+        }
+        // Drop the input snapshot before retiring: last-reader
+        // reclamation must see sole ownership to recycle the storage.
+        tr.global.lock().expect("tile inputs poisoned").clear();
+        let t = Tensor::from_vec(spec.out_shape.clone(), full)
+            .expect("tile ranges cover the output exactly");
+        self.publish_output(s, t, state);
     }
 
     /// Folds a worker's local samples into the run's shared log (one lock
@@ -617,10 +1193,10 @@ impl PlanExecutor {
         }
     }
 
-    /// Next ready kernel for worker `w`, or `None` when the run is over
+    /// Next ready task for worker `w`, or `None` when the run is over
     /// (all kernels retired, or another lane failed). Blocks while
     /// kernels are in flight but none is ready.
-    fn next_task(&self, w: usize, state: &RunState) -> Option<(usize, bool)> {
+    fn next_task(&self, w: usize, state: &RunState) -> Option<(Task, bool)> {
         if state.failed.load(Ordering::Acquire) {
             return None;
         }
@@ -636,7 +1212,7 @@ impl PlanExecutor {
                 return None;
             }
             // Re-check under the lock: retiring workers enqueue newly
-            // ready kernels *before* notifying under this mutex, so a
+            // ready tasks *before* notifying under this mutex, so a
             // push that raced the fast-path miss is visible here.
             if let Some(t) = self.try_pop(w, state) {
                 return Some(t);
@@ -645,21 +1221,23 @@ impl PlanExecutor {
         }
     }
 
-    /// Pops the next kernel: own lane front first (schedule order), then
+    /// Pops the next task: own lane front first (schedule order), then
     /// steal from the other lanes' backs, round-robin from `w + 1`.
-    fn try_pop(&self, w: usize, state: &RunState) -> Option<(usize, bool)> {
-        if let Some(k) = state.ready[w].lock().expect("queue poisoned").pop_front() {
-            return Some((k, false));
+    fn try_pop(&self, w: usize, state: &RunState) -> Option<(Task, bool)> {
+        if let Some(t) = state.ready[w].lock().expect("queue poisoned").pop_front() {
+            state.ready_count.fetch_sub(1, Ordering::AcqRel);
+            return Some((t, false));
         }
         let n = state.ready.len();
         for off in 1..n {
             let victim = (w + off) % n;
-            if let Some(k) = state.ready[victim]
+            if let Some(t) = state.ready[victim]
                 .lock()
                 .expect("queue poisoned")
                 .pop_back()
             {
-                return Some((k, true));
+                state.ready_count.fetch_sub(1, Ordering::AcqRel);
+                return Some((t, true));
             }
         }
         None
@@ -687,7 +1265,8 @@ impl PlanExecutor {
                 state.ready[self.home_lane[j]]
                     .lock()
                     .expect("queue poisoned")
-                    .push_back(j);
+                    .push_back(Task::Kernel(j));
+                state.ready_count.fetch_add(1, Ordering::AcqRel);
             }
         }
         let mut n = state.n_finished.lock().expect("finish poisoned");
@@ -752,26 +1331,31 @@ impl PlanExecutor {
                         port: port.port,
                     })?;
             self.arena.adopt(t.numel());
-            let mut w = state.values[*s].write().expect("slot poisoned");
-            if w.is_some() {
-                // Redundant producer: the first writer's identical bytes
-                // won. Return the staged copy's storage to the arena pool
-                // instead of leaking it past the accounting.
-                drop(w);
-                self.arena.release(t.into_vec());
-                continue;
-            }
-            *w = Some(Arc::new(t));
-            // Dead-on-arrival outputs are reclaimed immediately.
-            if !self.slot_pinned[*s] && state.remaining_readers[*s].load(Ordering::Acquire) == 0 {
-                if let Some(arc) = w.take() {
-                    match Arc::try_unwrap(arc) {
-                        Ok(t) => self.arena.release(t.into_vec()),
-                        Err(_) => self.arena.release_untracked(self.slot_numel[*s]),
-                    }
+            self.publish_output(*s, t, state);
+        }
+        Ok(())
+    }
+
+    /// Publishes one staged, arena-adopted output tensor into slot `s`,
+    /// handling the two special cases shared by whole-kernel and tiled
+    /// execution: a redundant producer (the first writer's identical
+    /// bytes won — return the loser's storage to the pool) and a
+    /// dead-on-arrival output (nothing reads it — reclaim immediately).
+    fn publish_output(&self, s: usize, t: Tensor, state: &RunState) {
+        let mut w = state.values[s].write().expect("slot poisoned");
+        if w.is_some() {
+            drop(w);
+            self.arena.release(t.into_vec());
+            return;
+        }
+        *w = Some(Arc::new(t));
+        if !self.slot_pinned[s] && state.remaining_readers[s].load(Ordering::Acquire) == 0 {
+            if let Some(arc) = w.take() {
+                match Arc::try_unwrap(arc) {
+                    Ok(t) => self.arena.release(t.into_vec()),
+                    Err(_) => self.arena.release_untracked(self.slot_numel[s]),
                 }
             }
         }
-        Ok(())
     }
 }

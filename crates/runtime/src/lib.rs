@@ -10,8 +10,15 @@
 //!   seeded from the simulated [`korch_orch::schedule_streams`] placement,
 //!   kernels released by atomic dependency counters, and idle lanes
 //!   stealing ready kernels instead of blocking behind a lane predecessor
-//!   (steal counts land in [`RuntimeProfile::steals`]). Results stay
-//!   bit-identical to `korch_exec::execute_plan`;
+//!   (steal counts land in [`RuntimeProfile::steals`]). A single big
+//!   kernel no longer serializes a run: tile-eligible kernels (classified
+//!   by `korch_exec::Tilability`, priced against
+//!   [`RuntimeConfig::split_threshold_us`]) are decomposed into row-range
+//!   tiles that enter the same steal deques and write disjoint slices of
+//!   one pre-sized output, re-assembled by a per-kernel atomic countdown
+//!   ([`RuntimeProfile::tiled_kernels`] / [`RuntimeProfile::tile_tasks`]
+//!   count the decompositions). Results stay bit-identical to
+//!   `korch_exec::execute_plan` — tiled or not;
 //! - [`BufferArena`] / [`plan_memory_report`] — tensor-lifetime analysis,
 //!   last-reader buffer reclamation, size-classed reuse, and peak-resident
 //!   accounting (vs. the interpreter's allocate-everything behavior);
@@ -19,9 +26,11 @@
 //!   [`KernelInterval`]s (every lane timestamps against one shared clock
 //!   origin per run), with two fitting hooks:
 //!   [`RuntimeProfile::fit_calibration`] feeds measured latencies back
-//!   into the `korch_cost` analytical model, and [`fit_contention`] turns
-//!   measured cross-lane interval overlap into
-//!   [`korch_orch::StreamContention`] sharing rates;
+//!   into the `korch_cost` analytical model (a tiled kernel's tiles sum
+//!   into one whole-kernel sample), and [`fit_contention`] turns measured
+//!   cross-lane interval overlap into [`korch_orch::StreamContention`]
+//!   sharing rates — same-kernel pairs excluded, so sibling tiles of a
+//!   decomposed kernel are never mistaken for cross-kernel overlap;
 //! - [`Server`] — a request queue with dynamic batching over any
 //!   [`Model`], with throughput / latency statistics. Started over a
 //!   [`SelfTune`] model it runs the whole loop hands-free;

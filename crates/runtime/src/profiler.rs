@@ -12,7 +12,7 @@
 use korch_cost::{Calibration, CalibrationSample, KernelSpec, Micros, Profiler};
 use korch_ir::{NodeId, PrimGraph};
 use korch_orch::Plan;
-use std::collections::BTreeSet;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Aggregated wall-time statistics of one kernel across runs.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -38,7 +38,8 @@ impl KernelStats {
     }
 }
 
-/// One kernel execution's wall-clock interval within a run.
+/// One kernel (or kernel-tile) execution's wall-clock interval within a
+/// run.
 ///
 /// **Clock-origin invariant:** `start_us` and `end_us` are offsets from
 /// *one* monotonic origin captured once per `execute` call (a single
@@ -47,6 +48,13 @@ impl KernelStats {
 /// that spawns late would report intervals shifted against its peers.
 /// Intervals are therefore only comparable *within* one run's set, never
 /// across runs.
+///
+/// **Tile tagging:** when the executor decomposes a kernel into row-range
+/// tiles, each tile records its own interval with `tile: Some(i)` and the
+/// parent's `kernel` index. Sibling tiles deliberately overlap across
+/// lanes — that overlap is *intra*-kernel parallelism, so the contention
+/// fit ([`crate::fit_contention`]) excludes same-kernel pairs from its
+/// cross-kernel overlap evidence.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelInterval {
     /// Index into `plan.kernels`.
@@ -57,6 +65,9 @@ pub struct KernelInterval {
     pub start_us: f64,
     /// Offset of the kernel's completion from the run's clock origin, µs.
     pub end_us: f64,
+    /// Tile index within a decomposed kernel execution (`None` when the
+    /// kernel ran whole).
+    pub tile: Option<usize>,
 }
 
 impl KernelInterval {
@@ -88,6 +99,12 @@ pub struct RuntimeProfile {
     /// placed them on (work-stealing rebalances away the simulated
     /// assignment when it mispredicts).
     pub steals: u64,
+    /// Kernel executions that were decomposed into row-range tiles
+    /// (counted once per decomposed kernel per run; derived from
+    /// tile-tagged intervals, so profiling must be enabled to count).
+    pub tiled_kernels: u64,
+    /// Individual tile tasks executed across all decomposed kernels.
+    pub tile_tasks: u64,
     /// Per-run kernel intervals of the most recent [`INTERVAL_WINDOW`]
     /// runs, each set sharing that run's single clock origin (see
     /// [`KernelInterval`]). Concurrent `execute` calls land in separate
@@ -103,6 +120,8 @@ impl RuntimeProfile {
             runs: 0,
             total_wall_us: 0.0,
             steals: 0,
+            tiled_kernels: 0,
+            tile_tasks: 0,
             intervals: Vec::new(),
         }
     }
@@ -111,9 +130,27 @@ impl RuntimeProfile {
     /// offsets from the run's shared clock origin) plus the run's total
     /// steal count — into the profile. Workers buffer locally and the run
     /// merges once, so profiling does not serialize the lanes it measures.
+    ///
+    /// A kernel that ran as tiles contributes **one** per-kernel sample:
+    /// the sum of its tiles' durations — the sequential-equivalent body
+    /// time, which is what [`RuntimeProfile::calibration_samples`] must
+    /// compare against the whole-kernel cost estimate (recording each tile
+    /// separately would divide the kernel's measured time by the tile
+    /// count and wreck the fit). The raw tile-tagged intervals still land
+    /// in the window for overlap analysis.
     pub fn merge_run(&mut self, intervals: Vec<KernelInterval>, steals: u64) {
+        let mut tiled: BTreeMap<usize, f64> = BTreeMap::new();
         for iv in &intervals {
-            self.record_kernel(iv.kernel, iv.duration_us());
+            if iv.tile.is_some() {
+                *tiled.entry(iv.kernel).or_insert(0.0) += iv.duration_us();
+                self.tile_tasks += 1;
+            } else {
+                self.record_kernel(iv.kernel, iv.duration_us());
+            }
+        }
+        self.tiled_kernels += tiled.len() as u64;
+        for (kernel, total_us) in tiled {
+            self.record_kernel(kernel, total_us);
         }
         self.steals += steals;
         if !intervals.is_empty() {
@@ -180,6 +217,8 @@ impl RuntimeProfile {
             out.runs += p.runs;
             out.total_wall_us += p.total_wall_us;
             out.steals += p.steals;
+            out.tiled_kernels += p.tiled_kernels;
+            out.tile_tasks += p.tile_tasks;
         }
         // Fair interval window: newest-first round-robin across
         // contributors until the window fills (or the sets run out).
@@ -338,6 +377,7 @@ mod tests {
                         lane,
                         start_us: 0.0,
                         end_us: 1.0,
+                        tile: None,
                     }],
                     0,
                 );
@@ -360,6 +400,41 @@ mod tests {
         );
         assert_eq!(merged.per_kernel[0].count, 2 * INTERVAL_WINDOW as u64);
         assert_eq!(merged.runs, 0, "merge_run does not bump runs");
+    }
+
+    /// A run whose kernel 0 executed as three tiles must record ONE
+    /// per-kernel sample summing the tile durations (the
+    /// sequential-equivalent body time the calibration fit needs), while
+    /// the counters expose the decomposition.
+    #[test]
+    fn tiled_run_sums_tiles_into_one_kernel_sample() {
+        let mut p = RuntimeProfile::new(2);
+        let iv = |kernel, lane, start_us: f64, end_us: f64, tile| KernelInterval {
+            kernel,
+            lane,
+            start_us,
+            end_us,
+            tile,
+        };
+        p.merge_run(
+            vec![
+                iv(0, 0, 0.0, 4.0, Some(0)),
+                iv(0, 1, 0.0, 5.0, Some(1)),
+                iv(0, 2, 1.0, 4.0, Some(2)),
+                iv(1, 0, 4.0, 6.0, None),
+            ],
+            0,
+        );
+        assert_eq!(p.per_kernel[0].count, 1);
+        assert_eq!(p.per_kernel[0].total_us, 12.0);
+        assert_eq!(p.per_kernel[1].count, 1);
+        assert_eq!(p.tiled_kernels, 1);
+        assert_eq!(p.tile_tasks, 3);
+        // Raw tile intervals stay in the window for overlap analysis.
+        assert_eq!(p.intervals[0].len(), 4);
+        let merged = RuntimeProfile::merged(&[&p, &p]);
+        assert_eq!(merged.tiled_kernels, 2);
+        assert_eq!(merged.tile_tasks, 6);
     }
 
     #[test]

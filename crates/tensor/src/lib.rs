@@ -33,6 +33,7 @@ mod linear;
 mod pool;
 mod reduce;
 mod resize;
+mod tile;
 
 pub use elementwise::{BinaryOp, UnaryOp};
 pub use error::TensorError;
@@ -40,6 +41,9 @@ pub use linear::{conv2d_flops, matmul_flops, MatMulSpec};
 pub use pool::PoolSpec;
 pub use reduce::ReduceKind;
 pub use resize::ResizeMode;
+pub use tile::{
+    binary_scalar_lhs_tile, binary_scalar_tile, binary_tile, combine_reduce_partials, unary_tile,
+};
 
 use std::fmt;
 

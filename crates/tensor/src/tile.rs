@@ -1,0 +1,607 @@
+//! Range-restricted ("tiled") reference kernels: evaluate one contiguous
+//! slice of a primitive's output index space into a caller-provided
+//! buffer.
+//!
+//! These are the building blocks of intra-kernel data parallelism in
+//! `korch-runtime`: a big kernel's output is split into row-range tiles
+//! and each tile is computed by a different worker lane, writing into a
+//! disjoint pre-allocated slice. Every tile kernel here performs **exactly
+//! the arithmetic the full kernel performs for the same output elements,
+//! in the same order** — splitting the output space never re-associates a
+//! float operation — so a tiled execution is bit-identical to the
+//! monolithic one for *any* tile partition:
+//!
+//! - elementwise tiles ([`unary_tile`], [`binary_tile`],
+//!   [`binary_scalar_tile`], [`binary_scalar_lhs_tile`]) map pre-sliced
+//!   input ranges pointwise;
+//! - [`Tensor::matmul_rows`] computes a range of output rows with the full
+//!   inner contraction per row (the per-row loop nest of
+//!   [`Tensor::matmul`] verbatim);
+//! - [`Tensor::reduce_tile`] computes a flat range of *output* elements,
+//!   each with its complete accumulation over the reduced axis in
+//!   sequential order — axis-aligned splitting, safe for every axis;
+//! - [`Tensor::broadcast_tile`] replicates the input into a flat output
+//!   range.
+//!
+//! The one split that is *not* bit-stable for floats is partitioning a
+//! reduction along its own reduced axis: [`Tensor::reduce_axis0_partial`]
+//! and [`combine_reduce_partials`] implement it with a deterministic
+//! fixed-order combine (same result on every run), but the combine
+//! re-associates `Sum`/`Mean` accumulation, so it matches the sequential
+//! kernel only up to rounding for those kinds (`Max`/`Min` are exactly
+//! associative and stay bit-identical). The runtime therefore tiles
+//! reductions over their output space and keeps the axis-0 partial path
+//! for callers that prefer partial-result parallelism over bit-stability.
+
+use crate::elementwise::{BinaryOp, UnaryOp};
+use crate::reduce::ReduceKind;
+use crate::{MatMulSpec, Tensor, TensorError};
+use std::ops::Range;
+
+/// Applies a unary op to a pre-sliced input range, writing every element
+/// of `out`.
+///
+/// # Panics
+///
+/// Panics if `input.len() != out.len()`.
+pub fn unary_tile(op: UnaryOp, input: &[f32], out: &mut [f32]) {
+    assert_eq!(input.len(), out.len(), "unary tile length mismatch");
+    for (o, &v) in out.iter_mut().zip(input) {
+        *o = op.apply(v);
+    }
+}
+
+/// Applies a binary op to two pre-sliced same-length input ranges.
+///
+/// # Panics
+///
+/// Panics if the three slices differ in length.
+pub fn binary_tile(op: BinaryOp, lhs: &[f32], rhs: &[f32], out: &mut [f32]) {
+    assert_eq!(lhs.len(), out.len(), "binary tile lhs length mismatch");
+    assert_eq!(rhs.len(), out.len(), "binary tile rhs length mismatch");
+    for ((o, &a), &b) in out.iter_mut().zip(lhs).zip(rhs) {
+        *o = op.apply(a, b);
+    }
+}
+
+/// Applies `op(x, scalar)` to a pre-sliced input range.
+///
+/// # Panics
+///
+/// Panics if `input.len() != out.len()`.
+pub fn binary_scalar_tile(op: BinaryOp, input: &[f32], scalar: f32, out: &mut [f32]) {
+    assert_eq!(input.len(), out.len(), "scalar tile length mismatch");
+    for (o, &v) in out.iter_mut().zip(input) {
+        *o = op.apply(v, scalar);
+    }
+}
+
+/// Applies `op(scalar, x)` (scalar on the left) to a pre-sliced input
+/// range — the tile form of [`Tensor::binary_scalar_lhs`].
+///
+/// # Panics
+///
+/// Panics if `input.len() != out.len()`.
+pub fn binary_scalar_lhs_tile(op: BinaryOp, scalar: f32, input: &[f32], out: &mut [f32]) {
+    assert_eq!(input.len(), out.len(), "scalar-lhs tile length mismatch");
+    for (o, &v) in out.iter_mut().zip(input) {
+        *o = op.apply(scalar, v);
+    }
+}
+
+impl Tensor {
+    /// Computes output rows `rows` of `self.matmul(rhs, spec)` into `out`,
+    /// where rows index the flattened `batch × m` leading output
+    /// dimensions and `out` covers exactly `rows.len() * n` elements.
+    ///
+    /// Performs the same per-row loop nest as [`Tensor::matmul`] (same
+    /// accumulation order, same zero-skip), so concatenating row tiles
+    /// reproduces the full product bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for operand shapes
+    /// [`Tensor::matmul`] would reject, and
+    /// [`TensorError::InvalidArgument`] when `rows` is out of bounds or
+    /// `out` does not cover `rows.len() * n` elements.
+    pub fn matmul_rows(
+        &self,
+        rhs: &Tensor,
+        spec: MatMulSpec,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) -> Result<(), TensorError> {
+        let ra = self.rank();
+        let rb = rhs.rank();
+        if ra != rb || ra < 2 || self.shape()[..ra - 2] != rhs.shape()[..rb - 2] {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let (am, ak) = (self.shape()[ra - 2], self.shape()[ra - 1]);
+        let (bk, bn) = (rhs.shape()[rb - 2], rhs.shape()[rb - 1]);
+        let (m, k1) = if spec.trans_a { (ak, am) } else { (am, ak) };
+        let (k2, n) = if spec.trans_b { (bn, bk) } else { (bk, bn) };
+        if k1 != k2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: self.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let k = k1;
+        let batch: usize = self.shape()[..ra - 2].iter().product();
+        if rows.end > batch * m || rows.start > rows.end {
+            return Err(TensorError::InvalidArgument(format!(
+                "matmul row range {rows:?} out of bounds for {} output rows",
+                batch * m
+            )));
+        }
+        if out.len() != rows.len() * n {
+            return Err(TensorError::InvalidArgument(format!(
+                "matmul tile output has {} elements, expected {}",
+                out.len(),
+                rows.len() * n
+            )));
+        }
+        out.fill(0.0);
+        let a = self.as_slice();
+        let b = rhs.as_slice();
+        let a_stride = am * ak;
+        let b_stride = bk * bn;
+        for (row_off, row) in rows.clone().enumerate() {
+            let bi = row / m;
+            let i = row % m;
+            let ab = &a[bi * a_stride..(bi + 1) * a_stride];
+            let bb = &b[bi * b_stride..(bi + 1) * b_stride];
+            let ob = &mut out[row_off * n..(row_off + 1) * n];
+            for p in 0..k {
+                let av = if spec.trans_a {
+                    ab[p * ak + i]
+                } else {
+                    ab[i * ak + p]
+                };
+                if av == 0.0 {
+                    continue;
+                }
+                for (j, o) in ob.iter_mut().enumerate() {
+                    let bv = if spec.trans_b {
+                        bb[j * bn + p]
+                    } else {
+                        bb[p * bn + j]
+                    };
+                    *o += av * bv;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Computes the flat output range `out_range` of
+    /// `self.reduce(axis, kind)` into `out`: every output element carries
+    /// its **complete** accumulation over the reduced axis, in the same
+    /// ascending order as [`Tensor::reduce`] — the axis-aligned split that
+    /// stays bit-identical for every `ReduceKind` and every axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis >= rank`, and
+    /// [`TensorError::InvalidArgument`] when the range is out of bounds or
+    /// `out.len() != out_range.len()`.
+    pub fn reduce_tile(
+        &self,
+        axis: usize,
+        kind: ReduceKind,
+        out_range: Range<usize>,
+        out: &mut [f32],
+    ) -> Result<(), TensorError> {
+        if axis >= self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let in_shape = self.shape();
+        let axis_len = in_shape[axis];
+        let inner: usize = in_shape[axis + 1..].iter().product();
+        let outer: usize = in_shape[..axis].iter().product();
+        let total = outer * inner;
+        if out_range.end > total || out_range.start > out_range.end {
+            return Err(TensorError::InvalidArgument(format!(
+                "reduce tile range {out_range:?} out of bounds for {total} output elements"
+            )));
+        }
+        if out.len() != out_range.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "reduce tile output has {} elements, expected {}",
+                out.len(),
+                out_range.len()
+            )));
+        }
+        let data = self.as_slice();
+        for (slot, flat) in out.iter_mut().zip(out_range.clone()) {
+            let o = flat / inner.max(1);
+            let i = flat % inner.max(1);
+            let mut acc = match kind {
+                ReduceKind::Sum | ReduceKind::Mean => 0.0,
+                ReduceKind::Max => f32::NEG_INFINITY,
+                ReduceKind::Min => f32::INFINITY,
+            };
+            for k in 0..axis_len {
+                let v = data[(o * axis_len + k) * inner + i];
+                acc = match kind {
+                    ReduceKind::Sum | ReduceKind::Mean => acc + v,
+                    ReduceKind::Max => acc.max(v),
+                    ReduceKind::Min => acc.min(v),
+                };
+            }
+            if kind == ReduceKind::Mean {
+                acc /= axis_len as f32;
+            }
+            *slot = acc;
+        }
+        Ok(())
+    }
+
+    /// Computes the flat output range `out_range` of
+    /// `self.broadcast(axis, size)` into `out` (pure replication — every
+    /// output element copies one input element).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] if `axis > rank`, and
+    /// [`TensorError::InvalidArgument`] on range/length mismatches.
+    pub fn broadcast_tile(
+        &self,
+        axis: usize,
+        size: usize,
+        out_range: Range<usize>,
+        out: &mut [f32],
+    ) -> Result<(), TensorError> {
+        if axis > self.rank() {
+            return Err(TensorError::AxisOutOfRange {
+                axis,
+                rank: self.rank(),
+            });
+        }
+        let inner: usize = self.shape()[axis..].iter().product();
+        let outer: usize = self.shape()[..axis].iter().product();
+        let total = outer * size * inner;
+        if out_range.end > total || out_range.start > out_range.end {
+            return Err(TensorError::InvalidArgument(format!(
+                "broadcast tile range {out_range:?} out of bounds for {total} output elements"
+            )));
+        }
+        if out.len() != out_range.len() {
+            return Err(TensorError::InvalidArgument(format!(
+                "broadcast tile output has {} elements, expected {}",
+                out.len(),
+                out_range.len()
+            )));
+        }
+        let data = self.as_slice();
+        let stride = size * inner.max(1);
+        for (slot, flat) in out.iter_mut().zip(out_range.clone()) {
+            let o = flat / stride.max(1);
+            let i = flat % inner.max(1);
+            *slot = data[o * inner.max(1) + i];
+        }
+        Ok(())
+    }
+
+    /// Reduces rows `rows` of axis 0 with `kind`, producing a partial
+    /// result of the input's trailing shape. `Sum` and `Mean` partials
+    /// both accumulate a plain sum (the mean's division happens once, in
+    /// [`combine_reduce_partials`]).
+    ///
+    /// Splitting a reduction along its own axis re-associates the
+    /// accumulation, so combining partials matches [`Tensor::reduce`] only
+    /// up to rounding for `Sum`/`Mean` (exactly for `Max`/`Min`); the
+    /// combine itself is deterministic for a fixed tile partition. Callers
+    /// that need bit-identity with the sequential kernel should tile the
+    /// output space with [`Tensor::reduce_tile`] instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::AxisOutOfRange`] for rank-0 tensors and
+    /// [`TensorError::InvalidArgument`] for empty or out-of-bounds row
+    /// ranges.
+    pub fn reduce_axis0_partial(
+        &self,
+        kind: ReduceKind,
+        rows: Range<usize>,
+    ) -> Result<Tensor, TensorError> {
+        if self.rank() == 0 {
+            return Err(TensorError::AxisOutOfRange { axis: 0, rank: 0 });
+        }
+        let axis_len = self.shape()[0];
+        if rows.end > axis_len || rows.start >= rows.end {
+            return Err(TensorError::InvalidArgument(format!(
+                "partial row range {rows:?} invalid for axis length {axis_len}"
+            )));
+        }
+        let inner: usize = self.shape()[1..].iter().product();
+        let mut out = vec![
+            match kind {
+                ReduceKind::Sum | ReduceKind::Mean => 0.0,
+                ReduceKind::Max => f32::NEG_INFINITY,
+                ReduceKind::Min => f32::INFINITY,
+            };
+            inner
+        ];
+        let data = self.as_slice();
+        for r in rows {
+            let row = &data[r * inner..(r + 1) * inner];
+            for (acc, &v) in out.iter_mut().zip(row) {
+                *acc = match kind {
+                    ReduceKind::Sum | ReduceKind::Mean => *acc + v,
+                    ReduceKind::Max => acc.max(v),
+                    ReduceKind::Min => acc.min(v),
+                };
+            }
+        }
+        Tensor::from_vec(self.shape()[1..].to_vec(), out)
+    }
+
+    /// Applies a binary elementwise operation with the scalar on the
+    /// **left**: `op(scalar, x)` per element. The fast path for
+    /// `EwFn::BinaryScalarLhs`-style primitives (`c - x`, `c / x`), which
+    /// previously materialized a full constant tensor just to feed
+    /// [`Tensor::binary`].
+    pub fn binary_scalar_lhs(&self, scalar: f32, op: BinaryOp) -> Tensor {
+        self.map(|v| op.apply(scalar, v))
+    }
+}
+
+/// Folds axis-0 reduce partials (in slice order — deterministic for a
+/// fixed partition) into the final reduction result. `axis_len` is the
+/// full length of the reduced axis, needed to finish a `Mean`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::InvalidArgument`] when `partials` is empty and
+/// [`TensorError::ShapeMismatch`] when partial shapes disagree.
+pub fn combine_reduce_partials(
+    kind: ReduceKind,
+    partials: &[Tensor],
+    axis_len: usize,
+) -> Result<Tensor, TensorError> {
+    let Some(first) = partials.first() else {
+        return Err(TensorError::InvalidArgument(
+            "combine_reduce_partials needs at least one partial".into(),
+        ));
+    };
+    let mut acc = first.clone();
+    for p in &partials[1..] {
+        acc = match kind {
+            ReduceKind::Sum | ReduceKind::Mean => acc.zip_map(p, |a, b| a + b)?,
+            ReduceKind::Max => acc.zip_map(p, f32::max)?,
+            ReduceKind::Min => acc.zip_map(p, f32::min)?,
+        };
+    }
+    if kind == ReduceKind::Mean {
+        acc = acc.map(|v| v / axis_len as f32);
+    }
+    Ok(acc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Splits `total` into `n` contiguous near-equal ranges.
+    fn ranges(total: usize, n: usize) -> Vec<Range<usize>> {
+        let per = total.div_ceil(n.max(1)).max(1);
+        (0..total)
+            .step_by(per)
+            .map(|s| s..(s + per).min(total))
+            .collect()
+    }
+
+    #[test]
+    fn elementwise_tiles_match_full_kernels() {
+        let x = Tensor::random(vec![7, 13], 1);
+        let y = Tensor::random(vec![7, 13], 2);
+        let full_u = x.unary(UnaryOp::Exp);
+        let full_b = x.binary(&y, BinaryOp::Mul).unwrap();
+        let full_s = x.binary_scalar(3.5, BinaryOp::Sub);
+        let full_l = x.binary_scalar_lhs(3.5, BinaryOp::Div);
+        let mut out_u = vec![0.0; x.numel()];
+        let mut out_b = vec![0.0; x.numel()];
+        let mut out_s = vec![0.0; x.numel()];
+        let mut out_l = vec![0.0; x.numel()];
+        for r in ranges(x.numel(), 4) {
+            unary_tile(
+                UnaryOp::Exp,
+                &x.as_slice()[r.clone()],
+                &mut out_u[r.clone()],
+            );
+            binary_tile(
+                BinaryOp::Mul,
+                &x.as_slice()[r.clone()],
+                &y.as_slice()[r.clone()],
+                &mut out_b[r.clone()],
+            );
+            binary_scalar_tile(
+                BinaryOp::Sub,
+                &x.as_slice()[r.clone()],
+                3.5,
+                &mut out_s[r.clone()],
+            );
+            binary_scalar_lhs_tile(
+                BinaryOp::Div,
+                3.5,
+                &x.as_slice()[r.clone()],
+                &mut out_l[r.clone()],
+            );
+        }
+        assert_eq!(out_u, full_u.as_slice());
+        assert_eq!(out_b, full_b.as_slice());
+        assert_eq!(out_s, full_s.as_slice());
+        assert_eq!(out_l, full_l.as_slice());
+    }
+
+    #[test]
+    fn scalar_lhs_fast_path_matches_materialized_tensor() {
+        let x = Tensor::random(vec![5, 9], 3);
+        for op in [BinaryOp::Sub, BinaryOp::Div, BinaryOp::Pow, BinaryOp::Max] {
+            let slow = Tensor::full(x.shape().to_vec(), 2.5)
+                .binary(&x, op)
+                .unwrap();
+            let fast = x.binary_scalar_lhs(2.5, op);
+            assert_eq!(slow.as_slice(), fast.as_slice(), "{op:?} diverged");
+        }
+    }
+
+    #[test]
+    fn matmul_rows_tiles_are_bit_identical() {
+        for (spec, a_shape, b_shape) in [
+            (MatMulSpec::new(), vec![2, 9, 5], vec![2, 5, 11]),
+            (
+                MatMulSpec {
+                    trans_a: true,
+                    trans_b: false,
+                },
+                vec![5, 9],
+                vec![5, 11],
+            ),
+            (
+                MatMulSpec {
+                    trans_a: false,
+                    trans_b: true,
+                },
+                vec![9, 5],
+                vec![11, 5],
+            ),
+        ] {
+            let a = Tensor::random(a_shape, 4);
+            let b = Tensor::random(b_shape, 5);
+            let full = a.matmul(&b, spec).unwrap();
+            let n = *full.shape().last().unwrap();
+            let rows_total = full.numel() / n;
+            for tiles in [1usize, 3, rows_total] {
+                let mut out = vec![f32::NAN; full.numel()];
+                for r in ranges(rows_total, tiles) {
+                    a.matmul_rows(&b, spec, r.clone(), &mut out[r.start * n..r.end * n])
+                        .unwrap();
+                }
+                assert_eq!(out, full.as_slice(), "{tiles} tiles diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_rows_validates_ranges() {
+        let a = Tensor::random(vec![4, 3], 6);
+        let b = Tensor::random(vec![3, 5], 7);
+        let mut out = vec![0.0; 5];
+        assert!(a
+            .matmul_rows(&b, MatMulSpec::new(), 4..5, &mut out)
+            .is_err());
+        assert!(a
+            .matmul_rows(&b, MatMulSpec::new(), 0..2, &mut out)
+            .is_err());
+        let c = Tensor::random(vec![4, 4], 8);
+        assert!(a
+            .matmul_rows(&c, MatMulSpec::new(), 0..1, &mut out)
+            .is_err());
+    }
+
+    #[test]
+    fn reduce_tiles_are_bit_identical_for_every_axis_and_kind() {
+        let x = Tensor::random(vec![6, 5, 4], 9);
+        for axis in 0..3 {
+            for kind in [
+                ReduceKind::Sum,
+                ReduceKind::Mean,
+                ReduceKind::Max,
+                ReduceKind::Min,
+            ] {
+                let full = x.reduce(axis, kind).unwrap();
+                for tiles in [1usize, 7, full.numel()] {
+                    let mut out = vec![f32::NAN; full.numel()];
+                    for r in ranges(full.numel(), tiles) {
+                        x.reduce_tile(axis, kind, r.clone(), &mut out[r]).unwrap();
+                    }
+                    assert_eq!(
+                        out,
+                        full.as_slice(),
+                        "axis {axis} {kind:?} × {tiles} tiles diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn broadcast_tiles_are_bit_identical() {
+        let x = Tensor::random(vec![3, 4], 10);
+        for axis in 0..=2 {
+            let full = x.broadcast(axis, 5).unwrap();
+            for tiles in [1usize, 4, full.numel()] {
+                let mut out = vec![f32::NAN; full.numel()];
+                for r in ranges(full.numel(), tiles) {
+                    x.broadcast_tile(axis, 5, r.clone(), &mut out[r]).unwrap();
+                }
+                assert_eq!(out, full.as_slice(), "axis {axis} × {tiles} tiles diverged");
+            }
+        }
+    }
+
+    #[test]
+    fn tile_kernels_validate_ranges() {
+        let x = Tensor::random(vec![4, 4], 11);
+        let mut small = vec![0.0; 2];
+        assert!(x.reduce_tile(2, ReduceKind::Sum, 0..2, &mut small).is_err());
+        assert!(x.reduce_tile(0, ReduceKind::Sum, 3..5, &mut small).is_err());
+        assert!(x.reduce_tile(0, ReduceKind::Sum, 0..3, &mut small).is_err());
+        assert!(x.broadcast_tile(3, 2, 0..2, &mut small).is_err());
+        assert!(x.broadcast_tile(0, 2, 31..33, &mut small).is_err());
+    }
+
+    #[test]
+    fn axis0_partials_combine_deterministically() {
+        let x = Tensor::random(vec![12, 7], 12);
+        for kind in [
+            ReduceKind::Sum,
+            ReduceKind::Mean,
+            ReduceKind::Max,
+            ReduceKind::Min,
+        ] {
+            let full = x.reduce(0, kind).unwrap();
+            let partials: Vec<Tensor> = ranges(12, 4)
+                .into_iter()
+                .map(|r| x.reduce_axis0_partial(kind, r).unwrap())
+                .collect();
+            let combined = combine_reduce_partials(kind, &partials, 12).unwrap();
+            let again = combine_reduce_partials(kind, &partials, 12).unwrap();
+            assert_eq!(
+                combined.as_slice(),
+                again.as_slice(),
+                "combine must be deterministic"
+            );
+            // Max/Min are exactly associative; Sum/Mean re-associate and
+            // match only up to rounding.
+            match kind {
+                ReduceKind::Max | ReduceKind::Min => {
+                    assert_eq!(combined.as_slice(), full.as_slice())
+                }
+                _ => assert!(combined.allclose(&full, 1e-5)),
+            }
+        }
+    }
+
+    #[test]
+    fn partial_combine_validates_inputs() {
+        let x = Tensor::random(vec![4, 2], 13);
+        assert!(x.reduce_axis0_partial(ReduceKind::Sum, 2..2).is_err());
+        assert!(x.reduce_axis0_partial(ReduceKind::Sum, 3..5).is_err());
+        assert!(Tensor::scalar(1.0)
+            .reduce_axis0_partial(ReduceKind::Sum, 0..1)
+            .is_err());
+        assert!(combine_reduce_partials(ReduceKind::Sum, &[], 4).is_err());
+        let a = x.reduce_axis0_partial(ReduceKind::Sum, 0..2).unwrap();
+        let b = Tensor::zeros(vec![3]);
+        assert!(combine_reduce_partials(ReduceKind::Sum, &[a, b], 4).is_err());
+    }
+}

@@ -191,6 +191,7 @@ proptest! {
                 lane,
                 start_us: a.min(b),
                 end_us: a.max(b),
+                tile: None,
             })
             .collect();
         let classes: Vec<ResourceClass> = spans
@@ -219,6 +220,7 @@ proptest! {
                 lane: i,
                 start_us: i as f64 * dur,
                 end_us: (i + 1) as f64 * dur,
+                tile: None,
             })
             .collect();
         let classes = vec![ResourceClass::Memory; n];
@@ -235,6 +237,7 @@ proptest! {
                 lane: i,
                 start_us: 0.0,
                 end_us: dur,
+                tile: None,
             })
             .collect();
         let profile = profile_of_runs(vec![parallel], n);
