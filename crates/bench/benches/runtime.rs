@@ -17,7 +17,7 @@
 //! perf record tracked across PRs.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use korch_bench::report::{median_ns, write_bench_json, BenchRecord};
+use korch_bench::report::{spread_ns, write_bench_json, BenchRecord};
 use korch_core::{Korch, KorchConfig};
 use korch_cost::{kernel_spec, Backend, Device, Profiler};
 use korch_exec::execute_plan;
@@ -244,8 +244,9 @@ fn single_kernel_plan(matmul: bool, dim: usize) -> (PrimGraph, Plan) {
     )
 }
 
-/// Median seconds per call over `n` timed iterations (after one warm-up).
-fn measure(n: usize, mut f: impl FnMut()) -> f64 {
+/// `(p10, median, p90)` seconds per call over `n` timed iterations
+/// (after one warm-up) — the spread triple the JSON perf record carries.
+fn measure(n: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
     f();
     let mut samples: Vec<f64> = (0..n)
         .map(|_| {
@@ -254,7 +255,8 @@ fn measure(n: usize, mut f: impl FnMut()) -> f64 {
             start.elapsed().as_secs_f64() * 1e9
         })
         .collect();
-    median_ns(&mut samples) / 1e9
+    let (p10, median, p90) = spread_ns(&mut samples);
+    (p10 / 1e9, median / 1e9, p90 / 1e9)
 }
 
 /// The tiled-execution acceptance bench: a single large
@@ -292,10 +294,10 @@ fn bench_tiled(c: &mut Criterion) {
             b.iter(|| exec.execute(black_box(&inputs)).unwrap())
         });
         // One-shot medians for the headline + the JSON perf record.
-        let seq = measure(10, || {
+        let (seq_p10, seq, seq_p90) = measure(10, || {
             black_box(execute_plan(&g, &plan, &inputs).unwrap());
         });
-        let tiled = measure(10, || {
+        let (tiled_p10, tiled, tiled_p90) = measure(10, || {
             black_box(exec.execute(&inputs).unwrap());
         });
         let profile = exec.profile();
@@ -313,12 +315,16 @@ fn bench_tiled(c: &mut Criterion) {
         records.push(BenchRecord {
             name: format!("tiled_single_kernel/sequential/{name}"),
             median_ns: seq * 1e9,
+            p10_ns: seq_p10 * 1e9,
+            p90_ns: seq_p90 * 1e9,
             speedup_vs_sequential: None,
             note: format!("dim {dim}"),
         });
         records.push(BenchRecord {
             name: format!("tiled_single_kernel/tiled_4_lanes/{name}"),
             median_ns: tiled * 1e9,
+            p10_ns: tiled_p10 * 1e9,
+            p90_ns: tiled_p90 * 1e9,
             speedup_vs_sequential: Some(seq / tiled),
             note: format!("dim {dim}, {tiles_per_run:.0} tiles/run"),
         });
@@ -329,27 +335,84 @@ fn bench_tiled(c: &mut Criterion) {
     // parallelism levers across PRs.
     let (g, plan) = independent_kernel_plan(8, 256, 256);
     let inputs = bench_inputs(&g);
-    let seq = measure(10, || {
+    let (seq_p10, seq, seq_p90) = measure(10, || {
         black_box(execute_plan(&g, &plan, &inputs).unwrap());
     });
     records.push(BenchRecord {
         name: "runtime/sequential_interpreter".into(),
         median_ns: seq * 1e9,
+        p10_ns: seq_p10 * 1e9,
+        p90_ns: seq_p90 * 1e9,
         speedup_vs_sequential: None,
         note: "8 independent kernels, 256x256".into(),
     });
     for lanes in [2usize, 4] {
         let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
-        let par = measure(10, || {
+        let (par_p10, par, par_p90) = measure(10, || {
             black_box(exec.execute(&inputs).unwrap());
         });
         records.push(BenchRecord {
             name: format!("runtime/parallel_executor/{lanes}"),
             median_ns: par * 1e9,
+            p10_ns: par_p10 * 1e9,
+            p90_ns: par_p90 * 1e9,
             speedup_vs_sequential: Some(seq / par),
             note: format!("{lanes} lanes, steals {}", exec.profile().steals),
         });
     }
+
+    // Tracing-overhead headline: the same inter-kernel workload on one
+    // executor with a telemetry hub attached (recording every kernel
+    // span) vs the zero-cost disabled path (`telemetry: None`). The
+    // ratio is the number BENCH tracks across PRs; outputs must stay
+    // bit-identical either way.
+    let plain = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
+    let hub = Arc::new(korch_telemetry::Telemetry::with_capacity(8, 4096));
+    let traced = PlanExecutor::new(
+        &g,
+        &plan,
+        RuntimeConfig {
+            telemetry: Some(Arc::clone(&hub)),
+            ..RuntimeConfig::with_lanes(4)
+        },
+    )
+    .unwrap();
+    let reference = plain.execute(&inputs).unwrap();
+    let traced_out = traced.execute(&inputs).unwrap();
+    for (a, b) in reference.iter().zip(&traced_out) {
+        assert_eq!(a.as_slice(), b.as_slice(), "tracing changed computed bytes");
+    }
+    let (_, off, _) = measure(10, || {
+        black_box(plain.execute(&inputs).unwrap());
+    });
+    let (on_p10, on, on_p90) = measure(10, || {
+        black_box(traced.execute(&inputs).unwrap());
+    });
+    assert!(
+        !hub.recorder().is_empty(),
+        "the traced executor must have recorded kernel spans"
+    );
+    println!(
+        "runtime/tracing_overhead: {:.3}x (telemetry on {:.3} ms vs off {:.3} ms, {} events)",
+        on / off,
+        on * 1e3,
+        off * 1e3,
+        hub.recorder().len(),
+    );
+    records.push(BenchRecord {
+        name: "runtime/tracing_overhead".into(),
+        median_ns: on * 1e9,
+        p10_ns: on_p10 * 1e9,
+        p90_ns: on_p90 * 1e9,
+        speedup_vs_sequential: Some(off / on),
+        note: format!(
+            "telemetry enabled vs disabled: {:.3} ms on / {:.3} ms off (ratio {:.3}); \
+             speedup field = off/on",
+            on * 1e3,
+            off * 1e3,
+            on / off
+        ),
+    });
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
     write_bench_json(&path, &records).expect("perf record written");
     println!(

@@ -12,6 +12,12 @@ pub struct BenchRecord {
     pub name: String,
     /// Median wall time per iteration, nanoseconds.
     pub median_ns: f64,
+    /// 10th-percentile wall time (nearest-rank), nanoseconds — the
+    /// fast-tail bound of the sample spread. `0.0` when not sampled.
+    pub p10_ns: f64,
+    /// 90th-percentile wall time (nearest-rank), nanoseconds — the
+    /// slow-tail bound of the sample spread. `0.0` when not sampled.
+    pub p90_ns: f64,
     /// Speedup over the sequential-interpreter baseline of the same
     /// workload (`None` for benches without one).
     pub speedup_vs_sequential: Option<f64>,
@@ -34,6 +40,21 @@ pub fn median_ns(samples: &mut [f64]) -> f64 {
     }
 }
 
+/// `(p10, median, p90)` of a sample set — the spread triple the perf
+/// record carries per bench. Percentiles are nearest-rank (the smallest
+/// sample ≥ p of the set); all zeros for an empty slice.
+pub fn spread_ns(samples: &mut [f64]) -> (f64, f64, f64) {
+    if samples.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let median = median_ns(samples); // sorts
+    let pct = |p: f64| {
+        let rank = ((p * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+        samples[rank - 1]
+    };
+    (pct(0.10), median, pct(0.90))
+}
+
 fn json_escape(s: &str) -> String {
     s.chars()
         .flat_map(|c| match c {
@@ -48,7 +69,8 @@ fn json_escape(s: &str) -> String {
 
 /// Writes the perf record as JSON (hand-rolled — the build container has
 /// no serde). Schema: `{ "host_cores": N, "benches": [ { "name",
-/// "median_ns", "speedup_vs_sequential" | null, "note" } ] }`.
+/// "median_ns", "p10_ns", "p90_ns", "speedup_vs_sequential" | null,
+/// "note" } ] }`.
 ///
 /// # Errors
 ///
@@ -69,10 +91,12 @@ pub fn write_bench_json(path: &Path, records: &[BenchRecord]) -> std::io::Result
         let comma = if i + 1 < records.len() { "," } else { "" };
         writeln!(
             f,
-            "    {{ \"name\": \"{}\", \"median_ns\": {:.1}, \
-             \"speedup_vs_sequential\": {}, \"note\": \"{}\" }}{}",
+            "    {{ \"name\": \"{}\", \"median_ns\": {:.1}, \"p10_ns\": {:.1}, \
+             \"p90_ns\": {:.1}, \"speedup_vs_sequential\": {}, \"note\": \"{}\" }}{}",
             json_escape(&r.name),
             r.median_ns,
+            r.p10_ns,
+            r.p90_ns,
             speedup,
             json_escape(&r.note),
             comma

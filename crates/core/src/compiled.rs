@@ -150,7 +150,7 @@ impl CompiledModel {
         Ok(Self {
             plan: RwLock::new(PlanState {
                 shards: Arc::new(vec![Arc::new(parts)]),
-                router: Arc::new(ShardRouter::new(1)),
+                router: Arc::new(ShardRouter::new(1).with_telemetry(runtime.telemetry.as_ref())),
                 total_latency: Micros(optimized.latency_ms() * 1000.0),
                 calibration: Calibration::default(),
                 // The rates the plans were *orchestrated* with, not the
@@ -373,6 +373,16 @@ impl CompiledModel {
     /// propagates orchestration/compilation failures (the current plan
     /// stays in place on any error).
     pub fn recalibrate(&self, korch: &Korch) -> Result<RecalibrationReport, KorchError> {
+        // Phase boundary timestamps on the shared telemetry clock. The
+        // spans themselves are recorded only at the successful swap — the
+        // generation they are tagged with does not exist until then.
+        let recal_now = || {
+            self.runtime
+                .telemetry
+                .as_ref()
+                .map_or(0.0, |t| t.recorder().now_us())
+        };
+        let fit_start = recal_now();
         let (shards, previous_contention) = {
             let state = self.plan.read().expect("plan poisoned");
             (state.shards.clone(), state.contention.clone())
@@ -417,6 +427,7 @@ impl CompiledModel {
             .fit(&previous_contention)
             .map(|f| f.contention)
             .unwrap_or(previous_contention);
+        let replan_start = recal_now();
 
         // Re-orchestrate every partition's chosen variant with the
         // calibrated profiler *and* the fitted contention (the transform
@@ -463,6 +474,7 @@ impl CompiledModel {
         };
         let mut new_shards: Vec<Arc<Vec<CompiledPartition>>> =
             built.into_iter().map(Arc::new).collect();
+        let swap_start = recal_now();
         loop {
             let target = {
                 let mut state = self.plan.write().expect("plan poisoned");
@@ -482,6 +494,27 @@ impl CompiledModel {
                         contention: contention.clone(),
                         generation,
                     };
+                    drop(state);
+                    if let Some(t) = &self.runtime.telemetry {
+                        let rec = t.recorder();
+                        if rec.is_enabled() {
+                            let swap_end = rec.now_us();
+                            use korch_telemetry::{EventKind, RecalPhase, TraceEvent};
+                            let phases = [
+                                (RecalPhase::Fit, fit_start, replan_start),
+                                (RecalPhase::Replan, replan_start, swap_start),
+                                (RecalPhase::Swap, swap_start, swap_end),
+                            ];
+                            for (phase, start_us, end_us) in phases {
+                                rec.record(TraceEvent {
+                                    trace: 0,
+                                    start_us,
+                                    dur_us: (end_us - start_us).max(0.0),
+                                    kind: EventKind::RecalPhase { phase, generation },
+                                });
+                            }
+                        }
+                    }
                     return Ok(report);
                 }
                 state.shards.len()

@@ -90,6 +90,13 @@ pub struct RuntimeConfig {
     /// Rows (grain units) per tile. `None` splits a kernel into one tile
     /// per lane; tests pin explicit sizes (1, 7, …) to sweep partitions.
     pub tile_rows: Option<usize>,
+    /// Tracing + metrics sink shared with the serving stack. `None` (the
+    /// default) is the zero-cost path: the executor records no timestamps
+    /// beyond profiling, allocates nothing for telemetry, and touches no
+    /// atomics. When set, kernel/tile intervals are rebased onto the
+    /// recorder's shared clock origin after every run and the executor
+    /// registers its steal/tile counters with the bundle's registry.
+    pub telemetry: Option<Arc<korch_telemetry::Telemetry>>,
 }
 
 impl Default for RuntimeConfig {
@@ -105,6 +112,7 @@ impl Default for RuntimeConfig {
             tiling: true,
             split_threshold_us: None,
             tile_rows: None,
+            telemetry: None,
         }
     }
 }
@@ -218,6 +226,14 @@ pub struct PlanExecutor {
     memory_report: MemoryReport,
     arena: BufferArena,
     profile_enabled: bool,
+    /// Whether kernel/tile intervals are timed at all: profiling wants
+    /// them for the calibration fit, telemetry wants them for trace spans.
+    timing_enabled: bool,
+    /// Tracing handles, present only when the config carries a telemetry
+    /// bundle. The hot path never consults this — workers time intervals
+    /// exactly as for profiling and the spans are emitted once per run,
+    /// after the workers have joined.
+    telemetry: Option<ExecTelemetry>,
     profile: Mutex<RuntimeProfile>,
     /// Per-kernel tile decompositions (None = runs whole).
     tile_specs: Vec<Option<TileSpec>>,
@@ -263,6 +279,97 @@ struct LaneLog {
     steals: u64,
 }
 
+/// This executor's view of a shared [`korch_telemetry::Telemetry`]
+/// bundle: its process-style tag in the Chrome export plus pre-registered
+/// metric handles (updating a handle is a single atomic — no registry
+/// lookup after construction).
+struct ExecTelemetry {
+    shared: Arc<korch_telemetry::Telemetry>,
+    /// Chrome `pid` for this executor instance (0 is the serving layer).
+    exec: u64,
+    steals: korch_telemetry::Counter,
+    tile_tasks: korch_telemetry::Counter,
+    tiled_kernels: korch_telemetry::Counter,
+}
+
+impl ExecTelemetry {
+    fn new(shared: &Arc<korch_telemetry::Telemetry>) -> Self {
+        let metrics = shared.metrics();
+        Self {
+            shared: Arc::clone(shared),
+            exec: shared.next_exec_tag(),
+            steals: metrics.counter("executor.steals"),
+            tile_tasks: metrics.counter("executor.tile_tasks"),
+            tiled_kernels: metrics.counter("executor.tiled_kernels"),
+        }
+    }
+
+    /// Rebase one run's kernel/tile intervals onto the recorder's shared
+    /// clock origin and record them as trace spans, stamped with the
+    /// run's trace id; bump the run-level counters. Called once per run
+    /// after the workers joined — never on the kernel hot path.
+    fn emit_run(&self, run: &RunCtx, log: &LaneLog) {
+        let rec = self.shared.recorder();
+        if !rec.is_enabled() {
+            return;
+        }
+        let mut tiled: BTreeSet<usize> = BTreeSet::new();
+        let mut tiles = 0u64;
+        for s in &log.samples {
+            let kind = match s.tile {
+                Some(tile) => {
+                    tiles += 1;
+                    tiled.insert(s.kernel);
+                    korch_telemetry::EventKind::Tile {
+                        exec: self.exec,
+                        run: run.run_id,
+                        kernel: s.kernel,
+                        lane: s.lane,
+                        tile,
+                    }
+                }
+                None => korch_telemetry::EventKind::Kernel {
+                    exec: self.exec,
+                    run: run.run_id,
+                    kernel: s.kernel,
+                    lane: s.lane,
+                },
+            };
+            rec.record_at(
+                s.lane,
+                korch_telemetry::TraceEvent {
+                    trace: run.trace,
+                    start_us: run.origin_offset_us + s.start_us,
+                    dur_us: (s.end_us - s.start_us).max(0.0),
+                    kind,
+                },
+            );
+        }
+        self.steals.add(log.steals);
+        self.tile_tasks.add(tiles);
+        self.tiled_kernels.add(tiled.len() as u64);
+    }
+
+    /// Record the arena's occupancy after a run settled (live bytes
+    /// return to the pinned baseline; peak is the highwater).
+    fn emit_arena(&self, stats: &crate::arena::ArenaStats) {
+        let rec = self.shared.recorder();
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.record(korch_telemetry::TraceEvent {
+            trace: 0,
+            start_us: rec.now_us(),
+            dur_us: 0.0,
+            kind: korch_telemetry::EventKind::ArenaHighwater {
+                exec: self.exec,
+                live_bytes: stats.live_bytes,
+                peak_bytes: stats.peak_bytes,
+            },
+        });
+    }
+}
+
 /// One `execute` call's profiling context. Every worker measures kernel
 /// intervals against the *same* `origin` `Instant` — the clock-origin
 /// invariant [`KernelInterval`] documents: per-lane origins would shift
@@ -270,13 +377,36 @@ struct LaneLog {
 /// intervals feed (`crate::fit_contention`).
 struct RunCtx {
     origin: Instant,
+    /// Trace id of the request this run serves (read from the calling
+    /// thread's [`korch_telemetry::current_trace`] once at run start, so
+    /// tile tasks on worker threads inherit it without thread-locals);
+    /// 0 when untraced.
+    trace: korch_telemetry::TraceId,
+    /// Run id namespacing this run's lane tracks in the Chrome export.
+    run_id: u64,
+    /// `origin`'s offset (µs) from the telemetry recorder's shared clock
+    /// origin: captured back to back with `origin`, so per-run interval
+    /// offsets rebase onto the one recorder timeline (sub-µs capture skew
+    /// is far below the µs event resolution).
+    origin_offset_us: f64,
     log: Mutex<LaneLog>,
 }
 
 impl RunCtx {
-    fn new() -> Self {
+    fn new(telemetry: Option<&ExecTelemetry>) -> Self {
+        let (trace, run_id, origin_offset_us) = match telemetry {
+            Some(et) => (
+                korch_telemetry::current_trace(),
+                et.shared.next_run_id(),
+                et.shared.recorder().now_us(),
+            ),
+            None => (0, 0, 0.0),
+        };
         Self {
             origin: Instant::now(),
+            trace,
+            run_id,
+            origin_offset_us,
             log: Mutex::new(LaneLog::default()),
         }
     }
@@ -443,6 +573,7 @@ impl PlanExecutor {
             .collect();
 
         let n_roots = kernels.iter().filter(|k| k.deps.is_empty()).count();
+        let telemetry = config.telemetry.as_ref().map(ExecTelemetry::new);
         Ok(Self {
             graph: g.clone(),
             plan: plan.clone(),
@@ -463,6 +594,8 @@ impl PlanExecutor {
             slot_pinned,
             arena: BufferArena::new(),
             profile_enabled,
+            timing_enabled: profile_enabled || telemetry.is_some(),
+            telemetry,
             profile: Mutex::new(RuntimeProfile::new(plan.kernels.len())),
             tile_specs,
             split_threshold_us,
@@ -648,7 +781,7 @@ impl PlanExecutor {
     ///
     /// Returns [`ExecError`] on input mismatches or kernel failures.
     pub fn execute(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, ExecError> {
-        let run = RunCtx::new();
+        let mut run = RunCtx::new(self.telemetry.as_ref());
         let mut state = self.feed(inputs)?;
         // A lane's deque only ever holds its homed kernels, so lanes the
         // schedule left empty never need a worker; chain-shaped plans run
@@ -686,17 +819,32 @@ impl PlanExecutor {
         }
         // All workers have merged their lane logs; fold the run into the
         // shared profile under one lock hold.
-        let log = run.log.into_inner().expect("run log poisoned");
+        let log = std::mem::take(&mut run.log)
+            .into_inner()
+            .expect("run log poisoned");
         let failed = state.failed.load(Ordering::Acquire);
+        if let Some(et) = &self.telemetry {
+            et.emit_run(&run, &log);
+        }
         if self.profile_enabled || log.steals > 0 {
             let mut profile = self.profile.lock().expect("profile poisoned");
-            profile.merge_run(log.samples, log.steals);
+            // Intervals may have been timed for tracing alone; the
+            // profile only ever sees them when profiling is on.
+            let samples = if self.profile_enabled {
+                log.samples
+            } else {
+                Vec::new()
+            };
+            profile.merge_run(samples, log.steals);
             if self.profile_enabled && !failed {
                 profile.record_run(run.origin.elapsed().as_secs_f64() * 1e6);
             }
         }
         if failed {
             self.settle(&state);
+            if let Some(et) = &self.telemetry {
+                et.emit_arena(&self.arena.stats());
+            }
             let e = state.error.lock().expect("error poisoned").take();
             return Err(e.unwrap_or_else(|| ExecError::Input("executor failed".into())));
         }
@@ -715,6 +863,9 @@ impl PlanExecutor {
             })
             .collect::<Result<Vec<_>, _>>()?;
         self.settle(&state);
+        if let Some(et) = &self.telemetry {
+            et.emit_arena(&self.arena.stats());
+        }
         Ok(outputs)
     }
 
@@ -937,7 +1088,7 @@ impl PlanExecutor {
         log: &mut LaneLog,
     ) -> bool {
         let start = self
-            .profile_enabled
+            .timing_enabled
             .then(|| run.origin.elapsed().as_secs_f64() * 1e6);
         match self.run_kernel(k, state) {
             Ok(()) => {
@@ -986,7 +1137,7 @@ impl PlanExecutor {
         log: &mut LaneLog,
     ) -> bool {
         let start = self
-            .profile_enabled
+            .timing_enabled
             .then(|| run.origin.elapsed().as_secs_f64() * 1e6);
         match self.eval_tile(k, t_idx, state) {
             Ok(chunk) => {

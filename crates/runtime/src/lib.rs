@@ -65,6 +65,44 @@
 //! requests and triggers step 2–4 on a background thread when the model
 //! error exceeds its threshold.
 //!
+//! # Observability
+//!
+//! Passing one shared `korch_telemetry::Telemetry` hub to both
+//! [`BatchConfig::telemetry`] and [`RuntimeConfig::telemetry`] threads
+//! end-to-end request tracing through the whole stack. The trace event
+//! model follows the request's life: an `Admitted` instant at
+//! submission (carrying the queue depth), a `QueueWait` span from
+//! admission to batch pickup, a `Request` span around the model run, a
+//! `Routed` instant per shard-claim attempt (chosen shard, in-flight
+//! snapshot, retry flag), `Quarantine` entry/exit instants at failure
+//! streaks, per-lane `Kernel`/`Tile` spans from the executor's measured
+//! intervals, an `ArenaHighwater` instant per run, and `RecalPhase`
+//! fit/replan/swap spans tagged with the swapped-in plan generation.
+//! Every event is tied to its request by a `TraceId` allocated at
+//! admission and propagated through a thread-local
+//! (`korch_telemetry::with_trace`) into the router and executor.
+//!
+//! Two invariants make the events composable:
+//!
+//! - **Shared clock origin** — all timestamps are microsecond offsets
+//!   from the hub recorder's single `Instant` origin. The executor
+//!   captures its per-run offset back-to-back with its own run clock at
+//!   run start and rebases every kernel/tile interval onto the shared
+//!   timeline, so serving-side and executor-side spans interleave
+//!   correctly in one exported trace.
+//! - **Zero-cost disabled path** — with `telemetry: None` nothing is
+//!   recorded, allocated, or timed beyond what profiling already does;
+//!   with a hub attached but its recorder gated off, recording is a
+//!   single relaxed atomic load and the pre-allocated ring buffers stay
+//!   untouched (bounded drop-oldest rings: tracing never reallocates on
+//!   the hot path).
+//!
+//! `Telemetry::chrome_trace` exports the recorder snapshot as Chrome
+//! trace-event JSON (loadable in `chrome://tracing` / Perfetto), and
+//! [`ServerStats::metrics`] embeds the hub's metrics-registry snapshot
+//! (queue depth, batch occupancy, queue waits, steals, tile counters,
+//! quarantines, retune outcomes).
+//!
 //! ```
 //! use korch_ir::{EwFn, PrimGraph, PrimKind};
 //! use korch_orch::Orchestrator;

@@ -443,4 +443,83 @@ mod tests {
         assert_eq!(p.sequential_us(), 0.0);
         assert_eq!(p.overlap_speedup(), 1.0);
     }
+
+    /// One single-interval set whose `start_us` tags the run it came
+    /// from, so eviction order is observable.
+    fn tagged_set(tag: f64) -> Vec<KernelInterval> {
+        vec![KernelInterval {
+            kernel: 0,
+            lane: 0,
+            start_us: tag,
+            end_us: tag + 1.0,
+            tile: None,
+        }]
+    }
+
+    /// `merge_run` keeps a strict sliding window: past
+    /// [`INTERVAL_WINDOW`] sets the oldest run is evicted first, the
+    /// window never exceeds the cap, and surviving sets stay in
+    /// oldest-first accumulation order.
+    #[test]
+    fn merge_run_evicts_oldest_interval_sets() {
+        let mut p = RuntimeProfile::new(1);
+        let extra = 5;
+        for run in 0..INTERVAL_WINDOW + extra {
+            p.merge_run(tagged_set(run as f64), 0);
+            assert!(p.intervals.len() <= INTERVAL_WINDOW);
+        }
+        assert_eq!(p.intervals.len(), INTERVAL_WINDOW);
+        let tags: Vec<f64> = p.intervals.iter().map(|s| s[0].start_us).collect();
+        let expect: Vec<f64> = (extra..INTERVAL_WINDOW + extra).map(|r| r as f64).collect();
+        assert_eq!(tags, expect, "oldest runs must be evicted first");
+        // Empty runs contribute no set and trigger no eviction.
+        p.merge_run(Vec::new(), 1);
+        assert_eq!(
+            p.intervals
+                .iter()
+                .map(|s| s[0].start_us)
+                .collect::<Vec<_>>(),
+            expect
+        );
+    }
+
+    /// Uneven contributors: a full window merged with a small one must
+    /// keep *all* of the small contributor's evidence (round-robin fill
+    /// draws newest-first from everyone) while the window stays capped —
+    /// and pairwise [`RuntimeProfile::merge`] must agree with
+    /// [`RuntimeProfile::merged`] over the same pair.
+    #[test]
+    fn merged_window_caps_and_keeps_small_contributors() {
+        let mut big = RuntimeProfile::new(1);
+        for run in 0..INTERVAL_WINDOW {
+            // Lane 0 tags the big contributor.
+            big.merge_run(tagged_set(run as f64), 0);
+        }
+        let mut small = RuntimeProfile::new(1);
+        for run in 0..4 {
+            let mut set = tagged_set(1000.0 + run as f64);
+            set[0].lane = 1;
+            small.merge_run(set, 0);
+        }
+        let combined = RuntimeProfile::merged(&[&big, &small]);
+        assert_eq!(combined.intervals.len(), INTERVAL_WINDOW);
+        let from_small = combined.intervals.iter().filter(|s| s[0].lane == 1).count();
+        assert_eq!(
+            from_small, 4,
+            "every set of the small contributor must survive the merge"
+        );
+        // The evicted sets are the big contributor's *oldest* runs.
+        let oldest_surviving_big = combined
+            .intervals
+            .iter()
+            .filter(|s| s[0].lane == 0)
+            .map(|s| s[0].start_us)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(oldest_surviving_big, 4.0);
+        // Pairwise merge is defined as merged over the pair.
+        let mut pairwise = big.clone();
+        pairwise.merge(&small);
+        assert_eq!(pairwise.intervals, combined.intervals);
+        assert_eq!(pairwise.per_kernel[0].count, combined.per_kernel[0].count);
+    }
 }

@@ -68,6 +68,13 @@ pub struct BatchConfig {
     /// [`Server::start_tuned_sharded`]) — a plain [`Model`] carries no
     /// replication handle, so [`Server::start`] serves it as-is.
     pub shards: usize,
+    /// Shared telemetry hub for request tracing and serving metrics.
+    /// `None` (the default) keeps the serving path telemetry-free: no
+    /// trace ids are allocated, no events recorded, no metrics
+    /// registered. Pass the *same* hub to the executor's
+    /// `RuntimeConfig::telemetry` so server-side and executor-side events
+    /// share one clock origin and one trace-id space.
+    pub telemetry: Option<Arc<korch_telemetry::Telemetry>>,
 }
 
 impl Default for BatchConfig {
@@ -77,6 +84,7 @@ impl Default for BatchConfig {
             max_wait: Duration::from_millis(2),
             recalibration: None,
             shards: 1,
+            telemetry: None,
         }
     }
 }
@@ -162,7 +170,38 @@ impl std::error::Error for ServeError {}
 struct Request {
     inputs: Vec<Tensor>,
     enqueued: Instant,
+    /// Trace id allocated at admission (0 when the server is untraced).
+    trace: korch_telemetry::TraceId,
+    /// Admission time on the recorder's shared clock, µs (0.0 untraced).
+    admitted_us: f64,
     reply: mpsc::Sender<Result<Vec<Tensor>, ServeError>>,
+}
+
+/// Serving-side telemetry handle: the shared hub plus the serving
+/// metrics registered once at server start. Cheap to clone (all handles
+/// are `Arc`-backed).
+#[derive(Clone)]
+struct ServingTelemetry {
+    shared: Arc<korch_telemetry::Telemetry>,
+    queue_depth: korch_telemetry::Gauge,
+    batch_occupancy: korch_telemetry::Histogram,
+    queue_wait_us: korch_telemetry::Histogram,
+    retunes_ok: korch_telemetry::Counter,
+    retunes_failed: korch_telemetry::Counter,
+}
+
+impl ServingTelemetry {
+    fn new(shared: &Arc<korch_telemetry::Telemetry>) -> Self {
+        let m = shared.metrics();
+        Self {
+            shared: Arc::clone(shared),
+            queue_depth: m.gauge("serving.queue_depth"),
+            batch_occupancy: m.histogram("serving.batch_occupancy"),
+            queue_wait_us: m.histogram("serving.queue_wait_us"),
+            retunes_ok: m.counter("serving.retunes_ok"),
+            retunes_failed: m.counter("serving.retunes_failed"),
+        }
+    }
 }
 
 /// Pending response of a submitted request.
@@ -266,6 +305,11 @@ pub struct ServerStats {
     /// Per-shard serving counters of a sharded server ([`Server::start_sharded`]
     /// / [`Server::start_tuned_sharded`]); empty for unsharded servers.
     pub shards: Vec<ShardStats>,
+    /// Snapshot of the shared metrics registry — serving gauges and
+    /// histograms plus whatever the executor and router registered on the
+    /// same hub. `None` unless the server was started with
+    /// [`BatchConfig::telemetry`].
+    pub metrics: Option<korch_telemetry::MetricsSnapshot>,
 }
 
 struct Queue {
@@ -281,6 +325,8 @@ pub struct Server {
     /// Shard facet of a sharded server; consulted by [`Server::stats`]
     /// for per-shard counters.
     shard: Option<Arc<dyn ShardControl>>,
+    /// Telemetry facet; `None` keeps submission telemetry-free.
+    telemetry: Option<ServingTelemetry>,
     started: Instant,
     batcher: Option<std::thread::JoinHandle<()>>,
 }
@@ -359,15 +405,20 @@ impl Server {
             shutdown: AtomicBool::new(false),
         });
         let stats = Arc::new(Mutex::new(StatsInner::default()));
+        let telemetry = config.telemetry.as_ref().map(ServingTelemetry::new);
         let batcher = {
             let queue = Arc::clone(&queue);
             let stats = Arc::clone(&stats);
-            std::thread::spawn(move || batcher_loop(&queue, &stats, &*model, tuner, &config))
+            let telemetry = telemetry.clone();
+            std::thread::spawn(move || {
+                batcher_loop(&queue, &stats, &*model, tuner, &config, telemetry.as_ref());
+            })
         };
         Self {
             queue,
             stats,
             shard,
+            telemetry,
             started: Instant::now(),
             batcher: Some(batcher),
         }
@@ -386,9 +437,30 @@ impl Server {
             let _ = tx.send(Err(ServeError::Shutdown));
             return ResponseHandle { rx };
         }
+        let (trace, admitted_us) = match &self.telemetry {
+            Some(t) => {
+                let trace = t.shared.next_trace_id();
+                let rec = t.shared.recorder();
+                let admitted_us = rec.now_us();
+                let depth = q.len() + 1;
+                t.queue_depth.set(depth as i64);
+                if rec.is_enabled() {
+                    rec.record(korch_telemetry::TraceEvent {
+                        trace,
+                        start_us: admitted_us,
+                        dur_us: 0.0,
+                        kind: korch_telemetry::EventKind::Admitted { queue_depth: depth },
+                    });
+                }
+                (trace, admitted_us)
+            }
+            None => (0, 0.0),
+        };
         q.push_back(Request {
             inputs,
             enqueued: Instant::now(),
+            trace,
+            admitted_us,
             reply: tx,
         });
         drop(q);
@@ -451,6 +523,10 @@ impl Server {
                 .as_ref()
                 .map(|s| s.shard_stats())
                 .unwrap_or_default(),
+            metrics: self
+                .telemetry
+                .as_ref()
+                .map(|t| t.shared.metrics().snapshot()),
         }
     }
 
@@ -490,6 +566,7 @@ struct TuneState {
     stats: Arc<Mutex<StatsInner>>,
     since_check: u64,
     in_flight: Option<std::thread::JoinHandle<()>>,
+    telemetry: Option<ServingTelemetry>,
 }
 
 impl TuneState {
@@ -521,14 +598,26 @@ impl TuneState {
         }
         let tuner = Arc::clone(&self.tuner);
         let stats = Arc::clone(&self.stats);
+        let telemetry = self.telemetry.clone();
         self.in_flight = Some(std::thread::spawn(move || {
             // A failed retune (e.g. nothing profiled yet) leaves the live
             // model untouched; the next drift check simply tries again.
-            if let Ok(outcome) = tuner.retune() {
-                let mut s = stats.lock().expect("stats poisoned");
-                s.recalibrations += 1;
-                s.last_model_error = Some(outcome.model_error_after);
-                s.fitted_contention = Some((outcome.memory_rate, outcome.compute_rate));
+            match tuner.retune() {
+                Ok(outcome) => {
+                    let mut s = stats.lock().expect("stats poisoned");
+                    s.recalibrations += 1;
+                    s.last_model_error = Some(outcome.model_error_after);
+                    s.fitted_contention = Some((outcome.memory_rate, outcome.compute_rate));
+                    drop(s);
+                    if let Some(t) = &telemetry {
+                        t.retunes_ok.inc();
+                    }
+                }
+                Err(_) => {
+                    if let Some(t) = &telemetry {
+                        t.retunes_failed.inc();
+                    }
+                }
             }
         }));
     }
@@ -548,6 +637,7 @@ fn batcher_loop(
     model: &dyn Model,
     tuner: Option<Arc<dyn SelfTune>>,
     config: &BatchConfig,
+    telemetry: Option<&ServingTelemetry>,
 ) {
     let max_batch = config.max_batch.max(1);
     let mut tune = match (&config.recalibration, tuner) {
@@ -557,6 +647,7 @@ fn batcher_loop(
             stats: Arc::clone(stats),
             since_check: 0,
             in_flight: None,
+            telemetry: telemetry.cloned(),
         }),
         _ => None,
     };
@@ -631,10 +722,61 @@ fn batcher_loop(
         // executor's own lane parallelism), which is what makes grouping
         // requests pay off beyond FIFO dispatch.
         let n = batch.len() as u64;
+        if let Some(t) = telemetry {
+            t.batch_occupancy.observe(n);
+            t.queue_depth
+                .set(queue.requests.lock().expect("queue poisoned").len() as i64);
+            let rec = t.shared.recorder();
+            if rec.is_enabled() {
+                rec.record(korch_telemetry::TraceEvent {
+                    trace: 0,
+                    start_us: rec.now_us(),
+                    dur_us: 0.0,
+                    kind: korch_telemetry::EventKind::BatchFormed { size: n as usize },
+                });
+            }
+        }
         std::thread::scope(|scope| {
             for req in batch {
                 scope.spawn(move || {
-                    let result = model.run(&req.inputs).map_err(ServeError::Exec);
+                    let result = match telemetry {
+                        Some(t) => {
+                            let rec = t.shared.recorder();
+                            let wait_us = (rec.now_us() - req.admitted_us).max(0.0);
+                            // The request span must start exactly where the
+                            // queue-wait span ends on the exported timeline.
+                            // The exporter computes that end as
+                            // `admitted_us + wait_us`; reuse the identical
+                            // f64 expression (rather than the raw clock
+                            // reading) so the two timestamps tie bit-exactly
+                            // and emission order keeps E-before-B at the tie.
+                            let pickup_us = req.admitted_us + wait_us;
+                            t.queue_wait_us.observe(wait_us as u64);
+                            if rec.is_enabled() {
+                                rec.record(korch_telemetry::TraceEvent {
+                                    trace: req.trace,
+                                    start_us: req.admitted_us,
+                                    dur_us: wait_us,
+                                    kind: korch_telemetry::EventKind::QueueWait,
+                                });
+                            }
+                            // The trace id rides the request thread so the
+                            // router and executor tag their events with it.
+                            let result = korch_telemetry::with_trace(req.trace, || {
+                                model.run(&req.inputs).map_err(ServeError::Exec)
+                            });
+                            if rec.is_enabled() {
+                                rec.record(korch_telemetry::TraceEvent {
+                                    trace: req.trace,
+                                    start_us: pickup_us,
+                                    dur_us: (rec.now_us() - pickup_us).max(0.0),
+                                    kind: korch_telemetry::EventKind::Request,
+                                });
+                            }
+                            result
+                        }
+                        None => model.run(&req.inputs).map_err(ServeError::Exec),
+                    };
                     let latency_us = req.enqueued.elapsed().as_secs_f64() * 1e6;
                     let mut s = stats.lock().expect("stats poisoned");
                     s.requests += 1;

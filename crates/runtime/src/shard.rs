@@ -79,6 +79,10 @@ pub struct ShardStats {
     /// Successful runs this shard adopted after a sibling shard failed
     /// the same request first (the retry-on-sibling path).
     pub adopted: u64,
+    /// Failed runs since the last success — the quarantine countdown
+    /// ([`QUARANTINE_AFTER`] trips it). Reset to 0 by any success and by
+    /// a shard-set/recalibration swap.
+    pub consecutive_failures: u64,
     /// `false` while the shard is quarantined (≥ [`QUARANTINE_AFTER`]
     /// consecutive failures, no success since).
     pub live: bool,
@@ -100,6 +104,37 @@ impl ShardSlot {
     }
 }
 
+/// The router's view of a shared telemetry bundle: routing decisions and
+/// quarantine transitions become trace instants (stamped with the calling
+/// thread's current trace id), quarantine entries bump a counter.
+#[derive(Clone)]
+struct RouterTelemetry {
+    shared: Arc<korch_telemetry::Telemetry>,
+    quarantines: korch_telemetry::Counter,
+}
+
+impl RouterTelemetry {
+    fn new(shared: &Arc<korch_telemetry::Telemetry>) -> Self {
+        Self {
+            shared: Arc::clone(shared),
+            quarantines: shared.metrics().counter("router.quarantines"),
+        }
+    }
+
+    fn instant(&self, kind: korch_telemetry::EventKind) {
+        let rec = self.shared.recorder();
+        if !rec.is_enabled() {
+            return;
+        }
+        rec.record(korch_telemetry::TraceEvent {
+            trace: korch_telemetry::current_trace(),
+            start_us: rec.now_us(),
+            dur_us: 0.0,
+            kind,
+        });
+    }
+}
+
 /// Load-aware router over N shards: picks the least-loaded live shard,
 /// retries failed runs on untried siblings, and tracks per-shard serving
 /// counters. Shared via `Arc` so runs that started before a shard-set
@@ -110,6 +145,7 @@ pub struct ShardRouter {
     /// runs serialize (every claim sees all-zero in-flight counts), a
     /// fixed scan order would route everything to shard 0.
     cursor: AtomicUsize,
+    telemetry: Option<RouterTelemetry>,
 }
 
 impl ShardRouter {
@@ -119,7 +155,17 @@ impl ShardRouter {
         Self {
             slots: (0..n).map(|_| Arc::new(ShardSlot::default())).collect(),
             cursor: AtomicUsize::new(0),
+            telemetry: None,
         }
+    }
+
+    /// The same router, recording routing/quarantine events into
+    /// `telemetry` (`None` detaches — the zero-cost default).
+    /// [`ShardRouter::inheriting`] carries the sink across swaps.
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Option<&Arc<korch_telemetry::Telemetry>>) -> Self {
+        self.telemetry = telemetry.map(RouterTelemetry::new);
+        self
     }
 
     /// Router over `n` shards **inheriting** `prev`'s per-shard state by
@@ -143,6 +189,7 @@ impl ShardRouter {
                 })
                 .collect(),
             cursor: AtomicUsize::new(0),
+            telemetry: prev.telemetry.clone(),
         }
     }
 
@@ -162,6 +209,7 @@ impl ShardRouter {
                 served: s.served.load(Ordering::Acquire),
                 failures: s.failures.load(Ordering::Acquire),
                 adopted: s.adopted.load(Ordering::Acquire),
+                consecutive_failures: s.consecutive_failures.load(Ordering::Acquire),
                 live: !s.quarantined(),
             })
             .collect()
@@ -195,18 +243,38 @@ impl ShardRouter {
 
     /// Records the outcome of a claimed run and releases its in-flight
     /// slot. `adopted` marks a success that followed a sibling's failure.
+    /// Quarantine transitions (the consecutive-failure counter crossing
+    /// [`QUARANTINE_AFTER`], or a success revoking it) are recorded as
+    /// trace instants when a telemetry sink is attached.
     fn complete(&self, shard: usize, ok: bool, adopted: bool) {
         let slot = &self.slots[shard];
         slot.in_flight.fetch_sub(1, Ordering::AcqRel);
         if ok {
             slot.served.fetch_add(1, Ordering::AcqRel);
-            slot.consecutive_failures.store(0, Ordering::Release);
+            let streak = slot.consecutive_failures.swap(0, Ordering::AcqRel);
             if adopted {
                 slot.adopted.fetch_add(1, Ordering::AcqRel);
             }
+            if streak >= QUARANTINE_AFTER {
+                if let Some(t) = &self.telemetry {
+                    t.instant(korch_telemetry::EventKind::Quarantine {
+                        shard,
+                        entered: false,
+                    });
+                }
+            }
         } else {
             slot.failures.fetch_add(1, Ordering::AcqRel);
-            slot.consecutive_failures.fetch_add(1, Ordering::AcqRel);
+            let streak = slot.consecutive_failures.fetch_add(1, Ordering::AcqRel) + 1;
+            if streak == QUARANTINE_AFTER {
+                if let Some(t) = &self.telemetry {
+                    t.quarantines.inc();
+                    t.instant(korch_telemetry::EventKind::Quarantine {
+                        shard,
+                        entered: true,
+                    });
+                }
+            }
         }
     }
 
@@ -228,6 +296,13 @@ impl ShardRouter {
         let mut last_err = None;
         while let Some(shard) = self.claim(&tried) {
             tried[shard] = true;
+            if let Some(t) = &self.telemetry {
+                t.instant(korch_telemetry::EventKind::Routed {
+                    shard,
+                    in_flight: self.slots[shard].in_flight.load(Ordering::Acquire),
+                    retry: retrying,
+                });
+            }
             match attempt(shard) {
                 Ok(v) => {
                     self.complete(shard, true, retrying);
@@ -326,7 +401,7 @@ impl ShardedExecutor {
         Ok(Self {
             bank: RwLock::new(ShardBank {
                 shards: Arc::new(replicas),
-                router: Arc::new(ShardRouter::new(n)),
+                router: Arc::new(ShardRouter::new(n).with_telemetry(config.telemetry.as_ref())),
             }),
         })
     }
@@ -621,11 +696,57 @@ mod tests {
     #[test]
     fn quarantined_shard_revives_on_success() {
         let router = ShardRouter::new(1);
-        for _ in 0..QUARANTINE_AFTER {
+        for streak in 1..=QUARANTINE_AFTER {
             let _ = router.route(|_| Err::<(), _>(ExecError::Input("x".into())));
+            assert_eq!(
+                router.stats()[0].consecutive_failures,
+                streak,
+                "the failure streak must be reported live"
+            );
         }
         assert!(!router.stats()[0].live);
         router.route(|_| Ok::<(), ExecError>(())).unwrap();
-        assert!(router.stats()[0].live, "a success must reset quarantine");
+        let stats = router.stats();
+        assert!(stats[0].live, "a success must reset quarantine");
+        assert_eq!(
+            stats[0].consecutive_failures, 0,
+            "a success must clear the streak"
+        );
+    }
+
+    /// A telemetry-wired router records a `Routed` instant per attempt
+    /// and exactly one `Quarantine` entry/exit pair per streak, while the
+    /// quarantine counter counts entries.
+    #[test]
+    fn telemetered_router_records_routing_and_quarantine_transitions() {
+        use korch_telemetry::{EventKind, Telemetry};
+        let telemetry = Telemetry::shared();
+        let router = ShardRouter::new(1).with_telemetry(Some(&telemetry));
+        for _ in 0..QUARANTINE_AFTER {
+            let _ = router.route(|_| Err::<(), _>(ExecError::Input("x".into())));
+        }
+        router.route(|_| Ok::<(), ExecError>(())).unwrap();
+        let events = telemetry.recorder().snapshot();
+        let routed = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Routed { .. }))
+            .count();
+        assert_eq!(routed, QUARANTINE_AFTER as usize + 1);
+        let entries: Vec<bool> = events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::Quarantine { entered, .. } => Some(entered),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            entries,
+            vec![true, false],
+            "one quarantine entry at the threshold, one exit on revival"
+        );
+        assert_eq!(
+            telemetry.metrics().snapshot().counter("router.quarantines"),
+            Some(1)
+        );
     }
 }

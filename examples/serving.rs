@@ -7,6 +7,12 @@
 //! atomic swap — no `recalibrate()` or `set_shards()` call anywhere in
 //! this file.
 //!
+//! The whole run is **traced**: one shared telemetry hub rides both the
+//! serving layer and every shard executor, and at the end the example
+//! exports a Chrome trace-event JSON artifact (load it in
+//! `chrome://tracing` or Perfetto), validates it structurally, and
+//! prints the metrics-registry snapshot embedded in the final stats.
+//!
 //! Run with: `cargo run --release --example serving`
 
 use korch::core::{Korch, KorchConfig};
@@ -14,6 +20,7 @@ use korch::cost::Device;
 use korch::ir::OpKind;
 use korch::models::subgraphs::segformer_attention;
 use korch::runtime::{BatchConfig, RecalibrationPolicy, RuntimeConfig, Server};
+use korch::telemetry::{validate_chrome_trace, Telemetry};
 use korch::tensor::Tensor;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,7 +44,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // per-class calibration fit settles well under the drift threshold.
     let graph = segformer_attention(64, 64, 2);
     let korch = Korch::new(Device::v100(), KorchConfig::default());
-    let runtime = RuntimeConfig::with_lanes(4);
+    // One telemetry hub for the whole stack: the serving layer, the
+    // router, and every shard executor record onto the same clock origin
+    // and trace-id space. Generous ring capacity so a long hands-free run
+    // keeps its most recent requests intact (rings drop oldest-first).
+    let telemetry = Arc::new(Telemetry::with_capacity(8, 65536));
+    let mut runtime = RuntimeConfig::with_lanes(4);
+    runtime.telemetry = Some(Arc::clone(&telemetry));
     let tuned = Arc::new(korch.compile_tuned(&graph, &runtime)?);
     println!(
         "compiled: {} kernels, simulated {:.4} ms, {} partitions",
@@ -84,6 +97,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 // failed shard run would be retried on a sibling, and the
                 // drift check fits from all four shards' merged profiles.
                 shards: SHARDS,
+                telemetry: Some(Arc::clone(&telemetry)),
             },
         )
         .expect("shard provisioning"),
@@ -222,6 +236,52 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.shards.iter().all(|s| s.served > 0 && s.live),
         "the router must spread traffic over every shard: {:?}",
         stats.shards
+    );
+
+    // 5. Export the whole run as a Chrome trace-event artifact and check
+    //    it structurally: balanced span pairs, monotone timestamps, tile
+    //    spans nested inside their parent kernel spans. The same
+    //    validator runs in CI's release-test step.
+    let trace = telemetry.chrome_trace();
+    let trace_path = std::path::Path::new("target").join("serving_trace.json");
+    std::fs::write(&trace_path, &trace)?;
+    let check = validate_chrome_trace(&trace).map_err(|e| format!("invalid trace: {e}"))?;
+    println!(
+        "trace:    {} events ({} spans, {} instants, {} tile spans) across {} traced requests \
+         -> {} ({} dropped oldest)",
+        check.events,
+        check.spans,
+        check.instants,
+        check.tile_spans,
+        check.trace_ids.len(),
+        trace_path.display(),
+        telemetry.recorder().dropped(),
+    );
+    assert!(
+        !check.trace_ids.is_empty(),
+        "the trace must carry at least one reconstructable request"
+    );
+    let metrics = stats.metrics.as_ref().expect("telemetry was attached");
+    let waits = metrics
+        .histogram("serving.queue_wait_us")
+        .expect("queue-wait histogram registered");
+    println!(
+        "metrics:  queue_wait mean {:.1} µs over {} waits; batch occupancy mean {:.2}; \
+         {} steals, {} tile tasks, {} quarantines, {} retunes ok / {} failed",
+        waits.mean(),
+        waits.count,
+        metrics
+            .histogram("serving.batch_occupancy")
+            .map_or(0.0, |h| h.mean()),
+        metrics.counter("executor.steals").unwrap_or(0),
+        metrics.counter("executor.tile_tasks").unwrap_or(0),
+        metrics.counter("router.quarantines").unwrap_or(0),
+        metrics.counter("serving.retunes_ok").unwrap_or(0),
+        metrics.counter("serving.retunes_failed").unwrap_or(0),
+    );
+    assert_eq!(
+        waits.count, stats.requests,
+        "every served request must observe one queue wait"
     );
     println!("served a final request on the self-tuned sharded plan; all checks passed");
     Ok(())

@@ -15,6 +15,8 @@
 //! - [`runtime`] — the parallel plan executor (lane threads, buffer arena,
 //!   wall-time profiler with cost-model calibration) and the batched
 //!   serving front-end
+//! - [`telemetry`] — end-to-end request tracing (Chrome trace export) and
+//!   the counters/gauges/histograms metrics registry
 //! - [`core`] — the end-to-end [`core::Korch`] pipeline and the
 //!   [`core::Korch::compile`] entry point onto the runtime
 //! - [`models`] — the five evaluation workloads and case-study subgraphs
@@ -50,5 +52,6 @@ pub use korch_ir as ir;
 pub use korch_models as models;
 pub use korch_orch as orch;
 pub use korch_runtime as runtime;
+pub use korch_telemetry as telemetry;
 pub use korch_tensor as tensor;
 pub use korch_transform as transform;

@@ -52,6 +52,7 @@ fn auto_recalibration_is_bit_identical_mid_serving() {
                     // fires deterministically.
                     model_error_threshold: 0.05,
                 }),
+                ..Default::default()
             },
         );
         // Serve in waves so drift checks (one per batch) interleave with

@@ -327,6 +327,7 @@ fn auto_recalibration_swaps_all_shards_mid_serving() {
                 every_n_requests: 4,
                 model_error_threshold: 0.05,
             }),
+            ..Default::default()
         },
     )
     .expect("shard provisioning succeeds");

@@ -176,6 +176,7 @@ fn tuned_server_survives_retune_races() {
                     every_n_requests: 2,
                     model_error_threshold: 0.5,
                 }),
+                ..Default::default()
             },
         );
         let handles: Vec<_> = (0..24)
