@@ -413,6 +413,40 @@ fn bench_tiled(c: &mut Criterion) {
             on / off
         ),
     });
+    // Static verification headline: the full `verify_executor` pass
+    // (plan/schedule verifier + arena-lifetime abstract interpreter) over
+    // an orchestrated attention plan compiled at 4 lanes with tiling on —
+    // the cost `recalibrate`'s debug gate pays per partition.
+    let vgraph = softmax_attention(64, 64);
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let optimized = korch.optimize(&vgraph).expect("attention optimizes");
+    let vpart = &optimized.partitions()[0];
+    let vexec = PlanExecutor::new(&vpart.part.graph, &vpart.plan, RuntimeConfig::with_lanes(4))
+        .expect("attention plan compiles");
+    assert!(
+        korch_verify::verify_executor(&vexec).is_empty(),
+        "the benchmarked artifact must verify"
+    );
+    let (v_p10, v_med, v_p90) = measure(10, || {
+        black_box(korch_verify::verify_executor(black_box(&vexec)));
+    });
+    println!(
+        "verify/plan_verify: {:.3} ms over a {}-kernel attention plan",
+        v_med * 1e3,
+        vpart.plan.kernel_count()
+    );
+    records.push(BenchRecord {
+        name: "verify/plan_verify".into(),
+        median_ns: v_med * 1e9,
+        p10_ns: v_p10 * 1e9,
+        p90_ns: v_p90 * 1e9,
+        speedup_vs_sequential: None,
+        note: format!(
+            "full static verification (plan/schedule + lifetime interpreter) of a \
+             {}-kernel softmax-attention plan at 4 lanes, tiling on",
+            vpart.plan.kernel_count()
+        ),
+    });
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_runtime.json");
     write_bench_json(&path, &records).expect("perf record written");
     println!(

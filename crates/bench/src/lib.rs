@@ -3,5 +3,6 @@
 //! helpers live here; each figure has a binary under `src/bin/`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod report;

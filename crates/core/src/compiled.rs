@@ -200,6 +200,21 @@ impl CompiledModel {
         Arc::clone(&self.plan.read().expect("plan poisoned").shards[0])
     }
 
+    /// Statically verifies the live plan: runs the `korch-verify`
+    /// plan/schedule verifier and arena-lifetime abstract interpreter
+    /// over every compiled partition of the primary shard (all shards
+    /// run identical plans).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KorchError::Verify`] with every broken invariant.
+    pub fn verify(&self) -> Result<(), KorchError> {
+        for p in self.partitions().iter() {
+            korch_verify::check_executor(&p.executor)?;
+        }
+        Ok(())
+    }
+
     /// Snapshot of every shard's partitions (index = shard id).
     pub fn shard_snapshots(&self) -> Arc<Vec<Arc<Vec<CompiledPartition>>>> {
         Arc::clone(&self.plan.read().expect("plan poisoned").shards)
@@ -461,6 +476,19 @@ impl CompiledModel {
                     outputs: p.outputs.clone(),
                     executor,
                 });
+            }
+        }
+        // Debug builds statically verify each freshly orchestrated plan
+        // before it can be swapped in: dependency edges, schedule lane
+        // hints, tile decompositions and the arena lifetime program are
+        // all checked on the artifacts the new executors will run. Every
+        // shard compiles from the same plan, so one replica's executors
+        // cover all of them. On any violation the error propagates and
+        // the current plan stays in place.
+        #[cfg(debug_assertions)]
+        if let Some(first) = built.first() {
+            for p in first.iter() {
+                korch_verify::check_executor(&p.executor)?;
             }
         }
         let report = RecalibrationReport {

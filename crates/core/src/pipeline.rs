@@ -25,6 +25,8 @@ pub enum KorchError {
     Orch(OrchError),
     /// Execution error during verification.
     Exec(ExecError),
+    /// A compiled artifact failed static verification.
+    Verify(korch_verify::VerifyError),
 }
 
 impl fmt::Display for KorchError {
@@ -33,6 +35,7 @@ impl fmt::Display for KorchError {
             KorchError::Ir(e) => write!(f, "ir: {e}"),
             KorchError::Orch(e) => write!(f, "orchestration: {e}"),
             KorchError::Exec(e) => write!(f, "execution: {e}"),
+            KorchError::Verify(e) => write!(f, "verification: {e}"),
         }
     }
 }
@@ -52,6 +55,11 @@ impl From<OrchError> for KorchError {
 impl From<ExecError> for KorchError {
     fn from(e: ExecError) -> Self {
         KorchError::Exec(e)
+    }
+}
+impl From<korch_verify::VerifyError> for KorchError {
+    fn from(e: korch_verify::VerifyError) -> Self {
+        KorchError::Verify(e)
     }
 }
 

@@ -55,6 +55,22 @@ impl Tilability {
             Tilability::Monolithic => None,
         }
     }
+
+    /// Whether `range` is a legal tile of this classification: the
+    /// primitive splits at all, the range is non-empty, and both
+    /// endpoints align to the grain (a matmul row's contraction never
+    /// splits mid-row). This is the per-range half of the disjoint-slice
+    /// contract; `korch-verify` checks it over compiled tile layouts.
+    pub fn accepts(&self, range: &Range<usize>) -> bool {
+        match self.grain() {
+            Some(g) => {
+                range.start < range.end
+                    && range.start.is_multiple_of(g)
+                    && range.end.is_multiple_of(g)
+            }
+            None => false,
+        }
+    }
 }
 
 /// Classifies one primitive. `out_shape` is the shape of its (single)

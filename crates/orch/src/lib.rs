@@ -55,8 +55,8 @@ pub use optimizer::{optimize, OptimizeConfig, OrchError, SolveReport};
 pub use plan::{Plan, SelectedKernel};
 pub use state::{enumerate_states, BitSet, StateSpace};
 pub use stream::{
-    kernel_classes, schedule_streams, schedule_streams_with, ResourceClass, StreamAssignment,
-    StreamContention, StreamSchedule,
+    kernel_classes, plan_dependencies, schedule_streams, schedule_streams_with, MissingProducer,
+    ResourceClass, StreamAssignment, StreamContention, StreamSchedule,
 };
 
 use korch_cost::{Backend, Device, Micros, Profiler};

@@ -173,6 +173,84 @@ struct Job {
     class: ResourceClass,
 }
 
+/// A plan read with no producer ordered before it: kernel `kernel` reads
+/// `port` from device memory, but no kernel at an index `<= kernel`
+/// materializes that port. Such a plan fails under every executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MissingProducer {
+    /// Index of the reading kernel in `plan.kernels`.
+    pub kernel: usize,
+    /// The port that is never materialized in time.
+    pub port: korch_ir::PortRef,
+}
+
+impl std::fmt::Display for MissingProducer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "plan kernel {} reads port {}:{} that no earlier kernel materializes",
+            self.kernel, self.port.node.0, self.port.port
+        )
+    }
+}
+
+/// Port-level kernel dependency edges of `plan` over `g`: kernel `i`
+/// depends on the first (plan-order) kernel that materializes each port
+/// one of its members reads from device memory — reads satisfied inside
+/// the kernel's own member set (or by graph sources, which exist before
+/// kernel 0) carry no edge. This is the exact readiness relation the
+/// `korch-runtime` executor compiles into its atomic dependency counters;
+/// `korch-verify` re-derives it here to cross-check compiled artifacts.
+///
+/// Every returned edge points at a strictly lower kernel index, so the
+/// relation is acyclic by construction and plan order is one of its
+/// topological orders.
+///
+/// # Errors
+///
+/// Returns [`MissingProducer`] when some kernel reads a port no kernel
+/// ordered before it materializes.
+pub fn plan_dependencies(g: &PrimGraph, plan: &Plan) -> Result<Vec<Vec<usize>>, MissingProducer> {
+    let mut first_producer: HashMap<korch_ir::PortRef, usize> = HashMap::new();
+    for (i, k) in plan.kernels.iter().enumerate() {
+        for o in &k.outputs {
+            first_producer.entry(*o).or_insert(i);
+        }
+    }
+    let mut all = Vec::with_capacity(plan.kernels.len());
+    for (i, k) in plan.kernels.iter().enumerate() {
+        let member_set: BTreeSet<NodeId> = k.members.iter().copied().collect();
+        let mut deps: BTreeSet<usize> = BTreeSet::new();
+        for &m in &k.members {
+            let node = g.node(m);
+            if node.kind.is_source() {
+                continue;
+            }
+            for r in &node.inputs {
+                // Mirrors the executors: sources exist before kernel 0 and
+                // carry no edge; non-source member values stay kernel-local.
+                if g.node(r.node).kind.is_source() || member_set.contains(&r.node) {
+                    continue;
+                }
+                match first_producer.get(r) {
+                    Some(&p) if p < i => {
+                        deps.insert(p);
+                    }
+                    Some(&p) if p == i => {}
+                    _ => {
+                        return Err(MissingProducer {
+                            kernel: i,
+                            port: *r,
+                        })
+                    }
+                }
+            }
+        }
+        all.push(deps.into_iter().collect());
+    }
+    Ok(all)
+}
+
 /// [`ResourceClass`] of every kernel in `plan`, indexed like
 /// `plan.kernels`. This is the classification the contention simulation
 /// uses internally; the `korch-runtime` contention fitting uses it to

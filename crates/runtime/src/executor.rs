@@ -163,6 +163,38 @@ struct TileSpec {
     tiles: Vec<std::ops::Range<usize>>,
     /// Shape of the kernel's single output.
     out_shape: Vec<usize>,
+    /// Split granularity in flat output elements (1 for pointwise and
+    /// chain bodies, one output row for matmul).
+    grain: usize,
+}
+
+/// How a tile-decomposed kernel evaluates its restricted output ranges —
+/// the public mirror of the executor's internal tile body, exposed for
+/// static verification ([`PlanExecutor::tile_layouts`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TileBodyKind {
+    /// Exactly one non-source member, of a tilable [`PrimKind`]; tiles
+    /// run `korch_exec::eval_prim_tiled` on it.
+    Single(NodeId),
+    /// Every non-source member is elementwise over one shared shape; the
+    /// fused chain evaluates per flat index on range-restricted buffers.
+    ElementwiseChain,
+}
+
+/// The compiled tile decomposition of one kernel, exactly as the
+/// executor will run it: the artifact `korch-verify` checks the
+/// disjoint-slice contract (tiles partition the flat output range,
+/// grain-aligned, in tile order) and tilability soundness against.
+#[derive(Debug, Clone)]
+pub struct TileLayout {
+    /// How tiles evaluate their ranges.
+    pub body: TileBodyKind,
+    /// Flat output ranges, one per tile, in assembly order.
+    pub tiles: Vec<std::ops::Range<usize>>,
+    /// Shape of the kernel's single output.
+    pub out_shape: Vec<usize>,
+    /// Split granularity in flat output elements.
+    pub grain: usize,
 }
 
 /// Per-run completion state of one decomposed kernel: tiles park their
@@ -682,6 +714,7 @@ impl PlanExecutor {
             body,
             tiles,
             out_shape,
+            grain,
         })
     }
 
@@ -702,6 +735,47 @@ impl PlanExecutor {
     /// The simulated schedule backing the lane seeds.
     pub fn schedule(&self) -> &StreamSchedule {
         &self.schedule
+    }
+
+    /// The primitive graph this executor was compiled over.
+    pub fn graph(&self) -> &PrimGraph {
+        &self.graph
+    }
+
+    /// The plan this executor runs.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+
+    /// The compiled dependency edges, indexed like `plan.kernels`:
+    /// `kernel_dependencies()[i]` lists the kernels whose retirement
+    /// decrements kernel `i`'s atomic dependency counter. Every edge
+    /// points at a strictly lower index (acyclic by construction); the
+    /// static verifier cross-checks this against the independent
+    /// derivation in `korch_orch::plan_dependencies`.
+    pub fn kernel_dependencies(&self) -> Vec<Vec<usize>> {
+        self.kernels.iter().map(|k| k.deps.clone()).collect()
+    }
+
+    /// The compiled tile decomposition of each kernel (`None` = the
+    /// kernel always runs whole). This is the exact partition tiles will
+    /// write at run time, exposed so `korch-verify` can check the
+    /// disjoint-slice contract on the artifact rather than re-deriving it.
+    pub fn tile_layouts(&self) -> Vec<Option<TileLayout>> {
+        self.tile_specs
+            .iter()
+            .map(|spec| {
+                spec.as_ref().map(|s| TileLayout {
+                    body: match s.body {
+                        TileBody::Single(m) => TileBodyKind::Single(m),
+                        TileBody::ElementwiseChain => TileBodyKind::ElementwiseChain,
+                    },
+                    tiles: s.tiles.clone(),
+                    out_shape: s.out_shape.clone(),
+                    grain: s.grain,
+                })
+            })
+            .collect()
     }
 
     /// Number of worker lanes.

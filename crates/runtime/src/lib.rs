@@ -137,7 +137,7 @@ pub use arena::{
     plan_lifetimes, plan_memory_report, ArenaStats, BufferArena, Lifetime, MemoryReport,
 };
 pub use contention::{fit_contention, ContentionFit, OverlapEvidence};
-pub use executor::{PlanExecutor, RuntimeConfig};
+pub use executor::{PlanExecutor, RuntimeConfig, TileBodyKind, TileLayout};
 pub use profiler::{KernelInterval, KernelStats, RuntimeProfile, INTERVAL_WINDOW};
 pub use serving::{
     BatchConfig, Model, RecalibrationPolicy, ResponseHandle, SelfTune, ServeError, Server,

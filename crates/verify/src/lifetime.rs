@@ -1,0 +1,268 @@
+//! Arena-lifetime abstract interpreter: symbolically executes the
+//! buffer lifetime program a plan compiles to (adopt on first write,
+//! release after last read, settle on completion or failure) and proves
+//! `live_bytes` returns to 0 on every success *and* failure-unwind path,
+//! with no buffer read after its release.
+//!
+//! The dynamic twin is the runtime's arena conservation proptests, which
+//! check the same property on the runs they happen to see; here the
+//! whole path space (one failure prefix per kernel) is walked.
+
+use crate::{port_name, Rule, Violation};
+use korch_ir::{NodeId, PortRef, PrimGraph};
+use korch_orch::Plan;
+use korch_runtime::plan_lifetimes;
+use std::collections::{HashMap, HashSet};
+
+/// One abstract buffer the lifetime program touches.
+#[derive(Debug, Clone)]
+pub struct PortInfo {
+    /// The materialized port this buffer backs.
+    pub port: PortRef,
+    /// Buffer payload size in bytes.
+    pub bytes: u64,
+    /// Pinned buffers (graph inputs/outputs) outlive the plan and must
+    /// never be released mid-run.
+    pub pinned: bool,
+    /// The buffer exists before kernel 0 (graph input / constant).
+    pub source: bool,
+}
+
+/// The lifetime effect of retiring one kernel, in plan order. Indices
+/// refer to [`LifetimeProgram::ports`].
+#[derive(Debug, Clone, Default)]
+pub struct LifetimeStep {
+    /// Buffers the kernel reads from device memory.
+    pub reads: Vec<usize>,
+    /// Buffers the kernel materializes (first writer adopts; a redundant
+    /// writer's copy is dead on arrival and freed immediately).
+    pub writes: Vec<usize>,
+    /// Buffers whose last reader just retired — released back to the
+    /// arena pool once this step completes.
+    pub releases: Vec<usize>,
+}
+
+/// A plan's buffer lifetime program: the exact adopt/read/release
+/// schedule the runtime arena executes, extracted from
+/// `korch_runtime::plan_lifetimes` so the verifier interprets what the
+/// arena will actually do.
+#[derive(Debug, Clone)]
+pub struct LifetimeProgram {
+    /// Every abstract buffer the program touches.
+    pub ports: Vec<PortInfo>,
+    /// Per-kernel lifetime effects, in plan order.
+    pub steps: Vec<LifetimeStep>,
+}
+
+impl LifetimeProgram {
+    /// Builds the lifetime program for `plan` over `g`.
+    pub fn from_plan(g: &PrimGraph, plan: &Plan) -> Self {
+        let lifetimes = plan_lifetimes(g, plan);
+        let mut ports: Vec<PortInfo> = lifetimes
+            .iter()
+            .map(|(port, lt)| PortInfo {
+                port: *port,
+                bytes: g.meta(*port).byte_size() as u64,
+                pinned: lt.pinned,
+                source: lt.producer.is_none(),
+            })
+            .collect();
+        ports.sort_by_key(|p| (p.port.node.0, p.port.port));
+        let index: HashMap<PortRef, usize> =
+            ports.iter().enumerate().map(|(i, p)| (p.port, i)).collect();
+
+        let mut steps: Vec<LifetimeStep> = vec![LifetimeStep::default(); plan.kernels.len()];
+        for (i, k) in plan.kernels.iter().enumerate() {
+            // Reads mirror the executor's global-read rule: a member's
+            // input hits device memory iff it comes from outside the
+            // kernel's member set.
+            let members: HashSet<NodeId> = k.members.iter().copied().collect();
+            let mut seen = HashSet::new();
+            for &m in &k.members {
+                for r in &g.node(m).inputs {
+                    if members.contains(&r.node) {
+                        continue;
+                    }
+                    if let Some(&idx) = index.get(r) {
+                        if seen.insert(idx) {
+                            steps[i].reads.push(idx);
+                        }
+                    }
+                }
+            }
+            for o in &k.outputs {
+                if let Some(&idx) = index.get(o) {
+                    if !ports[idx].source && !steps[i].writes.contains(&idx) {
+                        steps[i].writes.push(idx);
+                    }
+                }
+            }
+        }
+        for (port, lt) in &lifetimes {
+            if lt.pinned {
+                continue;
+            }
+            // A buffer is released when its last reader retires; a buffer
+            // nothing reads dies with its producer. Unread sources stay
+            // live until settle (the caller owns them).
+            let release_at = match (lt.last_reader, lt.producer) {
+                (Some(r), _) => Some(r),
+                (None, Some(p)) => Some(p),
+                (None, None) => None,
+            };
+            if let (Some(step), Some(&idx)) = (release_at, index.get(port)) {
+                steps[step].releases.push(idx);
+            }
+        }
+        Self { ports, steps }
+    }
+}
+
+/// Abstract state of one buffer during interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum BufState {
+    Unmaterialized,
+    Live,
+    Released,
+}
+
+/// Interprets `program` over the success path and every failure-unwind
+/// prefix (kernel `f` fails ⇒ steps `0..f` retired, then settle), and
+/// returns every lifetime invariant broken on any path, deduplicated
+/// across paths.
+pub fn verify_lifetimes(program: &LifetimeProgram) -> Vec<Violation> {
+    let n = program.steps.len();
+    let mut out: Vec<Violation> = Vec::new();
+    let mut seen: HashSet<(Rule, Option<usize>, Option<String>)> = HashSet::new();
+    let push = |out: &mut Vec<Violation>,
+                seen: &mut HashSet<(Rule, Option<usize>, Option<String>)>,
+                v: Violation| {
+        if seen.insert((v.rule, v.kernel, v.buffer.clone())) {
+            out.push(v);
+        }
+    };
+
+    // Path `n` is the success path; path `f < n` unwinds after kernel
+    // `f` fails (steps 0..f retired normally, step f never runs).
+    for retired in (0..=n).rev() {
+        let path = if retired == n {
+            "success path".to_string()
+        } else {
+            format!("failure-unwind path (kernel {retired} fails)")
+        };
+        let mut state = vec![BufState::Unmaterialized; program.ports.len()];
+        let mut live: i64 = 0;
+        for (i, p) in program.ports.iter().enumerate() {
+            if p.source {
+                state[i] = BufState::Live;
+                live += p.bytes as i64;
+            }
+        }
+        for (i, step) in program.steps.iter().take(retired).enumerate() {
+            for &r in &step.reads {
+                let p = &program.ports[r];
+                match state[r] {
+                    BufState::Released => push(
+                        &mut out,
+                        &mut seen,
+                        Violation::new(
+                            Rule::UseAfterRelease,
+                            Some(i),
+                            Some(port_name(p.port)),
+                            format!(
+                                "kernel {i} reads {} after its release ({path})",
+                                port_name(p.port)
+                            ),
+                        ),
+                    ),
+                    BufState::Unmaterialized => push(
+                        &mut out,
+                        &mut seen,
+                        Violation::new(
+                            Rule::ReadUnmaterialized,
+                            Some(i),
+                            Some(port_name(p.port)),
+                            format!(
+                                "kernel {i} reads {} before anything materializes it ({path})",
+                                port_name(p.port)
+                            ),
+                        ),
+                    ),
+                    BufState::Live => {}
+                }
+            }
+            for &w in &step.writes {
+                let p = &program.ports[w];
+                match state[w] {
+                    BufState::Unmaterialized => {
+                        // First writer: the arena adopts the buffer.
+                        state[w] = BufState::Live;
+                        live += p.bytes as i64;
+                    }
+                    // Redundant producer: first-writer-wins, the loser's
+                    // copy is freed on arrival — net zero.
+                    BufState::Live | BufState::Released => {}
+                }
+            }
+            for &r in &step.releases {
+                let p = &program.ports[r];
+                if p.pinned {
+                    push(
+                        &mut out,
+                        &mut seen,
+                        Violation::new(
+                            Rule::ReleasePinned,
+                            Some(i),
+                            Some(port_name(p.port)),
+                            format!(
+                                "step {i} releases pinned buffer {} mid-run ({path})",
+                                port_name(p.port)
+                            ),
+                        ),
+                    );
+                    continue;
+                }
+                match state[r] {
+                    BufState::Live => {
+                        state[r] = BufState::Released;
+                        live -= p.bytes as i64;
+                    }
+                    _ => push(
+                        &mut out,
+                        &mut seen,
+                        Violation::new(
+                            Rule::DoubleRelease,
+                            Some(i),
+                            Some(port_name(p.port)),
+                            format!(
+                                "step {i} releases {} which is not live ({path})",
+                                port_name(p.port)
+                            ),
+                        ),
+                    ),
+                }
+            }
+        }
+        // Settle: the arena frees everything still live (pinned buffers
+        // are handed back to the caller — also leaving the arena).
+        for (i, p) in program.ports.iter().enumerate() {
+            if state[i] == BufState::Live {
+                state[i] = BufState::Released;
+                live -= p.bytes as i64;
+            }
+        }
+        if live != 0 {
+            push(
+                &mut out,
+                &mut seen,
+                Violation::new(
+                    Rule::LifetimeLeak,
+                    None,
+                    None,
+                    format!("live_bytes is {live} (not 0) after settle on the {path}"),
+                ),
+            );
+        }
+    }
+    out
+}

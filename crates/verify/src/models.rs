@@ -1,0 +1,625 @@
+//! Protocol models for the runtime's atomic protocols, checked
+//! exhaustively by [`crate::explore`]. Each model is the runtime's
+//! actual atomic recipe transcribed as a transition system — one
+//! [`Step`](crate::explore::Step) per atomic RMW — with the invariant
+//! the dynamic tests only spot-check:
+//!
+//! - [`DepCounter`]: the executor's dependency counter. Each producer
+//!   retires with one `fetch_sub`; the thread that observes the counter
+//!   hit 0 enqueues the dependent. Exactly-once enqueue, no lost wakeup.
+//! - [`TileCountdown`]: tile assembly. Each worker stores its chunk then
+//!   decrements the remaining-tiles countdown; the thread that takes the
+//!   countdown to 0 assembles and must see every chunk. Assemble once,
+//!   after all stores.
+//! - [`RouterInFlight`]: the shard router's in-flight accounting. Each
+//!   request claims the least-loaded untried shard (`fetch_add`), then
+//!   completes (`fetch_sub` + served/failure bookkeeping), retrying on
+//!   failure. Requests are conserved, responses exactly-once.
+//! - [`Quarantine`]: the shard failure streak. Failure `fetch_add`
+//!   enters quarantine iff the new streak == threshold *exactly*;
+//!   success `swap(0)` exits iff the previous streak was ≥ threshold.
+//!   Enter/exit events fire exactly once per transition.
+
+use crate::explore::{explore, Exploration, ExploreError, Protocol, Step};
+
+/// Quarantine threshold: mirrors `korch_runtime::QUARANTINE_AFTER`.
+const QUARANTINE_AFTER: u32 = korch_runtime::QUARANTINE_AFTER as u32;
+
+// ---------------------------------------------------------------------
+// Dependency-counter release
+// ---------------------------------------------------------------------
+
+/// State of [`DepCounter`]: the counter, how many times the dependent was
+/// enqueued, and each producer thread's program counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DepCounterState {
+    counter: u32,
+    enqueued: u32,
+    /// Remaining `fetch_sub`s per producer thread.
+    remaining: Vec<u32>,
+}
+
+/// The executor's dependency-counter protocol: `threads` producers each
+/// retire `deps_per_thread` dependencies; the retirement that takes the
+/// shared counter to 0 enqueues the dependent kernel.
+pub struct DepCounter {
+    /// Number of producer threads.
+    pub threads: usize,
+    /// Dependencies each producer retires.
+    pub deps_per_thread: u32,
+}
+
+impl Protocol for DepCounter {
+    type State = DepCounterState;
+
+    fn name(&self) -> &'static str {
+        "dep-counter-release"
+    }
+
+    fn init(&self) -> DepCounterState {
+        DepCounterState {
+            counter: self.threads as u32 * self.deps_per_thread,
+            enqueued: 0,
+            remaining: vec![self.deps_per_thread; self.threads],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.threads
+    }
+
+    fn step(&self, s: &DepCounterState, t: usize) -> Step<DepCounterState> {
+        if s.remaining[t] == 0 {
+            return Step::Done;
+        }
+        // One atomic fetch_sub; the observer of 0 enqueues in the same
+        // step (the runtime does both before releasing the kernel slot).
+        let mut next = s.clone();
+        next.remaining[t] -= 1;
+        next.counter -= 1;
+        if next.counter == 0 {
+            next.enqueued += 1;
+        }
+        Step::Next(next)
+    }
+
+    fn check(&self, s: &DepCounterState) -> Result<(), String> {
+        if s.enqueued > 1 {
+            return Err(format!("dependent enqueued {} times", s.enqueued));
+        }
+        if s.enqueued == 1 && s.counter != 0 {
+            return Err(format!(
+                "dependent enqueued while {} dependencies are outstanding",
+                s.counter
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &DepCounterState) -> Result<(), String> {
+        if s.counter != 0 {
+            return Err(format!("counter stuck at {}", s.counter));
+        }
+        if s.enqueued != 1 {
+            return Err(format!(
+                "dependent enqueued {} times (lost wakeup or double release)",
+                s.enqueued
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Tile-assembly countdown
+// ---------------------------------------------------------------------
+
+/// State of [`TileCountdown`]: which chunks landed, the countdown, how
+/// many times assembly ran, and each worker's next tile / phase.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct TileCountdownState {
+    stored: Vec<bool>,
+    remaining: u32,
+    assembled: u32,
+    /// Per-thread list of tile indices still to run; `true` in `mid` ⇒
+    /// the thread stored its current chunk but has not decremented yet.
+    queues: Vec<Vec<u32>>,
+    mid: Vec<bool>,
+}
+
+/// The tile-assembly protocol: workers store their output chunk, then
+/// decrement the shared remaining-tiles countdown; whoever takes it to 0
+/// assembles the full buffer and must observe every chunk.
+pub struct TileCountdown {
+    /// Tile index assignments per worker thread (tiles are distinct).
+    pub assignments: Vec<Vec<u32>>,
+}
+
+impl Protocol for TileCountdown {
+    type State = TileCountdownState;
+
+    fn name(&self) -> &'static str {
+        "tile-assembly-countdown"
+    }
+
+    fn init(&self) -> TileCountdownState {
+        let tiles: u32 = self.assignments.iter().map(|q| q.len() as u32).sum();
+        TileCountdownState {
+            stored: vec![false; tiles as usize],
+            remaining: tiles,
+            assembled: 0,
+            queues: self.assignments.clone(),
+            mid: vec![false; self.assignments.len()],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.assignments.len()
+    }
+
+    fn step(&self, s: &TileCountdownState, t: usize) -> Step<TileCountdownState> {
+        let mut next = s.clone();
+        if s.mid[t] {
+            // Second half: the atomic countdown decrement. The thread
+            // that reaches 0 assembles immediately (same step, as the
+            // runtime does while holding the last countdown token).
+            next.mid[t] = false;
+            next.remaining -= 1;
+            if next.remaining == 0 {
+                if !next.stored.iter().all(|&c| c) {
+                    // Model the torn read the invariant must rule out:
+                    // assembling without every chunk visible. With the
+                    // store sequenced before the decrement this state is
+                    // unreachable; reaching it is the bug.
+                    return Step::Next(next); // assembled stays 0 → caught in check_final
+                }
+                next.assembled += 1;
+            }
+            return Step::Next(next);
+        }
+        let Some((&tile, rest)) = s.queues[t].split_first() else {
+            return Step::Done;
+        };
+        // First half: publish the chunk.
+        next.stored[tile as usize] = true;
+        next.queues[t] = rest.to_vec();
+        next.mid[t] = true;
+        Step::Next(next)
+    }
+
+    fn check(&self, s: &TileCountdownState) -> Result<(), String> {
+        if s.assembled > 1 {
+            return Err(format!("assembled {} times", s.assembled));
+        }
+        if s.assembled == 1 && s.remaining != 0 {
+            return Err(format!("assembled with {} tiles outstanding", s.remaining));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &TileCountdownState) -> Result<(), String> {
+        if s.remaining != 0 {
+            return Err(format!("countdown stuck at {}", s.remaining));
+        }
+        if s.assembled != 1 {
+            return Err(format!(
+                "assembly ran {} times (it must run exactly once, after every chunk)",
+                s.assembled
+            ));
+        }
+        if !s.stored.iter().all(|&c| c) {
+            return Err("assembly finished with a missing chunk".to_string());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Router in-flight accounting
+// ---------------------------------------------------------------------
+
+/// Per-request phase in [`RouterInFlight`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ReqPhase {
+    /// Not yet claimed a shard.
+    Idle,
+    /// In flight on shard `.0`.
+    Claimed(u8),
+    /// Responded (success or exhausted-all-shards failure).
+    Responded,
+}
+
+/// State of [`RouterInFlight`]: per-shard in-flight counters, per-request
+/// phase + tried set, and the served tally.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RouterState {
+    in_flight: Vec<u8>,
+    served: Vec<u8>,
+    phase: Vec<ReqPhase>,
+    /// Bitmask of shards each request already tried.
+    tried: Vec<u8>,
+    responded: u32,
+}
+
+/// The shard router's in-flight accounting: each request thread claims
+/// the least-loaded untried shard (`in_flight += 1`, one atomic step),
+/// then completes there (`in_flight -= 1` plus served/failure
+/// bookkeeping) — retrying on another shard if that one is failing.
+/// Requests must be conserved and answered exactly once.
+pub struct RouterInFlight {
+    /// Number of request threads.
+    pub requests: usize,
+    /// `failing[s]` ⇒ every attempt on shard `s` fails.
+    pub failing: Vec<bool>,
+}
+
+impl Protocol for RouterInFlight {
+    type State = RouterState;
+
+    fn name(&self) -> &'static str {
+        "router-in-flight"
+    }
+
+    fn init(&self) -> RouterState {
+        RouterState {
+            in_flight: vec![0; self.failing.len()],
+            served: vec![0; self.failing.len()],
+            phase: vec![ReqPhase::Idle; self.requests],
+            tried: vec![0; self.requests],
+            responded: 0,
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.requests
+    }
+
+    fn step(&self, s: &RouterState, t: usize) -> Step<RouterState> {
+        let shards = self.failing.len();
+        match s.phase[t] {
+            ReqPhase::Responded => Step::Done,
+            ReqPhase::Idle => {
+                // Claim: least-loaded untried shard by (in_flight, index),
+                // the router's tie-break. Claiming is one atomic step.
+                let pick = (0..shards)
+                    .filter(|&sh| s.tried[t] & (1 << sh) == 0)
+                    .min_by_key(|&sh| (s.in_flight[sh], sh));
+                let mut next = s.clone();
+                match pick {
+                    Some(sh) => {
+                        next.in_flight[sh] += 1;
+                        next.phase[t] = ReqPhase::Claimed(sh as u8);
+                        next.tried[t] |= 1 << sh;
+                    }
+                    None => {
+                        // Every shard tried and failed: respond with the
+                        // error exactly once.
+                        next.phase[t] = ReqPhase::Responded;
+                        next.responded += 1;
+                    }
+                }
+                Step::Next(next)
+            }
+            ReqPhase::Claimed(sh) => {
+                let sh = sh as usize;
+                let mut next = s.clone();
+                next.in_flight[sh] -= 1;
+                if self.failing[sh] {
+                    next.phase[t] = ReqPhase::Idle; // retry elsewhere
+                } else {
+                    next.served[sh] += 1;
+                    next.phase[t] = ReqPhase::Responded;
+                    next.responded += 1;
+                }
+                Step::Next(next)
+            }
+        }
+    }
+
+    fn check(&self, s: &RouterState) -> Result<(), String> {
+        if s.responded as usize > self.requests {
+            return Err(format!(
+                "{} responses for {} requests",
+                s.responded, self.requests
+            ));
+        }
+        // Conservation: every claimed-but-unfinished request is counted
+        // in exactly one shard's in_flight.
+        let claimed = s
+            .phase
+            .iter()
+            .filter(|p| matches!(p, ReqPhase::Claimed(_)))
+            .count();
+        let accounted: usize = s.in_flight.iter().map(|&c| c as usize).sum();
+        if claimed != accounted {
+            return Err(format!(
+                "{claimed} requests in flight but shards account for {accounted}"
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &RouterState) -> Result<(), String> {
+        if s.in_flight.iter().any(|&c| c != 0) {
+            return Err(format!("in_flight not drained: {:?}", s.in_flight));
+        }
+        if s.responded as usize != self.requests {
+            return Err(format!(
+                "{} of {} requests answered (lost request)",
+                s.responded, self.requests
+            ));
+        }
+        let served: usize = s.served.iter().map(|&c| c as usize).sum();
+        let healthy = self.failing.iter().any(|&f| !f);
+        let expect = if healthy { self.requests } else { 0 };
+        if served != expect {
+            return Err(format!("{served} served, expected {expect}"));
+        }
+        if s.served
+            .iter()
+            .zip(&self.failing)
+            .any(|(&c, &f)| f && c != 0)
+        {
+            return Err("a failing shard served a request".to_string());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Quarantine enter/exit
+// ---------------------------------------------------------------------
+
+/// One recorded outcome a [`Quarantine`] thread reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Outcome {
+    /// The run succeeded (streak `swap(0)`).
+    Ok,
+    /// The run failed (streak `fetch_add(1)`).
+    Fail,
+}
+
+/// State of [`Quarantine`]: the failure streak, enter/exit event tallies,
+/// and each reporter's remaining outcomes.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct QuarantineState {
+    streak: u32,
+    enters: u32,
+    exits: u32,
+    remaining: Vec<Vec<Outcome>>,
+}
+
+/// The shard quarantine protocol: concurrent reporters record run
+/// outcomes on one shard. A failure's `fetch_add` emits an *enter* event
+/// iff the new streak equals the threshold exactly; a success's
+/// `swap(0)` emits an *exit* event iff the previous streak was ≥ the
+/// threshold. Each transition must be announced exactly once.
+pub struct Quarantine {
+    /// Outcome sequence each reporter thread records, in order.
+    pub outcomes: Vec<Vec<Outcome>>,
+}
+
+impl Protocol for Quarantine {
+    type State = QuarantineState;
+
+    fn name(&self) -> &'static str {
+        "quarantine-enter-exit"
+    }
+
+    fn init(&self) -> QuarantineState {
+        QuarantineState {
+            streak: 0,
+            enters: 0,
+            exits: 0,
+            remaining: self.outcomes.clone(),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    fn step(&self, s: &QuarantineState, t: usize) -> Step<QuarantineState> {
+        let Some((&o, rest)) = s.remaining[t].split_first() else {
+            return Step::Done;
+        };
+        let mut next = s.clone();
+        next.remaining[t] = rest.to_vec();
+        match o {
+            Outcome::Fail => {
+                next.streak += 1; // fetch_add(1) + 1 = the new streak
+                if next.streak == QUARANTINE_AFTER {
+                    next.enters += 1;
+                }
+            }
+            Outcome::Ok => {
+                let prev = next.streak; // swap(0) returns the old streak
+                next.streak = 0;
+                if prev >= QUARANTINE_AFTER {
+                    next.exits += 1;
+                }
+            }
+        }
+        Step::Next(next)
+    }
+
+    fn check(&self, s: &QuarantineState) -> Result<(), String> {
+        // Events must alternate enter, exit, enter, … — exactly-once per
+        // transition means the tallies never diverge by more than one and
+        // exits never lead.
+        if s.exits > s.enters {
+            return Err(format!(
+                "{} exit events against {} enters",
+                s.exits, s.enters
+            ));
+        }
+        if s.enters > s.exits + 1 {
+            return Err(format!(
+                "{} enter events against {} exits (double announcement)",
+                s.enters, s.exits
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &QuarantineState) -> Result<(), String> {
+        let quarantined = s.streak >= QUARANTINE_AFTER;
+        let announced = s.enters == s.exits + 1;
+        if quarantined != announced {
+            return Err(format!(
+                "terminal streak {} but {} enters / {} exits",
+                s.streak, s.enters, s.exits
+            ));
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// The suite
+// ---------------------------------------------------------------------
+
+/// Runs the exhaustive exploration suite over every protocol model at
+/// the ≤3-thread, ≤4-op bound, returning `(model name, stats)` per
+/// model.
+///
+/// # Errors
+///
+/// Returns the first [`ExploreError`] any model produces — on the
+/// shipped protocols this means a regression in an atomic recipe.
+pub fn verify_protocols() -> Result<Vec<(&'static str, Exploration)>, ExploreError> {
+    let mut results = Vec::new();
+    let mut run = |name: &'static str, r: Result<Exploration, ExploreError>| match r {
+        Ok(stats) => {
+            results.push((name, stats));
+            Ok(())
+        }
+        Err(e) => Err(e),
+    };
+
+    for threads in 1..=3usize {
+        for deps in 1..=2u32 {
+            if threads * deps as usize > 4 {
+                continue;
+            }
+            run(
+                "dep-counter-release",
+                explore(&DepCounter {
+                    threads,
+                    deps_per_thread: deps,
+                }),
+            )?;
+        }
+    }
+
+    for assignments in [
+        vec![vec![0u32]],
+        vec![vec![0], vec![1]],
+        vec![vec![0, 1], vec![2]],
+        vec![vec![0], vec![1], vec![2]],
+        vec![vec![0, 1], vec![2, 3], vec![]],
+    ] {
+        run(
+            "tile-assembly-countdown",
+            explore(&TileCountdown { assignments }),
+        )?;
+    }
+
+    for (requests, failing) in [
+        (1, vec![false]),
+        (2, vec![false, false]),
+        (3, vec![false, true]),
+        (2, vec![true, false, true]),
+        (2, vec![true, true]),
+    ] {
+        run(
+            "router-in-flight",
+            explore(&RouterInFlight { requests, failing }),
+        )?;
+    }
+
+    use Outcome::{Fail, Ok as Good};
+    for outcomes in [
+        vec![vec![Fail, Fail, Fail]],
+        vec![vec![Fail, Fail], vec![Fail, Good]],
+        vec![vec![Fail, Fail], vec![Fail], vec![Good]],
+        vec![vec![Good, Fail], vec![Fail, Fail], vec![Good]],
+    ] {
+        run("quarantine-enter-exit", explore(&Quarantine { outcomes }))?;
+    }
+
+    Ok(results)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A broken dep-counter that enqueues on observing 1 (off-by-one) —
+    /// the explorer must catch the double release.
+    struct BrokenDepCounter;
+
+    impl Protocol for BrokenDepCounter {
+        type State = DepCounterState;
+        fn name(&self) -> &'static str {
+            "broken-dep-counter"
+        }
+        fn init(&self) -> DepCounterState {
+            DepCounterState {
+                counter: 2,
+                enqueued: 0,
+                remaining: vec![1, 1],
+            }
+        }
+        fn threads(&self) -> usize {
+            2
+        }
+        fn step(&self, s: &DepCounterState, t: usize) -> Step<DepCounterState> {
+            if s.remaining[t] == 0 {
+                return Step::Done;
+            }
+            let mut next = s.clone();
+            next.remaining[t] -= 1;
+            next.counter -= 1;
+            if next.counter <= 1 {
+                next.enqueued += 1; // bug: fires at 1 AND at 0
+            }
+            Step::Next(next)
+        }
+        fn check(&self, s: &DepCounterState) -> Result<(), String> {
+            DepCounter {
+                threads: 2,
+                deps_per_thread: 1,
+            }
+            .check(s)
+        }
+        fn check_final(&self, s: &DepCounterState) -> Result<(), String> {
+            DepCounter {
+                threads: 2,
+                deps_per_thread: 1,
+            }
+            .check_final(s)
+        }
+    }
+
+    #[test]
+    fn exploration_suite_passes() {
+        let results = verify_protocols().expect("all protocol models verify");
+        assert!(results.len() >= 15);
+        for (_, stats) in &results {
+            assert!(stats.terminals >= 1);
+        }
+    }
+
+    #[test]
+    fn broken_counter_is_caught_with_a_trace() {
+        let err = explore(&BrokenDepCounter).expect_err("off-by-one must be caught");
+        assert_eq!(err.model, "broken-dep-counter");
+        assert!(!err.trace.is_empty());
+    }
+
+    #[test]
+    fn quarantine_threshold_matches_runtime() {
+        assert_eq!(u64::from(QUARANTINE_AFTER), korch_runtime::QUARANTINE_AFTER);
+    }
+}

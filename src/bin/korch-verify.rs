@@ -1,0 +1,116 @@
+//! `korch-verify`: the static verification gate for the test-model
+//! corpus.
+//!
+//! Compiles every graph in the corpus (the five evaluation models at
+//! `tiny()` scale plus the case-study subgraphs), then runs the static
+//! plan/schedule verifier and arena-lifetime abstract interpreter over
+//! every compiled partition × lane count {1, 2, 4} × tiling {off, on} —
+//! i.e. every artifact shape the runtime can compile from these plans.
+//! Finishes with the exhaustive schedule-exploration suite over the
+//! scheduler's atomic protocol models. Exits non-zero on any violation,
+//! so CI can gate on it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use korch::core::{Korch, KorchConfig};
+use korch::cost::Device;
+use korch::ir::OpGraph;
+use korch::models::{
+    candy, efficientvit, segformer, subgraphs, yolov4, yolox_nano, CandyConfig, EfficientVitConfig,
+    SegformerConfig, YoloConfig,
+};
+use korch::runtime::{PlanExecutor, RuntimeConfig};
+use korch::verify::{models::verify_protocols, verify_executor};
+use std::process::ExitCode;
+
+fn corpus() -> Vec<(&'static str, OpGraph)> {
+    vec![
+        ("candy-tiny", candy(CandyConfig::tiny())),
+        ("yolox-tiny", yolox_nano(YoloConfig::tiny())),
+        ("yolov4-tiny", yolov4(YoloConfig::tiny())),
+        ("segformer-tiny", segformer(SegformerConfig::tiny())),
+        (
+            "efficientvit-tiny",
+            efficientvit(EfficientVitConfig::tiny()),
+        ),
+        ("softmax-attention", subgraphs::softmax_attention(64, 64)),
+        (
+            "segformer-attention",
+            subgraphs::segformer_attention(64, 32, 2),
+        ),
+        (
+            "efficientvit-attention",
+            subgraphs::efficientvit_attention(64, 32),
+        ),
+        ("instance-norm", subgraphs::instance_norm_block(4, 16)),
+    ]
+}
+
+fn main() -> ExitCode {
+    let korch = Korch::new(Device::v100(), KorchConfig::default());
+    let mut artifacts = 0usize;
+    let mut bad = 0usize;
+
+    for (name, graph) in corpus() {
+        let optimized = match korch.optimize(&graph) {
+            Ok(o) => o,
+            Err(e) => {
+                eprintln!("FAIL {name}: pipeline error: {e}");
+                bad += 1;
+                continue;
+            }
+        };
+        for (pi, part) in optimized.partitions().iter().enumerate() {
+            for lanes in [1usize, 2, 4] {
+                for tiling in [false, true] {
+                    let config = RuntimeConfig {
+                        tiling,
+                        profile: false,
+                        ..RuntimeConfig::with_lanes(lanes)
+                    };
+                    let exec = match PlanExecutor::new(&part.part.graph, &part.plan, config) {
+                        Ok(e) => e,
+                        Err(e) => {
+                            eprintln!(
+                                "FAIL {name} partition {pi} lanes {lanes} tiling {tiling}: \
+                                 compile error: {e}"
+                            );
+                            bad += 1;
+                            continue;
+                        }
+                    };
+                    artifacts += 1;
+                    for v in verify_executor(&exec) {
+                        eprintln!("FAIL {name} partition {pi} lanes {lanes} tiling {tiling}: {v}");
+                        bad += 1;
+                    }
+                }
+            }
+        }
+    }
+    println!("plan verifier: {artifacts} artifacts checked");
+
+    match verify_protocols() {
+        Ok(results) => {
+            let states: usize = results.iter().map(|(_, s)| s.states).sum();
+            println!(
+                "exploration: {} model instances exhausted ({} states)",
+                results.len(),
+                states
+            );
+        }
+        Err(e) => {
+            eprintln!("FAIL exploration: {e}");
+            bad += 1;
+        }
+    }
+
+    if bad == 0 {
+        println!("korch-verify: all checks passed");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("korch-verify: {bad} failure(s)");
+        ExitCode::FAILURE
+    }
+}

@@ -17,6 +17,8 @@
 //!   serving front-end
 //! - [`telemetry`] — end-to-end request tracing (Chrome trace export) and
 //!   the counters/gauges/histograms metrics registry
+//! - [`verify`] — static plan/schedule/lifetime verifier and the
+//!   loom-lite exploration checker for the scheduler's atomic protocols
 //! - [`core`] — the end-to-end [`core::Korch`] pipeline and the
 //!   [`core::Korch::compile`] entry point onto the runtime
 //! - [`models`] — the five evaluation workloads and case-study subgraphs
@@ -42,6 +44,9 @@
 //! # }
 //! ```
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use korch_baselines as baselines;
 pub use korch_blp as blp;
 pub use korch_core as core;
@@ -55,3 +60,4 @@ pub use korch_runtime as runtime;
 pub use korch_telemetry as telemetry;
 pub use korch_tensor as tensor;
 pub use korch_transform as transform;
+pub use korch_verify as verify;

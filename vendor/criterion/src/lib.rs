@@ -9,6 +9,9 @@
 //! criterion-like one-line output. Swap back to the real crate by changing
 //! one line in the workspace manifest.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 pub use std::hint::black_box;
 use std::time::{Duration, Instant};
 

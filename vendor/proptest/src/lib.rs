@@ -10,6 +10,9 @@
 //! is no shrinking. Swap back to the real crate by changing one line in
 //! the workspace manifest.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use std::ops::Range;
 
 /// Deterministic SplitMix64 generator driving all sampling.
