@@ -244,6 +244,52 @@ fn single_kernel_plan(matmul: bool, dim: usize) -> (PrimGraph, Plan) {
     )
 }
 
+/// A single-kernel plan holding a 6-op cheap elementwise chain
+/// (mul / add / abs twice over) at `dim`×`dim` — the compiled fused-chain
+/// workload: every op is a fraction of a memory pass, so the member-walk
+/// interpreter's per-op tensor materialization dominates and the compiled
+/// register program's advantage is visible on any host.
+fn chain_kernel_plan(dim: usize) -> (PrimGraph, Plan) {
+    let mut g = PrimGraph::new();
+    let x = g
+        .add(
+            PrimKind::Input {
+                shape: vec![dim, dim],
+            },
+            vec![],
+        )
+        .unwrap();
+    let mut members = Vec::new();
+    let mut cur = x;
+    for i in 0..6 {
+        let f = match i % 3 {
+            0 => EwFn::BinaryScalar(BinaryOp::Mul, 1.25),
+            1 => EwFn::BinaryScalar(BinaryOp::Add, 0.5),
+            _ => EwFn::Unary(UnaryOp::Abs),
+        };
+        cur = g.add(PrimKind::Elementwise(f), vec![cur.into()]).unwrap();
+        members.push(cur);
+    }
+    g.mark_output(cur).unwrap();
+    let profiler = Profiler::new(Device::v100());
+    let set: BTreeSet<NodeId> = members.iter().copied().collect();
+    let spec = kernel_spec(&g, &set, &[cur.into()]);
+    let kernel = SelectedKernel {
+        members,
+        outputs: vec![cur.into()],
+        latency: profiler.latency(&spec, Backend::Generated),
+        backend: Backend::Generated,
+    };
+    let total = kernel.latency;
+    (
+        g,
+        Plan {
+            kernels: vec![kernel],
+            total_latency: total,
+        },
+    )
+}
+
 /// `(p10, median, p90)` seconds per call over `n` timed iterations
 /// (after one warm-up) — the spread triple the JSON perf record carries.
 fn measure(n: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
@@ -267,7 +313,14 @@ fn measure(n: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
 fn bench_tiled(c: &mut Criterion) {
     let mut group = c.benchmark_group("tiled_single_kernel");
     let mut records: Vec<BenchRecord> = Vec::new();
-    for (name, matmul, dim) in [("elementwise", false, 768), ("matmul", true, 192)] {
+    // `expect_tiled`: the 768² elementwise chain clears the per-tile
+    // overhead floor and splits; the 192² matmul does NOT — its per-tile
+    // body is below the floor, so the derived default keeps it whole (the
+    // PR-8 regression fix: splitting it was 0.91× the interpreter).
+    for (name, matmul, dim, expect_tiled) in [
+        ("elementwise", false, 768, true),
+        ("matmul", true, 192, false),
+    ] {
         let (g, plan) = single_kernel_plan(matmul, dim);
         assert_eq!(plan.kernel_count(), 1, "acceptance workload is one kernel");
         let inputs = bench_inputs(&g);
@@ -275,22 +328,34 @@ fn bench_tiled(c: &mut Criterion) {
         let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
         assert_eq!(
             exec.tileable_kernels(),
-            1,
-            "the single kernel must clear the derived split threshold"
+            usize::from(expect_tiled),
+            "derived-threshold policy changed for {name}"
         );
         let out = exec.execute(&inputs).unwrap();
         for (a, b) in reference.iter().zip(&out) {
-            assert_eq!(a.as_slice(), b.as_slice(), "tiled {name} diverged bitwise");
+            assert_eq!(a.as_slice(), b.as_slice(), "{name} diverged bitwise");
         }
         let profile = exec.profile();
-        assert!(
-            profile.tiled_kernels >= 1 && profile.tile_tasks > 1,
-            "tiled path must engage with >1 tile on {name}: {profile:?}"
-        );
+        if expect_tiled {
+            assert!(
+                profile.tiled_kernels >= 1 && profile.tile_tasks > 1,
+                "tiled path must engage with >1 tile on {name}: {profile:?}"
+            );
+        } else {
+            assert_eq!(
+                profile.tile_tasks, 0,
+                "{name} must run whole under the per-tile floor: {profile:?}"
+            );
+        }
         group.bench_function(BenchmarkId::new("sequential", name), |b| {
             b.iter(|| execute_plan(black_box(&g), black_box(&plan), black_box(&inputs)).unwrap())
         });
-        group.bench_function(BenchmarkId::new("tiled_4_lanes", name), |b| {
+        let exec_bench = if expect_tiled {
+            "tiled_4_lanes"
+        } else {
+            "default_4_lanes"
+        };
+        group.bench_function(BenchmarkId::new(exec_bench, name), |b| {
             b.iter(|| exec.execute(black_box(&inputs)).unwrap())
         });
         // One-shot medians for the headline + the JSON perf record.
@@ -321,14 +386,95 @@ fn bench_tiled(c: &mut Criterion) {
             note: format!("dim {dim}"),
         });
         records.push(BenchRecord {
-            name: format!("tiled_single_kernel/tiled_4_lanes/{name}"),
+            name: format!("tiled_single_kernel/{exec_bench}/{name}"),
             median_ns: tiled * 1e9,
             p10_ns: tiled_p10 * 1e9,
             p90_ns: tiled_p90 * 1e9,
             speedup_vs_sequential: Some(seq / tiled),
-            note: format!("dim {dim}, {tiles_per_run:.0} tiles/run"),
+            note: if expect_tiled {
+                format!("dim {dim}, {tiles_per_run:.0} tiles/run")
+            } else {
+                format!("dim {dim}, stays whole (per-tile overhead floor)")
+            },
         });
     }
+
+    // The compiled fused-chain headline: a 6-op mul/add/abs chain at 768²
+    // where the interpreter walked members one tile kernel at a time and
+    // the compiled closure runs the whole register program per block.
+    // `whole` isolates the closure (no tiling); the default config adds
+    // tile decomposition on top.
+    let (g, plan) = chain_kernel_plan(768);
+    let inputs = bench_inputs(&g);
+    let reference = execute_plan(&g, &plan, &inputs).unwrap();
+    let whole = PlanExecutor::new(
+        &g,
+        &plan,
+        RuntimeConfig {
+            split_threshold_us: Some(f64::INFINITY),
+            ..RuntimeConfig::with_lanes(1)
+        },
+    )
+    .unwrap();
+    let tiled4 = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
+    for exec in [&whole, &tiled4] {
+        let out = exec.execute(&inputs).unwrap();
+        for (a, b) in reference.iter().zip(&out) {
+            assert_eq!(
+                a.as_slice(),
+                b.as_slice(),
+                "compiled chain diverged bitwise"
+            );
+        }
+    }
+    group.bench_function(BenchmarkId::new("sequential", "chain6"), |b| {
+        b.iter(|| execute_plan(black_box(&g), black_box(&plan), black_box(&inputs)).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("compiled_whole", "chain6"), |b| {
+        b.iter(|| whole.execute(black_box(&inputs)).unwrap())
+    });
+    let (cseq_p10, cseq, cseq_p90) = measure(10, || {
+        black_box(execute_plan(&g, &plan, &inputs).unwrap());
+    });
+    let (cw_p10, cw, cw_p90) = measure(10, || {
+        black_box(whole.execute(&inputs).unwrap());
+    });
+    let (ct_p10, ct, ct_p90) = measure(10, || {
+        black_box(tiled4.execute(&inputs).unwrap());
+    });
+    println!(
+        "tiled_single_kernel/compiled_chain: whole {:.2}x, tiled(4 lanes) {:.2}x vs \
+         member-walk interpreter ({:.3} ms -> {:.3} / {:.3} ms)",
+        cseq / cw,
+        cseq / ct,
+        cseq * 1e3,
+        cw * 1e3,
+        ct * 1e3,
+    );
+    records.push(BenchRecord {
+        name: "tiled_single_kernel/sequential/chain6".into(),
+        median_ns: cseq * 1e9,
+        p10_ns: cseq_p10 * 1e9,
+        p90_ns: cseq_p90 * 1e9,
+        speedup_vs_sequential: None,
+        note: "6-op mul/add/abs fused chain, 768x768, member-walk interpreter".into(),
+    });
+    records.push(BenchRecord {
+        name: "tiled_single_kernel/compiled_whole/chain6".into(),
+        median_ns: cw * 1e9,
+        p10_ns: cw_p10 * 1e9,
+        p90_ns: cw_p90 * 1e9,
+        speedup_vs_sequential: Some(cseq / cw),
+        note: "compiled chain closure, whole kernel, 1 lane".into(),
+    });
+    records.push(BenchRecord {
+        name: "tiled_single_kernel/compiled_tiled_4_lanes/chain6".into(),
+        median_ns: ct * 1e9,
+        p10_ns: ct_p10 * 1e9,
+        p90_ns: ct_p90 * 1e9,
+        speedup_vs_sequential: Some(cseq / ct),
+        note: "compiled chain closure under lane tiling, 4 lanes".into(),
+    });
     group.finish();
 
     // The inter-kernel workload alongside, so the JSON record tracks both
@@ -360,6 +506,42 @@ fn bench_tiled(c: &mut Criterion) {
             note: format!("{lanes} lanes, steals {}", exec.profile().steals),
         });
     }
+
+    // Dispatch-overhead workload: 32 tiny independent kernels where
+    // per-kernel scheduling cost, not arithmetic, dominates — the record
+    // that catches a regression in task-dispatch bookkeeping (e.g. the
+    // compiled-path lookup on the hot path).
+    let (sg, splan) = independent_kernel_plan(32, 32, 32);
+    let sinputs = bench_inputs(&sg);
+    let (ss_p10, ss, ss_p90) = measure(10, || {
+        black_box(execute_plan(&sg, &splan, &sinputs).unwrap());
+    });
+    records.push(BenchRecord {
+        name: "runtime/many_small_kernels/sequential".into(),
+        median_ns: ss * 1e9,
+        p10_ns: ss_p10 * 1e9,
+        p90_ns: ss_p90 * 1e9,
+        speedup_vs_sequential: None,
+        note: "32 independent 32x32 softmax kernels, dispatch-bound".into(),
+    });
+    let sexec = PlanExecutor::new(&sg, &splan, RuntimeConfig::with_lanes(4)).unwrap();
+    let (sp_p10, sp, sp_p90) = measure(10, || {
+        black_box(sexec.execute(&sinputs).unwrap());
+    });
+    records.push(BenchRecord {
+        name: "runtime/many_small_kernels/parallel_4".into(),
+        median_ns: sp * 1e9,
+        p10_ns: sp_p10 * 1e9,
+        p90_ns: sp_p90 * 1e9,
+        speedup_vs_sequential: Some(ss / sp),
+        note: format!("4 lanes, steals {}", sexec.profile().steals),
+    });
+    println!(
+        "runtime/many_small_kernels: {:.2}x vs sequential ({:.3} ms -> {:.3} ms)",
+        ss / sp,
+        ss * 1e3,
+        sp * 1e3
+    );
 
     // Tracing-overhead headline: the same inter-kernel workload on one
     // executor with a telemetry hub attached (recording every kernel

@@ -1,0 +1,116 @@
+//! Perf-record diff gate: compares a freshly generated `BENCH_runtime.json`
+//! against the committed baseline and fails (exit 1) when the new record
+//! drops a tracked entry or regresses a `speedup_vs_sequential` ratio by
+//! more than 10%.
+//!
+//! Only *ratios* are compared, never absolute nanoseconds: the committed
+//! record may come from any contributor's machine, and the only number
+//! that transfers across hosts is the speedup of one binary over its own
+//! sequential baseline in the same process. When the two records were
+//! written on hosts with different core counts even the ratios of the
+//! parallel workloads are incomparable (4 lanes on 1 core time-slice), so
+//! the gate downgrades ratio checks to warnings and enforces only entry
+//! presence.
+//!
+//! Usage: `bench_diff <baseline.json> <new.json>`
+
+use korch_bench::report::read_bench_json;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Largest tolerated ratio drop: `new >= old * (1 - TOLERANCE)` passes.
+const TOLERANCE: f64 = 0.10;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    let [_, baseline_path, new_path] = args.as_slice() else {
+        eprintln!("usage: bench_diff <baseline.json> <new.json>");
+        return ExitCode::from(2);
+    };
+    let baseline = match read_bench_json(baseline_path.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let fresh = match read_bench_json(new_path.as_ref()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_diff: cannot read new record {new_path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let comparable = baseline.host_cores == fresh.host_cores;
+    if !comparable {
+        println!(
+            "bench_diff: baseline host has {} cores, new host {} — parallel ratios are \
+             incomparable across core counts; checking entry presence only",
+            baseline.host_cores, fresh.host_cores
+        );
+    }
+    let fresh_map: HashMap<&str, Option<f64>> = fresh
+        .benches
+        .iter()
+        .map(|b| (b.name.as_str(), b.speedup_vs_sequential))
+        .collect();
+    let mut failed = false;
+    for b in &baseline.benches {
+        match fresh_map.get(b.name.as_str()) {
+            None => {
+                eprintln!(
+                    "MISSING   {}: tracked in baseline, absent from new record",
+                    b.name
+                );
+                failed = true;
+            }
+            Some(new_speedup) => match (b.speedup_vs_sequential, new_speedup) {
+                (Some(old), Some(new)) => {
+                    let ok = *new >= old * (1.0 - TOLERANCE);
+                    if ok {
+                        println!("ok        {}: {:.3}x -> {:.3}x", b.name, old, new);
+                    } else if comparable {
+                        eprintln!(
+                            "REGRESSED {}: {:.3}x -> {:.3}x (more than {:.0}% below baseline)",
+                            b.name,
+                            old,
+                            new,
+                            TOLERANCE * 100.0
+                        );
+                        failed = true;
+                    } else {
+                        println!(
+                            "warn      {}: {:.3}x -> {:.3}x (not enforced: host core \
+                             counts differ)",
+                            b.name, old, new
+                        );
+                    }
+                }
+                (Some(old), None) => {
+                    eprintln!(
+                        "MISSING   {}: baseline records a {:.3}x speedup, new record has none",
+                        b.name, old
+                    );
+                    failed = true;
+                }
+                (None, _) => {
+                    println!("ok        {}: present (no ratio tracked)", b.name);
+                }
+            },
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_diff: FAILED — new record at {new_path} regresses the committed \
+             baseline {baseline_path}"
+        );
+        ExitCode::from(1)
+    } else {
+        println!(
+            "bench_diff: ok — {} baseline entries covered, tolerance {:.0}%",
+            baseline.benches.len(),
+            TOLERANCE * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -107,6 +107,67 @@ pub fn write_bench_json(path: &Path, records: &[BenchRecord]) -> std::io::Result
     Ok(())
 }
 
+/// One entry parsed back out of a `BENCH_runtime.json` perf record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchEntry {
+    /// Benchmark name (`group/bench` convention).
+    pub name: String,
+    /// Speedup over the workload's sequential baseline, if recorded.
+    pub speedup_vs_sequential: Option<f64>,
+}
+
+/// A parsed perf record: the writing host's core count plus every bench
+/// entry's name and speedup ratio.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// `host_cores` of the machine that wrote the record.
+    pub host_cores: usize,
+    /// All bench entries, in file order.
+    pub benches: Vec<BenchEntry>,
+}
+
+/// Parses a perf record written by [`write_bench_json`] back into names
+/// and speedup ratios. Line-oriented: the writer emits one line per bench
+/// entry and none of our names contain quotes, so no general JSON parser
+/// is needed (the build container has no serde). Median/percentile
+/// nanoseconds are deliberately NOT surfaced — absolute times do not
+/// transfer across hosts; only the speedup of a binary over its own
+/// sequential baseline does.
+///
+/// # Errors
+///
+/// Returns any I/O error from reading the file.
+pub fn read_bench_json(path: &Path) -> std::io::Result<BenchReport> {
+    let content = std::fs::read_to_string(path)?;
+    let mut host_cores = 0usize;
+    let mut benches = Vec::new();
+    for line in content.lines() {
+        if let Some(pos) = line.find("\"host_cores\":") {
+            let v = line[pos + 13..].trim().trim_end_matches(',');
+            host_cores = v.parse().unwrap_or(0);
+        }
+        let Some(npos) = line.find("\"name\": \"") else {
+            continue;
+        };
+        let rest = &line[npos + 9..];
+        let Some(end) = rest.find('"') else { continue };
+        let name = rest[..end].to_string();
+        let speedup = line.find("\"speedup_vs_sequential\": ").and_then(|spos| {
+            let v = line[spos + 25..].trim_start();
+            let tok = v.find([',', ' ', '}']).unwrap_or(v.len());
+            v[..tok].parse::<f64>().ok()
+        });
+        benches.push(BenchEntry {
+            name,
+            speedup_vs_sequential: speedup,
+        });
+    }
+    Ok(BenchReport {
+        host_cores,
+        benches,
+    })
+}
+
 /// Prints a header row followed by a separator.
 pub fn header(cols: &[&str], widths: &[usize]) {
     let mut line = String::new();

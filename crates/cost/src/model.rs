@@ -625,6 +625,59 @@ mod tests {
     }
 
     #[test]
+    fn calibration_tracks_a_class_speedup_independently() {
+        // A host-side kernel-class speedup — e.g. swapping the naive
+        // matmul contraction for the packed/blocked microkernel — shows
+        // up ONLY in that class's scale: compute samples land 3× faster
+        // than predicted, memory samples match exactly, and the fit must
+        // move compute_scale toward 1/3 while leaving memory_scale at 1.
+        let base = Profiler::new(Device::v100());
+        let mem = mem_spec(8 << 20, 8 << 20);
+        let cmp = KernelSpec {
+            linear: vec![GemmShape {
+                batch: 1,
+                m: 512,
+                n: 512,
+                k: 512,
+            }],
+            ..mem_spec(3 << 20, 1 << 20)
+        };
+        let launch = base.device().launch_overhead_us;
+        let sped_up = |spec: &KernelSpec, backend: Backend| {
+            let body = base.latency(spec, backend).0 - launch;
+            Micros(launch + body / 3.0)
+        };
+        let samples = vec![
+            CalibrationSample {
+                measured: base.latency(&mem, Backend::Generated),
+                spec: mem.clone(),
+                backend: Backend::Generated,
+            },
+            CalibrationSample {
+                measured: sped_up(&cmp, Backend::Vendor),
+                spec: cmp.clone(),
+                backend: Backend::Vendor,
+            },
+            CalibrationSample {
+                measured: sped_up(&cmp, Backend::Generated),
+                spec: cmp,
+                backend: Backend::Generated,
+            },
+        ];
+        let fit = Calibration::fit(&base, &samples);
+        assert!(
+            (fit.memory_scale - 1.0).abs() < 1e-9,
+            "memory class saw no speedup, scale must stay 1: {}",
+            fit.memory_scale
+        );
+        assert!(
+            (fit.compute_scale - 1.0 / 3.0).abs() < 1e-6,
+            "compute class sped up 3×, scale must track it: {}",
+            fit.compute_scale
+        );
+    }
+
+    #[test]
     fn calibration_defaults_are_identity() {
         let p = Profiler::new(Device::v100());
         let spec = mem_spec(1 << 20, 1 << 20);

@@ -18,11 +18,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chain;
 mod error;
 mod ops;
 mod prims;
 mod tile;
 
+pub use chain::CompiledChain;
 pub use error::ExecError;
 pub use ops::{eval_op, execute_ops};
 pub use prims::{eval_prim, execute_plan, execute_prims, materialize_const};

@@ -17,6 +17,32 @@
 //! genuinely overlapped across kernels, whichever lane ends up running
 //! them.
 //!
+//! # Compiled kernel bodies
+//!
+//! Two kernel shapes bypass the interpreter with specialized bodies that
+//! preserve bit-identity *by construction* (the same `f32` operations in
+//! the same order per output element, only reorganized around the memory
+//! hierarchy):
+//!
+//! - **Fused elementwise chains** compile once, at plan-compile time,
+//!   into a [`korch_exec::CompiledChain`] register program. Dispatch
+//!   replaces the per-member tensor map and full-size intermediates with
+//!   a handful of cache-resident scratch blocks, and the program's final
+//!   store writes the staged output buffer directly — the untiled path
+//!   skips its staging copy, the tiled path runs the same program on
+//!   range-restricted operand windows. The program applies each member
+//!   with the *same* tile kernels (`unary_tile` & co.) the interpreter
+//!   uses, in the same ascending member order, so compiled output is
+//!   bit-identical to the member walk.
+//! - **Matmul tile bodies** pack the right operand once per decomposition
+//!   ([`korch_tensor::PackedB`] — zero-copy unless transposed) and every
+//!   tile contracts its rows through the blocked register-accumulator
+//!   kernel (`matmul_rows_packed`). Blocking is a pure loop interchange:
+//!   each output element still accumulates `a(i,p)·b(p,j)` in ascending
+//!   `p` from `0.0` with the same zero-skip, so the packed kernel is
+//!   bit-identical to the naive contraction (property-tested in
+//!   `korch-tensor`).
+//!
 //! # Intra-kernel data parallelism
 //!
 //! Inter-kernel overlap saturates only when enough *independent* kernels
@@ -31,7 +57,10 @@
 //!   output, and its plan-priced latency exceeds the split threshold
 //!   ([`RuntimeConfig::split_threshold_us`], by default one lane's fair
 //!   share of the plan, `total_latency / lanes` — re-derived whenever a
-//!   recalibration re-prices the plan);
+//!   recalibration re-prices the plan). Plan-derived thresholds also
+//!   require the kernel to clear a per-tile overhead floor — splitting
+//!   must buy more body time per lane than it spends on tile dispatch
+//!   and chunk assembly;
 //! - at run time, a popped tile-eligible kernel is split **only when the
 //!   ready queues cannot keep the other workers busy** — with enough
 //!   whole kernels ready, inter-kernel parallelism already fills the
@@ -55,10 +84,10 @@
 use crate::arena::{plan_memory_report, BufferArena, MemoryReport};
 use crate::profiler::{KernelInterval, RuntimeProfile};
 use korch_cost::Device;
-use korch_exec::{eval_ew_tile, eval_prim, eval_prim_tiled, materialize_const, ExecError};
-use korch_ir::{NodeId, PortRef, PrimGraph, PrimKind};
-use korch_orch::{schedule_streams_with, Plan, StreamContention, StreamSchedule};
-use korch_tensor::Tensor;
+use korch_exec::{eval_prim, eval_prim_tiled, materialize_const, CompiledChain, ExecError};
+use korch_ir::{LinearFn, NodeId, PortRef, PrimGraph, PrimKind};
+use korch_orch::{schedule_streams_with, Plan, SelectedKernel, StreamContention, StreamSchedule};
+use korch_tensor::{MatMulSpec, PackedB, Tensor};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock};
@@ -86,6 +115,11 @@ pub struct RuntimeConfig {
     /// kernel is "too big" when it alone exceeds one lane's fair share of
     /// the plan — scale-free, so `recalibrate()` re-derives it
     /// automatically when it re-prices plans in measured host time.
+    /// Derived thresholds additionally price each candidate against a
+    /// per-tile overhead floor (launch slice + chunk assembly traffic):
+    /// a kernel whose per-lane body share sits under the floor runs whole
+    /// — splitting it would cost more than it saves. Explicit thresholds
+    /// skip the floor so tests can force degenerate splits.
     pub split_threshold_us: Option<f64>,
     /// Rows (grain units) per tile. `None` splits a kernel into one tile
     /// per lane; tests pin explicit sizes (1, 7, …) to sweep partitions.
@@ -138,16 +172,54 @@ struct KernelTask {
     global_reads: Vec<(PortRef, usize)>,
     /// Kernels that must retire before this one starts.
     deps: Vec<usize>,
+    /// Compiled register program when the kernel is a single-output fused
+    /// elementwise chain; `None` keeps the interpreted member walk.
+    compiled: Option<ChainExec>,
+    /// Packed-microkernel fast path when the kernel is a single matmul;
+    /// `None` keeps the interpreted member walk.
+    matmul: Option<MatMulExec>,
+}
+
+/// A chain kernel's compiled body plus everything `run_kernel` /
+/// `eval_tile` need to dispatch it without touching the member DAG:
+/// external operands in the program's positional order (each with its
+/// value slot) and the output shape. The compiled program evaluates the
+/// same member order with the same tile kernels as the interpreter, so
+/// dispatching it is bit-identical by construction (see
+/// [`korch_exec::CompiledChain`]).
+struct ChainExec {
+    chain: CompiledChain,
+    /// External input ports in `chain.run` order, with their value slots.
+    inputs: Vec<(PortRef, usize)>,
+    out_shape: Vec<usize>,
+}
+
+/// A single-matmul kernel's whole-run fast path: both operands resolved
+/// to their value slots so `run_kernel` can pack the right panel and
+/// contract every output row straight into an arena buffer — the same
+/// staging-copy elision chain kernels get, and the same packing contract
+/// the tiled path shares ([`TileRun::packed`]).
+struct MatMulExec {
+    /// The matmul member (for error attribution).
+    node: NodeId,
+    /// Left/right operand ports with their value slots.
+    lhs: (PortRef, usize),
+    rhs: (PortRef, usize),
+    spec: MatMulSpec,
+    out_shape: Vec<usize>,
 }
 
 /// How a tile evaluates one kernel's restricted output range.
 enum TileBody {
     /// The kernel has exactly one non-source member, of a tilable
-    /// [`PrimKind`]; tiles call `korch_exec::eval_prim_tiled` on it.
+    /// [`PrimKind`]; tiles call `korch_exec::eval_prim_tiled` on it — or,
+    /// for matmul, the packed row kernel against the operand panel packed
+    /// once per decomposition ([`TileRun::packed`]).
     Single(NodeId),
     /// Every non-source member is elementwise over one shared shape: the
-    /// whole fused chain is pointwise per flat index, so tiles evaluate
-    /// the member DAG on range-restricted buffers end to end.
+    /// whole fused chain is pointwise per flat index, so tiles run the
+    /// kernel's compiled register program ([`ChainExec`]) on
+    /// range-restricted operand windows.
     ElementwiseChain,
 }
 
@@ -174,10 +246,15 @@ struct TileSpec {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TileBodyKind {
     /// Exactly one non-source member, of a tilable [`PrimKind`]; tiles
-    /// run `korch_exec::eval_prim_tiled` on it.
+    /// run `korch_exec::eval_prim_tiled` on it (matmul rows go through
+    /// the packed/blocked row kernel — a pure loop interchange of the
+    /// same contraction, so still bit-identical).
     Single(NodeId),
     /// Every non-source member is elementwise over one shared shape; the
-    /// fused chain evaluates per flat index on range-restricted buffers.
+    /// fused chain evaluates per flat index on range-restricted operand
+    /// windows via the kernel's compiled register program
+    /// ([`korch_exec::CompiledChain`] — same member order, same tile
+    /// kernels as the interpreter, so bit-identical by construction).
     ElementwiseChain,
 }
 
@@ -210,6 +287,10 @@ struct TileRun {
     /// reclamation's `Arc::try_unwrap` fail and the storage would skip
     /// the recycling pool.
     global: Mutex<HashMap<PortRef, Arc<Tensor>>>,
+    /// Packed right-hand operand of a matmul tile body, prepared **once**
+    /// at decomposition and shared read-only by every tile (zero-copy
+    /// unless the operand is transposed). `None` for non-matmul bodies.
+    packed: Option<Arc<PackedB>>,
 }
 
 /// One schedulable unit in the ready deques.
@@ -529,17 +610,83 @@ impl PlanExecutor {
                 let s = slot_of(port, g.meta(port).numel(), &mut slot_numel);
                 global_reads.push((port, s));
             }
-            let outputs = k
+            let outputs: Vec<(PortRef, usize)> = k
                 .outputs
                 .iter()
                 .map(|o| (*o, slot_of(*o, g.meta(*o).numel(), &mut slot_numel)))
                 .collect();
+            // Chain kernels compile to a register program at plan-compile
+            // time; multi-output kernels and kernels with non-elementwise
+            // members fall back to the interpreted walk.
+            let compiled = match outputs.as_slice() {
+                [(out_port, _)] => {
+                    CompiledChain::compile(g, &members, *out_port).map(|(chain, ports)| {
+                        let inputs = ports
+                            .into_iter()
+                            .map(|p| {
+                                let s = global_reads
+                                    .iter()
+                                    .find(|(gp, _)| *gp == p)
+                                    .map(|(_, s)| *s)
+                                    .expect("chain externals are global reads");
+                                (p, s)
+                            })
+                            .collect();
+                        ChainExec {
+                            chain,
+                            inputs,
+                            out_shape: g.meta(*out_port).shape().to_vec(),
+                        }
+                    })
+                }
+                _ => None,
+            };
+            // Single-matmul kernels resolve their operands once so the
+            // whole-kernel run contracts through the packed microkernel
+            // without a staging copy.
+            let matmul = match outputs.as_slice() {
+                [(out_port, _)] => {
+                    let mut non_source = members.iter().filter(|&&m| !g.node(m).kind.is_source());
+                    match (non_source.next(), non_source.next()) {
+                        (Some(&m), None)
+                            if *out_port == (PortRef { node: m, port: 0 })
+                                && g.meta(*out_port).numel() > 0 =>
+                        {
+                            match &g.node(m).kind {
+                                PrimKind::Linear(LinearFn::MatMul { spec: mm }) => {
+                                    let operand = |idx: usize| {
+                                        let p = g.node(m).inputs[idx];
+                                        let s = global_reads
+                                            .iter()
+                                            .find(|(gp, _)| *gp == p)
+                                            .map(|(_, s)| *s)
+                                            .expect("matmul operands are global reads");
+                                        (p, s)
+                                    };
+                                    Some(MatMulExec {
+                                        node: m,
+                                        lhs: operand(0),
+                                        rhs: operand(1),
+                                        spec: *mm,
+                                        out_shape: g.meta(*out_port).shape().to_vec(),
+                                    })
+                                }
+                                _ => None,
+                            }
+                        }
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
             kernels.push(KernelTask {
                 members,
                 member_set,
                 outputs,
                 global_reads,
                 deps: deps.into_iter().collect(),
+                compiled,
+                matmul,
             });
         }
 
@@ -593,11 +740,20 @@ impl PlanExecutor {
         let split_threshold_us = config
             .split_threshold_us
             .unwrap_or(plan.total_latency.0 / lanes_requested as f64);
+        let derived_threshold = config.split_threshold_us.is_none();
         let tile_specs: Vec<Option<TileSpec>> = kernels
             .iter()
             .zip(&plan.kernels)
             .map(|(task, k)| {
                 if !config.tiling || lanes_requested < 2 || k.latency.0 <= split_threshold_us {
+                    return None;
+                }
+                // Plan-derived thresholds additionally price each tile
+                // against the fixed per-tile overhead; explicit thresholds
+                // bypass the floor so tests can sweep degenerate splits.
+                if derived_threshold
+                    && !Self::clears_tile_floor(g, task, k, &config.device, lanes_requested)
+                {
                     return None;
                 }
                 Self::classify_tiling(g, task, &config)
@@ -633,6 +789,37 @@ impl PlanExecutor {
             split_threshold_us,
             n_roots,
         })
+    }
+
+    /// Per-tile overhead floor applied to plan-derived split thresholds:
+    /// splitting a kernel across the lanes only pays when one lane's
+    /// share of the kernel body outweighs the fixed cost every tile adds
+    /// — a slice of the launch/dispatch overhead plus streaming the
+    /// tile's chunk back through memory at assembly. Kernels whose
+    /// per-tile body time sits under that floor (a dim-192 matmul on a
+    /// default config, say) run whole even though they exceed the fair
+    /// share threshold: the split would *lose* wall-clock time, which is
+    /// exactly the regression the floor exists to prevent.
+    fn clears_tile_floor(
+        g: &PrimGraph,
+        task: &KernelTask,
+        k: &SelectedKernel,
+        device: &Device,
+        lanes: usize,
+    ) -> bool {
+        let [(out_port, _)] = task.outputs.as_slice() else {
+            return false;
+        };
+        let lanes = lanes.max(1) as f64;
+        let out_bytes = (g.meta(*out_port).numel() * 4) as f64;
+        let per_tile_body = (k.latency.0 - device.launch_overhead_us).max(0.0) / lanes;
+        // Per-tile fixed cost: a fraction of one kernel launch (tiles are
+        // enqueue+steal, far cheaper than a driver launch) plus the
+        // chunk's assembly traffic (bytes / bandwidth; 1 GB/s = 1000
+        // bytes/µs).
+        let floor =
+            device.launch_overhead_us / 8.0 + (out_bytes / lanes) / (device.mem_bw_gbps * 1000.0);
+        per_tile_body > floor
     }
 
     /// Decides whether one kernel's output space can be split into
@@ -1127,12 +1314,36 @@ impl PlanExecutor {
             };
             global.insert(*port, arc);
         }
+        // Matmul bodies pack the right operand once, here, so every tile
+        // contracts against the same shared panel (a no-op copy unless
+        // the operand is transposed).
+        let packed = match &spec.body {
+            TileBody::Single(m) => {
+                let node = self.graph.node(*m);
+                if let PrimKind::Linear(LinearFn::MatMul { spec: mm }) = &node.kind {
+                    let rhs = node.inputs.get(1).and_then(|r| global.get(r));
+                    match rhs.map(|t| PackedB::pack(t, mm.trans_b)) {
+                        Some(Ok(p)) => Some(Arc::new(p)),
+                        Some(Err(source)) => {
+                            self.fail(ExecError::Tensor { node: m.0, source }, state);
+                            return false;
+                        }
+                        // Let eval_tile surface the missing operand.
+                        None => None,
+                    }
+                } else {
+                    None
+                }
+            }
+            TileBody::ElementwiseChain => None,
+        };
         let n = spec.tiles.len();
         state.tiles[k]
             .set(TileRun {
                 remaining: AtomicUsize::new(n),
                 chunks: Mutex::new((0..n).map(|_| None).collect()),
                 global: Mutex::new(global),
+                packed,
             })
             .unwrap_or_else(|_| panic!("kernel {k} decomposed twice in one run"));
         for t in 0..n {
@@ -1266,13 +1477,11 @@ impl PlanExecutor {
             .expect("tile tasks exist only for tiled kernels");
         let range = spec.tiles[t_idx].clone();
         let task = &self.kernels[k];
+        let tr = state.tiles[k]
+            .get()
+            .expect("tile state initialized before tiles were enqueued");
         let global: HashMap<PortRef, Arc<Tensor>> = {
-            let shared = state.tiles[k]
-                .get()
-                .expect("tile state initialized before tiles were enqueued")
-                .global
-                .lock()
-                .expect("tile inputs poisoned");
+            let shared = tr.global.lock().expect("tile inputs poisoned");
             task.global_reads
                 .iter()
                 .map(|(port, _)| {
@@ -1302,72 +1511,58 @@ impl PlanExecutor {
                     })
                     .collect::<Result<_, _>>()?;
                 let mut chunk = self.tile_buf(range.len());
-                if let Err(e) = eval_prim_tiled(&node.kind, &ins, range, &mut chunk, m.0) {
+                // A matmul body contracts its rows against the operand
+                // panel packed once at decomposition; everything else goes
+                // through the generic range-restricted evaluator. Both are
+                // bit-identical to the whole-kernel evaluation.
+                let result = match (&node.kind, &tr.packed) {
+                    (PrimKind::Linear(LinearFn::MatMul { spec: mm }), Some(packed)) => {
+                        let n = spec.grain;
+                        ins[0]
+                            .matmul_rows_packed(
+                                ins[1],
+                                packed,
+                                *mm,
+                                range.start / n..range.end / n,
+                                &mut chunk,
+                            )
+                            .map_err(|source| ExecError::Tensor { node: m.0, source })
+                    }
+                    _ => eval_prim_tiled(&node.kind, &ins, range, &mut chunk, m.0),
+                };
+                if let Err(e) = result {
                     self.arena.release(chunk);
                     return Err(e);
                 }
                 Ok(chunk)
             }
             TileBody::ElementwiseChain => {
-                // The fused chain, restricted to `range`: member values
-                // live in range-length buffers; global operands are read
-                // through the same flat window.
-                let mut local: HashMap<PortRef, Vec<f32>> = HashMap::new();
-                let out_port = task.outputs[0].0;
-                let release_all = |local: &mut HashMap<PortRef, Vec<f32>>| {
-                    for (_, buf) in local.drain() {
-                        self.arena.release(buf);
-                    }
-                };
-                for &m in &task.members {
-                    let node = self.graph.node(m);
-                    if node.kind.is_source() {
-                        continue;
-                    }
-                    let PrimKind::Elementwise(f) = &node.kind else {
-                        release_all(&mut local);
-                        return Err(ExecError::Input(format!(
-                            "non-elementwise member {} in a tiled chain kernel",
-                            m.0
-                        )));
-                    };
-                    let mut out = self.tile_buf(range.len());
-                    let result = {
-                        let mut slices: Vec<&[f32]> = Vec::with_capacity(node.inputs.len());
-                        let mut missing = None;
-                        for r in &node.inputs {
-                            if let Some(buf) = local.get(r) {
-                                slices.push(buf);
-                            } else if let Some(t) =
-                                global.get(r).and_then(|t| t.as_slice().get(range.clone()))
-                            {
-                                slices.push(t);
-                            } else {
-                                missing = Some(ExecError::NotMaterialized {
-                                    node: r.node.0,
-                                    port: r.port,
-                                });
-                                break;
-                            }
-                        }
-                        match missing {
-                            Some(e) => Err(e),
-                            None => eval_ew_tile(f, &slices, &mut out, m.0),
-                        }
-                    };
-                    if let Err(e) = result {
-                        self.arena.release(out);
-                        release_all(&mut local);
-                        return Err(e);
-                    }
-                    local.insert(PortRef { node: m, port: 0 }, out);
+                // The fused chain restricted to `range`: the compiled
+                // register program runs over the same flat window of every
+                // external operand, writing the chunk directly — no
+                // per-member buffers, no operand map.
+                let ce = task.compiled.as_ref().ok_or_else(|| {
+                    ExecError::Input(format!("tiled chain kernel {k} has no compiled body"))
+                })?;
+                let slices: Vec<&[f32]> = ce
+                    .inputs
+                    .iter()
+                    .map(|(port, _)| {
+                        global
+                            .get(port)
+                            .and_then(|t| t.as_slice().get(range.clone()))
+                            .ok_or(ExecError::NotMaterialized {
+                                node: port.node.0,
+                                port: port.port,
+                            })
+                    })
+                    .collect::<Result<_, _>>()?;
+                let mut chunk = self.tile_buf(range.len());
+                if let Err(e) = ce.chain.run(&slices, &mut chunk) {
+                    self.arena.release(chunk);
+                    return Err(e);
                 }
-                let chunk = local.remove(&out_port).ok_or(ExecError::NotMaterialized {
-                    node: out_port.node.0,
-                    port: out_port.port,
-                });
-                release_all(&mut local);
-                chunk
+                Ok(chunk)
             }
         }
     }
@@ -1504,6 +1699,76 @@ impl PlanExecutor {
     /// reads for the rest.
     fn run_kernel(&self, k: usize, state: &RunState) -> Result<(), ExecError> {
         let task = &self.kernels[k];
+        // Chain kernels dispatch their compiled register program straight
+        // into an arena buffer that becomes the published output — no
+        // member map, no per-member intermediates, and no staging copy
+        // (the program's final store *is* the staged write).
+        if let Some(ce) = &task.compiled {
+            let tensors: Vec<Arc<Tensor>> = ce
+                .inputs
+                .iter()
+                .map(|(port, s)| {
+                    state.values[*s]
+                        .read()
+                        .expect("slot poisoned")
+                        .clone()
+                        .ok_or(ExecError::NotMaterialized {
+                            node: port.node.0,
+                            port: port.port,
+                        })
+                })
+                .collect::<Result<_, _>>()?;
+            let slices: Vec<&[f32]> = tensors.iter().map(|t| t.as_slice()).collect();
+            let total: usize = ce.out_shape.iter().product();
+            let mut out = self.tile_buf(total);
+            if let Err(e) = ce.chain.run(&slices, &mut out) {
+                self.arena.release(out);
+                return Err(e);
+            }
+            let t = Tensor::from_vec(ce.out_shape.clone(), out)
+                .expect("chain output matches its shape");
+            self.publish_output(task.outputs[0].1, t, state);
+            return Ok(());
+        }
+        // Single-matmul kernels contract every output row through the
+        // packed microkernel straight into an arena buffer (pack is a
+        // no-op copy unless the right operand is transposed) — same
+        // accumulation order as `Tensor::matmul`, no staging copy.
+        if let Some(me) = &task.matmul {
+            let fetch = |(port, s): &(PortRef, usize)| {
+                state.values[*s]
+                    .read()
+                    .expect("slot poisoned")
+                    .clone()
+                    .ok_or(ExecError::NotMaterialized {
+                        node: port.node.0,
+                        port: port.port,
+                    })
+            };
+            let lhs = fetch(&me.lhs)?;
+            let rhs = fetch(&me.rhs)?;
+            let packed =
+                PackedB::pack(&rhs, me.spec.trans_b).map_err(|source| ExecError::Tensor {
+                    node: me.node.0,
+                    source,
+                })?;
+            let total: usize = me.out_shape.iter().product();
+            let cols = me.out_shape.last().copied().unwrap_or(1).max(1);
+            let mut out = self.tile_buf(total);
+            if let Err(source) =
+                lhs.matmul_rows_packed(&rhs, &packed, me.spec, 0..total / cols, &mut out)
+            {
+                self.arena.release(out);
+                return Err(ExecError::Tensor {
+                    node: me.node.0,
+                    source,
+                });
+            }
+            let t = Tensor::from_vec(me.out_shape.clone(), out)
+                .expect("matmul output matches its shape");
+            self.publish_output(task.outputs[0].1, t, state);
+            return Ok(());
+        }
         let mut global: HashMap<PortRef, Arc<Tensor>> =
             HashMap::with_capacity(task.global_reads.len());
         for (port, s) in &task.global_reads {

@@ -30,6 +30,7 @@ mod elementwise;
 mod error;
 mod layout;
 mod linear;
+mod pack;
 mod pool;
 mod reduce;
 mod resize;
@@ -38,6 +39,7 @@ mod tile;
 pub use elementwise::{BinaryOp, UnaryOp};
 pub use error::TensorError;
 pub use linear::{conv2d_flops, matmul_flops, MatMulSpec};
+pub use pack::PackedB;
 pub use pool::PoolSpec;
 pub use reduce::ReduceKind;
 pub use resize::ResizeMode;

@@ -1,7 +1,16 @@
 //! Linear transformation reference kernels (paper §3): matrix
 //! multiplication (optionally batched, with transpose flags) and 2-D
 //! convolution (NCHW / OIHW, strides, symmetric padding, groups).
+//!
+//! [`Tensor::matmul`] runs on the packed/blocked microkernel of
+//! [`crate::pack`]: the right operand is packed into row-major `[k][n]`
+//! panels (zero-copy unless `trans_b`) and each output row is computed
+//! over fixed-width register accumulator blocks. The blocking is a pure
+//! loop interchange — ascending-`p` accumulation with the zero-skip is
+//! preserved per output element — so results are bit-identical to the
+//! historical scalar triple loop (pinned by `crate::pack`'s tests).
 
+use crate::pack::{matmul_rows_blocked, PackedB};
 use crate::{Tensor, TensorError};
 
 /// Transpose flags for a (batched) matrix multiplication, mirroring BLAS
@@ -59,41 +68,23 @@ impl Tensor {
                 rhs: rhs.shape().to_vec(),
             });
         }
-        let k = k1;
         let batch: usize = batch_dims.iter().product();
         let mut out_shape = batch_dims.to_vec();
         out_shape.push(m);
         out_shape.push(n);
         let mut out = vec![0f32; batch * m * n];
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let a_stride = am * ak;
-        let b_stride = bk * bn;
-        for bi in 0..batch {
-            let ab = &a[bi * a_stride..(bi + 1) * a_stride];
-            let bb = &b[bi * b_stride..(bi + 1) * b_stride];
-            let ob = &mut out[bi * m * n..(bi + 1) * m * n];
-            for i in 0..m {
-                for p in 0..k {
-                    let av = if spec.trans_a {
-                        ab[p * ak + i]
-                    } else {
-                        ab[i * ak + p]
-                    };
-                    if av == 0.0 {
-                        continue;
-                    }
-                    for j in 0..n {
-                        let bv = if spec.trans_b {
-                            bb[j * bn + p]
-                        } else {
-                            bb[p * bn + j]
-                        };
-                        ob[i * n + j] += av * bv;
-                    }
-                }
-            }
-        }
+        let packed = PackedB::pack(rhs, spec.trans_b)?;
+        matmul_rows_blocked(
+            self.as_slice(),
+            rhs.as_slice(),
+            &packed,
+            spec.trans_a,
+            am,
+            ak,
+            m,
+            0..batch * m,
+            &mut out,
+        );
         Tensor::from_vec(out_shape, out)
     }
 

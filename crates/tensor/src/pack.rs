@@ -1,0 +1,331 @@
+//! Packed right-hand-side panels and the blocked matmul microkernel.
+//!
+//! [`Tensor::matmul`](crate::Tensor::matmul) and
+//! [`Tensor::matmul_rows`](crate::Tensor::matmul_rows) both drive the row
+//! kernel here instead of a naive per-element contraction. The design is
+//! the classic pack-then-microkernel split:
+//!
+//! - [`PackedB`] lays the right operand out as row-major `[k][n]` panels —
+//!   one per batch — so the inner loop always reads B with unit stride.
+//!   When the operand is already in that layout (`trans_b == false`) the
+//!   pack is **zero-copy**: the panel view borrows the tensor's own
+//!   storage. Only `trans_b` pays a one-time transposed copy. A panel is
+//!   immutable after construction, so callers (the `korch-runtime` tile
+//!   executor) pack **once per kernel** and share the panel read-only
+//!   across sibling row tiles;
+//! - [`mm_row_blocked`] computes one output row over fixed-width
+//!   accumulator blocks (`NB` columns held in registers), with the
+//!   contraction index `p` innermost and every access unit-stride, so
+//!   rustc autovectorizes the multiply-accumulate without any
+//!   target-specific intrinsics.
+//!
+//! # Bit-identity with the scalar path
+//!
+//! The microkernel is a pure loop-interchange of the naive kernel: every
+//! output element `o(i, j)` still accumulates `a(i, p) * b(p, j)` in
+//! ascending `p` order, skipping `a(i, p) == 0.0` terms, starting from
+//! `0.0` — exactly the op sequence of the historical triple loop
+//! (register accumulation followed by one store is the same IEEE
+//! operation sequence as in-memory accumulation). No FMA contraction and
+//! no re-association is introduced, so blocked results are **bit
+//! identical** to the scalar reference for every shape, transpose flag
+//! and row partition. `trans_a` reads are handled by gathering the
+//! logical A row into a scratch buffer first — a value copy that changes
+//! no arithmetic; `trans_b` reads come from the packed panel, which holds
+//! the same `f32` values the naive kernel would have gathered per
+//! element.
+
+use crate::{Tensor, TensorError};
+use std::ops::Range;
+
+/// Accumulator width of the row microkernel: output columns computed per
+/// register block. 32 `f32` lanes = two cache lines, small enough to stay
+/// in registers on SSE2 baselines and wide enough to saturate wider SIMD.
+const NB: usize = 32;
+
+/// The right operand of a matmul, packed into row-major `[k][n]` panels
+/// (one per batch) for unit-stride access in the row microkernel.
+///
+/// Construction is zero-copy when the operand is already `[k][n]`
+/// row-major (`trans_b == false`); a `trans_b` operand is transposed into
+/// an owned buffer once. The panel is read-only after packing — the
+/// sharing contract that lets `korch-runtime` pack a kernel's B panel
+/// once at decomposition and hand the same panel to every sibling tile.
+#[derive(Debug, Clone)]
+pub struct PackedB {
+    /// Owned transposed panels (`trans_b`), or `None` when the raw tensor
+    /// storage already has panel layout.
+    data: Option<Vec<f32>>,
+    batch: usize,
+    k: usize,
+    n: usize,
+}
+
+impl PackedB {
+    /// Packs `rhs` as the right operand of a matmul with the given
+    /// `trans_b` flag. Zero-copy for `trans_b == false`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] when `rhs` has rank < 2.
+    pub fn pack(rhs: &Tensor, trans_b: bool) -> Result<PackedB, TensorError> {
+        let rb = rhs.rank();
+        if rb < 2 {
+            return Err(TensorError::ShapeMismatch {
+                lhs: rhs.shape().to_vec(),
+                rhs: rhs.shape().to_vec(),
+            });
+        }
+        let (bk, bn) = (rhs.shape()[rb - 2], rhs.shape()[rb - 1]);
+        let batch: usize = rhs.shape()[..rb - 2].iter().product();
+        let (k, n) = if trans_b { (bn, bk) } else { (bk, bn) };
+        let data = if trans_b {
+            let b = rhs.as_slice();
+            let mut packed = vec![0.0f32; batch * k * n];
+            for bi in 0..batch {
+                let bb = &b[bi * bk * bn..(bi + 1) * bk * bn];
+                let pb = &mut packed[bi * k * n..(bi + 1) * k * n];
+                // packed[p][j] = B[j][p]: the value the naive kernel reads
+                // as `bb[j * bn + p]` — sequential reads, strided writes.
+                for j in 0..n {
+                    let row = &bb[j * bn..(j + 1) * bn];
+                    for (p, &v) in row.iter().enumerate() {
+                        pb[p * n + j] = v;
+                    }
+                }
+            }
+            Some(packed)
+        } else {
+            None
+        };
+        Ok(PackedB { data, batch, k, n })
+    }
+
+    /// Contraction length of the packed operand.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output columns of the packed operand.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of batch panels.
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Whether the pack owns a transposed copy (`trans_b`) or borrows the
+    /// operand's storage at use time (zero-copy).
+    pub fn is_owned(&self) -> bool {
+        self.data.is_some()
+    }
+
+    /// The `[k][n]` panel of batch `bi`. `raw` is the right operand's
+    /// storage, consulted only on the zero-copy path.
+    fn panel<'a>(&'a self, raw: &'a [f32], bi: usize) -> &'a [f32] {
+        let stride = self.k * self.n;
+        match &self.data {
+            Some(d) => &d[bi * stride..(bi + 1) * stride],
+            None => &raw[bi * stride..(bi + 1) * stride],
+        }
+    }
+}
+
+/// One output row: `orow[j] = Σ_p arow[p] * panel[p][j]`, accumulated in
+/// ascending `p` with the zero-skip, over `NB`-wide register blocks. See
+/// the module doc for why this is bit-identical to the scalar kernel.
+fn mm_row_blocked(arow: &[f32], panel: &[f32], n: usize, orow: &mut [f32]) {
+    let mut j = 0;
+    while j + NB <= n {
+        let mut acc = [0.0f32; NB];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let bv = &panel[p * n + j..p * n + j + NB];
+            for t in 0..NB {
+                acc[t] += av * bv[t];
+            }
+        }
+        orow[j..j + NB].copy_from_slice(&acc);
+        j += NB;
+    }
+    if j < n {
+        let rest = n - j;
+        let mut acc = [0.0f32; NB];
+        for (p, &av) in arow.iter().enumerate() {
+            if av == 0.0 {
+                continue;
+            }
+            let bv = &panel[p * n + j..p * n + j + rest];
+            for (t, &bvt) in bv.iter().enumerate() {
+                acc[t] += av * bvt;
+            }
+        }
+        orow[j..].copy_from_slice(&acc[..rest]);
+    }
+}
+
+/// Computes output rows `rows` (indexing the flattened `batch × m`
+/// leading dims) of a matmul whose right operand was packed into
+/// `packed`, writing `rows.len() * n` elements into `out`. Callers have
+/// validated shapes; `am`/`ak` are the left operand's trailing dims as
+/// stored and `m` the logical output rows per batch.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn matmul_rows_blocked(
+    a: &[f32],
+    b_raw: &[f32],
+    packed: &PackedB,
+    trans_a: bool,
+    am: usize,
+    ak: usize,
+    m: usize,
+    rows: Range<usize>,
+    out: &mut [f32],
+) {
+    let (k, n) = (packed.k, packed.n);
+    let a_stride = am * ak;
+    // `trans_a` gathers the logical A row (a stored column) once per row:
+    // same values, same order — the arithmetic never sees the copy.
+    let mut acol = if trans_a { vec![0.0f32; k] } else { Vec::new() };
+    for (row_off, row) in rows.enumerate() {
+        let bi = row / m;
+        let i = row % m;
+        let ab = &a[bi * a_stride..(bi + 1) * a_stride];
+        let panel = packed.panel(b_raw, bi);
+        let orow = &mut out[row_off * n..(row_off + 1) * n];
+        if trans_a {
+            for (p, slot) in acol.iter_mut().enumerate() {
+                *slot = ab[p * ak + i];
+            }
+            mm_row_blocked(&acol, panel, n, orow);
+        } else {
+            mm_row_blocked(&ab[i * ak..i * ak + k], panel, n, orow);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MatMulSpec;
+
+    /// The historical scalar kernel, kept verbatim as the bit-identity
+    /// reference: ascending-`p` accumulation into a zero-filled output
+    /// with the `av == 0.0` skip.
+    fn naive_matmul(a: &Tensor, b: &Tensor, spec: MatMulSpec) -> Vec<f32> {
+        let ra = a.rank();
+        let (am, ak) = (a.shape()[ra - 2], a.shape()[ra - 1]);
+        let (bk, bn) = (b.shape()[ra - 2], b.shape()[ra - 1]);
+        let (m, k) = if spec.trans_a { (ak, am) } else { (am, ak) };
+        let n = if spec.trans_b { bk } else { bn };
+        let batch: usize = a.shape()[..ra - 2].iter().product();
+        let mut out = vec![0f32; batch * m * n];
+        let (av_, bv_) = (a.as_slice(), b.as_slice());
+        for bi in 0..batch {
+            let ab = &av_[bi * am * ak..(bi + 1) * am * ak];
+            let bb = &bv_[bi * bk * bn..(bi + 1) * bk * bn];
+            let ob = &mut out[bi * m * n..(bi + 1) * m * n];
+            for i in 0..m {
+                for p in 0..k {
+                    let av = if spec.trans_a {
+                        ab[p * ak + i]
+                    } else {
+                        ab[i * ak + p]
+                    };
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for j in 0..n {
+                        let bv = if spec.trans_b {
+                            bb[j * bn + p]
+                        } else {
+                            bb[p * bn + j]
+                        };
+                        ob[i * n + j] += av * bv;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn blocked_matmul_is_bit_identical_to_the_scalar_reference() {
+        // Shapes straddling the NB block width (remainder columns, short
+        // contractions, batches) across every transpose combination.
+        let cases: Vec<(Vec<usize>, Vec<usize>, MatMulSpec)> = vec![
+            (vec![5, 7], vec![7, 33], MatMulSpec::new()),
+            (vec![9, 64], vec![64, 64], MatMulSpec::new()),
+            (vec![3, 4, 6], vec![3, 6, 31], MatMulSpec::new()),
+            (
+                vec![7, 5],
+                vec![7, 33],
+                MatMulSpec {
+                    trans_a: true,
+                    trans_b: false,
+                },
+            ),
+            (
+                vec![5, 7],
+                vec![40, 7],
+                MatMulSpec {
+                    trans_a: false,
+                    trans_b: true,
+                },
+            ),
+            (
+                vec![2, 6, 5],
+                vec![2, 35, 6],
+                MatMulSpec {
+                    trans_a: true,
+                    trans_b: true,
+                },
+            ),
+        ];
+        for (a_shape, b_shape, spec) in cases {
+            let a = Tensor::random(a_shape.clone(), 1);
+            let b = Tensor::random(b_shape.clone(), 2);
+            let reference = naive_matmul(&a, &b, spec);
+            let got = a.matmul(&b, spec).unwrap();
+            assert_eq!(
+                got.as_slice(),
+                &reference[..],
+                "blocked matmul diverged for {a_shape:?} x {b_shape:?} {spec:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_skip_survives_blocking() {
+        // A sparse left operand exercises the skip on both the blocked
+        // and remainder paths.
+        let a = Tensor::from_fn(vec![4, 8], |i| if i % 3 == 0 { 0.0 } else { i as f32 });
+        let b = Tensor::random(vec![8, 37], 3);
+        let spec = MatMulSpec::new();
+        assert_eq!(
+            a.matmul(&b, spec).unwrap().as_slice(),
+            &naive_matmul(&a, &b, spec)[..]
+        );
+    }
+
+    #[test]
+    fn pack_is_zero_copy_only_without_transpose() {
+        let b = Tensor::random(vec![6, 9], 4);
+        let plain = PackedB::pack(&b, false).unwrap();
+        assert!(!plain.is_owned());
+        assert_eq!((plain.k(), plain.n(), plain.batch()), (6, 9, 1));
+        let trans = PackedB::pack(&b, true).unwrap();
+        assert!(trans.is_owned());
+        assert_eq!((trans.k(), trans.n(), trans.batch()), (9, 6, 1));
+        // packed[p][j] == B[j][p]
+        for p in 0..9 {
+            for j in 0..6 {
+                assert_eq!(trans.panel(b.as_slice(), 0)[p * 6 + j], b.at(&[j, p]));
+            }
+        }
+        assert!(PackedB::pack(&Tensor::scalar(1.0), false).is_err());
+    }
+}

@@ -14,9 +14,13 @@
 //! - elementwise tiles ([`unary_tile`], [`binary_tile`],
 //!   [`binary_scalar_tile`], [`binary_scalar_lhs_tile`]) map pre-sliced
 //!   input ranges pointwise;
-//! - [`Tensor::matmul_rows`] computes a range of output rows with the full
-//!   inner contraction per row (the per-row loop nest of
-//!   [`Tensor::matmul`] verbatim);
+//! - [`Tensor::matmul_rows`] / [`Tensor::matmul_rows_packed`] compute a
+//!   range of output rows with the full inner contraction per row on the
+//!   blocked microkernel of [`crate::pack`] — the same ascending-`p`
+//!   accumulation (with zero-skip) per output element as
+//!   [`Tensor::matmul`], just register-blocked, so tiled and monolithic
+//!   products agree bit for bit. The packed B panel is read-only and may
+//!   be shared across concurrent sibling tiles;
 //! - [`Tensor::reduce_tile`] computes a flat range of *output* elements,
 //!   each with its complete accumulation over the reduced axis in
 //!   sequential order — axis-aligned splitting, safe for every axis;
@@ -34,6 +38,7 @@
 //! for callers that prefer partial-result parallelism over bit-stability.
 
 use crate::elementwise::{BinaryOp, UnaryOp};
+use crate::pack::{matmul_rows_blocked, PackedB};
 use crate::reduce::ReduceKind;
 use crate::{MatMulSpec, Tensor, TensorError};
 use std::ops::Range;
@@ -94,9 +99,12 @@ impl Tensor {
     /// where rows index the flattened `batch × m` leading output
     /// dimensions and `out` covers exactly `rows.len() * n` elements.
     ///
-    /// Performs the same per-row loop nest as [`Tensor::matmul`] (same
-    /// accumulation order, same zero-skip), so concatenating row tiles
-    /// reproduces the full product bit for bit.
+    /// Packs the right operand itself (free unless `spec.trans_b`) and
+    /// runs the blocked row microkernel of [`crate::pack`] — the same
+    /// accumulation order and zero-skip as [`Tensor::matmul`], so
+    /// concatenating row tiles reproduces the full product bit for bit.
+    /// Callers computing many tiles of one product should pack once with
+    /// [`PackedB::pack`] and use [`Tensor::matmul_rows_packed`] instead.
     ///
     /// # Errors
     ///
@@ -107,6 +115,31 @@ impl Tensor {
     pub fn matmul_rows(
         &self,
         rhs: &Tensor,
+        spec: MatMulSpec,
+        rows: Range<usize>,
+        out: &mut [f32],
+    ) -> Result<(), TensorError> {
+        let packed = PackedB::pack(rhs, spec.trans_b)?;
+        self.matmul_rows_packed(rhs, &packed, spec, rows, out)
+    }
+
+    /// [`Tensor::matmul_rows`] with a pre-packed right operand: `packed`
+    /// must be `PackedB::pack(rhs, spec.trans_b)`. The panel is read-only
+    /// here, so one pack may be shared across concurrent row tiles of the
+    /// same product (the `korch-runtime` tile executor packs once per
+    /// decomposed kernel).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] for operand shapes
+    /// [`Tensor::matmul`] would reject, and
+    /// [`TensorError::InvalidArgument`] when `packed` does not match
+    /// `(rhs, spec)`, `rows` is out of bounds, or `out` does not cover
+    /// `rows.len() * n` elements.
+    pub fn matmul_rows_packed(
+        &self,
+        rhs: &Tensor,
+        packed: &PackedB,
         spec: MatMulSpec,
         rows: Range<usize>,
         out: &mut [f32],
@@ -129,8 +162,22 @@ impl Tensor {
                 rhs: rhs.shape().to_vec(),
             });
         }
-        let k = k1;
         let batch: usize = self.shape()[..ra - 2].iter().product();
+        if packed.k() != k1
+            || packed.n() != n
+            || packed.batch() != batch
+            || packed.is_owned() != spec.trans_b
+        {
+            return Err(TensorError::InvalidArgument(format!(
+                "packed panel ({}x{}x{}, owned {}) does not match operand ({batch}x{k1}x{n}, \
+                 trans_b {})",
+                packed.batch(),
+                packed.k(),
+                packed.n(),
+                packed.is_owned(),
+                spec.trans_b
+            )));
+        }
         if rows.end > batch * m || rows.start > rows.end {
             return Err(TensorError::InvalidArgument(format!(
                 "matmul row range {rows:?} out of bounds for {} output rows",
@@ -144,36 +191,17 @@ impl Tensor {
                 rows.len() * n
             )));
         }
-        out.fill(0.0);
-        let a = self.as_slice();
-        let b = rhs.as_slice();
-        let a_stride = am * ak;
-        let b_stride = bk * bn;
-        for (row_off, row) in rows.clone().enumerate() {
-            let bi = row / m;
-            let i = row % m;
-            let ab = &a[bi * a_stride..(bi + 1) * a_stride];
-            let bb = &b[bi * b_stride..(bi + 1) * b_stride];
-            let ob = &mut out[row_off * n..(row_off + 1) * n];
-            for p in 0..k {
-                let av = if spec.trans_a {
-                    ab[p * ak + i]
-                } else {
-                    ab[i * ak + p]
-                };
-                if av == 0.0 {
-                    continue;
-                }
-                for (j, o) in ob.iter_mut().enumerate() {
-                    let bv = if spec.trans_b {
-                        bb[j * bn + p]
-                    } else {
-                        bb[p * bn + j]
-                    };
-                    *o += av * bv;
-                }
-            }
-        }
+        matmul_rows_blocked(
+            self.as_slice(),
+            rhs.as_slice(),
+            packed,
+            spec.trans_a,
+            am,
+            ak,
+            m,
+            rows,
+            out,
+        );
         Ok(())
     }
 

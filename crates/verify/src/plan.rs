@@ -285,6 +285,17 @@ fn check_schedule(plan: &Plan, artifact: &PlanArtifact, out: &mut Vec<Violation>
 /// covering, in tile order, grain-aligned), and the determinism lint
 /// (reduce tilings must never split or double-accumulate one output
 /// element).
+///
+/// The runtime may execute either body kind through a *compiled* fast
+/// path — a fused elementwise chain becomes a pre-bound closure, a
+/// single matmul packs its RHS panel once and contracts row ranges
+/// directly — but compilation is an implementation detail below this
+/// layer: it applies the same tile kernels to the same member order
+/// (chains) or performs a pure loop interchange with ascending-k
+/// accumulation (matmul), so the bit-identity obligations checked here
+/// are exactly the ones the compiled bodies must also satisfy. The
+/// `TileBodyKind` variants and their eligibility rules are unchanged by
+/// compilation.
 fn check_tiling(
     g: &PrimGraph,
     plan: &Plan,

@@ -258,7 +258,9 @@ proptest! {
 /// bit-identical, and report the decomposition through the profile.
 #[test]
 fn single_kernel_plan_splits_into_lane_tiles() {
-    let (g, plan) = build_plan(&[Branch::Chain { ops: vec![2, 0] }], 64, 64);
+    // 768×768: big enough that each tile's body clears the per-tile
+    // overhead floor the derived threshold now enforces.
+    let (g, plan) = build_plan(&[Branch::Chain { ops: vec![2, 0] }], 768, 768);
     let inputs = prim_random_inputs(&g, 11);
     let reference = execute_plan(&g, &plan, &inputs).unwrap();
     for lanes in [2usize, 4] {
@@ -547,11 +549,12 @@ fn reduce_tiles_are_bit_identical_for_both_axes() {
 #[test]
 fn derived_threshold_prices_kernels_against_lane_share() {
     let mut g = PrimGraph::new();
-    // Big kernel: 128×128 elementwise. Small kernel: 8×8.
+    // Big kernel: 768×768 elementwise (clears both the lane share and the
+    // per-tile overhead floor). Small kernel: 8×8.
     let x = g
         .add(
             PrimKind::Input {
-                shape: vec![128, 128],
+                shape: vec![768, 768],
             },
             vec![],
         )
@@ -589,4 +592,34 @@ fn derived_threshold_prices_kernels_against_lane_share() {
         1,
         "only the dominant kernel exceeds its lane share"
     );
+}
+
+/// Regression pin for the PR-8 slowdown: a 192×192 matmul — the
+/// benchmark shape that ran 0.91× when split — must stay whole under the
+/// derived default threshold. Its per-tile body time does not clear the
+/// per-tile overhead floor, so splitting could only add dispatch cost.
+/// An explicit threshold still forces the split (the differential suites
+/// rely on that), so only the *default* policy is pinned here.
+#[test]
+fn default_threshold_keeps_small_matmul_whole() {
+    let (g, plan) = build_plan(
+        &[Branch::MatMul {
+            trans_a: false,
+            trans_b: false,
+        }],
+        192,
+        192,
+    );
+    let inputs = prim_random_inputs(&g, 17);
+    let reference = execute_plan(&g, &plan, &inputs).unwrap();
+    let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
+    assert_eq!(
+        exec.tileable_kernels(),
+        0,
+        "dim-192 matmul must not split at the default threshold: \
+         per-tile body below the overhead floor"
+    );
+    let out = exec.execute(&inputs).unwrap();
+    assert_bit_identical(&reference, &out, "whole-kernel matmul 192");
+    assert_eq!(exec.profile().tile_tasks, 0);
 }
