@@ -19,9 +19,9 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use korch_bench::report::{spread_ns, write_bench_json, BenchRecord};
 use korch_core::{Korch, KorchConfig};
-use korch_cost::{kernel_spec, Backend, Device, Profiler};
+use korch_cost::{kernel_spec, Backend, Device, Micros, Profiler};
 use korch_exec::execute_plan;
-use korch_ir::{EwFn, LinearFn, NodeId, PrimGraph, PrimKind};
+use korch_ir::{EwFn, LinearFn, NodeId, PortRef, PrimGraph, PrimKind};
 use korch_models::subgraphs::softmax_attention;
 use korch_orch::{Plan, SelectedKernel};
 use korch_runtime::{BatchConfig, PlanExecutor, RuntimeConfig, Server, ShardedExecutor};
@@ -89,6 +89,59 @@ fn independent_kernel_plan(branches: usize, rows: usize, cols: usize) -> (PrimGr
                 members,
                 outputs: vec![out.into()],
                 latency: profiler.latency(&spec, Backend::Generated),
+                backend: Backend::Generated,
+            }
+        })
+        .collect();
+    let total = kernels.iter().map(|k| k.latency).sum();
+    (
+        g,
+        Plan {
+            kernels,
+            total_latency: total,
+        },
+    )
+}
+
+/// `branches` independent tanh chains whose cost hints are deliberately
+/// wrong: kernel 0 claims to cost a second, the rest a microsecond, so
+/// the list scheduler stacks kernels `1..branches` behind one lane and
+/// every other lane can only feed itself by stealing — the worst case for
+/// the Chase–Lev deques' top CAS.
+fn steal_storm_plan(branches: usize, dim: usize) -> (PrimGraph, Plan) {
+    let mut g = PrimGraph::new();
+    let shape = vec![dim, dim];
+    let mut branch_nodes: Vec<Vec<NodeId>> = Vec::new();
+    for _ in 0..branches {
+        let x = g
+            .add(
+                PrimKind::Input {
+                    shape: shape.clone(),
+                },
+                vec![],
+            )
+            .unwrap();
+        let mut members = Vec::new();
+        let mut cur: PortRef = x.into();
+        for _ in 0..4 {
+            let n = g
+                .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![cur])
+                .unwrap();
+            members.push(n);
+            cur = n.into();
+        }
+        g.mark_output(cur.node).unwrap();
+        branch_nodes.push(members);
+    }
+    let kernels: Vec<SelectedKernel> = branch_nodes
+        .into_iter()
+        .enumerate()
+        .map(|(i, members)| {
+            let out = *members.last().unwrap();
+            SelectedKernel {
+                members,
+                outputs: vec![out.into()],
+                latency: Micros(if i == 0 { 1e6 } else { 1.0 }),
                 backend: Backend::Generated,
             }
         })
@@ -313,13 +366,17 @@ fn measure(n: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
 fn bench_tiled(c: &mut Criterion) {
     let mut group = c.benchmark_group("tiled_single_kernel");
     let mut records: Vec<BenchRecord> = Vec::new();
-    // `expect_tiled`: the 768² elementwise chain clears the per-tile
-    // overhead floor and splits; the 192² matmul does NOT — its per-tile
-    // body is below the floor, so the derived default keeps it whole (the
-    // PR-8 regression fix: splitting it was 0.91× the interpreter).
+    // `expect_tiled`: the 320² matmul's row-grain compute clears the
+    // per-tile overhead floor and splits. The 768² elementwise chain does
+    // NOT — its body is memory-bound, so the assembly pass re-streams the
+    // full output through the same bus and the floor charges every byte
+    // (the fix for the 0.96× tiled-elementwise regression: the compiled
+    // whole kernel wins). The 192² matmul stays whole too — its per-tile
+    // body sits under the floor (the PR-8 fix: splitting it was 0.91×).
     for (name, matmul, dim, expect_tiled) in [
-        ("elementwise", false, 768, true),
+        ("elementwise", false, 768, false),
         ("matmul", true, 192, false),
+        ("matmul_320", true, 320, true),
     ] {
         let (g, plan) = single_kernel_plan(matmul, dim);
         assert_eq!(plan.kernel_count(), 1, "acceptance workload is one kernel");
@@ -402,8 +459,10 @@ fn bench_tiled(c: &mut Criterion) {
     // The compiled fused-chain headline: a 6-op mul/add/abs chain at 768²
     // where the interpreter walked members one tile kernel at a time and
     // the compiled closure runs the whole register program per block.
-    // `whole` isolates the closure (no tiling); the default config adds
-    // tile decomposition on top.
+    // `whole` isolates the closure (no tiling). The derived floor keeps
+    // this memory-bound chain whole by default, so the tiled leg forces
+    // the split with an explicit zero threshold — it tracks the
+    // closure-under-tiling machinery, not the default policy.
     let (g, plan) = chain_kernel_plan(768);
     let inputs = bench_inputs(&g);
     let reference = execute_plan(&g, &plan, &inputs).unwrap();
@@ -416,7 +475,15 @@ fn bench_tiled(c: &mut Criterion) {
         },
     )
     .unwrap();
-    let tiled4 = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
+    let tiled4 = PlanExecutor::new(
+        &g,
+        &plan,
+        RuntimeConfig {
+            split_threshold_us: Some(0.0),
+            ..RuntimeConfig::with_lanes(4)
+        },
+    )
+    .unwrap();
     for exec in [&whole, &tiled4] {
         let out = exec.execute(&inputs).unwrap();
         for (a, b) in reference.iter().zip(&out) {
@@ -473,7 +540,7 @@ fn bench_tiled(c: &mut Criterion) {
         p10_ns: ct_p10 * 1e9,
         p90_ns: ct_p90 * 1e9,
         speedup_vs_sequential: Some(cseq / ct),
-        note: "compiled chain closure under lane tiling, 4 lanes".into(),
+        note: "compiled chain closure under forced lane tiling, 4 lanes".into(),
     });
     group.finish();
 
@@ -541,6 +608,59 @@ fn bench_tiled(c: &mut Criterion) {
         ss / sp,
         ss * 1e3,
         sp * 1e3
+    );
+
+    // Steal-storm stress: a deliberately mis-scheduled plan — the cost
+    // hints make kernel 0 look enormous, so the list scheduler seeds all
+    // other kernels on one lane and every sibling lane must feed itself
+    // by stealing. This hammers the Chase–Lev top CAS (thieves racing the
+    // owner and each other) far harder than an honest schedule would.
+    // Structural asserts (bit-identity, steals actually recorded) hold on
+    // any host; the speedup is only meaningful on multi-core.
+    let (wg, wplan) = steal_storm_plan(24, 96);
+    let winputs = bench_inputs(&wg);
+    let wref = execute_plan(&wg, &wplan, &winputs).unwrap();
+    let wexec = PlanExecutor::new(&wg, &wplan, RuntimeConfig::with_lanes(4)).unwrap();
+    let wout = wexec.execute(&winputs).unwrap();
+    for (a, b) in wref.iter().zip(&wout) {
+        assert_eq!(a.as_slice(), b.as_slice(), "steal storm diverged bitwise");
+    }
+    let (ws_p10, ws, ws_p90) = measure(10, || {
+        black_box(execute_plan(&wg, &wplan, &winputs).unwrap());
+    });
+    let (wp_p10, wp, wp_p90) = measure(10, || {
+        black_box(wexec.execute(&winputs).unwrap());
+    });
+    let wprofile = wexec.profile();
+    assert!(
+        wprofile.steals > 0,
+        "a mis-scheduled plan must be rebalanced by stealing: {wprofile:?}"
+    );
+    records.push(BenchRecord {
+        name: "runtime/steal_storm/sequential".into(),
+        median_ns: ws * 1e9,
+        p10_ns: ws_p10 * 1e9,
+        p90_ns: ws_p90 * 1e9,
+        speedup_vs_sequential: None,
+        note: "24 independent 96x96 tanh kernels, mis-scheduled onto one lane".into(),
+    });
+    records.push(BenchRecord {
+        name: "runtime/steal_storm/parallel_4".into(),
+        median_ns: wp * 1e9,
+        p10_ns: wp_p10 * 1e9,
+        p90_ns: wp_p90 * 1e9,
+        speedup_vs_sequential: Some(ws / wp),
+        note: format!(
+            "4 lanes fed almost entirely by steals: {} steals, {} parks recorded",
+            wprofile.steals, wprofile.parks
+        ),
+    });
+    println!(
+        "runtime/steal_storm: {:.2}x vs sequential ({:.3} ms -> {:.3} ms, {} steals)",
+        ws / wp,
+        ws * 1e3,
+        wp * 1e3,
+        wprofile.steals
     );
 
     // Tracing-overhead headline: the same inter-kernel workload on one

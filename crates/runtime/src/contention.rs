@@ -258,7 +258,7 @@ mod tests {
     fn profile_with(runs: Vec<Vec<KernelInterval>>, n: usize) -> RuntimeProfile {
         let mut p = RuntimeProfile::new(n);
         for run in runs {
-            p.merge_run(run, 0);
+            p.merge_run(run, 0, 0);
         }
         p
     }

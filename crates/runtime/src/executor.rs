@@ -17,6 +17,16 @@
 //! genuinely overlapped across kernels, whichever lane ends up running
 //! them.
 //!
+//! # The lock-free scheduler
+//!
+//! No scheduler interaction takes a lock. Ready tasks live in per-lane
+//! Chase–Lev deques (`deque::WorkStealDeque` documents the
+//! memory-ordering recipe); idle lanes park futex-style against a
+//! versioned work-epoch counter instead of a condvar. `RunState`'s
+//! docs walk the full producer/consumer handshake and why a lost
+//! wakeup is impossible; both protocols are exhaustively explored as
+//! `korch_verify` models (`chase-lev-deque`, `park-unpark-epoch`).
+//!
 //! # Compiled kernel bodies
 //!
 //! Two kernel shapes bypass the interpreter with specialized bodies that
@@ -64,9 +74,9 @@
 //! - at run time, a popped tile-eligible kernel is split **only when the
 //!   ready queues cannot keep the other workers busy** — with enough
 //!   whole kernels ready, inter-kernel parallelism already fills the
-//!   lanes. Tiles enter the existing steal deques (front, spread across
-//!   lanes) as subtasks of their kernel, so the work-stealing machinery
-//!   schedules them like everything else;
+//!   lanes. Tiles enter the decomposing worker's own steal deque as
+//!   subtasks of their kernel (idle lanes steal the oldest ones), so
+//!   the work-stealing machinery schedules them like everything else;
 //! - each tile computes its flat output range into an arena-recycled
 //!   chunk — the **disjoint-slice contract**: tile ranges partition the
 //!   output exactly, every element written by exactly one tile with the
@@ -82,16 +92,38 @@
 //!   never mistaken for cross-kernel overlap evidence.
 
 use crate::arena::{plan_memory_report, BufferArena, MemoryReport};
+use crate::deque::{Steal, WorkStealDeque};
 use crate::profiler::{KernelInterval, RuntimeProfile};
 use korch_cost::Device;
 use korch_exec::{eval_prim, eval_prim_tiled, materialize_const, CompiledChain, ExecError};
 use korch_ir::{LinearFn, NodeId, PortRef, PrimGraph, PrimKind};
 use korch_orch::{schedule_streams_with, Plan, SelectedKernel, StreamContention, StreamSchedule};
 use korch_tensor::{MatMulSpec, PackedB, Tensor};
-use std::collections::{BTreeSet, HashMap, VecDeque};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::collections::{BTreeSet, HashMap};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 use std::time::Instant;
+
+/// Locks `m`, recovering the inner value if a panicking worker poisoned
+/// it. Every mutex the executor shares across lanes guards data that is
+/// either discarded on the failure path (profiling samples, tile
+/// chunks awaiting `settle`) or overwritten before reuse (the error
+/// slot), so a poisoned guard's contents are always safe to adopt —
+/// recovering keeps the orderly failure unwind from turning into a
+/// second panic and lets `settle` drive `live_bytes` back to zero.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for slot read locks.
+fn read_recover<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`lock_recover`] for slot write locks.
+fn write_recover<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// Configuration of the runtime executor.
 #[derive(Debug, Clone)]
@@ -294,12 +326,41 @@ struct TileRun {
 }
 
 /// One schedulable unit in the ready deques.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Task {
     /// A whole kernel.
     Kernel(usize),
     /// One row-range tile of a decomposed kernel.
     Tile { kernel: usize, tile: usize },
+}
+
+/// Tag bit distinguishing tile tasks in the deques' `u64` encoding.
+const TILE_TAG: u64 = 1 << 63;
+
+impl Task {
+    /// Encodes the task for the lock-free deques: kernels are their
+    /// index, tiles set [`TILE_TAG`] and pack `kernel << 31 | tile`
+    /// (plans stay far below 2³¹ kernels or tiles).
+    fn encode(self) -> u64 {
+        match self {
+            Task::Kernel(k) => k as u64,
+            Task::Tile { kernel, tile } => {
+                debug_assert!(kernel < (1 << 31) && tile < (1 << 31));
+                TILE_TAG | ((kernel as u64) << 31) | tile as u64
+            }
+        }
+    }
+
+    fn decode(raw: u64) -> Self {
+        if raw & TILE_TAG == 0 {
+            Task::Kernel(raw as usize)
+        } else {
+            Task::Tile {
+                kernel: ((raw & !TILE_TAG) >> 31) as usize,
+                tile: (raw & ((1 << 31) - 1)) as usize,
+            }
+        }
+    }
 }
 
 /// A compiled, repeatedly executable parallel plan.
@@ -313,9 +374,6 @@ pub struct PlanExecutor {
     kernels: Vec<KernelTask>,
     /// Kernel indices per lane, in schedule start order (deque seeds).
     lanes: Vec<Vec<usize>>,
-    /// Schedule lane hint per kernel: the deque it is enqueued on when it
-    /// becomes ready (any idle lane may still steal it).
-    home_lane: Vec<usize>,
     /// Kernels unblocked when each kernel retires (reverse dependency
     /// edges).
     dependents: Vec<Vec<usize>>,
@@ -360,16 +418,47 @@ pub struct PlanExecutor {
 }
 
 /// Shared state of one `execute` call.
+///
+/// # The lock-free scheduler core
+///
+/// Ready tasks live in one Chase–Lev deque per lane
+/// ([`WorkStealDeque`]): a worker pushes the tasks *it* makes ready
+/// (retired dependents, decomposition tiles) onto its **own** deque's
+/// bottom and pops LIFO from there; idle lanes steal FIFO from other
+/// lanes' tops. Single-owner pushes are what make the deque's lock-free
+/// recipe sound — the stream schedule's lane placement now only seeds
+/// the initial (pre-spawn) deques.
+///
+/// Idleness is futex-style parking against a versioned **work epoch**
+/// instead of a global condvar. Producer side, per made-ready batch:
+/// push the tasks, `fetch_add` [`RunState::epoch`] (SeqCst), then wake
+/// at most one parked lane per pushed task (CAS its [`RunState::parked`]
+/// flag true→false, `Thread::unpark`). Consumer side: read the epoch,
+/// sweep **all** deques (pop + steal until every one observes empty),
+/// publish the parked flag (SeqCst), then re-check the epoch and the
+/// failed/finished flags — only if nothing changed does the lane
+/// actually `thread::park()`. The SeqCst total order makes a lost
+/// wakeup impossible: either the consumer's re-check sees the bump (it
+/// retries, and having read the bumped epoch synchronizes-with the
+/// producer so the next sweep sees the push), or its parked-flag store
+/// precedes the bump — and therefore precedes the producer's wake scan,
+/// which then sees the flag. The protocol is the `park-unpark-epoch`
+/// model `korch_verify` explores exhaustively; the deque recipe is its
+/// `chase-lev-deque` model.
+///
+/// Termination and failure wake **everyone**: the worker whose
+/// retirement takes [`RunState::n_finished`] to the kernel count, and
+/// [`PlanExecutor::fail`], both sweep every parked flag — a lane parked
+/// mid-run unwinds promptly instead of waiting for a timeout.
 struct RunState {
     values: Vec<RwLock<Option<Arc<Tensor>>>>,
-    /// Unretired dependencies per kernel; the transition to zero enqueues
-    /// the kernel on its home lane's ready deque.
+    /// Unretired dependencies per kernel; the transition to zero pushes
+    /// the kernel onto the retiring worker's own deque.
     remaining_deps: Vec<AtomicUsize>,
     remaining_readers: Vec<AtomicUsize>,
-    /// Per-lane deques of ready tasks (front = schedule order; steals
-    /// take from the back; tiles are pushed to the front — they are the
-    /// current critical path and hold chunk memory).
-    ready: Vec<Mutex<VecDeque<Task>>>,
+    /// Per-lane Chase–Lev deques of ready tasks, sized to the run's
+    /// total task count so indices never wrap.
+    ready: Vec<WorkStealDeque>,
     /// Tasks currently enqueued across all deques (the split heuristic's
     /// "would sibling lanes idle?" signal).
     ready_count: AtomicUsize,
@@ -378,8 +467,20 @@ struct RunState {
     /// Per-kernel tile completion state, initialized by the worker that
     /// decomposes the kernel (before its tile tasks are enqueued).
     tiles: Vec<std::sync::OnceLock<TileRun>>,
-    n_finished: Mutex<usize>,
-    wake: Condvar,
+    /// Retired kernels; reaching the kernel count ends the run.
+    n_finished: AtomicUsize,
+    /// Work epoch: bumped (SeqCst) after every made-ready push batch.
+    /// A lane only parks if the epoch is unchanged across its
+    /// confirmed-empty sweep — the versioned handshake that closes the
+    /// push-vs-park race.
+    epoch: AtomicU64,
+    /// Per-lane parked flags. Set (SeqCst) by the lane itself before
+    /// its final epoch re-check; cleared by a waker's CAS (which then
+    /// unparks the thread) or by the lane's own failed re-check.
+    parked: Vec<AtomicBool>,
+    /// Each worker lane's thread handle, registered at worker start so
+    /// producers can `Thread::unpark` it.
+    lane_threads: Vec<std::sync::OnceLock<std::thread::Thread>>,
     failed: AtomicBool,
     error: Mutex<Option<ExecError>>,
 }
@@ -390,6 +491,9 @@ struct RunState {
 struct LaneLog {
     samples: Vec<KernelInterval>,
     steals: u64,
+    /// Times this lane actually parked (confirmed-empty sweep followed
+    /// by an unchanged epoch re-check).
+    parks: u64,
 }
 
 /// This executor's view of a shared [`korch_telemetry::Telemetry`]
@@ -401,6 +505,7 @@ struct ExecTelemetry {
     /// Chrome `pid` for this executor instance (0 is the serving layer).
     exec: u64,
     steals: korch_telemetry::Counter,
+    parks: korch_telemetry::Counter,
     tile_tasks: korch_telemetry::Counter,
     tiled_kernels: korch_telemetry::Counter,
 }
@@ -412,6 +517,7 @@ impl ExecTelemetry {
             shared: Arc::clone(shared),
             exec: shared.next_exec_tag(),
             steals: metrics.counter("executor.steals"),
+            parks: metrics.counter("executor.parks"),
             tile_tasks: metrics.counter("executor.tile_tasks"),
             tiled_kernels: metrics.counter("executor.tiled_kernels"),
         }
@@ -459,6 +565,7 @@ impl ExecTelemetry {
             );
         }
         self.steals.add(log.steals);
+        self.parks.add(log.parks);
         self.tile_tasks.add(tiles);
         self.tiled_kernels.add(tiled.len() as u64);
     }
@@ -729,7 +836,6 @@ impl PlanExecutor {
         let schedule =
             schedule_streams_with(g, plan, lanes_requested, &config.device, &config.contention);
         let lanes = schedule.lanes();
-        let home_lane = schedule.lane_of();
         let profile_enabled = config.profile;
 
         // Intra-kernel tiling: price the split threshold from the plan's
@@ -748,15 +854,18 @@ impl PlanExecutor {
                 if !config.tiling || lanes_requested < 2 || k.latency.0 <= split_threshold_us {
                     return None;
                 }
-                // Plan-derived thresholds additionally price each tile
-                // against the fixed per-tile overhead; explicit thresholds
-                // bypass the floor so tests can sweep degenerate splits.
+                // Classify first: the overhead floor prices the partition
+                // the kernel would actually get (its body kind decides how
+                // assembly traffic is charged). Plan-derived thresholds
+                // enforce the floor; explicit thresholds bypass it so
+                // tests can sweep degenerate splits.
+                let spec = Self::classify_tiling(g, task, &config)?;
                 if derived_threshold
-                    && !Self::clears_tile_floor(g, task, k, &config.device, lanes_requested)
+                    && !Self::clears_tile_floor(&spec, k, &config.device, lanes_requested)
                 {
                     return None;
                 }
-                Self::classify_tiling(g, task, &config)
+                Some(spec)
             })
             .collect();
 
@@ -769,7 +878,6 @@ impl PlanExecutor {
             memory_report: plan_memory_report(g, plan),
             kernels,
             lanes,
-            home_lane,
             dependents,
             schedule,
             n_slots,
@@ -794,31 +902,35 @@ impl PlanExecutor {
     /// Per-tile overhead floor applied to plan-derived split thresholds:
     /// splitting a kernel across the lanes only pays when one lane's
     /// share of the kernel body outweighs the fixed cost every tile adds
-    /// — a slice of the launch/dispatch overhead plus streaming the
-    /// tile's chunk back through memory at assembly. Kernels whose
-    /// per-tile body time sits under that floor (a dim-192 matmul on a
-    /// default config, say) run whole even though they exceed the fair
-    /// share threshold: the split would *lose* wall-clock time, which is
-    /// exactly the regression the floor exists to prevent.
-    fn clears_tile_floor(
-        g: &PrimGraph,
-        task: &KernelTask,
-        k: &SelectedKernel,
-        device: &Device,
-        lanes: usize,
-    ) -> bool {
-        let [(out_port, _)] = task.outputs.as_slice() else {
-            return false;
-        };
+    /// — a slice of the launch/dispatch overhead plus the assembly pass
+    /// that streams the chunks back into one buffer.
+    ///
+    /// The assembly charge is split by **body kind** (the classified
+    /// partition's grain). Pointwise bodies (`grain == 1`: elementwise
+    /// chains, single elementwise members) are memory-bound — the lanes
+    /// already saturate the shared bus, so the assembly pass re-streams
+    /// the *full* output serialized behind all of them and the floor
+    /// charges every byte. Row-grain bodies (`grain > 1`: matmul,
+    /// rows-reduce) are compute-bound — assembly traffic hides behind
+    /// sibling tiles still computing, so only the lane's own chunk
+    /// counts. Mispricing this made a 768² elementwise chain look
+    /// split-worthy when the measured split ran 0.96× the whole compiled
+    /// kernel; a dim-192 matmul similarly ran 0.91× when split. Both now
+    /// sit under their floors and run whole.
+    fn clears_tile_floor(spec: &TileSpec, k: &SelectedKernel, device: &Device, lanes: usize) -> bool {
         let lanes = lanes.max(1) as f64;
-        let out_bytes = (g.meta(*out_port).numel() * 4) as f64;
+        let out_bytes = (spec.out_shape.iter().product::<usize>() * 4) as f64;
         let per_tile_body = (k.latency.0 - device.launch_overhead_us).max(0.0) / lanes;
+        let assembly_bytes = if spec.grain == 1 {
+            out_bytes
+        } else {
+            out_bytes / lanes
+        };
         // Per-tile fixed cost: a fraction of one kernel launch (tiles are
         // enqueue+steal, far cheaper than a driver launch) plus the
-        // chunk's assembly traffic (bytes / bandwidth; 1 GB/s = 1000
-        // bytes/µs).
+        // assembly traffic (bytes / bandwidth; 1 GB/s = 1000 bytes/µs).
         let floor =
-            device.launch_overhead_us / 8.0 + (out_bytes / lanes) / (device.mem_bw_gbps * 1000.0);
+            device.launch_overhead_us / 8.0 + assembly_bytes / (device.mem_bw_gbps * 1000.0);
         per_tile_body > floor
     }
 
@@ -997,12 +1109,12 @@ impl PlanExecutor {
 
     /// Snapshot of the accumulated wall-time profile.
     pub fn profile(&self) -> RuntimeProfile {
-        self.profile.lock().expect("profile poisoned").clone()
+        lock_recover(&self.profile).clone()
     }
 
     /// Clears the accumulated profile.
     pub fn reset_profile(&self) {
-        let mut p = self.profile.lock().expect("profile poisoned");
+        let mut p = lock_recover(&self.profile);
         *p = RuntimeProfile::new(self.kernels.len());
     }
 
@@ -1082,13 +1194,13 @@ impl PlanExecutor {
         // shared profile under one lock hold.
         let log = std::mem::take(&mut run.log)
             .into_inner()
-            .expect("run log poisoned");
+            .unwrap_or_else(PoisonError::into_inner);
         let failed = state.failed.load(Ordering::Acquire);
         if let Some(et) = &self.telemetry {
             et.emit_run(&run, &log);
         }
-        if self.profile_enabled || log.steals > 0 {
-            let mut profile = self.profile.lock().expect("profile poisoned");
+        if self.profile_enabled || log.steals > 0 || log.parks > 0 {
+            let mut profile = lock_recover(&self.profile);
             // Intervals may have been timed for tracing alone; the
             // profile only ever sees them when profiling is on.
             let samples = if self.profile_enabled {
@@ -1096,7 +1208,7 @@ impl PlanExecutor {
             } else {
                 Vec::new()
             };
-            profile.merge_run(samples, log.steals);
+            profile.merge_run(samples, log.steals, log.parks);
             if self.profile_enabled && !failed {
                 profile.record_run(run.origin.elapsed().as_secs_f64() * 1e6);
             }
@@ -1106,14 +1218,14 @@ impl PlanExecutor {
             if let Some(et) = &self.telemetry {
                 et.emit_arena(&self.arena.stats());
             }
-            let e = state.error.lock().expect("error poisoned").take();
+            let e = lock_recover(&state.error).take();
             return Err(e.unwrap_or_else(|| ExecError::Input("executor failed".into())));
         }
         let outputs = self
             .output_slots
             .iter()
             .map(|(port, s)| {
-                let guard = state.values[*s].read().expect("slot poisoned");
+                let guard = read_recover(&state.values[*s]);
                 guard
                     .as_ref()
                     .map(|a| a.as_ref().clone())
@@ -1143,8 +1255,8 @@ impl PlanExecutor {
         // below recover sole ownership (and recycle the storage).
         for tile_run in &state.tiles {
             if let Some(tr) = tile_run.get() {
-                tr.global.lock().expect("tile inputs poisoned").clear();
-                for chunk in tr.chunks.lock().expect("tile chunks poisoned").iter_mut() {
+                lock_recover(&tr.global).clear();
+                for chunk in lock_recover(&tr.chunks).iter_mut() {
                     if let Some(c) = chunk.take() {
                         self.arena.release(c);
                     }
@@ -1155,7 +1267,7 @@ impl PlanExecutor {
             if self.const_slot[s] {
                 continue;
             }
-            if let Some(arc) = value.write().expect("slot poisoned").take() {
+            if let Some(arc) = write_recover(value).take() {
                 match Arc::try_unwrap(arc) {
                     Ok(t) => self.arena.release(t.into_vec()),
                     Err(_) => self.arena.release_untracked(self.slot_numel[s]),
@@ -1168,6 +1280,17 @@ impl PlanExecutor {
     /// the per-lane ready deques seeded from the schedule.
     fn feed(&self, inputs: &[Tensor]) -> Result<RunState, ExecError> {
         self.validate_inputs(inputs)?;
+        // Any single deque can receive every task of the run (a worker
+        // pushes all the work *it* makes ready onto its own deque), so
+        // each is sized to the total: kernels plus every possible tile.
+        // Bottom indices never wrap, which is what rules out ABA.
+        let capacity = self.kernels.len()
+            + self
+                .tile_specs
+                .iter()
+                .flatten()
+                .map(|s| s.tiles.len())
+                .sum::<usize>();
         let state = RunState {
             values: (0..self.n_slots).map(|_| RwLock::new(None)).collect(),
             remaining_deps: self
@@ -1181,27 +1304,32 @@ impl PlanExecutor {
                 .map(|&n| AtomicUsize::new(n))
                 .collect(),
             ready: (0..self.lanes.len())
-                .map(|_| Mutex::new(VecDeque::new()))
+                .map(|_| WorkStealDeque::new(capacity))
                 .collect(),
             ready_count: AtomicUsize::new(0),
             workers: 1,
             tiles: (0..self.kernels.len())
                 .map(|_| std::sync::OnceLock::new())
                 .collect(),
-            n_finished: Mutex::new(0),
-            wake: Condvar::new(),
+            n_finished: AtomicUsize::new(0),
+            epoch: AtomicU64::new(0),
+            parked: (0..self.lanes.len()).map(|_| AtomicBool::new(false)).collect(),
+            lane_threads: (0..self.lanes.len())
+                .map(|_| std::sync::OnceLock::new())
+                .collect(),
             failed: AtomicBool::new(false),
             error: Mutex::new(None),
         };
-        // Seed each lane with its dependency-free kernels, in schedule
-        // start order (locality: a lane works through its simulated
-        // placement first and only then steals).
+        // Seed each lane with its dependency-free kernels. Workers pop
+        // LIFO from their own bottom, so seeding in *reverse* schedule
+        // start order makes each lane work through its simulated
+        // placement in order before stealing. Pre-spawn and
+        // single-threaded, so the owner-only push contract holds.
         let mut seeded = 0usize;
         for (l, lane) in self.lanes.iter().enumerate() {
-            let mut q = state.ready[l].lock().expect("queue poisoned");
-            for &k in lane {
+            for &k in lane.iter().rev() {
                 if self.kernels[k].deps.is_empty() {
-                    q.push_back(Task::Kernel(k));
+                    state.ready[l].push(Task::Kernel(k).encode());
                     seeded += 1;
                 }
             }
@@ -1210,10 +1338,10 @@ impl PlanExecutor {
         for ((s, _), t) in self.input_slots.iter().zip(inputs) {
             let staged = self.stage_copy(t);
             self.arena.adopt(staged.numel());
-            *state.values[*s].write().expect("slot poisoned") = Some(Arc::new(staged));
+            *write_recover(&state.values[*s]) = Some(Arc::new(staged));
         }
         for (s, t) in &self.const_slots {
-            *state.values[*s].write().expect("slot poisoned") = Some(Arc::clone(t));
+            *write_recover(&state.values[*s]) = Some(Arc::clone(t));
         }
         Ok(state)
     }
@@ -1247,14 +1375,17 @@ impl PlanExecutor {
         self.merge_log(log, run);
     }
 
-    /// Worker body: drain the own lane's deque, steal when it runs dry,
-    /// park on the condvar only when no task anywhere is ready. A popped
-    /// kernel that is tile-eligible is decomposed in place — its tiles go
-    /// back into the deques, spread across lanes — when sibling lanes
-    /// would otherwise idle.
+    /// Worker body: drain the own lane's deque (LIFO), steal when it
+    /// runs dry, park only after a confirmed-empty sweep of every deque
+    /// with the work epoch unchanged across it. A popped kernel that is
+    /// tile-eligible is decomposed in place — its tiles go onto this
+    /// worker's own deque, where idle lanes steal them — when sibling
+    /// lanes would otherwise idle.
     fn run_worker(&self, w: usize, state: &RunState, run: &RunCtx) {
+        // Register the handle producers will unpark.
+        let _ = state.lane_threads[w].set(std::thread::current());
         let mut log = LaneLog::default();
-        while let Some((task, stolen)) = self.next_task(w, state) {
+        while let Some((task, stolen)) = self.next_task(w, state, &mut log.parks) {
             if stolen {
                 log.steals += 1;
             }
@@ -1291,10 +1422,11 @@ impl PlanExecutor {
 
     /// Decomposes kernel `k`: snapshots its materialized inputs once,
     /// initializes its completion state, and pushes one tile task per
-    /// partition range, spread round-robin across the lanes starting
-    /// with the decomposing worker's own deque (tiles go to the *front*
-    /// — they are the critical path and hold chunk memory). Returns
-    /// `false` (after flagging the run failed) if an input slot is not
+    /// partition range onto the decomposing worker's **own** deque (the
+    /// single-owner contract of the Chase–Lev deques — idle lanes steal
+    /// the oldest tiles from the top). Tiles are pushed in reverse so
+    /// the owner's LIFO pops run them in range order. Returns `false`
+    /// (after flagging the run failed) if an input slot is not
     /// materialized, which would indicate a dependency-tracking bug.
     fn decompose(&self, k: usize, w: usize, state: &RunState) -> bool {
         let spec = self.tile_specs[k].as_ref().expect("checked by caller");
@@ -1302,7 +1434,7 @@ impl PlanExecutor {
         let mut global: HashMap<PortRef, Arc<Tensor>> =
             HashMap::with_capacity(task.global_reads.len());
         for (port, s) in &task.global_reads {
-            let Some(arc) = state.values[*s].read().expect("slot poisoned").clone() else {
+            let Some(arc) = read_recover(&state.values[*s]).clone() else {
                 self.fail(
                     ExecError::NotMaterialized {
                         node: port.node.0,
@@ -1346,16 +1478,11 @@ impl PlanExecutor {
                 packed,
             })
             .unwrap_or_else(|_| panic!("kernel {k} decomposed twice in one run"));
-        for t in 0..n {
-            let lane = (w + t) % state.ready.len();
-            state.ready[lane]
-                .lock()
-                .expect("queue poisoned")
-                .push_front(Task::Tile { kernel: k, tile: t });
+        for t in (0..n).rev() {
+            state.ready[w].push(Task::Tile { kernel: k, tile: t }.encode());
         }
         state.ready_count.fetch_add(n, Ordering::AcqRel);
-        let _guard = state.n_finished.lock().expect("finish poisoned");
-        state.wake.notify_all();
+        self.announce(n, state);
         true
     }
 
@@ -1386,7 +1513,7 @@ impl PlanExecutor {
                         tile: None,
                     });
                 }
-                self.retire(k, state);
+                self.retire(k, lane, state);
                 true
             }
             Err(e) => {
@@ -1397,12 +1524,14 @@ impl PlanExecutor {
     }
 
     /// Marks the run failed and wakes every parked worker so all lanes
-    /// unwind (a no-op when running sequentially).
+    /// unwind (a no-op when running sequentially). The `SeqCst` store of
+    /// `failed` slots into the parking handshake exactly like an epoch
+    /// bump: a lane's post-flag re-check either sees it, or its parked
+    /// flag is visible to this wake-all sweep.
     fn fail(&self, e: ExecError, state: &RunState) {
-        *state.error.lock().expect("error poisoned") = Some(e);
-        state.failed.store(true, Ordering::Release);
-        let _guard = state.n_finished.lock().expect("finish poisoned");
-        state.wake.notify_all();
+        *lock_recover(&state.error) = Some(e);
+        state.failed.store(true, Ordering::SeqCst);
+        self.wake_lanes(usize::MAX, state);
     }
 
     /// Runs one row-range tile of a decomposed kernel on worker lane
@@ -1438,12 +1567,12 @@ impl PlanExecutor {
                 let tr = state.tiles[k]
                     .get()
                     .expect("tile state initialized before tiles were enqueued");
-                tr.chunks.lock().expect("tile chunks poisoned")[t_idx] = Some(chunk);
+                lock_recover(&tr.chunks)[t_idx] = Some(chunk);
                 // The countdown's AcqRel pairs with the chunk stores: the
                 // final decrementer observes every sibling's parked chunk.
                 if tr.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
                     self.assemble(k, state);
-                    self.retire(k, state);
+                    self.retire(k, lane, state);
                 }
                 true
             }
@@ -1481,7 +1610,7 @@ impl PlanExecutor {
             .get()
             .expect("tile state initialized before tiles were enqueued");
         let global: HashMap<PortRef, Arc<Tensor>> = {
-            let shared = tr.global.lock().expect("tile inputs poisoned");
+            let shared = lock_recover(&tr.global);
             task.global_reads
                 .iter()
                 .map(|(port, _)| {
@@ -1588,7 +1717,7 @@ impl PlanExecutor {
         self.arena.adopt(total);
         let tr = state.tiles[k].get().expect("tiled kernel state");
         {
-            let mut chunks = tr.chunks.lock().expect("tile chunks poisoned");
+            let mut chunks = lock_recover(&tr.chunks);
             for c in chunks.iter_mut() {
                 let c = c.take().expect("every tile parked its chunk");
                 full.extend_from_slice(&c);
@@ -1597,7 +1726,7 @@ impl PlanExecutor {
         }
         // Drop the input snapshot before retiring: last-reader
         // reclamation must see sole ownership to recycle the storage.
-        tr.global.lock().expect("tile inputs poisoned").clear();
+        lock_recover(&tr.global).clear();
         let t = Tensor::from_vec(spec.out_shape.clone(), full)
             .expect("tile ranges cover the output exactly");
         self.publish_output(s, t, state);
@@ -1606,72 +1735,131 @@ impl PlanExecutor {
     /// Folds a worker's local samples into the run's shared log (one lock
     /// per worker per run; the run merges into the profile once).
     fn merge_log(&self, log: LaneLog, run: &RunCtx) {
-        if !log.samples.is_empty() || log.steals > 0 {
-            let mut shared = run.log.lock().expect("run log poisoned");
+        if !log.samples.is_empty() || log.steals > 0 || log.parks > 0 {
+            let mut shared = lock_recover(&run.log);
             shared.samples.extend(log.samples);
             shared.steals += log.steals;
+            shared.parks += log.parks;
         }
     }
 
     /// Next ready task for worker `w`, or `None` when the run is over
-    /// (all kernels retired, or another lane failed). Blocks while
-    /// kernels are in flight but none is ready.
-    fn next_task(&self, w: usize, state: &RunState) -> Option<(Task, bool)> {
-        if state.failed.load(Ordering::Acquire) {
-            return None;
-        }
-        if let Some(t) = self.try_pop(w, state) {
-            return Some(t);
-        }
-        let mut done = state.n_finished.lock().expect("finish poisoned");
+    /// (all kernels retired, or another lane failed). Parks while
+    /// kernels are in flight but none is ready, counting each actual
+    /// park in `parks`.
+    fn next_task(&self, w: usize, state: &RunState, parks: &mut u64) -> Option<(Task, bool)> {
         loop {
-            if state.failed.load(Ordering::Acquire) {
+            if state.failed.load(Ordering::SeqCst) {
                 return None;
             }
-            if *done == self.kernels.len() {
+            if state.n_finished.load(Ordering::SeqCst) == self.kernels.len() {
                 return None;
             }
-            // Re-check under the lock: retiring workers enqueue newly
-            // ready tasks *before* notifying under this mutex, so a
-            // push that raced the fast-path miss is visible here.
+            // The confirmed-empty sweep: read the epoch first, then
+            // inspect every deque. try_pop returning None means each
+            // deque was *observed* empty (a racing steal retries inside
+            // try_pop until it resolves).
+            let epoch = state.epoch.load(Ordering::SeqCst);
             if let Some(t) = self.try_pop(w, state) {
                 return Some(t);
             }
-            done = state.wake.wait(done).expect("finish poisoned");
+            // Publish the parked flag, then re-check. SeqCst makes the
+            // Dekker handshake airtight: a producer bumps the epoch
+            // after its push and scans the flags after the bump, so
+            // either our re-check sees the bump (retry — and having
+            // read it, the next sweep sees the push) or our flag store
+            // precedes the bump and the producer's scan wakes us. The
+            // finished/failed wake-alls plug into the same handshake.
+            state.parked[w].store(true, Ordering::SeqCst);
+            if state.epoch.load(Ordering::SeqCst) != epoch
+                || state.failed.load(Ordering::SeqCst)
+                || state.n_finished.load(Ordering::SeqCst) == self.kernels.len()
+            {
+                state.parked[w].store(false, Ordering::SeqCst);
+                continue;
+            }
+            *parks += 1;
+            std::thread::park();
+            // Cleared by the waker's CAS; clear again in case the park
+            // returned spuriously with the flag still up (benign: a
+            // waker that raced the clear banked an unpark token, which
+            // only costs one extra loop).
+            state.parked[w].store(false, Ordering::SeqCst);
         }
     }
 
-    /// Pops the next task: own lane front first (schedule order), then
-    /// steal from the other lanes' backs, round-robin from `w + 1`.
+    /// Pops the next task: own deque first (LIFO — the freshest work
+    /// this lane made ready), then steal from the other lanes' tops,
+    /// round-robin from `w + 1`. A contended steal ([`Steal::Retry`])
+    /// retries the same victim until it resolves, so `None` means every
+    /// deque was genuinely observed empty.
     fn try_pop(&self, w: usize, state: &RunState) -> Option<(Task, bool)> {
-        if let Some(t) = state.ready[w].lock().expect("queue poisoned").pop_front() {
+        if let Some(raw) = state.ready[w].pop() {
             state.ready_count.fetch_sub(1, Ordering::AcqRel);
-            return Some((t, false));
+            return Some((Task::decode(raw), false));
         }
         let n = state.ready.len();
         for off in 1..n {
             let victim = (w + off) % n;
-            if let Some(t) = state.ready[victim]
-                .lock()
-                .expect("queue poisoned")
-                .pop_back()
-            {
-                state.ready_count.fetch_sub(1, Ordering::AcqRel);
-                return Some((t, true));
+            loop {
+                match state.ready[victim].steal() {
+                    Steal::Success(raw) => {
+                        state.ready_count.fetch_sub(1, Ordering::AcqRel);
+                        return Some((Task::decode(raw), true));
+                    }
+                    Steal::Retry => continue,
+                    Steal::Empty => break,
+                }
             }
         }
         None
     }
 
-    /// Marks `k` retired: reclaims dead buffers, enqueues newly ready
-    /// dependents on their home lanes, wakes parked workers.
-    fn retire(&self, k: usize, state: &RunState) {
+    /// Makes `count` freshly pushed tasks visible to parked lanes:
+    /// bump the work epoch (SeqCst — the other half of the Dekker
+    /// handshake in [`PlanExecutor::next_task`]), then wake at most one
+    /// parked lane per task.
+    fn announce(&self, count: usize, state: &RunState) {
+        if count == 0 || state.workers <= 1 {
+            return;
+        }
+        state.epoch.fetch_add(1, Ordering::SeqCst);
+        self.wake_lanes(count, state);
+    }
+
+    /// Wakes up to `budget` parked lanes: CAS each raised flag down and
+    /// unpark the lane's thread. A flag claimed here is matched by
+    /// exactly one unpark — a lane never loses a wakeup to a racing
+    /// waker.
+    fn wake_lanes(&self, budget: usize, state: &RunState) {
+        let mut left = budget;
+        for (flag, thread) in state.parked.iter().zip(&state.lane_threads) {
+            if left == 0 {
+                return;
+            }
+            if flag
+                .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                .is_ok()
+            {
+                if let Some(th) = thread.get() {
+                    th.unpark();
+                }
+                left -= 1;
+            }
+        }
+    }
+
+    /// Marks `k` retired: reclaims dead buffers, pushes newly ready
+    /// dependents onto worker `w`'s own deque (idle lanes steal them),
+    /// and wakes parked lanes — one per made-ready task, everyone when
+    /// this was the last kernel.
+    fn retire(&self, k: usize, w: usize, state: &RunState) {
         // Last-reader reclamation: ports only this kernel still needed.
         for (_, s) in &self.kernels[k].global_reads {
             if state.remaining_readers[*s].fetch_sub(1, Ordering::AcqRel) == 1
                 && !self.slot_pinned[*s]
             {
-                let taken = state.values[*s].write().expect("slot poisoned").take();
+                let taken = write_recover(&state.values[*s]).take();
                 if let Some(arc) = taken {
                     match Arc::try_unwrap(arc) {
                         Ok(t) => self.arena.release(t.into_vec()),
@@ -1680,18 +1868,21 @@ impl PlanExecutor {
                 }
             }
         }
+        let mut made_ready = 0usize;
         for &j in &self.dependents[k] {
             if state.remaining_deps[j].fetch_sub(1, Ordering::AcqRel) == 1 {
-                state.ready[self.home_lane[j]]
-                    .lock()
-                    .expect("queue poisoned")
-                    .push_back(Task::Kernel(j));
-                state.ready_count.fetch_add(1, Ordering::AcqRel);
+                state.ready[w].push(Task::Kernel(j).encode());
+                made_ready += 1;
             }
         }
-        let mut n = state.n_finished.lock().expect("finish poisoned");
-        *n += 1;
-        state.wake.notify_all();
+        if made_ready > 0 {
+            state.ready_count.fetch_add(made_ready, Ordering::AcqRel);
+        }
+        self.announce(made_ready, state);
+        if state.n_finished.fetch_add(1, Ordering::SeqCst) + 1 == self.kernels.len() {
+            // Last kernel out: every parked lane must unwind.
+            self.wake_lanes(usize::MAX, state);
+        }
     }
 
     /// Executes one kernel exactly as `execute_plan` would: members in
@@ -1708,9 +1899,7 @@ impl PlanExecutor {
                 .inputs
                 .iter()
                 .map(|(port, s)| {
-                    state.values[*s]
-                        .read()
-                        .expect("slot poisoned")
+                    read_recover(&state.values[*s])
                         .clone()
                         .ok_or(ExecError::NotMaterialized {
                             node: port.node.0,
@@ -1736,9 +1925,7 @@ impl PlanExecutor {
         // accumulation order as `Tensor::matmul`, no staging copy.
         if let Some(me) = &task.matmul {
             let fetch = |(port, s): &(PortRef, usize)| {
-                state.values[*s]
-                    .read()
-                    .expect("slot poisoned")
+                read_recover(&state.values[*s])
                     .clone()
                     .ok_or(ExecError::NotMaterialized {
                         node: port.node.0,
@@ -1772,9 +1959,7 @@ impl PlanExecutor {
         let mut global: HashMap<PortRef, Arc<Tensor>> =
             HashMap::with_capacity(task.global_reads.len());
         for (port, s) in &task.global_reads {
-            let arc = state.values[*s]
-                .read()
-                .expect("slot poisoned")
+            let arc = read_recover(&state.values[*s])
                 .clone()
                 .ok_or(ExecError::NotMaterialized {
                     node: port.node.0,
@@ -1832,7 +2017,7 @@ impl PlanExecutor {
     /// bytes won — return the loser's storage to the pool) and a
     /// dead-on-arrival output (nothing reads it — reclaim immediately).
     fn publish_output(&self, s: usize, t: Tensor, state: &RunState) {
-        let mut w = state.values[s].write().expect("slot poisoned");
+        let mut w = write_recover(&state.values[s]);
         if w.is_some() {
             drop(w);
             self.arena.release(t.into_vec());

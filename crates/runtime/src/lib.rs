@@ -146,6 +146,7 @@
 
 mod arena;
 mod contention;
+mod deque;
 mod executor;
 mod profiler;
 mod serving;

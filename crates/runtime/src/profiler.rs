@@ -99,6 +99,12 @@ pub struct RuntimeProfile {
     /// placed them on (work-stealing rebalances away the simulated
     /// assignment when it mispredicts).
     pub steals: u64,
+    /// Times a worker lane actually parked its thread after a
+    /// confirmed-empty sweep of every deque (see the scheduler docs in
+    /// `executor.rs`). High parks relative to kernel count means the
+    /// plan starves lanes; zero parks on a parallel run means the deques
+    /// kept every lane fed.
+    pub parks: u64,
     /// Kernel executions that were decomposed into row-range tiles
     /// (counted once per decomposed kernel per run; derived from
     /// tile-tagged intervals, so profiling must be enabled to count).
@@ -120,6 +126,7 @@ impl RuntimeProfile {
             runs: 0,
             total_wall_us: 0.0,
             steals: 0,
+            parks: 0,
             tiled_kernels: 0,
             tile_tasks: 0,
             intervals: Vec::new(),
@@ -128,8 +135,9 @@ impl RuntimeProfile {
 
     /// Folds one run's measurements — every lane's kernel intervals (all
     /// offsets from the run's shared clock origin) plus the run's total
-    /// steal count — into the profile. Workers buffer locally and the run
-    /// merges once, so profiling does not serialize the lanes it measures.
+    /// steal and park counts — into the profile. Workers buffer locally
+    /// and the run merges once, so profiling does not serialize the lanes
+    /// it measures.
     ///
     /// A kernel that ran as tiles contributes **one** per-kernel sample:
     /// the sum of its tiles' durations — the sequential-equivalent body
@@ -138,7 +146,7 @@ impl RuntimeProfile {
     /// separately would divide the kernel's measured time by the tile
     /// count and wreck the fit). The raw tile-tagged intervals still land
     /// in the window for overlap analysis.
-    pub fn merge_run(&mut self, intervals: Vec<KernelInterval>, steals: u64) {
+    pub fn merge_run(&mut self, intervals: Vec<KernelInterval>, steals: u64, parks: u64) {
         let mut tiled: BTreeMap<usize, f64> = BTreeMap::new();
         for iv in &intervals {
             if iv.tile.is_some() {
@@ -153,6 +161,7 @@ impl RuntimeProfile {
             self.record_kernel(kernel, total_us);
         }
         self.steals += steals;
+        self.parks += parks;
         if !intervals.is_empty() {
             if self.intervals.len() == INTERVAL_WINDOW {
                 self.intervals.remove(0);
@@ -217,6 +226,7 @@ impl RuntimeProfile {
             out.runs += p.runs;
             out.total_wall_us += p.total_wall_us;
             out.steals += p.steals;
+            out.parks += p.parks;
             out.tiled_kernels += p.tiled_kernels;
             out.tile_tasks += p.tile_tasks;
         }
@@ -380,6 +390,7 @@ mod tests {
                         tile: None,
                     }],
                     0,
+                    0,
                 );
             }
             p
@@ -424,6 +435,7 @@ mod tests {
                 iv(1, 0, 4.0, 6.0, None),
             ],
             0,
+            0,
         );
         assert_eq!(p.per_kernel[0].count, 1);
         assert_eq!(p.per_kernel[0].total_us, 12.0);
@@ -465,7 +477,7 @@ mod tests {
         let mut p = RuntimeProfile::new(1);
         let extra = 5;
         for run in 0..INTERVAL_WINDOW + extra {
-            p.merge_run(tagged_set(run as f64), 0);
+            p.merge_run(tagged_set(run as f64), 0, 0);
             assert!(p.intervals.len() <= INTERVAL_WINDOW);
         }
         assert_eq!(p.intervals.len(), INTERVAL_WINDOW);
@@ -473,7 +485,7 @@ mod tests {
         let expect: Vec<f64> = (extra..INTERVAL_WINDOW + extra).map(|r| r as f64).collect();
         assert_eq!(tags, expect, "oldest runs must be evicted first");
         // Empty runs contribute no set and trigger no eviction.
-        p.merge_run(Vec::new(), 1);
+        p.merge_run(Vec::new(), 1, 1);
         assert_eq!(
             p.intervals
                 .iter()
@@ -493,13 +505,13 @@ mod tests {
         let mut big = RuntimeProfile::new(1);
         for run in 0..INTERVAL_WINDOW {
             // Lane 0 tags the big contributor.
-            big.merge_run(tagged_set(run as f64), 0);
+            big.merge_run(tagged_set(run as f64), 0, 0);
         }
         let mut small = RuntimeProfile::new(1);
         for run in 0..4 {
             let mut set = tagged_set(1000.0 + run as f64);
             set[0].lane = 1;
-            small.merge_run(set, 0);
+            small.merge_run(set, 0, 0);
         }
         let combined = RuntimeProfile::merged(&[&big, &small]);
         assert_eq!(combined.intervals.len(), INTERVAL_WINDOW);

@@ -19,6 +19,22 @@
 //!   enters quarantine iff the new streak == threshold *exactly*;
 //!   success `swap(0)` exits iff the previous streak was ≥ threshold.
 //!   Enter/exit events fire exactly once per transition.
+//! - [`ChaseLevDeque`]: the lock-free work-stealing deque at the heart of
+//!   the executor's scheduler. The owner pushes and pops at the bottom;
+//!   thieves race a CAS on the top. Modeled at single-atomic granularity
+//!   (the owner's bottom decrement, top read, and last-element CAS are
+//!   separate steps; a thief's top read and claiming CAS are separate
+//!   steps), so every steal-vs-pop interleaving on the final element is
+//!   explored. Tasks are conserved: consumed exactly once or still
+//!   resident, never duplicated, never lost.
+//! - [`ParkUnpark`]: the executor's futex-style idle protocol. A consumer
+//!   parks only after a confirmed-empty sweep validated against a
+//!   versioned work-epoch counter (read epoch → sweep → publish parked
+//!   flag → re-check epoch); a producer publishes work, bumps the epoch,
+//!   then wakes at most one parked lane per made-ready task, and the last
+//!   producer to finish wakes everyone. A lost wakeup shows up as a
+//!   deadlock (parked consumer, nobody movable) — the explorer's
+//!   deadlock detection is the check.
 
 use crate::explore::{explore, Exploration, ExploreError, Protocol, Step};
 
@@ -476,6 +492,486 @@ impl Protocol for Quarantine {
 }
 
 // ---------------------------------------------------------------------
+// Chase–Lev work-stealing deque
+// ---------------------------------------------------------------------
+
+/// One operation in a [`ChaseLevDeque`] owner's script.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DequeOp {
+    /// Push task `.0` at the bottom.
+    Push(u8),
+    /// Pop from the bottom (LIFO).
+    Pop,
+}
+
+/// The owner's program counter across the multi-atomic pop sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum OwnerPhase {
+    /// Between script operations.
+    Idle,
+    /// `bottom` has been lowered to `b`; `top` not yet read.
+    Lowered { b: i32 },
+    /// Read `top == t` with `t == b`: the contested last element. The
+    /// claiming CAS on `top` is still to come.
+    Race { b: i32, t: i32 },
+}
+
+/// A thief's program counter across the multi-atomic steal sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ThiefPhase {
+    /// Between attempts.
+    Idle,
+    /// Read `top == t` (Acquire); `bottom` not yet read.
+    ReadTop { t: i32 },
+    /// Read `bottom > t` and the element at `t`; the claiming CAS on
+    /// `top` is still to come.
+    Claim { t: i32, task: u8 },
+}
+
+/// State of [`ChaseLevDeque`]: the deque's `top`/`bottom` indices and
+/// buffer, per-task consumption counts, and every thread's program
+/// counter mid-operation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ChaseLevState {
+    top: i32,
+    bottom: i32,
+    /// `buf[i]` = task stored at logical index `i`. The runtime's deque
+    /// is sized so indices never wrap, but an uncontested pop's slot IS
+    /// reused by the next push — the model reuses it too.
+    buf: Vec<u8>,
+    /// Times each task id was consumed — must never exceed 1.
+    taken: Vec<u8>,
+    owner: OwnerPhase,
+    script: Vec<DequeOp>,
+    thieves: Vec<ThiefPhase>,
+    attempts: Vec<u8>,
+}
+
+/// The executor's lock-free ready deque: the owner pushes and pops at
+/// `bottom`, thieves CAS `top`. Transcribed at single-atomic
+/// granularity from `korch_runtime`'s `WorkStealDeque`:
+///
+/// - *push*: store element, then publish `bottom` (one step — thieves
+///   cannot observe the slot before the `bottom` store).
+/// - *pop*: lower `bottom` (step 1), read `top` (step 2); if `top <
+///   bottom` take the element uncontested, if `top == bottom` the last
+///   element is contested and must be claimed by CAS on `top` (step 3).
+/// - *steal*: read `top` (step 1), read `bottom` + element (step 2),
+///   claim by CAS on `top` (step 3); a failed CAS retries.
+///
+/// Invariant: no task is ever consumed twice; terminally, every pushed
+/// task was consumed exactly once or still sits in `[top, bottom)`.
+pub struct ChaseLevDeque {
+    /// The owner's operation script, in order.
+    pub script: Vec<DequeOp>,
+    /// Steal attempts per thief thread (an empty observation consumes an
+    /// attempt; a lost CAS race retries without consuming one).
+    pub thieves: Vec<u8>,
+}
+
+impl ChaseLevDeque {
+    fn pushed(&self) -> usize {
+        self.script
+            .iter()
+            .filter(|o| matches!(o, DequeOp::Push(_)))
+            .count()
+    }
+}
+
+impl Protocol for ChaseLevDeque {
+    type State = ChaseLevState;
+
+    fn name(&self) -> &'static str {
+        "chase-lev-deque"
+    }
+
+    fn init(&self) -> ChaseLevState {
+        ChaseLevState {
+            top: 0,
+            bottom: 0,
+            buf: Vec::new(),
+            taken: vec![0; self.pushed()],
+            owner: OwnerPhase::Idle,
+            script: self.script.clone(),
+            thieves: vec![ThiefPhase::Idle; self.thieves.len()],
+            attempts: self.thieves.clone(),
+        }
+    }
+
+    fn threads(&self) -> usize {
+        1 + self.thieves.len()
+    }
+
+    fn step(&self, s: &ChaseLevState, t: usize) -> Step<ChaseLevState> {
+        let mut next = s.clone();
+        if t == 0 {
+            // The owner.
+            return match s.owner {
+                OwnerPhase::Idle => {
+                    let Some((&op, rest)) = s.script.split_first() else {
+                        return Step::Done;
+                    };
+                    next.script = rest.to_vec();
+                    match op {
+                        DequeOp::Push(task) => {
+                            // Element store + Release bottom store: one
+                            // step, because no thief can observe the slot
+                            // until bottom moves. An uncontested pop
+                            // leaves bottom on its slot, so a later push
+                            // *reuses* that index — kept in the model so
+                            // the stale-element hazard is explored.
+                            let idx = s.bottom as usize;
+                            if next.buf.len() == idx {
+                                next.buf.push(task);
+                            } else {
+                                next.buf[idx] = task;
+                            }
+                            next.bottom += 1;
+                        }
+                        DequeOp::Pop => {
+                            // b = bottom - 1; bottom.store(b) — published
+                            // before top is read (SeqCst fence between).
+                            next.bottom -= 1;
+                            next.owner = OwnerPhase::Lowered { b: next.bottom };
+                        }
+                    }
+                    Step::Next(next)
+                }
+                OwnerPhase::Lowered { b } => {
+                    let t_now = s.top;
+                    if t_now < b {
+                        // More than one element: the bottom one is
+                        // owner-exclusive (thieves top out below b).
+                        next.taken[s.buf[b as usize] as usize] += 1;
+                        next.owner = OwnerPhase::Idle;
+                    } else if t_now == b {
+                        next.owner = OwnerPhase::Race { b, t: t_now };
+                    } else {
+                        // Empty: restore bottom.
+                        next.bottom = b + 1;
+                        next.owner = OwnerPhase::Idle;
+                    }
+                    Step::Next(next)
+                }
+                OwnerPhase::Race { b, t: expected } => {
+                    // CAS top: expected → expected + 1 claims the last
+                    // element against any thief racing the same CAS.
+                    if s.top == expected {
+                        next.top = expected + 1;
+                        next.taken[s.buf[b as usize] as usize] += 1;
+                    }
+                    // Won or lost, the deque is now empty: restore bottom.
+                    next.bottom = b + 1;
+                    next.owner = OwnerPhase::Idle;
+                    Step::Next(next)
+                }
+            };
+        }
+        // A thief.
+        let i = t - 1;
+        match s.thieves[i] {
+            ThiefPhase::Idle => {
+                if s.attempts[i] == 0 {
+                    return Step::Done;
+                }
+                next.thieves[i] = ThiefPhase::ReadTop { t: s.top };
+                Step::Next(next)
+            }
+            ThiefPhase::ReadTop { t: t_seen } => {
+                if t_seen >= s.bottom {
+                    // Observed empty: the attempt ends.
+                    next.attempts[i] -= 1;
+                    next.thieves[i] = ThiefPhase::Idle;
+                } else {
+                    // Reading the element alongside bottom loses no
+                    // interleavings: once any thread has observed
+                    // `top == t_seen`, slot t_seen can never be
+                    // overwritten again (reuse needs an uncontested pop
+                    // there, which needs `top < t_seen` — but top is
+                    // monotonic).
+                    next.thieves[i] = ThiefPhase::Claim {
+                        t: t_seen,
+                        task: s.buf[t_seen as usize],
+                    };
+                }
+                Step::Next(next)
+            }
+            ThiefPhase::Claim { t: expected, task } => {
+                if s.top == expected {
+                    next.top = expected + 1;
+                    next.taken[task as usize] += 1;
+                    next.attempts[i] -= 1;
+                }
+                // A lost CAS retries without consuming the attempt: top
+                // only ever grows, so retries terminate.
+                next.thieves[i] = ThiefPhase::Idle;
+                Step::Next(next)
+            }
+        }
+    }
+
+    fn check(&self, s: &ChaseLevState) -> Result<(), String> {
+        if let Some(task) = s.taken.iter().position(|&c| c > 1) {
+            return Err(format!(
+                "task {task} consumed {} times (steal/pop race double-take)",
+                s.taken[task]
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &ChaseLevState) -> Result<(), String> {
+        // Conservation: consumed exactly once XOR still resident.
+        let resident = (s.bottom - s.top).max(0) as usize;
+        let consumed: usize = s.taken.iter().map(|&c| c as usize).sum();
+        if consumed + resident != self.pushed() {
+            return Err(format!(
+                "{} pushed but {consumed} consumed + {resident} resident (lost task)",
+                self.pushed()
+            ));
+        }
+        for idx in s.top..s.bottom {
+            let task = s.buf[idx as usize];
+            if s.taken[task as usize] != 0 {
+                return Err(format!(
+                    "task {task} consumed yet still resident at index {idx}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Epoch-versioned park/unpark
+// ---------------------------------------------------------------------
+
+/// A producer's program counter in [`ParkUnpark`]: the three-atomic
+/// make-ready sequence (publish work → bump epoch → wake one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ProdPhase {
+    /// Between tasks.
+    Ready,
+    /// Work published; the epoch bump is next.
+    Bump,
+    /// Epoch bumped; the wake-one scan is next.
+    Wake,
+    /// Script exhausted and the exit decrement taken: never moves again.
+    Exited,
+}
+
+/// A consumer's program counter in [`ParkUnpark`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum ConsPhase {
+    /// Top of the worker loop: read the epoch, then sweep.
+    Scan,
+    /// Epoch `e` read; sweeping all deques for work.
+    Sweep { e: u8 },
+    /// Sweep confirmed empty and the parked flag is published; the
+    /// epoch/done recheck is next.
+    Recheck { e: u8 },
+    /// Parked: blocked until granted a token.
+    Parked,
+}
+
+/// State of [`ParkUnpark`]: the abstract ready-work count, the work
+/// epoch, per-consumer parked flags and wake tokens, and every thread's
+/// program counter.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParkUnparkState {
+    work: u8,
+    epoch: u8,
+    parked: Vec<bool>,
+    token: Vec<bool>,
+    done: bool,
+    consumed: u8,
+    producers_left: u8,
+    prod: Vec<ProdPhase>,
+    tasks: Vec<u8>,
+    cons: Vec<ConsPhase>,
+}
+
+/// The executor's futex-style idle protocol, transcribed at
+/// single-atomic granularity. Producers make work ready in three steps:
+/// publish the task (deque push), bump the shared work epoch, then wake
+/// **at most one** parked lane (CAS its flag, grant a token). The last
+/// producer to finish sets `done` and wakes everyone. A consumer pops
+/// work while it can; on empty it reads the epoch, sweeps (confirms
+/// empty), publishes its parked flag, then **rechecks** epoch/work/done
+/// — only if nothing changed does it actually block.
+///
+/// A lost wakeup is caught by the explorer's deadlock detection: a
+/// consumer blocked with no token while nobody can move. The recheck is
+/// what closes the race where work lands (or `done` flips) between the
+/// sweep and the park.
+pub struct ParkUnpark {
+    /// Tasks each producer publishes.
+    pub producers: Vec<u8>,
+    /// Number of consumer lanes.
+    pub consumers: usize,
+}
+
+impl Protocol for ParkUnpark {
+    type State = ParkUnparkState;
+
+    fn name(&self) -> &'static str {
+        "park-unpark-epoch"
+    }
+
+    fn init(&self) -> ParkUnparkState {
+        ParkUnparkState {
+            work: 0,
+            epoch: 0,
+            parked: vec![false; self.consumers],
+            token: vec![false; self.consumers],
+            done: false,
+            consumed: 0,
+            producers_left: self.producers.len() as u8,
+            prod: vec![ProdPhase::Ready; self.producers.len()],
+            tasks: self.producers.clone(),
+            cons: vec![ConsPhase::Scan; self.consumers],
+        }
+    }
+
+    fn threads(&self) -> usize {
+        self.producers.len() + self.consumers
+    }
+
+    fn step(&self, s: &ParkUnparkState, t: usize) -> Step<ParkUnparkState> {
+        let mut next = s.clone();
+        if t < self.producers.len() {
+            return match s.prod[t] {
+                ProdPhase::Ready => {
+                    if s.tasks[t] == 0 {
+                        // Last producer out sets done and wakes everyone
+                        // (the runtime's last-retire / fail() path).
+                        next.producers_left -= 1;
+                        if next.producers_left == 0 {
+                            next.done = true;
+                            for i in 0..self.consumers {
+                                if next.parked[i] {
+                                    next.parked[i] = false;
+                                    next.token[i] = true;
+                                }
+                            }
+                        }
+                        next.prod[t] = ProdPhase::Exited;
+                        return Step::Next(next);
+                    }
+                    next.tasks[t] -= 1;
+                    next.work += 1; // the deque push (Release)
+                    next.prod[t] = ProdPhase::Bump;
+                    Step::Next(next)
+                }
+                ProdPhase::Bump => {
+                    next.epoch = next.epoch.wrapping_add(1); // fetch_add SeqCst
+                    next.prod[t] = ProdPhase::Wake;
+                    Step::Next(next)
+                }
+                ProdPhase::Wake => {
+                    // Wake at most one parked lane: CAS parked true→false,
+                    // grant the token.
+                    if let Some(i) = (0..self.consumers).find(|&i| s.parked[i]) {
+                        next.parked[i] = false;
+                        next.token[i] = true;
+                    }
+                    next.prod[t] = ProdPhase::Ready;
+                    Step::Next(next)
+                }
+                ProdPhase::Exited => Step::Done,
+            };
+        }
+        let i = t - self.producers.len();
+        match s.cons[i] {
+            ConsPhase::Scan => {
+                if s.work > 0 {
+                    // Pop + run one task.
+                    next.work -= 1;
+                    next.consumed += 1;
+                } else if s.done {
+                    return Step::Done;
+                } else {
+                    next.cons[i] = ConsPhase::Sweep { e: s.epoch };
+                }
+                Step::Next(next)
+            }
+            ConsPhase::Sweep { e } => {
+                if s.work > 0 {
+                    next.work -= 1;
+                    next.consumed += 1;
+                    next.cons[i] = ConsPhase::Scan;
+                } else if s.done {
+                    return Step::Done;
+                } else {
+                    // Confirmed empty: publish the parked flag. The
+                    // sweep's empty observation and the flag store sit in
+                    // one step; the race that matters (a producer's full
+                    // push→bump→wake between our epoch read and our
+                    // recheck) stays fully explorable.
+                    next.parked[i] = true;
+                    next.cons[i] = ConsPhase::Recheck { e };
+                }
+                Step::Next(next)
+            }
+            ConsPhase::Recheck { e } => {
+                if s.epoch != e || s.work > 0 || s.done {
+                    // Something changed since the sweep began: self-unpark
+                    // (absorbing any token already granted) and rescan.
+                    next.parked[i] = false;
+                    next.token[i] = false;
+                    next.cons[i] = ConsPhase::Scan;
+                } else {
+                    next.cons[i] = ConsPhase::Parked;
+                }
+                Step::Next(next)
+            }
+            ConsPhase::Parked => {
+                if s.token[i] {
+                    // Unparked by a producer (flag already cleared).
+                    next.token[i] = false;
+                    next.cons[i] = ConsPhase::Scan;
+                    Step::Next(next)
+                } else {
+                    Step::Blocked
+                }
+            }
+        }
+    }
+
+    fn check(&self, s: &ParkUnparkState) -> Result<(), String> {
+        let total: u8 = self.producers.iter().sum();
+        if s.consumed > total {
+            return Err(format!("{} consumed of {total} produced", s.consumed));
+        }
+        // A consumer the protocol considers parked must have its flag or
+        // token visible to producers — otherwise no wake can ever reach
+        // it and only the recheck path could save it.
+        for i in 0..self.consumers {
+            if s.cons[i] == ConsPhase::Parked && !s.parked[i] && !s.token[i] {
+                return Err(format!(
+                    "consumer {i} blocked with neither parked flag nor token (unwakeable)"
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    fn check_final(&self, s: &ParkUnparkState) -> Result<(), String> {
+        let total: u8 = self.producers.iter().sum();
+        if s.work != 0 {
+            return Err(format!("{} tasks never consumed", s.work));
+        }
+        if s.consumed != total {
+            return Err(format!("{} consumed of {total} produced", s.consumed));
+        }
+        if s.parked.iter().any(|&p| p) {
+            return Err("terminal state leaves a parked flag set".to_string());
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
 // The suite
 // ---------------------------------------------------------------------
 
@@ -548,6 +1044,44 @@ pub fn verify_protocols() -> Result<Vec<(&'static str, Exploration)>, ExploreErr
         run("quarantine-enter-exit", explore(&Quarantine { outcomes }))?;
     }
 
+    use DequeOp::{Pop, Push};
+    for (script, thieves) in [
+        // The contested last element: owner pop vs one thief.
+        (vec![Push(0), Pop], vec![1]),
+        // Two thieves race each other and the owner on one element.
+        (vec![Push(0), Pop], vec![1, 1]),
+        // Slot reuse: pop leaves bottom on its slot, push overwrites it.
+        (vec![Push(0), Pop, Push(1), Pop], vec![2]),
+        // Two elements, owner pops one, thieves fight over the rest.
+        (vec![Push(0), Push(1), Pop], vec![2, 2]),
+        // Thieves drain everything while the owner only produces.
+        (vec![Push(0), Push(1)], vec![2, 2]),
+    ] {
+        run("chase-lev-deque", explore(&ChaseLevDeque { script, thieves }))?;
+    }
+
+    for (producers, consumers) in [
+        // One producer, one lane: the park-vs-push race in isolation.
+        (vec![1], 1),
+        // Shutdown race: a producer with no tasks goes straight to the
+        // done wake-all while the lane is mid-park.
+        (vec![0], 1),
+        (vec![0], 2),
+        // Two tasks against two lanes: wake-one must not strand lane 2.
+        (vec![2], 2),
+        // Two producers finishing out of order; last one out wakes all.
+        (vec![1, 1], 1),
+        (vec![1, 0], 2),
+    ] {
+        run(
+            "park-unpark-epoch",
+            explore(&ParkUnpark {
+                producers,
+                consumers,
+            }),
+        )?;
+    }
+
     Ok(results)
 }
 
@@ -602,13 +1136,141 @@ mod tests {
         }
     }
 
+    /// A broken deque whose owner takes the contested last element
+    /// *without* the claiming CAS on `top` — a racing thief takes the
+    /// same element and the double-consume must be caught.
+    struct BrokenChaseLev;
+
+    impl Protocol for BrokenChaseLev {
+        type State = ChaseLevState;
+        fn name(&self) -> &'static str {
+            "broken-chase-lev"
+        }
+        fn init(&self) -> ChaseLevState {
+            ChaseLevDeque {
+                script: vec![DequeOp::Push(0), DequeOp::Pop],
+                thieves: vec![1],
+            }
+            .init()
+        }
+        fn threads(&self) -> usize {
+            2
+        }
+        fn step(&self, s: &ChaseLevState, t: usize) -> Step<ChaseLevState> {
+            let good = ChaseLevDeque {
+                script: vec![],
+                thieves: vec![0],
+            };
+            if t == 0 {
+                if let OwnerPhase::Lowered { b } = s.owner {
+                    if s.top == b {
+                        // Bug: skip the CAS, just take it.
+                        let mut next = s.clone();
+                        next.taken[s.buf[b as usize] as usize] += 1;
+                        next.bottom = b + 1;
+                        next.owner = OwnerPhase::Idle;
+                        return Step::Next(next);
+                    }
+                }
+            }
+            good.step(s, t)
+        }
+        fn check(&self, s: &ChaseLevState) -> Result<(), String> {
+            ChaseLevDeque {
+                script: vec![],
+                thieves: vec![0],
+            }
+            .check(s)
+        }
+        fn check_final(&self, s: &ChaseLevState) -> Result<(), String> {
+            ChaseLevDeque {
+                script: vec![DequeOp::Push(0), DequeOp::Pop],
+                thieves: vec![0],
+            }
+            .check_final(s)
+        }
+    }
+
+    /// A broken parker that blocks straight after its empty sweep,
+    /// skipping the parked-flag/recheck handshake — the shutdown
+    /// wake-all can then miss it, and the lost wakeup must surface as a
+    /// deadlock.
+    struct BrokenParkUnpark;
+
+    impl Protocol for BrokenParkUnpark {
+        type State = ParkUnparkState;
+        fn name(&self) -> &'static str {
+            "broken-park-unpark"
+        }
+        fn init(&self) -> ParkUnparkState {
+            ParkUnpark {
+                producers: vec![0],
+                consumers: 1,
+            }
+            .init()
+        }
+        fn threads(&self) -> usize {
+            2
+        }
+        fn step(&self, s: &ParkUnparkState, t: usize) -> Step<ParkUnparkState> {
+            let good = ParkUnpark {
+                producers: vec![0],
+                consumers: 1,
+            };
+            if t == 1 {
+                if let ConsPhase::Sweep { .. } = s.cons[0] {
+                    if s.work == 0 && !s.done {
+                        // Bug: park without publishing the flag or
+                        // rechecking epoch/done.
+                        let mut next = s.clone();
+                        next.cons[0] = ConsPhase::Parked;
+                        return Step::Next(next);
+                    }
+                }
+            }
+            good.step(s, t)
+        }
+        fn check(&self, _s: &ParkUnparkState) -> Result<(), String> {
+            Ok(()) // let the deadlock detector do the catching
+        }
+        fn check_final(&self, s: &ParkUnparkState) -> Result<(), String> {
+            ParkUnpark {
+                producers: vec![0],
+                consumers: 1,
+            }
+            .check_final(s)
+        }
+    }
+
     #[test]
     fn exploration_suite_passes() {
         let results = verify_protocols().expect("all protocol models verify");
-        assert!(results.len() >= 15);
+        assert!(results.len() >= 26);
         for (_, stats) in &results {
             assert!(stats.terminals >= 1);
         }
+    }
+
+    #[test]
+    fn broken_deque_double_take_is_caught() {
+        let err = explore(&BrokenChaseLev).expect_err("missing CAS must be caught");
+        assert_eq!(err.model, "broken-chase-lev");
+        assert!(
+            err.message.contains("consumed"),
+            "expected a double-consume violation, got: {}",
+            err.message
+        );
+    }
+
+    #[test]
+    fn broken_parker_lost_wakeup_is_a_deadlock() {
+        let err = explore(&BrokenParkUnpark).expect_err("lost wakeup must be caught");
+        assert_eq!(err.model, "broken-park-unpark");
+        assert!(
+            err.message.contains("deadlock"),
+            "expected a deadlock, got: {}",
+            err.message
+        );
     }
 
     #[test]

@@ -155,7 +155,7 @@ pub fn independent_plan(branches: usize) -> (PrimGraph, Plan) {
 pub fn profile_of_runs(runs: Vec<Vec<KernelInterval>>, kernels: usize) -> RuntimeProfile {
     let mut p = RuntimeProfile::new(kernels);
     for run in runs {
-        p.merge_run(run, 0);
+        p.merge_run(run, 0, 0);
     }
     p
 }

@@ -253,14 +253,23 @@ proptest! {
     }
 }
 
-/// A single big elementwise kernel — the exact long-pole shape tiling
+/// A single big compute-bound kernel — the exact long-pole shape tiling
 /// exists for — must decompose into one tile per lane, keep its results
 /// bit-identical, and report the decomposition through the profile.
 #[test]
 fn single_kernel_plan_splits_into_lane_tiles() {
-    // 768×768: big enough that each tile's body clears the per-tile
-    // overhead floor the derived threshold now enforces.
-    let (g, plan) = build_plan(&[Branch::Chain { ops: vec![2, 0] }], 768, 768);
+    // 320×320 matmul: row-grain compute whose per-tile body clears the
+    // per-tile overhead floor the derived threshold enforces (memory-bound
+    // elementwise bodies no longer do — the assembly pass re-streams their
+    // full output, see `default_threshold_keeps_large_elementwise_whole`).
+    let (g, plan) = build_plan(
+        &[Branch::MatMul {
+            trans_a: false,
+            trans_b: false,
+        }],
+        320,
+        320,
+    );
     let inputs = prim_random_inputs(&g, 11);
     let reference = execute_plan(&g, &plan, &inputs).unwrap();
     for lanes in [2usize, 4] {
@@ -549,20 +558,30 @@ fn reduce_tiles_are_bit_identical_for_both_axes() {
 #[test]
 fn derived_threshold_prices_kernels_against_lane_share() {
     let mut g = PrimGraph::new();
-    // Big kernel: 768×768 elementwise (clears both the lane share and the
-    // per-tile overhead floor). Small kernel: 8×8.
-    let x = g
+    // Big kernel: 320×320 matmul (clears both the lane share and the
+    // per-tile overhead floor). Small kernel: 8×8 elementwise.
+    let a = g
         .add(
             PrimKind::Input {
-                shape: vec![768, 768],
+                shape: vec![320, 320],
+            },
+            vec![],
+        )
+        .unwrap();
+    let b = g
+        .add(
+            PrimKind::Input {
+                shape: vec![320, 320],
             },
             vec![],
         )
         .unwrap();
     let big = g
         .add(
-            PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)),
-            vec![x.into()],
+            PrimKind::Linear(korch::ir::LinearFn::MatMul {
+                spec: MatMulSpec::new(),
+            }),
+            vec![a.into(), b.into()],
         )
         .unwrap();
     g.mark_output(big).unwrap();
@@ -600,6 +619,33 @@ fn derived_threshold_prices_kernels_against_lane_share() {
 /// per-tile overhead floor, so splitting could only add dispatch cost.
 /// An explicit threshold still forces the split (the differential suites
 /// rely on that), so only the *default* policy is pinned here.
+/// Regression pin for the elementwise mispricing: a single 768×768
+/// fused elementwise chain — the benchmark shape that ran 0.96× when
+/// split — must stay whole under the derived default. Its body is
+/// memory-bound, so the assembly pass re-streams the full output through
+/// the same saturated bus and the floor now charges every byte of it;
+/// the compiled whole-kernel closure wins. Explicit thresholds still
+/// force the split (the differential suites rely on that).
+#[test]
+fn default_threshold_keeps_large_elementwise_whole() {
+    let (g, plan) = build_plan(&[Branch::Chain { ops: vec![2, 0] }], 768, 768);
+    let inputs = prim_random_inputs(&g, 13);
+    let reference = execute_plan(&g, &plan, &inputs).unwrap();
+    let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(4)).unwrap();
+    assert_eq!(
+        exec.tileable_kernels(),
+        0,
+        "768² elementwise chain must not split at the default threshold: \
+         assembly re-streams its full memory-bound output"
+    );
+    let out = exec.execute(&inputs).unwrap();
+    assert_bit_identical(&reference, &out, "whole-kernel elementwise 768");
+    assert_eq!(exec.profile().tile_tasks, 0);
+    // The machinery still splits it when told to.
+    let forced = PlanExecutor::new(&g, &plan, tiling_config(4, None)).unwrap();
+    assert_eq!(forced.tileable_kernels(), 1);
+}
+
 #[test]
 fn default_threshold_keeps_small_matmul_whole() {
     let (g, plan) = build_plan(

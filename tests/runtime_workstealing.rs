@@ -1,7 +1,9 @@
 //! Work-stealing executor tests: random DAG plans must execute
 //! bit-identically to the sequential `execute_plan` interpreter at every
-//! lane count, failures must unwind every lane mid-run, imbalanced
-//! schedules must trigger steals, and redundant-producer plans must
+//! lane count, failures must unwind every lane mid-run — including lanes
+//! *parked* on the lock-free scheduler's epoch handshake — imbalanced
+//! schedules must trigger steals, the shutdown-while-parked race must
+//! terminate without a lost wakeup, and redundant-producer plans must
 //! conserve the buffer arena's pool.
 
 use korch::cost::{Backend, Micros};
@@ -273,6 +275,132 @@ fn failure_unwinds_all_lanes_mid_run() {
                 exec.arena_stats().live_bytes,
                 0,
                 "failed runs must settle the arena at {lanes} lanes"
+            );
+        }
+    }
+}
+
+/// A serial chain of single-node tanh kernels rooted at `x`, returned as
+/// (kernels, last node). Each link depends on the previous one, so at
+/// most one of its tasks is ever ready — the plan shape that forces the
+/// *other* lanes through the confirmed-empty sweep and into parking.
+fn chain_kernels(g: &mut PrimGraph, x: PortRef, len: usize) -> (Vec<SelectedKernel>, NodeId) {
+    let mut cur = x;
+    let mut kernels = Vec::with_capacity(len);
+    for _ in 0..len {
+        let n = g
+            .add(PrimKind::Elementwise(EwFn::Unary(UnaryOp::Tanh)), vec![cur])
+            .unwrap();
+        kernels.push(kernel_of(g, vec![n], vec![n.into()]));
+        cur = n.into();
+    }
+    (kernels, cur.node)
+}
+
+/// A kernel failure must unwind lanes that are *parked* when it happens:
+/// one lane runs a long serial chain that ends in an unexecutable opaque
+/// kernel, the other lane's short chain finishes early and parks (its
+/// sweep finds every deque empty — the long chain's next link is in
+/// flight, never queued). The `fail` wake-all must unpark it; a lost
+/// wakeup here hangs the scoped-thread join forever, so termination is
+/// the assertion, repeated to hammer the park-vs-fail interleaving.
+#[test]
+fn failure_unwinds_lanes_parked_mid_run() {
+    let mut g = PrimGraph::new();
+    let shape = vec![48usize, 48];
+    let x = g
+        .add(
+            PrimKind::Input {
+                shape: shape.clone(),
+            },
+            vec![],
+        )
+        .unwrap();
+    // Long chain ending in an opaque node with no CPU interpreter.
+    let (mut kernels, long_end) = chain_kernels(&mut g, x.into(), 24);
+    let opaque = g
+        .add(
+            PrimKind::Opaque {
+                name: "external".into(),
+                out_shapes: vec![shape.clone()],
+            },
+            vec![long_end.into()],
+        )
+        .unwrap();
+    g.mark_output(opaque).unwrap();
+    kernels.push(kernel_of(&g, vec![opaque], vec![PortRef::from(opaque)]));
+    // Short chain: its lane runs dry long before the opaque kernel fails.
+    let (short, short_end) = chain_kernels(&mut g, x.into(), 2);
+    g.mark_output(short_end).unwrap();
+    kernels.extend(short);
+    let plan = plan_of(kernels);
+    let inputs = same_shape_inputs(1, &shape, 7);
+    for lanes in [2usize, 4, 8] {
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+        for run in 0..8 {
+            let err = exec.execute(&inputs);
+            assert!(
+                err.is_err(),
+                "opaque kernel must fail at {lanes} lanes (run {run})"
+            );
+            assert_eq!(
+                exec.arena_stats().live_bytes,
+                0,
+                "failed run {run} must settle the arena at {lanes} lanes"
+            );
+        }
+    }
+}
+
+/// The shutdown-while-parked race: the last retirement's wake-all races
+/// lanes mid-way through the park handshake (flag published, epoch
+/// re-check in flight). A serial chain keeps exactly one task in flight,
+/// so every other lane spends the run parking and re-parking; each of
+/// many repeated runs must still terminate — a lost wakeup deadlocks the
+/// join and times the test out — with bit-identical outputs and a
+/// settled arena. Multi-core hosts additionally assert the park counter
+/// registered (structural-only on 1-core hosts, where a lane can finish
+/// its whole sweep without ever losing the CPU race that forces a park).
+#[test]
+fn shutdown_while_parked_terminates() {
+    let mut g = PrimGraph::new();
+    let shape = vec![48usize, 48];
+    let x = g
+        .add(
+            PrimKind::Input {
+                shape: shape.clone(),
+            },
+            vec![],
+        )
+        .unwrap();
+    let (mut kernels, long_end) = chain_kernels(&mut g, x.into(), 24);
+    g.mark_output(long_end).unwrap();
+    let (short, short_end) = chain_kernels(&mut g, x.into(), 2);
+    g.mark_output(short_end).unwrap();
+    kernels.extend(short);
+    let plan = plan_of(kernels);
+    let inputs = same_shape_inputs(1, &shape, 29);
+    let reference = execute_plan(&g, &plan, &inputs).unwrap();
+    let multi_core = std::thread::available_parallelism()
+        .map(|n| n.get() > 1)
+        .unwrap_or(false);
+    for lanes in [2usize, 4, 8] {
+        let exec = PlanExecutor::new(&g, &plan, RuntimeConfig::with_lanes(lanes)).unwrap();
+        for run in 0..15 {
+            let out = exec.execute(&inputs).unwrap();
+            assert_bit_identical(&reference, &out, &format!("lanes={lanes} run={run}"));
+            assert_eq!(
+                exec.arena_stats().live_bytes,
+                0,
+                "run {run} must settle the arena at {lanes} lanes"
+            );
+        }
+        if multi_core {
+            let profile = exec.profile();
+            assert!(
+                profile.parks > 0,
+                "a lane starved by a serial chain must park at {lanes} lanes, \
+                 profile: {profile:?}"
             );
         }
     }
