@@ -112,6 +112,9 @@ pub fn write_bench_json(path: &Path, records: &[BenchRecord]) -> std::io::Result
 pub struct BenchEntry {
     /// Benchmark name (`group/bench` convention).
     pub name: String,
+    /// Median wall time per iteration, nanoseconds. Only comparable
+    /// between records written on same-core-count hosts.
+    pub median_ns: f64,
     /// Speedup over the workload's sequential baseline, if recorded.
     pub speedup_vs_sequential: Option<f64>,
 }
@@ -126,13 +129,13 @@ pub struct BenchReport {
     pub benches: Vec<BenchEntry>,
 }
 
-/// Parses a perf record written by [`write_bench_json`] back into names
-/// and speedup ratios. Line-oriented: the writer emits one line per bench
-/// entry and none of our names contain quotes, so no general JSON parser
-/// is needed (the build container has no serde). Median/percentile
-/// nanoseconds are deliberately NOT surfaced — absolute times do not
-/// transfer across hosts; only the speedup of a binary over its own
-/// sequential baseline does.
+/// Parses a perf record written by [`write_bench_json`] back into names,
+/// medians, and speedup ratios. Line-oriented: the writer emits one line
+/// per bench entry and none of our names contain quotes, so no general
+/// JSON parser is needed (the build container has no serde). Absolute
+/// medians do not transfer across hosts — comparers must check
+/// `host_cores` before holding them to a floor; speedups of a binary
+/// over its own sequential baseline always transfer.
 ///
 /// # Errors
 ///
@@ -152,14 +155,17 @@ pub fn read_bench_json(path: &Path) -> std::io::Result<BenchReport> {
         let rest = &line[npos + 9..];
         let Some(end) = rest.find('"') else { continue };
         let name = rest[..end].to_string();
-        let speedup = line.find("\"speedup_vs_sequential\": ").and_then(|spos| {
-            let v = line[spos + 25..].trim_start();
-            let tok = v.find([',', ' ', '}']).unwrap_or(v.len());
-            v[..tok].parse::<f64>().ok()
-        });
+        let field = |key: &str| {
+            line.find(key).and_then(|spos| {
+                let v = line[spos + key.len()..].trim_start();
+                let tok = v.find([',', ' ', '}']).unwrap_or(v.len());
+                v[..tok].parse::<f64>().ok()
+            })
+        };
         benches.push(BenchEntry {
             name,
-            speedup_vs_sequential: speedup,
+            median_ns: field("\"median_ns\": ").unwrap_or(0.0),
+            speedup_vs_sequential: field("\"speedup_vs_sequential\": "),
         });
     }
     Ok(BenchReport {

@@ -38,4 +38,4 @@ pub use model::{
     gemm_shape_efficiency, swapped_io_factor, Backend, Calibration, CalibrationSample, Micros,
     Profiler,
 };
-pub use spec::{kernel_spec, GemmShape, KernelSpec, PatternClass};
+pub use spec::{kernel_spec, GemmShape, KernelClass, KernelSpec, PatternClass};

@@ -17,7 +17,7 @@
 //!   aspect ratios (reproducing the 3.52× layout effect of Fig. 8).
 
 use crate::device::Device;
-use crate::spec::{GemmShape, KernelSpec};
+use crate::spec::{GemmShape, KernelClass, KernelSpec};
 
 /// Which code-generation backend executes a kernel (paper §5.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +103,14 @@ pub struct Calibration {
     pub compute_scale: f64,
     /// Scales the per-kernel launch overhead.
     pub launch_scale: f64,
+    /// Per-[`KernelClass`] refinement factors over the pooled scales,
+    /// multiplying a kernel's whole body time. Lets the fit track a
+    /// speedup that lands on one class only — e.g. the register-blocked
+    /// matmul microkernel accelerating `GemmBlocked` kernels while
+    /// `GemmSkinny` fallback rows and `Memory` sweeps are unchanged —
+    /// so recalibration re-prices exactly the kernels that got faster.
+    /// Classes absent here implicitly carry factor 1.0.
+    pub class_scales: Vec<(KernelClass, f64)>,
 }
 
 impl Default for Calibration {
@@ -111,18 +119,31 @@ impl Default for Calibration {
             memory_scale: 1.0,
             compute_scale: 1.0,
             launch_scale: 1.0,
+            class_scales: Vec::new(),
         }
     }
 }
 
 impl Calibration {
+    /// The refinement factor for one kernel class (1.0 when unfitted).
+    pub fn class_factor(&self, class: KernelClass) -> f64 {
+        self.class_scales
+            .iter()
+            .find(|(c, _)| *c == class)
+            .map_or(1.0, |&(_, f)| f)
+    }
+
     /// Fits per-class scales by comparing measured wall times against an
     /// uncalibrated profiler's predictions: memory-intensive samples fit
     /// `memory_scale`, compute-intensive samples fit `compute_scale`
-    /// (least-squares ratio of sums, robust to a few outliers). Classes
-    /// with no samples keep scale 1.0; `launch_scale` is left at 1.0 —
-    /// launch overhead cannot be separated from body time by whole-kernel
-    /// timing alone.
+    /// (least-squares ratio of sums, robust to a few outliers), and each
+    /// [`KernelClass`] with samples additionally gets a refinement factor
+    /// — its own measured/predicted ratio divided by the pooled scale of
+    /// its roofline branch — so a speedup confined to one class (e.g. the
+    /// blocked-matmul microkernel) is priced for that class alone.
+    /// Classes with no samples keep scale 1.0; `launch_scale` is left at
+    /// 1.0 — launch overhead cannot be separated from body time by
+    /// whole-kernel timing alone.
     pub fn fit(profiler: &Profiler, samples: &[CalibrationSample]) -> Self {
         let reference = Profiler {
             calibration: Calibration::default(),
@@ -130,6 +151,7 @@ impl Calibration {
         };
         let (mut mem_measured, mut mem_predicted) = (0.0f64, 0.0f64);
         let (mut cmp_measured, mut cmp_predicted) = (0.0f64, 0.0f64);
+        let mut by_class = [(0.0f64, 0.0f64); KernelClass::ALL.len()];
         for s in samples {
             // Fit on body time: launch overhead is common-mode and would
             // bias the ratio toward 1 for small kernels.
@@ -148,6 +170,12 @@ impl Calibration {
                 mem_measured += measured;
                 mem_predicted += predicted;
             }
+            let ci = KernelClass::ALL
+                .iter()
+                .position(|c| *c == s.spec.class())
+                .expect("KernelClass::ALL covers every class");
+            by_class[ci].0 += measured;
+            by_class[ci].1 += predicted;
         }
         let ratio = |measured: f64, predicted: f64| {
             if predicted > 0.0 {
@@ -156,10 +184,33 @@ impl Calibration {
                 1.0
             }
         };
+        let memory_scale = ratio(mem_measured, mem_predicted);
+        let compute_scale = ratio(cmp_measured, cmp_predicted);
+        let mut class_scales = Vec::new();
+        for (ci, class) in KernelClass::ALL.into_iter().enumerate() {
+            let (measured, predicted) = by_class[ci];
+            if predicted <= 0.0 {
+                continue; // no samples of this class: implicit 1.0
+            }
+            let pooled = if class == KernelClass::Memory {
+                memory_scale
+            } else {
+                compute_scale
+            };
+            let refinement = if pooled > 0.0 {
+                ratio(measured, predicted) / pooled
+            } else {
+                1.0
+            };
+            if (refinement - 1.0).abs() > 1e-12 {
+                class_scales.push((class, refinement));
+            }
+        }
         Self {
-            memory_scale: ratio(mem_measured, mem_predicted),
-            compute_scale: ratio(cmp_measured, cmp_predicted),
+            memory_scale,
+            compute_scale,
             launch_scale: 1.0,
+            class_scales,
         }
     }
 }
@@ -219,7 +270,8 @@ impl Profiler {
         }
         let t_mem = self.memory_time_us(spec, backend);
         let t_compute = self.compute_time_us(spec, backend, 1.0);
-        Micros(launch + t_mem.max(t_compute))
+        let cf = self.calibration.class_factor(spec.class());
+        Micros(launch + t_mem.max(t_compute) * cf)
     }
 
     /// Latency of a kernel whose tensors deviate from their canonical data
@@ -245,7 +297,8 @@ impl Profiler {
         s.pattern_classes += extra_pattern_classes;
         let t_mem = self.memory_time_us(&s, backend);
         let t_compute = self.compute_time_us(&s, backend, gemm_layout_eff);
-        Micros(launch + t_mem.max(t_compute))
+        let cf = self.calibration.class_factor(s.class());
+        Micros(launch + t_mem.max(t_compute) * cf)
     }
 
     /// Optimistic latency lower bound, computable *without* tuning the
@@ -275,7 +328,10 @@ impl Profiler {
             t_compute += g.flops() as f64 / (peak * eff * 1e6);
         }
         t_compute *= self.calibration.compute_scale;
-        Micros(launch + t_mem.max(t_compute))
+        // The class refinement multiplies the whole body in `latency` as
+        // well, so the bound survives per-class calibration unchanged.
+        let cf = self.calibration.class_factor(spec.class());
+        Micros(launch + t_mem.max(t_compute) * cf)
     }
 
     /// Simulated tuning time in seconds (Table 2 accounting): generated
@@ -588,7 +644,7 @@ mod tests {
         let truth = base.clone().with_calibration(Calibration {
             memory_scale: 3.0,
             compute_scale: 0.5,
-            launch_scale: 1.0,
+            ..Calibration::default()
         });
         let samples: Vec<CalibrationSample> = [
             (mem.clone(), Backend::Generated),
@@ -694,6 +750,11 @@ mod tests {
             memory_scale: 2.5,
             compute_scale: 0.4,
             launch_scale: 1.3,
+            class_scales: vec![
+                (KernelClass::GemmBlocked, 0.5),
+                (KernelClass::GemmSkinny, 1.4),
+                (KernelClass::Memory, 0.9),
+            ],
         });
         let specs = [
             mem_spec(1 << 20, 1 << 20),

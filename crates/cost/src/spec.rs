@@ -69,11 +69,61 @@ pub struct KernelSpec {
     pub has_opaque: bool,
 }
 
+/// Roofline class of a kernel, the granularity at which [`Calibration`]
+/// (`crate::Calibration`) learns per-class throughput scales. The classes
+/// follow the microkernel structure in `korch-tensor`: a GEMM whose
+/// dominant output tile is at least [`korch_tensor::MATMUL_MR`] rows tall
+/// runs the register-blocked MR×NR microkernel at full throughput, while
+/// skinnier GEMMs fall back to the row-at-a-time path and behave closer
+/// to a memory-bound sweep. Memory-intensive kernels (no linear
+/// primitive) are priced off the bandwidth roofline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum KernelClass {
+    /// No linear-transformation primitive: bandwidth-limited.
+    Memory,
+    /// Dominant GEMM tall enough (`m ≥ MATMUL_MR`) for the
+    /// register-blocked microkernel.
+    GemmBlocked,
+    /// Dominant GEMM shorter than the MR row group: row-at-a-time
+    /// fallback throughput.
+    GemmSkinny,
+}
+
+impl KernelClass {
+    /// Stable lowercase name, used for telemetry gauge suffixes
+    /// (`executor.gflops.<class>`).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelClass::Memory => "memory",
+            KernelClass::GemmBlocked => "gemm_blocked",
+            KernelClass::GemmSkinny => "gemm_skinny",
+        }
+    }
+
+    /// All classes, for iteration (telemetry registration, fitting).
+    pub const ALL: [KernelClass; 3] = [
+        KernelClass::Memory,
+        KernelClass::GemmBlocked,
+        KernelClass::GemmSkinny,
+    ];
+}
+
 impl KernelSpec {
     /// Whether the paper's profiler would classify this kernel as
     /// compute-intensive (contains a linear-transformation primitive).
     pub fn is_compute_intensive(&self) -> bool {
         !self.linear.is_empty()
+    }
+
+    /// The kernel's roofline class (see [`KernelClass`]): memory-bound
+    /// kernels by bandwidth, compute kernels split by whether the
+    /// highest-FLOP GEMM reaches the microkernel's MR row group.
+    pub fn class(&self) -> KernelClass {
+        match self.linear.iter().max_by_key(|g| g.flops()) {
+            None => KernelClass::Memory,
+            Some(dom) if dom.m >= korch_tensor::MATMUL_MR as u64 => KernelClass::GemmBlocked,
+            Some(_) => KernelClass::GemmSkinny,
+        }
     }
 
     /// Total FLOPs (linear + pointwise).

@@ -203,8 +203,7 @@ mod tests {
                         }
                         Steal::Retry => {}
                         Steal::Empty => {
-                            if taken.iter().map(|c| c.load(Ordering::Relaxed)).sum::<u64>()
-                                >= TASKS
+                            if taken.iter().map(|c| c.load(Ordering::Relaxed)).sum::<u64>() >= TASKS
                             {
                                 break;
                             }

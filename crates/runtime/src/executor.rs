@@ -94,7 +94,7 @@
 use crate::arena::{plan_memory_report, BufferArena, MemoryReport};
 use crate::deque::{Steal, WorkStealDeque};
 use crate::profiler::{KernelInterval, RuntimeProfile};
-use korch_cost::Device;
+use korch_cost::{Device, KernelClass};
 use korch_exec::{eval_prim, eval_prim_tiled, materialize_const, CompiledChain, ExecError};
 use korch_ir::{LinearFn, NodeId, PortRef, PrimGraph, PrimKind};
 use korch_orch::{schedule_streams_with, Plan, SelectedKernel, StreamContention, StreamSchedule};
@@ -408,6 +408,11 @@ pub struct PlanExecutor {
     profile: Mutex<RuntimeProfile>,
     /// Per-kernel tile decompositions (None = runs whole).
     tile_specs: Vec<Option<TileSpec>>,
+    /// Each kernel's roofline class and total FLOPs, indexed like
+    /// `kernels` — the lookup table behind the `executor.gflops.<class>`
+    /// telemetry gauges. Built once at compile; unused (but cheap) when
+    /// telemetry is off.
+    kernel_classes: Vec<(KernelClass, f64)>,
     /// The split threshold actually in force (explicit or plan-derived).
     split_threshold_us: f64,
     /// Dependency-free kernels — the run's initial ready set. When this
@@ -508,6 +513,12 @@ struct ExecTelemetry {
     parks: korch_telemetry::Counter,
     tile_tasks: korch_telemetry::Counter,
     tiled_kernels: korch_telemetry::Counter,
+    /// Achieved throughput per kernel class (`executor.gflops.<class>`),
+    /// in milli-GFLOP/s fixed point (gauges are integers), indexed like
+    /// [`KernelClass::ALL`]. Refreshed by each run from its samples; a
+    /// class that has not yet executed any FLOP-counted work stays at the
+    /// registration default of 0.
+    gflops: Vec<korch_telemetry::Gauge>,
 }
 
 impl ExecTelemetry {
@@ -520,6 +531,10 @@ impl ExecTelemetry {
             parks: metrics.counter("executor.parks"),
             tile_tasks: metrics.counter("executor.tile_tasks"),
             tiled_kernels: metrics.counter("executor.tiled_kernels"),
+            gflops: KernelClass::ALL
+                .iter()
+                .map(|c| metrics.gauge(&format!("executor.gflops.{}", c.name())))
+                .collect(),
         }
     }
 
@@ -527,14 +542,27 @@ impl ExecTelemetry {
     /// clock origin and record them as trace spans, stamped with the
     /// run's trace id; bump the run-level counters. Called once per run
     /// after the workers joined — never on the kernel hot path.
-    fn emit_run(&self, run: &RunCtx, log: &LaneLog) {
+    fn emit_run(&self, run: &RunCtx, log: &LaneLog, classes: &[(KernelClass, f64)]) {
         let rec = self.shared.recorder();
         if !rec.is_enabled() {
             return;
         }
         let mut tiled: BTreeSet<usize> = BTreeSet::new();
         let mut tiles = 0u64;
+        // Achieved throughput per class: a kernel's FLOPs count once (its
+        // tiles each compute a slice of the same work) against the summed
+        // busy time of all its samples.
+        let mut class_time = [0.0f64; KernelClass::ALL.len()];
+        let mut class_flops = [0.0f64; KernelClass::ALL.len()];
+        let mut counted: BTreeSet<usize> = BTreeSet::new();
         for s in &log.samples {
+            if let Some(&(class, flops)) = classes.get(s.kernel) {
+                let ci = KernelClass::ALL.iter().position(|c| *c == class).unwrap();
+                class_time[ci] += (s.end_us - s.start_us).max(0.0);
+                if counted.insert(s.kernel) {
+                    class_flops[ci] += flops;
+                }
+            }
             let kind = match s.tile {
                 Some(tile) => {
                     tiles += 1;
@@ -568,6 +596,12 @@ impl ExecTelemetry {
         self.parks.add(log.parks);
         self.tile_tasks.add(tiles);
         self.tiled_kernels.add(tiled.len() as u64);
+        for (ci, gauge) in self.gflops.iter().enumerate() {
+            if class_time[ci] > 0.0 && class_flops[ci] > 0.0 {
+                // flops/µs is exactly milli-GFLOP/s.
+                gauge.set((class_flops[ci] / class_time[ci]) as i64);
+            }
+        }
     }
 
     /// Record the arena's occupancy after a run settled (live bytes
@@ -871,6 +905,14 @@ impl PlanExecutor {
 
         let n_roots = kernels.iter().filter(|k| k.deps.is_empty()).count();
         let telemetry = config.telemetry.as_ref().map(ExecTelemetry::new);
+        let kernel_classes = kernels
+            .iter()
+            .map(|k| {
+                let outputs: Vec<PortRef> = k.outputs.iter().map(|(p, _)| *p).collect();
+                let spec = korch_cost::kernel_spec(g, &k.member_set, &outputs);
+                (spec.class(), spec.total_flops() as f64)
+            })
+            .collect();
         Ok(Self {
             graph: g.clone(),
             plan: plan.clone(),
@@ -894,6 +936,7 @@ impl PlanExecutor {
             telemetry,
             profile: Mutex::new(RuntimeProfile::new(plan.kernels.len())),
             tile_specs,
+            kernel_classes,
             split_threshold_us,
             n_roots,
         })
@@ -917,14 +960,29 @@ impl PlanExecutor {
     /// split-worthy when the measured split ran 0.96× the whole compiled
     /// kernel; a dim-192 matmul similarly ran 0.91× when split. Both now
     /// sit under their floors and run whole.
-    fn clears_tile_floor(spec: &TileSpec, k: &SelectedKernel, device: &Device, lanes: usize) -> bool {
-        let lanes = lanes.max(1) as f64;
+    fn clears_tile_floor(
+        spec: &TileSpec,
+        k: &SelectedKernel,
+        device: &Device,
+        lanes: usize,
+    ) -> bool {
+        // Tiles only run concurrently up to the host's real core count:
+        // requesting 4 lanes on a 1-core box time-slices the tiles, so the
+        // body work divides by the *achievable* parallelism, not the lane
+        // count. Below 2 achievable-parallel tiles a split is pure
+        // overhead and the kernel provably stays whole.
+        let host = std::thread::available_parallelism().map_or(1, |n| n.get());
+        let par = lanes.max(1).min(host);
+        if par < 2 {
+            return false;
+        }
+        let par = par as f64;
         let out_bytes = (spec.out_shape.iter().product::<usize>() * 4) as f64;
-        let per_tile_body = (k.latency.0 - device.launch_overhead_us).max(0.0) / lanes;
+        let per_tile_body = (k.latency.0 - device.launch_overhead_us).max(0.0) / par;
         let assembly_bytes = if spec.grain == 1 {
             out_bytes
         } else {
-            out_bytes / lanes
+            out_bytes / par
         };
         // Per-tile fixed cost: a fraction of one kernel launch (tiles are
         // enqueue+steal, far cheaper than a driver launch) plus the
@@ -993,7 +1051,22 @@ impl PlanExecutor {
         let rows_total = total / grain;
         let tile_rows = config
             .tile_rows
-            .unwrap_or_else(|| rows_total.div_ceil(config.lanes.max(1)))
+            .unwrap_or_else(|| {
+                let fair = rows_total.div_ceil(config.lanes.max(1));
+                // Matmul tiles run korch-tensor's MR×NR microkernel; grains
+                // aligned to the MR row group keep every tile (bar the last)
+                // full-group-only, so no tile pays the single-row remainder
+                // path more than once. Alignment is performance-only —
+                // bit-identity holds for any partition.
+                match body {
+                    TileBody::Single(m)
+                        if matches!(g.node(m).kind, PrimKind::Linear(LinearFn::MatMul { .. })) =>
+                    {
+                        fair.div_ceil(korch_tensor::MATMUL_MR) * korch_tensor::MATMUL_MR
+                    }
+                    _ => fair,
+                }
+            })
             .clamp(1, rows_total);
         let n_tiles = rows_total.div_ceil(tile_rows);
         // Auto-sized partitions only pay off with real parallelism; an
@@ -1197,7 +1270,7 @@ impl PlanExecutor {
             .unwrap_or_else(PoisonError::into_inner);
         let failed = state.failed.load(Ordering::Acquire);
         if let Some(et) = &self.telemetry {
-            et.emit_run(&run, &log);
+            et.emit_run(&run, &log, &self.kernel_classes);
         }
         if self.profile_enabled || log.steals > 0 || log.parks > 0 {
             let mut profile = lock_recover(&self.profile);
@@ -1313,7 +1386,9 @@ impl PlanExecutor {
                 .collect(),
             n_finished: AtomicUsize::new(0),
             epoch: AtomicU64::new(0),
-            parked: (0..self.lanes.len()).map(|_| AtomicBool::new(false)).collect(),
+            parked: (0..self.lanes.len())
+                .map(|_| AtomicBool::new(false))
+                .collect(),
             lane_threads: (0..self.lanes.len())
                 .map(|_| std::sync::OnceLock::new())
                 .collect(),
@@ -1959,12 +2034,13 @@ impl PlanExecutor {
         let mut global: HashMap<PortRef, Arc<Tensor>> =
             HashMap::with_capacity(task.global_reads.len());
         for (port, s) in &task.global_reads {
-            let arc = read_recover(&state.values[*s])
-                .clone()
-                .ok_or(ExecError::NotMaterialized {
-                    node: port.node.0,
-                    port: port.port,
-                })?;
+            let arc =
+                read_recover(&state.values[*s])
+                    .clone()
+                    .ok_or(ExecError::NotMaterialized {
+                        node: port.node.0,
+                        port: port.port,
+                    })?;
             global.insert(*port, arc);
         }
         let mut local: HashMap<PortRef, Tensor> = HashMap::new();

@@ -39,7 +39,7 @@ mod tile;
 pub use elementwise::{BinaryOp, UnaryOp};
 pub use error::TensorError;
 pub use linear::{conv2d_flops, matmul_flops, MatMulSpec};
-pub use pack::PackedB;
+pub use pack::{PackedB, MR as MATMUL_MR};
 pub use pool::PoolSpec;
 pub use reduce::ReduceKind;
 pub use resize::ResizeMode;

@@ -1,9 +1,10 @@
-//! Packed right-hand-side panels and the blocked matmul microkernel.
+//! Packed operand panels and the MR×NR register-blocked matmul
+//! microkernel.
 //!
 //! [`Tensor::matmul`](crate::Tensor::matmul) and
-//! [`Tensor::matmul_rows`](crate::Tensor::matmul_rows) both drive the row
-//! kernel here instead of a naive per-element contraction. The design is
-//! the classic pack-then-microkernel split:
+//! [`Tensor::matmul_rows`](crate::Tensor::matmul_rows) both drive the
+//! microkernel here instead of a naive per-element contraction. The
+//! design is the classic GEBP pack-then-microkernel split:
 //!
 //! - [`PackedB`] lays the right operand out as row-major `[k][n]` panels —
 //!   one per batch — so the inner loop always reads B with unit stride.
@@ -13,35 +14,62 @@
 //!   immutable after construction, so callers (the `korch-runtime` tile
 //!   executor) pack **once per kernel** and share the panel read-only
 //!   across sibling row tiles;
-//! - [`mm_row_blocked`] computes one output row over fixed-width
-//!   accumulator blocks (`NB` columns held in registers), with the
-//!   contraction index `p` innermost and every access unit-stride, so
-//!   rustc autovectorizes the multiply-accumulate without any
-//!   target-specific intrinsics.
+//! - the microkernel computes [`MR`] output rows at a time over
+//!   fixed-width accumulator blocks (`NB` columns per row): the whole
+//!   `MR × NB` accumulator lives in vector registers while `p` sweeps the
+//!   contraction, so each loaded B block `b(p, j..j+NB)` feeds `MR`
+//!   independent multiply-accumulate chains (hiding the FP add latency a
+//!   single row's serial accumulator chain exposes) and B traffic drops
+//!   by `MR`×. rustc autovectorizes the block loops for the build's
+//!   `target-cpu` without target-specific intrinsics; a `trans_a` left
+//!   operand is gathered once per group into a packed `[MR][k]` scratch
+//!   panel so every A row the kernel reads is unit-stride;
+//! - row groups smaller than `MR` (the `m % MR` remainder, or tiny row
+//!   tiles) run a row-at-a-time fallback of the same loops — the `MR = 1`
+//!   specialization.
 //!
-//! # Bit-identity with the scalar path
+//! # The MR×NR contract: bit-identity with the scalar path
 //!
-//! The microkernel is a pure loop-interchange of the naive kernel: every
-//! output element `o(i, j)` still accumulates `a(i, p) * b(p, j)` in
-//! ascending `p` order, skipping `a(i, p) == 0.0` terms, starting from
-//! `0.0` — exactly the op sequence of the historical triple loop
-//! (register accumulation followed by one store is the same IEEE
-//! operation sequence as in-memory accumulation). No FMA contraction and
-//! no re-association is introduced, so blocked results are **bit
-//! identical** to the scalar reference for every shape, transpose flag
-//! and row partition. `trans_a` reads are handled by gathering the
-//! logical A row into a scratch buffer first — a value copy that changes
-//! no arithmetic; `trans_b` reads come from the packed panel, which holds
-//! the same `f32` values the naive kernel would have gathered per
-//! element.
+//! Every blocking level here is a pure loop interchange / operand
+//! re-staging of the naive kernel; none of them touch the per-element
+//! arithmetic:
+//!
+//! - each output element `o(i, j)` accumulates `a(i, p) * b(p, j)` in
+//!   ascending `p` order, skipping `a(i, p) == 0.0` terms **per
+//!   element**, starting from `0.0` — exactly the op sequence of the
+//!   historical triple loop (register accumulation followed by one store
+//!   is the same IEEE operation sequence as in-memory accumulation);
+//! - no FMA contraction and no re-association is introduced: grouping
+//!   `MR` rows or `NB` columns only changes *which* independent elements
+//!   are interleaved in time, never the operation order within one
+//!   element's accumulation chain;
+//! - packing (the B panel, and the `[MR][k]` A panel of a `trans_a` row
+//!   group) is a value copy: the arithmetic reads the same `f32` values
+//!   the naive kernel would have gathered per element, in the same order.
+//!
+//! Hence blocked results are **bit identical** to the scalar reference
+//! for every shape, transpose flag, row partition and `MR`/`NB` choice —
+//! which is also why the `korch-runtime` tile executor may split output
+//! rows at any grain without changing a single output bit.
 
 use crate::{Tensor, TensorError};
 use std::ops::Range;
 
-/// Accumulator width of the row microkernel: output columns computed per
-/// register block. 32 `f32` lanes = two cache lines, small enough to stay
-/// in registers on SSE2 baselines and wide enough to saturate wider SIMD.
+/// Accumulator width of the microkernel: output columns computed per
+/// register block. 32 `f32` lanes = two cache lines = two AVX-512 (four
+/// AVX2) vector registers per accumulator row.
 const NB: usize = 32;
+
+/// Row height of the register-blocked microkernel: output rows whose
+/// `NB`-wide accumulators are held in registers simultaneously while `p`
+/// sweeps the contraction. Each B block loaded from cache feeds `MR`
+/// independent accumulation chains — `MR × NB = 192` accumulator lanes =
+/// 12 AVX-512 registers, leaving room for the B block and broadcasts —
+/// and B is streamed `MR`× less often. `korch-runtime` aligns row-tile
+/// grains to this constant so tiles are made of whole MR groups
+/// (alignment is a performance choice only — bit-identity holds for any
+/// partition, see the module docs).
+pub const MR: usize = 6;
 
 /// The right operand of a matmul, packed into row-major `[k][n]` panels
 /// (one per batch) for unit-stride access in the row microkernel.
@@ -133,38 +161,114 @@ impl PackedB {
     }
 }
 
-/// One output row: `orow[j] = Σ_p arow[p] * panel[p][j]`, accumulated in
-/// ascending `p` with the zero-skip, over `NB`-wide register blocks. See
-/// the module doc for why this is bit-identical to the scalar kernel.
-fn mm_row_blocked(arow: &[f32], panel: &[f32], n: usize, orow: &mut [f32]) {
-    let mut j = 0;
-    while j + NB <= n {
-        let mut acc = [0.0f32; NB];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+/// The MR×NB register-blocked microkernel: computes a group of `g ≤`
+/// [`MR`] output rows against one B panel. Logical A row `r` of the
+/// group is the unit-stride slice `a_base[r * row_stride..][..k]` (the
+/// contiguous storage rows when `trans_a == false`, the packed `[MR][k]`
+/// gather otherwise); `orows` is the group's `g * n` contiguous output
+/// elements.
+///
+/// A full group runs with `p` as the outer loop and the whole `MR × NB`
+/// accumulator in registers: each B block `b(p, j..j+NB)` is loaded once
+/// and feeds `MR` independent accumulation chains, which both cuts B
+/// traffic `MR`× and hides the FP add latency a single serial accumulator
+/// chain exposes. Remainder groups (`g < MR`, at a batch edge, range end
+/// or tiny tile) run row-at-a-time — the `MR = 1` specialization. In both
+/// orders every element `o(r, j+t)` sees its terms in ascending `p` from
+/// `0.0` with the per-element zero-skip — the rows are independent
+/// accumulation chains, so reordering *between* them changes nothing
+/// (module docs: the MR×NR contract).
+fn mm_group_blocked(
+    a_base: &[f32],
+    row_stride: usize,
+    g: usize,
+    k: usize,
+    panel: &[f32],
+    n: usize,
+    orows: &mut [f32],
+) {
+    debug_assert!((1..=MR).contains(&g));
+    debug_assert_eq!(orows.len(), g * n);
+    if g == MR {
+        // Full group: hold the whole MR×NB accumulator in registers and
+        // make p the outer loop, so each B block load feeds MR
+        // independent accumulation chains (fills the FP pipeline that a
+        // single row's serial acc dependency leaves idle).
+        let mut j = 0;
+        while j + NB <= n {
+            let mut acc = [[0.0f32; NB]; MR];
+            for p in 0..k {
+                let bv = &panel[p * n + j..p * n + j + NB];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = a_base[r * row_stride + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for t in 0..NB {
+                        accr[t] += av * bv[t];
+                    }
+                }
             }
-            let bv = &panel[p * n + j..p * n + j + NB];
-            for t in 0..NB {
-                acc[t] += av * bv[t];
+            for (r, accr) in acc.iter().enumerate() {
+                orows[r * n + j..r * n + j + NB].copy_from_slice(accr);
+            }
+            j += NB;
+        }
+        if j < n {
+            let rest = n - j;
+            let mut acc = [[0.0f32; NB]; MR];
+            for p in 0..k {
+                let bv = &panel[p * n + j..p * n + j + rest];
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = a_base[r * row_stride + p];
+                    if av == 0.0 {
+                        continue;
+                    }
+                    for (t, &bvt) in bv.iter().enumerate() {
+                        accr[t] += av * bvt;
+                    }
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                orows[r * n + j..r * n + j + rest].copy_from_slice(&accr[..rest]);
             }
         }
-        orow[j..j + NB].copy_from_slice(&acc);
+        return;
+    }
+    let mut j = 0;
+    while j + NB <= n {
+        for r in 0..g {
+            let arow = &a_base[r * row_stride..r * row_stride + k];
+            let mut acc = [0.0f32; NB];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let bv = &panel[p * n + j..p * n + j + NB];
+                for t in 0..NB {
+                    acc[t] += av * bv[t];
+                }
+            }
+            orows[r * n + j..r * n + j + NB].copy_from_slice(&acc);
+        }
         j += NB;
     }
     if j < n {
         let rest = n - j;
-        let mut acc = [0.0f32; NB];
-        for (p, &av) in arow.iter().enumerate() {
-            if av == 0.0 {
-                continue;
+        for r in 0..g {
+            let arow = &a_base[r * row_stride..r * row_stride + k];
+            let mut acc = [0.0f32; NB];
+            for (p, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let bv = &panel[p * n + j..p * n + j + rest];
+                for (t, &bvt) in bv.iter().enumerate() {
+                    acc[t] += av * bvt;
+                }
             }
-            let bv = &panel[p * n + j..p * n + j + rest];
-            for (t, &bvt) in bv.iter().enumerate() {
-                acc[t] += av * bvt;
-            }
+            orows[r * n + j..r * n + j + rest].copy_from_slice(&acc[..rest]);
         }
-        orow[j..].copy_from_slice(&acc[..rest]);
     }
 }
 
@@ -173,6 +277,14 @@ fn mm_row_blocked(arow: &[f32], panel: &[f32], n: usize, orow: &mut [f32]) {
 /// `packed`, writing `rows.len() * n` elements into `out`. Callers have
 /// validated shapes; `am`/`ak` are the left operand's trailing dims as
 /// stored and `m` the logical output rows per batch.
+///
+/// Rows are processed in [`MR`]-high groups that never straddle a batch
+/// boundary (the panel changes there); a group's A rows are the
+/// contiguous storage rows when `trans_a == false`, or gathered once into
+/// a packed `[MR][k]` scratch panel otherwise (a value copy — the
+/// arithmetic never sees it), then handed to [`mm_group_blocked`].
+/// Leftover rows (`< MR` at a batch edge or range end) run as a smaller
+/// group of the same kernel.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn matmul_rows_blocked(
     a: &[f32],
@@ -187,22 +299,37 @@ pub(crate) fn matmul_rows_blocked(
 ) {
     let (k, n) = (packed.k, packed.n);
     let a_stride = am * ak;
-    // `trans_a` gathers the logical A row (a stored column) once per row:
-    // same values, same order — the arithmetic never sees the copy.
-    let mut acol = if trans_a { vec![0.0f32; k] } else { Vec::new() };
-    for (row_off, row) in rows.enumerate() {
+    // Scratch for the `trans_a` gather, allocated once per call: the row
+    // group packed `[MR][k]` so each logical row is a unit-stride slice.
+    let mut apanel = if trans_a {
+        vec![0.0f32; MR * k]
+    } else {
+        Vec::new()
+    };
+    let mut row = rows.start;
+    while row < rows.end {
         let bi = row / m;
-        let i = row % m;
+        let batch_end = rows.end.min((bi + 1) * m);
         let ab = &a[bi * a_stride..(bi + 1) * a_stride];
         let panel = packed.panel(b_raw, bi);
-        let orow = &mut out[row_off * n..(row_off + 1) * n];
-        if trans_a {
-            for (p, slot) in acol.iter_mut().enumerate() {
-                *slot = ab[p * ak + i];
+        while row < batch_end {
+            let g = MR.min(batch_end - row);
+            let i = row % m;
+            let off = (row - rows.start) * n;
+            let orows = &mut out[off..off + g * n];
+            if trans_a {
+                // Pack the group: apanel[r][p] = a(i + r, p) = ab[p][i + r].
+                for p in 0..k {
+                    let src = &ab[p * ak + i..p * ak + i + g];
+                    for (r, &v) in src.iter().enumerate() {
+                        apanel[r * k + p] = v;
+                    }
+                }
+                mm_group_blocked(&apanel, k, g, k, panel, n, orows);
+            } else {
+                mm_group_blocked(&ab[i * ak..], ak, g, k, panel, n, orows);
             }
-            mm_row_blocked(&acol, panel, n, orow);
-        } else {
-            mm_row_blocked(&ab[i * ak..i * ak + k], panel, n, orow);
+            row += g;
         }
     }
 }
@@ -254,11 +381,16 @@ mod tests {
 
     #[test]
     fn blocked_matmul_is_bit_identical_to_the_scalar_reference() {
-        // Shapes straddling the NB block width (remainder columns, short
-        // contractions, batches) across every transpose combination.
+        // Shapes straddling the NB block width and the MR row group
+        // (remainder columns, remainder rows, short contractions,
+        // batches) across every transpose combination.
         let cases: Vec<(Vec<usize>, Vec<usize>, MatMulSpec)> = vec![
             (vec![5, 7], vec![7, 33], MatMulSpec::new()),
             (vec![9, 64], vec![64, 64], MatMulSpec::new()),
+            (vec![MR - 1, 6], vec![6, 32], MatMulSpec::new()),
+            (vec![MR, 6], vec![6, 32], MatMulSpec::new()),
+            (vec![MR + 1, 6], vec![6, 33], MatMulSpec::new()),
+            (vec![2 * MR + 3, 9], vec![9, NB + 3], MatMulSpec::new()),
             (vec![3, 4, 6], vec![3, 6, 31], MatMulSpec::new()),
             (
                 vec![7, 5],
@@ -295,6 +427,58 @@ mod tests {
                 &reference[..],
                 "blocked matmul diverged for {a_shape:?} x {b_shape:?} {spec:?}"
             );
+        }
+    }
+
+    #[test]
+    fn any_row_partition_is_bit_identical() {
+        // Row-range partitions at sizes straddling the MR group — {1,
+        // MR-1, MR, MR+1} plus a whole-batch split — must reproduce the
+        // unpartitioned bytes exactly: tile boundaries only change where
+        // the single-row fallback runs, never any element's op order.
+        let (b_m, b_k, b_n) = (2usize * MR + 3, 9, NB + 3);
+        for (trans_a, trans_b) in [(false, false), (true, false), (false, true), (true, true)] {
+            let spec = MatMulSpec { trans_a, trans_b };
+            let a_shape = if trans_a {
+                vec![2, b_k, b_m]
+            } else {
+                vec![2, b_m, b_k]
+            };
+            let b_shape = if trans_b {
+                vec![2, b_n, b_k]
+            } else {
+                vec![2, b_k, b_n]
+            };
+            let a = Tensor::random(a_shape, 11);
+            let b = Tensor::random(b_shape, 12);
+            let reference = a.matmul(&b, spec).unwrap();
+            assert_eq!(reference.as_slice(), &naive_matmul(&a, &b, spec)[..]);
+            let packed = PackedB::pack(&b, trans_b).unwrap();
+            let rows_total = 2 * b_m;
+            for tile in [1usize, MR - 1, MR, MR + 1, b_m] {
+                let mut out = vec![f32::NAN; rows_total * b_n];
+                let mut start = 0;
+                while start < rows_total {
+                    let end = (start + tile).min(rows_total);
+                    matmul_rows_blocked(
+                        a.as_slice(),
+                        b.as_slice(),
+                        &packed,
+                        trans_a,
+                        a.shape()[1],
+                        a.shape()[2],
+                        b_m,
+                        start..end,
+                        &mut out[start * b_n..end * b_n],
+                    );
+                    start = end;
+                }
+                assert_eq!(
+                    &out[..],
+                    reference.as_slice(),
+                    "partition tile={tile} ta={trans_a} tb={trans_b} diverged"
+                );
+            }
         }
     }
 

@@ -49,6 +49,7 @@ use std::ops::Range;
 /// # Panics
 ///
 /// Panics if `input.len() != out.len()`.
+#[inline]
 pub fn unary_tile(op: UnaryOp, input: &[f32], out: &mut [f32]) {
     assert_eq!(input.len(), out.len(), "unary tile length mismatch");
     for (o, &v) in out.iter_mut().zip(input) {
@@ -61,6 +62,7 @@ pub fn unary_tile(op: UnaryOp, input: &[f32], out: &mut [f32]) {
 /// # Panics
 ///
 /// Panics if the three slices differ in length.
+#[inline]
 pub fn binary_tile(op: BinaryOp, lhs: &[f32], rhs: &[f32], out: &mut [f32]) {
     assert_eq!(lhs.len(), out.len(), "binary tile lhs length mismatch");
     assert_eq!(rhs.len(), out.len(), "binary tile rhs length mismatch");
@@ -74,6 +76,7 @@ pub fn binary_tile(op: BinaryOp, lhs: &[f32], rhs: &[f32], out: &mut [f32]) {
 /// # Panics
 ///
 /// Panics if `input.len() != out.len()`.
+#[inline]
 pub fn binary_scalar_tile(op: BinaryOp, input: &[f32], scalar: f32, out: &mut [f32]) {
     assert_eq!(input.len(), out.len(), "scalar tile length mismatch");
     for (o, &v) in out.iter_mut().zip(input) {
@@ -87,6 +90,7 @@ pub fn binary_scalar_tile(op: BinaryOp, input: &[f32], scalar: f32, out: &mut [f
 /// # Panics
 ///
 /// Panics if `input.len() != out.len()`.
+#[inline]
 pub fn binary_scalar_lhs_tile(op: BinaryOp, scalar: f32, input: &[f32], out: &mut [f32]) {
     assert_eq!(input.len(), out.len(), "scalar-lhs tile length mismatch");
     for (o, &v) in out.iter_mut().zip(input) {

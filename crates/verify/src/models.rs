@@ -1057,7 +1057,10 @@ pub fn verify_protocols() -> Result<Vec<(&'static str, Exploration)>, ExploreErr
         // Thieves drain everything while the owner only produces.
         (vec![Push(0), Push(1)], vec![2, 2]),
     ] {
-        run("chase-lev-deque", explore(&ChaseLevDeque { script, thieves }))?;
+        run(
+            "chase-lev-deque",
+            explore(&ChaseLevDeque { script, thieves }),
+        )?;
     }
 
     for (producers, consumers) in [

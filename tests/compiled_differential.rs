@@ -2,7 +2,8 @@
 //! fused-chain closures and the packed/blocked matmul microkernel must be
 //! **bit-identical** to the sequential `execute_plan` interpreter —
 //! whole-kernel and tiled, across random chain shapes and op mixes,
-//! every matmul transpose variant, tile sizes {1, 7, all rows} × lanes
+//! every matmul transpose variant, tile sizes straddling the register
+//! block ({1, MR−1, MR, MR+1, all rows}, MR = `MATMUL_MR`) × lanes
 //! {1, 2, 4}, and across a `recalibrate` plan swap.
 //!
 //! Everything here asserts bytes and conservation laws, never wall-clock:
@@ -27,6 +28,23 @@ fn whole_config(lanes: usize) -> RuntimeConfig {
         split_threshold_us: Some(f64::INFINITY),
         ..RuntimeConfig::with_lanes(lanes)
     }
+}
+
+/// Tile-row sweep straddling the register-blocked microkernel's row
+/// group: {1, MR−1, MR, MR+1} hit the remainder path on both sides of a
+/// full MR-row group, `1 << 20` collapses to one tile, `None` derives one
+/// tile per lane. Keeping the sizes MR-relative means the sweep keeps
+/// straddling the group boundary if MR is retuned.
+fn tile_row_sweep() -> [Option<usize>; 6] {
+    const MR: usize = korch::tensor::MATMUL_MR;
+    [
+        Some(1),
+        Some(MR - 1),
+        Some(MR),
+        Some(MR + 1),
+        Some(1 << 20),
+        None,
+    ]
 }
 
 /// Forces tiled execution with an explicit tile size in grain rows
@@ -146,7 +164,7 @@ proptest! {
             let out = whole.execute(&inputs).unwrap();
             assert_bit_identical(&reference, &out, &format!("whole lanes={lanes} ops={ops:?}"));
             prop_assert_eq!(whole.arena_stats().live_bytes, 0);
-            for tile_rows in [Some(1usize), Some(7), Some(1 << 20), None] {
+            for tile_rows in tile_row_sweep() {
                 let exec =
                     PlanExecutor::new(&g, &plan, tiled_config(lanes, tile_rows)).unwrap();
                 let out = exec.execute(&inputs).unwrap();
@@ -180,7 +198,7 @@ fn packed_matmul_matches_the_interpreter_under_transposes() {
                 &out,
                 &format!("whole matmul ta={trans_a} tb={trans_b} lanes={lanes}"),
             );
-            for tile_rows in [Some(1usize), Some(7), Some(1 << 20), None] {
+            for tile_rows in tile_row_sweep() {
                 let exec = PlanExecutor::new(&g, &plan, tiled_config(lanes, tile_rows)).unwrap();
                 let out = exec.execute(&inputs).unwrap();
                 assert_bit_identical(
@@ -267,7 +285,12 @@ fn mixed_compiled_plan_is_bit_identical() {
     let inputs = prim_random_inputs(&g, 5);
     let reference = execute_plan(&g, &plan, &inputs).unwrap();
     for lanes in [2usize, 4] {
-        for tile_rows in [Some(1usize), Some(7), None] {
+        for tile_rows in [
+            Some(1usize),
+            Some(korch::tensor::MATMUL_MR - 1),
+            Some(korch::tensor::MATMUL_MR + 1),
+            None,
+        ] {
             let exec = PlanExecutor::new(&g, &plan, tiled_config(lanes, tile_rows)).unwrap();
             assert_eq!(
                 exec.tileable_kernels(),
